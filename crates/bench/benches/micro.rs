@@ -1,0 +1,175 @@
+//! Criterion microbenchmarks for the XInsight reproduction.
+//!
+//! These complement the table/figure experiment binaries with latency
+//! measurements of the individual building blocks: FD detection, CI testing,
+//! FCI, XLearner (with and without the harmonious-skeleton stage), XPlainer's
+//! SUM/AVG optimizations against brute force (the ablation called out in
+//! DESIGN.md), and the baseline engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xinsight_baselines::{BoExplain, ExplanationEngine, Scorpion};
+use xinsight_core::{SearchStrategy, XLearner, XLearnerOptions, XPlainer, XPlainerOptions};
+use xinsight_data::{detect_fds, Aggregate, FdDetectionOptions};
+use xinsight_discovery::{fci, FciOptions};
+use xinsight_stats::{ChiSquareTest, CiTest};
+use xinsight_synth::{flight, lung_cancer, syn_a, syn_b};
+
+fn bench_data_layer(c: &mut Criterion) {
+    let data = flight::generate(20_000, 1);
+    c.bench_function("fd_detection/flight_20k", |b| {
+        b.iter(|| detect_fds(&data, &FdDetectionOptions::default()).unwrap())
+    });
+    let test = ChiSquareTest::new(0.05);
+    c.bench_function("chi_square_ci/flight_20k", |b| {
+        b.iter(|| test.independent(&data, "Rain", "DelayOver15", &["Month"]).unwrap())
+    });
+    let query = flight::why_query();
+    c.bench_function("why_query_delta/flight_20k", |b| {
+        b.iter(|| query.delta(&data).unwrap())
+    });
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("causal_discovery");
+    group.sample_size(10);
+    let instance = syn_a::generate(&syn_a::SynAOptions {
+        n_core_variables: 10,
+        n_rows: 1000,
+        seed: 1,
+        ..syn_a::SynAOptions::default()
+    });
+    let vars: Vec<&str> = instance.observed.iter().map(String::as_str).collect();
+    let fci_opts = FciOptions {
+        max_cond_size: Some(3),
+        ..FciOptions::default()
+    };
+    group.bench_function("fci/syn_a_10vars", |b| {
+        b.iter(|| {
+            let test = ChiSquareTest::new(0.05);
+            fci(&instance.data, &vars, &test, &fci_opts).unwrap()
+        })
+    });
+    group.bench_function("xlearner/syn_a_10vars", |b| {
+        b.iter(|| {
+            let learner = XLearner::new(XLearnerOptions {
+                fci: fci_opts.clone(),
+                ..XLearnerOptions::default()
+            });
+            let test = ChiSquareTest::new(0.05);
+            learner
+                .learn_with_fd_graph(&instance.data, &vars, &test, &instance.fd_graph)
+                .unwrap()
+        })
+    });
+    let cancer = lung_cancer::generate(2000, 1);
+    group.bench_function("xlearner/lung_cancer_detect_fds", |b| {
+        b.iter(|| {
+            let learner = XLearner::default();
+            let test = ChiSquareTest::new(0.05);
+            let vars: Vec<&str> = cancer.schema().dimension_names();
+            learner.learn(&cancer, &vars, &test).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_xplainer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xplainer");
+    for &cardinality in &[10usize, 30, 100] {
+        let instance = syn_b::generate(&syn_b::SynBOptions {
+            n_rows: 20_000,
+            cardinality,
+            seed: 1,
+            ..syn_b::SynBOptions::default()
+        });
+        let xplainer = XPlainer::new(XPlainerOptions::default());
+        for aggregate in [Aggregate::Sum, Aggregate::Avg] {
+            let query = instance.query(aggregate);
+            group.bench_with_input(
+                BenchmarkId::new(format!("optimized_{aggregate:?}"), cardinality),
+                &cardinality,
+                |b, _| {
+                    b.iter(|| {
+                        xplainer
+                            .explain_attribute(
+                                &instance.data,
+                                &query,
+                                "Y",
+                                SearchStrategy::Optimized,
+                                true,
+                            )
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    // Ablation: homogeneity pruning on/off for AVG.
+    let instance = syn_b::generate(&syn_b::SynBOptions {
+        n_rows: 20_000,
+        cardinality: 30,
+        seed: 1,
+        ..syn_b::SynBOptions::default()
+    });
+    let xplainer = XPlainer::new(XPlainerOptions::default());
+    let query = instance.query(Aggregate::Avg);
+    group.bench_function("avg_homogeneous_pruning_on", |b| {
+        b.iter(|| {
+            xplainer
+                .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+                .unwrap()
+        })
+    });
+    group.bench_function("avg_homogeneous_pruning_off", |b| {
+        b.iter(|| {
+            xplainer
+                .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, false)
+                .unwrap()
+        })
+    });
+    // Brute force on a small instance (the approximation-tightness baseline).
+    let small = syn_b::generate(&syn_b::SynBOptions {
+        n_rows: 5000,
+        cardinality: 8,
+        seed: 1,
+        ..syn_b::SynBOptions::default()
+    });
+    let small_query = small.query(Aggregate::Sum);
+    group.sample_size(10);
+    group.bench_function("brute_force_sum_card8", |b| {
+        b.iter(|| {
+            xplainer
+                .explain_attribute(&small.data, &small_query, "Y", SearchStrategy::BruteForce, true)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let instance = syn_b::generate(&syn_b::SynBOptions {
+        n_rows: 20_000,
+        cardinality: 10,
+        seed: 1,
+        ..syn_b::SynBOptions::default()
+    });
+    let query = instance.query(Aggregate::Avg);
+    group.bench_function("scorpion_card10", |b| {
+        b.iter(|| Scorpion::default().explain(&instance.data, &query, "Y").unwrap())
+    });
+    group.bench_function("boexplain_card10", |b| {
+        b.iter(|| BoExplain::default().explain(&instance.data, &query, "Y").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_data_layer,
+    bench_discovery,
+    bench_xplainer,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! RQ1 / Fig. 6: end-to-end case studies on the simulated FLIGHT and HOTEL
+//! datasets.
+//!
+//! Paper reference (FLIGHT): AVG(DelayMinute) is 24.95 min in May vs 21.28 in
+//! November (Δ = 3.674), and the gap *reverses* (Δ' = −2.068) once Rain = Yes
+//! is enforced; XInsight reports Rain as a (direct) causal explanation.
+//! Paper reference (HOTEL): the July-vs-January cancellation-rate gap
+//! (0.37 vs 0.30) shrinks once LeadTime ≤ 133 is enforced; XInsight reports
+//! LeadTime as an (indirect) causal explanation.
+
+use xinsight_core::pipeline::{XInsight, XInsightOptions};
+use xinsight_data::Filter;
+use xinsight_synth::{flight, hotel};
+
+fn main() {
+    let full = xinsight_bench::full_scale();
+    let n_rows = if full { 100_000 } else { 20_000 };
+
+    println!("# RQ1 / Fig. 6 reproduction: end-to-end case studies\n");
+
+    // ---------------- FLIGHT ----------------
+    println!("## FLIGHT (simulated, {n_rows} flights)");
+    let data = flight::generate(n_rows, 1);
+    let query = flight::why_query();
+    let delta = query.delta(&data).unwrap();
+    let rainy = Filter::equals("Rain", "Yes").mask(&data).unwrap();
+    let delta_rain = query.delta_over(&data, &rainy).unwrap();
+    println!("Why Query: {query}");
+    println!("Δ(D)            = {delta:.3}   (paper: 3.674)");
+    println!("Δ(D | Rain=Yes) = {delta_rain:.3}   (paper: −2.068 — gap shrinks/reverses)");
+    let engine = XInsight::fit(&data, &XInsightOptions::default()).expect("fit FLIGHT");
+    let explanations = engine.explain(&query).expect("explain FLIGHT");
+    println!("Top explanations:");
+    for e in explanations.iter().take(5) {
+        println!(
+            "  - {e}  [role: {}]",
+            e.causal_role.map(|r| r.to_string()).unwrap_or_else(|| "-".into())
+        );
+    }
+    let rain_causal = explanations
+        .iter()
+        .any(|e| e.attribute() == "Rain" && e.explanation_type == xinsight_core::ExplanationType::Causal);
+    println!("shape check: Rain reported as a causal explanation: {rain_causal}\n");
+
+    // ---------------- HOTEL ----------------
+    println!("## HOTEL (simulated, {n_rows} bookings)");
+    let data = hotel::generate(n_rows, 1);
+    let query = hotel::why_query();
+    let delta = query.delta(&data).unwrap();
+    println!("Why Query: {query}");
+    println!("Δ(D) = {delta:.3}   (paper: 0.37 − 0.30 = 0.07)");
+    let engine = XInsight::fit(&data, &XInsightOptions::default()).expect("fit HOTEL");
+    let explanations = engine.explain(&query).expect("explain HOTEL");
+    println!("Top explanations:");
+    for e in explanations.iter().take(5) {
+        println!(
+            "  - {e}  [role: {}]",
+            e.causal_role.map(|r| r.to_string()).unwrap_or_else(|| "-".into())
+        );
+    }
+    let leadtime_causal = explanations.iter().any(|e| {
+        e.attribute().starts_with("LeadTime")
+            && e.explanation_type == xinsight_core::ExplanationType::Causal
+    });
+    println!("shape check: LeadTime reported as a causal explanation: {leadtime_causal}");
+}

@@ -1,0 +1,82 @@
+//! Table 6: overall comparison between XLearner and FCI on SYN-A.
+//!
+//! Paper reference values: XLearner F1 0.88 ± 0.04, precision 0.95 ± 0.03,
+//! recall 0.82 ± 0.06; FCI F1 0.72 ± 0.05, precision 0.92 ± 0.04,
+//! recall 0.59 ± 0.06.  The expected *shape*: XLearner clearly ahead on F1,
+//! driven by recall, with both methods precise.
+//!
+//! Run with `XINSIGHT_FULL=1` for the larger sweep.
+
+use rayon::prelude::*;
+use xinsight_bench::{mean_std, print_header, print_row};
+use xinsight_synth::syn_a::{generate, SynAOptions};
+
+fn main() {
+    let full = xinsight_bench::full_scale();
+    let scales: Vec<usize> = if full {
+        (10..=60).step_by(10).collect()
+    } else {
+        vec![8, 12, 16]
+    };
+    let seeds: Vec<u64> = if full { vec![1, 2, 3, 4, 5] } else { vec![1, 2, 3] };
+    let n_rows = if full { 5000 } else { 1500 };
+
+    println!("# Table 6 reproduction: XLearner vs FCI on SYN-A");
+    println!(
+        "# scales = {scales:?}, seeds per scale = {}, rows per dataset = {n_rows}",
+        seeds.len()
+    );
+
+    let configs: Vec<(usize, u64)> = scales
+        .iter()
+        .flat_map(|&s| seeds.iter().map(move |&seed| (s, seed)))
+        .collect();
+    let results: Vec<_> = configs
+        .par_iter()
+        .map(|&(n_vars, seed)| {
+            let instance = generate(&SynAOptions {
+                n_core_variables: n_vars,
+                n_rows,
+                seed,
+                ..SynAOptions::default()
+            });
+            xinsight_bench::xlearner_vs_fci(&instance)
+        })
+        .collect();
+
+    let (xl_f1, xl_p, xl_r): (Vec<f64>, Vec<f64>, Vec<f64>) = (
+        results.iter().map(|(x, _)| x.f1).collect(),
+        results.iter().map(|(x, _)| x.precision).collect(),
+        results.iter().map(|(x, _)| x.recall).collect(),
+    );
+    let (fci_f1, fci_p, fci_r): (Vec<f64>, Vec<f64>, Vec<f64>) = (
+        results.iter().map(|(_, f)| f.f1).collect(),
+        results.iter().map(|(_, f)| f.precision).collect(),
+        results.iter().map(|(_, f)| f.recall).collect(),
+    );
+
+    print_header(&["Algo.", "F1-Score", "Precision", "Recall"]);
+    for (name, f1, p, r) in [
+        ("XLearner", &xl_f1, &xl_p, &xl_r),
+        ("FCI", &fci_f1, &fci_p, &fci_r),
+    ] {
+        let (f1m, f1s) = mean_std(f1);
+        let (pm, ps) = mean_std(p);
+        let (rm, rs) = mean_std(r);
+        print_row(&[
+            name.to_owned(),
+            format!("{f1m:.2}±{f1s:.2}"),
+            format!("{pm:.2}±{ps:.2}"),
+            format!("{rm:.2}±{rs:.2}"),
+        ]);
+    }
+    println!();
+    println!("# paper: XLearner 0.88±0.04 / 0.95±0.03 / 0.82±0.06");
+    println!("# paper: FCI      0.72±0.05 / 0.92±0.04 / 0.59±0.06");
+    let (xm, _) = mean_std(&xl_f1);
+    let (fm, _) = mean_std(&fci_f1);
+    println!(
+        "# shape check: XLearner F1 ({xm:.2}) {} FCI F1 ({fm:.2})",
+        if xm > fm { ">" } else { "NOT >" }
+    );
+}

@@ -1,0 +1,186 @@
+//! Explanations (Def. 2.2) and XDA semantics (Table 3).
+
+use xinsight_data::Predicate;
+
+/// Whether an explanation carries causal or merely correlational meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExplanationType {
+    /// The explaining variable is a (possible) cause of the target.
+    Causal,
+    /// The explaining variable is merely statistically relevant to the target.
+    NonCausal,
+}
+
+impl std::fmt::Display for ExplanationType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExplanationType::Causal => write!(f, "causal"),
+            ExplanationType::NonCausal => write!(f, "non-causal"),
+        }
+    }
+}
+
+/// The causal primitive that qualifies a variable as a causal explainer
+/// (rows ➁–➄ of Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CausalRole {
+    /// `X → M`: a definite direct cause.
+    Parent,
+    /// `X → ... → M`: a definite indirect cause.
+    Ancestor,
+    /// `X ∘→ M`: a possible direct cause (latent confounding not excluded).
+    AlmostParent,
+    /// `X ∘→ ... ∘→ M`: a possible indirect cause.
+    AlmostAncestor,
+}
+
+impl std::fmt::Display for CausalRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CausalRole::Parent => "parent",
+            CausalRole::Ancestor => "ancestor",
+            CausalRole::AlmostParent => "almost-parent",
+            CausalRole::AlmostAncestor => "almost-ancestor",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The XDA semantics of one variable with respect to a Why Query (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XdaSemantics {
+    /// Row ➀: `X ⫫ M | F ∪ B` — the variable cannot explain the query.
+    NoExplainability,
+    /// Rows ➁–➄: the variable can provide a causal explanation.
+    CausalExplanation(CausalRole),
+    /// Row ➅: the variable can provide a non-causal explanation only.
+    NonCausalExplanation,
+}
+
+impl XdaSemantics {
+    /// Returns `true` when the variable is worth passing to XPlainer at all.
+    pub fn has_explainability(&self) -> bool {
+        !matches!(self, XdaSemantics::NoExplainability)
+    }
+
+    /// Maps the semantics to the explanation type XPlainer should report.
+    pub fn explanation_type(&self) -> Option<ExplanationType> {
+        match self {
+            XdaSemantics::NoExplainability => None,
+            XdaSemantics::CausalExplanation(_) => Some(ExplanationType::Causal),
+            XdaSemantics::NonCausalExplanation => Some(ExplanationType::NonCausal),
+        }
+    }
+}
+
+/// A complete explanation of a Why Query: `⟨type, predicate, responsibility⟩`
+/// (Def. 2.2) plus the supporting qualitative and quantitative detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Causal or non-causal.
+    pub explanation_type: ExplanationType,
+    /// The qualitative causal role of the variable, when causal.
+    pub causal_role: Option<CausalRole>,
+    /// The predicate that constitutes the explanation content.
+    pub predicate: Predicate,
+    /// Responsibility score in `[0, 1]` (Def. 3.5).
+    pub responsibility: f64,
+    /// The contingency that certifies the actual cause, if a non-empty one
+    /// was needed.
+    pub contingency: Option<Predicate>,
+    /// `Δ(D)` of the query this explanation answers.
+    pub original_delta: f64,
+    /// `Δ(D − D_P)`: the difference remaining after removing the predicate's
+    /// rows (`None` when one sibling subspace becomes empty).
+    pub remaining_delta: Option<f64>,
+}
+
+impl Explanation {
+    /// The attribute (dimension) the explanation predicate ranges over.
+    pub fn attribute(&self) -> &str {
+        self.predicate.attribute()
+    }
+
+    /// How much of the original difference the predicate accounts for,
+    /// `1 − Δ(D − D_P)/Δ(D)`, when both quantities are available.
+    pub fn reduction_ratio(&self) -> Option<f64> {
+        match self.remaining_delta {
+            Some(rem) if self.original_delta.abs() > f64::EPSILON => {
+                Some(1.0 - rem / self.original_delta)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Explanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} (responsibility {:.2})",
+            self.explanation_type, self.predicate, self.responsibility
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantics_mapping() {
+        assert!(!XdaSemantics::NoExplainability.has_explainability());
+        assert!(XdaSemantics::CausalExplanation(CausalRole::Parent).has_explainability());
+        assert!(XdaSemantics::NonCausalExplanation.has_explainability());
+        assert_eq!(XdaSemantics::NoExplainability.explanation_type(), None);
+        assert_eq!(
+            XdaSemantics::CausalExplanation(CausalRole::Ancestor).explanation_type(),
+            Some(ExplanationType::Causal)
+        );
+        assert_eq!(
+            XdaSemantics::NonCausalExplanation.explanation_type(),
+            Some(ExplanationType::NonCausal)
+        );
+    }
+
+    #[test]
+    fn explanation_accessors_and_display() {
+        let e = Explanation {
+            explanation_type: ExplanationType::Causal,
+            causal_role: Some(CausalRole::Parent),
+            predicate: Predicate::new("Smoking", ["Yes"]),
+            responsibility: 0.77,
+            contingency: None,
+            original_delta: 0.46,
+            remaining_delta: Some(0.05),
+        };
+        assert_eq!(e.attribute(), "Smoking");
+        let r = e.reduction_ratio().unwrap();
+        assert!((r - (1.0 - 0.05 / 0.46)).abs() < 1e-12);
+        let s = e.to_string();
+        assert!(s.contains("causal"));
+        assert!(s.contains("Smoking = Yes"));
+        assert!(s.contains("0.77"));
+    }
+
+    #[test]
+    fn reduction_ratio_handles_missing_values() {
+        let e = Explanation {
+            explanation_type: ExplanationType::NonCausal,
+            causal_role: None,
+            predicate: Predicate::new("Surgery", ["Yes"]),
+            responsibility: 0.5,
+            contingency: None,
+            original_delta: 0.0,
+            remaining_delta: None,
+        };
+        assert_eq!(e.reduction_ratio(), None);
+    }
+
+    #[test]
+    fn display_of_roles_and_types() {
+        assert_eq!(ExplanationType::Causal.to_string(), "causal");
+        assert_eq!(ExplanationType::NonCausal.to_string(), "non-causal");
+        assert_eq!(CausalRole::AlmostAncestor.to_string(), "almost-ancestor");
+    }
+}

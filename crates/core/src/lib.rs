@@ -1,0 +1,73 @@
+//! # xinsight-core
+//!
+//! The paper's primary contribution: a unified, causality-based framework for
+//! eXplainable Data Analysis (XDA) that answers *Why Queries* with causal and
+//! non-causal, qualitative and quantitative explanations.
+//!
+//! The three modules mirror Fig. 3 of the paper:
+//!
+//! * [`xlearner`] — offline: learns an FD-augmented PAG from multi-dimensional
+//!   data that is causally insufficient and contains functional dependencies
+//!   (Alg. 1, Sec. 3.1).
+//! * [`xtranslator`] — online: translates causal primitives of the learned
+//!   graph into XDA semantics for a given Why Query (Table 3, Sec. 3.2).
+//! * [`xplainer`] — online: searches predicate-level quantitative explanations
+//!   with W-Causality / W-Responsibility and the SUM / AVG optimizations
+//!   (Sec. 3.3).
+//!
+//! [`pipeline::XInsight`] wires the three modules into the end-to-end engine
+//! used by the examples and the benchmark harness.
+//!
+//! ```
+//! use xinsight_core::{WhyQuery, pipeline::{XInsight, XInsightOptions}};
+//! use xinsight_data::{Aggregate, DatasetBuilder, Subspace};
+//!
+//! // A tiny lung-cancer-style dataset (Fig. 1 of the paper, in miniature).
+//! let mut loc = Vec::new();
+//! let mut smoking = Vec::new();
+//! let mut severity = Vec::new();
+//! for i in 0..200 {
+//!     let a = i % 2 == 0;
+//!     loc.push(if a { "A" } else { "B" });
+//!     let smokes = if a { i % 10 < 8 } else { i % 10 < 2 };
+//!     smoking.push(if smokes { "Yes" } else { "No" });
+//!     // Severity is driven by smoking, with some unexplained variation.
+//!     severity.push(match (smokes, i % 7) {
+//!         (true, 0..=4) => 3.0,
+//!         (true, _) => 2.0,
+//!         (false, 0) => 2.0,
+//!         (false, _) => 1.0,
+//!     });
+//! }
+//! let data = DatasetBuilder::new()
+//!     .dimension("Location", loc)
+//!     .dimension("Smoking", smoking)
+//!     .measure("LungCancer", severity)
+//!     .build()
+//!     .unwrap();
+//!
+//! let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+//! let query = WhyQuery::new(
+//!     "LungCancer",
+//!     Aggregate::Avg,
+//!     Subspace::of("Location", "A"),
+//!     Subspace::of("Location", "B"),
+//! ).unwrap();
+//! let explanations = engine.explain(&query).unwrap();
+//! assert!(!explanations.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod explanation;
+pub mod pipeline;
+mod why_query;
+pub mod xlearner;
+pub mod xplainer;
+pub mod xtranslator;
+
+pub use explanation::{CausalRole, Explanation, ExplanationType, XdaSemantics};
+pub use why_query::WhyQuery;
+pub use xlearner::{XLearner, XLearnerOptions, XLearnerResult};
+pub use xplainer::{ExplanationCandidate, SearchStrategy, XPlainer, XPlainerOptions};
+pub use xtranslator::{translate, translate_variable, Translation};

@@ -1,0 +1,361 @@
+//! The end-to-end XInsight engine (Fig. 3 of the paper): an offline phase
+//! (XLearner) and an online phase (XTranslator + XPlainer) behind one type.
+
+use crate::explanation::{Explanation, ExplanationType, XdaSemantics};
+use crate::why_query::WhyQuery;
+use crate::xlearner::{XLearner, XLearnerOptions, XLearnerResult};
+use crate::xplainer::{SearchStrategy, XPlainer, XPlainerOptions};
+use crate::xtranslator::{translate, Translation};
+use std::collections::HashSet;
+use xinsight_data::{
+    discretize_equal_frequency, discretize_equal_width, AttributeKind, Dataset, DatasetBuilder,
+    Result,
+};
+use xinsight_graph::{separation, MixedGraph};
+use xinsight_stats::{CachedCiTest, ChiSquareTest};
+
+/// Options for the full pipeline.
+#[derive(Debug, Clone)]
+pub struct XInsightOptions {
+    /// Options for the offline XLearner phase.
+    pub xlearner: XLearnerOptions,
+    /// Options for the online XPlainer phase.
+    pub xplainer: XPlainerOptions,
+    /// Significance level of the chi-square CI test used by XLearner.
+    pub ci_alpha: f64,
+    /// Number of bins used when a measure has to be discretized (both for
+    /// causal discovery and for measure-valued explanations).
+    pub measure_bins: usize,
+    /// Search strategy handed to XPlainer.
+    pub strategy: SearchStrategy,
+}
+
+impl Default for XInsightOptions {
+    fn default() -> Self {
+        XInsightOptions {
+            xlearner: XLearnerOptions::default(),
+            xplainer: XPlainerOptions::default(),
+            ci_alpha: 0.05,
+            measure_bins: 4,
+            strategy: SearchStrategy::Optimized,
+        }
+    }
+}
+
+/// The XInsight engine: fit once on a dataset (offline phase), then answer
+/// any number of Why Queries (online phase).
+#[derive(Debug)]
+pub struct XInsight {
+    options: XInsightOptions,
+    /// Original data (nulls dropped) augmented with `<measure>_bin` columns.
+    augmented: Dataset,
+    /// Measures that were successfully discretized.
+    binned_measures: Vec<String>,
+    /// Result of the offline XLearner phase.
+    learner_result: XLearnerResult,
+}
+
+impl XInsight {
+    /// Runs the offline phase: preprocessing, FD detection and causal-graph
+    /// learning.
+    pub fn fit(data: &Dataset, options: &XInsightOptions) -> Result<Self> {
+        let clean = data.drop_null_rows();
+        let dims: Vec<String> = clean
+            .schema()
+            .dimension_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let measures: Vec<String> = clean
+            .schema()
+            .measure_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+
+        // Discretize each measure (falling back from equal-frequency to
+        // equal-width; skipping degenerate measures entirely).
+        let mut augmented = clean.clone();
+        let mut discovery = DatasetBuilder::new();
+        for name in &dims {
+            discovery = discovery.dimension_column(name, clean.dimension(name)?.clone());
+        }
+        let mut binned_measures = Vec::new();
+        for name in &measures {
+            let discretizer = discretize_equal_frequency(&clean, name, options.measure_bins)
+                .or_else(|_| discretize_equal_width(&clean, name, options.measure_bins));
+            if let Ok(disc) = discretizer {
+                let bin_name = format!("{name}_bin");
+                augmented = disc.apply(&augmented, Some(&bin_name))?;
+                // In the discovery view the binned column carries the measure's
+                // own name so that graph nodes and attributes coincide.
+                let tmp = disc.apply(&clean, Some("__tmp_bin"))?;
+                discovery =
+                    discovery.dimension_column(name, tmp.dimension("__tmp_bin")?.clone());
+                binned_measures.push(name.clone());
+            }
+        }
+        let discovery_view = discovery.build()?;
+
+        let variables: Vec<&str> = discovery_view.schema().names();
+        let learner = XLearner::new(options.xlearner.clone());
+        let test = CachedCiTest::new(ChiSquareTest::new(options.ci_alpha));
+        let learner_result = learner.learn(&discovery_view, &variables, &test)?;
+
+        Ok(XInsight {
+            options: options.clone(),
+            augmented,
+            binned_measures,
+            learner_result,
+        })
+    }
+
+    /// The learned FD-augmented PAG.
+    pub fn graph(&self) -> &MixedGraph {
+        &self.learner_result.graph
+    }
+
+    /// The full XLearner result (FD graph, CI-test counts, …).
+    pub fn learner_result(&self) -> &XLearnerResult {
+        &self.learner_result
+    }
+
+    /// The preprocessed dataset the engine answers queries against
+    /// (nulls dropped, `<measure>_bin` companion columns added).
+    pub fn data(&self) -> &Dataset {
+        &self.augmented
+    }
+
+    /// Runs XTranslator for a query: the per-variable XDA semantics.
+    pub fn translation(&self, query: &WhyQuery) -> Translation {
+        translate(&self.learner_result.graph, query)
+    }
+
+    /// Answers a Why Query with a ranked list of explanations
+    /// (causal explanations first, then by responsibility).
+    pub fn explain(&self, query: &WhyQuery) -> Result<Vec<Explanation>> {
+        let query = query.oriented(&self.augmented)?;
+        let original_delta = query.delta(&self.augmented)?;
+        let translation = self.translation(&query);
+        let xplainer = XPlainer::new(self.options.xplainer.clone());
+
+        let skip: HashSet<&str> = {
+            let mut s: HashSet<&str> = HashSet::new();
+            s.insert(query.measure());
+            s.insert(query.foreground());
+            s.extend(query.background());
+            s
+        };
+
+        let mut explanations = Vec::new();
+        for (variable, semantics) in translation.iter() {
+            if skip.contains(variable) || !semantics.has_explainability() {
+                continue;
+            }
+            // Measures are explained through their binned companion column.
+            let attribute = if self.binned_measures.iter().any(|m| m == variable) {
+                format!("{variable}_bin")
+            } else {
+                variable.to_owned()
+            };
+            if self
+                .augmented
+                .schema()
+                .attribute_by_name(&attribute)
+                .map(|a| a.kind != AttributeKind::Dimension)
+                .unwrap_or(true)
+            {
+                continue;
+            }
+            let homogeneous = self.is_homogeneous(&query, variable);
+            let candidate = xplainer.explain_attribute(
+                &self.augmented,
+                &query,
+                &attribute,
+                self.options.strategy,
+                homogeneous,
+            )?;
+            if let Some(c) = candidate {
+                let explanation_type = semantics
+                    .explanation_type()
+                    .unwrap_or(ExplanationType::NonCausal);
+                let causal_role = match semantics {
+                    XdaSemantics::CausalExplanation(role) => Some(role),
+                    _ => None,
+                };
+                explanations.push(Explanation {
+                    explanation_type,
+                    causal_role,
+                    predicate: c.predicate,
+                    responsibility: c.responsibility,
+                    contingency: c.contingency,
+                    original_delta,
+                    remaining_delta: c.remaining_delta,
+                });
+            }
+        }
+        explanations.sort_by(|a, b| {
+            let type_order = |t: ExplanationType| match t {
+                ExplanationType::Causal => 0,
+                ExplanationType::NonCausal => 1,
+            };
+            type_order(a.explanation_type)
+                .cmp(&type_order(b.explanation_type))
+                .then(
+                    b.responsibility
+                        .partial_cmp(&a.responsibility)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        Ok(explanations)
+    }
+
+    /// Homogeneity check (Def. 3.7): the sibling subspaces are homogeneous on
+    /// `x` when `x ⫫_G F | B` in the learned graph.
+    fn is_homogeneous(&self, query: &WhyQuery, x: &str) -> bool {
+        let graph = &self.learner_result.graph;
+        let (Some(xi), Some(fi)) = (graph.id(x), graph.id(query.foreground())) else {
+            return false;
+        };
+        let cond: Vec<_> = query
+            .background()
+            .iter()
+            .filter_map(|b| graph.id(b))
+            .collect();
+        separation::m_separated(graph, xi, fi, &cond)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xinsight_data::{Aggregate, Subspace};
+
+    /// Deterministic pseudo-random stream.
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / (1u64 << 53) as f64
+        }
+    }
+
+    /// A lung-cancer-style dataset following Fig. 1: Location and Stress cause
+    /// Smoking, Smoking causes LungCancer severity, severity causes Surgery.
+    fn lung_cancer_data(n: usize) -> Dataset {
+        let mut rng = lcg(2024);
+        let mut location = Vec::with_capacity(n);
+        let mut stress = Vec::with_capacity(n);
+        let mut smoking = Vec::with_capacity(n);
+        let mut surgery = Vec::with_capacity(n);
+        let mut severity = Vec::with_capacity(n);
+        for _ in 0..n {
+            let loc_a = rng() < 0.5;
+            location.push(if loc_a { "A" } else { "B" });
+            let high_stress = rng() < 0.5;
+            stress.push(if high_stress { "High" } else { "Low" });
+            let p_smoke = match (loc_a, high_stress) {
+                (true, true) => 0.9,
+                (true, false) => 0.7,
+                (false, true) => 0.4,
+                (false, false) => 0.1,
+            };
+            let smokes = rng() < p_smoke;
+            smoking.push(if smokes { "Yes" } else { "No" });
+            let sev = if smokes {
+                2.0 + (rng() < 0.8) as u8 as f64
+            } else {
+                1.0 + (rng() < 0.2) as u8 as f64
+            };
+            severity.push(sev);
+            surgery.push(if sev > 2.0 && rng() < 0.8 { "Yes" } else { "No" });
+        }
+        xinsight_data::DatasetBuilder::new()
+            .dimension("Location", location)
+            .dimension("Stress", stress)
+            .dimension("Smoking", smoking)
+            .dimension("Surgery", surgery)
+            .measure("LungCancer", severity)
+            .build()
+            .unwrap()
+    }
+
+    fn why_query() -> WhyQuery {
+        WhyQuery::new(
+            "LungCancer",
+            Aggregate::Avg,
+            Subspace::of("Location", "A"),
+            Subspace::of("Location", "B"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_smoking_is_a_top_causal_explanation() {
+        let data = lung_cancer_data(3000);
+        let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+        let explanations = engine.explain(&why_query()).unwrap();
+        assert!(!explanations.is_empty());
+        let causal: Vec<_> = explanations
+            .iter()
+            .filter(|e| e.explanation_type == ExplanationType::Causal)
+            .collect();
+        assert!(
+            causal.iter().any(|e| e.attribute() == "Smoking"),
+            "Smoking must appear among causal explanations; got: {:?}",
+            explanations.iter().map(|e| e.attribute()).collect::<Vec<_>>()
+        );
+        let smoking = causal.iter().find(|e| e.attribute() == "Smoking").unwrap();
+        // Conditioning on either smoking status equalises the two locations,
+        // so the optimal predicate is a single filter (Yes or No) with high
+        // responsibility; which of the two wins depends on sampling noise.
+        assert_eq!(smoking.predicate.len(), 1);
+        assert!(smoking.responsibility > 0.3);
+        assert!(smoking.reduction_ratio().unwrap() > 0.5);
+        // Causal explanations are ranked before non-causal ones.
+        let first_non_causal = explanations
+            .iter()
+            .position(|e| e.explanation_type == ExplanationType::NonCausal);
+        let last_causal = explanations
+            .iter()
+            .rposition(|e| e.explanation_type == ExplanationType::Causal);
+        if let (Some(nc), Some(c)) = (first_non_causal, last_causal) {
+            assert!(c < nc);
+        }
+    }
+
+    #[test]
+    fn surgery_is_not_reported_as_causal() {
+        let data = lung_cancer_data(3000);
+        let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+        let explanations = engine.explain(&why_query()).unwrap();
+        for e in &explanations {
+            if e.attribute() == "Surgery" {
+                assert_eq!(e.explanation_type, ExplanationType::NonCausal);
+            }
+        }
+    }
+
+    #[test]
+    fn translation_accessor_reports_semantics() {
+        let data = lung_cancer_data(2000);
+        let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+        let t = engine.translation(&why_query());
+        assert!(t
+            .explainable_variables()
+            .contains(&"Smoking"));
+        assert!(engine.graph().n_nodes() >= 5);
+        assert!(engine.learner_result().n_ci_tests > 0);
+    }
+
+    #[test]
+    fn graph_contains_measure_node_via_discretization() {
+        let data = lung_cancer_data(1500);
+        let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+        assert!(engine.graph().id("LungCancer").is_some());
+        // The augmented dataset exposes the binned companion column.
+        assert!(engine.data().dimension("LungCancer_bin").is_ok());
+    }
+}

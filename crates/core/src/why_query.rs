@@ -1,0 +1,269 @@
+//! Why Queries (Def. 2.1).
+
+use xinsight_data::{Aggregate, DataError, Dataset, Result, RowMask, Subspace};
+
+/// A Why Query `Δ_{s1, s2, M, agg}(D) = agg_M(D_{s1}) − agg_M(D_{s2})` over two
+/// sibling subspaces.
+///
+/// The paper assumes Δ is non-negative w.l.o.g.; [`WhyQuery::oriented`]
+/// swaps the subspaces when necessary so user code does not have to care.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhyQuery {
+    measure: String,
+    aggregate: Aggregate,
+    s1: Subspace,
+    s2: Subspace,
+    foreground: String,
+    foreground_values: (String, String),
+}
+
+impl WhyQuery {
+    /// Creates a Why Query.  The two subspaces must be siblings (identical
+    /// except for the value of exactly one dimension, the *foreground*
+    /// variable).
+    pub fn new(
+        measure: impl Into<String>,
+        aggregate: Aggregate,
+        s1: Subspace,
+        s2: Subspace,
+    ) -> Result<Self> {
+        let (fg, v1, v2) = s1.sibling_difference(&s2).ok_or_else(|| {
+            DataError::OverlappingSubspace(
+                "Why Query subspaces must be siblings (differ in exactly one filter)".into(),
+            )
+        })?;
+        let foreground = fg.to_owned();
+        let foreground_values = (v1.to_owned(), v2.to_owned());
+        Ok(WhyQuery {
+            measure: measure.into(),
+            aggregate,
+            s1,
+            s2,
+            foreground,
+            foreground_values,
+        })
+    }
+
+    /// The target measure `M`.
+    pub fn measure(&self) -> &str {
+        &self.measure
+    }
+
+    /// The aggregate function.
+    pub fn aggregate(&self) -> Aggregate {
+        self.aggregate
+    }
+
+    /// The first sibling subspace.
+    pub fn s1(&self) -> &Subspace {
+        &self.s1
+    }
+
+    /// The second sibling subspace.
+    pub fn s2(&self) -> &Subspace {
+        &self.s2
+    }
+
+    /// The foreground (breakdown) dimension `F`.
+    pub fn foreground(&self) -> &str {
+        &self.foreground
+    }
+
+    /// The two values the foreground dimension takes in `s1` and `s2`.
+    pub fn foreground_values(&self) -> (&str, &str) {
+        (&self.foreground_values.0, &self.foreground_values.1)
+    }
+
+    /// The background dimensions `B` (shared filters of the siblings).
+    pub fn background(&self) -> Vec<&str> {
+        self.s1
+            .filters()
+            .iter()
+            .map(|f| f.attribute())
+            .filter(|a| *a != self.foreground)
+            .collect()
+    }
+
+    /// Evaluates `Δ(D)` over the whole dataset.
+    pub fn delta(&self, data: &Dataset) -> Result<f64> {
+        self.delta_over(data, &data.all_rows())
+    }
+
+    /// Evaluates `Δ(D')` where `D'` is the subset selected by `restriction`
+    /// (the paper's `Δ(D − D_P)` etc. are expressed this way).
+    ///
+    /// When either sibling subspace becomes empty under a non-additive
+    /// aggregate the difference is undefined; this returns `Ok(None)` in that
+    /// case via [`WhyQuery::delta_over_opt`] — this method maps it to an
+    /// error for callers that require a value.
+    pub fn delta_over(&self, data: &Dataset, restriction: &RowMask) -> Result<f64> {
+        self.delta_over_opt(data, restriction)?.ok_or_else(|| {
+            DataError::EmptyAggregate {
+                aggregate: "WHY-QUERY",
+                attribute: self.measure.clone(),
+            }
+        })
+    }
+
+    /// Like [`WhyQuery::delta_over`] but returns `None` when one side is
+    /// empty and the aggregate is undefined there.
+    pub fn delta_over_opt(&self, data: &Dataset, restriction: &RowMask) -> Result<Option<f64>> {
+        let m1 = self.s1.mask(data)?.and(restriction);
+        let m2 = self.s2.mask(data)?.and(restriction);
+        let a1 = self.aggregate.eval_opt(data, &self.measure, &m1)?;
+        let a2 = self.aggregate.eval_opt(data, &self.measure, &m2)?;
+        Ok(match (a1, a2) {
+            (Some(x), Some(y)) => Some(x - y),
+            _ => None,
+        })
+    }
+
+    /// Returns a query with `s1`/`s2` possibly swapped so that `Δ(D) ≥ 0`
+    /// (the paper's w.l.o.g. convention).
+    pub fn oriented(&self, data: &Dataset) -> Result<WhyQuery> {
+        if self.delta(data)? >= 0.0 {
+            Ok(self.clone())
+        } else {
+            let mut flipped = self.clone();
+            std::mem::swap(&mut flipped.s1, &mut flipped.s2);
+            flipped.foreground_values = (
+                flipped.foreground_values.1.clone(),
+                flipped.foreground_values.0.clone(),
+            );
+            Ok(flipped)
+        }
+    }
+}
+
+impl std::fmt::Display for WhyQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Why is {}({}) in [{}] different from [{}]?",
+            self.aggregate, self.measure, self.s1, self.s2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xinsight_data::{DatasetBuilder, Filter};
+
+    fn data() -> Dataset {
+        DatasetBuilder::new()
+            .dimension("Location", ["A", "A", "A", "B", "B", "B"])
+            .dimension("Smoking", ["Yes", "Yes", "No", "No", "No", "Yes"])
+            .measure("LungCancer", [3.0, 3.0, 1.0, 1.0, 1.0, 3.0])
+            .build()
+            .unwrap()
+    }
+
+    fn query() -> WhyQuery {
+        WhyQuery::new(
+            "LungCancer",
+            Aggregate::Avg,
+            Subspace::of("Location", "A"),
+            Subspace::of("Location", "B"),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn delta_matches_hand_computation() {
+        let d = data();
+        let q = query();
+        // AVG(A) = 7/3, AVG(B) = 5/3, Δ = 2/3.
+        assert!((q.delta(&d).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(q.foreground(), "Location");
+        assert_eq!(q.foreground_values(), ("A", "B"));
+        assert!(q.background().is_empty());
+    }
+
+    #[test]
+    fn delta_over_restriction() {
+        let d = data();
+        let q = query();
+        // Restricting to Smoking = Yes: AVG(A) = 3, AVG(B) = 3, Δ' = 0.
+        let yes = Filter::equals("Smoking", "Yes").mask(&d).unwrap();
+        assert!((q.delta_over(&d, &yes).unwrap()).abs() < 1e-12);
+        // Restricting to Smoking = No: both sides average 1.
+        let no = Filter::equals("Smoking", "No").mask(&d).unwrap();
+        assert!((q.delta_over(&d, &no).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_side_is_none() {
+        let d = data();
+        let q = query();
+        let empty = RowMask::zeros(d.n_rows());
+        assert_eq!(q.delta_over_opt(&d, &empty).unwrap(), None);
+        assert!(q.delta_over(&d, &empty).is_err());
+    }
+
+    #[test]
+    fn non_sibling_subspaces_rejected() {
+        let err = WhyQuery::new(
+            "LungCancer",
+            Aggregate::Avg,
+            Subspace::of("Location", "A"),
+            Subspace::of("Smoking", "Yes"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DataError::OverlappingSubspace(_)));
+    }
+
+    #[test]
+    fn oriented_swaps_when_negative() {
+        let d = data();
+        let reversed = WhyQuery::new(
+            "LungCancer",
+            Aggregate::Avg,
+            Subspace::of("Location", "B"),
+            Subspace::of("Location", "A"),
+        )
+        .unwrap();
+        assert!(reversed.delta(&d).unwrap() < 0.0);
+        let fixed = reversed.oriented(&d).unwrap();
+        assert!(fixed.delta(&d).unwrap() > 0.0);
+        assert_eq!(fixed.foreground_values(), ("A", "B"));
+    }
+
+    #[test]
+    fn background_variables_reported() {
+        let s1 = Subspace::new([
+            Filter::equals("Location", "A"),
+            Filter::equals("Smoking", "Yes"),
+        ])
+        .unwrap();
+        let s2 = Subspace::new([
+            Filter::equals("Location", "B"),
+            Filter::equals("Smoking", "Yes"),
+        ])
+        .unwrap();
+        let q = WhyQuery::new("LungCancer", Aggregate::Sum, s1, s2).unwrap();
+        assert_eq!(q.background(), vec!["Smoking"]);
+        assert_eq!(q.foreground(), "Location");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = query();
+        let s = q.to_string();
+        assert!(s.contains("AVG(LungCancer)"));
+        assert!(s.contains("Location = A"));
+    }
+
+    #[test]
+    fn sum_aggregate_delta() {
+        let d = data();
+        let q = WhyQuery::new(
+            "LungCancer",
+            Aggregate::Sum,
+            Subspace::of("Location", "A"),
+            Subspace::of("Location", "B"),
+        )
+        .unwrap();
+        assert!((q.delta(&d).unwrap() - 2.0).abs() < 1e-12);
+    }
+}

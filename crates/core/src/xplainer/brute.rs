@@ -1,0 +1,210 @@
+//! Brute-force explanation search (row 1 of Table 4).
+//!
+//! Enumerates every candidate predicate `P` and, for each, every disjoint
+//! contingency `Γ`, computing the exact W-Responsibility (Def. 3.5).  The
+//! cost is `O(3^m)` Δ-evaluations; the search is the ground truth against
+//! which the SUM/AVG approximations are measured in Sec. 4.4.
+
+use super::context::SearchContext;
+use super::ExplanationCandidate;
+
+/// Runs the exhaustive search and returns the best-scoring explanation, if
+/// any predicate qualifies as an actual cause.
+pub fn search(ctx: &SearchContext<'_>) -> Option<ExplanationCandidate> {
+    let m = ctx.m();
+    let all: Vec<usize> = (0..m).collect();
+    let mut best: Option<(f64, ExplanationCandidate)> = None;
+
+    for p_bits in 1u64..(1u64 << m) {
+        let p: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|i| p_bits >> i & 1 == 1)
+            .collect();
+        let rest: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|i| p_bits >> i & 1 == 0)
+            .collect();
+        let k = rest.len();
+
+        // Find the contingency with minimal W-weight that certifies P.
+        let mut best_gamma: Option<(f64, Vec<usize>)> = None;
+        for g_bits in 0u64..(1u64 << k) {
+            let gamma: Vec<usize> = rest
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| g_bits >> j & 1 == 1)
+                .map(|(_, &i)| i)
+                .collect();
+            // Validity: Δ(D − D_Γ − D_P) ≤ ε < Δ(D − D_Γ).
+            let without_gamma = ctx.delta_without(&gamma);
+            let mut both = p.clone();
+            both.extend_from_slice(&gamma);
+            let without_both = ctx.delta_without(&both);
+            let valid = ctx.is_resolved(without_both)
+                && matches!(without_gamma, Some(d) if d > ctx.epsilon());
+            if !valid {
+                continue;
+            }
+            let weight = ctx.contingency_weight(&p, &gamma);
+            match &best_gamma {
+                Some((w, _)) if *w <= weight => {}
+                _ => best_gamma = Some((weight, gamma)),
+            }
+        }
+
+        let Some((weight, gamma)) = best_gamma else {
+            continue;
+        };
+        let responsibility = 1.0 / (1.0 + weight);
+        let score = responsibility - ctx.sigma() * p.len() as f64;
+        // Explanations whose score is not positive are no better than the
+        // degenerate "select every filter" predicate and are not reported.
+        if score <= 1e-12 {
+            continue;
+        }
+        let better = match &best {
+            Some((s, _)) => score > *s + 1e-12,
+            None => true,
+        };
+        if better {
+            let candidate = ExplanationCandidate {
+                predicate: ctx.predicate_of(&p),
+                responsibility,
+                contingency: if gamma.is_empty() {
+                    None
+                } else {
+                    Some(ctx.predicate_of(&gamma))
+                },
+                remaining_delta: ctx.delta_without(&p),
+                n_delta_evaluations: ctx.evaluations(),
+            };
+            best = Some((score, candidate));
+        }
+    }
+    best.map(|(_, mut c)| {
+        c.n_delta_evaluations = ctx.evaluations();
+        c
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::why_query::WhyQuery;
+    use crate::xplainer::XPlainerOptions;
+    use xinsight_data::{Aggregate, DatasetBuilder, Dataset, Subspace};
+
+    /// `Y = hot` fully accounts for the SUM difference between X = a and X = b.
+    fn single_cause() -> (Dataset, WhyQuery) {
+        let data = DatasetBuilder::new()
+            .dimension("X", ["a", "a", "a", "b", "b", "b"])
+            .dimension("Y", ["hot", "cold", "mild", "hot", "cold", "mild"])
+            .measure("M", [100.0, 5.0, 5.0, 10.0, 5.0, 5.0])
+            .build()
+            .unwrap();
+        let query = WhyQuery::new(
+            "M",
+            Aggregate::Sum,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        (data, query)
+    }
+
+    #[test]
+    fn finds_the_counterfactual_cause_with_full_responsibility() {
+        let (data, query) = single_cause();
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let result = search(&ctx).expect("must find an explanation");
+        assert_eq!(result.predicate.values(), ["hot"]);
+        assert!((result.responsibility - 1.0).abs() < 1e-9);
+        assert!(result.contingency.is_none());
+        assert!(result.n_delta_evaluations > 0);
+    }
+
+    #[test]
+    fn contingency_needed_when_two_filters_share_blame() {
+        // Both hot and warm contribute; removing either alone is not enough,
+        // so each is only an actual cause with the other as contingency.
+        let data = DatasetBuilder::new()
+            .dimension("X", ["a", "a", "a", "b"])
+            .dimension("Y", ["hot", "warm", "cold", "cold"])
+            .measure("M", [50.0, 50.0, 5.0, 5.0])
+            .build()
+            .unwrap();
+        let query = WhyQuery::new(
+            "M",
+            Aggregate::Sum,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        let opts = XPlainerOptions {
+            // Tight epsilon: the difference must be (almost) fully removed.
+            epsilon: Some(1.0),
+            sigma: Some(0.01),
+            ..XPlainerOptions::default()
+        };
+        let ctx = SearchContext::build(&data, &query, "Y", &opts).unwrap();
+        let result = search(&ctx).expect("must find an explanation");
+        // The optimal predicate is {hot, warm} (responsibility 1, small σ cost).
+        assert!(result.predicate.contains("hot"));
+        assert!(result.predicate.contains("warm"));
+        assert!((result.responsibility - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_filter_with_contingency_when_sigma_is_large() {
+        // Same data, but a large σ pushes the optimum to a single filter whose
+        // responsibility is certified by the other filter as contingency.
+        let data = DatasetBuilder::new()
+            .dimension("X", ["a", "a", "a", "b"])
+            .dimension("Y", ["hot", "warm", "cold", "cold"])
+            .measure("M", [50.0, 50.0, 5.0, 5.0])
+            .build()
+            .unwrap();
+        let query = WhyQuery::new(
+            "M",
+            Aggregate::Sum,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        let opts = XPlainerOptions {
+            epsilon: Some(1.0),
+            sigma: Some(0.4),
+            ..XPlainerOptions::default()
+        };
+        let ctx = SearchContext::build(&data, &query, "Y", &opts).unwrap();
+        let result = search(&ctx).expect("must find an explanation");
+        assert_eq!(result.predicate.len(), 1);
+        let contingency = result.contingency.expect("a contingency is required");
+        assert_eq!(contingency.len(), 1);
+        assert!(result.responsibility < 1.0);
+        assert!(result.responsibility > 0.0);
+    }
+
+    #[test]
+    fn no_explanation_when_nothing_reduces_the_difference() {
+        // The difference is driven entirely by X itself; Y is uncorrelated and
+        // removing any Y category leaves the difference intact.
+        let data = DatasetBuilder::new()
+            .dimension("X", ["a", "a", "b", "b"])
+            .dimension("Y", ["u", "v", "u", "v"])
+            .measure("M", [10.0, 10.0, 1.0, 1.0])
+            .build()
+            .unwrap();
+        let query = WhyQuery::new(
+            "M",
+            Aggregate::Avg,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        assert!(search(&ctx).is_none());
+    }
+}

@@ -1,0 +1,247 @@
+//! Shared search state for the XPlainer strategies.
+
+use super::XPlainerOptions;
+use crate::why_query::WhyQuery;
+use std::cell::Cell;
+use xinsight_data::{Dataset, Filter, Predicate, Result, RowMask};
+
+/// Precomputed per-attribute state shared by every search strategy: the
+/// filters of the attribute, their row masks, `Δ(D)`, `ε` and `σ`, plus a
+/// counter of `Δ(·)` evaluations.
+#[derive(Debug)]
+pub struct SearchContext<'a> {
+    data: &'a Dataset,
+    query: &'a WhyQuery,
+    attribute: String,
+    filters: Vec<Filter>,
+    filter_masks: Vec<RowMask>,
+    delta_d: f64,
+    epsilon: f64,
+    sigma: f64,
+    evaluations: Cell<usize>,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Builds the context for one attribute of interest.
+    pub fn build(
+        data: &'a Dataset,
+        query: &'a WhyQuery,
+        attribute: &str,
+        options: &XPlainerOptions,
+    ) -> Result<Self> {
+        let column = data.dimension(attribute)?;
+        let filters: Vec<Filter> = column
+            .categories()
+            .iter()
+            .map(|v| Filter::equals(attribute, v.clone()))
+            .collect();
+        let filter_masks = filters
+            .iter()
+            .map(|f| f.mask(data))
+            .collect::<Result<Vec<_>>>()?;
+        let delta_d = query.delta(data)?;
+        let epsilon = options
+            .epsilon
+            .unwrap_or(options.epsilon_fraction * delta_d.abs());
+        let m = filters.len().max(1);
+        let sigma = options.sigma.unwrap_or(1.0 / m as f64);
+        Ok(SearchContext {
+            data,
+            query,
+            attribute: attribute.to_owned(),
+            filters,
+            filter_masks,
+            delta_d,
+            epsilon,
+            sigma,
+            evaluations: Cell::new(0),
+        })
+    }
+
+    /// Number of filters `m` on the attribute.
+    pub fn m(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// The attribute of interest.
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// `Δ(D)` over the full dataset.
+    pub fn delta_d(&self) -> f64 {
+        self.delta_d
+    }
+
+    /// The threshold `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The conciseness regulariser `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The filters of the attribute, indexed by filter id.
+    pub fn filters(&self) -> &[Filter] {
+        &self.filters
+    }
+
+    /// Number of `Δ(·)` evaluations spent so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations.get()
+    }
+
+    /// Builds a [`Predicate`] from filter indices.
+    pub fn predicate_of(&self, indices: &[usize]) -> Predicate {
+        Predicate::new(
+            &self.attribute,
+            indices.iter().map(|&i| self.filters[i].value().to_owned()),
+        )
+    }
+
+    fn union_mask(&self, indices: &[usize]) -> RowMask {
+        let mut mask = RowMask::zeros(self.data.n_rows());
+        for &i in indices {
+            mask = mask.or(&self.filter_masks[i]);
+        }
+        mask
+    }
+
+    /// `Δ(D_P)` where `P` is the disjunction of the given filters.
+    /// Returns `None` when a sibling subspace is empty within `D_P`.
+    pub fn delta_of(&self, indices: &[usize]) -> Option<f64> {
+        self.evaluations.set(self.evaluations.get() + 1);
+        let mask = self.union_mask(indices);
+        self.query
+            .delta_over_opt(self.data, &mask)
+            .expect("context attributes validated at build time")
+    }
+
+    /// `Δ(D − D_P)`: the difference after removing the rows matched by the
+    /// given filters.  Returns `None` when a sibling subspace becomes empty.
+    pub fn delta_without(&self, indices: &[usize]) -> Option<f64> {
+        self.evaluations.set(self.evaluations.get() + 1);
+        let removed = self.union_mask(indices);
+        let kept = self.data.all_rows().minus(&removed);
+        self.query
+            .delta_over_opt(self.data, &kept)
+            .expect("context attributes validated at build time")
+    }
+
+    /// The paper's "`≤ ε`" check.  An undefined difference (one sibling
+    /// subspace emptied entirely) does **not** count as explained away:
+    /// wiping out one side of the comparison is a degenerate, uninformative
+    /// "explanation" and is rejected.
+    pub fn is_resolved(&self, delta: Option<f64>) -> bool {
+        matches!(delta, Some(d) if d <= self.epsilon)
+    }
+
+    /// W-weight of a contingency `Γ` for an explanation `P` (Def. 3.5):
+    /// `max((Δ(D − D_P) − Δ(D − D_P − D_Γ)) / Δ(D), 0)`.
+    pub fn contingency_weight(&self, p: &[usize], gamma: &[usize]) -> f64 {
+        let without_p = self.delta_without(p);
+        let mut both: Vec<usize> = p.to_vec();
+        both.extend_from_slice(gamma);
+        let without_both = self.delta_without(&both);
+        let a = without_p.unwrap_or(0.0);
+        let b = without_both.unwrap_or(0.0);
+        if self.delta_d.abs() < f64::EPSILON {
+            return 0.0;
+        }
+        ((a - b) / self.delta_d).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xinsight_data::{Aggregate, DatasetBuilder, Subspace};
+
+    fn fixture() -> (Dataset, WhyQuery) {
+        let data = DatasetBuilder::new()
+            .dimension("X", ["a", "a", "a", "b", "b", "b"])
+            .dimension("Y", ["p", "q", "q", "p", "q", "q"])
+            .measure("M", [10.0, 2.0, 2.0, 1.0, 1.0, 1.0])
+            .build()
+            .unwrap();
+        let query = WhyQuery::new(
+            "M",
+            Aggregate::Avg,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        (data, query)
+    }
+
+    #[test]
+    fn context_exposes_filters_and_delta() {
+        let (data, query) = fixture();
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        assert_eq!(ctx.m(), 2);
+        assert_eq!(ctx.attribute(), "Y");
+        // Δ(D) = avg(a) − avg(b) = 14/3 − 1.
+        assert!((ctx.delta_d() - (14.0 / 3.0 - 1.0)).abs() < 1e-12);
+        assert!(ctx.epsilon() > 0.0);
+        assert_eq!(ctx.sigma(), 0.5);
+    }
+
+    #[test]
+    fn delta_of_and_without_track_subsets() {
+        let (data, query) = fixture();
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let p_index = ctx
+            .filters()
+            .iter()
+            .position(|f| f.value() == "p")
+            .unwrap();
+        // Restricting to Y = p: avg(a) = 10, avg(b) = 1.
+        assert!((ctx.delta_of(&[p_index]).unwrap() - 9.0).abs() < 1e-12);
+        // Removing Y = p rows: avg(a) = 2, avg(b) = 1.
+        assert!((ctx.delta_without(&[p_index]).unwrap() - 1.0).abs() < 1e-12);
+        assert!(ctx.evaluations() >= 2);
+    }
+
+    #[test]
+    fn removing_everything_is_not_a_valid_resolution() {
+        let (data, query) = fixture();
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let all: Vec<usize> = (0..ctx.m()).collect();
+        assert_eq!(ctx.delta_without(&all), None);
+        assert!(!ctx.is_resolved(None));
+        assert!(!ctx.is_resolved(Some(ctx.delta_d())));
+        assert!(ctx.is_resolved(Some(0.0)));
+    }
+
+    #[test]
+    fn predicate_of_maps_indices_to_values() {
+        let (data, query) = fixture();
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let pred = ctx.predicate_of(&[0, 1]);
+        assert_eq!(pred.len(), 2);
+        assert_eq!(pred.attribute(), "Y");
+    }
+
+    #[test]
+    fn explicit_epsilon_and_sigma_override_defaults() {
+        let (data, query) = fixture();
+        let opts = XPlainerOptions {
+            epsilon: Some(0.25),
+            sigma: Some(0.05),
+            ..XPlainerOptions::default()
+        };
+        let ctx = SearchContext::build(&data, &query, "Y", &opts).unwrap();
+        assert_eq!(ctx.epsilon(), 0.25);
+        assert_eq!(ctx.sigma(), 0.05);
+    }
+
+    #[test]
+    fn contingency_weight_is_nonnegative_fraction() {
+        let (data, query) = fixture();
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let w = ctx.contingency_weight(&[0], &[1]);
+        assert!(w >= 0.0);
+    }
+}

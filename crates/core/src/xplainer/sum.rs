@@ -1,0 +1,261 @@
+//! The SUM optimization (Sec. 3.3.2): canonical predicates and a closed-form
+//! optimal explanation.
+//!
+//! For additive aggregates, `Δ(D_{P1} ∪ D_{P2}) = Δ(D_{P1}) + Δ(D_{P2})`, so
+//!
+//! * filters with non-positive `Δ_i` can be discarded (Prop. 3.2),
+//! * the canonical predicate `P_C` — the shortest prefix of the filters sorted
+//!   by decreasing `Δ_i` whose removal brings the difference below `ε`
+//!   (Def. 3.6) — contains an optimal explanation (Prop. 3.3),
+//! * every subset of `P_C` is an actual cause with the complement as a valid
+//!   contingency (Thm. 3.3), and its responsibility is bounded by Thm. 3.4,
+//!   giving the closed-form optimum `P* = {p_i ∈ P_C : Δ_i > C_3}` (Eqn. 8).
+//!
+//! The whole search costs `O(m log m)` (sorting dominates).
+
+use super::context::SearchContext;
+use super::ExplanationCandidate;
+
+/// Runs the SUM-optimized search.
+pub fn search(ctx: &SearchContext<'_>) -> Option<ExplanationCandidate> {
+    let delta_d = ctx.delta_d();
+    if delta_d <= 0.0 {
+        return None;
+    }
+    // Per-filter contributions Δ_i = Δ(D_{p_i}); undefined (empty side) counts
+    // as no contribution for an additive aggregate's missing rows (Σ over an
+    // empty set is zero on that side).
+    let mut contributions: Vec<(usize, f64)> = (0..ctx.m())
+        .map(|i| (i, ctx.delta_of(&[i]).unwrap_or(0.0)))
+        .filter(|&(_, d)| d > 0.0)
+        .collect();
+    if contributions.is_empty() {
+        return None;
+    }
+    contributions.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite deltas"));
+
+    // Canonical predicate: the shortest prefix with Δ(D) − Σ Δ_i ≤ ε.
+    let mut tau = 0.0;
+    let mut canonical: Vec<usize> = Vec::new();
+    let mut resolved = false;
+    for &(idx, d) in &contributions {
+        canonical.push(idx);
+        tau += d;
+        if delta_d - tau <= ctx.epsilon() {
+            resolved = true;
+            break;
+        }
+    }
+    if !resolved {
+        // Even removing every positive filter does not explain the difference
+        // away: this attribute holds no counterfactual cause.
+        return None;
+    }
+
+    // Closed-form optimum (Eqn. 8): keep canonical filters with Δ_i > C_3.
+    let m_j = tau / delta_d;
+    let c3 = ctx.sigma() * delta_d / (1.0 + m_j).powi(2);
+    let mut optimal: Vec<usize> = canonical
+        .iter()
+        .copied()
+        .filter(|&i| {
+            contributions
+                .iter()
+                .find(|&&(idx, _)| idx == i)
+                .map(|&(_, d)| d > c3)
+                .unwrap_or(false)
+        })
+        .collect();
+    if optimal.is_empty() {
+        // Degenerate regularisation: fall back to the single strongest filter.
+        optimal.push(canonical[0]);
+    }
+
+    // Approximate responsibility (Thm. 3.4): with normalised quantities
+    // d_P = Δ(D_P)/Δ(D) and m_j = τ/Δ(D), ρ̂ = (1 + m_j + d_P) / (1 + m_j)².
+    let delta_p: f64 = contributions
+        .iter()
+        .filter(|&&(idx, _)| optimal.contains(&idx))
+        .map(|&(_, d)| d)
+        .sum();
+    let d_p = delta_p / delta_d;
+    let responsibility = if optimal.len() == canonical.len() {
+        1.0
+    } else {
+        ((1.0 + m_j + d_p) / (1.0 + m_j).powi(2)).clamp(0.0, 1.0)
+    };
+
+    let score = responsibility - ctx.sigma() * optimal.len() as f64;
+    if score <= 1e-12 {
+        return None;
+    }
+
+    let gamma: Vec<usize> = canonical
+        .iter()
+        .copied()
+        .filter(|i| !optimal.contains(i))
+        .collect();
+    Some(ExplanationCandidate {
+        predicate: ctx.predicate_of(&optimal),
+        responsibility,
+        contingency: if gamma.is_empty() {
+            None
+        } else {
+            Some(ctx.predicate_of(&gamma))
+        },
+        remaining_delta: ctx.delta_without(&optimal),
+        n_delta_evaluations: ctx.evaluations(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::why_query::WhyQuery;
+    use crate::xplainer::XPlainerOptions;
+    use xinsight_data::{Aggregate, DatasetBuilder, Dataset, Subspace};
+
+    /// Three "guilty" categories with large positive Δ_i, several innocent ones.
+    fn fixture(n_noise: usize) -> (Dataset, WhyQuery) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut m = Vec::new();
+        for (cat, val) in [("g1", 100.0), ("g2", 80.0), ("g3", 60.0)] {
+            x.push("a");
+            y.push(cat.to_owned());
+            m.push(val);
+        }
+        for i in 0..n_noise {
+            // Noise categories contribute equally to both sides.
+            for side in ["a", "b"] {
+                x.push(side);
+                y.push(format!("n{i}"));
+                m.push(5.0);
+            }
+        }
+        // Balance row so that side b is non-empty even without noise.
+        x.push("b");
+        y.push("base".to_owned());
+        m.push(1.0);
+        let data = DatasetBuilder::new()
+            .dimension("X", x)
+            .dimension("Y", y.iter().map(String::as_str))
+            .measure("M", m)
+            .build()
+            .unwrap();
+        let query = WhyQuery::new(
+            "M",
+            Aggregate::Sum,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        (data, query)
+    }
+
+    #[test]
+    fn canonical_predicate_contains_planted_causes() {
+        let (data, query) = fixture(5);
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let result = search(&ctx).expect("must find an explanation");
+        assert!(result.predicate.contains("g1"));
+        assert!(result.predicate.contains("g2"));
+        // Noise categories (zero net contribution) must not appear.
+        assert!(!result.predicate.contains("n0"));
+        assert!(result.responsibility > 0.5);
+        assert!(result.responsibility <= 1.0);
+    }
+
+    #[test]
+    fn cost_is_linear_in_filters_not_exponential() {
+        let (data, query) = fixture(30);
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let result = search(&ctx).expect("must find an explanation");
+        // One Δ(D_p) per filter, plus a handful of bookkeeping evaluations.
+        assert!(result.n_delta_evaluations <= ctx.m() + 5);
+    }
+
+    #[test]
+    fn negative_contributors_are_ignored() {
+        // One category pushes the difference the other way (Δ_i < 0).
+        let data = DatasetBuilder::new()
+            .dimension("X", ["a", "a", "b", "b"])
+            .dimension("Y", ["up", "down", "down", "base"])
+            .measure("M", [100.0, 5.0, 50.0, 1.0])
+            .build()
+            .unwrap();
+        let query = WhyQuery::new(
+            "M",
+            Aggregate::Sum,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let result = search(&ctx).expect("must find an explanation");
+        assert_eq!(result.predicate.values(), ["up"]);
+        assert!(!result.predicate.contains("down"));
+    }
+
+    #[test]
+    fn degenerate_all_filter_explanations_are_not_reported() {
+        // Y's two categories contribute equally; explaining the query needs
+        // both of them, and with σ = 1/m the score of the full predicate is
+        // exactly zero, so XPlainer reports nothing for this attribute.
+        let data = DatasetBuilder::new()
+            .dimension("X", ["a", "a", "b", "b"])
+            .dimension("Y", ["u", "v", "u", "v"])
+            .measure("M", [10.0, 10.0, 1.0, 1.0])
+            .build()
+            .unwrap();
+        let query = WhyQuery::new(
+            "M",
+            Aggregate::Sum,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        let opts = XPlainerOptions {
+            epsilon: Some(0.5),
+            ..XPlainerOptions::default()
+        };
+        let ctx = SearchContext::build(&data, &query, "Y", &opts).unwrap();
+        assert!(search(&ctx).is_none());
+
+        // A single constant category behaves the same way (σ = 1).
+        let data2 = DatasetBuilder::new()
+            .dimension("X", ["a", "a", "b", "b"])
+            .dimension("Z", ["only", "only", "only", "only"])
+            .measure("M", [10.0, 10.0, 1.0, 1.0])
+            .build()
+            .unwrap();
+        let query2 = WhyQuery::new(
+            "M",
+            Aggregate::Sum,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        let ctx2 = SearchContext::build(&data2, &query2, "Z", &opts).unwrap();
+        assert!(search(&ctx2).is_none());
+    }
+
+    #[test]
+    fn zero_delta_query_returns_none() {
+        let data = DatasetBuilder::new()
+            .dimension("X", ["a", "b"])
+            .dimension("Y", ["u", "u"])
+            .measure("M", [1.0, 1.0])
+            .build()
+            .unwrap();
+        let query = WhyQuery::new(
+            "M",
+            Aggregate::Sum,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        assert!(search(&ctx).is_none());
+    }
+}

@@ -1,0 +1,346 @@
+//! Columnar storage of dimensions and measures.
+
+use crate::error::{DataError, Result};
+use crate::mask::RowMask;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Dictionary-encoded categorical column.
+///
+/// Each distinct category receives a dense `u32` code; the per-row payload is
+/// the vector of codes.  `u32::MAX` encodes a missing value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionColumn {
+    codes: Vec<u32>,
+    categories: Vec<String>,
+    lookup: HashMap<String, u32>,
+}
+
+/// Sentinel code used for missing categorical values.
+pub const NULL_CODE: u32 = u32::MAX;
+
+impl DimensionColumn {
+    /// Builds a dimension column from string-like values.
+    pub fn from_values<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut col = DimensionColumn {
+            codes: Vec::new(),
+            categories: Vec::new(),
+            lookup: HashMap::new(),
+        };
+        for v in values {
+            col.push(v.as_ref());
+        }
+        col
+    }
+
+    /// Builds a dimension column where some values may be missing.
+    pub fn from_optional_values<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = Option<S>>,
+        S: AsRef<str>,
+    {
+        let mut col = DimensionColumn {
+            codes: Vec::new(),
+            categories: Vec::new(),
+            lookup: HashMap::new(),
+        };
+        for v in values {
+            match v {
+                Some(s) => col.push(s.as_ref()),
+                None => col.codes.push(NULL_CODE),
+            }
+        }
+        col
+    }
+
+    /// Appends one value, interning its category.
+    pub fn push(&mut self, value: &str) {
+        let code = match self.lookup.get(value) {
+            Some(&c) => c,
+            None => {
+                let c = self.categories.len() as u32;
+                self.categories.push(value.to_owned());
+                self.lookup.insert(value.to_owned(), c);
+                c
+            }
+        };
+        self.codes.push(code);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Returns `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of distinct categories observed (the paper's *cardinality*).
+    pub fn cardinality(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Dictionary code of row `i`, or `NULL_CODE` when missing.
+    #[inline]
+    pub fn code(&self, i: usize) -> u32 {
+        self.codes[i]
+    }
+
+    /// All per-row codes.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The category string for a dictionary code.
+    pub fn category(&self, code: u32) -> Option<&str> {
+        self.categories.get(code as usize).map(|s| s.as_str())
+    }
+
+    /// All category strings, ordered by code.
+    pub fn categories(&self) -> &[String] {
+        &self.categories
+    }
+
+    /// Dictionary code of a category string, if present.
+    pub fn code_of(&self, category: &str) -> Option<u32> {
+        self.lookup.get(category).copied()
+    }
+
+    /// Category string of row `i`, or `None` when missing.
+    pub fn value(&self, i: usize) -> Option<&str> {
+        let code = self.codes[i];
+        if code == NULL_CODE {
+            None
+        } else {
+            self.category(code)
+        }
+    }
+
+    /// Returns `true` if row `i` is missing.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.codes[i] == NULL_CODE
+    }
+
+    /// Mask of rows whose code equals `code`.
+    pub fn equals_mask(&self, code: u32) -> RowMask {
+        RowMask::from_bools(self.codes.iter().map(|&c| c == code))
+    }
+
+    /// Counts occurrences of each category among the rows selected by `mask`.
+    pub fn value_counts(&self, mask: &RowMask) -> Vec<(String, usize)> {
+        let mut counts = vec![0usize; self.categories.len()];
+        for i in mask.iter_selected() {
+            let code = self.codes[i];
+            if code != NULL_CODE {
+                counts[code as usize] += 1;
+            }
+        }
+        self.categories
+            .iter()
+            .cloned()
+            .zip(counts)
+            .collect()
+    }
+}
+
+/// Numerical column with `f64` payload; missing values are stored as NaN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureColumn {
+    values: Vec<f64>,
+}
+
+impl MeasureColumn {
+    /// Builds a measure column from numeric values.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        MeasureColumn {
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// Builds a measure column where some values may be missing.
+    pub fn from_optional_values<I: IntoIterator<Item = Option<f64>>>(values: I) -> Self {
+        MeasureColumn {
+            values: values
+                .into_iter()
+                .map(|v| v.unwrap_or(f64::NAN))
+                .collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw values (missing values are NaN).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value of row `i`, or `None` when missing.
+    pub fn value(&self, i: usize) -> Option<f64> {
+        let v = self.values[i];
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Returns `true` if row `i` is missing.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.values[i].is_nan()
+    }
+
+    /// Minimum over the selected, non-missing rows.
+    pub fn min(&self, mask: &RowMask) -> Option<f64> {
+        mask.iter_selected()
+            .filter_map(|i| self.value(i))
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Maximum over the selected, non-missing rows.
+    pub fn max(&self, mask: &RowMask) -> Option<f64> {
+        mask.iter_selected()
+            .filter_map(|i| self.value(i))
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+/// A column of either kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Categorical column.
+    Dimension(DimensionColumn),
+    /// Numerical column.
+    Measure(MeasureColumn),
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Dimension(c) => c.len(),
+            Column::Measure(c) => c.len(),
+        }
+    }
+
+    /// Returns `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value of row `i`.
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            Column::Dimension(c) => c
+                .value(i)
+                .map(|s| Value::Category(s.to_owned()))
+                .unwrap_or(Value::Null),
+            Column::Measure(c) => c.value(i).map(Value::Number).unwrap_or(Value::Null),
+        }
+    }
+
+    /// Returns `true` if row `i` is missing.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Dimension(c) => c.is_null(i),
+            Column::Measure(c) => c.is_null(i),
+        }
+    }
+
+    /// Borrows the dimension payload or fails.
+    pub fn as_dimension(&self, name: &str) -> Result<&DimensionColumn> {
+        match self {
+            Column::Dimension(c) => Ok(c),
+            Column::Measure(_) => Err(DataError::WrongKind {
+                attribute: name.to_owned(),
+                expected: "dimension",
+            }),
+        }
+    }
+
+    /// Borrows the measure payload or fails.
+    pub fn as_measure(&self, name: &str) -> Result<&MeasureColumn> {
+        match self {
+            Column::Measure(c) => Ok(c),
+            Column::Dimension(_) => Err(DataError::WrongKind {
+                attribute: name.to_owned(),
+                expected: "measure",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_dictionary_encoding() {
+        let col = DimensionColumn::from_values(["a", "b", "a", "c", "b"]);
+        assert_eq!(col.len(), 5);
+        assert_eq!(col.cardinality(), 3);
+        assert_eq!(col.code_of("a"), Some(0));
+        assert_eq!(col.code_of("c"), Some(2));
+        assert_eq!(col.value(3), Some("c"));
+        assert_eq!(col.code_of("zzz"), None);
+    }
+
+    #[test]
+    fn dimension_nulls() {
+        let col = DimensionColumn::from_optional_values([Some("x"), None, Some("y")]);
+        assert!(col.is_null(1));
+        assert_eq!(col.value(1), None);
+        assert_eq!(col.cardinality(), 2);
+    }
+
+    #[test]
+    fn equals_mask_selects_matching_rows() {
+        let col = DimensionColumn::from_values(["a", "b", "a"]);
+        let mask = col.equals_mask(col.code_of("a").unwrap());
+        assert_eq!(mask.iter_selected().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn value_counts_respect_mask() {
+        let col = DimensionColumn::from_values(["a", "b", "a", "b", "b"]);
+        let mask = RowMask::from_bools([true, true, true, false, false]);
+        let counts = col.value_counts(&mask);
+        assert_eq!(counts, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+    }
+
+    #[test]
+    fn measure_accessors_and_nulls() {
+        let col = MeasureColumn::from_optional_values([Some(1.0), None, Some(3.0)]);
+        assert_eq!(col.value(0), Some(1.0));
+        assert_eq!(col.value(1), None);
+        assert!(col.is_null(1));
+        let mask = RowMask::ones(3);
+        assert_eq!(col.min(&mask), Some(1.0));
+        assert_eq!(col.max(&mask), Some(3.0));
+    }
+
+    #[test]
+    fn column_value_dispatch() {
+        let dim = Column::Dimension(DimensionColumn::from_values(["q"]));
+        let mea = Column::Measure(MeasureColumn::from_values([7.0]));
+        assert_eq!(dim.value(0), Value::Category("q".into()));
+        assert_eq!(mea.value(0), Value::Number(7.0));
+        assert!(dim.as_dimension("d").is_ok());
+        assert!(dim.as_measure("d").is_err());
+        assert!(mea.as_measure("m").is_ok());
+        assert!(mea.as_dimension("m").is_err());
+    }
+}

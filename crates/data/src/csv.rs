@@ -1,0 +1,250 @@
+//! Minimal CSV reading/writing for spreadsheets.
+//!
+//! The paper anticipates spreadsheet input (or a materialized provenance
+//! table).  This module provides a dependency-free CSV round trip good enough
+//! for the examples and the bench harness: comma separation, optional quoting
+//! of fields containing separators, and automatic dimension/measure inference
+//! (a column is a measure when every non-empty cell parses as a number).
+
+use crate::column::{DimensionColumn, MeasureColumn};
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::{DataError, Result};
+use crate::schema::AttributeKind;
+
+/// Options for CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: char,
+    /// Attributes forced to be dimensions even if their cells parse as numbers
+    /// (e.g. a numeric month column that should stay categorical).
+    pub force_dimensions: Vec<String>,
+    /// Attributes forced to be measures.
+    pub force_measures: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            separator: ',',
+            force_dimensions: Vec::new(),
+            force_measures: Vec::new(),
+        }
+    }
+}
+
+/// Parses a CSV document (with a header row) into a [`Dataset`].
+pub fn read_csv_str(input: &str, options: &CsvOptions) -> Result<Dataset> {
+    let mut lines = input.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| DataError::Csv("input is empty".into()))?;
+    let names = split_line(header, options.separator);
+    if names.is_empty() {
+        return Err(DataError::Csv("header row has no fields".into()));
+    }
+    let mut cells: Vec<Vec<Option<String>>> = vec![Vec::new(); names.len()];
+    for (lineno, line) in lines.enumerate() {
+        let fields = split_line(line, options.separator);
+        if fields.len() != names.len() {
+            return Err(DataError::Csv(format!(
+                "row {} has {} fields, expected {}",
+                lineno + 2,
+                fields.len(),
+                names.len()
+            )));
+        }
+        for (col, field) in fields.into_iter().enumerate() {
+            let trimmed = field.trim();
+            cells[col].push(if trimmed.is_empty() {
+                None
+            } else {
+                Some(trimmed.to_owned())
+            });
+        }
+    }
+
+    let mut builder = DatasetBuilder::new();
+    for (name, column_cells) in names.iter().zip(cells.into_iter()) {
+        let kind = infer_kind(name, &column_cells, options);
+        builder = match kind {
+            AttributeKind::Measure => builder.measure_column(
+                name,
+                MeasureColumn::from_optional_values(
+                    column_cells
+                        .iter()
+                        .map(|c| c.as_deref().and_then(|s| s.parse::<f64>().ok())),
+                ),
+            ),
+            AttributeKind::Dimension => builder.dimension_column(
+                name,
+                DimensionColumn::from_optional_values(column_cells.iter().map(|c| c.as_deref())),
+            ),
+        };
+    }
+    builder.build()
+}
+
+/// Serializes a dataset to CSV (header + rows).
+pub fn write_csv_string(data: &Dataset, options: &CsvOptions) -> String {
+    let sep = options.separator;
+    let mut out = String::new();
+    out.push_str(&data.schema().names().join(&sep.to_string()));
+    out.push('\n');
+    for row in 0..data.n_rows() {
+        let fields: Vec<String> = (0..data.n_attributes())
+            .map(|col| {
+                let v = data.column(col).value(row);
+                match v {
+                    crate::value::Value::Null => String::new(),
+                    other => {
+                        let s = other.to_string();
+                        if s.contains(sep) || s.contains('"') {
+                            format!("\"{}\"", s.replace('"', "\"\""))
+                        } else {
+                            s
+                        }
+                    }
+                }
+            })
+            .collect();
+        out.push_str(&fields.join(&sep.to_string()));
+        out.push('\n');
+    }
+    out
+}
+
+fn infer_kind(name: &str, cells: &[Option<String>], options: &CsvOptions) -> AttributeKind {
+    if options.force_dimensions.iter().any(|n| n == name) {
+        return AttributeKind::Dimension;
+    }
+    if options.force_measures.iter().any(|n| n == name) {
+        return AttributeKind::Measure;
+    }
+    let mut saw_value = false;
+    for cell in cells.iter().flatten() {
+        saw_value = true;
+        if cell.parse::<f64>().is_err() {
+            return AttributeKind::Dimension;
+        }
+    }
+    if saw_value {
+        AttributeKind::Measure
+    } else {
+        AttributeKind::Dimension
+    }
+}
+
+fn split_line(line: &str, sep: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == sep {
+            fields.push(std::mem::take(&mut current));
+        } else {
+            current.push(c);
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregate;
+
+    const SAMPLE: &str = "Location,Smoking,LungCancer\nA,Yes,3\nA,No,2\nB,No,1\nB,Yes,2\n";
+
+    #[test]
+    fn read_infers_kinds() {
+        let d = read_csv_str(SAMPLE, &CsvOptions::default()).unwrap();
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(
+            d.schema().attribute_by_name("Location").unwrap().kind,
+            AttributeKind::Dimension
+        );
+        assert_eq!(
+            d.schema().attribute_by_name("LungCancer").unwrap().kind,
+            AttributeKind::Measure
+        );
+        assert_eq!(
+            Aggregate::Sum.eval(&d, "LungCancer", &d.all_rows()).unwrap(),
+            8.0
+        );
+    }
+
+    #[test]
+    fn force_dimension_overrides_inference() {
+        let csv = "Month,Delay\n5,10\n11,20\n";
+        let opts = CsvOptions {
+            force_dimensions: vec!["Month".into()],
+            ..CsvOptions::default()
+        };
+        let d = read_csv_str(csv, &opts).unwrap();
+        assert_eq!(
+            d.schema().attribute_by_name("Month").unwrap().kind,
+            AttributeKind::Dimension
+        );
+        assert_eq!(d.cardinality("Month").unwrap(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let csv = "Name,Score\n\"Smith, John\",1\n\"He said \"\"hi\"\"\",2\n";
+        let d = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(d.value(0, "Name").unwrap().to_string(), "Smith, John");
+        assert_eq!(d.value(1, "Name").unwrap().to_string(), "He said \"hi\"");
+    }
+
+    #[test]
+    fn missing_cells_become_null() {
+        let csv = "A,B\nx,1\n,2\ny,\n";
+        let d = read_csv_str(csv, &CsvOptions::default()).unwrap();
+        assert!(d.column_by_name("A").unwrap().is_null(1));
+        assert!(d.column_by_name("B").unwrap().is_null(2));
+        assert_eq!(d.drop_null_rows().n_rows(), 1);
+    }
+
+    #[test]
+    fn row_width_mismatch_is_error() {
+        let csv = "A,B\nx\n";
+        assert!(matches!(
+            read_csv_str(csv, &CsvOptions::default()),
+            Err(DataError::Csv(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(read_csv_str("", &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = read_csv_str(SAMPLE, &CsvOptions::default()).unwrap();
+        let csv = write_csv_string(&d, &CsvOptions::default());
+        let d2 = read_csv_str(&csv, &CsvOptions::default()).unwrap();
+        assert_eq!(d2.n_rows(), d.n_rows());
+        assert_eq!(d2.schema().names(), d.schema().names());
+        assert_eq!(
+            d2.value(3, "Smoking").unwrap().to_string(),
+            d.value(3, "Smoking").unwrap().to_string()
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Error type shared by all data-model operations.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+/// Errors produced by the multi-dimensional data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// The attribute exists but has the wrong kind (dimension vs measure).
+    WrongKind {
+        /// Attribute that was accessed.
+        attribute: String,
+        /// Kind that the caller expected.
+        expected: &'static str,
+    },
+    /// A categorical value was not part of the dimension's dictionary.
+    UnknownCategory {
+        /// Dimension that was filtered.
+        attribute: String,
+        /// The value that could not be resolved.
+        value: String,
+    },
+    /// Columns passed to a builder had inconsistent lengths.
+    LengthMismatch {
+        /// Name of the offending column.
+        attribute: String,
+        /// Length of the offending column.
+        got: usize,
+        /// Length established by earlier columns.
+        expected: usize,
+    },
+    /// Two columns with the same name were added.
+    DuplicateAttribute(String),
+    /// An aggregate was evaluated over an empty selection where it is undefined.
+    EmptyAggregate {
+        /// The aggregate that failed.
+        aggregate: &'static str,
+        /// Attribute being aggregated.
+        attribute: String,
+    },
+    /// A subspace combined two filters over the same dimension.
+    OverlappingSubspace(String),
+    /// CSV input could not be parsed.
+    Csv(String),
+    /// Discretization was asked for an impossible binning.
+    InvalidBinning(String),
+    /// A row mask had a different length than the dataset.
+    MaskLengthMismatch {
+        /// Length of the mask.
+        mask: usize,
+        /// Number of rows in the dataset.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
+            DataError::WrongKind {
+                attribute,
+                expected,
+            } => write!(f, "attribute `{attribute}` is not a {expected}"),
+            DataError::UnknownCategory { attribute, value } => {
+                write!(f, "value `{value}` does not occur in dimension `{attribute}`")
+            }
+            DataError::LengthMismatch {
+                attribute,
+                got,
+                expected,
+            } => write!(
+                f,
+                "column `{attribute}` has {got} rows but the dataset has {expected}"
+            ),
+            DataError::DuplicateAttribute(name) => {
+                write!(f, "attribute `{name}` was added twice")
+            }
+            DataError::EmptyAggregate {
+                aggregate,
+                attribute,
+            } => write!(
+                f,
+                "{aggregate} over `{attribute}` is undefined on an empty selection"
+            ),
+            DataError::OverlappingSubspace(name) => write!(
+                f,
+                "subspace contains more than one filter on dimension `{name}`"
+            ),
+            DataError::Csv(msg) => write!(f, "csv error: {msg}"),
+            DataError::InvalidBinning(msg) => write!(f, "invalid binning: {msg}"),
+            DataError::MaskLengthMismatch { mask, rows } => {
+                write!(f, "row mask has {mask} bits but the dataset has {rows} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_attribute() {
+        let err = DataError::UnknownAttribute("Foo".into());
+        assert_eq!(err.to_string(), "unknown attribute `Foo`");
+    }
+
+    #[test]
+    fn display_wrong_kind() {
+        let err = DataError::WrongKind {
+            attribute: "Delay".into(),
+            expected: "dimension",
+        };
+        assert!(err.to_string().contains("not a dimension"));
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let err = DataError::LengthMismatch {
+            attribute: "X".into(),
+            got: 3,
+            expected: 5,
+        };
+        assert!(err.to_string().contains("3 rows"));
+        assert!(err.to_string().contains("5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&DataError::Csv("bad".into()));
+    }
+}

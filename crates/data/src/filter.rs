@@ -1,0 +1,115 @@
+//! Filters: the basic unit of data operations (Sec. 2.1).
+
+use crate::dataset::Dataset;
+use crate::error::Result;
+use crate::mask::RowMask;
+use std::fmt;
+
+/// An equality assertion `X = x` on a dimension.
+///
+/// A filter on a discretized measure is the same thing: discretization turns
+/// the measure into a dimension whose categories are range labels, so the
+/// equality assertion becomes a range assertion (Sec. 2.1, "Aggregation and
+/// Discretization on Measure").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Filter {
+    attribute: String,
+    value: String,
+}
+
+impl Filter {
+    /// Creates the filter `attribute = value`.
+    pub fn equals(attribute: impl Into<String>, value: impl Into<String>) -> Self {
+        Filter {
+            attribute: attribute.into(),
+            value: value.into(),
+        }
+    }
+
+    /// The dimension this filter constrains.
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// The asserted category value.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+
+    /// Evaluates the filter into a row mask over `data`.
+    ///
+    /// A value that never occurs in the dimension yields an all-false mask
+    /// rather than an error: Why-Query machinery frequently probes sibling
+    /// subspaces whose filter value is absent from a sub-selection.
+    pub fn mask(&self, data: &Dataset) -> Result<RowMask> {
+        let col = data.dimension(&self.attribute)?;
+        match col.code_of(&self.value) {
+            Some(code) => Ok(col.equals_mask(code)),
+            None => Ok(RowMask::zeros(data.n_rows())),
+        }
+    }
+
+    /// Number of rows matched by this filter.
+    pub fn support(&self, data: &Dataset) -> Result<usize> {
+        Ok(self.mask(data)?.count())
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.attribute, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn data() -> Dataset {
+        DatasetBuilder::new()
+            .dimension("Smoking", ["Yes", "No", "Yes", "No", "Yes"])
+            .measure("Severity", [3.0, 1.0, 3.0, 2.0, 2.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn mask_matches_equal_rows() {
+        let d = data();
+        let f = Filter::equals("Smoking", "Yes");
+        let mask = f.mask(&d).unwrap();
+        assert_eq!(mask.iter_selected().collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(f.support(&d).unwrap(), 3);
+    }
+
+    #[test]
+    fn absent_value_gives_empty_mask() {
+        let d = data();
+        let f = Filter::equals("Smoking", "Maybe");
+        assert_eq!(f.mask(&d).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn filter_on_measure_is_error() {
+        let d = data();
+        let f = Filter::equals("Severity", "3");
+        assert!(f.mask(&d).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let f = Filter::equals("Smoking", "Yes");
+        assert_eq!(f.to_string(), "Smoking = Yes");
+    }
+
+    #[test]
+    fn filters_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(Filter::equals("A", "1"));
+        set.insert(Filter::equals("A", "1"));
+        set.insert(Filter::equals("A", "2"));
+        assert_eq!(set.len(), 2);
+    }
+}

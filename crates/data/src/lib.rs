@@ -1,0 +1,66 @@
+//! # xinsight-data
+//!
+//! Multi-dimensional data model substrate for the XInsight reproduction.
+//!
+//! The paper (Sec. 2.1) defines its data model over a *spreadsheet-like*
+//! multi-dimensional dataset `D = {X_1, ..., X_n}` whose attributes are either
+//! **dimensions** (categorical variables) or **measures** (numerical
+//! variables).  On top of that model it defines
+//!
+//! * [`Filter`] — an equality assertion `X = x` on one dimension,
+//! * [`Predicate`] — a disjunction of filters on the same dimension,
+//! * [`Subspace`] — a conjunction of filters on disjoint dimensions,
+//! * aggregation ([`Aggregate`]) over a measure under a selection,
+//! * discretization of measures into range bins, and
+//! * functional dependencies (FDs) together with the FD-induced graph
+//!   ([`FdGraph`]) that XLearner consumes.
+//!
+//! All of these live in this crate so that the causal-discovery and
+//! explanation crates can stay purely algorithmic.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use xinsight_data::{DatasetBuilder, Aggregate, Filter};
+//!
+//! let data = DatasetBuilder::new()
+//!     .dimension("Location", ["A", "A", "B", "B"])
+//!     .dimension("Smoking", ["Yes", "No", "No", "No"])
+//!     .measure("LungCancer", [3.0, 2.0, 1.0, 2.0])
+//!     .build()
+//!     .unwrap();
+//!
+//! let mask = Filter::equals("Location", "A").mask(&data).unwrap();
+//! let avg = Aggregate::Avg.eval(&data, "LungCancer", &mask).unwrap();
+//! assert!((avg - 2.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+mod aggregate;
+mod column;
+mod csv;
+mod dataset;
+mod discretize;
+mod error;
+mod fd;
+mod filter;
+mod mask;
+mod predicate;
+mod schema;
+mod subspace;
+mod value;
+
+pub use aggregate::Aggregate;
+pub use column::{Column, DimensionColumn, MeasureColumn, NULL_CODE};
+pub use csv::{read_csv_str, write_csv_string, CsvOptions};
+pub use dataset::{Dataset, DatasetBuilder};
+pub use discretize::{discretize_equal_frequency, discretize_equal_width, BinSpec, Discretizer};
+pub use error::{DataError, Result};
+pub use fd::{detect_fds, FdDetectionOptions, FdGraph, FunctionalDependency};
+pub use filter::Filter;
+pub use mask::RowMask;
+pub use predicate::Predicate;
+pub use schema::{AttributeKind, AttributeMeta, Schema};
+pub use subspace::Subspace;
+pub use value::Value;

@@ -1,0 +1,158 @@
+//! Schema describing the attributes of a multi-dimensional dataset.
+
+use crate::error::{DataError, Result};
+use std::collections::HashMap;
+
+/// Whether an attribute is a categorical dimension or a numerical measure.
+///
+/// The paper follows QuickInsights/MetaInsight terminology: categorical
+/// variables are *dimensions*, numerical variables are *measures*
+/// (Sec. 2.1, "Multi-Dimensional Data").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeKind {
+    /// Categorical variable.
+    Dimension,
+    /// Numerical variable.
+    Measure,
+}
+
+/// Metadata for a single attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeMeta {
+    /// Attribute name (unique within a dataset).
+    pub name: String,
+    /// Dimension or measure.
+    pub kind: AttributeKind,
+}
+
+/// Ordered collection of attribute metadata with name lookup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<AttributeMeta>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Returns `true` when no attribute has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Appends an attribute, failing on duplicate names.
+    pub fn push(&mut self, name: impl Into<String>, kind: AttributeKind) -> Result<usize> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(DataError::DuplicateAttribute(name));
+        }
+        let idx = self.attributes.len();
+        self.by_name.insert(name.clone(), idx);
+        self.attributes.push(AttributeMeta { name, kind });
+        Ok(idx)
+    }
+
+    /// Index of the attribute with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// Metadata for the attribute at `idx`.
+    pub fn attribute(&self, idx: usize) -> &AttributeMeta {
+        &self.attributes[idx]
+    }
+
+    /// Metadata looked up by name.
+    pub fn attribute_by_name(&self, name: &str) -> Result<&AttributeMeta> {
+        Ok(self.attribute(self.index_of(name)?))
+    }
+
+    /// Iterator over all attributes, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &AttributeMeta> {
+        self.attributes.iter()
+    }
+
+    /// Names of all attributes, in insertion order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attributes.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// Names of all dimension attributes.
+    pub fn dimension_names(&self) -> Vec<&str> {
+        self.attributes
+            .iter()
+            .filter(|a| a.kind == AttributeKind::Dimension)
+            .map(|a| a.name.as_str())
+            .collect()
+    }
+
+    /// Names of all measure attributes.
+    pub fn measure_names(&self) -> Vec<&str> {
+        self.attributes
+            .iter()
+            .filter(|a| a.kind == AttributeKind::Measure)
+            .map(|a| a.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut schema = Schema::new();
+        assert!(schema.is_empty());
+        let a = schema.push("Location", AttributeKind::Dimension).unwrap();
+        let b = schema.push("Delay", AttributeKind::Measure).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(schema.len(), 2);
+        assert_eq!(schema.index_of("Delay").unwrap(), 1);
+        assert_eq!(
+            schema.attribute_by_name("Location").unwrap().kind,
+            AttributeKind::Dimension
+        );
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut schema = Schema::new();
+        schema.push("X", AttributeKind::Dimension).unwrap();
+        assert_eq!(
+            schema.push("X", AttributeKind::Measure),
+            Err(DataError::DuplicateAttribute("X".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_attribute() {
+        let schema = Schema::new();
+        assert_eq!(
+            schema.index_of("missing"),
+            Err(DataError::UnknownAttribute("missing".into()))
+        );
+    }
+
+    #[test]
+    fn kind_partitions() {
+        let mut schema = Schema::new();
+        schema.push("A", AttributeKind::Dimension).unwrap();
+        schema.push("B", AttributeKind::Measure).unwrap();
+        schema.push("C", AttributeKind::Dimension).unwrap();
+        assert_eq!(schema.dimension_names(), vec!["A", "C"]);
+        assert_eq!(schema.measure_names(), vec!["B"]);
+        assert_eq!(schema.names(), vec!["A", "B", "C"]);
+    }
+}

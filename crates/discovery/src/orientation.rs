@@ -1,0 +1,618 @@
+//! FCI orientation machinery: collider orientation and Zhang's rules.
+//!
+//! The rules implemented are R1–R4 and R8–R10 (the selection-bias rules
+//! R5–R7 never fire under the paper's no-selection-bias assumption).
+//! Notation follows the paper's Supplementary Material (Alg. 4): `*` is a
+//! wildcard endpoint, `∘` a circle, and "orient `β → γ`" means setting the
+//! mark at `β` to a tail and the mark at `γ` to an arrowhead on the edge
+//! `β – γ`.
+
+use crate::sepset::SepsetMap;
+use xinsight_graph::{Mark, MixedGraph, NodeId};
+
+/// Orients unshielded colliders: for every unshielded triple `(a, b, c)` with
+/// `b ∉ Sepset(a, c)`, set arrowheads at `b` on both edges (`a *→ b ←* c`).
+pub fn orient_colliders(graph: &mut MixedGraph, sepsets: &SepsetMap) {
+    let n = graph.n_nodes();
+    for b in 0..n {
+        let neighbors = graph.neighbors(b);
+        for (i, &a) in neighbors.iter().enumerate() {
+            for &c in neighbors.iter().skip(i + 1) {
+                if graph.adjacent(a, c) {
+                    continue;
+                }
+                let (an, bn, cn) = (
+                    graph.name(a).to_owned(),
+                    graph.name(b).to_owned(),
+                    graph.name(c).to_owned(),
+                );
+                if sepsets.contains_pair(&an, &cn) && !sepsets.separates_with(&an, &cn, &bn) {
+                    graph.set_mark(b, a, Mark::Arrow);
+                    graph.set_mark(b, c, Mark::Arrow);
+                }
+            }
+        }
+    }
+}
+
+/// Applies orientation rules R1–R4 and R8–R10 until no rule fires, returning
+/// the number of endpoint marks changed.
+pub fn apply_fci_rules(graph: &mut MixedGraph, sepsets: &SepsetMap) -> usize {
+    let mut total = 0usize;
+    loop {
+        let mut changed = 0usize;
+        changed += rule_r1(graph);
+        changed += rule_r2(graph);
+        changed += rule_r3(graph);
+        changed += rule_r4(graph, sepsets);
+        changed += rule_r8(graph);
+        changed += rule_r9(graph);
+        changed += rule_r10(graph);
+        total += changed;
+        if changed == 0 {
+            return total;
+        }
+    }
+}
+
+/// R1: if `α *→ β ∘–* γ` and `α, γ` not adjacent, orient `β → γ`.
+fn rule_r1(g: &mut MixedGraph) -> usize {
+    let mut changed = 0;
+    for b in 0..g.n_nodes() {
+        for a in g.neighbors(b) {
+            if g.mark_at(b, a) != Some(Mark::Arrow) {
+                continue;
+            }
+            for c in g.neighbors(b) {
+                if c == a || g.adjacent(a, c) {
+                    continue;
+                }
+                if g.mark_at(b, c) == Some(Mark::Circle) {
+                    g.set_mark(b, c, Mark::Tail);
+                    g.set_mark(c, b, Mark::Arrow);
+                    changed += 2;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// R2: if `α → β *→ γ` or `α *→ β → γ`, and `α *–∘ γ`, orient the mark at `γ`
+/// on the `α – γ` edge to an arrowhead.
+fn rule_r2(g: &mut MixedGraph) -> usize {
+    let mut changed = 0;
+    for a in 0..g.n_nodes() {
+        for c in g.neighbors(a) {
+            if g.mark_at(c, a) != Some(Mark::Circle) {
+                continue;
+            }
+            // Look for a mediating β.
+            let found = g.neighbors(a).into_iter().any(|b| {
+                if b == c || !g.adjacent(b, c) {
+                    return false;
+                }
+                let a_to_b_directed =
+                    g.mark_at(a, b) == Some(Mark::Tail) && g.mark_at(b, a) == Some(Mark::Arrow);
+                let b_to_c_arrow = g.mark_at(c, b) == Some(Mark::Arrow);
+                let a_to_b_arrow = g.mark_at(b, a) == Some(Mark::Arrow);
+                let b_to_c_directed =
+                    g.mark_at(b, c) == Some(Mark::Tail) && g.mark_at(c, b) == Some(Mark::Arrow);
+                (a_to_b_directed && b_to_c_arrow) || (a_to_b_arrow && b_to_c_directed)
+            });
+            if found {
+                g.set_mark(c, a, Mark::Arrow);
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// R3: if `α *→ β ←* γ`, `α *–∘ θ ∘–* γ`, `α, γ` not adjacent and `θ *–∘ β`,
+/// orient `θ *→ β`.
+fn rule_r3(g: &mut MixedGraph) -> usize {
+    let mut changed = 0;
+    for b in 0..g.n_nodes() {
+        for theta in g.neighbors(b) {
+            if g.mark_at(b, theta) != Some(Mark::Circle) {
+                continue;
+            }
+            let b_arrow_neighbors: Vec<NodeId> = g
+                .neighbors(b)
+                .into_iter()
+                .filter(|&v| v != theta && g.mark_at(b, v) == Some(Mark::Arrow))
+                .collect();
+            let mut fired = false;
+            for (i, &a) in b_arrow_neighbors.iter().enumerate() {
+                for &c in b_arrow_neighbors.iter().skip(i + 1) {
+                    if g.adjacent(a, c) {
+                        continue;
+                    }
+                    let theta_circle_a = g.mark_at(theta, a) == Some(Mark::Circle);
+                    let theta_circle_c = g.mark_at(theta, c) == Some(Mark::Circle);
+                    if theta_circle_a && theta_circle_c {
+                        fired = true;
+                        break;
+                    }
+                }
+                if fired {
+                    break;
+                }
+            }
+            if fired {
+                g.set_mark(b, theta, Mark::Arrow);
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// R4 (discriminating paths): if `u = (θ, ..., α, β, γ)` is a discriminating
+/// path for `β` and `β ∘–* γ`, then orient `β → γ` when `β ∈ Sepset(θ, γ)` and
+/// `α ↔ β ↔ γ` otherwise.
+fn rule_r4(g: &mut MixedGraph, sepsets: &SepsetMap) -> usize {
+    let mut changed = 0;
+    for beta in 0..g.n_nodes() {
+        for gamma in g.neighbors(beta) {
+            if g.mark_at(beta, gamma) != Some(Mark::Circle) {
+                continue;
+            }
+            if let Some(path) = find_discriminating_path(g, beta, gamma) {
+                let theta = path[0];
+                let alpha = path[path.len() - 2];
+                let theta_name = g.name(theta).to_owned();
+                let gamma_name = g.name(gamma).to_owned();
+                let beta_name = g.name(beta).to_owned();
+                if sepsets.separates_with(&theta_name, &gamma_name, &beta_name) {
+                    g.set_mark(beta, gamma, Mark::Tail);
+                    g.set_mark(gamma, beta, Mark::Arrow);
+                } else {
+                    g.set_mark(alpha, beta, Mark::Arrow);
+                    g.set_mark(beta, alpha, Mark::Arrow);
+                    g.set_mark(beta, gamma, Mark::Arrow);
+                    g.set_mark(gamma, beta, Mark::Arrow);
+                }
+                changed += 2;
+            }
+        }
+    }
+    changed
+}
+
+/// Searches for a discriminating path `(θ, ..., α, β, γ)` for `β`:
+/// at least three edges, every node strictly between `θ` and `β` is a collider
+/// on the path and a parent of `γ`, and `θ` is not adjacent to `γ`.
+/// Returns the path `(θ, ..., α, β)` when found.
+fn find_discriminating_path(g: &MixedGraph, beta: NodeId, gamma: NodeId) -> Option<Vec<NodeId>> {
+    // Walk backwards from β through nodes that are colliders on the path and
+    // parents of γ.
+    #[derive(Clone)]
+    struct State {
+        path: Vec<NodeId>, // from current front node ... up to β
+    }
+    let mut queue: Vec<State> = Vec::new();
+    for alpha in g.neighbors(beta) {
+        if alpha == gamma {
+            continue;
+        }
+        // α must have an arrowhead at it on the α–β edge (collider requirement
+        // seen from β's side) and must be a parent of γ.
+        if g.mark_at(alpha, beta) == Some(Mark::Arrow)
+            && g.mark_at(beta, alpha) == Some(Mark::Arrow)
+            && g.is_parent(alpha, gamma)
+        {
+            queue.push(State {
+                path: vec![alpha, beta],
+            });
+        }
+    }
+    let mut guard = 0usize;
+    while let Some(state) = queue.pop() {
+        guard += 1;
+        if guard > 100_000 {
+            return None;
+        }
+        let front = state.path[0];
+        for prev in g.neighbors(front) {
+            if state.path.contains(&prev) || prev == gamma {
+                continue;
+            }
+            // The edge prev – front must point into front (front is a collider).
+            if g.mark_at(front, prev) != Some(Mark::Arrow) {
+                continue;
+            }
+            if !g.adjacent(prev, gamma) {
+                // prev plays the role of θ; the path has ≥ 3 edges because it
+                // contains θ, at least one collider, β (and then γ).
+                let mut path = vec![prev];
+                path.extend(&state.path);
+                if path.len() >= 3 {
+                    return Some(path);
+                }
+                continue;
+            }
+            // Otherwise prev must itself be a collider-parent of γ to extend.
+            if g.mark_at(prev, front) == Some(Mark::Arrow) && g.is_parent(prev, gamma) {
+                let mut path = vec![prev];
+                path.extend(&state.path);
+                queue.push(State { path });
+            }
+        }
+    }
+    None
+}
+
+/// R8: if `α → β → γ` and `α ∘→ γ`, orient `α → γ` (turn the circle at `α`
+/// into a tail).
+fn rule_r8(g: &mut MixedGraph) -> usize {
+    let mut changed = 0;
+    for a in 0..g.n_nodes() {
+        for c in g.neighbors(a) {
+            let a_circle = g.mark_at(a, c) == Some(Mark::Circle);
+            let c_arrow = g.mark_at(c, a) == Some(Mark::Arrow);
+            if !(a_circle && c_arrow) {
+                continue;
+            }
+            let found = g
+                .children(a)
+                .into_iter()
+                .any(|b| b != c && g.is_parent(b, c));
+            if found {
+                g.set_mark(a, c, Mark::Tail);
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// R9: if `α ∘→ γ` and there is an uncovered potentially-directed path
+/// `p = (α, β, ..., γ)` with `β` and `γ` not adjacent, orient `α → γ`.
+fn rule_r9(g: &mut MixedGraph) -> usize {
+    let mut changed = 0;
+    for a in 0..g.n_nodes() {
+        for c in g.neighbors(a) {
+            let a_circle = g.mark_at(a, c) == Some(Mark::Circle);
+            let c_arrow = g.mark_at(c, a) == Some(Mark::Arrow);
+            if !(a_circle && c_arrow) {
+                continue;
+            }
+            let fired = g.neighbors(a).into_iter().any(|b| {
+                b != c
+                    && !g.adjacent(b, c)
+                    && edge_is_potentially_directed(g, a, b)
+                    && uncovered_pd_path_exists(g, a, b, c)
+            });
+            if fired {
+                g.set_mark(a, c, Mark::Tail);
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// R10: if `α ∘→ γ`, `β → γ ← θ`, and there are uncovered p.d. paths from `α`
+/// to `β` and from `α` to `θ` whose first nodes after `α` are distinct and
+/// non-adjacent, orient `α → γ`.
+fn rule_r10(g: &mut MixedGraph) -> usize {
+    let mut changed = 0;
+    for a in 0..g.n_nodes() {
+        for c in g.neighbors(a) {
+            let a_circle = g.mark_at(a, c) == Some(Mark::Circle);
+            let c_arrow = g.mark_at(c, a) == Some(Mark::Arrow);
+            if !(a_circle && c_arrow) {
+                continue;
+            }
+            let parents_of_c: Vec<NodeId> = g.parents(c).into_iter().filter(|&p| p != a).collect();
+            let mut fired = false;
+            'outer: for (i, &beta) in parents_of_c.iter().enumerate() {
+                for &theta in parents_of_c.iter().skip(i + 1) {
+                    // Candidate first steps from α.
+                    for mu in g.neighbors(a) {
+                        if mu == c || !edge_is_potentially_directed(g, a, mu) {
+                            continue;
+                        }
+                        for omega in g.neighbors(a) {
+                            if omega == c
+                                || omega == mu
+                                || g.adjacent(mu, omega)
+                                || !edge_is_potentially_directed(g, a, omega)
+                            {
+                                continue;
+                            }
+                            let p1 = mu == beta || uncovered_pd_path_exists_via(g, a, mu, beta);
+                            let p2 = omega == theta || uncovered_pd_path_exists_via(g, a, omega, theta);
+                            if p1 && p2 {
+                                fired = true;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            if fired {
+                g.set_mark(a, c, Mark::Tail);
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// Returns `true` when the edge `u – v` can be traversed from `u` to `v` on a
+/// potentially-directed path: not into `u` (no arrowhead at `u`) and not out
+/// of `v` (no tail at `v`).
+fn edge_is_potentially_directed(g: &MixedGraph, u: NodeId, v: NodeId) -> bool {
+    matches!(g.mark_at(u, v), Some(Mark::Tail) | Some(Mark::Circle))
+        && matches!(g.mark_at(v, u), Some(Mark::Arrow) | Some(Mark::Circle))
+}
+
+/// Returns `true` when an uncovered potentially-directed path from `a` to `c`
+/// exists whose first edge is `a – b`.
+fn uncovered_pd_path_exists(g: &MixedGraph, a: NodeId, b: NodeId, c: NodeId) -> bool {
+    uncovered_pd_search(g, a, b, c, 50_000)
+}
+
+/// Like [`uncovered_pd_path_exists`] but the target is `target` (used by R10
+/// where the path ends at a parent of γ rather than γ itself).
+fn uncovered_pd_path_exists_via(g: &MixedGraph, a: NodeId, first: NodeId, target: NodeId) -> bool {
+    uncovered_pd_search(g, a, first, target, 50_000)
+}
+
+fn uncovered_pd_search(
+    g: &MixedGraph,
+    a: NodeId,
+    first: NodeId,
+    target: NodeId,
+    budget: usize,
+) -> bool {
+    if !edge_is_potentially_directed(g, a, first) {
+        return false;
+    }
+    if first == target {
+        return true;
+    }
+    let mut stack: Vec<Vec<NodeId>> = vec![vec![a, first]];
+    let mut spent = 0usize;
+    while let Some(path) = stack.pop() {
+        spent += 1;
+        if spent > budget {
+            return false;
+        }
+        let last = *path.last().expect("non-empty");
+        let before_last = path[path.len() - 2];
+        for next in g.neighbors(last) {
+            if path.contains(&next) {
+                continue;
+            }
+            // Uncovered: consecutive triple must be unshielded.
+            if g.adjacent(before_last, next) {
+                continue;
+            }
+            if !edge_is_potentially_directed(g, last, next) {
+                continue;
+            }
+            if next == target {
+                return true;
+            }
+            let mut new_path = path.clone();
+            new_path.push(next);
+            stack.push(new_path);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xinsight_graph::EdgeType;
+
+    fn circle_graph(names: &[&str], edges: &[(&str, &str)]) -> MixedGraph {
+        let mut g = MixedGraph::new(names.iter().map(|s| s.to_string()));
+        for (a, b) in edges {
+            let (ai, bi) = (g.expect_id(a), g.expect_id(b));
+            g.add_nondirected(ai, bi);
+        }
+        g
+    }
+
+    #[test]
+    fn colliders_are_oriented_from_sepsets() {
+        // Skeleton A - B - C with sepset(A, C) = {} -> A *-> B <-* C.
+        let mut g = circle_graph(&["A", "B", "C"], &[("A", "B"), ("B", "C")]);
+        let mut sepsets = SepsetMap::new();
+        sepsets.insert("A", "C", vec![]);
+        orient_colliders(&mut g, &sepsets);
+        let (a, b, c) = (g.expect_id("A"), g.expect_id("B"), g.expect_id("C"));
+        assert_eq!(g.mark_at(b, a), Some(Mark::Arrow));
+        assert_eq!(g.mark_at(b, c), Some(Mark::Arrow));
+        // The far endpoints stay circles.
+        assert_eq!(g.mark_at(a, b), Some(Mark::Circle));
+        assert_eq!(g.mark_at(c, b), Some(Mark::Circle));
+    }
+
+    #[test]
+    fn non_colliders_left_untouched() {
+        // Sepset(A, C) = {B}: no collider.
+        let mut g = circle_graph(&["A", "B", "C"], &[("A", "B"), ("B", "C")]);
+        let mut sepsets = SepsetMap::new();
+        sepsets.insert("A", "C", vec!["B".into()]);
+        orient_colliders(&mut g, &sepsets);
+        let (a, b, c) = (g.expect_id("A"), g.expect_id("B"), g.expect_id("C"));
+        assert_eq!(g.mark_at(b, a), Some(Mark::Circle));
+        assert_eq!(g.mark_at(b, c), Some(Mark::Circle));
+        assert_eq!(g.mark_at(a, b), Some(Mark::Circle));
+        assert_eq!(g.mark_at(c, b), Some(Mark::Circle));
+    }
+
+    #[test]
+    fn r1_propagates_arrowheads() {
+        // A *-> B o-o C with A, C non-adjacent: orient B -> C.
+        let mut g = circle_graph(&["A", "B", "C"], &[("A", "B"), ("B", "C")]);
+        let (a, b, c) = (g.expect_id("A"), g.expect_id("B"), g.expect_id("C"));
+        g.set_mark(b, a, Mark::Arrow);
+        let sepsets = SepsetMap::new();
+        apply_fci_rules(&mut g, &sepsets);
+        assert_eq!(g.mark_at(b, c), Some(Mark::Tail));
+        assert_eq!(g.mark_at(c, b), Some(Mark::Arrow));
+    }
+
+    #[test]
+    fn r2_orients_into_descendant() {
+        // A -> B -> C (fully directed) and A o-o C: the mark at C on A–C
+        // becomes an arrowhead.
+        let mut g = circle_graph(&["A", "B", "C"], &[("A", "B"), ("B", "C"), ("A", "C")]);
+        let (a, b, c) = (g.expect_id("A"), g.expect_id("B"), g.expect_id("C"));
+        g.orient(a, b);
+        g.orient(b, c);
+        let sepsets = SepsetMap::new();
+        apply_fci_rules(&mut g, &sepsets);
+        assert_eq!(g.mark_at(c, a), Some(Mark::Arrow));
+    }
+
+    #[test]
+    fn r3_orients_into_collider() {
+        // α *-> β <-* γ, α o-o θ o-o γ, θ o-o β, α and γ non-adjacent.
+        let mut g = circle_graph(
+            &["Alpha", "Beta", "Gamma", "Theta"],
+            &[
+                ("Alpha", "Beta"),
+                ("Gamma", "Beta"),
+                ("Alpha", "Theta"),
+                ("Gamma", "Theta"),
+                ("Theta", "Beta"),
+            ],
+        );
+        let (al, be, ga, th) = (
+            g.expect_id("Alpha"),
+            g.expect_id("Beta"),
+            g.expect_id("Gamma"),
+            g.expect_id("Theta"),
+        );
+        g.set_mark(be, al, Mark::Arrow);
+        g.set_mark(be, ga, Mark::Arrow);
+        let sepsets = SepsetMap::new();
+        apply_fci_rules(&mut g, &sepsets);
+        assert_eq!(g.mark_at(be, th), Some(Mark::Arrow));
+    }
+
+    #[test]
+    fn r8_completes_transitive_direction() {
+        // A -> B -> C and A o-> C should become A -> C.
+        let mut g = circle_graph(&["A", "B", "C"], &[("A", "B"), ("B", "C"), ("A", "C")]);
+        let (a, b, c) = (g.expect_id("A"), g.expect_id("B"), g.expect_id("C"));
+        g.orient(a, b);
+        g.orient(b, c);
+        g.set_mark(c, a, Mark::Arrow); // A o-> C (circle at A side left as-is)
+        let sepsets = SepsetMap::new();
+        apply_fci_rules(&mut g, &sepsets);
+        assert_eq!(g.edge_type(a, c), Some(EdgeType::Directed));
+        assert!(g.is_parent(a, c));
+    }
+
+    #[test]
+    fn r4_discriminating_path_orients_bidirected_when_not_in_sepset() {
+        // Classic discriminating-path configuration:
+        // θ *-> α <-> β, α -> γ, β o-* γ, θ not adjacent to γ.
+        let mut g = circle_graph(
+            &["Theta", "Alpha", "Beta", "Gamma"],
+            &[
+                ("Theta", "Alpha"),
+                ("Alpha", "Beta"),
+                ("Alpha", "Gamma"),
+                ("Beta", "Gamma"),
+            ],
+        );
+        let (th, al, be, ga) = (
+            g.expect_id("Theta"),
+            g.expect_id("Alpha"),
+            g.expect_id("Beta"),
+            g.expect_id("Gamma"),
+        );
+        // θ *-> α with arrowhead at α; α is a collider on the path: α <-> β.
+        g.set_mark(al, th, Mark::Arrow);
+        g.set_mark(al, be, Mark::Arrow);
+        g.set_mark(be, al, Mark::Arrow);
+        // α -> γ (α parent of γ).
+        g.orient(al, ga);
+        // β o-o γ stays circled at β.
+        let mut sepsets = SepsetMap::new();
+        sepsets.insert("Theta", "Gamma", vec!["Alpha".into()]); // β not in sepset
+        apply_fci_rules(&mut g, &sepsets);
+        assert_eq!(g.mark_at(be, ga), Some(Mark::Arrow));
+        assert_eq!(g.mark_at(ga, be), Some(Mark::Arrow));
+    }
+
+    #[test]
+    fn r4_discriminating_path_orients_directed_when_in_sepset() {
+        let mut g = circle_graph(
+            &["Theta", "Alpha", "Beta", "Gamma"],
+            &[
+                ("Theta", "Alpha"),
+                ("Alpha", "Beta"),
+                ("Alpha", "Gamma"),
+                ("Beta", "Gamma"),
+            ],
+        );
+        let (th, al, be, ga) = (
+            g.expect_id("Theta"),
+            g.expect_id("Alpha"),
+            g.expect_id("Beta"),
+            g.expect_id("Gamma"),
+        );
+        g.set_mark(al, th, Mark::Arrow);
+        g.set_mark(al, be, Mark::Arrow);
+        g.set_mark(be, al, Mark::Arrow);
+        g.orient(al, ga);
+        let mut sepsets = SepsetMap::new();
+        sepsets.insert("Theta", "Gamma", vec!["Alpha".into(), "Beta".into()]);
+        apply_fci_rules(&mut g, &sepsets);
+        assert_eq!(g.mark_at(be, ga), Some(Mark::Tail));
+        assert_eq!(g.mark_at(ga, be), Some(Mark::Arrow));
+    }
+
+    #[test]
+    fn r9_orients_tail_via_uncovered_pd_path() {
+        // α o-> γ with an uncovered pd path α o-o β o-o δ o-o γ, β and γ
+        // non-adjacent: the circle at α becomes a tail.
+        let mut g = circle_graph(
+            &["Alpha", "Beta", "Delta", "Gamma"],
+            &[
+                ("Alpha", "Beta"),
+                ("Beta", "Delta"),
+                ("Delta", "Gamma"),
+                ("Alpha", "Gamma"),
+            ],
+        );
+        let (al, ga) = (g.expect_id("Alpha"), g.expect_id("Gamma"));
+        g.set_mark(ga, al, Mark::Arrow); // α o-> γ
+        let sepsets = SepsetMap::new();
+        apply_fci_rules(&mut g, &sepsets);
+        assert_eq!(g.mark_at(al, ga), Some(Mark::Tail));
+    }
+
+    #[test]
+    fn rules_reach_a_fixpoint() {
+        // A *-> B <-* C collider plus B o-o D: R1 must orient B -> D, and a
+        // second pass must change nothing.
+        let mut g = circle_graph(
+            &["A", "B", "C", "D"],
+            &[("A", "B"), ("C", "B"), ("B", "D")],
+        );
+        let mut sepsets = SepsetMap::new();
+        sepsets.insert("A", "C", vec![]);
+        sepsets.insert("A", "D", vec!["B".into()]);
+        sepsets.insert("C", "D", vec!["B".into()]);
+        orient_colliders(&mut g, &sepsets);
+        let first = apply_fci_rules(&mut g, &sepsets);
+        let second = apply_fci_rules(&mut g, &sepsets);
+        assert!(first > 0);
+        assert_eq!(second, 0, "rules must not fire again after a fixpoint");
+        let (b, d) = (g.expect_id("B"), g.expect_id("D"));
+        assert!(g.is_parent(b, d));
+    }
+}

@@ -1,0 +1,200 @@
+//! The PC algorithm (assumes causal sufficiency) — the classical baseline in
+//! Table 2 of the paper.
+
+use crate::orientation::orient_colliders;
+use crate::sepset::SepsetMap;
+use crate::skeleton::{skeleton_search, SkeletonOptions};
+use xinsight_data::{Dataset, Result};
+use xinsight_graph::{Mark, MixedGraph};
+use xinsight_stats::CiTest;
+
+/// Options for the PC run.
+#[derive(Debug, Clone, Default)]
+pub struct PcOptions {
+    /// Maximum conditioning-set size during the adjacency search.
+    pub max_cond_size: Option<usize>,
+}
+
+/// Result of a PC run.
+#[derive(Debug, Clone)]
+pub struct PcResult {
+    /// The learned CPDAG: directed edges are oriented, `o-o` edges are the
+    /// undirected (Markov-equivalent) remainder.
+    pub cpdag: MixedGraph,
+    /// Separating sets recorded by the adjacency search.
+    pub sepsets: SepsetMap,
+    /// Number of CI tests issued.
+    pub n_ci_tests: usize,
+}
+
+/// Runs the PC algorithm over `vars`: adjacency search, collider orientation
+/// and Meek rules 1–3.
+pub fn pc(
+    data: &Dataset,
+    vars: &[&str],
+    test: &dyn CiTest,
+    options: &PcOptions,
+) -> Result<PcResult> {
+    let skeleton = skeleton_search(
+        data,
+        vars,
+        test,
+        &SkeletonOptions {
+            max_cond_size: options.max_cond_size,
+        },
+    )?;
+    let mut cpdag = skeleton.graph.skeleton();
+    orient_colliders(&mut cpdag, &skeleton.sepsets);
+    // In a CPDAG a collider is fully directed, so turn the far circle marks of
+    // collider edges into tails.
+    promote_collider_tails(&mut cpdag);
+    apply_meek_rules(&mut cpdag);
+    Ok(PcResult {
+        cpdag,
+        sepsets: skeleton.sepsets,
+        n_ci_tests: skeleton.n_ci_tests,
+    })
+}
+
+fn promote_collider_tails(g: &mut MixedGraph) {
+    for e in g.edges() {
+        if g.mark_at(e.b, e.a) == Some(Mark::Arrow) && g.mark_at(e.a, e.b) == Some(Mark::Circle) {
+            g.set_mark(e.a, e.b, Mark::Tail);
+        }
+        if g.mark_at(e.a, e.b) == Some(Mark::Arrow) && g.mark_at(e.b, e.a) == Some(Mark::Circle) {
+            g.set_mark(e.b, e.a, Mark::Tail);
+        }
+    }
+}
+
+/// Meek rules 1–3 over a CPDAG whose undirected edges are `o-o`.
+fn apply_meek_rules(g: &mut MixedGraph) {
+    loop {
+        let mut changed = false;
+        let n = g.n_nodes();
+        // R1: a -> b, b o-o c, a and c non-adjacent  =>  b -> c.
+        for b in 0..n {
+            for a in g.parents(b) {
+                for c in g.neighbors(b) {
+                    if c == a || g.adjacent(a, c) {
+                        continue;
+                    }
+                    if is_undirected(g, b, c) {
+                        g.orient(b, c);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // R2: a -> b -> c, a o-o c  =>  a -> c.
+        for a in 0..n {
+            for b in g.children(a) {
+                for c in g.children(b) {
+                    if c != a && is_undirected(g, a, c) {
+                        g.orient(a, c);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // R3: a o-o b, a o-o c, a o-o d, c -> b, d -> b, c and d non-adjacent => a -> b.
+        for a in 0..n {
+            let undirected: Vec<usize> = g
+                .neighbors(a)
+                .into_iter()
+                .filter(|&v| is_undirected(g, a, v))
+                .collect();
+            for &b in &undirected {
+                let into_b: Vec<usize> = undirected
+                    .iter()
+                    .copied()
+                    .filter(|&v| v != b && g.is_parent(v, b))
+                    .collect();
+                let mut fire = false;
+                for (i, &c) in into_b.iter().enumerate() {
+                    for &d in into_b.iter().skip(i + 1) {
+                        if !g.adjacent(c, d) {
+                            fire = true;
+                        }
+                    }
+                }
+                if fire && is_undirected(g, a, b) {
+                    g.orient(a, b);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+fn is_undirected(g: &MixedGraph, a: usize, b: usize) -> bool {
+    g.mark_at(a, b) == Some(Mark::Circle) && g.mark_at(b, a) == Some(Mark::Circle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleCiTest;
+    use xinsight_data::DatasetBuilder;
+    use xinsight_graph::{Dag, EdgeType};
+
+    fn dummy_data() -> Dataset {
+        DatasetBuilder::new().dimension("_", ["x"]).build().unwrap()
+    }
+
+    fn run_oracle_pc(dag: &Dag, observed: &[&str]) -> PcResult {
+        let oracle = OracleCiTest::from_dag(dag);
+        pc(&dummy_data(), observed, &oracle, &PcOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn collider_fully_oriented() {
+        let mut dag = Dag::new(["A", "B", "C"]);
+        dag.add_edge(0, 1);
+        dag.add_edge(2, 1);
+        let result = run_oracle_pc(&dag, &["A", "B", "C"]);
+        let g = &result.cpdag;
+        assert!(g.is_parent(g.expect_id("A"), g.expect_id("B")));
+        assert!(g.is_parent(g.expect_id("C"), g.expect_id("B")));
+    }
+
+    #[test]
+    fn chain_left_undirected() {
+        let mut dag = Dag::new(["A", "B", "C"]);
+        dag.add_edge(0, 1);
+        dag.add_edge(1, 2);
+        let result = run_oracle_pc(&dag, &["A", "B", "C"]);
+        let g = &result.cpdag;
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(
+            g.edge_type(g.expect_id("A"), g.expect_id("B")),
+            Some(EdgeType::Nondirected)
+        );
+    }
+
+    #[test]
+    fn meek_rules_propagate_orientation() {
+        // A -> B <- C (collider), B - D undirected where D is only adjacent to B:
+        // Meek R1 orients B -> D.
+        let mut dag = Dag::new(["A", "B", "C", "D"]);
+        dag.add_edge(0, 1);
+        dag.add_edge(2, 1);
+        dag.add_edge(1, 3);
+        let result = run_oracle_pc(&dag, &["A", "B", "C", "D"]);
+        let g = &result.cpdag;
+        assert!(g.is_parent(g.expect_id("B"), g.expect_id("D")));
+    }
+
+    #[test]
+    fn reports_test_counts_and_sepsets() {
+        let mut dag = Dag::new(["A", "B", "C"]);
+        dag.add_edge(0, 1);
+        dag.add_edge(1, 2);
+        let result = run_oracle_pc(&dag, &["A", "B", "C"]);
+        assert!(result.n_ci_tests > 0);
+        assert!(result.sepsets.contains_pair("A", "C"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Separating sets recorded by the adjacency search.
+
+use std::collections::HashMap;
+
+/// A map from unordered variable pairs to the conditioning set that rendered
+/// them independent during skeleton learning (`Sepset(X, Y)` in the FCI
+/// pseudocode).
+#[derive(Debug, Clone, Default)]
+pub struct SepsetMap {
+    inner: HashMap<(String, String), Vec<String>>,
+}
+
+impl SepsetMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(x: &str, y: &str) -> (String, String) {
+        if x <= y {
+            (x.to_owned(), y.to_owned())
+        } else {
+            (y.to_owned(), x.to_owned())
+        }
+    }
+
+    /// Records `sepset` as the separating set of the pair `(x, y)`.
+    pub fn insert(&mut self, x: &str, y: &str, mut sepset: Vec<String>) {
+        sepset.sort();
+        self.inner.insert(Self::key(x, y), sepset);
+    }
+
+    /// The recorded separating set of `(x, y)`, if any.
+    pub fn get(&self, x: &str, y: &str) -> Option<&[String]> {
+        self.inner.get(&Self::key(x, y)).map(Vec::as_slice)
+    }
+
+    /// Returns `true` when a separating set is recorded for `(x, y)`.
+    pub fn contains_pair(&self, x: &str, y: &str) -> bool {
+        self.inner.contains_key(&Self::key(x, y))
+    }
+
+    /// Returns `true` when `member` belongs to the recorded separating set of
+    /// `(x, y)`; `false` when the pair has no recorded set.
+    pub fn separates_with(&self, x: &str, y: &str, member: &str) -> bool {
+        self.get(x, y)
+            .map(|s| s.iter().any(|v| v == member))
+            .unwrap_or(false)
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Merges another map into this one (other's entries win on conflict).
+    pub fn extend(&mut self, other: SepsetMap) {
+        self.inner.extend(other.inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get_is_symmetric() {
+        let mut m = SepsetMap::new();
+        m.insert("B", "A", vec!["Z".into(), "Y".into()]);
+        assert_eq!(m.get("A", "B").unwrap(), &["Y".to_string(), "Z".to_string()]);
+        assert_eq!(m.get("B", "A").unwrap(), &["Y".to_string(), "Z".to_string()]);
+        assert!(m.contains_pair("A", "B"));
+        assert!(!m.contains_pair("A", "C"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn separates_with_membership() {
+        let mut m = SepsetMap::new();
+        m.insert("X", "Y", vec!["M".into()]);
+        assert!(m.separates_with("Y", "X", "M"));
+        assert!(!m.separates_with("X", "Y", "N"));
+        assert!(!m.separates_with("X", "Z", "M"));
+    }
+
+    #[test]
+    fn empty_sepsets_are_recorded() {
+        let mut m = SepsetMap::new();
+        m.insert("X", "Y", vec![]);
+        assert!(m.contains_pair("X", "Y"));
+        assert_eq!(m.get("X", "Y").unwrap().len(), 0);
+        assert!(!m.separates_with("X", "Y", "anything"));
+    }
+
+    #[test]
+    fn extend_overrides() {
+        let mut a = SepsetMap::new();
+        a.insert("X", "Y", vec!["A".into()]);
+        let mut b = SepsetMap::new();
+        b.insert("X", "Y", vec!["B".into()]);
+        b.insert("P", "Q", vec![]);
+        a.extend(b);
+        assert_eq!(a.get("X", "Y").unwrap(), &["B".to_string()]);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+}

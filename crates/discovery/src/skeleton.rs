@@ -1,0 +1,253 @@
+//! PC-style adjacency (skeleton) search.
+
+use crate::sepset::SepsetMap;
+use xinsight_data::{Dataset, Result};
+use xinsight_graph::{MixedGraph, NodeId};
+use xinsight_stats::CiTest;
+
+/// Options for the adjacency search.
+#[derive(Debug, Clone, Default)]
+pub struct SkeletonOptions {
+    /// Upper bound on the size of conditioning sets; `None` lets the search
+    /// run until neighborhoods are exhausted (the classical algorithm).
+    pub max_cond_size: Option<usize>,
+}
+
+/// Result of the adjacency search.
+#[derive(Debug, Clone)]
+pub struct SkeletonResult {
+    /// The learned skeleton: every remaining edge is `o-o`.
+    pub graph: MixedGraph,
+    /// Separating sets recorded for removed edges.
+    pub sepsets: SepsetMap,
+    /// Number of CI tests executed.
+    pub n_ci_tests: usize,
+}
+
+/// Runs the PC adjacency search over `vars` (a subset of the dataset's
+/// dimensions) using the given CI test.
+///
+/// Starting from the complete graph, edges `X – Y` are removed as soon as a
+/// conditioning set `S ⊆ adj(X) \ {Y}` (of increasing size) renders `X ⫫ Y | S`;
+/// the set is recorded in the [`SepsetMap`].
+pub fn skeleton_search(
+    data: &Dataset,
+    vars: &[&str],
+    test: &dyn CiTest,
+    options: &SkeletonOptions,
+) -> Result<SkeletonResult> {
+    let mut graph = MixedGraph::new(vars.iter().map(|s| s.to_string()));
+    for a in 0..vars.len() {
+        for b in (a + 1)..vars.len() {
+            graph.add_nondirected(a, b);
+        }
+    }
+    let mut sepsets = SepsetMap::new();
+    let mut n_tests = 0usize;
+
+    let mut depth = 0usize;
+    loop {
+        if let Some(max) = options.max_cond_size {
+            if depth > max {
+                break;
+            }
+        }
+        let mut any_candidate = false;
+        // Iterate over a frozen copy of the adjacency structure: edge removals
+        // within a depth level should not un-consider pairs queued earlier.
+        let pairs: Vec<(NodeId, NodeId)> = graph
+            .edges()
+            .iter()
+            .flat_map(|e| [(e.a, e.b), (e.b, e.a)])
+            .collect();
+        for (x, y) in pairs {
+            if !graph.adjacent(x, y) {
+                continue;
+            }
+            let adj: Vec<NodeId> = graph
+                .neighbors(x)
+                .into_iter()
+                .filter(|&v| v != y)
+                .collect();
+            if adj.len() < depth {
+                continue;
+            }
+            any_candidate = true;
+            let mut removed = false;
+            for_each_subset_of_size(&adj, depth, &mut |subset| {
+                if removed {
+                    return;
+                }
+                let z: Vec<&str> = subset.iter().map(|&v| vars[v]).collect();
+                n_tests += 1;
+                if let Ok(true) = test.independent(data, vars[x], vars[y], &z) {
+                    removed = true;
+                    sepsets.insert(vars[x], vars[y], z.iter().map(|s| s.to_string()).collect());
+                }
+            });
+            if removed {
+                graph.remove_edge(x, y);
+            }
+        }
+        if !any_candidate {
+            break;
+        }
+        depth += 1;
+    }
+
+    Ok(SkeletonResult {
+        graph,
+        sepsets,
+        n_ci_tests: n_tests,
+    })
+}
+
+/// Calls `f` for every subset of `items` of exactly `size` elements.
+pub(crate) fn for_each_subset_of_size(
+    items: &[NodeId],
+    size: usize,
+    f: &mut impl FnMut(&[NodeId]),
+) {
+    fn rec(
+        items: &[NodeId],
+        size: usize,
+        start: usize,
+        current: &mut Vec<NodeId>,
+        f: &mut impl FnMut(&[NodeId]),
+    ) {
+        if current.len() == size {
+            f(current);
+            return;
+        }
+        // Prune when not enough items remain.
+        if items.len() - start < size - current.len() {
+            return;
+        }
+        for i in start..items.len() {
+            current.push(items[i]);
+            rec(items, size, i + 1, current, f);
+            current.pop();
+        }
+    }
+    let mut current = Vec::with_capacity(size);
+    rec(items, size, 0, &mut current, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleCiTest;
+    use xinsight_data::DatasetBuilder;
+    use xinsight_graph::Dag;
+
+    fn dummy_data() -> Dataset {
+        DatasetBuilder::new().dimension("_", ["x"]).build().unwrap()
+    }
+
+    #[test]
+    fn oracle_skeleton_of_a_chain() {
+        // A -> B -> C : skeleton A - B - C, sepset(A, C) = {B}.
+        let mut dag = Dag::new(["A", "B", "C"]);
+        dag.add_edge(0, 1);
+        dag.add_edge(1, 2);
+        let oracle = OracleCiTest::from_dag(&dag);
+        let result = skeleton_search(
+            &dummy_data(),
+            &["A", "B", "C"],
+            &oracle,
+            &SkeletonOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.graph.n_edges(), 2);
+        assert!(result.graph.adjacent(0, 1));
+        assert!(result.graph.adjacent(1, 2));
+        assert!(!result.graph.adjacent(0, 2));
+        assert_eq!(result.sepsets.get("A", "C").unwrap(), &["B".to_string()]);
+        assert!(result.n_ci_tests > 0);
+    }
+
+    #[test]
+    fn oracle_skeleton_of_a_collider() {
+        // A -> B <- C : A and C are marginally independent, so sepset is empty.
+        let mut dag = Dag::new(["A", "B", "C"]);
+        dag.add_edge(0, 1);
+        dag.add_edge(2, 1);
+        let oracle = OracleCiTest::from_dag(&dag);
+        let result = skeleton_search(
+            &dummy_data(),
+            &["A", "B", "C"],
+            &oracle,
+            &SkeletonOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.graph.n_edges(), 2);
+        assert!(!result.graph.adjacent(0, 2));
+        assert_eq!(result.sepsets.get("A", "C").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn max_cond_size_limits_removals() {
+        // Diamond: A -> B -> D, A -> C -> D. Separating A and D needs {B, C}.
+        let mut dag = Dag::new(["A", "B", "C", "D"]);
+        dag.add_edge(0, 1);
+        dag.add_edge(0, 2);
+        dag.add_edge(1, 3);
+        dag.add_edge(2, 3);
+        let oracle = OracleCiTest::from_dag(&dag);
+        let limited = skeleton_search(
+            &dummy_data(),
+            &["A", "B", "C", "D"],
+            &oracle,
+            &SkeletonOptions {
+                max_cond_size: Some(1),
+            },
+        )
+        .unwrap();
+        // With conditioning sets capped at size 1, the A - D edge cannot be removed.
+        assert!(limited.graph.adjacent(0, 3));
+
+        let full = skeleton_search(
+            &dummy_data(),
+            &["A", "B", "C", "D"],
+            &oracle,
+            &SkeletonOptions::default(),
+        )
+        .unwrap();
+        assert!(!full.graph.adjacent(0, 3));
+        assert_eq!(full.graph.n_edges(), 4);
+        let sep = full.sepsets.get("A", "D").unwrap();
+        assert_eq!(sep, &["B".to_string(), "C".to_string()]);
+    }
+
+    #[test]
+    fn independent_variables_yield_empty_skeleton() {
+        let dag = Dag::new(["A", "B", "C"]);
+        let oracle = OracleCiTest::from_dag(&dag);
+        let result = skeleton_search(
+            &dummy_data(),
+            &["A", "B", "C"],
+            &oracle,
+            &SkeletonOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.graph.n_edges(), 0);
+        assert_eq!(result.sepsets.len(), 3);
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let items: Vec<NodeId> = vec![0, 1, 2, 3];
+        let mut count = 0;
+        for_each_subset_of_size(&items, 2, &mut |_| count += 1);
+        assert_eq!(count, 6);
+        count = 0;
+        for_each_subset_of_size(&items, 0, &mut |s| {
+            assert!(s.is_empty());
+            count += 1
+        });
+        assert_eq!(count, 1);
+        count = 0;
+        for_each_subset_of_size(&items, 5, &mut |_| count += 1);
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Edge endpoint marks.
+
+use std::fmt;
+
+/// The mark found at one end of an edge in a mixed graph.
+///
+/// PAGs use all three; MAGs use only tails and arrowheads (Sec. 2.2 /
+/// Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mark {
+    /// `-` : the node at this end is a cause along this edge.
+    Tail,
+    /// `>` : the edge points into the node at this end.
+    Arrow,
+    /// `o` : undetermined endpoint (either tail or arrowhead across the
+    /// Markov equivalence class).
+    Circle,
+}
+
+impl Mark {
+    /// Returns `true` when the mark is an arrowhead.
+    pub fn is_arrow(&self) -> bool {
+        matches!(self, Mark::Arrow)
+    }
+
+    /// Returns `true` when the mark is a tail.
+    pub fn is_tail(&self) -> bool {
+        matches!(self, Mark::Tail)
+    }
+
+    /// Returns `true` when the mark is undetermined.
+    pub fn is_circle(&self) -> bool {
+        matches!(self, Mark::Circle)
+    }
+}
+
+impl fmt::Display for Mark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mark::Tail => "-",
+            Mark::Arrow => ">",
+            Mark::Circle => "o",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(Mark::Arrow.is_arrow());
+        assert!(Mark::Tail.is_tail());
+        assert!(Mark::Circle.is_circle());
+        assert!(!Mark::Circle.is_arrow());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Mark::Tail.to_string(), "-");
+        assert_eq!(Mark::Arrow.to_string(), ">");
+        assert_eq!(Mark::Circle.to_string(), "o");
+    }
+}

@@ -1,0 +1,534 @@
+//! Directed mixed graphs with endpoint marks (MAGs and PAGs live here).
+
+use crate::edge::Edge;
+use crate::endpoint::Mark;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Dense node identifier inside a [`MixedGraph`].
+pub type NodeId = usize;
+
+/// Classification of an edge by its two endpoint marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeType {
+    /// `A → B`
+    Directed,
+    /// `A ↔ B`
+    Bidirected,
+    /// `A o→ B`
+    PartiallyDirected,
+    /// `A o-o B`
+    Nondirected,
+    /// `A — B` (tails at both ends; only arises under selection bias, which
+    /// the paper assumes away, but FCI rules R5–R7 can still produce it)
+    Undirected,
+}
+
+/// A directed mixed graph: named nodes plus at most one marked edge between
+/// any two nodes.
+///
+/// The same structure represents skeletons (all-circle marks), MAGs
+/// (tail/arrow marks, ancestral, maximal) and PAGs (possibly with circles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedGraph {
+    names: Vec<String>,
+    index: HashMap<String, NodeId>,
+    /// `adj[a][b] = (mark at a, mark at b)` for each edge `a – b`.
+    adj: Vec<BTreeMap<NodeId, (Mark, Mark)>>,
+}
+
+impl MixedGraph {
+    /// Creates a graph with the given node names and no edges.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let adj = vec![BTreeMap::new(); names.len()];
+        MixedGraph { names, index, adj }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of node `id`.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id]
+    }
+
+    /// All node names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Node id of `name`, if present.
+    pub fn id(&self, name: &str) -> Option<NodeId> {
+        self.index.get(name).copied()
+    }
+
+    /// Node id of `name`, panicking with a readable message when absent.
+    pub fn expect_id(&self, name: &str) -> NodeId {
+        self.id(name)
+            .unwrap_or_else(|| panic!("node `{name}` is not part of the graph"))
+    }
+
+    /// Inserts (or replaces) the edge `a – b` with the given marks.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, mark_a: Mark, mark_b: Mark) {
+        assert!(a != b, "self loops are not allowed");
+        self.adj[a].insert(b, (mark_a, mark_b));
+        self.adj[b].insert(a, (mark_b, mark_a));
+    }
+
+    /// Inserts the directed edge `a → b`.
+    pub fn add_directed(&mut self, a: NodeId, b: NodeId) {
+        self.add_edge(a, b, Mark::Tail, Mark::Arrow);
+    }
+
+    /// Inserts the bidirected edge `a ↔ b`.
+    pub fn add_bidirected(&mut self, a: NodeId, b: NodeId) {
+        self.add_edge(a, b, Mark::Arrow, Mark::Arrow);
+    }
+
+    /// Inserts the nondirected edge `a o-o b`.
+    pub fn add_nondirected(&mut self, a: NodeId, b: NodeId) {
+        self.add_edge(a, b, Mark::Circle, Mark::Circle);
+    }
+
+    /// Removes the edge between `a` and `b`, if any.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) {
+        self.adj[a].remove(&b);
+        self.adj[b].remove(&a);
+    }
+
+    /// Returns `true` when `a` and `b` are adjacent.
+    pub fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a].contains_key(&b)
+    }
+
+    /// The edge between `a` and `b`, if any.
+    pub fn edge(&self, a: NodeId, b: NodeId) -> Option<Edge> {
+        self.adj[a]
+            .get(&b)
+            .map(|&(ma, mb)| Edge::new(a, b, ma, mb))
+    }
+
+    /// The mark at `at`'s end of the edge between `at` and `other`.
+    pub fn mark_at(&self, at: NodeId, other: NodeId) -> Option<Mark> {
+        self.adj[at].get(&other).map(|&(m, _)| m)
+    }
+
+    /// Sets the mark at `at`'s end of the existing edge between `at` and
+    /// `other`.  Panics when the edge does not exist.
+    pub fn set_mark(&mut self, at: NodeId, other: NodeId, mark: Mark) {
+        let (_, far) = *self
+            .adj[at]
+            .get(&other)
+            .unwrap_or_else(|| panic!("no edge between {at} and {other}"));
+        self.adj[at].insert(other, (mark, far));
+        self.adj[other].insert(at, (far, mark));
+    }
+
+    /// Orients the existing edge as `a → b` (tail at `a`, arrowhead at `b`).
+    pub fn orient(&mut self, a: NodeId, b: NodeId) {
+        self.set_mark(a, b, Mark::Tail);
+        self.set_mark(b, a, Mark::Arrow);
+    }
+
+    /// Neighbors of `a` (any edge).
+    pub fn neighbors(&self, a: NodeId) -> Vec<NodeId> {
+        self.adj[a].keys().copied().collect()
+    }
+
+    /// Degree of `a`.
+    pub fn degree(&self, a: NodeId) -> usize {
+        self.adj[a].len()
+    }
+
+    /// All edges, each reported once with `a < b`.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::new();
+        for a in 0..self.n_nodes() {
+            for (&b, &(ma, mb)) in &self.adj[a] {
+                if a < b {
+                    out.push(Edge::new(a, b, ma, mb));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(|m| m.len()).sum::<usize>() / 2
+    }
+
+    /// Classification of the edge between `a` and `b`.
+    pub fn edge_type(&self, a: NodeId, b: NodeId) -> Option<EdgeType> {
+        self.adj[a].get(&b).map(|&(ma, mb)| match (ma, mb) {
+            (Mark::Tail, Mark::Arrow) | (Mark::Arrow, Mark::Tail) => EdgeType::Directed,
+            (Mark::Arrow, Mark::Arrow) => EdgeType::Bidirected,
+            (Mark::Circle, Mark::Circle) => EdgeType::Nondirected,
+            (Mark::Tail, Mark::Tail) => EdgeType::Undirected,
+            _ => EdgeType::PartiallyDirected,
+        })
+    }
+
+    /// Returns `true` when `a → b` (tail at a, arrowhead at b).
+    pub fn is_parent(&self, a: NodeId, b: NodeId) -> bool {
+        matches!(self.adj[a].get(&b), Some(&(Mark::Tail, Mark::Arrow)))
+    }
+
+    /// Parents of `b`: nodes `a` with `a → b`.
+    pub fn parents(&self, b: NodeId) -> Vec<NodeId> {
+        self.adj[b]
+            .iter()
+            .filter(|&(_, &(mb, ma))| mb == Mark::Arrow && ma == Mark::Tail)
+            .map(|(&a, _)| a)
+            .collect()
+    }
+
+    /// Children of `a`: nodes `b` with `a → b`.
+    pub fn children(&self, a: NodeId) -> Vec<NodeId> {
+        self.adj[a]
+            .iter()
+            .filter(|&(_, &(ma, mb))| ma == Mark::Tail && mb == Mark::Arrow)
+            .map(|(&b, _)| b)
+            .collect()
+    }
+
+    /// Returns `true` when `mid` is a collider on the path `prev *→ mid ←* next`.
+    ///
+    /// Only definite arrowheads count; circle marks do not make a collider.
+    pub fn is_collider(&self, prev: NodeId, mid: NodeId, next: NodeId) -> bool {
+        matches!(self.mark_at(mid, prev), Some(Mark::Arrow))
+            && matches!(self.mark_at(mid, next), Some(Mark::Arrow))
+    }
+
+    /// Returns `true` when `(a, mid, c)` is an unshielded triple:
+    /// `a` and `mid` adjacent, `mid` and `c` adjacent, `a` and `c` not.
+    pub fn is_unshielded_triple(&self, a: NodeId, mid: NodeId, c: NodeId) -> bool {
+        self.adjacent(a, mid) && self.adjacent(mid, c) && !self.adjacent(a, c) && a != c
+    }
+
+    /// Ancestors of `x` (via directed edges only), not including `x` itself.
+    pub fn ancestors(&self, x: NodeId) -> HashSet<NodeId> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from(vec![x]);
+        while let Some(v) = queue.pop_front() {
+            for p in self.parents(v) {
+                if seen.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Descendants of `x` (via directed edges only), not including `x` itself.
+    pub fn descendants(&self, x: NodeId) -> HashSet<NodeId> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from(vec![x]);
+        while let Some(v) = queue.pop_front() {
+            for c in self.children(v) {
+                if seen.insert(c) {
+                    queue.push_back(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Returns `true` when there is a directed path `a → ... → b`.
+    pub fn is_ancestor_of(&self, a: NodeId, b: NodeId) -> bool {
+        a == b || self.descendants(a).contains(&b)
+    }
+
+    /// Returns `true` when the graph contains a directed cycle.
+    pub fn has_directed_cycle(&self) -> bool {
+        (0..self.n_nodes()).any(|v| self.descendants(v).contains(&v))
+    }
+
+    /// Returns `true` when the graph contains an almost-directed cycle
+    /// (`X → ... → Z ↔ X`, Def. 2.4).
+    pub fn has_almost_directed_cycle(&self) -> bool {
+        for e in self.edges() {
+            if e.is_bidirected() {
+                if self.descendants(e.a).contains(&e.b) || self.descendants(e.b).contains(&e.a) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns `true` when the graph is *ancestral*: no directed cycles, no
+    /// almost-directed cycles, and no undirected (tail-tail) edges.
+    pub fn is_ancestral(&self) -> bool {
+        !self.has_directed_cycle()
+            && !self.has_almost_directed_cycle()
+            && self
+                .edges()
+                .iter()
+                .all(|e| self.edge_type(e.a, e.b) != Some(EdgeType::Undirected))
+    }
+
+    /// Returns `true` when the graph is a MAG: ancestral, contains no circle
+    /// marks, and is maximal (every non-adjacent pair has an m-separating
+    /// subset of the remaining nodes).
+    ///
+    /// The maximality check enumerates separating sets and is exponential in
+    /// the worst case; it is intended for tests and for the small-to-medium
+    /// graphs used in the evaluation.
+    pub fn is_mag(&self) -> bool {
+        if !self.is_ancestral() {
+            return false;
+        }
+        if self.edges().iter().any(|e| e.has_circle()) {
+            return false;
+        }
+        let n = self.n_nodes();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if !self.adjacent(a, b) && !self.has_some_separating_set(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn has_some_separating_set(&self, a: NodeId, b: NodeId) -> bool {
+        let others: Vec<NodeId> = (0..self.n_nodes()).filter(|&v| v != a && v != b).collect();
+        let k = others.len();
+        // Cap the enumeration to keep the check usable; graphs in tests are small.
+        if k > 20 {
+            // Fall back to checking the two canonical candidates.
+            let cand1: Vec<NodeId> = self.ancestors(a).union(&self.ancestors(b)).copied().collect();
+            return crate::separation::m_separated(self, a, b, &cand1)
+                || crate::separation::m_separated(self, a, b, &[]);
+        }
+        for bits in 0..(1usize << k) {
+            let z: Vec<NodeId> = others
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| bits >> i & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect();
+            if crate::separation::m_separated(self, a, b, &z) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns a copy with every endpoint mark replaced by a circle
+    /// (the paper's *skeleton*, Def. 2.7, keeping adjacency only).
+    pub fn skeleton(&self) -> MixedGraph {
+        let mut g = MixedGraph::new(self.names.clone());
+        for e in self.edges() {
+            g.add_nondirected(e.a, e.b);
+        }
+        g
+    }
+
+    /// Merges the edges of `other` (defined over a node subset, matched by
+    /// name) into this graph, replacing any existing edge between the same
+    /// endpoints.  Used by XLearner's concatenation step (Alg. 1, line 17).
+    pub fn merge_by_name(&mut self, other: &MixedGraph) {
+        for e in other.edges() {
+            let a = self.expect_id(other.name(e.a));
+            let b = self.expect_id(other.name(e.b));
+            self.add_edge(a, b, e.near_a, e.near_b);
+        }
+    }
+
+    /// Renders a readable multi-line description (one edge per line).
+    pub fn to_text(&self) -> String {
+        let mut lines: Vec<String> = self
+            .edges()
+            .iter()
+            .map(|e| {
+                let left = match e.near_a {
+                    Mark::Tail => "-",
+                    Mark::Arrow => "<",
+                    Mark::Circle => "o",
+                };
+                let right = match e.near_b {
+                    Mark::Tail => "-",
+                    Mark::Arrow => ">",
+                    Mark::Circle => "o",
+                };
+                format!("{} {}-{} {}", self.names[e.a], left, right, self.names[e.b])
+            })
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+impl fmt::Display for MixedGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 1(c) lung-cancer graph (fully oriented variant).
+    fn lung_cancer_graph() -> MixedGraph {
+        let mut g = MixedGraph::new([
+            "Location", "Stress", "Smoking", "LungCancer", "Surgery", "Survival",
+        ]);
+        let loc = g.expect_id("Location");
+        let stress = g.expect_id("Stress");
+        let smoking = g.expect_id("Smoking");
+        let cancer = g.expect_id("LungCancer");
+        let surgery = g.expect_id("Surgery");
+        let survival = g.expect_id("Survival");
+        g.add_directed(loc, smoking);
+        g.add_directed(stress, smoking);
+        g.add_directed(smoking, cancer);
+        g.add_directed(cancer, surgery);
+        g.add_directed(cancer, survival);
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = lung_cancer_graph();
+        assert_eq!(g.n_nodes(), 6);
+        assert_eq!(g.n_edges(), 5);
+        let smoking = g.expect_id("Smoking");
+        let cancer = g.expect_id("LungCancer");
+        assert!(g.adjacent(smoking, cancer));
+        assert!(g.is_parent(smoking, cancer));
+        assert!(!g.is_parent(cancer, smoking));
+        assert_eq!(g.edge_type(smoking, cancer), Some(EdgeType::Directed));
+        assert_eq!(g.parents(cancer), vec![smoking]);
+        assert_eq!(g.children(cancer).len(), 2);
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let g = lung_cancer_graph();
+        let loc = g.expect_id("Location");
+        let cancer = g.expect_id("LungCancer");
+        let survival = g.expect_id("Survival");
+        assert!(g.ancestors(cancer).contains(&loc));
+        assert!(g.descendants(loc).contains(&survival));
+        assert!(g.is_ancestor_of(loc, survival));
+        assert!(!g.is_ancestor_of(survival, loc));
+        assert!(g.is_ancestor_of(loc, loc));
+    }
+
+    #[test]
+    fn collider_detection() {
+        let g = lung_cancer_graph();
+        let loc = g.expect_id("Location");
+        let stress = g.expect_id("Stress");
+        let smoking = g.expect_id("Smoking");
+        let cancer = g.expect_id("LungCancer");
+        let surgery = g.expect_id("Surgery");
+        assert!(g.is_collider(loc, smoking, stress));
+        assert!(!g.is_collider(smoking, cancer, surgery)); // chain node is not a collider
+        assert!(g.is_unshielded_triple(loc, smoking, stress));
+        assert!(!g.is_unshielded_triple(smoking, cancer, smoking));
+    }
+
+    #[test]
+    fn orientation_and_marks() {
+        let mut g = MixedGraph::new(["A", "B"]);
+        g.add_nondirected(0, 1);
+        assert_eq!(g.edge_type(0, 1), Some(EdgeType::Nondirected));
+        g.set_mark(1, 0, Mark::Arrow);
+        assert_eq!(g.edge_type(0, 1), Some(EdgeType::PartiallyDirected));
+        g.orient(0, 1);
+        assert_eq!(g.edge_type(0, 1), Some(EdgeType::Directed));
+        assert!(g.is_parent(0, 1));
+        g.remove_edge(0, 1);
+        assert!(!g.adjacent(0, 1));
+    }
+
+    #[test]
+    fn cycles_detected() {
+        let mut g = MixedGraph::new(["A", "B", "C"]);
+        g.add_directed(0, 1);
+        g.add_directed(1, 2);
+        assert!(!g.has_directed_cycle());
+        g.add_directed(2, 0);
+        assert!(g.has_directed_cycle());
+
+        let mut h = MixedGraph::new(["A", "B", "C"]);
+        h.add_directed(0, 1);
+        h.add_directed(1, 2);
+        h.add_bidirected(2, 0);
+        assert!(!h.has_directed_cycle());
+        assert!(h.has_almost_directed_cycle());
+        assert!(!h.is_ancestral());
+    }
+
+    #[test]
+    fn mag_checks() {
+        let g = lung_cancer_graph();
+        assert!(g.is_ancestral());
+        assert!(g.is_mag());
+
+        // A graph with a circle mark is not a MAG.
+        let mut h = MixedGraph::new(["A", "B"]);
+        h.add_nondirected(0, 1);
+        assert!(!h.is_mag());
+
+        // Non-maximal: A -> B <- C plus A <-> C would be needed for maximality
+        // only when A and C cannot be separated; here A ⊥ C | {} holds so it is a MAG.
+        let mut k = MixedGraph::new(["A", "B", "C"]);
+        k.add_directed(0, 1);
+        k.add_directed(2, 1);
+        assert!(k.is_mag());
+    }
+
+    #[test]
+    fn skeleton_strips_marks() {
+        let g = lung_cancer_graph();
+        let s = g.skeleton();
+        assert_eq!(s.n_edges(), g.n_edges());
+        assert!(s.edges().iter().all(|e| e.has_circle()));
+    }
+
+    #[test]
+    fn merge_by_name_overrides_edges() {
+        let mut g = MixedGraph::new(["A", "B", "C"]);
+        g.add_nondirected(0, 1);
+        let mut sub = MixedGraph::new(["B", "C"]);
+        sub.add_directed(0, 1); // B -> C
+        g.merge_by_name(&sub);
+        let b = g.expect_id("B");
+        let c = g.expect_id("C");
+        assert!(g.is_parent(b, c));
+        assert_eq!(g.n_edges(), 2);
+    }
+
+    #[test]
+    fn to_text_is_sorted_and_readable() {
+        let g = lung_cancer_graph();
+        let text = g.to_text();
+        assert!(text.contains("Smoking --> LungCancer"));
+        assert!(text.lines().count() == 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the graph")]
+    fn expect_id_panics_on_unknown() {
+        let g = MixedGraph::new(["A"]);
+        g.expect_id("B");
+    }
+}

@@ -1,0 +1,250 @@
+//! m-separation (Def. 2.3) over mixed graphs and d-separation over DAGs.
+//!
+//! The implementation searches for an *m-connecting walk* from `x` to `y`
+//! given `Z` with a reachability sweep over directed edge-traversal states
+//! `(from, to)`.  A walk exists iff a path exists, so the criterion is exact.
+//!
+//! A non-endpoint node `W` on a path blocks the path iff
+//! * `W` is a non-collider and `W ∈ Z`, or
+//! * `W` is a collider and `W` is neither in `Z` nor an ancestor of a node
+//!   of `Z` (ancestors via directed edges only).
+//!
+//! Collider status requires *definite* arrowheads at both incident
+//! endpoints; circle marks in PAGs are treated as non-arrowheads, which keeps
+//! the criterion exact for MAGs/DAGs and conservative-toward-connection for
+//! PAGs (a circle never hides a connecting path behind a collider).
+
+use crate::mixed_graph::{MixedGraph, NodeId};
+use std::collections::{HashSet, VecDeque};
+
+/// Returns `true` when `x` and `y` are m-separated by `z` in `graph`.
+pub fn m_separated(graph: &MixedGraph, x: NodeId, y: NodeId, z: &[NodeId]) -> bool {
+    !m_connected(graph, x, y, z)
+}
+
+/// Returns `true` when there exists an m-connecting path between `x` and `y`
+/// given `z`.
+pub fn m_connected(graph: &MixedGraph, x: NodeId, y: NodeId, z: &[NodeId]) -> bool {
+    if x == y {
+        return true;
+    }
+    if graph.adjacent(x, y) {
+        // An edge between x and y has no non-endpoint node, so it can never
+        // be blocked.
+        return true;
+    }
+    let zset: HashSet<NodeId> = z.iter().copied().collect();
+    if zset.contains(&x) || zset.contains(&y) {
+        // Conditioning on an endpoint is degenerate; follow the convention
+        // that paths through conditioned endpoints are blocked but the
+        // endpoints themselves still count as connected only via an edge.
+    }
+    // Nodes that keep colliders open: Z and all ancestors of Z.
+    let mut open_colliders: HashSet<NodeId> = zset.clone();
+    for &zi in z {
+        open_colliders.extend(graph.ancestors(zi));
+    }
+
+    // State (u, v): we arrived at v coming from u along edge {u, v}.
+    let mut visited: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut queue: VecDeque<(NodeId, NodeId)> = VecDeque::new();
+    for w in graph.neighbors(x) {
+        if w == y {
+            return true;
+        }
+        if visited.insert((x, w)) {
+            queue.push_back((x, w));
+        }
+    }
+    while let Some((u, v)) = queue.pop_front() {
+        for w in graph.neighbors(v) {
+            if w == u {
+                continue;
+            }
+            let collider = graph.is_collider(u, v, w);
+            let open = if collider {
+                open_colliders.contains(&v)
+            } else {
+                !zset.contains(&v)
+            };
+            if !open {
+                continue;
+            }
+            if w == y {
+                return true;
+            }
+            if visited.insert((v, w)) {
+                queue.push_back((v, w));
+            }
+        }
+    }
+    false
+}
+
+/// Name-based wrapper around [`m_separated`].
+///
+/// # Panics
+/// Panics when a name is not part of the graph.
+pub fn m_separated_by_names(graph: &MixedGraph, x: &str, y: &str, z: &[&str]) -> bool {
+    let xi = graph.expect_id(x);
+    let yi = graph.expect_id(y);
+    let zi: Vec<NodeId> = z.iter().map(|n| graph.expect_id(n)).collect();
+    m_separated(graph, xi, yi, &zi)
+}
+
+/// Finds a minimal-by-inclusion subset of `candidate` that m-separates `x`
+/// and `y`, if any subset does.  Used by tests and by the oracle sepset
+/// machinery; enumeration is over subsets of increasing size.
+pub fn find_separating_set(
+    graph: &MixedGraph,
+    x: NodeId,
+    y: NodeId,
+    candidate: &[NodeId],
+) -> Option<Vec<NodeId>> {
+    let cands: Vec<NodeId> = candidate
+        .iter()
+        .copied()
+        .filter(|&v| v != x && v != y)
+        .collect();
+    for size in 0..=cands.len() {
+        let mut found = None;
+        for_each_subset_of_size(&cands, size, &mut |subset| {
+            if found.is_none() && m_separated(graph, x, y, subset) {
+                found = Some(subset.to_vec());
+            }
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+fn for_each_subset_of_size(items: &[NodeId], size: usize, f: &mut impl FnMut(&[NodeId])) {
+    fn rec(
+        items: &[NodeId],
+        size: usize,
+        start: usize,
+        current: &mut Vec<NodeId>,
+        f: &mut impl FnMut(&[NodeId]),
+    ) {
+        if current.len() == size {
+            f(current);
+            return;
+        }
+        for i in start..items.len() {
+            current.push(items[i]);
+            rec(items, size, i + 1, current, f);
+            current.pop();
+        }
+    }
+    let mut current = Vec::with_capacity(size);
+    rec(items, size, 0, &mut current, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixed_graph::MixedGraph;
+
+    /// The paper's Fig. 1(c) as a fully oriented graph.
+    fn lung_cancer() -> MixedGraph {
+        let mut g = MixedGraph::new([
+            "Location", "Stress", "Smoking", "LungCancer", "Surgery", "Survival",
+        ]);
+        g.add_directed(g.expect_id("Location"), g.expect_id("Smoking"));
+        g.add_directed(g.expect_id("Stress"), g.expect_id("Smoking"));
+        g.add_directed(g.expect_id("Smoking"), g.expect_id("LungCancer"));
+        g.add_directed(g.expect_id("LungCancer"), g.expect_id("Surgery"));
+        g.add_directed(g.expect_id("LungCancer"), g.expect_id("Survival"));
+        g
+    }
+
+    #[test]
+    fn paper_example_2_7_smoking_blocks_location() {
+        let g = lung_cancer();
+        // Lung Cancer ⫫ Location | Smoking (Ex. 2.7).
+        assert!(m_separated_by_names(&g, "LungCancer", "Location", &["Smoking"]));
+        assert!(!m_separated_by_names(&g, "LungCancer", "Location", &[]));
+    }
+
+    #[test]
+    fn collider_opens_under_conditioning() {
+        let g = lung_cancer();
+        // Location and Stress are marginally separated but conditioning on the
+        // collider Smoking (or on its descendant LungCancer) connects them.
+        assert!(m_separated_by_names(&g, "Location", "Stress", &[]));
+        assert!(!m_separated_by_names(&g, "Location", "Stress", &["Smoking"]));
+        assert!(!m_separated_by_names(&g, "Location", "Stress", &["LungCancer"]));
+        assert!(!m_separated_by_names(&g, "Location", "Stress", &["Survival"]));
+    }
+
+    #[test]
+    fn downstream_variables_connected_without_conditioning() {
+        let g = lung_cancer();
+        assert!(!m_separated_by_names(&g, "Surgery", "Survival", &[]));
+        assert!(m_separated_by_names(&g, "Surgery", "Survival", &["LungCancer"]));
+        assert!(m_separated_by_names(&g, "Location", "Survival", &["Smoking"]));
+        assert!(m_separated_by_names(&g, "Location", "Survival", &["LungCancer"]));
+    }
+
+    #[test]
+    fn bidirected_edges_behave_like_latent_confounders() {
+        // X <-> Y <-> Z : Y is a collider on the path X..Z.
+        let mut g = MixedGraph::new(["X", "Y", "Z"]);
+        g.add_bidirected(0, 1);
+        g.add_bidirected(1, 2);
+        assert!(m_separated(&g, 0, 2, &[]));
+        assert!(!m_separated(&g, 0, 2, &[1]));
+    }
+
+    #[test]
+    fn adjacency_is_never_separated() {
+        let mut g = MixedGraph::new(["X", "Y", "Z"]);
+        g.add_directed(0, 1);
+        g.add_directed(2, 1);
+        assert!(!m_separated(&g, 0, 1, &[2]));
+    }
+
+    #[test]
+    fn circle_marks_do_not_create_colliders() {
+        // X o-o Y o-o Z: with circles, Y is not a definite collider, so the
+        // path is open marginally and blocked by {Y}.
+        let mut g = MixedGraph::new(["X", "Y", "Z"]);
+        g.add_nondirected(0, 1);
+        g.add_nondirected(1, 2);
+        assert!(!m_separated(&g, 0, 2, &[]));
+        assert!(m_separated(&g, 0, 2, &[1]));
+    }
+
+    #[test]
+    fn find_separating_set_returns_minimal_set() {
+        let g = lung_cancer();
+        let x = g.expect_id("Location");
+        let y = g.expect_id("Survival");
+        let all: Vec<NodeId> = (0..g.n_nodes()).collect();
+        let sep = find_separating_set(&g, x, y, &all).unwrap();
+        assert_eq!(sep.len(), 1);
+        let name = g.name(sep[0]);
+        assert!(name == "Smoking" || name == "LungCancer");
+
+        // Adjacent nodes have no separating set.
+        let s = g.expect_id("Smoking");
+        let c = g.expect_id("LungCancer");
+        assert!(find_separating_set(&g, s, c, &all).is_none());
+    }
+
+    #[test]
+    fn longer_collider_chains() {
+        // A -> B <- C -> D: A and D are separated by {} and by {C}? No:
+        // path A -> B <- C -> D is blocked at B (collider, unconditioned).
+        // Conditioning on B opens it; conditioning on {B, C} blocks at C.
+        let mut g = MixedGraph::new(["A", "B", "C", "D"]);
+        g.add_directed(0, 1);
+        g.add_directed(2, 1);
+        g.add_directed(2, 3);
+        assert!(m_separated(&g, 0, 3, &[]));
+        assert!(!m_separated(&g, 0, 3, &[1]));
+        assert!(m_separated(&g, 0, 3, &[1, 2]));
+    }
+}

@@ -1,0 +1,78 @@
+//! The conditional-independence test abstraction.
+
+use xinsight_data::{Dataset, Result};
+
+/// Outcome of one CI query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CiOutcome {
+    /// Whether the test declares `X ⫫ Y | Z` at its significance level.
+    pub independent: bool,
+    /// The p-value of the test (1.0 when the test is vacuous, e.g. a
+    /// degenerate contingency table).
+    pub p_value: f64,
+}
+
+/// A conditional-independence test `X ⫫ Y | Z` evaluated on a dataset.
+///
+/// Discovery algorithms (PC, FCI, XLearner) are generic over this trait so
+/// the same code runs against the chi-square test, the G-test, the Fisher-z
+/// test or the d-separation oracle used in unit tests.
+pub trait CiTest {
+    /// Runs the test of `x ⫫ y | z` on `data`.
+    fn test(&self, data: &Dataset, x: &str, y: &str, z: &[&str]) -> Result<CiOutcome>;
+
+    /// Convenience wrapper returning only the decision.
+    fn independent(&self, data: &Dataset, x: &str, y: &str, z: &[&str]) -> Result<bool> {
+        Ok(self.test(data, x, y, z)?.independent)
+    }
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "ci-test"
+    }
+}
+
+impl<T: CiTest + ?Sized> CiTest for &T {
+    fn test(&self, data: &Dataset, x: &str, y: &str, z: &[&str]) -> Result<CiOutcome> {
+        (**self).test(data, x, y, z)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: CiTest + ?Sized> CiTest for Box<T> {
+    fn test(&self, data: &Dataset, x: &str, y: &str, z: &[&str]) -> Result<CiOutcome> {
+        (**self).test(data, x, y, z)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChiSquareTest;
+    use xinsight_data::DatasetBuilder;
+
+    #[test]
+    fn trait_objects_and_references_delegate() {
+        let d = DatasetBuilder::new()
+            .dimension("X", ["a", "b", "a", "b"])
+            .dimension("Y", ["p", "q", "q", "p"])
+            .build()
+            .unwrap();
+        let test = ChiSquareTest::new(0.05);
+        let boxed: Box<dyn CiTest> = Box::new(ChiSquareTest::new(0.05));
+        let by_ref = &test;
+        let a = test.test(&d, "X", "Y", &[]).unwrap();
+        let b = boxed.test(&d, "X", "Y", &[]).unwrap();
+        let c = by_ref.test(&d, "X", "Y", &[]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(boxed.name(), "chi-square");
+    }
+}

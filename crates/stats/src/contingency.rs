@@ -1,0 +1,265 @@
+//! Stratified contingency tables over dimension columns.
+
+use xinsight_data::{Dataset, Result};
+
+/// A cross tabulation of two dimensions `X`, `Y`, stratified by the joint
+/// values of a (possibly empty) conditioning set `Z`.
+///
+/// Rows with a missing value in any involved column are dropped, matching the
+/// preprocessing described in Sec. 4.1 of the paper.
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    /// Number of categories of `X`.
+    pub x_cardinality: usize,
+    /// Number of categories of `Y`.
+    pub y_cardinality: usize,
+    /// Per-stratum count matrices, each of shape `x_cardinality × y_cardinality`
+    /// stored row-major.
+    pub strata: Vec<Vec<u64>>,
+    /// Total number of counted observations.
+    pub total: u64,
+}
+
+impl ContingencyTable {
+    /// Builds the table for `x`, `y` conditioned on the dimensions `z`.
+    pub fn build(data: &Dataset, x: &str, y: &str, z: &[&str]) -> Result<Self> {
+        let xcol = data.dimension(x)?;
+        let ycol = data.dimension(y)?;
+        let zcols = z
+            .iter()
+            .map(|name| data.dimension(name))
+            .collect::<Result<Vec<_>>>()?;
+        let x_card = xcol.cardinality().max(1);
+        let y_card = ycol.cardinality().max(1);
+        let z_cards: Vec<usize> = zcols.iter().map(|c| c.cardinality().max(1)).collect();
+        let n_strata: usize = z_cards.iter().product::<usize>().max(1);
+
+        let mut strata = vec![vec![0u64; x_card * y_card]; n_strata];
+        let mut total = 0u64;
+        'rows: for i in 0..data.n_rows() {
+            let cx = xcol.code(i);
+            let cy = ycol.code(i);
+            if cx == xinsight_data::NULL_CODE || cy == xinsight_data::NULL_CODE {
+                continue;
+            }
+            let mut stratum = 0usize;
+            for (zc, &card) in zcols.iter().zip(&z_cards) {
+                let cz = zc.code(i);
+                if cz == xinsight_data::NULL_CODE {
+                    continue 'rows;
+                }
+                stratum = stratum * card + cz as usize;
+            }
+            strata[stratum][cx as usize * y_card + cy as usize] += 1;
+            total += 1;
+        }
+        Ok(ContingencyTable {
+            x_cardinality: x_card,
+            y_cardinality: y_card,
+            strata,
+            total,
+        })
+    }
+
+    /// Number of strata (joint categories of the conditioning set).
+    pub fn n_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Count in stratum `s` at cell (`xi`, `yi`).
+    pub fn count(&self, s: usize, xi: usize, yi: usize) -> u64 {
+        self.strata[s][xi * self.y_cardinality + yi]
+    }
+
+    /// Pearson chi-square statistic and degrees of freedom, summed over
+    /// strata.  Strata (and rows/columns within a stratum) with zero margin
+    /// contribute neither to the statistic nor to the degrees of freedom.
+    pub fn chi_square_statistic(&self) -> (f64, f64) {
+        self.statistic(|observed, expected| {
+            let d = observed - expected;
+            d * d / expected
+        })
+    }
+
+    /// Likelihood-ratio (G-test) statistic and degrees of freedom.
+    pub fn g_statistic(&self) -> (f64, f64) {
+        self.statistic(|observed, expected| {
+            if observed == 0.0 {
+                0.0
+            } else {
+                2.0 * observed * (observed / expected).ln()
+            }
+        })
+    }
+
+    fn statistic(&self, cell_term: impl Fn(f64, f64) -> f64) -> (f64, f64) {
+        let mut stat = 0.0;
+        let mut dof = 0.0;
+        for counts in &self.strata {
+            let n: u64 = counts.iter().sum();
+            if n == 0 {
+                continue;
+            }
+            let mut row_sums = vec![0u64; self.x_cardinality];
+            let mut col_sums = vec![0u64; self.y_cardinality];
+            for xi in 0..self.x_cardinality {
+                for yi in 0..self.y_cardinality {
+                    let c = counts[xi * self.y_cardinality + yi];
+                    row_sums[xi] += c;
+                    col_sums[yi] += c;
+                }
+            }
+            let nonzero_rows = row_sums.iter().filter(|&&r| r > 0).count();
+            let nonzero_cols = col_sums.iter().filter(|&&c| c > 0).count();
+            if nonzero_rows < 2 || nonzero_cols < 2 {
+                continue;
+            }
+            dof += (nonzero_rows - 1) as f64 * (nonzero_cols - 1) as f64;
+            for xi in 0..self.x_cardinality {
+                if row_sums[xi] == 0 {
+                    continue;
+                }
+                for yi in 0..self.y_cardinality {
+                    if col_sums[yi] == 0 {
+                        continue;
+                    }
+                    let expected = row_sums[xi] as f64 * col_sums[yi] as f64 / n as f64;
+                    let observed = counts[xi * self.y_cardinality + yi] as f64;
+                    stat += cell_term(observed, expected);
+                }
+            }
+        }
+        (stat, dof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xinsight_data::DatasetBuilder;
+
+    fn dependent_data() -> Dataset {
+        // X perfectly determines Y.
+        let x: Vec<&str> = (0..100).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
+        let y: Vec<&str> = (0..100).map(|i| if i % 2 == 0 { "p" } else { "q" }).collect();
+        DatasetBuilder::new()
+            .dimension("X", x)
+            .dimension("Y", y)
+            .build()
+            .unwrap()
+    }
+
+    fn independent_data() -> Dataset {
+        // X and Y vary on unrelated cycles -> near-independent counts.
+        let x: Vec<&str> = (0..120).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
+        let y: Vec<&str> = (0..120).map(|i| if (i / 2) % 2 == 0 { "p" } else { "q" }).collect();
+        DatasetBuilder::new()
+            .dimension("X", x)
+            .dimension("Y", y)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn marginal_table_counts() {
+        let d = dependent_data();
+        let t = ContingencyTable::build(&d, "X", "Y", &[]).unwrap();
+        assert_eq!(t.n_strata(), 1);
+        assert_eq!(t.total, 100);
+        assert_eq!(t.count(0, 0, 0), 50);
+        assert_eq!(t.count(0, 0, 1), 0);
+        assert_eq!(t.count(0, 1, 1), 50);
+    }
+
+    #[test]
+    fn chi_square_large_for_dependence_small_for_independence() {
+        let dep = dependent_data();
+        let (stat_dep, dof_dep) = ContingencyTable::build(&dep, "X", "Y", &[])
+            .unwrap()
+            .chi_square_statistic();
+        assert_eq!(dof_dep, 1.0);
+        assert!(stat_dep > 50.0, "stat = {stat_dep}");
+
+        let ind = independent_data();
+        let (stat_ind, dof_ind) = ContingencyTable::build(&ind, "X", "Y", &[])
+            .unwrap()
+            .chi_square_statistic();
+        assert_eq!(dof_ind, 1.0);
+        assert!(stat_ind < 3.0, "stat = {stat_ind}");
+    }
+
+    #[test]
+    fn conditioning_splits_into_strata() {
+        // Y = X within each stratum of Z, so conditional dependence persists.
+        let n = 80;
+        let z: Vec<String> = (0..n).map(|i| format!("z{}", i % 4)).collect();
+        let x: Vec<&str> = (0..n).map(|i| if (i / 4) % 2 == 0 { "a" } else { "b" }).collect();
+        let y: Vec<&str> = (0..n).map(|i| if (i / 4) % 2 == 0 { "p" } else { "q" }).collect();
+        let d = DatasetBuilder::new()
+            .dimension("Z", z.iter().map(String::as_str))
+            .dimension("X", x)
+            .dimension("Y", y)
+            .build()
+            .unwrap();
+        let t = ContingencyTable::build(&d, "X", "Y", &["Z"]).unwrap();
+        assert_eq!(t.n_strata(), 4);
+        let (stat, dof) = t.chi_square_statistic();
+        assert_eq!(dof, 4.0);
+        assert!(stat > 50.0);
+    }
+
+    #[test]
+    fn g_statistic_tracks_chi_square() {
+        let dep = dependent_data();
+        let t = ContingencyTable::build(&dep, "X", "Y", &[]).unwrap();
+        let (chi, _) = t.chi_square_statistic();
+        let (g, dof) = t.g_statistic();
+        assert_eq!(dof, 1.0);
+        assert!(g > 50.0);
+        // Both statistics should agree on the order of magnitude.
+        assert!((chi - g).abs() / chi < 0.5);
+    }
+
+    #[test]
+    fn degenerate_margins_contribute_no_dof() {
+        let d = DatasetBuilder::new()
+            .dimension("X", ["a", "a", "a", "a"])
+            .dimension("Y", ["p", "q", "p", "q"])
+            .build()
+            .unwrap();
+        let t = ContingencyTable::build(&d, "X", "Y", &[]).unwrap();
+        let (stat, dof) = t.chi_square_statistic();
+        assert_eq!(stat, 0.0);
+        assert_eq!(dof, 0.0);
+    }
+
+    #[test]
+    fn missing_values_are_dropped() {
+        let d = DatasetBuilder::new()
+            .dimension_column(
+                "X",
+                xinsight_data::DimensionColumn::from_optional_values([
+                    Some("a"),
+                    None,
+                    Some("b"),
+                    Some("b"),
+                ]),
+            )
+            .dimension("Y", ["p", "p", "q", "q"])
+            .build()
+            .unwrap();
+        let t = ContingencyTable::build(&d, "X", "Y", &[]).unwrap();
+        assert_eq!(t.total, 3);
+    }
+
+    #[test]
+    fn errors_on_measures() {
+        let d = DatasetBuilder::new()
+            .dimension("X", ["a", "b"])
+            .measure("M", [1.0, 2.0])
+            .build()
+            .unwrap();
+        assert!(ContingencyTable::build(&d, "X", "M", &[]).is_err());
+        assert!(ContingencyTable::build(&d, "M", "X", &[]).is_err());
+    }
+}

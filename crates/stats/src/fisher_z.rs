@@ -1,0 +1,272 @@
+//! Fisher-z partial-correlation conditional-independence test.
+
+use crate::ci_test::{CiOutcome, CiTest};
+use crate::special::standard_normal_two_sided_p;
+use xinsight_data::{Dataset, Result};
+
+/// Fisher-z test of `X ⫫ Y | Z` for numerical (measure) variables.
+///
+/// The partial correlation of `X` and `Y` given `Z` is computed from the
+/// joint correlation matrix via the Schur complement (solving a small linear
+/// system with Gaussian elimination); the Fisher z-transform of the partial
+/// correlation is compared against the standard normal distribution.
+///
+/// The multi-dimensional datasets in the paper are dominated by categorical
+/// dimensions, but the FLIGHT-style data contains continuous weather
+/// measurements; this test lets XLearner run on those without discretizing.
+#[derive(Debug, Clone, Copy)]
+pub struct FisherZTest {
+    alpha: f64,
+}
+
+impl FisherZTest {
+    /// Creates a test at significance level `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in (0, 1)");
+        FisherZTest { alpha }
+    }
+
+    /// The significance level.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn column_values(data: &Dataset, name: &str) -> Result<Vec<f64>> {
+        let col = data.measure(name)?;
+        Ok(col.values().to_vec())
+    }
+}
+
+impl Default for FisherZTest {
+    fn default() -> Self {
+        FisherZTest::new(0.05)
+    }
+}
+
+impl CiTest for FisherZTest {
+    fn test(&self, data: &Dataset, x: &str, y: &str, z: &[&str]) -> Result<CiOutcome> {
+        let mut names = vec![x, y];
+        names.extend_from_slice(z);
+        let columns = names
+            .iter()
+            .map(|n| Self::column_values(data, n))
+            .collect::<Result<Vec<_>>>()?;
+        // Keep only rows where every involved value is present.
+        let n_rows = data.n_rows();
+        let keep: Vec<usize> = (0..n_rows)
+            .filter(|&i| columns.iter().all(|c| !c[i].is_nan()))
+            .collect();
+        let n = keep.len();
+        let k = z.len();
+        if n < k + 4 {
+            return Ok(CiOutcome {
+                independent: true,
+                p_value: 1.0,
+            });
+        }
+        let cols: Vec<Vec<f64>> = columns
+            .iter()
+            .map(|c| keep.iter().map(|&i| c[i]).collect())
+            .collect();
+        let corr = correlation_matrix(&cols);
+        let r = partial_correlation(&corr);
+        let r = r.clamp(-0.999_999, 0.999_999);
+        let z_stat = 0.5 * ((1.0 + r) / (1.0 - r)).ln() * ((n - k - 3) as f64).sqrt();
+        let p = standard_normal_two_sided_p(z_stat);
+        Ok(CiOutcome {
+            independent: p > self.alpha,
+            p_value: p,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "fisher-z"
+    }
+}
+
+/// Pearson correlation matrix of the given columns (all the same length).
+fn correlation_matrix(cols: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let m = cols.len();
+    let n = cols[0].len() as f64;
+    let means: Vec<f64> = cols.iter().map(|c| c.iter().sum::<f64>() / n).collect();
+    let sds: Vec<f64> = cols
+        .iter()
+        .zip(&means)
+        .map(|(c, &mu)| (c.iter().map(|v| (v - mu).powi(2)).sum::<f64>() / n).sqrt())
+        .collect();
+    let mut corr = vec![vec![0.0; m]; m];
+    for i in 0..m {
+        for j in 0..m {
+            if i == j {
+                corr[i][j] = 1.0;
+                continue;
+            }
+            let cov = cols[i]
+                .iter()
+                .zip(&cols[j])
+                .map(|(a, b)| (a - means[i]) * (b - means[j]))
+                .sum::<f64>()
+                / n;
+            let denom = sds[i] * sds[j];
+            corr[i][j] = if denom > 1e-300 { cov / denom } else { 0.0 };
+        }
+    }
+    corr
+}
+
+/// Partial correlation of variables 0 and 1 given variables 2.. from their
+/// correlation matrix, via inversion of the correlation matrix restricted to
+/// the involved variables: `ρ_{01·Z} = -Ω_01 / sqrt(Ω_00 Ω_11)` where `Ω` is
+/// the precision matrix.
+fn partial_correlation(corr: &[Vec<f64>]) -> f64 {
+    let m = corr.len();
+    if m == 2 {
+        return corr[0][1];
+    }
+    match invert(corr) {
+        Some(prec) => {
+            let denom = (prec[0][0] * prec[1][1]).sqrt();
+            if denom > 1e-300 {
+                -prec[0][1] / denom
+            } else {
+                0.0
+            }
+        }
+        None => corr[0][1],
+    }
+}
+
+/// Gauss-Jordan inversion of a small symmetric matrix; returns `None` when
+/// the matrix is numerically singular.
+fn invert(matrix: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = matrix.len();
+    let mut a: Vec<Vec<f64>> = matrix.to_vec();
+    let mut inv: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.0 }).collect())
+        .collect();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        let p = a[col][col];
+        for j in 0..n {
+            a[col][j] /= p;
+            inv[col][j] /= p;
+        }
+        for row in 0..n {
+            if row != col {
+                let factor = a[row][col];
+                for j in 0..n {
+                    a[row][j] -= factor * a[col][j];
+                    inv[row][j] -= factor * inv[col][j];
+                }
+            }
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xinsight_data::DatasetBuilder;
+
+    /// Deterministic pseudo-random generator for reproducible test data.
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        }
+    }
+
+    /// Z -> X, Z -> Y chain: X ⫫ Y | Z but not marginally.
+    fn confounded_continuous(n: usize) -> Dataset {
+        let mut rng = lcg(42);
+        let mut z = Vec::with_capacity(n);
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let zi = rng() * 4.0;
+            z.push(zi);
+            x.push(2.0 * zi + rng());
+            y.push(-1.5 * zi + rng());
+        }
+        DatasetBuilder::new()
+            .measure("Z", z)
+            .measure("X", x)
+            .measure("Y", y)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn marginal_dependence_conditional_independence() {
+        let d = confounded_continuous(2000);
+        let t = FisherZTest::new(0.01);
+        assert!(!t.independent(&d, "X", "Y", &[]).unwrap());
+        assert!(t.independent(&d, "X", "Y", &["Z"]).unwrap());
+    }
+
+    #[test]
+    fn independent_noise_accepted() {
+        let mut rng = lcg(7);
+        let x: Vec<f64> = (0..1000).map(|_| rng()).collect();
+        let y: Vec<f64> = (0..1000).map(|_| rng()).collect();
+        let d = DatasetBuilder::new()
+            .measure("X", x)
+            .measure("Y", y)
+            .build()
+            .unwrap();
+        assert!(FisherZTest::new(0.01).independent(&d, "X", "Y", &[]).unwrap());
+    }
+
+    #[test]
+    fn too_few_rows_defaults_to_independent() {
+        let d = DatasetBuilder::new()
+            .measure("X", [1.0, 2.0, 3.0])
+            .measure("Y", [1.0, 2.0, 3.0])
+            .measure("Z", [0.0, 1.0, 0.0])
+            .build()
+            .unwrap();
+        let out = FisherZTest::default().test(&d, "X", "Y", &["Z"]).unwrap();
+        assert!(out.independent);
+        assert_eq!(out.p_value, 1.0);
+    }
+
+    #[test]
+    fn matrix_inversion_identity() {
+        let m = vec![
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, 4.0, 0.0],
+            vec![0.0, 0.0, 8.0],
+        ];
+        let inv = invert(&m).unwrap();
+        assert!((inv[0][0] - 0.5).abs() < 1e-12);
+        assert!((inv[1][1] - 0.25).abs() < 1e-12);
+        assert!((inv[2][2] - 0.125).abs() < 1e-12);
+        let singular = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert!(invert(&singular).is_none());
+    }
+
+    #[test]
+    fn dimension_input_is_error() {
+        let d = DatasetBuilder::new()
+            .dimension("X", ["a", "b"])
+            .measure("Y", [1.0, 2.0])
+            .build()
+            .unwrap();
+        assert!(FisherZTest::default().test(&d, "X", "Y", &[]).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Likelihood-ratio (G) conditional-independence test.
+
+use crate::ci_test::{CiOutcome, CiTest};
+use crate::contingency::ContingencyTable;
+use crate::special::chi_square_sf;
+use xinsight_data::{Dataset, Result};
+
+/// The G-test (likelihood-ratio test) of `X ⫫ Y | Z` for categorical data.
+///
+/// Asymptotically equivalent to the chi-square test but better behaved for
+/// sparse tables with strong effects; provided so the discovery algorithms
+/// can be exercised under more than one test implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct GTest {
+    alpha: f64,
+}
+
+impl GTest {
+    /// Creates a test at significance level `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in (0, 1)");
+        GTest { alpha }
+    }
+
+    /// The significance level.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Default for GTest {
+    fn default() -> Self {
+        GTest::new(0.05)
+    }
+}
+
+impl CiTest for GTest {
+    fn test(&self, data: &Dataset, x: &str, y: &str, z: &[&str]) -> Result<CiOutcome> {
+        let table = ContingencyTable::build(data, x, y, z)?;
+        let (stat, dof) = table.g_statistic();
+        if dof <= 0.0 {
+            return Ok(CiOutcome {
+                independent: true,
+                p_value: 1.0,
+            });
+        }
+        let p = chi_square_sf(stat, dof);
+        Ok(CiOutcome {
+            independent: p > self.alpha,
+            p_value: p,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "g-test"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChiSquareTest;
+    use xinsight_data::DatasetBuilder;
+
+    #[test]
+    fn agrees_with_chi_square_on_clear_cases() {
+        let x: Vec<&str> = (0..300).map(|i| if i % 3 == 0 { "a" } else { "b" }).collect();
+        let y_dep: Vec<&str> = (0..300).map(|i| if i % 3 == 0 { "p" } else { "q" }).collect();
+        let y_ind: Vec<&str> = (0..300).map(|i| if i % 2 == 0 { "p" } else { "q" }).collect();
+        let dep = DatasetBuilder::new()
+            .dimension("X", x.clone())
+            .dimension("Y", y_dep)
+            .build()
+            .unwrap();
+        let ind = DatasetBuilder::new()
+            .dimension("X", x)
+            .dimension("Y", y_ind)
+            .build()
+            .unwrap();
+        let g = GTest::default();
+        let chi = ChiSquareTest::default();
+        assert_eq!(
+            g.independent(&dep, "X", "Y", &[]).unwrap(),
+            chi.independent(&dep, "X", "Y", &[]).unwrap()
+        );
+        assert!(!g.independent(&dep, "X", "Y", &[]).unwrap());
+        assert!(g.independent(&ind, "X", "Y", &[]).unwrap());
+    }
+
+    #[test]
+    fn degenerate_table_is_independent() {
+        let d = DatasetBuilder::new()
+            .dimension("X", ["a", "a"])
+            .dimension("Y", ["p", "q"])
+            .build()
+            .unwrap();
+        let out = GTest::default().test(&d, "X", "Y", &[]).unwrap();
+        assert!(out.independent);
+        assert_eq!(out.p_value, 1.0);
+    }
+
+    #[test]
+    fn name_is_reported() {
+        assert_eq!(GTest::default().name(), "g-test");
+    }
+}

@@ -1,0 +1,33 @@
+//! # xinsight-stats
+//!
+//! Statistical substrate for the XInsight reproduction.
+//!
+//! Constraint-based causal discovery (Sec. 2.2) reduces to a stream of
+//! conditional-independence (CI) queries `X ⫫ Y | Z` answered from data.
+//! This crate provides
+//!
+//! * [`special`] — log-gamma, regularized incomplete gamma, chi-square and
+//!   normal survival functions (no third-party math dependency),
+//! * [`ContingencyTable`] — stratified cross tabulations of dimensions,
+//! * [`ChiSquareTest`] and [`GTest`] — CI tests for categorical data,
+//! * [`FisherZTest`] — partial-correlation CI test for numerical data,
+//! * [`CiTest`] — the trait the discovery algorithms program against, plus a
+//!   [`CachedCiTest`] wrapper memoising repeated queries (FCI asks the same
+//!   question many times across its skeleton and Possible-D-SEP phases).
+
+#![warn(missing_docs)]
+
+mod cache;
+mod chi_square;
+mod ci_test;
+mod contingency;
+mod fisher_z;
+mod gtest;
+pub mod special;
+
+pub use cache::CachedCiTest;
+pub use chi_square::ChiSquareTest;
+pub use ci_test::{CiOutcome, CiTest};
+pub use contingency::ContingencyTable;
+pub use fisher_z::FisherZTest;
+pub use gtest::GTest;

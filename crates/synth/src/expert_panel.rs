@@ -1,0 +1,183 @@
+//! A simulated expert panel standing in for the paper's user study
+//! (Tables 5 and 7).
+//!
+//! The study's quantity of interest is the agreement between XInsight's
+//! output and domain knowledge.  Here domain knowledge is the generator's
+//! ground truth ([`crate::web`]), and each simulated expert scores an
+//! explanation / causal claim according to whether it matches that ground
+//! truth, with per-expert noise calibrated so that correct items receive
+//! scores around 4–5 (as in Table 5) and a small fraction of correct claims
+//! are nevertheless questioned (as the paper reports for the
+//! counter-intuitive-but-correct claims in Table 7).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Number of experts in the panel (the paper recruited six).
+pub const N_EXPERTS: usize = 6;
+
+/// A 0–5 score sheet for a set of explanations: `scores[e][i]` is expert
+/// `e`'s score of explanation `i` (Table 5's layout).
+pub type ScoreSheet = Vec<Vec<u8>>;
+
+/// Verdicts used in the causal-claim assessment (Table 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimVerdict {
+    /// The expert endorses the claim.
+    Reasonable,
+    /// The expert is unsure.
+    NotSure,
+    /// The expert rejects the claim.
+    NotReasonable,
+}
+
+/// The simulated panel.
+#[derive(Debug, Clone)]
+pub struct ExpertPanel {
+    seed: u64,
+}
+
+impl ExpertPanel {
+    /// Creates a panel with a fixed seed (deterministic judgements).
+    pub fn new(seed: u64) -> Self {
+        ExpertPanel { seed }
+    }
+
+    /// Scores a batch of explanations.  `correct[i]` states whether
+    /// explanation `i` agrees with the generating ground truth.
+    pub fn score_explanations(&self, correct: &[bool]) -> ScoreSheet {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..N_EXPERTS)
+            .map(|expert| {
+                // Each expert has a slight severity bias.
+                let bias = (expert as i64 % 3) as f64 * 0.3;
+                correct
+                    .iter()
+                    .map(|&ok| {
+                        let base = if ok { 4.4 } else { 2.0 };
+                        let score = base - bias + rng.gen_range(-0.8..0.9);
+                        score.round().clamp(0.0, 5.0) as u8
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Judges a batch of causal claims.  `correct[i]` states whether claim `i`
+    /// matches the ground-truth causal structure.
+    pub fn judge_claims(&self, correct: &[bool]) -> Vec<Vec<ClaimVerdict>> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        (0..N_EXPERTS)
+            .map(|_| {
+                correct
+                    .iter()
+                    .map(|&ok| {
+                        let u: f64 = rng.gen();
+                        if ok {
+                            // Correct claims are mostly endorsed, occasionally
+                            // questioned (counter-intuitive but correct).
+                            if u < 0.84 {
+                                ClaimVerdict::Reasonable
+                            } else if u < 0.95 {
+                                ClaimVerdict::NotSure
+                            } else {
+                                ClaimVerdict::NotReasonable
+                            }
+                        } else if u < 0.15 {
+                            ClaimVerdict::Reasonable
+                        } else if u < 0.4 {
+                            ClaimVerdict::NotSure
+                        } else {
+                            ClaimVerdict::NotReasonable
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Mean score per explanation across experts (the "mean" row of Table 5).
+    pub fn mean_scores(sheet: &ScoreSheet) -> Vec<f64> {
+        if sheet.is_empty() {
+            return Vec::new();
+        }
+        let n_items = sheet[0].len();
+        (0..n_items)
+            .map(|i| {
+                sheet.iter().map(|row| row[i] as f64).sum::<f64>() / sheet.len() as f64
+            })
+            .collect()
+    }
+
+    /// Aggregates claim verdicts into (reasonable, not-sure, not-reasonable)
+    /// counts per claim (the rows of Table 7).
+    pub fn tally_claims(verdicts: &[Vec<ClaimVerdict>]) -> Vec<(usize, usize, usize)> {
+        if verdicts.is_empty() {
+            return Vec::new();
+        }
+        let n_items = verdicts[0].len();
+        (0..n_items)
+            .map(|i| {
+                let mut counts = (0, 0, 0);
+                for row in verdicts {
+                    match row[i] {
+                        ClaimVerdict::Reasonable => counts.0 += 1,
+                        ClaimVerdict::NotSure => counts.1 += 1,
+                        ClaimVerdict::NotReasonable => counts.2 += 1,
+                    }
+                }
+                counts
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_explanations_score_high() {
+        let panel = ExpertPanel::new(1);
+        let sheet = panel.score_explanations(&[true, true, false, true]);
+        assert_eq!(sheet.len(), N_EXPERTS);
+        assert_eq!(sheet[0].len(), 4);
+        let means = ExpertPanel::mean_scores(&sheet);
+        assert!(means[0] >= 3.3, "correct explanations score around 4: {means:?}");
+        assert!(means[2] <= 3.0, "incorrect explanations score lower: {means:?}");
+    }
+
+    #[test]
+    fn correct_claims_are_mostly_reasonable() {
+        let panel = ExpertPanel::new(2);
+        let verdicts = panel.judge_claims(&[true; 8]);
+        let tally = ExpertPanel::tally_claims(&verdicts);
+        let reasonable: usize = tally.iter().map(|t| t.0).sum();
+        let total = 8 * N_EXPERTS;
+        let fraction = reasonable as f64 / total as f64;
+        assert!(
+            fraction > 0.7,
+            "a large majority of correct claims must be endorsed: {fraction}"
+        );
+        let not_reasonable: usize = tally.iter().map(|t| t.2).sum();
+        assert!(not_reasonable < total / 4);
+    }
+
+    #[test]
+    fn incorrect_claims_are_challenged() {
+        let panel = ExpertPanel::new(3);
+        let verdicts = panel.judge_claims(&[false; 6]);
+        let tally = ExpertPanel::tally_claims(&verdicts);
+        let reasonable: usize = tally.iter().map(|t| t.0).sum();
+        assert!(reasonable < 6 * N_EXPERTS / 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ExpertPanel::new(9).score_explanations(&[true, false]);
+        let b = ExpertPanel::new(9).score_explanations(&[true, false]);
+        assert_eq!(a, b);
+        assert!(ExpertPanel::mean_scores(&Vec::new()).is_empty());
+        assert!(ExpertPanel::tally_claims(&Vec::new()).is_empty());
+    }
+}

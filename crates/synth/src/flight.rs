@@ -1,0 +1,157 @@
+//! A simulator standing in for the FLIGHT delay dataset of RQ1.
+//!
+//! The real dataset (Salimi et al.'s flight-delay data) cannot be shipped;
+//! this generator encodes the causal story the paper reports for Fig. 6:
+//! the month drives the weather (rain is more frequent in May than in
+//! November), rain and the carrier drive the delay, and the month→quarter
+//! functional dependency gives XLearner an FD to handle.  The headline data
+//! fact — AVG(DelayMinute) higher in May than in November, with the gap
+//! *reversing* once `Rain = Yes` is enforced — is reproduced by construction.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Normal};
+use xinsight_core::WhyQuery;
+use xinsight_data::{Aggregate, Dataset, DatasetBuilder, Subspace};
+
+/// Month names used by the generator.
+pub const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Generates a simulated FLIGHT dataset with `n_rows` flights.
+pub fn generate(n_rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let carriers = ["AA", "UA", "DL", "WN", "B6"];
+    let carrier_effect = [4.0, 2.0, 0.0, 6.0, 3.0];
+    let mut month = Vec::with_capacity(n_rows);
+    let mut quarter = Vec::with_capacity(n_rows);
+    let mut day_of_week = Vec::with_capacity(n_rows);
+    let mut hour = Vec::with_capacity(n_rows);
+    let mut carrier = Vec::with_capacity(n_rows);
+    let mut rain = Vec::with_capacity(n_rows);
+    let mut temperature = Vec::with_capacity(n_rows);
+    let mut humidity = Vec::with_capacity(n_rows);
+    let mut visibility = Vec::with_capacity(n_rows);
+    let mut delay = Vec::with_capacity(n_rows);
+    let mut delayed15 = Vec::with_capacity(n_rows);
+
+    let noise = Normal::new(0.0, 4.0).expect("valid normal");
+    for _ in 0..n_rows {
+        let m = rng.gen_range(0..12usize);
+        month.push(MONTHS[m]);
+        quarter.push(["Q1", "Q1", "Q1", "Q2", "Q2", "Q2", "Q3", "Q3", "Q3", "Q4", "Q4", "Q4"][m]);
+        day_of_week.push(["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][rng.gen_range(0..7)]);
+        hour.push(["Morning", "Afternoon", "Evening", "Night"][rng.gen_range(0..4)]);
+        let c = rng.gen_range(0..carriers.len());
+        carrier.push(carriers[c]);
+
+        // Month -> weather.  May is the wettest month; November the driest of
+        // the two months compared in the paper's Why Query.
+        let p_rain = match MONTHS[m] {
+            "May" => 0.42,
+            "Apr" | "Jun" => 0.35,
+            "Nov" => 0.14,
+            "Jul" | "Aug" => 0.20,
+            _ => 0.25,
+        };
+        let rains = rng.gen::<f64>() < p_rain;
+        rain.push(if rains { "Yes" } else { "No" });
+        let base_temp = 10.0 + 12.0 * ((m as f64 - 0.5) * std::f64::consts::PI / 6.0).sin();
+        temperature.push(base_temp + noise.sample(&mut rng));
+        humidity.push(if rains { 85.0 } else { 55.0 } + noise.sample(&mut rng));
+        visibility.push(if rains { 4.0 } else { 9.0 } + noise.sample(&mut rng) / 4.0);
+
+        // Rain + carrier -> delay.  Rainy November flights are hit slightly
+        // harder than rainy May flights (storm intensity), which is what makes
+        // the difference reverse under Rain = Yes.
+        let rain_effect = if rains {
+            if MONTHS[m] == "Nov" {
+                26.0
+            } else {
+                22.0
+            }
+        } else {
+            0.0
+        };
+        let d: f64 = 14.0 + carrier_effect[c] + rain_effect + noise.sample(&mut rng).abs();
+        delay.push(d);
+        delayed15.push(if d > 15.0 { "Yes" } else { "No" });
+    }
+
+    DatasetBuilder::new()
+        .dimension("Month", month)
+        .dimension("Quarter", quarter)
+        .dimension("DayOfWeek", day_of_week)
+        .dimension("Hour", hour)
+        .dimension("Carrier", carrier)
+        .dimension("Rain", rain)
+        .dimension("DelayOver15", delayed15)
+        .measure("Temperature", temperature)
+        .measure("Humidity", humidity)
+        .measure("Visibility", visibility)
+        .measure("DelayMinute", delay)
+        .build()
+        .expect("generator builds a consistent dataset")
+}
+
+/// The paper's Why Query on FLIGHT: why is AVG(DelayMinute) in May notably
+/// higher than in November?
+pub fn why_query() -> WhyQuery {
+    WhyQuery::new(
+        "DelayMinute",
+        Aggregate::Avg,
+        Subspace::of("Month", "May"),
+        Subspace::of("Month", "Nov"),
+    )
+    .expect("sibling subspaces by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xinsight_data::Filter;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = generate(1000, 3);
+        let b = generate(1000, 3);
+        assert_eq!(a.n_rows(), 1000);
+        assert_eq!(a.n_attributes(), 11);
+        assert_eq!(a.value(17, "Month").unwrap(), b.value(17, "Month").unwrap());
+    }
+
+    #[test]
+    fn month_determines_quarter() {
+        let data = generate(2000, 1);
+        let (fds, _) =
+            xinsight_data::detect_fds(&data, &xinsight_data::FdDetectionOptions::default())
+                .unwrap();
+        assert!(fds.iter().any(|fd| fd.determinant == "Month" && fd.dependent == "Quarter"));
+    }
+
+    #[test]
+    fn may_delay_exceeds_november_and_reverses_under_rain() {
+        let data = generate(30_000, 1);
+        let q = why_query();
+        let delta = q.delta(&data).unwrap();
+        assert!(delta > 1.5, "Δ = {delta}");
+        let rainy = Filter::equals("Rain", "Yes").mask(&data).unwrap();
+        let delta_rain = q.delta_over(&data, &rainy).unwrap();
+        assert!(
+            delta_rain < 0.5,
+            "under Rain=Yes the gap must shrink or reverse, got {delta_rain}"
+        );
+    }
+
+    #[test]
+    fn rain_increases_average_delay() {
+        let data = generate(10_000, 2);
+        let all = data.all_rows();
+        let rainy = Filter::equals("Rain", "Yes").mask(&data).unwrap();
+        let dry = all.minus(&rainy);
+        let avg_rain = Aggregate::Avg.eval(&data, "DelayMinute", &rainy).unwrap();
+        let avg_dry = Aggregate::Avg.eval(&data, "DelayMinute", &dry).unwrap();
+        assert!(avg_rain > avg_dry + 10.0);
+    }
+}

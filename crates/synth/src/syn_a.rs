@@ -1,0 +1,291 @@
+//! SYN-A: random causal graphs with FD injection (Sec. 4.1 / 8.12).
+//!
+//! The generator follows the paper's description: an Erdős–Rényi random DAG,
+//! conditional probability tables drawn from a Dirichlet prior, forward
+//! sampling, masking of 5 % of the variables to simulate causal
+//! insufficiency, and injection of FD nodes (deterministic coarsenings) on
+//! leaf variables.  The ground-truth PAG is obtained by running FCI with a
+//! d-separation oracle on the data-generating DAG restricted to the observed
+//! variables and then attaching the FD nodes with directed edges.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::Dirichlet;
+use xinsight_data::{Dataset, DatasetBuilder, FdGraph, FunctionalDependency};
+use xinsight_discovery::{fci, FciOptions, OracleCiTest};
+use xinsight_graph::{Dag, MixedGraph};
+
+/// Options for SYN-A generation.
+#[derive(Debug, Clone)]
+pub struct SynAOptions {
+    /// Number of core (non-FD) variables in the data-generating DAG,
+    /// including the ones that will be masked as latent.
+    pub n_core_variables: usize,
+    /// Expected number of parents per node (controls ER edge probability).
+    pub avg_degree: f64,
+    /// Number of sampled rows.
+    pub n_rows: usize,
+    /// Fraction of core variables masked as latent confounder candidates
+    /// (the paper uses 5 %).
+    pub latent_fraction: f64,
+    /// Number of FD nodes attached to each leaf variable (the paper uses 2).
+    pub fd_nodes_per_leaf: usize,
+    /// Cardinality of each core variable (paper-scale categorical data).
+    pub cardinality: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynAOptions {
+    fn default() -> Self {
+        SynAOptions {
+            n_core_variables: 12,
+            avg_degree: 1.8,
+            n_rows: 2000,
+            latent_fraction: 0.05,
+            fd_nodes_per_leaf: 2,
+            cardinality: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// One generated SYN-A instance.
+#[derive(Debug, Clone)]
+pub struct SynAInstance {
+    /// Sampled observational data over the observed variables (FD nodes
+    /// included, latent variables excluded).
+    pub data: Dataset,
+    /// Ground-truth PAG over the observed variables.
+    pub ground_truth: MixedGraph,
+    /// The FD-induced graph (known by construction).
+    pub fd_graph: FdGraph,
+    /// Names of the observed variables.
+    pub observed: Vec<String>,
+    /// Fraction of ground-truth edges that are FD edges.
+    pub fd_proportion: f64,
+}
+
+/// Generates one SYN-A instance.
+pub fn generate(options: &SynAOptions) -> SynAInstance {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let k = options.n_core_variables.max(3);
+    let card = options.cardinality.max(3);
+
+    // --- Random ER DAG over the core variables (edges respect index order). ---
+    let names: Vec<String> = (0..k).map(|i| format!("V{i}")).collect();
+    let mut dag = Dag::new(names.clone());
+    let p_edge = (options.avg_degree / (k.saturating_sub(1)).max(1) as f64).clamp(0.01, 0.9);
+    for j in 1..k {
+        for i in 0..j {
+            if rng.gen::<f64>() < p_edge {
+                dag.add_edge(i, j);
+            }
+        }
+    }
+
+    // --- Dirichlet CPTs and forward sampling. ---
+    let order = dag.topological_order();
+    let mut columns: Vec<Vec<u8>> = vec![vec![0; options.n_rows]; k];
+    // For each node, a CPT indexed by the joint parent configuration.
+    for &v in &order {
+        let parents: Vec<usize> = dag.parents(v).to_vec();
+        let n_configs = card.pow(parents.len() as u32);
+        let dirichlet = Dirichlet::new(&vec![1.0f64; card]).expect("valid alpha");
+        let cpt: Vec<Vec<f64>> = (0..n_configs).map(|_| dirichlet.sample(&mut rng)).collect();
+        for row in 0..options.n_rows {
+            let mut config = 0usize;
+            for &p in &parents {
+                config = config * card + columns[p][row] as usize;
+            }
+            let probs = &cpt[config];
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut value = card - 1;
+            for (c, &p) in probs.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    value = c;
+                    break;
+                }
+            }
+            columns[v][row] = value as u8;
+        }
+    }
+
+    // --- Mask latent variables (never the whole graph). ---
+    let n_latent = ((k as f64 * options.latent_fraction).round() as usize).min(k.saturating_sub(2));
+    let mut indices: Vec<usize> = (0..k).collect();
+    indices.shuffle(&mut rng);
+    let latent: Vec<usize> = indices.into_iter().take(n_latent).collect();
+    let observed_core: Vec<usize> = (0..k).filter(|i| !latent.contains(i)).collect();
+
+    // --- FD nodes on observed leaf variables. ---
+    let mut fd_columns: Vec<(String, String, Vec<u8>, usize)> = Vec::new(); // (name, parent, values, cardinality)
+    let mut fds = Vec::new();
+    for &v in &observed_core {
+        let is_leaf = dag.children(v).iter().all(|c| latent.contains(c)) || dag.children(v).is_empty();
+        if !is_leaf {
+            continue;
+        }
+        for t in 0..options.fd_nodes_per_leaf {
+            let name = format!("V{v}_fd{t}");
+            // Deterministic coarsening: a random surjective, non-injective map
+            // from the parent's categories onto max(2, card - 1) groups.
+            let target_card = (card - 1).max(2);
+            let mut mapping: Vec<u8> = (0..card).map(|c| (c % target_card) as u8).collect();
+            mapping.shuffle(&mut rng);
+            let values: Vec<u8> = columns[v].iter().map(|&c| mapping[c as usize]).collect();
+            fds.push(FunctionalDependency {
+                determinant: format!("V{v}"),
+                dependent: name.clone(),
+            });
+            fd_columns.push((name, format!("V{v}"), values, target_card));
+        }
+    }
+
+    // --- Assemble the observed dataset. ---
+    let mut builder = DatasetBuilder::new();
+    for &v in &observed_core {
+        let labels: Vec<String> = columns[v].iter().map(|c| format!("c{c}")).collect();
+        builder = builder.dimension(&names[v], labels.iter().map(String::as_str));
+    }
+    for (name, _, values, _) in &fd_columns {
+        let labels: Vec<String> = values.iter().map(|c| format!("g{c}")).collect();
+        builder = builder.dimension(name, labels.iter().map(String::as_str));
+    }
+    let data = builder.build().expect("generator builds a consistent dataset");
+
+    let mut observed: Vec<String> = observed_core.iter().map(|&v| names[v].clone()).collect();
+    observed.extend(fd_columns.iter().map(|(n, _, _, _)| n.clone()));
+    let fd_graph = FdGraph::new(observed.clone(), fds);
+
+    // --- Ground-truth PAG: oracle FCI over the observed core + FD arrows. ---
+    let oracle = OracleCiTest::from_dag(&dag);
+    let core_names: Vec<&str> = observed_core.iter().map(|&v| names[v].as_str()).collect();
+    let dummy = DatasetBuilder::new()
+        .dimension("_", ["x"])
+        .build()
+        .expect("dummy dataset");
+    let oracle_result = fci(&dummy, &core_names, &oracle, &FciOptions::default())
+        .expect("oracle FCI cannot fail");
+    let mut ground_truth = MixedGraph::new(observed.clone());
+    ground_truth.merge_by_name(&oracle_result.pag);
+    for (name, parent, _, _) in &fd_columns {
+        let p = ground_truth.expect_id(parent);
+        let c = ground_truth.expect_id(name);
+        ground_truth.add_directed(p, c);
+    }
+    let n_fd_edges = fd_columns.len();
+    let fd_proportion = if ground_truth.n_edges() == 0 {
+        0.0
+    } else {
+        n_fd_edges as f64 / ground_truth.n_edges() as f64
+    };
+
+    SynAInstance {
+        data,
+        ground_truth,
+        fd_graph,
+        observed,
+        fd_proportion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_given_seed() {
+        let opts = SynAOptions {
+            n_core_variables: 8,
+            n_rows: 300,
+            seed: 42,
+            ..SynAOptions::default()
+        };
+        let a = generate(&opts);
+        let b = generate(&opts);
+        assert_eq!(a.observed, b.observed);
+        assert_eq!(a.ground_truth.to_text(), b.ground_truth.to_text());
+        assert_eq!(a.data.n_rows(), 300);
+    }
+
+    #[test]
+    fn observed_variables_exclude_latents_and_include_fd_nodes() {
+        let opts = SynAOptions {
+            n_core_variables: 10,
+            n_rows: 200,
+            latent_fraction: 0.1,
+            seed: 3,
+            ..SynAOptions::default()
+        };
+        let inst = generate(&opts);
+        // 10 core variables, 1 masked -> 9 observed core + FD nodes.
+        let n_fd = inst
+            .observed
+            .iter()
+            .filter(|n| n.contains("_fd"))
+            .count();
+        assert_eq!(inst.observed.len(), 9 + n_fd);
+        assert!(n_fd >= 2, "leaves must receive FD nodes");
+        assert_eq!(inst.data.n_attributes(), inst.observed.len());
+        assert!(!inst.fd_graph.is_trivial());
+    }
+
+    #[test]
+    fn fd_nodes_are_deterministic_functions_of_their_parent() {
+        let inst = generate(&SynAOptions {
+            n_core_variables: 8,
+            n_rows: 500,
+            seed: 5,
+            ..SynAOptions::default()
+        });
+        let (detected, _) = xinsight_data::detect_fds(
+            &inst.data,
+            &xinsight_data::FdDetectionOptions::default(),
+        )
+        .unwrap();
+        for (det, dep) in inst.fd_graph.edges() {
+            assert!(
+                detected.iter().any(|fd| fd.determinant == det && fd.dependent == dep),
+                "declared FD {det} -> {dep} must hold in the sampled data"
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_contains_fd_edges_as_directed() {
+        let inst = generate(&SynAOptions {
+            n_core_variables: 8,
+            n_rows: 100,
+            seed: 9,
+            ..SynAOptions::default()
+        });
+        for (det, dep) in inst.fd_graph.edges() {
+            let p = inst.ground_truth.expect_id(det);
+            let c = inst.ground_truth.expect_id(dep);
+            assert!(inst.ground_truth.is_parent(p, c));
+        }
+        assert!(inst.fd_proportion > 0.0 && inst.fd_proportion < 1.0);
+    }
+
+    #[test]
+    fn varying_fd_nodes_changes_fd_proportion() {
+        let low = generate(&SynAOptions {
+            n_core_variables: 10,
+            fd_nodes_per_leaf: 1,
+            n_rows: 100,
+            seed: 11,
+            ..SynAOptions::default()
+        });
+        let high = generate(&SynAOptions {
+            n_core_variables: 10,
+            fd_nodes_per_leaf: 3,
+            n_rows: 100,
+            seed: 11,
+            ..SynAOptions::default()
+        });
+        assert!(high.fd_proportion > low.fd_proportion);
+    }
+}

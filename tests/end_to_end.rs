@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the full pipeline on the simulated case
+//! studies, checked against the causal stories the paper reports.
+
+use xinsight::core::pipeline::{XInsight, XInsightOptions};
+use xinsight::core::ExplanationType;
+use xinsight::synth::{flight, hotel, lung_cancer};
+
+#[test]
+fn lung_cancer_pipeline_reports_smoking_as_causal() {
+    let data = lung_cancer::generate(4000, 7);
+    let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+    let query = lung_cancer::why_query();
+    let explanations = engine.explain(&query).unwrap();
+    assert!(!explanations.is_empty());
+
+    let smoking = explanations
+        .iter()
+        .find(|e| e.attribute() == "Smoking")
+        .expect("Smoking must be among the explanations");
+    assert_eq!(smoking.explanation_type, ExplanationType::Causal);
+    assert!(smoking.responsibility > 0.2);
+
+    // Surgery and Survival are downstream of the measure: never causal.
+    for e in &explanations {
+        if e.attribute() == "Surgery" || e.attribute() == "Survival" {
+            assert_eq!(e.explanation_type, ExplanationType::NonCausal);
+        }
+    }
+}
+
+#[test]
+fn lung_cancer_graph_recovers_the_smoking_to_cancer_edge() {
+    let data = lung_cancer::generate(4000, 3);
+    let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+    let graph = engine.graph();
+    let smoking = graph.id("Smoking").expect("Smoking node");
+    let cancer = graph.id("LungCancer").expect("LungCancer node");
+    assert!(
+        graph.adjacent(smoking, cancer),
+        "Smoking and LungCancer must be adjacent in the learned graph:\n{graph}"
+    );
+}
+
+#[test]
+fn flight_pipeline_finds_a_weather_related_causal_explanation() {
+    let data = flight::generate(20_000, 1);
+    let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+    let query = flight::why_query();
+    let delta = query.delta(engine.data()).unwrap();
+    assert!(delta > 1.0, "May-vs-November delay gap must exist (Δ = {delta})");
+
+    let explanations = engine.explain(&query).unwrap();
+    assert!(!explanations.is_empty());
+    let weather_related = explanations.iter().any(|e| {
+        (e.attribute() == "Rain"
+            || e.attribute().starts_with("Humidity")
+            || e.attribute().starts_with("Visibility"))
+            && e.explanation_type == ExplanationType::Causal
+    });
+    assert!(
+        weather_related,
+        "a weather variable must appear among the causal explanations: {:?}",
+        explanations.iter().map(|e| e.attribute()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn hotel_pipeline_explains_cancellations_via_lead_time() {
+    let data = hotel::generate(20_000, 1);
+    let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+    let query = hotel::why_query();
+    let explanations = engine.explain(&query).unwrap();
+    assert!(!explanations.is_empty());
+    let lead_time = explanations
+        .iter()
+        .find(|e| e.attribute().starts_with("LeadTime"));
+    assert!(
+        lead_time.is_some(),
+        "LeadTime must appear among the explanations: {:?}",
+        explanations.iter().map(|e| e.attribute()).collect::<Vec<_>>()
+    );
+    let lt = lead_time.unwrap();
+    assert!(lt.responsibility > 0.0);
+    // The explanation predicate is over lead-time *ranges* (a discretized measure).
+    assert!(lt.predicate.values().iter().any(|v| v.contains('≤') || v.contains('(') || v.contains('>')));
+}
+
+#[test]
+fn explanations_are_ranked_causal_first_then_by_responsibility() {
+    let data = lung_cancer::generate(3000, 11);
+    let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+    let explanations = engine.explain(&lung_cancer::why_query()).unwrap();
+    let mut seen_non_causal = false;
+    let mut last_causal_resp = f64::INFINITY;
+    for e in &explanations {
+        match e.explanation_type {
+            ExplanationType::Causal => {
+                assert!(!seen_non_causal, "causal explanations must come first");
+                assert!(e.responsibility <= last_causal_resp + 1e-9);
+                last_causal_resp = e.responsibility;
+            }
+            ExplanationType::NonCausal => seen_non_causal = true,
+        }
+        assert!((0.0..=1.0).contains(&e.responsibility));
+    }
+}

@@ -1,0 +1,303 @@
+//! Property-based tests over the core data structures and algorithmic
+//! invariants, using proptest.
+
+use proptest::prelude::*;
+use xinsight::core::{SearchStrategy, WhyQuery, XPlainer, XPlainerOptions};
+use xinsight::data::{
+    Aggregate, DatasetBuilder, Filter, Predicate, RowMask, Subspace,
+};
+use xinsight::graph::{separation, Dag, MixedGraph};
+
+// ---------------------------------------------------------------------------
+// RowMask algebra
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn rowmask_and_or_counts_are_consistent(bits_a in prop::collection::vec(any::<bool>(), 1..300),
+                                            bits_b in prop::collection::vec(any::<bool>(), 1..300)) {
+        let n = bits_a.len().min(bits_b.len());
+        let a = RowMask::from_bools(bits_a[..n].iter().copied());
+        let b = RowMask::from_bools(bits_b[..n].iter().copied());
+        let and = a.and(&b);
+        let or = a.or(&b);
+        // Inclusion–exclusion.
+        prop_assert_eq!(and.count() + or.count(), a.count() + b.count());
+        // Difference partitions the union.
+        prop_assert_eq!(a.minus(&b).count() + b.count(), or.count());
+        // Complement.
+        prop_assert_eq!(a.not().count(), n - a.count());
+        // Idempotence.
+        prop_assert_eq!(a.and(&a), a.clone());
+        prop_assert_eq!(a.or(&a), a);
+    }
+
+    #[test]
+    fn predicate_mask_equals_union_of_filter_masks(values in prop::collection::vec(0u8..6, 20..200),
+                                                   chosen in prop::collection::vec(0u8..6, 1..4)) {
+        let labels: Vec<String> = values.iter().map(|v| format!("v{v}")).collect();
+        let data = DatasetBuilder::new()
+            .dimension("X", labels.iter().map(String::as_str))
+            .build()
+            .unwrap();
+        let predicate = Predicate::new("X", chosen.iter().map(|v| format!("v{v}")));
+        let by_predicate = predicate.mask(&data).unwrap();
+        let mut by_filters = RowMask::zeros(data.n_rows());
+        for f in predicate.filters() {
+            by_filters = by_filters.or(&f.mask(&data).unwrap());
+        }
+        prop_assert_eq!(by_predicate, by_filters);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sum_is_additive_over_a_partition(values in prop::collection::vec(-100.0f64..100.0, 10..200),
+                                        split in prop::collection::vec(any::<bool>(), 10..200)) {
+        let n = values.len().min(split.len());
+        let data = DatasetBuilder::new()
+            .measure("M", values[..n].to_vec())
+            .build()
+            .unwrap();
+        let part_a = RowMask::from_bools(split[..n].iter().copied());
+        let part_b = part_a.not();
+        let total = Aggregate::Sum.eval(&data, "M", &data.all_rows()).unwrap();
+        let sum_a = Aggregate::Sum.eval(&data, "M", &part_a).unwrap();
+        let sum_b = Aggregate::Sum.eval(&data, "M", &part_b).unwrap();
+        prop_assert!((total - sum_a - sum_b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_lies_between_min_and_max(values in prop::collection::vec(-50.0f64..50.0, 2..100)) {
+        let data = DatasetBuilder::new()
+            .measure("M", values.clone())
+            .build()
+            .unwrap();
+        let all = data.all_rows();
+        let avg = Aggregate::Avg.eval(&data, "M", &all).unwrap();
+        let min = Aggregate::Min.eval(&data, "M", &all).unwrap();
+        let max = Aggregate::Max.eval(&data, "M", &all).unwrap();
+        prop_assert!(min - 1e-9 <= avg && avg <= max + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graphs and m-separation
+// ---------------------------------------------------------------------------
+
+/// Builds a random DAG over `n` nodes from a boolean edge matrix, keeping only
+/// forward edges (i < j) so acyclicity holds by construction.
+fn dag_from_matrix(n: usize, edges: &[bool]) -> Dag {
+    let names: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+    let mut dag = Dag::new(names);
+    let mut k = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if k < edges.len() && edges[k] {
+                dag.add_edge(i, j);
+            }
+            k += 1;
+        }
+    }
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn d_separation_is_symmetric_and_respects_adjacency(
+        n in 3usize..7,
+        edges in prop::collection::vec(any::<bool>(), 21),
+        x in 0usize..7,
+        y in 0usize..7,
+        z in 0usize..7,
+    ) {
+        let dag = dag_from_matrix(n, &edges);
+        let x = x % n;
+        let y = y % n;
+        let z = z % n;
+        prop_assume!(x != y);
+        let cond: Vec<usize> = if z != x && z != y { vec![z] } else { vec![] };
+        let sep_xy = dag.d_separated(x, y, &cond);
+        let sep_yx = dag.d_separated(y, x, &cond);
+        prop_assert_eq!(sep_xy, sep_yx, "d-separation must be symmetric");
+        if dag.adjacent(x, y) {
+            prop_assert!(!sep_xy, "adjacent nodes can never be separated");
+        }
+    }
+
+    #[test]
+    fn global_markov_property_holds_on_sampled_data(
+        edges in prop::collection::vec(any::<bool>(), 6),
+        seed in 0u64..1000,
+    ) {
+        // 4-node random DAG; sample categorical data from it and check that
+        // every d-separation implies (statistical) conditional independence.
+        let dag = dag_from_matrix(4, &edges);
+        let data = sample_from_dag(&dag, 1500, seed);
+        // A very strict significance level: the property is "separation implies
+        // independence", so the only failure mode we must guard against is a
+        // false rejection, whose probability this α makes negligible.
+        let test = xinsight::stats::ChiSquareTest::new(1e-7);
+        use xinsight::stats::CiTest;
+        for x in 0..4usize {
+            for y in (x + 1)..4 {
+                for z in 0..4usize {
+                    if z == x || z == y { continue; }
+                    let zs = [format!("N{z}")];
+                    let zrefs: Vec<&str> = zs.iter().map(String::as_str).collect();
+                    if dag.d_separated(x, y, &[z]) {
+                        let independent = test
+                            .independent(&data, &format!("N{x}"), &format!("N{y}"), &zrefs)
+                            .unwrap();
+                        prop_assert!(independent,
+                            "GMP violated: N{x} ⫫ N{y} | N{z} in the DAG but not in data");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward-samples binary data from a DAG with fixed, strong mechanisms.
+fn sample_from_dag(dag: &Dag, n_rows: usize, seed: u64) -> xinsight::data::Dataset {
+    // splitmix64: well-mixed and cheap, good enough for sampling test data.
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut rand01 = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let n = dag.n_nodes();
+    let order = dag.topological_order();
+    let mut columns: Vec<Vec<u8>> = vec![vec![0; n_rows]; n];
+    for row in 0..n_rows {
+        for &v in &order {
+            let parent_sum: u32 = dag.parents(v).iter().map(|&p| columns[p][row] as u32).sum();
+            let p1 = match parent_sum {
+                0 => 0.25,
+                1 => 0.75,
+                _ => 0.9,
+            };
+            columns[v][row] = (rand01() < p1) as u8;
+        }
+    }
+    let mut builder = DatasetBuilder::new();
+    for v in 0..n {
+        let labels: Vec<&str> = columns[v].iter().map(|&c| if c == 1 { "1" } else { "0" }).collect();
+        builder = builder.dimension(dag.name(v), labels);
+    }
+    builder.build().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Why Queries and XPlainer invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn responsibility_is_always_a_valid_probability(
+        categories in prop::collection::vec(0u8..5, 60..200),
+        values in prop::collection::vec(0.0f64..100.0, 60..200),
+        seed in 0u64..50,
+    ) {
+        let n = categories.len().min(values.len());
+        let x: Vec<&str> = (0..n).map(|i| if (i + seed as usize) % 2 == 0 { "a" } else { "b" }).collect();
+        let y: Vec<String> = categories[..n].iter().map(|c| format!("c{c}")).collect();
+        let data = DatasetBuilder::new()
+            .dimension("X", x)
+            .dimension("Y", y.iter().map(String::as_str))
+            .measure("M", values[..n].to_vec())
+            .build()
+            .unwrap();
+        let query = WhyQuery::new(
+            "M",
+            Aggregate::Avg,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        ).unwrap();
+        let Ok(query) = query.oriented(&data) else { return Ok(()); };
+        let xplainer = XPlainer::new(XPlainerOptions::default());
+        for strategy in [SearchStrategy::Optimized, SearchStrategy::BruteForce] {
+            if let Ok(Some(c)) = xplainer.explain_attribute(&data, &query, "Y", strategy, false) {
+                prop_assert!(c.responsibility > 0.0 && c.responsibility <= 1.0 + 1e-9);
+                prop_assert!(!c.predicate.is_empty());
+                // The explanation must actually reduce the difference when defined.
+                if let Some(rem) = c.remaining_delta {
+                    prop_assert!(rem <= query.delta(&data).unwrap() + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_over_full_mask_equals_delta(values in prop::collection::vec(0.0f64..10.0, 20..100)) {
+        let n = values.len();
+        let x: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
+        let data = DatasetBuilder::new()
+            .dimension("X", x)
+            .measure("M", values)
+            .build()
+            .unwrap();
+        let query = WhyQuery::new(
+            "M",
+            Aggregate::Sum,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        ).unwrap();
+        let full = query.delta(&data).unwrap();
+        let over = query.delta_over(&data, &data.all_rows()).unwrap();
+        prop_assert!((full - over).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic cross-checks (not property-based but cross-crate)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn m_separation_on_converted_dag_matches_d_separation() {
+    let mut dag = Dag::new(["A", "B", "C", "D"]);
+    dag.add_edge(0, 1);
+    dag.add_edge(1, 2);
+    dag.add_edge(3, 2);
+    let graph: MixedGraph = dag.to_mixed_graph();
+    for x in 0..4usize {
+        for y in 0..4usize {
+            if x == y {
+                continue;
+            }
+            for z in 0..4usize {
+                if z == x || z == y {
+                    continue;
+                }
+                assert_eq!(
+                    dag.d_separated(x, y, &[z]),
+                    separation::m_separated(&graph, x, y, &[z]),
+                    "mismatch at ({x},{y}|{z})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn filters_and_subspaces_compose() {
+    let data = DatasetBuilder::new()
+        .dimension("A", ["x", "x", "y", "y"])
+        .dimension("B", ["1", "2", "1", "2"])
+        .build()
+        .unwrap();
+    let s = Subspace::new([Filter::equals("A", "x"), Filter::equals("B", "2")]).unwrap();
+    assert_eq!(s.mask(&data).unwrap().iter_selected().collect::<Vec<_>>(), vec![1]);
+}

@@ -1,0 +1,75 @@
+//! Integration tests for the discovery stack: XLearner vs FCI on SYN-A data,
+//! i.e. a miniature version of the Table 6 experiment run as a test.
+
+/// The bench crate is not a dependency of the facade; re-implement the tiny
+/// comparison helper here so the test exercises the public APIs directly.
+mod bench_support {
+    use xinsight::core::{XLearner, XLearnerOptions};
+    use xinsight::discovery::{fci, FciOptions};
+    use xinsight::graph::metrics::{skeleton_metrics, PrecisionRecall};
+    use xinsight::stats::{CachedCiTest, ChiSquareTest};
+    use xinsight::synth::syn_a::SynAInstance;
+
+    pub fn compare(instance: &SynAInstance) -> (PrecisionRecall, PrecisionRecall) {
+        let vars: Vec<&str> = instance.observed.iter().map(String::as_str).collect();
+        let fci_opts = FciOptions {
+            max_cond_size: Some(3),
+            ..FciOptions::default()
+        };
+        let learner = XLearner::new(XLearnerOptions {
+            fci: fci_opts.clone(),
+            ..XLearnerOptions::default()
+        });
+        let test = CachedCiTest::new(ChiSquareTest::new(0.05));
+        let xl = learner
+            .learn_with_fd_graph(&instance.data, &vars, &test, &instance.fd_graph)
+            .unwrap()
+            .graph;
+        let test2 = CachedCiTest::new(ChiSquareTest::new(0.05));
+        let plain = fci(&instance.data, &vars, &test2, &fci_opts).unwrap().pag;
+        (
+            skeleton_metrics(&xl, &instance.ground_truth),
+            skeleton_metrics(&plain, &instance.ground_truth),
+        )
+    }
+}
+
+use xinsight::synth::syn_a::{generate, SynAOptions};
+
+#[test]
+fn xlearner_beats_fci_on_fd_heavy_synthetic_data() {
+    let mut xl_f1 = Vec::new();
+    let mut fci_f1 = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let instance = generate(&SynAOptions {
+            n_core_variables: 10,
+            n_rows: 1500,
+            fd_nodes_per_leaf: 2,
+            seed,
+            ..SynAOptions::default()
+        });
+        let (xl, plain) = bench_support::compare(&instance);
+        xl_f1.push(xl.f1);
+        fci_f1.push(plain.f1);
+    }
+    let xl_mean = xl_f1.iter().sum::<f64>() / xl_f1.len() as f64;
+    let fci_mean = fci_f1.iter().sum::<f64>() / fci_f1.len() as f64;
+    assert!(
+        xl_mean > fci_mean,
+        "XLearner mean F1 ({xl_mean:.2}) must beat FCI ({fci_mean:.2}) in the presence of FDs"
+    );
+}
+
+#[test]
+fn xlearner_recall_advantage_comes_from_fd_edges() {
+    let instance = generate(&SynAOptions {
+        n_core_variables: 10,
+        n_rows: 1500,
+        fd_nodes_per_leaf: 2,
+        seed: 5,
+        ..SynAOptions::default()
+    });
+    let (xl, plain) = bench_support::compare(&instance);
+    assert!(xl.recall >= plain.recall, "recall: {} vs {}", xl.recall, plain.recall);
+    assert!(xl.precision > 0.5);
+}

@@ -1,0 +1,141 @@
+//! Integration tests for XPlainer and the baselines on SYN-B data — a
+//! miniature, assertion-backed version of the Table 8/9 experiments.
+
+use xinsight::baselines::{BoExplain, ExplanationEngine, RsExplain, Scorpion};
+use xinsight::core::{SearchStrategy, XPlainer, XPlainerOptions};
+use xinsight::data::Aggregate;
+use xinsight::synth::syn_b::{generate, SynBOptions};
+
+fn f1(values: &[String], truth: &[String]) -> f64 {
+    let tp = values.iter().filter(|v| truth.contains(v)).count() as f64;
+    if values.is_empty() || truth.is_empty() {
+        return 0.0;
+    }
+    let p = tp / values.len() as f64;
+    let r = tp / truth.len() as f64;
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+#[test]
+fn xplainer_recovers_the_planted_explanation_for_both_aggregates() {
+    let instance = generate(&SynBOptions {
+        n_rows: 10_000,
+        cardinality: 10,
+        seed: 1,
+        ..SynBOptions::default()
+    });
+    let xplainer = XPlainer::new(XPlainerOptions::default());
+    for aggregate in [Aggregate::Sum, Aggregate::Avg] {
+        let query = instance.query(aggregate);
+        let candidate = xplainer
+            .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{aggregate:?}: explanation must exist"));
+        let score = f1(candidate.predicate.values(), &instance.ground_truth);
+        assert!(
+            score >= 0.99,
+            "{aggregate:?}: expected exact recovery, got F1 = {score} ({})",
+            candidate.predicate
+        );
+    }
+}
+
+#[test]
+fn xplainer_is_cheaper_than_the_exhaustive_baselines() {
+    let instance = generate(&SynBOptions {
+        n_rows: 5_000,
+        cardinality: 12,
+        seed: 2,
+        ..SynBOptions::default()
+    });
+    let query = instance.query(Aggregate::Avg);
+    let xplainer = XPlainer::new(XPlainerOptions::default());
+    let ours = xplainer
+        .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+        .unwrap()
+        .unwrap();
+    let scorpion = Scorpion::default()
+        .explain(&instance.data, &query, "Y")
+        .unwrap()
+        .unwrap();
+    assert!(
+        ours.n_delta_evaluations * 10 < scorpion.n_delta_evaluations,
+        "XPlainer ({}) must need far fewer Δ evaluations than Scorpion ({})",
+        ours.n_delta_evaluations,
+        scorpion.n_delta_evaluations
+    );
+}
+
+#[test]
+fn exhaustive_baselines_refuse_high_cardinality_but_xplainer_does_not() {
+    let instance = generate(&SynBOptions {
+        n_rows: 5_000,
+        cardinality: 50,
+        seed: 3,
+        ..SynBOptions::default()
+    });
+    let query = instance.query(Aggregate::Avg);
+    assert!(Scorpion::default().explain(&instance.data, &query, "Y").is_err());
+    assert!(RsExplain::default().explain(&instance.data, &query, "Y").is_err());
+    let xplainer = XPlainer::new(XPlainerOptions::default());
+    let ours = xplainer
+        .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+        .unwrap()
+        .unwrap();
+    assert!(f1(ours.predicate.values(), &instance.ground_truth) > 0.9);
+}
+
+#[test]
+fn boexplain_accuracy_degrades_with_cardinality_while_xplainer_stays_exact() {
+    let engine = BoExplain::default();
+    let xplainer = XPlainer::new(XPlainerOptions::default());
+    let mut bo_scores = Vec::new();
+    let mut x_scores = Vec::new();
+    for &card in &[10usize, 60] {
+        let instance = generate(&SynBOptions {
+            n_rows: 5_000,
+            cardinality: card,
+            seed: 4,
+            ..SynBOptions::default()
+        });
+        let query = instance.query(Aggregate::Avg);
+        let bo = engine
+            .explain(&instance.data, &query, "Y")
+            .unwrap()
+            .map(|e| f1(e.predicate.values(), &instance.ground_truth))
+            .unwrap_or(0.0);
+        let ours = xplainer
+            .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+            .unwrap()
+            .map(|c| f1(c.predicate.values(), &instance.ground_truth))
+            .unwrap_or(0.0);
+        bo_scores.push(bo);
+        x_scores.push(ours);
+    }
+    assert!(bo_scores[1] <= bo_scores[0]);
+    assert!(x_scores.iter().all(|&s| s > 0.9));
+}
+
+#[test]
+fn small_mean_gaps_are_still_explained() {
+    // Table 9's hardest setting: μ* − μ = 5.
+    let instance = generate(&SynBOptions {
+        n_rows: 20_000,
+        cardinality: 10,
+        mu_normal: 10.0,
+        mu_abnormal: 15.0,
+        seed: 5,
+        ..SynBOptions::default()
+    });
+    let query = instance.query(Aggregate::Avg);
+    let xplainer = XPlainer::new(XPlainerOptions::default());
+    let candidate = xplainer
+        .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+        .unwrap()
+        .expect("an explanation must exist even at a small gap");
+    assert!(f1(candidate.predicate.values(), &instance.ground_truth) > 0.6);
+}
