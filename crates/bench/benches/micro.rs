@@ -7,9 +7,13 @@
 //! DESIGN.md), and the baseline engines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use xinsight_baselines::{BoExplain, ExplanationEngine, Scorpion};
-use xinsight_core::{SearchStrategy, XLearner, XLearnerOptions, XPlainer, XPlainerOptions};
-use xinsight_data::{detect_fds, Aggregate, FdDetectionOptions};
+use xinsight_core::{
+    SearchStrategy, SelectionCache, WhyQuery, XLearner, XLearnerOptions, XPlainer,
+    XPlainerOptions,
+};
+use xinsight_data::{detect_fds, Aggregate, FdDetectionOptions, Subspace};
 use xinsight_discovery::{fci, FciOptions};
 use xinsight_stats::{ChiSquareTest, CiTest};
 use xinsight_synth::{flight, lung_cancer, syn_a, syn_b};
@@ -146,6 +150,115 @@ fn bench_xplainer(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole comparison: the online search engine serial vs parallel vs
+/// parallel+shared-cache, on ≥100k-row datasets.
+///
+/// * `sum_card*` / `avg_card*` isolate the per-filter probe fan-out of one
+///   high-cardinality attribute search.
+/// * `engine_4queries_*` replays the `explain_many` data path: a batch of
+///   four Why Queries over FLIGHT, each searching five candidate attributes —
+///   `serial` answers them one by one with fresh state (the seed engine's
+///   behaviour), `parallel` fans the probes out, and `parallel_cached`
+///   additionally shares one `SelectionCache` across the whole batch.
+fn bench_parallel_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_engine");
+    group.sample_size(10);
+
+    let serial_opts = XPlainerOptions {
+        parallel: false,
+        ..XPlainerOptions::default()
+    };
+    let parallel_opts = XPlainerOptions::default();
+
+    // One high-cardinality attribute on 150k rows.
+    let instance = syn_b::generate(&syn_b::SynBOptions {
+        n_rows: 150_000,
+        cardinality: 100,
+        seed: 1,
+        ..syn_b::SynBOptions::default()
+    });
+    for aggregate in [Aggregate::Sum, Aggregate::Avg] {
+        let query = instance.query(aggregate);
+        for (label, opts) in [("serial", &serial_opts), ("parallel", &parallel_opts)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{aggregate:?}_card100_150k"), label),
+                &query,
+                |b, query| {
+                    let xplainer = XPlainer::new(opts.clone());
+                    b.iter(|| {
+                        xplainer
+                            .explain_attribute(
+                                &instance.data,
+                                query,
+                                "Y",
+                                SearchStrategy::Optimized,
+                                true,
+                            )
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+
+    // A batch of four Why Queries over FLIGHT (120k rows), five candidate
+    // attributes each — the explain_many workload.
+    let data = flight::generate(120_000, 1);
+    let attributes = ["Rain", "Carrier", "Hour", "DayOfWeek", "DelayOver15"];
+    let queries: Vec<WhyQuery> = [("May", "Nov"), ("Jun", "Nov"), ("May", "Jan"), ("Jul", "Feb")]
+        .iter()
+        .map(|&(a, b)| {
+            WhyQuery::new(
+                "DelayMinute",
+                Aggregate::Avg,
+                Subspace::of("Month", a),
+                Subspace::of("Month", b),
+            )
+            .unwrap()
+        })
+        .collect();
+    let run_batch = |opts: &XPlainerOptions, shared: Option<&Arc<SelectionCache>>| {
+        let xplainer = XPlainer::new(opts.clone());
+        let mut found = 0usize;
+        for query in &queries {
+            for attribute in attributes {
+                let candidate = match shared {
+                    Some(cache) => xplainer.explain_attribute_cached(
+                        &data,
+                        query,
+                        attribute,
+                        SearchStrategy::Optimized,
+                        false,
+                        Arc::clone(cache),
+                    ),
+                    None => xplainer.explain_attribute(
+                        &data,
+                        query,
+                        attribute,
+                        SearchStrategy::Optimized,
+                        false,
+                    ),
+                };
+                found += candidate.unwrap().is_some() as usize;
+            }
+        }
+        found
+    };
+    group.bench_function("engine_4queries_flight120k/serial", |b| {
+        b.iter(|| run_batch(&serial_opts, None))
+    });
+    group.bench_function("engine_4queries_flight120k/parallel", |b| {
+        b.iter(|| run_batch(&parallel_opts, None))
+    });
+    group.bench_function("engine_4queries_flight120k/parallel_cached", |b| {
+        b.iter(|| {
+            let cache = Arc::new(SelectionCache::new());
+            run_batch(&parallel_opts, Some(&cache))
+        })
+    });
+    group.finish();
+}
+
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines");
     group.sample_size(10);
@@ -170,6 +283,7 @@ criterion_group!(
     bench_data_layer,
     bench_discovery,
     bench_xplainer,
+    bench_parallel_engine,
     bench_baselines
 );
 criterion_main!(benches);

@@ -12,6 +12,10 @@ use xinsight_data::Aggregate;
 use xinsight_synth::syn_b::{generate, SynBOptions};
 
 fn main() {
+    // Same pool policy as the engine: XINSIGHT_THREADS pins the worker
+    // count, otherwise rayon's defaults apply (see README "Parallelism").
+    let threads = xinsight_core::parallel::configure_pool_from_env();
+    eprintln!("# worker threads: {threads}");
     let full = xinsight_bench::full_scale();
     let n_rows = if full { 50_000 } else { 10_000 };
     // Brute force is exponential in the cardinality, so the comparison uses

@@ -10,6 +10,10 @@ use xinsight_bench::{mean_std, print_header, print_row};
 use xinsight_synth::syn_a::{generate, SynAOptions};
 
 fn main() {
+    // Same pool policy as the engine: XINSIGHT_THREADS pins the worker
+    // count, otherwise rayon's defaults apply (see README "Parallelism").
+    let threads = xinsight_core::parallel::configure_pool_from_env();
+    eprintln!("# worker threads: {threads}");
     let full = xinsight_bench::full_scale();
     let seeds: Vec<u64> = if full { vec![1, 2, 3, 4, 5] } else { vec![1, 2, 3] };
     let n_rows = if full { 5000 } else { 1500 };

@@ -13,6 +13,10 @@ use xinsight_data::Filter;
 use xinsight_synth::{flight, hotel};
 
 fn main() {
+    // Same pool policy as the engine: XINSIGHT_THREADS pins the worker
+    // count, otherwise rayon's defaults apply (see README "Parallelism").
+    let threads = xinsight_core::parallel::configure_pool_from_env();
+    eprintln!("# worker threads: {threads}");
     let full = xinsight_bench::full_scale();
     let n_rows = if full { 100_000 } else { 20_000 };
 

@@ -16,6 +16,10 @@ use xinsight_synth::expert_panel::{ClaimVerdict, ExpertPanel};
 use xinsight_synth::web;
 
 fn main() {
+    // Same pool policy as the engine: XINSIGHT_THREADS pins the worker
+    // count, otherwise rayon's defaults apply (see README "Parallelism").
+    let threads = xinsight_core::parallel::configure_pool_from_env();
+    eprintln!("# worker threads: {threads}");
     let full = xinsight_bench::full_scale();
     let n_rows = if full { 5000 } else { 764 };
     println!("# Tables 5 & 7 reproduction: simulated WEB dataset + simulated expert panel\n");

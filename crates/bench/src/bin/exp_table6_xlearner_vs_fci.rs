@@ -12,6 +12,10 @@ use xinsight_bench::{mean_std, print_header, print_row};
 use xinsight_synth::syn_a::{generate, SynAOptions};
 
 fn main() {
+    // Same pool policy as the engine: XINSIGHT_THREADS pins the worker
+    // count, otherwise rayon's defaults apply (see README "Parallelism").
+    let threads = xinsight_core::parallel::configure_pool_from_env();
+    eprintln!("# worker threads: {threads}");
     let full = xinsight_bench::full_scale();
     let scales: Vec<usize> = if full {
         (10..=60).step_by(10).collect()

@@ -67,6 +67,10 @@ fn print_block(title: &str, configs: &[(String, SynBOptions)], aggregate: Aggreg
 }
 
 fn main() {
+    // Same pool policy as the engine: XINSIGHT_THREADS pins the worker
+    // count, otherwise rayon's defaults apply (see README "Parallelism").
+    let threads = xinsight_core::parallel::configure_pool_from_env();
+    eprintln!("# worker threads: {threads}");
     let full = xinsight_bench::full_scale();
     println!("# Table 8 reproduction: scalability of XPlainer vs baselines on SYN-B");
 

@@ -11,6 +11,10 @@ use xinsight_data::Aggregate;
 use xinsight_synth::syn_b::{generate, SynBOptions};
 
 fn main() {
+    // Same pool policy as the engine: XINSIGHT_THREADS pins the worker
+    // count, otherwise rayon's defaults apply (see README "Parallelism").
+    let threads = xinsight_core::parallel::configure_pool_from_env();
+    eprintln!("# worker threads: {threads}");
     let full = xinsight_bench::full_scale();
     let gaps: Vec<f64> = vec![5.0, 10.0, 15.0, 30.0, 50.0, 100.0];
     let n_rows = if full { 100_000 } else { 20_000 };

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod explanation;
+pub mod parallel;
 pub mod pipeline;
 mod why_query;
 pub mod xlearner;
@@ -69,5 +70,7 @@ pub mod xtranslator;
 pub use explanation::{CausalRole, Explanation, ExplanationType, XdaSemantics};
 pub use why_query::WhyQuery;
 pub use xlearner::{XLearner, XLearnerOptions, XLearnerResult};
-pub use xplainer::{ExplanationCandidate, SearchStrategy, XPlainer, XPlainerOptions};
+pub use xplainer::{
+    ExplanationCandidate, PartialAgg, SearchStrategy, SelectionCache, XPlainer, XPlainerOptions,
+};
 pub use xtranslator::{translate, translate_variable, Translation};

@@ -4,9 +4,11 @@
 use crate::explanation::{Explanation, ExplanationType, XdaSemantics};
 use crate::why_query::WhyQuery;
 use crate::xlearner::{XLearner, XLearnerOptions, XLearnerResult};
-use crate::xplainer::{SearchStrategy, XPlainer, XPlainerOptions};
+use crate::xplainer::{SearchStrategy, SelectionCache, XPlainer, XPlainerOptions};
 use crate::xtranslator::{translate, Translation};
+use rayon::prelude::*;
 use std::collections::HashSet;
+use std::sync::Arc;
 use xinsight_data::{
     discretize_equal_frequency, discretize_equal_width, AttributeKind, Dataset, DatasetBuilder,
     Result,
@@ -28,6 +30,15 @@ pub struct XInsightOptions {
     pub measure_bins: usize,
     /// Search strategy handed to XPlainer.
     pub strategy: SearchStrategy,
+    /// Master switch for online-phase parallelism: per-attribute searches in
+    /// [`XInsight::explain`], per-query searches in
+    /// [`XInsight::explain_many`], and the per-filter probe loops inside the
+    /// strategies (the latter also honour
+    /// [`XPlainerOptions::parallel`](crate::XPlainerOptions) — both must be
+    /// `true` for the inner loops to fan out).  Results are identical either
+    /// way; disable for serial baselines.  See [`crate::parallel`] for pool
+    /// sizing.
+    pub parallel: bool,
 }
 
 impl Default for XInsightOptions {
@@ -38,6 +49,7 @@ impl Default for XInsightOptions {
             ci_alpha: 0.05,
             measure_bins: 4,
             strategy: SearchStrategy::Optimized,
+            parallel: true,
         }
     }
 }
@@ -133,11 +145,98 @@ impl XInsight {
 
     /// Answers a Why Query with a ranked list of explanations
     /// (causal explanations first, then by responsibility).
+    ///
+    /// The per-attribute searches are independent; when
+    /// [`XInsightOptions::parallel`] is set (the default) they fan out over
+    /// the rayon thread pool, sharing one [`SelectionCache`] so sibling-mask
+    /// and aggregate work done for one attribute is replayed by the others.
+    /// The result is identical to the serial path.
     pub fn explain(&self, query: &WhyQuery) -> Result<Vec<Explanation>> {
+        self.explain_with_cache(query, Arc::new(SelectionCache::new()))
+    }
+
+    /// Answers a batch of Why Queries, sharing one [`SelectionCache`] across
+    /// all of them (and, when [`XInsightOptions::parallel`] is set, fanning
+    /// the queries out over the thread pool).
+    ///
+    /// Queries in a batch typically hit the same sibling subspaces and
+    /// candidate attributes, so the cross-query cache turns most of the
+    /// second-to-last queries' `Δ(·)` terms into replays.  Results are in
+    /// input order and byte-identical to calling [`XInsight::explain`] on
+    /// each query serially.
+    ///
+    /// ```
+    /// # use xinsight_core::{WhyQuery, pipeline::{XInsight, XInsightOptions}};
+    /// # use xinsight_data::{Aggregate, DatasetBuilder, Subspace};
+    /// # let mut loc = Vec::new();
+    /// # let mut smoking = Vec::new();
+    /// # let mut severity = Vec::new();
+    /// # for i in 0..200 {
+    /// #     let a = i % 2 == 0;
+    /// #     loc.push(if a { "A" } else { "B" });
+    /// #     let smokes = if a { i % 10 < 8 } else { i % 10 < 2 };
+    /// #     smoking.push(if smokes { "Yes" } else { "No" });
+    /// #     severity.push(match (smokes, i % 7) {
+    /// #         (true, 0..=4) => 3.0,
+    /// #         (true, _) => 2.0,
+    /// #         (false, 0) => 2.0,
+    /// #         (false, _) => 1.0,
+    /// #     });
+    /// # }
+    /// # let data = DatasetBuilder::new()
+    /// #     .dimension("Location", loc)
+    /// #     .dimension("Smoking", smoking)
+    /// #     .measure("LungCancer", severity)
+    /// #     .build()
+    /// #     .unwrap();
+    /// let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+    /// let queries = [
+    ///     WhyQuery::new("LungCancer", Aggregate::Avg,
+    ///                   Subspace::of("Location", "A"),
+    ///                   Subspace::of("Location", "B")).unwrap(),
+    ///     WhyQuery::new("LungCancer", Aggregate::Sum,
+    ///                   Subspace::of("Location", "A"),
+    ///                   Subspace::of("Location", "B")).unwrap(),
+    /// ];
+    /// let batched = engine.explain_many(&queries).unwrap();
+    /// assert_eq!(batched.len(), 2);
+    /// assert_eq!(batched[0], engine.explain(&queries[0]).unwrap());
+    /// ```
+    pub fn explain_many(&self, queries: &[WhyQuery]) -> Result<Vec<Vec<Explanation>>> {
+        let cache = Arc::new(SelectionCache::new());
+        let results: Vec<Result<Vec<Explanation>>> = if self.options.parallel {
+            queries
+                .par_iter()
+                .map(|query| self.explain_with_cache(query, Arc::clone(&cache)))
+                .collect()
+        } else {
+            queries
+                .iter()
+                .map(|query| self.explain_with_cache(query, Arc::clone(&cache)))
+                .collect()
+        };
+        results.into_iter().collect()
+    }
+
+    /// The explanation engine behind [`XInsight::explain`] and
+    /// [`XInsight::explain_many`], parameterized by the selection cache the
+    /// `Δ(·)` terms are answered through.
+    fn explain_with_cache(
+        &self,
+        query: &WhyQuery,
+        cache: Arc<SelectionCache>,
+    ) -> Result<Vec<Explanation>> {
         let query = query.oriented(&self.augmented)?;
         let original_delta = query.delta(&self.augmented)?;
         let translation = self.translation(&query);
-        let xplainer = XPlainer::new(self.options.xplainer.clone());
+        // `XInsightOptions::parallel` is the master switch for the whole
+        // online phase; `xplainer.parallel` can *additionally* opt the inner
+        // probe loops out.  AND-ing the two means neither flag silently
+        // overrides an explicit `false` in the other.
+        let xplainer = XPlainer::new(XPlainerOptions {
+            parallel: self.options.parallel && self.options.xplainer.parallel,
+            ..self.options.xplainer.clone()
+        });
 
         let skip: HashSet<&str> = {
             let mut s: HashSet<&str> = HashSet::new();
@@ -147,40 +246,60 @@ impl XInsight {
             s
         };
 
-        let mut explanations = Vec::new();
-        for (variable, semantics) in translation.iter() {
-            if skip.contains(variable) || !semantics.has_explainability() {
-                continue;
-            }
-            // Measures are explained through their binned companion column.
-            let attribute = if self.binned_measures.iter().any(|m| m == variable) {
-                format!("{variable}_bin")
-            } else {
-                variable.to_owned()
-            };
-            if self
-                .augmented
-                .schema()
-                .attribute_by_name(&attribute)
-                .map(|a| a.kind != AttributeKind::Dimension)
-                .unwrap_or(true)
-            {
-                continue;
-            }
-            let homogeneous = self.is_homogeneous(&query, variable);
-            let candidate = xplainer.explain_attribute(
+        // Candidate attributes in translation (= variable-name) order, so the
+        // search schedule and output ranking are deterministic.
+        let targets: Vec<(XdaSemantics, String, bool)> = translation
+            .iter()
+            .filter(|(variable, semantics)| {
+                !skip.contains(variable) && semantics.has_explainability()
+            })
+            .filter_map(|(variable, semantics)| {
+                // Measures are explained through their binned companion
+                // column.
+                let attribute = if self.binned_measures.iter().any(|m| m == variable) {
+                    format!("{variable}_bin")
+                } else {
+                    variable.to_owned()
+                };
+                let is_dimension = self
+                    .augmented
+                    .schema()
+                    .attribute_by_name(&attribute)
+                    .map(|a| a.kind == AttributeKind::Dimension)
+                    .unwrap_or(false);
+                is_dimension.then(|| {
+                    let homogeneous = self.is_homogeneous(&query, variable);
+                    (semantics, attribute, homogeneous)
+                })
+            })
+            .collect();
+
+        let search = |target: &(XdaSemantics, String, bool)| {
+            let (_, attribute, homogeneous) = target;
+            xplainer.explain_attribute_cached(
                 &self.augmented,
                 &query,
-                &attribute,
+                attribute,
                 self.options.strategy,
-                homogeneous,
-            )?;
-            if let Some(c) = candidate {
+                *homogeneous,
+                Arc::clone(&cache),
+            )
+        };
+        let candidates: Vec<_> = if self.options.parallel {
+            targets.par_iter().map(search).collect()
+        } else {
+            targets.iter().map(search).collect()
+        };
+
+        let mut explanations = Vec::new();
+        for (target, candidate) in targets.iter().zip(candidates) {
+            let (semantics, _, _) = target;
+            if let Some(c) = candidate? {
                 let explanation_type = semantics
                     .explanation_type()
                     .unwrap_or(ExplanationType::NonCausal);
                 let causal_role = match semantics {
-                    XdaSemantics::CausalExplanation(role) => Some(role),
+                    XdaSemantics::CausalExplanation(role) => Some(*role),
                     _ => None,
                 };
                 explanations.push(Explanation {

@@ -12,7 +12,7 @@
 //! `ρ̂_{P_k} − σ·|P_k|` is returned.  Total cost `O(m²)` Δ-evaluations.
 
 use super::context::SearchContext;
-use super::ExplanationCandidate;
+use super::{map_items, ExplanationCandidate};
 
 /// Runs the AVG-optimized greedy search (Alg. 2).
 pub fn search(ctx: &SearchContext<'_>, homogeneous: bool) -> Option<ExplanationCandidate> {
@@ -20,8 +20,10 @@ pub fn search(ctx: &SearchContext<'_>, homogeneous: bool) -> Option<ExplanationC
     if ctx.delta_d() <= 0.0 {
         return None;
     }
-    // Δ_i is invariant throughout the greedy loop (queried once, line 7 note).
-    let per_filter_delta: Vec<Option<f64>> = (0..m).map(|i| ctx.delta_of(&[i])).collect();
+    // Δ_i is invariant throughout the greedy loop (queried once, line 7 note);
+    // the m probes are independent and fan out over the thread pool.
+    let per_filter_delta: Vec<Option<f64>> =
+        map_items(ctx.parallel(), (0..m).collect(), |i| ctx.delta_of(&[i]));
 
     let max_len = ((1.0 / ctx.sigma()).floor() as usize).clamp(1, m);
     let mut canonical: Vec<usize> = Vec::new();
@@ -56,13 +58,18 @@ pub fn search(ctx: &SearchContext<'_>, homogeneous: bool) -> Option<ExplanationC
             available.clone()
         };
         // Greedy step: insert the filter minimising Δ(D − D_{P_C} − D_p).
-        let mut best: Option<(usize, f64)> = None;
-        for &i in &candidates {
+        // Trials are independent; evaluate them in parallel, then pick the
+        // winner with the serial scan's exact tie-breaking (first strictly
+        // smaller value in candidate order) so parallelism cannot change the
+        // chosen predicate.
+        let trials: Vec<(usize, f64)> = map_items(ctx.parallel(), candidates, |i| {
             let mut trial = canonical.clone();
             trial.push(i);
-            let d = ctx.delta_without(&trial);
             // An undefined remainder (one side emptied) must never be chosen.
-            let value = d.unwrap_or(f64::INFINITY);
+            (i, ctx.delta_without(&trial).unwrap_or(f64::INFINITY))
+        });
+        let mut best: Option<(usize, f64)> = None;
+        for (i, value) in trials {
             match best {
                 Some((_, b)) if b <= value => {}
                 _ => best = Some((i, value)),

@@ -6,80 +6,58 @@
 //! which the SUM/AVG approximations are measured in Sec. 4.4.
 
 use super::context::SearchContext;
-use super::ExplanationCandidate;
+use super::{map_items, ExplanationCandidate};
 
 /// Runs the exhaustive search and returns the best-scoring explanation, if
 /// any predicate qualifies as an actual cause.
+///
+/// Every candidate predicate is evaluated independently (in parallel over the
+/// thread pool, sharing the context's selection cache); the winner is then
+/// picked by a serial fold in ascending bitmask order, so the returned
+/// explanation (predicate, responsibility, contingency, remaining delta) is
+/// byte-identical to a fully serial scan.  Only the diagnostic
+/// `n_delta_evaluations` may differ: concurrent workers racing on a shared
+/// clause can each count it once (see `SearchContext::evaluations`).
 pub fn search(ctx: &SearchContext<'_>) -> Option<ExplanationCandidate> {
     let m = ctx.m();
-    let all: Vec<usize> = (0..m).collect();
+    let total = 1u64 << m;
+    // Scan in blocks: workers stream the predicates of a block and keep only
+    // that block's best qualifying candidate, so the scan itself holds
+    // O(#blocks) candidates instead of materializing all 2^m.  (The shared
+    // cache still accumulates one partial-aggregate entry per distinct
+    // clause probed — O(2^m) for this strategy — which is what deduplicates
+    // the Δ work; `max_brute_force_filters` bounds both costs.)
+    const BLOCK: u64 = 1024;
+    let n_blocks = total.div_ceil(BLOCK);
+    let scored: Vec<Option<(f64, ExplanationCandidate)>> =
+        map_items(ctx.parallel(), (0..n_blocks).collect(), |block| {
+            let start = (block * BLOCK).max(1); // predicate 0 is empty
+            let end = ((block + 1) * BLOCK).min(total);
+            let mut best: Option<(f64, ExplanationCandidate)> = None;
+            for p_bits in start..end {
+                let Some((score, candidate)) = evaluate_predicate(ctx, p_bits) else {
+                    continue;
+                };
+                let better = match &best {
+                    Some((s, _)) => score > *s + 1e-12,
+                    None => true,
+                };
+                if better {
+                    best = Some((score, candidate));
+                }
+            }
+            best
+        });
+
+    // Fold the block winners in ascending block (= bitmask) order, with the
+    // same strictly-greater rule, reproducing the serial scan's tie-breaking.
     let mut best: Option<(f64, ExplanationCandidate)> = None;
-
-    for p_bits in 1u64..(1u64 << m) {
-        let p: Vec<usize> = all
-            .iter()
-            .copied()
-            .filter(|i| p_bits >> i & 1 == 1)
-            .collect();
-        let rest: Vec<usize> = all
-            .iter()
-            .copied()
-            .filter(|i| p_bits >> i & 1 == 0)
-            .collect();
-        let k = rest.len();
-
-        // Find the contingency with minimal W-weight that certifies P.
-        let mut best_gamma: Option<(f64, Vec<usize>)> = None;
-        for g_bits in 0u64..(1u64 << k) {
-            let gamma: Vec<usize> = rest
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| g_bits >> j & 1 == 1)
-                .map(|(_, &i)| i)
-                .collect();
-            // Validity: Δ(D − D_Γ − D_P) ≤ ε < Δ(D − D_Γ).
-            let without_gamma = ctx.delta_without(&gamma);
-            let mut both = p.clone();
-            both.extend_from_slice(&gamma);
-            let without_both = ctx.delta_without(&both);
-            let valid = ctx.is_resolved(without_both)
-                && matches!(without_gamma, Some(d) if d > ctx.epsilon());
-            if !valid {
-                continue;
-            }
-            let weight = ctx.contingency_weight(&p, &gamma);
-            match &best_gamma {
-                Some((w, _)) if *w <= weight => {}
-                _ => best_gamma = Some((weight, gamma)),
-            }
-        }
-
-        let Some((weight, gamma)) = best_gamma else {
-            continue;
-        };
-        let responsibility = 1.0 / (1.0 + weight);
-        let score = responsibility - ctx.sigma() * p.len() as f64;
-        // Explanations whose score is not positive are no better than the
-        // degenerate "select every filter" predicate and are not reported.
-        if score <= 1e-12 {
-            continue;
-        }
+    for (score, candidate) in scored.into_iter().flatten() {
         let better = match &best {
             Some((s, _)) => score > *s + 1e-12,
             None => true,
         };
         if better {
-            let candidate = ExplanationCandidate {
-                predicate: ctx.predicate_of(&p),
-                responsibility,
-                contingency: if gamma.is_empty() {
-                    None
-                } else {
-                    Some(ctx.predicate_of(&gamma))
-                },
-                remaining_delta: ctx.delta_without(&p),
-                n_delta_evaluations: ctx.evaluations(),
-            };
             best = Some((score, candidate));
         }
     }
@@ -87,6 +65,68 @@ pub fn search(ctx: &SearchContext<'_>) -> Option<ExplanationCandidate> {
         c.n_delta_evaluations = ctx.evaluations();
         c
     })
+}
+
+/// Scores one candidate predicate (given as a filter-index bitmask): finds
+/// its minimal-weight certifying contingency and returns the scored
+/// candidate, or `None` when the predicate is not an actual cause (or its
+/// score is not positive).
+fn evaluate_predicate(
+    ctx: &SearchContext<'_>,
+    p_bits: u64,
+) -> Option<(f64, ExplanationCandidate)> {
+    let m = ctx.m();
+    let p: Vec<usize> = (0..m).filter(|i| p_bits >> i & 1 == 1).collect();
+    let rest: Vec<usize> = (0..m).filter(|i| p_bits >> i & 1 == 0).collect();
+    let k = rest.len();
+
+    // Find the contingency with minimal W-weight that certifies P.
+    let mut best_gamma: Option<(f64, Vec<usize>)> = None;
+    for g_bits in 0u64..(1u64 << k) {
+        let gamma: Vec<usize> = rest
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| g_bits >> j & 1 == 1)
+            .map(|(_, &i)| i)
+            .collect();
+        // Validity: Δ(D − D_Γ − D_P) ≤ ε < Δ(D − D_Γ).
+        let without_gamma = ctx.delta_without(&gamma);
+        let mut both = p.clone();
+        both.extend_from_slice(&gamma);
+        let without_both = ctx.delta_without(&both);
+        let valid = ctx.is_resolved(without_both)
+            && matches!(without_gamma, Some(d) if d > ctx.epsilon());
+        if !valid {
+            continue;
+        }
+        let weight = ctx.contingency_weight(&p, &gamma);
+        match &best_gamma {
+            Some((w, _)) if *w <= weight => {}
+            _ => best_gamma = Some((weight, gamma)),
+        }
+    }
+
+    let (weight, gamma) = best_gamma?;
+    let responsibility = 1.0 / (1.0 + weight);
+    let score = responsibility - ctx.sigma() * p.len() as f64;
+    // Explanations whose score is not positive are no better than the
+    // degenerate "select every filter" predicate and are not reported.
+    if score <= 1e-12 {
+        return None;
+    }
+    let candidate = ExplanationCandidate {
+        predicate: ctx.predicate_of(&p),
+        responsibility,
+        contingency: if gamma.is_empty() {
+            None
+        } else {
+            Some(ctx.predicate_of(&gamma))
+        },
+        remaining_delta: ctx.delta_without(&p),
+        // Filled in by `search` once the full scan is complete.
+        n_delta_evaluations: 0,
+    };
+    Some((score, candidate))
 }
 
 #[cfg(test)]

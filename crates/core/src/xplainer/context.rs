@@ -1,61 +1,118 @@
 //! Shared search state for the XPlainer strategies.
 
+use super::cache::SelectionCache;
 use super::XPlainerOptions;
 use crate::why_query::WhyQuery;
-use std::cell::Cell;
-use xinsight_data::{Dataset, Filter, Predicate, Result, RowMask};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use xinsight_data::{DataError, Dataset, Filter, Predicate, Result};
 
 /// Precomputed per-attribute state shared by every search strategy: the
-/// filters of the attribute, their row masks, `Δ(D)`, `ε` and `σ`, plus a
-/// counter of `Δ(·)` evaluations.
+/// filters of the attribute, the sibling-subspace masks, `Δ(D)`, `ε` and
+/// `σ`, plus a counter of `Δ(·)` evaluations.
+///
+/// All `Δ` terms are answered through a [`SelectionCache`]: masks and partial
+/// aggregates computed by one strategy (or one attribute, or one query of a
+/// batch) are replayed by the others instead of being recomputed.  The
+/// context is `Sync`, so the strategies may probe it from parallel workers.
 #[derive(Debug)]
 pub struct SearchContext<'a> {
     data: &'a Dataset,
     query: &'a WhyQuery,
     attribute: String,
     filters: Vec<Filter>,
-    filter_masks: Vec<RowMask>,
+    s1_key: String,
+    s2_key: String,
+    s1_mask: Arc<xinsight_data::RowMask>,
+    s2_mask: Arc<xinsight_data::RowMask>,
     delta_d: f64,
     epsilon: f64,
     sigma: f64,
-    evaluations: Cell<usize>,
+    parallel: bool,
+    /// Number of `Δ(·)` terms actually computed (cache misses); replays from
+    /// the cache are free and not counted.  Serial runs count exactly one per
+    /// distinct term; under parallel scheduling, workers racing on the same
+    /// term may each win one of its two per-side cache entries and both count
+    /// it, so parallel counts can exceed serial ones by a bounded amount.
+    evaluations: AtomicUsize,
+    cache: Arc<SelectionCache>,
 }
 
 impl<'a> SearchContext<'a> {
-    /// Builds the context for one attribute of interest.
+    /// Builds the context for one attribute of interest with a private cache.
     pub fn build(
         data: &'a Dataset,
         query: &'a WhyQuery,
         attribute: &str,
         options: &XPlainerOptions,
     ) -> Result<Self> {
+        Self::build_with_cache(data, query, attribute, options, Arc::new(SelectionCache::new()))
+    }
+
+    /// Builds the context for one attribute of interest on a shared cache, so
+    /// masks and partial aggregates are reused across attributes, strategies
+    /// and queries.
+    pub fn build_with_cache(
+        data: &'a Dataset,
+        query: &'a WhyQuery,
+        attribute: &str,
+        options: &XPlainerOptions,
+        cache: Arc<SelectionCache>,
+    ) -> Result<Self> {
         let column = data.dimension(attribute)?;
+        // Validate the measure up front: every later Δ probe relies on it and
+        // `expect`s success, so a missing/typo'd measure must surface as an
+        // error here, not a panic deep in a worker.
+        data.measure(query.measure())?;
         let filters: Vec<Filter> = column
             .categories()
             .iter()
             .map(|v| Filter::equals(attribute, v.clone()))
             .collect();
-        let filter_masks = filters
-            .iter()
-            .map(|f| f.mask(data))
-            .collect::<Result<Vec<_>>>()?;
-        let delta_d = query.delta(data)?;
-        let epsilon = options
-            .epsilon
-            .unwrap_or(options.epsilon_fraction * delta_d.abs());
-        let m = filters.len().max(1);
-        let sigma = options.sigma.unwrap_or(1.0 / m as f64);
-        Ok(SearchContext {
+        // Validate the dataset against the cache's fingerprint exactly once;
+        // the warm-up below and every later Δ probe use the trusted variants.
+        cache.ensure_dataset(data)?;
+        // Warm the mask layer: sibling-subspace and per-filter masks.
+        let s1_mask = cache.subspace_mask_trusted(data, query.s1())?;
+        let s2_mask = cache.subspace_mask_trusted(data, query.s2())?;
+        for filter in &filters {
+            cache.filter_mask_trusted(data, filter.attribute(), filter.value())?;
+        }
+        let s1_key = query.s1().to_string();
+        let s2_key = query.s2().to_string();
+        let mut ctx = SearchContext {
             data,
             query,
             attribute: attribute.to_owned(),
             filters,
-            filter_masks,
-            delta_d,
-            epsilon,
-            sigma,
-            evaluations: Cell::new(0),
-        })
+            s1_key,
+            s2_key,
+            s1_mask,
+            s2_mask,
+            delta_d: 0.0,
+            epsilon: 0.0,
+            sigma: 0.0,
+            parallel: options.parallel,
+            evaluations: AtomicUsize::new(0),
+            cache,
+        };
+        // Δ(D) through the cache (the empty clause's complement selects the
+        // full sides), shared across every attribute of the same query.
+        let delta_d = ctx.delta_clause(&[], true).ok_or_else(|| {
+            DataError::EmptyAggregate {
+                aggregate: "WHY-QUERY",
+                attribute: query.measure().to_owned(),
+            }
+        })?;
+        ctx.delta_d = delta_d;
+        ctx.epsilon = options
+            .epsilon
+            .unwrap_or(options.epsilon_fraction * delta_d.abs());
+        let m = ctx.filters.len().max(1);
+        ctx.sigma = options.sigma.unwrap_or(1.0 / m as f64);
+        // Δ(D) is not a search step; don't bill it to the strategies.
+        ctx.evaluations.store(0, Ordering::Relaxed);
+        Ok(ctx)
     }
 
     /// Number of filters `m` on the attribute.
@@ -88,9 +145,21 @@ impl<'a> SearchContext<'a> {
         &self.filters
     }
 
-    /// Number of `Δ(·)` evaluations spent so far.
+    /// The selection/aggregation cache answering this context's `Δ` terms.
+    pub fn cache(&self) -> &Arc<SelectionCache> {
+        &self.cache
+    }
+
+    /// Whether the strategies should fan their probe loops out over the
+    /// thread pool.
+    pub fn parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Number of `Δ(·)` evaluations actually computed so far (cache replays
+    /// are not counted).
     pub fn evaluations(&self) -> usize {
-        self.evaluations.get()
+        self.evaluations.load(Ordering::Relaxed)
     }
 
     /// Builds a [`Predicate`] from filter indices.
@@ -101,33 +170,65 @@ impl<'a> SearchContext<'a> {
         )
     }
 
-    fn union_mask(&self, indices: &[usize]) -> RowMask {
-        let mut mask = RowMask::zeros(self.data.n_rows());
-        for &i in indices {
-            mask = mask.or(&self.filter_masks[i]);
+    /// The canonical (sorted, deduplicated) clause values of filter indices.
+    fn clause_values(&self, indices: &[usize]) -> Vec<String> {
+        let mut values: Vec<String> = indices
+            .iter()
+            .map(|&i| self.filters[i].value().to_owned())
+            .collect();
+        values.sort();
+        values.dedup();
+        values
+    }
+
+    /// `Δ` over `side ∩ clause` (or `side − clause`), both sides, via the
+    /// cache.  `None` when one sibling side's aggregate is undefined.
+    fn delta_clause(&self, indices: &[usize], complement: bool) -> Option<f64> {
+        let values = self.clause_values(indices);
+        let (a, fresh_a) = self
+            .cache
+            .partial_agg_trusted(
+                self.data,
+                self.query.measure(),
+                &self.s1_key,
+                &self.s1_mask,
+                &self.attribute,
+                &values,
+                complement,
+            )
+            .expect("context attributes validated at build time");
+        let (b, fresh_b) = self
+            .cache
+            .partial_agg_trusted(
+                self.data,
+                self.query.measure(),
+                &self.s2_key,
+                &self.s2_mask,
+                &self.attribute,
+                &values,
+                complement,
+            )
+            .expect("context attributes validated at build time");
+        if fresh_a || fresh_b {
+            self.evaluations.fetch_add(1, Ordering::Relaxed);
         }
-        mask
+        let aggregate = self.query.aggregate();
+        match (a.value(aggregate), b.value(aggregate)) {
+            (Some(x), Some(y)) => Some(x - y),
+            _ => None,
+        }
     }
 
     /// `Δ(D_P)` where `P` is the disjunction of the given filters.
     /// Returns `None` when a sibling subspace is empty within `D_P`.
     pub fn delta_of(&self, indices: &[usize]) -> Option<f64> {
-        self.evaluations.set(self.evaluations.get() + 1);
-        let mask = self.union_mask(indices);
-        self.query
-            .delta_over_opt(self.data, &mask)
-            .expect("context attributes validated at build time")
+        self.delta_clause(indices, false)
     }
 
     /// `Δ(D − D_P)`: the difference after removing the rows matched by the
     /// given filters.  Returns `None` when a sibling subspace becomes empty.
     pub fn delta_without(&self, indices: &[usize]) -> Option<f64> {
-        self.evaluations.set(self.evaluations.get() + 1);
-        let removed = self.union_mask(indices);
-        let kept = self.data.all_rows().minus(&removed);
-        self.query
-            .delta_over_opt(self.data, &kept)
-            .expect("context attributes validated at build time")
+        self.delta_clause(indices, true)
     }
 
     /// The paper's "`≤ ε`" check.  An undefined difference (one sibling
@@ -205,6 +306,39 @@ mod tests {
     }
 
     #[test]
+    fn cached_replays_are_not_billed_as_evaluations() {
+        let (data, query) = fixture();
+        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let first = ctx.delta_of(&[0]);
+        let after_first = ctx.evaluations();
+        let replay = ctx.delta_of(&[0]);
+        assert_eq!(first, replay);
+        assert_eq!(
+            ctx.evaluations(),
+            after_first,
+            "replaying a memoized Δ must not count as an evaluation"
+        );
+    }
+
+    #[test]
+    fn sibling_contexts_share_the_cache() {
+        let (data, query) = fixture();
+        let cache = Arc::new(SelectionCache::new());
+        let opts = XPlainerOptions::default();
+        let ctx1 =
+            SearchContext::build_with_cache(&data, &query, "Y", &opts, Arc::clone(&cache)).unwrap();
+        let _ = ctx1.delta_of(&[0]);
+        let spent = ctx1.evaluations();
+        assert!(spent > 0);
+        // A second context over the same attribute replays everything.
+        let ctx2 =
+            SearchContext::build_with_cache(&data, &query, "Y", &opts, Arc::clone(&cache)).unwrap();
+        let _ = ctx2.delta_of(&[0]);
+        assert_eq!(ctx2.evaluations(), 0);
+        assert!(cache.hits() > 0);
+    }
+
+    #[test]
     fn removing_everything_is_not_a_valid_resolution() {
         let (data, query) = fixture();
         let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
@@ -235,6 +369,28 @@ mod tests {
         let ctx = SearchContext::build(&data, &query, "Y", &opts).unwrap();
         assert_eq!(ctx.epsilon(), 0.25);
         assert_eq!(ctx.sigma(), 0.05);
+    }
+
+    #[test]
+    fn unknown_measure_errors_instead_of_panicking() {
+        let (data, _) = fixture();
+        let bad = WhyQuery::new(
+            "NoSuchMeasure",
+            Aggregate::Avg,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        assert!(SearchContext::build(&data, &bad, "Y", &XPlainerOptions::default()).is_err());
+        // A dimension used as a measure is rejected the same way.
+        let dim = WhyQuery::new(
+            "Y",
+            Aggregate::Avg,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap();
+        assert!(SearchContext::build(&data, &dim, "Y", &XPlainerOptions::default()).is_err());
     }
 
     #[test]

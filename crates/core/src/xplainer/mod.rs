@@ -20,12 +20,16 @@
 
 mod avg;
 mod brute;
+mod cache;
 mod context;
 mod sum;
 
+pub use cache::{PartialAgg, SelectionCache};
 pub use context::SearchContext;
 
 use crate::why_query::WhyQuery;
+use rayon::prelude::*;
+use std::sync::Arc;
 use xinsight_data::{Aggregate, Dataset, Predicate, Result};
 
 /// How XPlainer searches for the optimal explanation on one attribute.
@@ -53,6 +57,10 @@ pub struct XPlainerOptions {
     pub sigma: Option<f64>,
     /// Upper bound on the number of filters brute force will accept.
     pub max_brute_force_filters: usize,
+    /// Whether the strategies' independent `Δ(·)` probe loops (per-filter
+    /// contributions, greedy trials, brute-force predicates) fan out over the
+    /// rayon thread pool.  The chosen explanation is identical either way.
+    pub parallel: bool,
 }
 
 impl Default for XPlainerOptions {
@@ -62,7 +70,24 @@ impl Default for XPlainerOptions {
             epsilon_fraction: 0.1,
             sigma: None,
             max_brute_force_filters: 14,
+            parallel: true,
         }
+    }
+}
+
+/// Maps `f` over `items` — in parallel over the thread pool when `parallel`
+/// is set, serially otherwise — always preserving input order, so callers see
+/// identical results on either path.
+pub(crate) fn map_items<I, T, F>(parallel: bool, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    if parallel {
+        items.into_par_iter().map(f).collect()
+    } else {
+        items.into_iter().map(f).collect()
     }
 }
 
@@ -117,7 +142,32 @@ impl XPlainer {
         strategy: SearchStrategy,
         homogeneous: bool,
     ) -> Result<Option<ExplanationCandidate>> {
-        let ctx = SearchContext::build(data, query, attribute, &self.options)?;
+        self.explain_attribute_cached(
+            data,
+            query,
+            attribute,
+            strategy,
+            homogeneous,
+            Arc::new(SelectionCache::new()),
+        )
+    }
+
+    /// Like [`XPlainer::explain_attribute`], but answering every `Δ(·)` term
+    /// through a shared [`SelectionCache`], so filter masks and partial
+    /// aggregates built here are reused by searches over other attributes
+    /// (and other queries) holding the same cache.  This is the entry point
+    /// the batched [`crate::pipeline::XInsight::explain_many`] engine uses.
+    #[allow(clippy::too_many_arguments)]
+    pub fn explain_attribute_cached(
+        &self,
+        data: &Dataset,
+        query: &WhyQuery,
+        attribute: &str,
+        strategy: SearchStrategy,
+        homogeneous: bool,
+        cache: Arc<SelectionCache>,
+    ) -> Result<Option<ExplanationCandidate>> {
+        let ctx = SearchContext::build_with_cache(data, query, attribute, &self.options, cache)?;
         if ctx.m() == 0 || ctx.delta_d() <= ctx.epsilon() {
             // Either nothing to explain or the difference is already below ε.
             return Ok(None);

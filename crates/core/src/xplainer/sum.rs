@@ -14,7 +14,7 @@
 //! The whole search costs `O(m log m)` (sorting dominates).
 
 use super::context::SearchContext;
-use super::ExplanationCandidate;
+use super::{map_items, ExplanationCandidate};
 
 /// Runs the SUM-optimized search.
 pub fn search(ctx: &SearchContext<'_>) -> Option<ExplanationCandidate> {
@@ -24,11 +24,17 @@ pub fn search(ctx: &SearchContext<'_>) -> Option<ExplanationCandidate> {
     }
     // Per-filter contributions Δ_i = Δ(D_{p_i}); undefined (empty side) counts
     // as no contribution for an additive aggregate's missing rows (Σ over an
-    // empty set is zero on that side).
-    let mut contributions: Vec<(usize, f64)> = (0..ctx.m())
-        .map(|i| (i, ctx.delta_of(&[i]).unwrap_or(0.0)))
-        .filter(|&(_, d)| d > 0.0)
-        .collect();
+    // empty set is zero on that side).  The probes are independent, so they
+    // fan out over the thread pool; the ordered collect keeps the result
+    // identical to a serial scan.
+    let mut contributions: Vec<(usize, f64)> = map_items(
+        ctx.parallel(),
+        (0..ctx.m()).collect(),
+        |i| (i, ctx.delta_of(&[i]).unwrap_or(0.0)),
+    )
+    .into_iter()
+    .filter(|&(_, d)| d > 0.0)
+    .collect();
     if contributions.is_empty() {
         return None;
     }

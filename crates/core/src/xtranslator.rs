@@ -15,13 +15,17 @@
 
 use crate::explanation::{CausalRole, XdaSemantics};
 use crate::why_query::WhyQuery;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xinsight_graph::{separation, Mark, MixedGraph, NodeId};
 
 /// The classification of every candidate variable for one Why Query.
+///
+/// Variables are stored in a sorted map so iteration order — and therefore
+/// the order in which the engine searches and reports explanations — is
+/// deterministic across runs.
 #[derive(Debug, Clone)]
 pub struct Translation {
-    semantics: HashMap<String, XdaSemantics>,
+    semantics: BTreeMap<String, XdaSemantics>,
 }
 
 impl Translation {
@@ -67,7 +71,7 @@ impl Translation {
         vars
     }
 
-    /// Iterator over `(variable, semantics)` pairs (unspecified order).
+    /// Iterator over `(variable, semantics)` pairs, sorted by variable name.
     pub fn iter(&self) -> impl Iterator<Item = (&str, XdaSemantics)> {
         self.semantics.iter().map(|(v, s)| (v.as_str(), *s))
     }
@@ -76,7 +80,7 @@ impl Translation {
 /// Classifies every node of `graph` (other than the target, foreground and
 /// background variables) for the given Why Query.
 pub fn translate(graph: &MixedGraph, query: &WhyQuery) -> Translation {
-    let mut semantics = HashMap::new();
+    let mut semantics = BTreeMap::new();
     let excluded: Vec<&str> = {
         let mut v = vec![query.measure(), query.foreground()];
         v.extend(query.background());

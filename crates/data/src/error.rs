@@ -55,6 +55,9 @@ pub enum DataError {
         /// Number of rows in the dataset.
         rows: usize,
     },
+    /// A per-dataset resource (e.g. a selection cache) was reused with a
+    /// different dataset than the one it was built against.
+    DatasetMismatch(String),
 }
 
 impl fmt::Display for DataError {
@@ -95,6 +98,7 @@ impl fmt::Display for DataError {
             DataError::MaskLengthMismatch { mask, rows } => {
                 write!(f, "row mask has {mask} bits but the dataset has {rows} rows")
             }
+            DataError::DatasetMismatch(msg) => write!(f, "dataset mismatch: {msg}"),
         }
     }
 }

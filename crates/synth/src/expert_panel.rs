@@ -55,7 +55,7 @@ impl ExpertPanel {
                     .iter()
                     .map(|&ok| {
                         let base = if ok { 4.4 } else { 2.0 };
-                        let score = base - bias + rng.gen_range(-0.8..0.9);
+                        let score = base - bias + rng.gen_range(-0.8f64..0.9);
                         score.round().clamp(0.0, 5.0) as u8
                     })
                     .collect()

@@ -41,8 +41,8 @@ pub fn generate(n_rows: usize, seed: u64) -> Dataset {
         let m = rng.gen_range(0..12usize);
         month.push(MONTHS[m]);
         quarter.push(["Q1", "Q1", "Q1", "Q2", "Q2", "Q2", "Q3", "Q3", "Q3", "Q4", "Q4", "Q4"][m]);
-        day_of_week.push(["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][rng.gen_range(0..7)]);
-        hour.push(["Morning", "Afternoon", "Evening", "Night"][rng.gen_range(0..4)]);
+        day_of_week.push(["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][rng.gen_range(0..7usize)]);
+        hour.push(["Morning", "Afternoon", "Evening", "Night"][rng.gen_range(0..4usize)]);
         let c = rng.gen_range(0..carriers.len());
         carrier.push(carriers[c]);
 

@@ -32,7 +32,7 @@ pub fn generate(n_rows: usize, seed: u64) -> Dataset {
         let s = rng.gen_range(0..segments.len());
         segment.push(segments[s]);
         deposit.push(if rng.gen::<f64>() < 0.12 { "NonRefundable" } else { "NoDeposit" });
-        room.push(["A", "D", "E"][rng.gen_range(0..3)]);
+        room.push(["A", "D", "E"][rng.gen_range(0..3usize)]);
 
         // Month -> lead time: summer arrivals are booked much earlier.
         let base_lead: f64 = match months[m] {

@@ -10,7 +10,7 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use rand_distr::Dirichlet;
+use rand_distr::{Dirichlet, Distribution};
 use xinsight_data::{Dataset, DatasetBuilder, FdGraph, FunctionalDependency};
 use xinsight_discovery::{fci, FciOptions, OracleCiTest};
 use xinsight_graph::{Dag, MixedGraph};

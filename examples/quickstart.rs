@@ -45,5 +45,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .unwrap_or_else(|| "-".into())
         );
     }
+
+    // 6. Batched serving: several Why Queries answered through one shared
+    //    selection cache and the thread pool (set XINSIGHT_THREADS to pin
+    //    the worker count).  Results are identical to one-by-one `explain`.
+    let batch = [
+        lung_cancer::why_query(),
+        xinsight::core::WhyQuery::new(
+            "LungCancer",
+            xinsight::data::Aggregate::Sum,
+            xinsight::data::Subspace::of("Location", "A"),
+            xinsight::data::Subspace::of("Location", "B"),
+        )?,
+    ];
+    println!("\nbatched ({} queries via explain_many):", batch.len());
+    for (query, explanations) in batch.iter().zip(engine.explain_many(&batch)?) {
+        println!("  {query}  →  {} explanation(s)", explanations.len());
+    }
     Ok(())
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 build + tests, rustdoc build, and doc-tests.
+#
+#   ./scripts/verify.sh          # everything
+#   ./scripts/verify.sh --quick  # tier-1 only (build + tests)
+#
+# The rustdoc steps keep the doc examples in crates/core/src/lib.rs (and
+# every other crate's API docs) compiling; `#![warn(missing_docs)]` crates
+# are built with warnings denied so public items stay documented.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "==> quick mode: skipping doc build + doc-tests"
+    exit 0
+fi
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo test --doc"
+cargo test -q --doc --workspace
+
+echo "==> OK"

@@ -241,6 +241,77 @@ proptest! {
     }
 
     #[test]
+    fn cached_parallel_search_equals_serial_search(
+        categories in prop::collection::vec(0u8..6, 80..200),
+        values in prop::collection::vec(0.0f64..100.0, 80..200),
+        seed in 0u64..40,
+    ) {
+        // The tentpole invariant of the parallel engine: answering the same
+        // attribute search through a shared SelectionCache with parallel
+        // probe loops yields byte-identical explanations to the serial,
+        // cold-cache path — for both aggregates and both strategies.
+        use std::sync::Arc;
+        use xinsight::core::SelectionCache;
+
+        let n = categories.len().min(values.len());
+        let x: Vec<&str> = (0..n).map(|i| if (i + seed as usize) % 3 == 0 { "b" } else { "a" }).collect();
+        let y: Vec<String> = categories[..n].iter().map(|c| format!("c{c}")).collect();
+        let data = DatasetBuilder::new()
+            .dimension("X", x)
+            .dimension("Y", y.iter().map(String::as_str))
+            .measure("M", values[..n].to_vec())
+            .build()
+            .unwrap();
+        let shared = Arc::new(SelectionCache::new());
+        for aggregate in [Aggregate::Sum, Aggregate::Avg] {
+            let query = WhyQuery::new(
+                "M",
+                aggregate,
+                Subspace::of("X", "a"),
+                Subspace::of("X", "b"),
+            ).unwrap();
+            let Ok(query) = query.oriented(&data) else { return Ok(()); };
+            let serial = XPlainer::new(XPlainerOptions {
+                parallel: false,
+                ..XPlainerOptions::default()
+            });
+            let parallel = XPlainer::new(XPlainerOptions::default());
+            for strategy in [SearchStrategy::Optimized, SearchStrategy::BruteForce] {
+                let cold = serial.explain_attribute(&data, &query, "Y", strategy, false);
+                let warm = parallel.explain_attribute_cached(
+                    &data, &query, "Y", strategy, false, Arc::clone(&shared));
+                let (Ok(cold), Ok(warm)) = (cold, warm) else {
+                    prop_assert!(false, "searches must not error on valid input");
+                    return Ok(());
+                };
+                match (&cold, &warm) {
+                    (None, None) => {}
+                    (Some(c), Some(w)) => {
+                        prop_assert_eq!(c.predicate.values(), w.predicate.values());
+                        prop_assert_eq!(
+                            c.responsibility.to_bits(), w.responsibility.to_bits(),
+                            "responsibility must be bit-identical"
+                        );
+                        prop_assert_eq!(
+                            c.remaining_delta.map(f64::to_bits),
+                            w.remaining_delta.map(f64::to_bits)
+                        );
+                        prop_assert_eq!(
+                            c.contingency.as_ref().map(|p| p.values().to_vec()),
+                            w.contingency.as_ref().map(|p| p.values().to_vec())
+                        );
+                    }
+                    _ => prop_assert!(
+                        false,
+                        "cached/parallel and serial paths disagree on existence: {:?} vs {:?}",
+                        cold, warm
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
     fn delta_over_full_mask_equals_delta(values in prop::collection::vec(0.0f64..10.0, 20..100)) {
         let n = values.len();
         let x: Vec<&str> = (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();

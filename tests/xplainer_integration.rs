@@ -139,3 +139,145 @@ fn small_mean_gaps_are_still_explained() {
         .expect("an explanation must exist even at a small gap");
     assert!(f1(candidate.predicate.values(), &instance.ground_truth) > 0.6);
 }
+
+#[test]
+fn explain_many_is_byte_identical_to_serial_explain_calls() {
+    // The acceptance bar of the parallel/cached engine: a batch of >= 4 Why
+    // Queries answered through the shared SelectionCache and the thread pool
+    // must reproduce the fully serial engine's explanations exactly —
+    // including every floating-point field.
+    use xinsight::core::pipeline::{XInsight, XInsightOptions};
+    use xinsight::data::Subspace;
+    use xinsight::synth::flight;
+
+    let data = flight::generate(4_000, 7);
+    let parallel_engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+    let serial_engine = XInsight::fit(
+        &data,
+        &XInsightOptions {
+            parallel: false,
+            ..XInsightOptions::default()
+        },
+    )
+    .unwrap();
+
+    let pairs = [("May", "Nov"), ("Jun", "Nov"), ("May", "Jan"), ("Jul", "Feb"), ("Aug", "Dec")];
+    let queries: Vec<xinsight::core::WhyQuery> = pairs
+        .iter()
+        .map(|&(a, b)| {
+            xinsight::core::WhyQuery::new(
+                "DelayMinute",
+                Aggregate::Avg,
+                Subspace::of("Month", a),
+                Subspace::of("Month", b),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let batched = parallel_engine.explain_many(&queries).unwrap();
+    assert_eq!(batched.len(), queries.len());
+    assert!(
+        batched.iter().any(|explanations| !explanations.is_empty()),
+        "at least one query must be explainable"
+    );
+    for (query, batch_result) in queries.iter().zip(&batched) {
+        let serial_result = serial_engine.explain(query).unwrap();
+        assert_eq!(
+            batch_result, &serial_result,
+            "parallel+cached explain_many diverged from serial explain on {query}"
+        );
+        // Bit-level equality of every floating-point field, not just
+        // PartialEq (which 0.0 == -0.0 would satisfy).
+        for (a, b) in batch_result.iter().zip(&serial_result) {
+            assert_eq!(a.responsibility.to_bits(), b.responsibility.to_bits());
+            assert_eq!(a.original_delta.to_bits(), b.original_delta.to_bits());
+            assert_eq!(
+                a.remaining_delta.map(f64::to_bits),
+                b.remaining_delta.map(f64::to_bits)
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_cache_reuses_work_across_strategies_and_queries() {
+    use std::sync::Arc;
+    use xinsight::core::SelectionCache;
+
+    let instance = generate(&SynBOptions {
+        n_rows: 10_000,
+        cardinality: 8,
+        seed: 3,
+        ..SynBOptions::default()
+    });
+    let xplainer = XPlainer::new(XPlainerOptions::default());
+    let cache = Arc::new(SelectionCache::new());
+
+    // SUM runs first and pays for the per-filter masks and aggregates…
+    let sum = xplainer
+        .explain_attribute_cached(
+            &instance.data,
+            &instance.query(Aggregate::Sum),
+            "Y",
+            SearchStrategy::Optimized,
+            true,
+            Arc::clone(&cache),
+        )
+        .unwrap()
+        .expect("SUM explanation exists");
+    let misses_after_sum = cache.misses();
+
+    // …then AVG over the same attribute replays most of them.
+    let avg = xplainer
+        .explain_attribute_cached(
+            &instance.data,
+            &instance.query(Aggregate::Avg),
+            "Y",
+            SearchStrategy::Optimized,
+            true,
+            Arc::clone(&cache),
+        )
+        .unwrap()
+        .expect("AVG explanation exists");
+    assert!(cache.hits() > 0, "AVG must replay SUM's cache entries");
+    assert!(misses_after_sum > 0);
+    // AVG's per-filter Δ_i probes are exactly the ones SUM already paid for,
+    // so on the warm cache it must spend strictly fewer fresh evaluations
+    // than the same search on a cold cache.
+    let cold_avg = xplainer
+        .explain_attribute(
+            &instance.data,
+            &instance.query(Aggregate::Avg),
+            "Y",
+            SearchStrategy::Optimized,
+            true,
+        )
+        .unwrap()
+        .expect("cold AVG explanation exists");
+    assert_eq!(cold_avg.predicate.values(), avg.predicate.values());
+    assert!(
+        avg.n_delta_evaluations < cold_avg.n_delta_evaluations,
+        "warm cache must save Δ evaluations ({} vs {})",
+        avg.n_delta_evaluations,
+        cold_avg.n_delta_evaluations
+    );
+    // Both find the planted trigger categories.
+    assert!(f1(sum.predicate.values(), &instance.ground_truth) >= 0.99);
+    assert!(f1(avg.predicate.values(), &instance.ground_truth) >= 0.99);
+
+    // An identical AVG search on the warm cache computes nothing at all.
+    let replay = xplainer
+        .explain_attribute_cached(
+            &instance.data,
+            &instance.query(Aggregate::Avg),
+            "Y",
+            SearchStrategy::Optimized,
+            true,
+            Arc::clone(&cache),
+        )
+        .unwrap()
+        .expect("replayed AVG explanation exists");
+    assert_eq!(replay.predicate.values(), avg.predicate.values());
+    assert_eq!(replay.n_delta_evaluations, 0, "fully warm cache => zero fresh Δ evaluations");
+}

@@ -1,0 +1,361 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Supports the subset of proptest's surface this workspace's property tests
+//! use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`, `any::<T>()`, range strategies and
+//! `prop::collection::vec`.
+//!
+//! Differences from the real crate: cases are generated from a seed derived
+//! deterministically from the test name (reproducible across runs and
+//! platforms), and failing cases are **not shrunk** — the panic message
+//! reports the case index and seed instead.
+
+#![warn(missing_docs)]
+
+/// Strategies: descriptions of how to generate random values.
+pub mod strategy {
+    use rand::prelude::*;
+
+    /// A generator of random values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8, f64, f32);
+
+    /// Marker returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Strategy for Any<u8> {
+        type Value = u8;
+        fn generate(&self, rng: &mut StdRng) -> u8 {
+            rng.gen_range(0..=u8::MAX)
+        }
+    }
+
+    impl Strategy for Any<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut StdRng) -> u64 {
+            rng.gen()
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            // Finite, sign-balanced, spanning several orders of magnitude.
+            let mag = rng.gen_range(-6.0..6.0);
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            sign * 10f64.powf(mag)
+        }
+    }
+
+    /// Length specification for collection strategies.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Builds a vector strategy (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The `prop` module alias used by `prop::collection::vec(...)`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// The test runner and its configuration.
+pub mod test_runner {
+    use rand::prelude::*;
+
+    /// How a single generated case ended.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case does not count.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with a message.
+        pub fn fail(message: String) -> Self {
+            TestCaseError::Fail(message)
+        }
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Drives the generated cases of one property test.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        base_seed: u64,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Creates a runner whose RNG seed derives from the test name (FNV-1a),
+        /// so each property gets a distinct but reproducible stream.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            let mut seed: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100000001b3);
+            }
+            TestRunner {
+                config,
+                base_seed: seed,
+                name,
+            }
+        }
+
+        /// Number of cases to attempt.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The RNG for one case index.
+        pub fn rng_for_case(&self, case: u32) -> StdRng {
+            StdRng::seed_from_u64(self.base_seed.wrapping_add(case as u64))
+        }
+
+        /// Reacts to a case outcome: panics on failure, ignores rejections.
+        pub fn handle(&self, case: u32, outcome: Result<(), TestCaseError>) {
+            match outcome {
+                Ok(()) | Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(message)) => panic!(
+                    "property '{}' failed at case {} (seed {:#x}): {}",
+                    self.name,
+                    case,
+                    self.base_seed.wrapping_add(case as u64),
+                    message
+                ),
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// with a formatted message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case when its generated inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)` item
+/// becomes a regular `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let runner =
+                $crate::test_runner::TestRunner::new($config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut proptest_rng = runner.rng_for_case(case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strategy),
+                        &mut proptest_rng,
+                    );
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                runner.handle(case, outcome);
+            }
+        }
+    )*};
+}
+
+/// Everything property tests normally import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, f in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vectors_respect_size_spec(v in prop::collection::vec(any::<bool>(), 2..5),
+                                     exact in prop::collection::vec(0u8..4, 7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(exact.len(), 7);
+            prop_assert!(exact.iter().all(|&b| b < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn config_header_is_honoured(seed in 0u64..100) {
+            // 16 cases only; rejection path must not fail the test.
+            prop_assume!(seed != 1);
+            prop_assert!(seed < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails'")]
+    fn failures_panic_with_case_info() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline shim for the `rand_distr` crate.
+//!
+//! Provides [`Distribution`], [`Normal`] (Marsaglia polar method) and
+//! [`Dirichlet`] (normalized Gamma draws via Marsaglia–Tsang), which is all
+//! this workspace samples.
+
+#![warn(missing_docs)]
+
+use rand::{Rng, RngCore};
+
+/// Types that can draw samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Normal::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; fails when `std_dev` is negative or
+    /// non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method; one of the pair is discarded because
+        // `sample(&self)` has no mutable state to stash the spare in.
+        loop {
+            let u = 2.0 * rng.gen::<f64>() - 1.0;
+            let v = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+/// Error returned by [`Dirichlet::new`] for invalid concentrations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirichletError;
+
+impl std::fmt::Display for DirichletError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Dirichlet needs >= 2 strictly positive concentrations")
+    }
+}
+
+impl std::error::Error for DirichletError {}
+
+/// The Dirichlet distribution over the probability simplex.
+#[derive(Debug, Clone)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Creates a Dirichlet distribution from concentration parameters.
+    pub fn new(alpha: &[f64]) -> Result<Self, DirichletError> {
+        if alpha.len() < 2 || alpha.iter().any(|&a| !a.is_finite() || a <= 0.0) {
+            return Err(DirichletError);
+        }
+        Ok(Dirichlet {
+            alpha: alpha.to_vec(),
+        })
+    }
+}
+
+impl Distribution<Vec<f64>> for Dirichlet {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut draws: Vec<f64> = self.alpha.iter().map(|&a| gamma_sample(rng, a)).collect();
+        let total: f64 = draws.iter().sum();
+        if total <= 0.0 {
+            // All draws underflowed; fall back to the simplex centre.
+            let uniform = 1.0 / draws.len() as f64;
+            draws.iter_mut().for_each(|d| *d = uniform);
+        } else {
+            draws.iter_mut().for_each(|d| *d /= total);
+        }
+        draws
+    }
+}
+
+/// Gamma(shape, 1) sampling via Marsaglia–Tsang, with the standard boosting
+/// trick for `shape < 1`.
+fn gamma_sample<R: RngCore + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) · U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma_sample(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        let v = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn normal_moments() {
+        let dist = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let dist = Dirichlet::new(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let p = dist.sample(&mut rng);
+            assert_eq!(p.len(), 4);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_rejects_bad_alpha() {
+        assert!(Dirichlet::new(&[1.0]).is_err());
+        assert!(Dirichlet::new(&[1.0, 0.0]).is_err());
+    }
+}

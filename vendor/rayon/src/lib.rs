@@ -1,0 +1,476 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Implements the subset of rayon's API this workspace uses — `par_iter` /
+//! `into_par_iter` with `map` / `filter` / `filter_map` / `for_each` /
+//! `collect`, plus [`ThreadPoolBuilder::build_global`] and
+//! [`current_num_threads`] — on top of `std::thread::scope`.
+//!
+//! Work is distributed over an atomic index counter (self-scheduling loop),
+//! so uneven per-item cost balances across workers; there is no work
+//! stealing.  Adaptors evaluate eagerly: each `map`/`filter` call runs its
+//! stage in parallel and materializes the intermediate `Vec`.  That costs an
+//! allocation per stage but keeps the shim small, and every pipeline in this
+//! workspace is one or two stages long.
+//!
+//! Worker threads are spawned per call (scoped), but drawn from a **global
+//! budget** of `current_num_threads() − 1` extras: nested parallel calls that
+//! find the budget drained run serially inline, so total live workers never
+//! exceed the configured thread count no matter how deeply parallel stages
+//! nest — and nested calls can never deadlock waiting on each other.
+//!
+//! Thread count resolution order: [`ThreadPoolBuilder::num_threads`] via
+//! `build_global`, else the `RAYON_NUM_THREADS` environment variable, else
+//! `std::thread::available_parallelism()`.  Parallel calls fall back to a
+//! plain serial loop when one thread is configured or the input is tiny, so
+//! results (and their order) are identical either way.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Error returned when the global pool was already configured.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring rayon's global-pool configuration.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads; `0` means automatic.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally.  Fails if the pool size was
+    /// already fixed by an earlier call (or by a parallel operation that
+    /// latched the default).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let wanted = if self.num_threads == 0 {
+            default_thread_count()
+        } else {
+            self.num_threads
+        };
+        match GLOBAL_THREADS.set(wanted) {
+            Ok(()) => Ok(()),
+            Err(_) if GLOBAL_THREADS.get() == Some(&wanted) => Ok(()),
+            Err(_) => Err(ThreadPoolBuildError),
+        }
+    }
+}
+
+fn default_thread_count() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The number of threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    *GLOBAL_THREADS.get_or_init(default_thread_count)
+}
+
+/// Global budget of *extra* worker threads (beyond the calling thread).
+/// Real rayon has one fixed pool; this shim spawns scoped threads per call,
+/// so without a cap, nested parallel calls (queries → attributes → probe
+/// loops) would multiply into far more live threads than cores.  Every
+/// `parallel_apply` reserves workers from this budget and releases them when
+/// done; a call that gets none — e.g. because it is already running *on* a
+/// worker of an outer parallel call that drained the budget — simply runs
+/// serially inline, which also rules out nested-wait deadlocks.
+static WORKER_BUDGET: OnceLock<AtomicUsize> = OnceLock::new();
+
+fn worker_budget() -> &'static AtomicUsize {
+    WORKER_BUDGET.get_or_init(|| AtomicUsize::new(current_num_threads().saturating_sub(1)))
+}
+
+fn reserve_workers(want: usize) -> usize {
+    let budget = worker_budget();
+    let mut available = budget.load(Ordering::Relaxed);
+    loop {
+        let take = available.min(want);
+        if take == 0 {
+            return 0;
+        }
+        match budget.compare_exchange_weak(
+            available,
+            available - take,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return take,
+            Err(now) => available = now,
+        }
+    }
+}
+
+fn release_workers(n: usize) {
+    if n > 0 {
+        worker_budget().fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Runs `f` over each owned item, in parallel, preserving input order in the
+/// returned vector.  The core driver every adaptor bottoms out in.
+fn parallel_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    // Below this size thread spawn overhead dominates any conceivable win.
+    if threads <= 1 || n < 4 {
+        return items.into_iter().map(f).collect();
+    }
+    let extra = reserve_workers(threads - 1);
+    if extra == 0 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let drain = |out: &mut Vec<(usize, R)>| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let item = slots[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("each slot is drained exactly once");
+        out.push((i, f(item)));
+    };
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..extra)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    drain(&mut out);
+                    out
+                })
+            })
+            .collect();
+        // The calling thread is a worker too.
+        let mut all = Vec::new();
+        drain(&mut all);
+        for handle in handles {
+            all.extend(handle.join().expect("worker panicked"));
+        }
+        all
+    });
+    release_workers(extra);
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Parallel iterator traits and adaptors.
+pub mod iter {
+    use super::parallel_apply;
+
+    /// Conversion into a parallel iterator over owned items.
+    pub trait IntoParallelIterator {
+        /// The item type.
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Conversion into a parallel iterator over `&T` items (rayon's
+    /// `par_iter`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The item type (a reference).
+        type Item: Send;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Returns a parallel iterator borrowing from `self`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    /// A data-parallel iterator.  Adaptors evaluate eagerly (see the crate
+    /// docs); `Vec`-collecting terminals are free because the items are
+    /// already materialized in order.
+    pub trait ParallelIterator: Sized {
+        /// The item type.
+        type Item: Send;
+
+        /// Drains this iterator into an ordered `Vec` (internal driver).
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Parallel map.
+        fn map<R, F>(self, f: F) -> Eager<R>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Eager(parallel_apply(self.drive(), f))
+        }
+
+        /// Parallel filter.
+        fn filter<F>(self, keep: F) -> Eager<Self::Item>
+        where
+            F: Fn(&Self::Item) -> bool + Sync,
+        {
+            Eager(
+                parallel_apply(self.drive(), |x| if keep(&x) { Some(x) } else { None })
+                    .into_iter()
+                    .flatten()
+                    .collect(),
+            )
+        }
+
+        /// Parallel filter-map.
+        fn filter_map<R, F>(self, f: F) -> Eager<R>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> Option<R> + Sync,
+        {
+            Eager(
+                parallel_apply(self.drive(), f)
+                    .into_iter()
+                    .flatten()
+                    .collect(),
+            )
+        }
+
+        /// Parallel for-each.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+        {
+            parallel_apply(self.drive(), f);
+        }
+
+        /// Number of items.
+        fn count(self) -> usize {
+            self.drive().len()
+        }
+
+        /// Collects into a container (only `Vec` and `Result`-of-`Vec`
+        /// targets are provided).
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_ordered_items(self.drive())
+        }
+    }
+
+    /// Containers a parallel iterator can collect into.
+    pub trait FromParallelIterator<T> {
+        /// Builds the container from items already in order.
+        fn from_ordered_items(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_items(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+        fn from_ordered_items(items: Vec<Result<T, E>>) -> Self {
+            items.into_iter().collect()
+        }
+    }
+
+    /// An already-evaluated parallel stage.
+    pub struct Eager<T>(Vec<T>);
+
+    impl<T: Send> ParallelIterator for Eager<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.0
+        }
+    }
+
+    /// Parallel iterator over an owned `Vec`.
+    pub struct VecIter<T>(Vec<T>);
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.0
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter(self)
+        }
+    }
+
+    /// Parallel iterator over slice references.
+    pub struct SliceIter<'a, T>(&'a [T]);
+
+    impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+        type Item = &'a T;
+        fn drive(self) -> Vec<&'a T> {
+            self.0.iter().collect()
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter(self)
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter(self.as_slice())
+        }
+    }
+
+    macro_rules! impl_range_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = VecIter<$t>;
+                fn into_par_iter(self) -> VecIter<$t> {
+                    VecIter(self.collect())
+                }
+            }
+        )*};
+    }
+
+    impl_range_par_iter!(usize, u64, u32, i64, i32);
+}
+
+/// The traits most code wants in scope.
+pub mod prelude {
+    pub use super::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranges_and_owned_vecs() {
+        let squares: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[99], 99 * 99);
+        let owned: Vec<String> = vec!["a".to_string(), "b".to_string()]
+            .into_par_iter()
+            .map(|s| s + "!")
+            .collect();
+        assert_eq!(owned, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn filter_and_filter_map() {
+        let evens: Vec<usize> = (0..100usize).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 50);
+        let halves: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(x / 2))
+            .collect();
+        assert_eq!(halves, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads() {
+        if super::current_num_threads() < 2 {
+            return; // single-core CI; nothing to assert
+        }
+        let ids: Vec<std::thread::ThreadId> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                // Keep workers alive long enough to overlap.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                std::thread::current().id()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected work on >1 thread");
+    }
+
+    #[test]
+    fn nested_parallelism_stays_within_the_worker_budget() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        let track = || {
+            let now = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+            PEAK.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        };
+        // Outer × inner parallel stages; naive per-call spawning would peak
+        // near outer_n × threads concurrent workers.
+        let _: Vec<Vec<usize>> = (0..8usize)
+            .into_par_iter()
+            .map(|_| {
+                (0..8usize)
+                    .into_par_iter()
+                    .map(|j| {
+                        track();
+                        j
+                    })
+                    .collect()
+            })
+            .collect();
+        let cap = super::current_num_threads();
+        assert!(
+            PEAK.load(Ordering::SeqCst) <= cap.max(1),
+            "peak {} exceeded thread budget {}",
+            PEAK.load(Ordering::SeqCst),
+            cap
+        );
+    }
+
+    #[test]
+    fn collect_into_result() {
+        let ok: Result<Vec<usize>, String> =
+            (0..10usize).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<usize>, String> = (0..10usize)
+            .into_par_iter()
+            .map(|x| if x == 5 { Err("boom".to_string()) } else { Ok(x) })
+            .collect();
+        assert!(err.is_err());
+    }
+}
