@@ -1,0 +1,150 @@
+//! Offline-phase benchmarks: the `XInsight::fit` / FCI data path.
+//!
+//! Compares the seed engine's per-test string-resolution path against the
+//! compiled `DiscoveryView` path, with and without the index-keyed CI cache
+//! and the depth-parallel batch evaluation, plus the full `XInsight::fit`
+//! and the load-a-fitted-model serving path.
+//!
+//! Runs as a plain binary (`harness = false`) with its own timing loop so it
+//! can emit a machine-readable `BENCH_offline.json` summary at the workspace
+//! root — the perf-trajectory artifact tracked across PRs.  Set
+//! `XINSIGHT_BENCH_FAST=1` to cap sampling for smoke tests.
+
+use std::time::Instant;
+use xinsight_core::pipeline::{XInsight, XInsightOptions};
+use xinsight_data::{Dataset, Result};
+use xinsight_stats::{CachedCiTest, ChiSquareTest, CiOutcome, CiTest};
+use xinsight_synth::{lung_cancer, syn_a};
+
+/// Chi-square behind the *default* (name-bridging) compile path: every CI
+/// query re-resolves its column names, replicating the seed engine's
+/// behaviour for an apples-to-apples baseline.
+struct SeedPathChiSquare(ChiSquareTest);
+
+impl CiTest for SeedPathChiSquare {
+    fn test(&self, data: &Dataset, x: &str, y: &str, z: &[&str]) -> Result<CiOutcome> {
+        self.0.test(data, x, y, z)
+    }
+
+    fn name(&self) -> &'static str {
+        "chi-square-seed-path"
+    }
+    // No `compile` override: the trait's name-bridge fallback is the point.
+}
+
+struct Sample {
+    name: &'static str,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
+fn time(name: &'static str, samples: usize, mut routine: impl FnMut()) -> Sample {
+    routine(); // warmup + lazy init
+    let mut results: Vec<u128> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    results.sort_unstable();
+    let sample = Sample {
+        name,
+        median_ns: results[results.len() / 2],
+        min_ns: results[0],
+        max_ns: results[results.len() - 1],
+        samples,
+    };
+    println!(
+        "{:<42} median: {:>10.3} ms  [{:.3} .. {:.3} ms]  ({} samples)",
+        sample.name,
+        sample.median_ns as f64 / 1e6,
+        sample.min_ns as f64 / 1e6,
+        sample.max_ns as f64 / 1e6,
+        sample.samples,
+    );
+    sample
+}
+
+fn main() {
+    let threads = xinsight_core::parallel::configure_pool_from_env();
+    let fast = std::env::var("XINSIGHT_BENCH_FAST").map(|v| v == "1").unwrap_or(false);
+    let samples = if fast { 2 } else { 5 };
+    eprintln!("# worker threads: {threads}");
+    println!("\n## offline_fit");
+
+    let instance = syn_a::generate(&syn_a::SynAOptions {
+        n_core_variables: 10,
+        n_rows: 1000,
+        seed: 1,
+        ..syn_a::SynAOptions::default()
+    });
+    let vars: Vec<&str> = instance.observed.iter().map(String::as_str).collect();
+    let fci_opts = |parallel: bool| xinsight_discovery::FciOptions {
+        max_cond_size: Some(3),
+        parallel,
+        ..xinsight_discovery::FciOptions::default()
+    };
+
+    let mut results = Vec::new();
+    results.push(time("fci/seed_string_path", samples, || {
+        let test = SeedPathChiSquare(ChiSquareTest::new(0.05));
+        xinsight_discovery::fci(&instance.data, &vars, &test, &fci_opts(false)).unwrap();
+    }));
+    results.push(time("fci/discovery_view", samples, || {
+        let test = ChiSquareTest::new(0.05);
+        xinsight_discovery::fci(&instance.data, &vars, &test, &fci_opts(false)).unwrap();
+    }));
+    results.push(time("fci/discovery_view_cached", samples, || {
+        let test = CachedCiTest::new(ChiSquareTest::new(0.05));
+        xinsight_discovery::fci(&instance.data, &vars, &test, &fci_opts(false)).unwrap();
+    }));
+    results.push(time("fci/discovery_view_cached_parallel", samples, || {
+        let test = CachedCiTest::new(ChiSquareTest::new(0.05));
+        xinsight_discovery::fci(&instance.data, &vars, &test, &fci_opts(true)).unwrap();
+    }));
+
+    let cancer = lung_cancer::generate(2000, 1);
+    results.push(time("fit/xinsight_full", samples, || {
+        XInsight::fit(&cancer, &XInsightOptions::default()).unwrap();
+    }));
+    let model = XInsight::fit(&cancer, &XInsightOptions::default())
+        .unwrap()
+        .fitted_model();
+    let json = model.to_json();
+    results.push(time("fit/from_fitted_model", samples, || {
+        let model = xinsight_core::FittedModel::from_json(&json).unwrap();
+        XInsight::from_fitted(&cancer, model, &XInsightOptions::default()).unwrap();
+    }));
+
+    // Machine-readable summary for the perf trajectory across PRs.
+    let mut out = String::from("{\"bench\":\"offline_fit\",\"threads\":");
+    out.push_str(&threads.to_string());
+    out.push_str(",\"results\":[");
+    for (i, s) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+            s.name, s.median_ns, s.min_ns, s.max_ns, s.samples
+        ));
+    }
+    out.push_str("]}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_offline.json");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("\nwrote summary to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    let seed = results[0].median_ns as f64;
+    let view = results[1].median_ns as f64;
+    let cached = results[2].median_ns as f64;
+    println!(
+        "\nspeedup vs seed path: view {:.2}x, view+cache {:.2}x",
+        seed / view.max(1.0),
+        seed / cached.max(1.0),
+    );
+}

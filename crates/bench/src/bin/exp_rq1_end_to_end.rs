@@ -8,6 +8,7 @@
 //! (0.37 vs 0.30) shrinks once LeadTime ≤ 133 is enforced; XInsight reports
 //! LeadTime as an (indirect) causal explanation.
 
+use std::time::Instant;
 use xinsight_core::pipeline::{XInsight, XInsightOptions};
 use xinsight_data::Filter;
 use xinsight_synth::{flight, hotel};
@@ -45,6 +46,31 @@ fn main() {
         .iter()
         .any(|e| e.attribute() == "Rain" && e.explanation_type == xinsight_core::ExplanationType::Causal);
     println!("shape check: Rain reported as a causal explanation: {rain_causal}\n");
+
+    // Model persistence: save the fitted artifact, reload it, and serve the
+    // same query from the loaded model — the offline phase runs zero times.
+    let model_path = std::env::temp_dir().join(format!(
+        "xinsight_rq1_flight_model.{}.json",
+        std::process::id()
+    ));
+    engine
+        .fitted_model()
+        .save(&model_path)
+        .expect("save fitted model");
+    let bytes = std::fs::metadata(&model_path).map(|m| m.len()).unwrap_or(0);
+    let load_start = Instant::now();
+    let model = xinsight_core::FittedModel::load(&model_path).expect("load fitted model");
+    let restored = XInsight::from_fitted(&data, model, &XInsightOptions::default())
+        .expect("reconstruct engine from fitted model");
+    let from_model = restored.explain(&query).expect("explain from loaded model");
+    println!(
+        "persistence: model = {bytes} B at {}, load+reconstruct = {:.1} ms, \
+         explanations identical to fit: {}\n",
+        model_path.display(),
+        load_start.elapsed().as_secs_f64() * 1e3,
+        from_model == explanations,
+    );
+    let _ = std::fs::remove_file(&model_path);
 
     // ---------------- HOTEL ----------------
     println!("## HOTEL (simulated, {n_rows} bookings)");

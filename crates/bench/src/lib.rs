@@ -236,6 +236,6 @@ mod tests {
             &inst.ground_truth,
         );
         assert!(b.f1.is_some());
-        assert_eq!(x.f1_cell().len() >= 3, true);
+        assert!(x.f1_cell().len() >= 3);
     }
 }

@@ -16,7 +16,9 @@
 //!   (Sec. 3.3).
 //!
 //! [`pipeline::XInsight`] wires the three modules into the end-to-end engine
-//! used by the examples and the benchmark harness.
+//! used by the examples and the benchmark harness, and [`persist`] makes the
+//! fitted offline artifact a first-class, savable value
+//! ([`FittedModel`]) so servers load a model instead of re-learning it.
 //!
 //! ```
 //! use xinsight_core::{WhyQuery, pipeline::{XInsight, XInsightOptions}};
@@ -61,6 +63,7 @@
 
 mod explanation;
 pub mod parallel;
+pub mod persist;
 pub mod pipeline;
 mod why_query;
 pub mod xlearner;
@@ -68,6 +71,7 @@ pub mod xplainer;
 pub mod xtranslator;
 
 pub use explanation::{CausalRole, Explanation, ExplanationType, XdaSemantics};
+pub use persist::FittedModel;
 pub use why_query::WhyQuery;
 pub use xlearner::{XLearner, XLearnerOptions, XLearnerResult};
 pub use xplainer::{

@@ -1,0 +1,833 @@
+//! Persistence of the fitted offline artifact.
+//!
+//! [`XInsight::fit`](crate::pipeline::XInsight::fit) runs the paper's whole
+//! offline phase — preprocessing, FD detection, XLearner/FCI — which on
+//! production data takes orders of magnitude longer than answering a query.
+//! A serving process should therefore *load* a previously fitted model
+//! instead of re-learning it.  [`FittedModel`] captures everything the
+//! online phase needs (the FD-augmented PAG, the measure discretizers, the
+//! FD graph and the discovery byproducts) in a small, versioned, dependency-
+//! free JSON document, and
+//! [`XInsight::from_fitted`](crate::pipeline::XInsight::from_fitted)
+//! reconstitutes a fully functional engine from the artifact plus the raw
+//! dataset.
+//!
+//! The format is hand-rolled (the workspace builds offline, so no serde):
+//! a strict subset of JSON — objects, arrays, strings, `f64` numbers,
+//! booleans and `null` — written deterministically so that identical models
+//! serialize to identical bytes.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use xinsight_data::{BinSpec, DataError, Discretizer, FdGraph, Result};
+use xinsight_discovery::SepsetMap;
+use xinsight_graph::{Mark, MixedGraph};
+
+/// Version stamp written into every artifact; bump on breaking changes.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// The serializable output of the offline phase.
+///
+/// Round-trips exactly: `FittedModel::from_json(&model.to_json())` equals
+/// `model`, and an engine reconstructed through
+/// [`XInsight::from_fitted`](crate::pipeline::XInsight::from_fitted) answers
+/// queries identically to the engine that produced the model.
+///
+/// ```
+/// # use xinsight_core::pipeline::{XInsight, XInsightOptions};
+/// # use xinsight_data::DatasetBuilder;
+/// # let data = DatasetBuilder::new()
+/// #     .dimension("A", (0..60).map(|i| if i % 2 == 0 { "x" } else { "y" }))
+/// #     .dimension("B", (0..60).map(|i| if i % 3 == 0 { "p" } else { "q" }))
+/// #     .measure("M", (0..60).map(|i| i as f64))
+/// #     .build()
+/// #     .unwrap();
+/// use xinsight_core::FittedModel;
+///
+/// let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+/// let json = engine.fitted_model().to_json();
+/// let restored = FittedModel::from_json(&json).unwrap();
+/// assert_eq!(restored, engine.fitted_model());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedModel {
+    /// The FD-augmented PAG learned by XLearner.
+    pub graph: MixedGraph,
+    /// The FD-induced graph used in XLearner's stage 1.
+    pub fd_graph: FdGraph,
+    /// Variables the FCI stage actually ran on.
+    pub fci_variables: Vec<String>,
+    /// Variables dropped as mutually redundant.
+    pub dropped_redundant: Vec<String>,
+    /// Separating sets recorded by the skeleton search.
+    pub sepsets: SepsetMap,
+    /// Number of CI tests the fit issued (provenance metadata).
+    pub n_ci_tests: usize,
+    /// Discretizers for the measures that were binned during the fit, in
+    /// application order.
+    pub discretizers: Vec<Discretizer>,
+}
+
+impl FittedModel {
+    /// Serializes the model to its canonical JSON text.
+    pub fn to_json(&self) -> String {
+        let graph_edges: Vec<Json> = self
+            .graph
+            .edges()
+            .iter()
+            .map(|e| {
+                Json::Arr(vec![
+                    Json::Num(e.a as f64),
+                    Json::Num(e.b as f64),
+                    Json::Str(mark_to_str(e.near_a).to_owned()),
+                    Json::Str(mark_to_str(e.near_b).to_owned()),
+                ])
+            })
+            .collect();
+        let fd_edges: Vec<Json> = self
+            .fd_graph
+            .edges()
+            .iter()
+            .map(|&(a, b)| Json::Arr(vec![Json::Str(a.to_owned()), Json::Str(b.to_owned())]))
+            .collect();
+        // Deterministic sepset order: sort by the (already normalised) pair.
+        let mut sepsets: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+        for (x, y, z) in self.sepsets.iter() {
+            sepsets.insert((x.to_owned(), y.to_owned()), z.to_vec());
+        }
+        let sepsets: Vec<Json> = sepsets
+            .into_iter()
+            .map(|((x, y), z)| {
+                Json::Arr(vec![
+                    Json::Str(x),
+                    Json::Str(y),
+                    Json::Arr(z.into_iter().map(Json::Str).collect()),
+                ])
+            })
+            .collect();
+        let discretizers: Vec<Json> = self
+            .discretizers
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("measure".to_owned(), Json::Str(d.measure().to_owned())),
+                    (
+                        "cuts".to_owned(),
+                        Json::Arr(d.spec().cuts().iter().map(|&c| Json::Num(c)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            (
+                "format_version".to_owned(),
+                Json::Num(FORMAT_VERSION as f64),
+            ),
+            (
+                "graph".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "nodes".to_owned(),
+                        Json::Arr(
+                            self.graph
+                                .names()
+                                .iter()
+                                .map(|n| Json::Str(n.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    ("edges".to_owned(), Json::Arr(graph_edges)),
+                ]),
+            ),
+            (
+                "fd_graph".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "nodes".to_owned(),
+                        Json::Arr(
+                            self.fd_graph
+                                .nodes()
+                                .iter()
+                                .map(|n| Json::Str(n.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    ("edges".to_owned(), Json::Arr(fd_edges)),
+                    (
+                        "redundant".to_owned(),
+                        Json::Arr(
+                            self.fd_graph
+                                .redundant_attributes()
+                                .iter()
+                                .map(|n| Json::Str(n.clone()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "fci_variables".to_owned(),
+                Json::Arr(self.fci_variables.iter().map(|v| Json::Str(v.clone())).collect()),
+            ),
+            (
+                "dropped_redundant".to_owned(),
+                Json::Arr(
+                    self.dropped_redundant
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+            ("sepsets".to_owned(), Json::Arr(sepsets)),
+            ("n_ci_tests".to_owned(), Json::Num(self.n_ci_tests as f64)),
+            ("discretizers".to_owned(), Json::Arr(discretizers)),
+        ]);
+        let mut out = String::new();
+        doc.write(&mut out);
+        out
+    }
+
+    /// Parses a model from its JSON text, validating the format version.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let doc = Json::parse(text)?;
+        let version = doc.get("format_version")?.as_u64()?;
+        if version != FORMAT_VERSION {
+            return Err(DataError::Persist(format!(
+                "unsupported fitted-model format version {version} (expected {FORMAT_VERSION})"
+            )));
+        }
+
+        let graph_doc = doc.get("graph")?;
+        let nodes = graph_doc.get("nodes")?.as_string_vec()?;
+        let mut graph = MixedGraph::new(nodes);
+        for edge in graph_doc.get("edges")?.as_arr()? {
+            let parts = edge.as_arr()?;
+            if parts.len() != 4 {
+                return Err(DataError::Persist("graph edge needs 4 fields".into()));
+            }
+            let a = parts[0].as_u64()? as usize;
+            let b = parts[1].as_u64()? as usize;
+            if a >= graph.n_nodes() || b >= graph.n_nodes() || a == b {
+                return Err(DataError::Persist(format!(
+                    "graph edge ({a}, {b}) out of range"
+                )));
+            }
+            graph.add_edge(a, b, mark_from_str(parts[2].as_str()?)?, mark_from_str(parts[3].as_str()?)?);
+        }
+
+        let fd_doc = doc.get("fd_graph")?;
+        let fd_edges: Vec<(String, String)> = fd_doc
+            .get("edges")?
+            .as_arr()?
+            .iter()
+            .map(|e| {
+                let pair = e.as_arr()?;
+                if pair.len() != 2 {
+                    return Err(DataError::Persist("fd edge needs 2 fields".into()));
+                }
+                Ok((pair[0].as_str()?.to_owned(), pair[1].as_str()?.to_owned()))
+            })
+            .collect::<Result<_>>()?;
+        let fd_graph = FdGraph::from_parts(
+            fd_doc.get("nodes")?.as_string_vec()?,
+            fd_edges,
+            fd_doc.get("redundant")?.as_string_vec()?,
+        );
+
+        let mut sepsets = SepsetMap::new();
+        for entry in doc.get("sepsets")?.as_arr()? {
+            let parts = entry.as_arr()?;
+            if parts.len() != 3 {
+                return Err(DataError::Persist("sepset entry needs 3 fields".into()));
+            }
+            sepsets.insert(
+                parts[0].as_str()?,
+                parts[1].as_str()?,
+                parts[2].as_string_vec()?,
+            );
+        }
+
+        let discretizers = doc
+            .get("discretizers")?
+            .as_arr()?
+            .iter()
+            .map(|d| {
+                let cuts = d
+                    .get("cuts")?
+                    .as_arr()?
+                    .iter()
+                    .map(|c| c.as_f64())
+                    .collect::<Result<Vec<f64>>>()?;
+                Ok(Discretizer::new(
+                    d.get("measure")?.as_str()?,
+                    BinSpec::from_cuts(cuts)?,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+
+        Ok(FittedModel {
+            graph,
+            fd_graph,
+            fci_variables: doc.get("fci_variables")?.as_string_vec()?,
+            dropped_redundant: doc.get("dropped_redundant")?.as_string_vec()?,
+            sepsets,
+            n_ci_tests: doc.get("n_ci_tests")?.as_u64()? as usize,
+            discretizers,
+        })
+    }
+
+    /// Writes the model to a file, atomically: the JSON goes to a temporary
+    /// sibling first and is renamed over the target, so a crash or full disk
+    /// mid-write never destroys a previously saved artifact.  The sibling
+    /// name is unique per process *and* per call, so concurrent saves to the
+    /// same path from different threads cannot tear each other's writes.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(
+            ".tmp.{}.{}",
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let tmp = std::path::PathBuf::from(tmp);
+        let write = (|| {
+            use std::io::Write as _;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(self.to_json().as_bytes())?;
+            // Flush data to disk before the rename: otherwise a power loss
+            // can journal the rename ahead of the data blocks and replace a
+            // good artifact with a truncated one.
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        write.map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            DataError::Persist(format!("writing {}: {e}", path.display()))
+        })
+    }
+
+    /// Reads a model back from a file written by [`FittedModel::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+            DataError::Persist(format!("reading {}: {e}", path.as_ref().display()))
+        })?;
+        Self::from_json(&text)
+    }
+}
+
+fn mark_to_str(mark: Mark) -> &'static str {
+    match mark {
+        Mark::Tail => "tail",
+        Mark::Arrow => "arrow",
+        Mark::Circle => "circle",
+    }
+}
+
+fn mark_from_str(s: &str) -> Result<Mark> {
+    match s {
+        "tail" => Ok(Mark::Tail),
+        "arrow" => Ok(Mark::Arrow),
+        "circle" => Ok(Mark::Circle),
+        other => Err(DataError::Persist(format!("unknown endpoint mark `{other}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value, writer and parser (the subset the model format uses).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                // `{:?}` on f64 is Rust's shortest round-trip representation.
+                out.push_str(&format!("{n:?}"));
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(DataError::Persist(format!(
+                "trailing garbage at byte {}",
+                parser.pos
+            )));
+        }
+        Ok(value)
+    }
+
+    fn get(&self, key: &str) -> Result<&Json> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DataError::Persist(format!("missing field `{key}`"))),
+            _ => Err(DataError::Persist(format!(
+                "expected object while reading `{key}`"
+            ))),
+        }
+    }
+
+    fn as_arr(&self) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(DataError::Persist("expected array".into())),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(DataError::Persist("expected string".into())),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(DataError::Persist("expected number".into())),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64> {
+        let n = self.as_f64()?;
+        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+            return Err(DataError::Persist(format!(
+                "expected non-negative integer, got {n}"
+            )));
+        }
+        Ok(n as u64)
+    }
+
+    fn as_string_vec(&self) -> Result<Vec<String>> {
+        self.as_arr()?
+            .iter()
+            .map(|v| Ok(v.as_str()?.to_owned()))
+            .collect()
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Deepest container nesting the parser accepts — far beyond anything the
+/// model format produces, but bounded so corrupted or hostile input yields a
+/// structured error instead of a stack overflow.
+const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| DataError::Persist("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DataError::Persist(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(DataError::Persist(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        match self.peek()? {
+            b'{' | b'[' => {
+                self.depth += 1;
+                if self.depth > MAX_PARSE_DEPTH {
+                    return Err(DataError::Persist(format!(
+                        "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {}",
+                        self.pos
+                    )));
+                }
+                let container = if self.bytes[self.pos] == b'{' {
+                    self.object()
+                } else {
+                    self.array()
+                };
+                self.depth -= 1;
+                container
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => {
+                    return Err(DataError::Persist(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => {
+                    return Err(DataError::Persist(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| DataError::Persist("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| DataError::Persist("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // UTF-16 surrogate pairs: a high surrogate must
+                            // be followed by `\uXXXX` with a low surrogate.
+                            let code = if (0xD800..=0xDBFF).contains(&code) {
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(DataError::Persist(
+                                        "high surrogate without a following \\u escape".into(),
+                                    ));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(DataError::Persist(
+                                        "high surrogate not followed by a low surrogate".into(),
+                                    ));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| {
+                                    DataError::Persist("invalid \\u code point".into())
+                                })?,
+                            );
+                        }
+                        other => {
+                            return Err(DataError::Persist(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the source.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| DataError::Persist("truncated utf-8".into()))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| DataError::Persist("invalid utf-8 in string".into()))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Reads four hex digits of a `\u` escape (cursor already past the `u`).
+    fn hex4(&mut self) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| DataError::Persist("truncated \\u escape".into()))?;
+        let hex = std::str::from_utf8(hex)
+            .map_err(|_| DataError::Persist("invalid \\u escape".into()))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| DataError::Persist("invalid \\u escape".into()))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| {
+            matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        }) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DataError::Persist("invalid number".into()))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| DataError::Persist(format!("invalid number `{text}`")))
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> FittedModel {
+        let mut graph = MixedGraph::new(["A", "B", "C \"quoted\"\n"]);
+        graph.add_directed(0, 1);
+        graph.add_edge(1, 2, Mark::Circle, Mark::Arrow);
+        let fd_graph = FdGraph::from_parts(
+            vec!["A".into(), "B".into()],
+            vec![("A".into(), "B".into())],
+            vec!["Dropped".into()],
+        );
+        let mut sepsets = SepsetMap::new();
+        sepsets.insert("A", "C", vec!["B".into()]);
+        sepsets.insert("B", "A", vec![]);
+        FittedModel {
+            graph,
+            fd_graph,
+            fci_variables: vec!["A".into(), "C \"quoted\"\n".into()],
+            dropped_redundant: vec!["Dropped".into()],
+            sepsets,
+            n_ci_tests: 42,
+            discretizers: vec![Discretizer::new(
+                "M",
+                BinSpec::from_cuts(vec![0.5, 133.0, 1e6]).unwrap(),
+            )],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let model = sample_model();
+        let json = model.to_json();
+        let restored = FittedModel::from_json(&json).unwrap();
+        assert_eq!(restored, model);
+        // Canonical bytes: serializing the restored model reproduces them.
+        assert_eq!(restored.to_json(), json);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_via_file() {
+        let model = sample_model();
+        let path = std::env::temp_dir().join("xinsight_persist_test_model.json");
+        model.save(&path).unwrap();
+        let loaded = FittedModel::load(&path).unwrap();
+        assert_eq!(loaded, model);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let json = sample_model()
+            .to_json()
+            .replace("\"format_version\":1.0", "\"format_version\":99.0");
+        let err = FittedModel::from_json(&json).unwrap_err();
+        assert!(matches!(err, DataError::Persist(_)), "got {err:?}");
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn malformed_documents_are_structured_errors() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"format_version\": 1}",
+            "{\"format_version\": \"x\"}",
+            "nope",
+            "{\"a\": 1} trailing",
+        ] {
+            assert!(
+                matches!(FittedModel::from_json(bad), Err(DataError::Persist(_))),
+                "`{bad}` should fail with a Persist error"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_structured_error_not_a_stack_overflow() {
+        let bomb = "[".repeat(100_000);
+        let err = FittedModel::from_json(&bomb).unwrap_err();
+        assert!(matches!(err, DataError::Persist(_)));
+        assert!(err.to_string().contains("nesting"), "got {err}");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_fail() {
+        let ok = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(ok, Json::Str("😀".to_owned()));
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+        assert!(Json::parse("\"\\ud83d\\u0041\"").is_err());
+        assert!(Json::parse("\"\\udc00\"").is_err());
+    }
+
+    #[test]
+    fn unknown_marks_and_bad_edges_are_rejected() {
+        let base = sample_model().to_json();
+        let bad_mark = base.replace("\"tail\"", "\"wiggle\"");
+        assert!(FittedModel::from_json(&bad_mark).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_persist_error() {
+        let err = FittedModel::load("/nonexistent/path/model.json").unwrap_err();
+        assert!(matches!(err, DataError::Persist(_)));
+    }
+}

@@ -2,6 +2,7 @@
 //! (XLearner) and an online phase (XTranslator + XPlainer) behind one type.
 
 use crate::explanation::{Explanation, ExplanationType, XdaSemantics};
+use crate::persist::FittedModel;
 use crate::why_query::WhyQuery;
 use crate::xlearner::{XLearner, XLearnerOptions, XLearnerResult};
 use crate::xplainer::{SearchStrategy, SelectionCache, XPlainer, XPlainerOptions};
@@ -11,7 +12,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use xinsight_data::{
     discretize_equal_frequency, discretize_equal_width, AttributeKind, Dataset, DatasetBuilder,
-    Result,
+    Discretizer, Result,
 };
 use xinsight_graph::{separation, MixedGraph};
 use xinsight_stats::{CachedCiTest, ChiSquareTest};
@@ -30,7 +31,12 @@ pub struct XInsightOptions {
     pub measure_bins: usize,
     /// Search strategy handed to XPlainer.
     pub strategy: SearchStrategy,
-    /// Master switch for online-phase parallelism: per-attribute searches in
+    /// Master switch for engine parallelism, offline and online.
+    ///
+    /// Offline: the depth batches of the skeleton search and FCI's
+    /// Possible-D-SEP stage fan out over the rayon pool (AND-ed with
+    /// [`FciOptions::parallel`](xinsight_discovery::FciOptions) from the
+    /// XLearner options).  Online: per-attribute searches in
     /// [`XInsight::explain`], per-query searches in
     /// [`XInsight::explain_many`], and the per-filter probe loops inside the
     /// strategies (the latter also honour
@@ -63,6 +69,8 @@ pub struct XInsight {
     augmented: Dataset,
     /// Measures that were successfully discretized.
     binned_measures: Vec<String>,
+    /// The discretizers behind `binned_measures`, kept for persistence.
+    discretizers: Vec<Discretizer>,
     /// Result of the offline XLearner phase.
     learner_result: XLearnerResult,
 }
@@ -70,6 +78,11 @@ pub struct XInsight {
 impl XInsight {
     /// Runs the offline phase: preprocessing, FD detection and causal-graph
     /// learning.
+    ///
+    /// When [`XInsightOptions::parallel`] is set, the skeleton search and
+    /// FCI's Possible-D-SEP stage evaluate their frozen depth batches on the
+    /// rayon pool; the learned graph, sepsets and CI-test count are
+    /// identical to a serial fit.
     pub fn fit(data: &Dataset, options: &XInsightOptions) -> Result<Self> {
         let clean = data.drop_null_rows();
         let dims: Vec<String> = clean
@@ -93,6 +106,7 @@ impl XInsight {
             discovery = discovery.dimension_column(name, clean.dimension(name)?.clone());
         }
         let mut binned_measures = Vec::new();
+        let mut discretizers = Vec::new();
         for name in &measures {
             let discretizer = discretize_equal_frequency(&clean, name, options.measure_bins)
                 .or_else(|_| discretize_equal_width(&clean, name, options.measure_bins));
@@ -105,12 +119,18 @@ impl XInsight {
                 discovery =
                     discovery.dimension_column(name, tmp.dimension("__tmp_bin")?.clone());
                 binned_measures.push(name.clone());
+                discretizers.push(disc);
             }
         }
         let discovery_view = discovery.build()?;
 
         let variables: Vec<&str> = discovery_view.schema().names();
-        let learner = XLearner::new(options.xlearner.clone());
+        // `parallel` is the master switch for the offline phase too: AND-ing
+        // with the FCI option means neither flag silently overrides an
+        // explicit `false` in the other.
+        let mut xlearner_options = options.xlearner.clone();
+        xlearner_options.fci.parallel = options.parallel && xlearner_options.fci.parallel;
+        let learner = XLearner::new(xlearner_options);
         let test = CachedCiTest::new(ChiSquareTest::new(options.ci_alpha));
         let learner_result = learner.learn(&discovery_view, &variables, &test)?;
 
@@ -118,7 +138,64 @@ impl XInsight {
             options: options.clone(),
             augmented,
             binned_measures,
+            discretizers,
             learner_result,
+        })
+    }
+
+    /// Exports the offline phase's output as a persistable [`FittedModel`].
+    ///
+    /// Together with [`XInsight::from_fitted`] this lets a serving process
+    /// fit once, [`FittedModel::save`] the artifact, and later reconstruct
+    /// the engine without re-running causal discovery.
+    pub fn fitted_model(&self) -> FittedModel {
+        FittedModel {
+            graph: self.learner_result.graph.clone(),
+            fd_graph: self.learner_result.fd_graph.clone(),
+            fci_variables: self.learner_result.fci_variables.clone(),
+            dropped_redundant: self.learner_result.dropped_redundant.clone(),
+            sepsets: self.learner_result.sepsets.clone(),
+            n_ci_tests: self.learner_result.n_ci_tests,
+            discretizers: self.discretizers.clone(),
+        }
+    }
+
+    /// Reconstructs an engine from a previously fitted model and the raw
+    /// dataset, skipping causal discovery entirely.
+    ///
+    /// `data` must be schema-compatible with the dataset the model was
+    /// fitted on (same dimensions and measures); typically it *is* that
+    /// dataset, reloaded by a serving process.  The online options are
+    /// supplied fresh, so a server can e.g. change the search strategy or
+    /// parallelism without re-fitting.  Given the same data and options,
+    /// [`XInsight::explain`] and [`XInsight::explain_many`] answer
+    /// identically to the engine that produced the model.
+    pub fn from_fitted(
+        data: &Dataset,
+        model: FittedModel,
+        options: &XInsightOptions,
+    ) -> Result<Self> {
+        let clean = data.drop_null_rows();
+        let mut augmented = clean;
+        let mut binned_measures = Vec::new();
+        for disc in &model.discretizers {
+            let bin_name = format!("{}_bin", disc.measure());
+            augmented = disc.apply(&augmented, Some(&bin_name))?;
+            binned_measures.push(disc.measure().to_owned());
+        }
+        Ok(XInsight {
+            options: options.clone(),
+            augmented,
+            binned_measures,
+            discretizers: model.discretizers,
+            learner_result: XLearnerResult {
+                graph: model.graph,
+                fd_graph: model.fd_graph,
+                fci_variables: model.fci_variables,
+                dropped_redundant: model.dropped_redundant,
+                sepsets: model.sepsets,
+                n_ci_tests: model.n_ci_tests,
+            },
         })
     }
 
@@ -467,6 +544,42 @@ mod tests {
             .contains(&"Smoking"));
         assert!(engine.graph().n_nodes() >= 5);
         assert!(engine.learner_result().n_ci_tests > 0);
+    }
+
+    #[test]
+    fn fitted_model_round_trip_serves_identical_explanations() {
+        let data = lung_cancer_data(1500);
+        let options = XInsightOptions::default();
+        let engine = XInsight::fit(&data, &options).unwrap();
+        let direct = engine.explain(&why_query()).unwrap();
+
+        let json = engine.fitted_model().to_json();
+        let model = crate::persist::FittedModel::from_json(&json).unwrap();
+        assert_eq!(model, engine.fitted_model());
+        let restored = XInsight::from_fitted(&data, model, &options).unwrap();
+        assert_eq!(restored.graph(), engine.graph());
+        assert_eq!(restored.data(), engine.data());
+        assert_eq!(restored.explain(&why_query()).unwrap(), direct);
+    }
+
+    #[test]
+    fn serial_and_parallel_fits_learn_the_same_model() {
+        let data = lung_cancer_data(1200);
+        let parallel = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+        let serial = XInsight::fit(
+            &data,
+            &XInsightOptions {
+                parallel: false,
+                ..XInsightOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(parallel.graph(), serial.graph());
+        assert_eq!(
+            parallel.learner_result().n_ci_tests,
+            serial.learner_result().n_ci_tests
+        );
+        assert_eq!(parallel.fitted_model(), serial.fitted_model());
     }
 
     #[test]

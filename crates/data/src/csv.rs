@@ -65,7 +65,7 @@ pub fn read_csv_str(input: &str, options: &CsvOptions) -> Result<Dataset> {
     }
 
     let mut builder = DatasetBuilder::new();
-    for (name, column_cells) in names.iter().zip(cells.into_iter()) {
+    for (name, column_cells) in names.iter().zip(cells) {
         let kind = infer_kind(name, &column_cells, options);
         builder = match kind {
             AttributeKind::Measure => builder.measure_column(

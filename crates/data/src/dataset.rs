@@ -152,6 +152,24 @@ impl Dataset {
     pub fn cardinality(&self, name: &str) -> Result<usize> {
         Ok(self.dimension(name)?.cardinality())
     }
+
+    /// Borrowed dictionary-code slice of a dimension (`NULL_CODE` marks
+    /// missing rows): zero-copy access for callers that only need the codes,
+    /// not the whole [`DimensionColumn`].
+    ///
+    /// ```
+    /// use xinsight_data::DatasetBuilder;
+    ///
+    /// let d = DatasetBuilder::new()
+    ///     .dimension("X", ["a", "b", "a"])
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(d.dimension_codes("X").unwrap(), &[0, 1, 0]);
+    /// assert!(d.dimension_codes("missing").is_err());
+    /// ```
+    pub fn dimension_codes(&self, name: &str) -> Result<&[u32]> {
+        Ok(self.dimension(name)?.codes())
+    }
 }
 
 /// Builder for [`Dataset`] values.

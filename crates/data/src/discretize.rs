@@ -170,7 +170,7 @@ pub fn discretize_equal_frequency(
         let q = i as f64 / n_bins as f64;
         let idx = ((values.len() - 1) as f64 * q).round() as usize;
         let cut = values[idx];
-        if cuts.last().map_or(true, |&last: &f64| cut > last) {
+        if cuts.last().is_none_or(|&last: &f64| cut > last) {
             cuts.push(cut);
         }
     }

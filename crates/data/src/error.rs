@@ -58,6 +58,12 @@ pub enum DataError {
     /// A per-dataset resource (e.g. a selection cache) was reused with a
     /// different dataset than the one it was built against.
     DatasetMismatch(String),
+    /// An arithmetic overflow while sizing a derived structure (e.g. the
+    /// joint stratum space of a conditioning set exceeded what can be
+    /// represented).
+    Overflow(String),
+    /// A persisted artifact could not be written, read or decoded.
+    Persist(String),
 }
 
 impl fmt::Display for DataError {
@@ -99,6 +105,8 @@ impl fmt::Display for DataError {
                 write!(f, "row mask has {mask} bits but the dataset has {rows} rows")
             }
             DataError::DatasetMismatch(msg) => write!(f, "dataset mismatch: {msg}"),
+            DataError::Overflow(msg) => write!(f, "overflow: {msg}"),
+            DataError::Persist(msg) => write!(f, "persistence error: {msg}"),
         }
     }
 }

@@ -123,6 +123,37 @@ impl FdGraph {
         graph
     }
 
+    /// Rebuilds a graph from parts previously exported through [`FdGraph::nodes`],
+    /// [`FdGraph::edges`] and [`FdGraph::redundant_attributes`] (model
+    /// persistence).  Edges mentioning unknown nodes are dropped; the caller
+    /// is trusted to pass an acyclic edge set (as any exported graph is).
+    pub fn from_parts(
+        nodes: Vec<String>,
+        edges: Vec<(String, String)>,
+        redundant: Vec<String>,
+    ) -> Self {
+        let index: HashMap<String, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let edges = edges
+            .iter()
+            .filter_map(|(a, b)| match (index.get(a), index.get(b)) {
+                (Some(&a), Some(&b)) if a != b => Some((a, b)),
+                _ => None,
+            })
+            .collect();
+        let mut graph = FdGraph {
+            nodes,
+            edges,
+            redundant,
+            index,
+        };
+        graph.break_remaining_cycles();
+        graph
+    }
+
     /// Node names, in insertion order.
     pub fn nodes(&self) -> &[String] {
         &self.nodes
@@ -467,6 +498,22 @@ mod tests {
         // The graph must be acyclic afterwards.
         assert!(graph.n_edges() < 3);
         assert_eq!(graph.depths().len(), 3);
+    }
+
+    #[test]
+    fn from_parts_round_trips_an_exported_graph() {
+        let d = city_info();
+        let (_, graph) = detect_fds(&d, &FdDetectionOptions::default()).unwrap();
+        let rebuilt = FdGraph::from_parts(
+            graph.nodes().to_vec(),
+            graph
+                .edges()
+                .iter()
+                .map(|&(a, b)| (a.to_owned(), b.to_owned()))
+                .collect(),
+            graph.redundant_attributes().to_vec(),
+        );
+        assert_eq!(rebuilt, graph);
     }
 
     #[test]

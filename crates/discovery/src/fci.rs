@@ -7,7 +7,11 @@
 
 use crate::orientation::{apply_fci_rules, orient_colliders};
 use crate::sepset::SepsetMap;
-use crate::skeleton::{for_each_subset_of_size, skeleton_search, SkeletonOptions, SkeletonResult};
+use crate::skeleton::{
+    find_separating_subset, skeleton_search_compiled, SkeletonOptions, SkeletonResult,
+};
+use rayon::prelude::*;
+use std::sync::atomic::AtomicUsize;
 use xinsight_data::{Dataset, Result};
 use xinsight_graph::{MixedGraph, NodeId};
 use xinsight_stats::CiTest;
@@ -26,6 +30,10 @@ pub struct FciOptions {
     /// sets.  The full algorithm enumerates all subsets, which is exponential;
     /// the default cap of 3 matches common implementations.
     pub max_pdsep_size: Option<usize>,
+    /// Whether the adjacency search's depth batches and the Possible-D-SEP
+    /// pair batch are evaluated on the rayon pool.  Results are identical
+    /// either way (the batches are frozen and merged deterministically).
+    pub parallel: bool,
 }
 
 impl Default for FciOptions {
@@ -34,6 +42,7 @@ impl Default for FciOptions {
             max_cond_size: None,
             use_possible_dsep: true,
             max_pdsep_size: Some(3),
+            parallel: true,
         }
     }
 }
@@ -51,18 +60,26 @@ pub struct FciResult {
 
 /// FCI-SL: learns the skeleton of the PAG (all edges reported as `o-o`),
 /// including the Possible-D-SEP pruning stage.
+///
+/// Like the adjacency search, the Possible-D-SEP stage is *batched*: the
+/// partially oriented graph is frozen after collider orientation, every
+/// surviving edge's pruning query is evaluated independently (on the rayon
+/// pool when [`FciOptions::parallel`] is set), and removals are applied in
+/// one deterministic serial merge — so parallel and serial runs produce
+/// identical results.
 pub fn fci_skeleton(
     data: &Dataset,
     vars: &[&str],
     test: &dyn CiTest,
     options: &FciOptions,
 ) -> Result<SkeletonResult> {
-    let mut result = skeleton_search(
-        data,
+    let compiled = test.compile(data, vars)?;
+    let mut result = skeleton_search_compiled(
+        compiled.as_ref(),
         vars,
-        test,
         &SkeletonOptions {
             max_cond_size: options.max_cond_size,
+            parallel: options.parallel,
         },
     )?;
     if !options.use_possible_dsep {
@@ -70,50 +87,56 @@ pub fn fci_skeleton(
     }
 
     // Orient colliders on a scratch copy — Possible-D-SEP is defined on the
-    // partially oriented graph.
+    // partially oriented graph, frozen here for the whole batch.
     let mut oriented = result.graph.clone();
     orient_colliders(&mut oriented, &result.sepsets);
 
-    let pairs: Vec<(NodeId, NodeId)> = oriented.edges().iter().map(|e| (e.a, e.b)).collect();
-    for (x, y) in pairs {
-        if !result.graph.adjacent(x, y) {
-            continue;
-        }
-        let mut candidates: Vec<NodeId> = possible_d_sep(&oriented, x)
-            .into_iter()
-            .chain(possible_d_sep(&oriented, y))
-            .filter(|&v| v != x && v != y)
-            .collect();
-        candidates.sort_unstable();
-        candidates.dedup();
+    let n_extra = AtomicUsize::new(0);
+    let batch: Vec<(NodeId, NodeId, Vec<NodeId>)> = oriented
+        .edges()
+        .iter()
+        .map(|e| {
+            let (x, y) = (e.a, e.b);
+            let mut candidates: Vec<NodeId> = possible_d_sep(&oriented, x)
+                .into_iter()
+                .chain(possible_d_sep(&oriented, y))
+                .filter(|&v| v != x && v != y)
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            (x, y, candidates)
+        })
+        .collect();
+
+    let evaluate = |entry: &(NodeId, NodeId, Vec<NodeId>)| {
+        let (x, y, candidates) = entry;
         let cap = options
             .max_pdsep_size
             .unwrap_or(candidates.len())
             .min(candidates.len());
-        let mut removed = false;
-        'sizes: for size in 0..=cap {
-            let mut sep: Option<Vec<String>> = None;
-            for_each_subset_of_size(&candidates, size, &mut |subset| {
-                if sep.is_some() {
-                    return;
-                }
-                let z: Vec<&str> = subset.iter().map(|&v| vars[v]).collect();
-                result.n_ci_tests += 1;
-                if let Ok(true) = test.independent(data, vars[x], vars[y], &z) {
-                    sep = Some(z.iter().map(|s| s.to_string()).collect());
-                }
-            });
-            if let Some(z) = sep {
-                result.sepsets.insert(vars[x], vars[y], z);
-                result.graph.remove_edge(x, y);
-                removed = true;
-                break 'sizes;
+        (0..=cap).find_map(|size| {
+            find_separating_subset(compiled.as_ref(), *x, *y, candidates, size, &n_extra)
+        })
+    };
+    let outcomes: Vec<Option<Vec<NodeId>>> = if options.parallel {
+        batch.par_iter().map(evaluate).collect()
+    } else {
+        batch.iter().map(evaluate).collect()
+    };
+
+    for ((x, y, _), separator) in batch.iter().zip(outcomes) {
+        if let Some(subset) = separator {
+            if result.graph.adjacent(*x, *y) {
+                result.graph.remove_edge(*x, *y);
+                result.sepsets.insert(
+                    vars[*x],
+                    vars[*y],
+                    subset.iter().map(|&v| vars[v].to_string()).collect(),
+                );
             }
         }
-        if removed {
-            oriented.remove_edge(x, y);
-        }
     }
+    result.n_ci_tests += n_extra.into_inner();
     // Reset every remaining edge to o-o (the orientation phase starts fresh).
     result.graph = result.graph.skeleton();
     Ok(result)

@@ -9,10 +9,22 @@ use xinsight_graph::{Mark, MixedGraph};
 use xinsight_stats::CiTest;
 
 /// Options for the PC run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PcOptions {
     /// Maximum conditioning-set size during the adjacency search.
     pub max_cond_size: Option<usize>,
+    /// Whether the adjacency search's depth batches run on the rayon pool
+    /// (results are identical either way).
+    pub parallel: bool,
+}
+
+impl Default for PcOptions {
+    fn default() -> Self {
+        PcOptions {
+            max_cond_size: None,
+            parallel: true,
+        }
+    }
 }
 
 /// Result of a PC run.
@@ -41,6 +53,7 @@ pub fn pc(
         test,
         &SkeletonOptions {
             max_cond_size: options.max_cond_size,
+            parallel: options.parallel,
         },
     )?;
     let mut cpdag = skeleton.graph.skeleton();

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 /// A map from unordered variable pairs to the conditioning set that rendered
 /// them independent during skeleton learning (`Sepset(X, Y)` in the FCI
 /// pseudocode).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SepsetMap {
     inner: HashMap<(String, String), Vec<String>>,
 }
@@ -61,6 +61,15 @@ impl SepsetMap {
     /// Merges another map into this one (other's entries win on conflict).
     pub fn extend(&mut self, other: SepsetMap) {
         self.inner.extend(other.inner);
+    }
+
+    /// Iterates over all recorded pairs and their separating sets, in
+    /// arbitrary order.  The pair is reported in its normalised
+    /// (lexicographically sorted) orientation.  Used by model persistence.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &[String])> {
+        self.inner
+            .iter()
+            .map(|((x, y), z)| (x.as_str(), y.as_str(), z.as_slice()))
     }
 }
 

@@ -1,16 +1,46 @@
-//! PC-style adjacency (skeleton) search.
+//! PC-style adjacency (skeleton) search, depth-batched and optionally
+//! parallel.
+//!
+//! The search proceeds in *depths* (conditioning-set sizes).  At each depth
+//! the candidate `(x, y)` pairs and their adjacency sets are **frozen** from
+//! the graph as it stood when the depth began; every candidate is then
+//! evaluated independently (serially or fanned out over the rayon pool) and
+//! the removals are applied in one deterministic serial merge.  This is the
+//! order-independent "stable" formulation of the PC adjacency search: the
+//! result does not depend on evaluation order, so the parallel and serial
+//! execution modes produce **identical** graphs, sepsets and test counts by
+//! construction (property-tested in `tests/offline_equivalence.rs`).
+//!
+//! All CI queries run through a test compiled once per search
+//! ([`CiTest::compile`]): variable names are resolved to dense ids up front
+//! and the hot loop performs no string work.
 
 use crate::sepset::SepsetMap;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use xinsight_data::{Dataset, Result};
 use xinsight_graph::{MixedGraph, NodeId};
-use xinsight_stats::CiTest;
+use xinsight_stats::{CiTest, IndexedCiTest};
 
 /// Options for the adjacency search.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SkeletonOptions {
     /// Upper bound on the size of conditioning sets; `None` lets the search
     /// run until neighborhoods are exhausted (the classical algorithm).
     pub max_cond_size: Option<usize>,
+    /// Whether each depth's frozen candidate batch is evaluated on the rayon
+    /// pool.  Results are identical either way (see the module docs); the
+    /// flag exists for serial baselines and single-core environments.
+    pub parallel: bool,
+}
+
+impl Default for SkeletonOptions {
+    fn default() -> Self {
+        SkeletonOptions {
+            max_cond_size: None,
+            parallel: true,
+        }
+    }
 }
 
 /// Result of the adjacency search.
@@ -24,6 +54,10 @@ pub struct SkeletonResult {
     pub n_ci_tests: usize,
 }
 
+/// One frozen candidate of a depth batch: an ordered pair `(x, y)` plus the
+/// adjacency set `adj(x) \ {y}` captured at the start of the depth.
+type Candidate = (NodeId, NodeId, Vec<NodeId>);
+
 /// Runs the PC adjacency search over `vars` (a subset of the dataset's
 /// dimensions) using the given CI test.
 ///
@@ -36,6 +70,17 @@ pub fn skeleton_search(
     test: &dyn CiTest,
     options: &SkeletonOptions,
 ) -> Result<SkeletonResult> {
+    let compiled = test.compile(data, vars)?;
+    skeleton_search_compiled(compiled.as_ref(), vars, options)
+}
+
+/// The search body, over an already-compiled test — lets FCI compile once
+/// and reuse the same compiled test for its Possible-D-SEP stage.
+pub(crate) fn skeleton_search_compiled(
+    compiled: &dyn IndexedCiTest,
+    vars: &[&str],
+    options: &SkeletonOptions,
+) -> Result<SkeletonResult> {
     let mut graph = MixedGraph::new(vars.iter().map(|s| s.to_string()));
     for a in 0..vars.len() {
         for b in (a + 1)..vars.len() {
@@ -43,7 +88,7 @@ pub fn skeleton_search(
         }
     }
     let mut sepsets = SepsetMap::new();
-    let mut n_tests = 0usize;
+    let n_tests = AtomicUsize::new(0);
 
     let mut depth = 0usize;
     loop {
@@ -52,45 +97,48 @@ pub fn skeleton_search(
                 break;
             }
         }
-        let mut any_candidate = false;
-        // Iterate over a frozen copy of the adjacency structure: edge removals
-        // within a depth level should not un-consider pairs queued earlier.
-        let pairs: Vec<(NodeId, NodeId)> = graph
+        // Freeze this depth's candidate batch: both orientations of every
+        // surviving edge, each with its adjacency set as of depth start.
+        let candidates: Vec<Candidate> = graph
             .edges()
             .iter()
             .flat_map(|e| [(e.a, e.b), (e.b, e.a)])
+            .filter_map(|(x, y)| {
+                let adj: Vec<NodeId> = graph
+                    .neighbors(x)
+                    .into_iter()
+                    .filter(|&v| v != y)
+                    .collect();
+                (adj.len() >= depth).then_some((x, y, adj))
+            })
             .collect();
-        for (x, y) in pairs {
-            if !graph.adjacent(x, y) {
-                continue;
-            }
-            let adj: Vec<NodeId> = graph
-                .neighbors(x)
-                .into_iter()
-                .filter(|&v| v != y)
-                .collect();
-            if adj.len() < depth {
-                continue;
-            }
-            any_candidate = true;
-            let mut removed = false;
-            for_each_subset_of_size(&adj, depth, &mut |subset| {
-                if removed {
-                    return;
-                }
-                let z: Vec<&str> = subset.iter().map(|&v| vars[v]).collect();
-                n_tests += 1;
-                if let Ok(true) = test.independent(data, vars[x], vars[y], &z) {
-                    removed = true;
-                    sepsets.insert(vars[x], vars[y], z.iter().map(|s| s.to_string()).collect());
-                }
-            });
-            if removed {
-                graph.remove_edge(x, y);
-            }
-        }
-        if !any_candidate {
+        if candidates.is_empty() {
             break;
+        }
+
+        let evaluate = |candidate: &Candidate| {
+            let (x, y, adj) = candidate;
+            find_separating_subset(compiled, *x, *y, adj, depth, &n_tests)
+        };
+        let outcomes: Vec<Option<Vec<NodeId>>> = if options.parallel {
+            candidates.par_iter().map(evaluate).collect()
+        } else {
+            candidates.iter().map(evaluate).collect()
+        };
+
+        // Deterministic serial merge in batch order: the first candidate that
+        // separated a pair wins; the mirrored candidate finds the edge gone.
+        for ((x, y, _), separator) in candidates.iter().zip(outcomes) {
+            if let Some(subset) = separator {
+                if graph.adjacent(*x, *y) {
+                    graph.remove_edge(*x, *y);
+                    sepsets.insert(
+                        vars[*x],
+                        vars[*y],
+                        subset.iter().map(|&v| vars[v].to_string()).collect(),
+                    );
+                }
+            }
         }
         depth += 1;
     }
@@ -98,8 +146,33 @@ pub fn skeleton_search(
     Ok(SkeletonResult {
         graph,
         sepsets,
-        n_ci_tests: n_tests,
+        n_ci_tests: n_tests.into_inner(),
     })
+}
+
+/// Searches `adj` for the first (in enumeration order) subset of exactly
+/// `depth` elements that renders `x ⫫ y | subset`, counting issued tests.
+/// Test errors conservatively count as "dependent".
+pub(crate) fn find_separating_subset(
+    test: &dyn IndexedCiTest,
+    x: NodeId,
+    y: NodeId,
+    adj: &[NodeId],
+    depth: usize,
+    n_tests: &AtomicUsize,
+) -> Option<Vec<NodeId>> {
+    let mut found: Option<Vec<NodeId>> = None;
+    for_each_subset_of_size(adj, depth, &mut |subset| {
+        if found.is_some() {
+            return;
+        }
+        n_tests.fetch_add(1, Ordering::Relaxed);
+        let z: Vec<u32> = subset.iter().map(|&v| v as u32).collect();
+        if let Ok(true) = test.independent_ids(x as u32, y as u32, &z) {
+            found = Some(subset.to_vec());
+        }
+    });
+    found
 }
 
 /// Calls `f` for every subset of `items` of exactly `size` elements.
@@ -200,6 +273,7 @@ mod tests {
             &oracle,
             &SkeletonOptions {
                 max_cond_size: Some(1),
+                ..SkeletonOptions::default()
             },
         )
         .unwrap();
@@ -232,6 +306,39 @@ mod tests {
         .unwrap();
         assert_eq!(result.graph.n_edges(), 0);
         assert_eq!(result.sepsets.len(), 3);
+    }
+
+    #[test]
+    fn parallel_and_serial_modes_are_identical() {
+        // A random-ish oracle DAG where several depths fire.
+        let mut dag = Dag::new(["A", "B", "C", "D", "E"]);
+        dag.add_edge(0, 1);
+        dag.add_edge(0, 2);
+        dag.add_edge(1, 3);
+        dag.add_edge(2, 3);
+        dag.add_edge(3, 4);
+        let oracle = OracleCiTest::from_dag(&dag);
+        let vars = ["A", "B", "C", "D", "E"];
+        let serial = skeleton_search(
+            &dummy_data(),
+            &vars,
+            &oracle,
+            &SkeletonOptions {
+                parallel: false,
+                ..SkeletonOptions::default()
+            },
+        )
+        .unwrap();
+        let parallel = skeleton_search(
+            &dummy_data(),
+            &vars,
+            &oracle,
+            &SkeletonOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(serial.graph, parallel.graph);
+        assert_eq!(serial.sepsets, parallel.sepsets);
+        assert_eq!(serial.n_ci_tests, parallel.n_ci_tests);
     }
 
     #[test]

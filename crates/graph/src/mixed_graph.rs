@@ -260,11 +260,10 @@ impl MixedGraph {
     /// (`X → ... → Z ↔ X`, Def. 2.4).
     pub fn has_almost_directed_cycle(&self) -> bool {
         for e in self.edges() {
-            if e.is_bidirected() {
-                if self.descendants(e.a).contains(&e.b) || self.descendants(e.b).contains(&e.a) {
+            if e.is_bidirected()
+                && (self.descendants(e.a).contains(&e.b) || self.descendants(e.b).contains(&e.a)) {
                     return true;
                 }
-            }
         }
         false
     }

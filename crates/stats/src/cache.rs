@@ -1,23 +1,61 @@
 //! Memoisation of repeated CI queries.
 
-use crate::ci_test::{CiOutcome, CiTest};
+use crate::ci_test::{CiOutcome, CiTest, IndexedCiTest};
+use crate::small_vec::SmallVec;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use xinsight_data::{Dataset, Result};
 
-/// A wrapper that caches the outcome of CI queries keyed by
-/// `(X, Y, sorted Z)` (with `X`/`Y` order normalised).
+/// Compact cache key: interned variable ids with `x ≤ y` and `z` sorted.
+///
+/// Conditioning sets are short, so the [`SmallVec`] keeps the whole key
+/// inline — no per-entry heap allocation, and hashing touches a handful of
+/// `u32`s instead of three strings.
+type CiKey = (u32, u32, SmallVec<u32>);
+
+/// Interner + memo table, guarded by one lock so the name-addressed path
+/// interns *and* probes under a single acquisition (the compiled path skips
+/// interning entirely and only probes).
+#[derive(Debug, Default)]
+struct CacheState {
+    /// Stable name → id mapping.  Ids survive [`CachedCiTest::clear`] so
+    /// compiled adapters created before a clear stay valid.
+    interner: HashMap<String, u32>,
+    /// Memoised outcomes.
+    map: HashMap<CiKey, CiOutcome>,
+}
+
+impl CacheState {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.interner.get(name) {
+            return id;
+        }
+        let id = self.interner.len() as u32;
+        self.interner.insert(name.to_owned(), id);
+        id
+    }
+}
+
+/// A wrapper that caches the outcome of CI queries keyed by interned
+/// `(X, Y, sorted Z)` variable ids (with `X`/`Y` order normalised).
 ///
 /// FCI's skeleton phase and its Possible-D-SEP phase re-ask many identical
 /// queries; on the SYN-A workloads caching removes 30–60 % of the test
 /// evaluations.  The cache assumes the wrapped test is deterministic and is
 /// keyed per dataset by the caller (build one cache per dataset).
+///
+/// Internally one mutex guards the interner and the memo table together,
+/// and the hit/miss counters are relaxed atomics, so reading statistics
+/// never contends with lookups.  The name-addressed [`CiTest::test`] path
+/// and the compiled [`CiTest::compile`] path share the same table: a query
+/// answered through one is a cache hit through the other.
 #[derive(Debug)]
 pub struct CachedCiTest<T> {
     inner: T,
-    cache: Mutex<HashMap<(String, String, Vec<String>), CiOutcome>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<T: CiTest> CachedCiTest<T> {
@@ -25,50 +63,118 @@ impl<T: CiTest> CachedCiTest<T> {
     pub fn new(inner: T) -> Self {
         CachedCiTest {
             inner,
-            cache: Mutex::new(HashMap::new()),
-            hits: Mutex::new(0),
-            misses: Mutex::new(0),
+            state: Mutex::new(CacheState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
     /// Number of cache hits so far.
     pub fn hits(&self) -> u64 {
-        *self.hits.lock()
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of cache misses so far.
     pub fn misses(&self) -> u64 {
-        *self.misses.lock()
+        self.misses.load(Ordering::Relaxed)
     }
 
-    /// Drops all cached entries (call when switching datasets).
+    /// Drops all cached entries (call when switching datasets).  Interned
+    /// variable ids are retained so previously compiled adapters stay
+    /// consistent.
     pub fn clear(&self) {
-        self.cache.lock().clear();
+        self.state.lock().map.clear();
     }
 
-    fn key(x: &str, y: &str, z: &[&str]) -> (String, String, Vec<String>) {
+    /// Normalises interned ids into a canonical key.
+    fn key_from_ids(x: u32, y: u32, z: &[u32]) -> CiKey {
         let (a, b) = if x <= y { (x, y) } else { (y, x) };
-        let mut zs: Vec<String> = z.iter().map(|s| s.to_string()).collect();
-        zs.sort();
-        (a.to_owned(), b.to_owned(), zs)
+        let mut zs = SmallVec::from_slice(z);
+        zs.sort_unstable();
+        (a, b, zs)
+    }
+
+    /// Probes the cache; on a miss, runs `run` and stores the outcome.
+    fn lookup_or_run(
+        &self,
+        key: CiKey,
+        run: impl FnOnce() -> Result<CiOutcome>,
+    ) -> Result<CiOutcome> {
+        if let Some(&hit) = self.state.lock().map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = run()?;
+        self.state.lock().map.insert(key, outcome);
+        Ok(outcome)
     }
 }
 
 impl<T: CiTest> CiTest for CachedCiTest<T> {
     fn test(&self, data: &Dataset, x: &str, y: &str, z: &[&str]) -> Result<CiOutcome> {
-        let key = Self::key(x, y, z);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            *self.hits.lock() += 1;
-            return Ok(*hit);
-        }
-        *self.misses.lock() += 1;
+        // Intern and probe under one lock acquisition; hits never re-lock.
+        let key = {
+            let mut state = self.state.lock();
+            let xi = state.intern(x);
+            let yi = state.intern(y);
+            let zi: Vec<u32> = z.iter().map(|n| state.intern(n)).collect();
+            let key = Self::key_from_ids(xi, yi, &zi);
+            if let Some(&hit) = state.map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+            key
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let outcome = self.inner.test(data, x, y, z)?;
-        self.cache.lock().insert(key, outcome);
+        self.state.lock().map.insert(key, outcome);
         Ok(outcome)
     }
 
     fn name(&self) -> &'static str {
         self.inner.name()
+    }
+
+    fn compile<'a>(
+        &'a self,
+        data: &'a Dataset,
+        vars: &'a [&'a str],
+    ) -> Result<Box<dyn IndexedCiTest + 'a>> {
+        let compiled = self.inner.compile(data, vars)?;
+        let interned: Vec<u32> = {
+            let mut state = self.state.lock();
+            vars.iter().map(|v| state.intern(v)).collect()
+        };
+        Ok(Box::new(CompiledCached {
+            cache: self,
+            compiled,
+            interned,
+        }))
+    }
+}
+
+/// Compiled adapter: maps the search's dense variable ids to the cache's
+/// interned ids (resolved once at compile time) and shares the memo table
+/// with the name-addressed path.
+struct CompiledCached<'a, T> {
+    cache: &'a CachedCiTest<T>,
+    compiled: Box<dyn IndexedCiTest + 'a>,
+    /// `interned[i]` is the cache-interned id of `vars[i]`.
+    interned: Vec<u32>,
+}
+
+impl<T: CiTest> IndexedCiTest for CompiledCached<'_, T> {
+    fn test_ids(&self, x: u32, y: u32, z: &[u32]) -> Result<CiOutcome> {
+        crate::ci_test::check_ids(self.interned.len(), x, y, z)?;
+        let zi: SmallVec<u32> = z.iter().map(|&i| self.interned[i as usize]).collect();
+        let key = CachedCiTest::<T>::key_from_ids(
+            self.interned[x as usize],
+            self.interned[y as usize],
+            &zi,
+        );
+        self.cache
+            .lookup_or_run(key, || self.compiled.test_ids(x, y, z))
     }
 }
 
@@ -112,5 +218,31 @@ mod tests {
         assert_eq!(cached.misses(), 1);
         assert_eq!(cached.hits(), 1);
         assert_eq!(cached.name(), "chi-square");
+    }
+
+    #[test]
+    fn compiled_and_name_paths_share_one_table() {
+        let d = DatasetBuilder::new()
+            .dimension("X", ["a", "b", "a", "b"])
+            .dimension("Y", ["p", "q", "p", "q"])
+            .dimension("Z", ["u", "u", "v", "v"])
+            .build()
+            .unwrap();
+        let cached = CachedCiTest::new(ChiSquareTest::default());
+        let vars = ["X", "Y", "Z"];
+        let compiled = cached.compile(&d, &vars).unwrap();
+        let by_ids = compiled.test_ids(0, 1, &[2]).unwrap();
+        assert_eq!(cached.misses(), 1);
+        // Same logical query through the name path: a hit, same outcome.
+        let by_name = cached.test(&d, "Y", "X", &["Z"]).unwrap();
+        assert_eq!(by_ids, by_name);
+        assert_eq!(cached.hits(), 1);
+        assert_eq!(cached.misses(), 1);
+        // And again through ids with z reversed order semantics.
+        assert!(compiled.independent_ids(1, 0, &[2]).is_ok());
+        assert_eq!(cached.hits(), 2);
+        // Out-of-range ids are structured errors, not panics.
+        assert!(compiled.test_ids(7, 0, &[]).is_err());
+        assert!(compiled.test_ids(0, 1, &[9]).is_err());
     }
 }

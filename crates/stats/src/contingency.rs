@@ -1,6 +1,13 @@
 //! Stratified contingency tables over dimension columns.
 
-use xinsight_data::{Dataset, Result};
+use crate::view::DiscoveryView;
+use std::collections::HashMap;
+use xinsight_data::{DataError, Dataset, Result};
+
+/// Largest number of dense counter cells (`∏|Z_i| · |X| · |Y|`) a table will
+/// allocate eagerly; beyond this the build switches to the sparse per-stratum
+/// path, which only materializes strata that actually occur in the data.
+const DENSE_CELL_LIMIT: u128 = 1 << 22;
 
 /// A cross tabulation of two dimensions `X`, `Y`, stratified by the joint
 /// values of a (possibly empty) conditioning set `Z`.
@@ -22,29 +29,92 @@ pub struct ContingencyTable {
 
 impl ContingencyTable {
     /// Builds the table for `x`, `y` conditioned on the dimensions `z`.
+    ///
+    /// This is the name-addressed convenience entry: it compiles a throwaway
+    /// [`DiscoveryView`] over the involved columns and delegates to
+    /// [`ContingencyTable::from_view`].  Hot paths that issue many queries
+    /// over the same variable set should compile a view once instead.
     pub fn build(data: &Dataset, x: &str, y: &str, z: &[&str]) -> Result<Self> {
-        let xcol = data.dimension(x)?;
-        let ycol = data.dimension(y)?;
-        let zcols = z
-            .iter()
-            .map(|name| data.dimension(name))
-            .collect::<Result<Vec<_>>>()?;
-        let x_card = xcol.cardinality().max(1);
-        let y_card = ycol.cardinality().max(1);
-        let z_cards: Vec<usize> = zcols.iter().map(|c| c.cardinality().max(1)).collect();
-        let n_strata: usize = z_cards.iter().product::<usize>().max(1);
+        let mut vars = Vec::with_capacity(z.len() + 2);
+        vars.push(x);
+        vars.push(y);
+        vars.extend_from_slice(z);
+        let view = DiscoveryView::compile(data, &vars)?;
+        let z_ids: Vec<u32> = (2..vars.len() as u32).collect();
+        Self::from_view(&view, 0, 1, &z_ids)
+    }
 
-        let mut strata = vec![vec![0u64; x_card * y_card]; n_strata];
+    /// Builds the table for view variables `x`, `y` conditioned on `z`, in a
+    /// single pass over the code slices.
+    ///
+    /// When the dense counter space `∏|Z_i| · |X| · |Y|` stays small the
+    /// strata are allocated eagerly (and empty strata are retained, matching
+    /// [`ContingencyTable::build`] of old); past an internal cell limit
+    /// (currently 2²² counters) the build switches to a sparse map keyed by
+    /// the joint `Z` configuration, so high-cardinality conditioning sets
+    /// cost memory proportional to the strata that actually occur.  Both paths yield
+    /// identical [`chi_square_statistic`](ContingencyTable::chi_square_statistic)
+    /// and [`g_statistic`](ContingencyTable::g_statistic) values, because
+    /// empty strata contribute neither statistic nor degrees of freedom.
+    ///
+    /// Returns [`DataError::Overflow`] only when the joint stratum space
+    /// cannot even be indexed (product of cardinalities exceeds `u128`).
+    pub fn from_view(view: &DiscoveryView<'_>, x: u32, y: u32, z: &[u32]) -> Result<Self> {
+        view.check_id(x)?;
+        view.check_id(y)?;
+        for &zi in z {
+            view.check_id(zi)?;
+        }
+        let x_codes = view.codes(x);
+        let y_codes = view.codes(y);
+        let z_codes: Vec<&[u32]> = z.iter().map(|&zi| view.codes(zi)).collect();
+        let x_card = view.cardinality(x).max(1);
+        let y_card = view.cardinality(y).max(1);
+        let z_cards: Vec<usize> = z.iter().map(|&zi| view.cardinality(zi).max(1)).collect();
+
+        let mut joint: u128 = 1;
+        for &card in &z_cards {
+            joint = joint.checked_mul(card as u128).ok_or_else(|| {
+                DataError::Overflow(format!(
+                    "joint stratum space of {} conditioning variables exceeds u128",
+                    z.len()
+                ))
+            })?;
+        }
+        let cells = joint
+            .checked_mul((x_card as u128) * (y_card as u128))
+            .ok_or_else(|| {
+                DataError::Overflow(
+                    "contingency cell space exceeds u128".to_owned(),
+                )
+            })?;
+        if cells <= DENSE_CELL_LIMIT {
+            Self::build_dense(x_codes, y_codes, &z_codes, x_card, y_card, &z_cards, joint as usize)
+        } else {
+            Self::build_sparse(x_codes, y_codes, &z_codes, x_card, y_card, &z_cards)
+        }
+    }
+
+    fn build_dense(
+        x_codes: &[u32],
+        y_codes: &[u32],
+        z_codes: &[&[u32]],
+        x_card: usize,
+        y_card: usize,
+        z_cards: &[usize],
+        n_strata: usize,
+    ) -> Result<Self> {
+        let mut strata = vec![vec![0u64; x_card * y_card]; n_strata.max(1)];
         let mut total = 0u64;
-        'rows: for i in 0..data.n_rows() {
-            let cx = xcol.code(i);
-            let cy = ycol.code(i);
+        'rows: for i in 0..x_codes.len() {
+            let cx = x_codes[i];
+            let cy = y_codes[i];
             if cx == xinsight_data::NULL_CODE || cy == xinsight_data::NULL_CODE {
                 continue;
             }
             let mut stratum = 0usize;
-            for (zc, &card) in zcols.iter().zip(&z_cards) {
-                let cz = zc.code(i);
+            for (zc, &card) in z_codes.iter().zip(z_cards) {
+                let cz = zc[i];
                 if cz == xinsight_data::NULL_CODE {
                     continue 'rows;
                 }
@@ -57,6 +127,53 @@ impl ContingencyTable {
             x_cardinality: x_card,
             y_cardinality: y_card,
             strata,
+            total,
+        })
+    }
+
+    fn build_sparse(
+        x_codes: &[u32],
+        y_codes: &[u32],
+        z_codes: &[&[u32]],
+        x_card: usize,
+        y_card: usize,
+        z_cards: &[usize],
+    ) -> Result<Self> {
+        let mut map: HashMap<u128, Vec<u64>> = HashMap::new();
+        let mut total = 0u64;
+        'rows: for i in 0..x_codes.len() {
+            let cx = x_codes[i];
+            let cy = y_codes[i];
+            if cx == xinsight_data::NULL_CODE || cy == xinsight_data::NULL_CODE {
+                continue;
+            }
+            let mut stratum: u128 = 0;
+            for (zc, &card) in z_codes.iter().zip(z_cards) {
+                let cz = zc[i];
+                if cz == xinsight_data::NULL_CODE {
+                    continue 'rows;
+                }
+                stratum = stratum * card as u128 + cz as u128;
+            }
+            map.entry(stratum)
+                .or_insert_with(|| vec![0u64; x_card * y_card])[cx as usize * y_card + cy as usize] += 1;
+            total += 1;
+        }
+        // Deterministic stratum order (ascending joint key).
+        let mut keys: Vec<u128> = map.keys().copied().collect();
+        keys.sort_unstable();
+        let strata: Vec<Vec<u64>> = keys
+            .into_iter()
+            .map(|k| map.remove(&k).expect("key collected from map"))
+            .collect();
+        Ok(ContingencyTable {
+            x_cardinality: x_card,
+            y_cardinality: y_card,
+            strata: if strata.is_empty() {
+                vec![vec![0u64; x_card * y_card]]
+            } else {
+                strata
+            },
             total,
         })
     }
@@ -250,6 +367,113 @@ mod tests {
             .unwrap();
         let t = ContingencyTable::build(&d, "X", "Y", &[]).unwrap();
         assert_eq!(t.total, 3);
+    }
+
+    #[test]
+    fn from_view_matches_name_based_build() {
+        let n = 120;
+        let z: Vec<String> = (0..n).map(|i| format!("z{}", i % 5)).collect();
+        let x: Vec<&str> = (0..n).map(|i| if (i / 3) % 2 == 0 { "a" } else { "b" }).collect();
+        let y: Vec<&str> = (0..n).map(|i| if (i / 7) % 2 == 0 { "p" } else { "q" }).collect();
+        let d = DatasetBuilder::new()
+            .dimension("Z", z.iter().map(String::as_str))
+            .dimension("X", x)
+            .dimension("Y", y)
+            .build()
+            .unwrap();
+        let by_name = ContingencyTable::build(&d, "X", "Y", &["Z"]).unwrap();
+        let view = crate::DiscoveryView::compile(&d, &["Z", "X", "Y"]).unwrap();
+        let by_view = ContingencyTable::from_view(&view, 1, 2, &[0]).unwrap();
+        assert_eq!(by_name.strata, by_view.strata);
+        assert_eq!(by_name.total, by_view.total);
+        assert_eq!(
+            by_name.chi_square_statistic(),
+            by_view.chi_square_statistic()
+        );
+    }
+
+    #[test]
+    fn sparse_path_agrees_with_dense_on_statistics() {
+        // Same data counted through both paths: force the sparse path by
+        // routing through build_sparse directly.
+        let n = 200;
+        let z1: Vec<String> = (0..n).map(|i| format!("u{}", i % 7)).collect();
+        let z2: Vec<String> = (0..n).map(|i| format!("v{}", (i / 2) % 6)).collect();
+        let x: Vec<&str> = (0..n).map(|i| if (i / 5) % 2 == 0 { "a" } else { "b" }).collect();
+        let y: Vec<&str> = (0..n).map(|i| if (i / 11) % 2 == 0 { "p" } else { "q" }).collect();
+        let d = DatasetBuilder::new()
+            .dimension("Z1", z1.iter().map(String::as_str))
+            .dimension("Z2", z2.iter().map(String::as_str))
+            .dimension("X", x)
+            .dimension("Y", y)
+            .build()
+            .unwrap();
+        let view = crate::DiscoveryView::compile(&d, &["Z1", "Z2", "X", "Y"]).unwrap();
+        let dense = ContingencyTable::from_view(&view, 2, 3, &[0, 1]).unwrap();
+        let z_codes: Vec<&[u32]> = vec![view.codes(0), view.codes(1)];
+        let sparse = ContingencyTable::build_sparse(
+            view.codes(2),
+            view.codes(3),
+            &z_codes,
+            view.cardinality(2),
+            view.cardinality(3),
+            &[view.cardinality(0), view.cardinality(1)],
+        )
+        .unwrap();
+        assert_eq!(dense.total, sparse.total);
+        // Sparse drops empty strata, so stratum counts may differ …
+        assert!(sparse.n_strata() <= dense.n_strata());
+        // … but the statistics are identical.
+        assert_eq!(dense.chi_square_statistic(), sparse.chi_square_statistic());
+        assert_eq!(dense.g_statistic(), sparse.g_statistic());
+    }
+
+    #[test]
+    fn astronomically_large_stratum_space_is_a_structured_error() {
+        // 130 binary conditioning columns: ∏|Z_i| = 2^130 > u128::MAX.
+        let mut builder = DatasetBuilder::new()
+            .dimension("X", ["a", "b"])
+            .dimension("Y", ["p", "q"]);
+        let mut names = Vec::new();
+        for i in 0..130 {
+            let name = format!("Z{i}");
+            builder = builder.dimension(&name, ["u", "v"]);
+            names.push(name);
+        }
+        let d = builder.build().unwrap();
+        let z_names: Vec<&str> = names.iter().map(String::as_str).collect();
+        let err = ContingencyTable::build(&d, "X", "Y", &z_names).unwrap_err();
+        assert!(matches!(err, DataError::Overflow(_)), "got {err:?}");
+        // A merely huge (but representable) space silently takes the sparse
+        // path instead of erroring or allocating: 40 binary columns = 2^40
+        // strata, yet only 2 rows exist.
+        let t = ContingencyTable::build(&d, "X", "Y", &z_names[..40]).unwrap();
+        assert_eq!(t.total, 2);
+        assert_eq!(t.n_strata(), 2, "one materialized stratum per observed Z configuration");
+    }
+
+    #[test]
+    fn empty_sparse_table_keeps_one_stratum() {
+        let d = DatasetBuilder::new()
+            .dimension_column(
+                "X",
+                xinsight_data::DimensionColumn::from_optional_values::<_, &str>([None, None]),
+            )
+            .dimension("Y", ["p", "q"])
+            .build()
+            .unwrap();
+        let view = crate::DiscoveryView::compile(&d, &["X", "Y"]).unwrap();
+        let sparse = ContingencyTable::build_sparse(
+            view.codes(0),
+            view.codes(1),
+            &[],
+            view.cardinality(0).max(1),
+            view.cardinality(1),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(sparse.total, 0);
+        assert_eq!(sparse.n_strata(), 1);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Likelihood-ratio (G) conditional-independence test.
 
-use crate::ci_test::{CiOutcome, CiTest};
+use crate::ci_test::{outcome_from_statistic, CiOutcome, CiTest, IndexedCiTest};
 use crate::contingency::ContingencyTable;
-use crate::special::chi_square_sf;
+use crate::view::DiscoveryView;
 use xinsight_data::{Dataset, Result};
 
 /// The G-test (likelihood-ratio test) of `X ⫫ Y | Z` for categorical data.
@@ -38,21 +38,36 @@ impl CiTest for GTest {
     fn test(&self, data: &Dataset, x: &str, y: &str, z: &[&str]) -> Result<CiOutcome> {
         let table = ContingencyTable::build(data, x, y, z)?;
         let (stat, dof) = table.g_statistic();
-        if dof <= 0.0 {
-            return Ok(CiOutcome {
-                independent: true,
-                p_value: 1.0,
-            });
-        }
-        let p = chi_square_sf(stat, dof);
-        Ok(CiOutcome {
-            independent: p > self.alpha,
-            p_value: p,
-        })
+        Ok(outcome_from_statistic(stat, dof, self.alpha))
     }
 
     fn name(&self) -> &'static str {
         "g-test"
+    }
+
+    fn compile<'a>(
+        &'a self,
+        data: &'a Dataset,
+        vars: &'a [&'a str],
+    ) -> Result<Box<dyn IndexedCiTest + 'a>> {
+        Ok(Box::new(CompiledGTest {
+            view: DiscoveryView::compile(data, vars)?,
+            alpha: self.alpha,
+        }))
+    }
+}
+
+/// View-native G-test: all queries run on precompiled code slices.
+struct CompiledGTest<'a> {
+    view: DiscoveryView<'a>,
+    alpha: f64,
+}
+
+impl IndexedCiTest for CompiledGTest<'_> {
+    fn test_ids(&self, x: u32, y: u32, z: &[u32]) -> Result<CiOutcome> {
+        let table = ContingencyTable::from_view(&self.view, x, y, z)?;
+        let (stat, dof) = table.g_statistic();
+        Ok(outcome_from_statistic(stat, dof, self.alpha))
     }
 }
 

@@ -8,12 +8,19 @@
 //!
 //! * [`special`] — log-gamma, regularized incomplete gamma, chi-square and
 //!   normal survival functions (no third-party math dependency),
-//! * [`ContingencyTable`] — stratified cross tabulations of dimensions,
+//! * [`DiscoveryView`] — a per-fit compilation of the discovery variable set:
+//!   names resolved to dense ids once, borrowed `&[u32]` code slices and
+//!   cardinalities held for zero-cost repeated access,
+//! * [`ContingencyTable`] — stratified cross tabulations of dimensions, built
+//!   in one pass from a view (with a sparse stratum fallback for
+//!   high-cardinality conditioning sets),
 //! * [`ChiSquareTest`] and [`GTest`] — CI tests for categorical data,
 //! * [`FisherZTest`] — partial-correlation CI test for numerical data,
-//! * [`CiTest`] — the trait the discovery algorithms program against, plus a
-//!   [`CachedCiTest`] wrapper memoising repeated queries (FCI asks the same
-//!   question many times across its skeleton and Possible-D-SEP phases).
+//! * [`CiTest`] — the trait the discovery algorithms program against, with
+//!   [`CiTest::compile`] producing an [`IndexedCiTest`] that answers queries
+//!   by dense variable id, plus a [`CachedCiTest`] wrapper memoising repeated
+//!   queries behind compact `(u32, u32, SmallVec<u32>)` keys (FCI asks the
+//!   same question many times across its skeleton and Possible-D-SEP phases).
 
 #![warn(missing_docs)]
 
@@ -23,11 +30,15 @@ mod ci_test;
 mod contingency;
 mod fisher_z;
 mod gtest;
+mod small_vec;
 pub mod special;
+mod view;
 
 pub use cache::CachedCiTest;
 pub use chi_square::ChiSquareTest;
-pub use ci_test::{CiOutcome, CiTest};
+pub use ci_test::{CiOutcome, CiTest, IndexedCiTest};
 pub use contingency::ContingencyTable;
 pub use fisher_z::FisherZTest;
 pub use gtest::GTest;
+pub use small_vec::SmallVec;
+pub use view::DiscoveryView;

@@ -93,6 +93,9 @@ pub fn generate(options: &SynAOptions) -> SynAInstance {
         let n_configs = card.pow(parents.len() as u32);
         let dirichlet = Dirichlet::new(&vec![1.0f64; card]).expect("valid alpha");
         let cpt: Vec<Vec<f64>> = (0..n_configs).map(|_| dirichlet.sample(&mut rng)).collect();
+        // `row` indexes several columns at once (parents read, `v` written),
+        // so a range loop is the clearest form here.
+        #[allow(clippy::needless_range_loop)]
         for row in 0..options.n_rows {
             let mut config = 0usize;
             for &p in &parents {

@@ -34,7 +34,9 @@ pub fn generate(n_rows: usize, seed: u64) -> WebInstance {
     let causal_idx: Vec<usize> = vec![1, 4, 7, 11, 16, 21];
     let consequence_idx: Vec<usize> = vec![2, 9, 18];
 
-    let mut behaviors: Vec<Vec<&'static str>> = vec![Vec::with_capacity(n_rows); N_BEHAVIORS];
+    let mut behaviors: Vec<Vec<&'static str>> = (0..N_BEHAVIORS)
+        .map(|_| Vec::with_capacity(n_rows))
+        .collect();
     let mut blocked = Vec::with_capacity(n_rows);
     for _ in 0..n_rows {
         // Latent "malicious intent" drives both the causal behaviours and,

@@ -22,6 +22,13 @@ if [[ "${1:-}" == "--quick" ]]; then
     exit 0
 fi
 
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace (warnings are errors)"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable in this toolchain: skipping"
+fi
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

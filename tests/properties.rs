@@ -179,6 +179,9 @@ fn sample_from_dag(dag: &Dag, n_rows: usize, seed: u64) -> xinsight::data::Datas
     let n = dag.n_nodes();
     let order = dag.topological_order();
     let mut columns: Vec<Vec<u8>> = vec![vec![0; n_rows]; n];
+    // `row` indexes several columns at once (parents read, `v` written),
+    // so a range loop is the clearest form here.
+    #[allow(clippy::needless_range_loop)]
     for row in 0..n_rows {
         for &v in &order {
             let parent_sum: u32 = dag.parents(v).iter().map(|&p| columns[p][row] as u32).sum();
@@ -191,8 +194,8 @@ fn sample_from_dag(dag: &Dag, n_rows: usize, seed: u64) -> xinsight::data::Datas
         }
     }
     let mut builder = DatasetBuilder::new();
-    for v in 0..n {
-        let labels: Vec<&str> = columns[v].iter().map(|&c| if c == 1 { "1" } else { "0" }).collect();
+    for (v, column) in columns.iter().enumerate() {
+        let labels: Vec<&str> = column.iter().map(|&c| if c == 1 { "1" } else { "0" }).collect();
         builder = builder.dimension(dag.name(v), labels);
     }
     builder.build().unwrap()
@@ -212,7 +215,7 @@ proptest! {
         seed in 0u64..50,
     ) {
         let n = categories.len().min(values.len());
-        let x: Vec<&str> = (0..n).map(|i| if (i + seed as usize) % 2 == 0 { "a" } else { "b" }).collect();
+        let x: Vec<&str> = (0..n).map(|i| if (i + seed as usize).is_multiple_of(2) { "a" } else { "b" }).collect();
         let y: Vec<String> = categories[..n].iter().map(|c| format!("c{c}")).collect();
         let data = DatasetBuilder::new()
             .dimension("X", x)
@@ -254,7 +257,7 @@ proptest! {
         use xinsight::core::SelectionCache;
 
         let n = categories.len().min(values.len());
-        let x: Vec<&str> = (0..n).map(|i| if (i + seed as usize) % 3 == 0 { "b" } else { "a" }).collect();
+        let x: Vec<&str> = (0..n).map(|i| if (i + seed as usize).is_multiple_of(3) { "b" } else { "a" }).collect();
         let y: Vec<String> = categories[..n].iter().map(|c| format!("c{c}")).collect();
         let data = DatasetBuilder::new()
             .dimension("X", x)

@@ -349,6 +349,9 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "property 'always_fails'")]
+    // The macro deliberately expands to an inner `#[test]` fn here, which the
+    // harness cannot collect — this test calls it by hand instead.
+    #[allow(unnameable_test_items)]
     fn failures_panic_with_case_info() {
         proptest! {
             #[test]
