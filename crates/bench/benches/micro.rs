@@ -278,12 +278,63 @@ fn bench_baselines(c: &mut Criterion) {
     group.finish();
 }
 
+/// The serving layer's per-request building blocks: canonical query
+/// serialization (the wire format *and* the LRU key), result-cache hits,
+/// and inserts under eviction pressure.  The end-to-end served-throughput
+/// numbers live in `BENCH_serve.json` (the `loadgen` bench binary); these
+/// isolate the cache path that turns a repeated query into a hash lookup.
+fn bench_serving_layer(c: &mut Criterion) {
+    use xinsight_service::lru::{CacheKey, ResultCache};
+
+    let query = flight::why_query();
+    c.bench_function("serve/why_query_canonical_json", |b| {
+        b.iter(|| query.to_json())
+    });
+    c.bench_function("serve/why_query_wire_parse", |b| {
+        let json = query.to_json();
+        b.iter(|| WhyQuery::from_json(&json).unwrap())
+    });
+
+    let value: Arc<str> = Arc::from("x".repeat(2048).as_str());
+    let hot = ResultCache::new(1 << 20);
+    let key = CacheKey {
+        model: "flight".to_owned(),
+        generation: 1,
+        query: query.clone(),
+    };
+    hot.insert(key.clone(), Arc::clone(&value));
+    c.bench_function("serve/result_cache_hit", |b| b.iter(|| hot.get(&key).unwrap()));
+
+    // Insert path with the budget sized to keep ~8 entries: every insert
+    // evicts, exercising the accounting + order maintenance.
+    let keys: Vec<CacheKey> = (0..64)
+        .map(|i| CacheKey {
+            model: format!("m{i}"),
+            generation: 1,
+            query: query.clone(),
+        })
+        .collect();
+    let entry_bytes = keys[0].model.len()
+        + query.to_json().len()
+        + value.len()
+        + xinsight_service::lru::ENTRY_OVERHEAD_BYTES;
+    let churning = ResultCache::new(8 * entry_bytes);
+    let mut i = 0usize;
+    c.bench_function("serve/result_cache_insert_evicting", |b| {
+        b.iter(|| {
+            churning.insert(keys[i % keys.len()].clone(), Arc::clone(&value));
+            i += 1;
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_data_layer,
     bench_discovery,
     bench_xplainer,
     bench_parallel_engine,
-    bench_baselines
+    bench_baselines,
+    bench_serving_layer
 );
 criterion_main!(benches);

@@ -1,0 +1,531 @@
+//! Minimal, dependency-free JSON value, writer and parser.
+//!
+//! The workspace builds fully offline (no serde), so every serialized
+//! artifact — the persisted [`FittedModel`](crate::FittedModel), the Why
+//! Query wire format and the serving layer's request/response bodies —
+//! shares this one hand-rolled codepath.  It implements a strict subset of
+//! JSON: objects, arrays, strings, `f64` numbers, booleans and `null`,
+//! written deterministically (object fields keep insertion order, numbers
+//! use Rust's shortest round-trip `f64` formatting) so that identical
+//! values serialize to identical bytes.
+//!
+//! Parsing is defensive: container nesting is bounded
+//! ([`MAX_PARSE_DEPTH`]), `\u` escapes validate surrogate pairing, and
+//! every failure is a structured [`DataError::Persist`] rather than a
+//! panic, so hostile or truncated input received over the wire degrades
+//! into an error response.
+//!
+//! ```
+//! use xinsight_core::json::Json;
+//!
+//! let doc = Json::Obj(vec![
+//!     ("name".to_owned(), Json::Str("flight".to_owned())),
+//!     ("rows".to_owned(), Json::Num(3000.0)),
+//! ]);
+//! let text = doc.to_string();
+//! assert_eq!(text, "{\"name\":\"flight\",\"rows\":3000.0}");
+//! assert_eq!(Json::parse(&text).unwrap(), doc);
+//! ```
+
+use xinsight_data::{DataError, Result};
+
+/// A JSON value (the subset the workspace's formats use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; all JSON numbers are handled as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered field list (serialization preserves the
+    /// order; duplicate keys are not rejected, [`Json::get`] returns the
+    /// first).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Appends the canonical serialization of this value to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                // `{:?}` on f64 is Rust's shortest round-trip representation.
+                out.push_str(&format!("{n:?}"));
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(DataError::Persist(format!(
+                "trailing garbage at byte {}",
+                parser.pos
+            )));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a required object field.
+    pub fn get(&self, key: &str) -> Result<&Json> {
+        self.opt(key).ok_or_else(|| match self {
+            Json::Obj(_) => DataError::Persist(format!("missing field `{key}`")),
+            _ => DataError::Persist(format!("expected object while reading `{key}`")),
+        })
+    }
+
+    /// Looks up an optional object field (`None` when absent or when `self`
+    /// is not an object).
+    pub fn opt(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_arr(&self) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(DataError::Persist("expected array".into())),
+        }
+    }
+
+    /// The value as a string.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(DataError::Persist("expected string".into())),
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(DataError::Persist("expected boolean".into())),
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(DataError::Persist("expected number".into())),
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractions).
+    pub fn as_u64(&self) -> Result<u64> {
+        let n = self.as_f64()?;
+        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+            return Err(DataError::Persist(format!(
+                "expected non-negative integer, got {n}"
+            )));
+        }
+        Ok(n as u64)
+    }
+
+    /// The value as an array of strings.
+    pub fn as_string_vec(&self) -> Result<Vec<String>> {
+        self.as_arr()?
+            .iter()
+            .map(|v| Ok(v.as_str()?.to_owned()))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Json {
+    /// The canonical serialization ([`Json::write`] into a fresh string).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Deepest container nesting the parser accepts — far beyond anything the
+/// workspace's formats produce, but bounded so corrupted or hostile input
+/// yields a structured error instead of a stack overflow.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| DataError::Persist("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DataError::Persist(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(DataError::Persist(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        match self.peek()? {
+            b'{' | b'[' => {
+                self.depth += 1;
+                if self.depth > MAX_PARSE_DEPTH {
+                    return Err(DataError::Persist(format!(
+                        "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {}",
+                        self.pos
+                    )));
+                }
+                let container = if self.bytes[self.pos] == b'{' {
+                    self.object()
+                } else {
+                    self.array()
+                };
+                self.depth -= 1;
+                container
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => {
+                    return Err(DataError::Persist(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => {
+                    return Err(DataError::Persist(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| DataError::Persist("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| DataError::Persist("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // UTF-16 surrogate pairs: a high surrogate must
+                            // be followed by `\uXXXX` with a low surrogate.
+                            let code = if (0xD800..=0xDBFF).contains(&code) {
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(DataError::Persist(
+                                        "high surrogate without a following \\u escape".into(),
+                                    ));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(DataError::Persist(
+                                        "high surrogate not followed by a low surrogate".into(),
+                                    ));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| {
+                                    DataError::Persist("invalid \\u code point".into())
+                                })?,
+                            );
+                        }
+                        other => {
+                            return Err(DataError::Persist(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the source.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| DataError::Persist("truncated utf-8".into()))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| DataError::Persist("invalid utf-8 in string".into()))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Reads four hex digits of a `\u` escape (cursor already past the `u`).
+    fn hex4(&mut self) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| DataError::Persist("truncated \\u escape".into()))?;
+        let hex = std::str::from_utf8(hex)
+            .map_err(|_| DataError::Persist("invalid \\u escape".into()))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| DataError::Persist("invalid \\u escape".into()))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| {
+            matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        }) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DataError::Persist("invalid number".into()))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| DataError::Persist(format!("invalid number `{text}`")))
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_value_kind() {
+        let doc = Json::Obj(vec![
+            ("n".to_owned(), Json::Null),
+            ("b".to_owned(), Json::Bool(true)),
+            ("x".to_owned(), Json::Num(1.5)),
+            ("s".to_owned(), Json::Str("a \"b\"\n\t".to_owned())),
+            (
+                "arr".to_owned(),
+                Json::Arr(vec![Json::Num(1.0), Json::Bool(false), Json::Null]),
+            ),
+            ("obj".to_owned(), Json::Obj(vec![])),
+        ]);
+        let text = doc.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        // Canonical: re-serializing the parse reproduces the bytes.
+        assert_eq!(Json::parse(&text).unwrap().to_string(), text);
+    }
+
+    #[test]
+    fn optional_and_required_field_lookups() {
+        let doc = Json::parse("{\"a\": 1, \"b\": \"x\", \"flag\": false}").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(doc.opt("b").unwrap().as_str().unwrap(), "x");
+        assert!(!doc.get("flag").unwrap().as_bool().unwrap());
+        assert!(doc.opt("missing").is_none());
+        assert!(doc.get("missing").is_err());
+        assert!(Json::Num(1.0).opt("a").is_none());
+        assert!(Json::Num(1.0).get("a").is_err());
+    }
+
+    #[test]
+    fn malformed_documents_are_structured_errors() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "nope",
+            "{\"a\": 1} trailing",
+            "{\"a\"}",
+            "\"\\q\"",
+            "1e",
+        ] {
+            assert!(
+                matches!(Json::parse(bad), Err(DataError::Persist(_))),
+                "`{bad}` should fail with a Persist error"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_structured_error_not_a_stack_overflow() {
+        let bomb = "[".repeat(100_000);
+        let err = Json::parse(&bomb).unwrap_err();
+        assert!(matches!(err, DataError::Persist(_)));
+        assert!(err.to_string().contains("nesting"), "got {err}");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_fail() {
+        let ok = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(ok, Json::Str("😀".to_owned()));
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+        assert!(Json::parse("\"\\ud83d\\u0041\"").is_err());
+        assert!(Json::parse("\"\\udc00\"").is_err());
+    }
+
+    #[test]
+    fn fractional_and_negative_u64_are_rejected() {
+        assert!(Json::Num(1.5).as_u64().is_err());
+        assert!(Json::Num(-1.0).as_u64().is_err());
+        assert_eq!(Json::Num(7.0).as_u64().unwrap(), 7);
+    }
+}

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod explanation;
+pub mod json;
 pub mod parallel;
 pub mod persist;
 pub mod pipeline;

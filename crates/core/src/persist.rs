@@ -12,11 +12,12 @@
 //! reconstitutes a fully functional engine from the artifact plus the raw
 //! dataset.
 //!
-//! The format is hand-rolled (the workspace builds offline, so no serde):
-//! a strict subset of JSON — objects, arrays, strings, `f64` numbers,
-//! booleans and `null` — written deterministically so that identical models
-//! serialize to identical bytes.
+//! The format is hand-rolled on [`crate::json`] (the workspace builds
+//! offline, so no serde): a strict subset of JSON — objects, arrays,
+//! strings, `f64` numbers, booleans and `null` — written deterministically
+//! so that identical models serialize to identical bytes.
 
+use crate::json::Json;
 use std::collections::BTreeMap;
 use std::path::Path;
 use xinsight_data::{BinSpec, DataError, Discretizer, FdGraph, Result};
@@ -334,395 +335,6 @@ fn mark_from_str(s: &str) -> Result<Mark> {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value, writer and parser (the subset the model format uses).
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                // `{:?}` on f64 is Rust's shortest round-trip representation.
-                out.push_str(&format!("{n:?}"));
-            }
-            Json::Str(s) => write_escaped(s, out),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_escaped(key, out);
-                    out.push(':');
-                    value.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-
-    fn parse(text: &str) -> Result<Json> {
-        let mut parser = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-            depth: 0,
-        };
-        let value = parser.value()?;
-        parser.skip_ws();
-        if parser.pos != parser.bytes.len() {
-            return Err(DataError::Persist(format!(
-                "trailing garbage at byte {}",
-                parser.pos
-            )));
-        }
-        Ok(value)
-    }
-
-    fn get(&self, key: &str) -> Result<&Json> {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| DataError::Persist(format!("missing field `{key}`"))),
-            _ => Err(DataError::Persist(format!(
-                "expected object while reading `{key}`"
-            ))),
-        }
-    }
-
-    fn as_arr(&self) -> Result<&[Json]> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            _ => Err(DataError::Persist("expected array".into())),
-        }
-    }
-
-    fn as_str(&self) -> Result<&str> {
-        match self {
-            Json::Str(s) => Ok(s),
-            _ => Err(DataError::Persist("expected string".into())),
-        }
-    }
-
-    fn as_f64(&self) -> Result<f64> {
-        match self {
-            Json::Num(n) => Ok(*n),
-            _ => Err(DataError::Persist("expected number".into())),
-        }
-    }
-
-    fn as_u64(&self) -> Result<u64> {
-        let n = self.as_f64()?;
-        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
-            return Err(DataError::Persist(format!(
-                "expected non-negative integer, got {n}"
-            )));
-        }
-        Ok(n as u64)
-    }
-
-    fn as_string_vec(&self) -> Result<Vec<String>> {
-        self.as_arr()?
-            .iter()
-            .map(|v| Ok(v.as_str()?.to_owned()))
-            .collect()
-    }
-}
-
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Deepest container nesting the parser accepts — far beyond anything the
-/// model format produces, but bounded so corrupted or hostile input yields a
-/// structured error instead of a stack overflow.
-const MAX_PARSE_DEPTH: usize = 128;
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    depth: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| DataError::Persist("unexpected end of input".into()))
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<()> {
-        if self.peek()? == byte {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(DataError::Persist(format!(
-                "expected `{}` at byte {}",
-                byte as char, self.pos
-            )))
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(DataError::Persist(format!(
-                "invalid literal at byte {}",
-                self.pos
-            )))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json> {
-        match self.peek()? {
-            b'{' | b'[' => {
-                self.depth += 1;
-                if self.depth > MAX_PARSE_DEPTH {
-                    return Err(DataError::Persist(format!(
-                        "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {}",
-                        self.pos
-                    )));
-                }
-                let container = if self.bytes[self.pos] == b'{' {
-                    self.object()
-                } else {
-                    self.array()
-                };
-                self.depth -= 1;
-                container
-            }
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            _ => self.number(),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            fields.push((key, self.value()?));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => {
-                    return Err(DataError::Persist(format!(
-                        "expected `,` or `}}` at byte {}",
-                        self.pos
-                    )))
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => {
-                    return Err(DataError::Persist(format!(
-                        "expected `,` or `]` at byte {}",
-                        self.pos
-                    )))
-                }
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = *self
-                .bytes
-                .get(self.pos)
-                .ok_or_else(|| DataError::Persist("unterminated string".into()))?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or_else(|| DataError::Persist("unterminated escape".into()))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let code = self.hex4()?;
-                            // UTF-16 surrogate pairs: a high surrogate must
-                            // be followed by `\uXXXX` with a low surrogate.
-                            let code = if (0xD800..=0xDBFF).contains(&code) {
-                                if self.bytes.get(self.pos) != Some(&b'\\')
-                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
-                                {
-                                    return Err(DataError::Persist(
-                                        "high surrogate without a following \\u escape".into(),
-                                    ));
-                                }
-                                self.pos += 2;
-                                let low = self.hex4()?;
-                                if !(0xDC00..=0xDFFF).contains(&low) {
-                                    return Err(DataError::Persist(
-                                        "high surrogate not followed by a low surrogate".into(),
-                                    ));
-                                }
-                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
-                            } else {
-                                code
-                            };
-                            out.push(
-                                char::from_u32(code).ok_or_else(|| {
-                                    DataError::Persist("invalid \\u code point".into())
-                                })?,
-                            );
-                        }
-                        other => {
-                            return Err(DataError::Persist(format!(
-                                "unknown escape `\\{}`",
-                                other as char
-                            )))
-                        }
-                    }
-                }
-                _ => {
-                    // Re-decode multi-byte UTF-8 sequences from the source.
-                    let start = self.pos - 1;
-                    let width = utf8_width(b);
-                    let end = start + width;
-                    let chunk = self
-                        .bytes
-                        .get(start..end)
-                        .ok_or_else(|| DataError::Persist("truncated utf-8".into()))?;
-                    let s = std::str::from_utf8(chunk)
-                        .map_err(|_| DataError::Persist("invalid utf-8 in string".into()))?;
-                    out.push_str(s);
-                    self.pos = end;
-                }
-            }
-        }
-    }
-
-    /// Reads four hex digits of a `\u` escape (cursor already past the `u`).
-    fn hex4(&mut self) -> Result<u32> {
-        let hex = self
-            .bytes
-            .get(self.pos..self.pos + 4)
-            .ok_or_else(|| DataError::Persist("truncated \\u escape".into()))?;
-        let hex = std::str::from_utf8(hex)
-            .map_err(|_| DataError::Persist("invalid \\u escape".into()))?;
-        let code = u32::from_str_radix(hex, 16)
-            .map_err(|_| DataError::Persist("invalid \\u escape".into()))?;
-        self.pos += 4;
-        Ok(code)
-    }
-
-    fn number(&mut self) -> Result<Json> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|b| {
-            matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        }) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| DataError::Persist("invalid number".into()))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| DataError::Persist(format!("invalid number `{text}`")))
-    }
-}
-
-fn utf8_width(first: u8) -> usize {
-    match first {
-        0x00..=0x7f => 1,
-        0xc0..=0xdf => 2,
-        0xe0..=0xef => 3,
-        _ => 4,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -807,15 +419,6 @@ mod tests {
         let err = FittedModel::from_json(&bomb).unwrap_err();
         assert!(matches!(err, DataError::Persist(_)));
         assert!(err.to_string().contains("nesting"), "got {err}");
-    }
-
-    #[test]
-    fn surrogate_pairs_decode_and_lone_surrogates_fail() {
-        let ok = Json::parse("\"\\ud83d\\ude00\"").unwrap();
-        assert_eq!(ok, Json::Str("😀".to_owned()));
-        assert!(Json::parse("\"\\ud83d\"").is_err());
-        assert!(Json::parse("\"\\ud83d\\u0041\"").is_err());
-        assert!(Json::parse("\"\\udc00\"").is_err());
     }
 
     #[test]

@@ -132,7 +132,11 @@ impl XInsight {
         xlearner_options.fci.parallel = options.parallel && xlearner_options.fci.parallel;
         let learner = XLearner::new(xlearner_options);
         let test = CachedCiTest::new(ChiSquareTest::new(options.ci_alpha));
-        let learner_result = learner.learn(&discovery_view, &variables, &test)?;
+        let mut learner_result = learner.learn(&discovery_view, &variables, &test)?;
+        // The fit owns its CI cache, so its effectiveness would be invisible
+        // once the test is dropped; snapshot the counters into the result so
+        // serving processes and benches can report them.
+        learner_result.ci_cache_stats = test.stats();
 
         Ok(XInsight {
             options: options.clone(),
@@ -195,6 +199,7 @@ impl XInsight {
                 dropped_redundant: model.dropped_redundant,
                 sepsets: model.sepsets,
                 n_ci_tests: model.n_ci_tests,
+                ci_cache_stats: xinsight_stats::CacheStats::default(),
             },
         })
     }
@@ -280,7 +285,25 @@ impl XInsight {
     /// assert_eq!(batched[0], engine.explain(&queries[0]).unwrap());
     /// ```
     pub fn explain_many(&self, queries: &[WhyQuery]) -> Result<Vec<Vec<Explanation>>> {
-        let cache = Arc::new(SelectionCache::new());
+        self.explain_many_with_cache(queries, Arc::new(SelectionCache::new()))
+    }
+
+    /// [`XInsight::explain_many`] with a caller-supplied [`SelectionCache`].
+    ///
+    /// Answers are byte-identical to [`XInsight::explain`] on each query —
+    /// the cache only replays `Δ(·)` building blocks, it never changes them.
+    /// Callers that own the cache can read
+    /// [`SelectionCache::stats`] afterwards (the serving layer accumulates
+    /// them into its `/stats` endpoint) or share one cache across several
+    /// related batches.  The usual cache rules apply: one cache per dataset
+    /// (enforced by a fingerprint check), and entries are never evicted, so
+    /// scope a cache to a bounded working set rather than holding one
+    /// forever.
+    pub fn explain_many_with_cache(
+        &self,
+        queries: &[WhyQuery],
+        cache: Arc<SelectionCache>,
+    ) -> Result<Vec<Vec<Explanation>>> {
         let results: Vec<Result<Vec<Explanation>>> = if self.options.parallel {
             queries
                 .par_iter()

@@ -1,13 +1,19 @@
 //! Why Queries (Def. 2.1).
 
-use xinsight_data::{Aggregate, DataError, Dataset, Result, RowMask, Subspace};
+use crate::json::Json;
+use xinsight_data::{Aggregate, DataError, Dataset, Filter, Result, RowMask, Subspace};
 
 /// A Why Query `Δ_{s1, s2, M, agg}(D) = agg_M(D_{s1}) − agg_M(D_{s2})` over two
 /// sibling subspaces.
 ///
 /// The paper assumes Δ is non-negative w.l.o.g.; [`WhyQuery::oriented`]
 /// swaps the subspaces when necessary so user code does not have to care.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Queries are `Eq + Hash` (subspace filters are kept sorted by attribute,
+/// so structurally equal queries hash equally) and serialize to a canonical
+/// JSON form ([`WhyQuery::to_json`]), which doubles as the serving layer's
+/// wire format and result-cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct WhyQuery {
     measure: String,
     aggregate: Aggregate,
@@ -118,6 +124,51 @@ impl WhyQuery {
         })
     }
 
+    /// Serializes the query to its canonical JSON value (see
+    /// [`WhyQuery::to_json`]).
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("measure".to_owned(), Json::Str(self.measure.clone())),
+            (
+                "aggregate".to_owned(),
+                Json::Str(self.aggregate.to_string()),
+            ),
+            ("s1".to_owned(), subspace_to_json(&self.s1)),
+            ("s2".to_owned(), subspace_to_json(&self.s2)),
+        ])
+    }
+
+    /// Serializes the query to canonical JSON text:
+    ///
+    /// ```json
+    /// {"measure":"M","aggregate":"AVG","s1":[["X","a"]],"s2":[["X","b"]]}
+    /// ```
+    ///
+    /// Subspaces are arrays of `[attribute, value]` pairs in the (sorted)
+    /// filter order [`Subspace`] maintains, so structurally equal queries
+    /// serialize to identical bytes — the serving layer keys its result
+    /// cache on this property.  [`WhyQuery::from_json`] round-trips exactly
+    /// and re-validates the sibling constraint.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Parses a query from a JSON value (see [`WhyQuery::to_json`] for the
+    /// format).  Runs the full [`WhyQuery::new`] validation, so a wire
+    /// query that is not a sibling pair is rejected.
+    pub fn from_json_value(doc: &Json) -> Result<WhyQuery> {
+        let measure = doc.get("measure")?.as_str()?;
+        let aggregate: Aggregate = doc.get("aggregate")?.as_str()?.parse()?;
+        let s1 = subspace_from_json(doc.get("s1")?)?;
+        let s2 = subspace_from_json(doc.get("s2")?)?;
+        WhyQuery::new(measure, aggregate, s1, s2)
+    }
+
+    /// Parses a query from canonical JSON text.
+    pub fn from_json(text: &str) -> Result<WhyQuery> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
     /// Returns a query with `s1`/`s2` possibly swapped so that `Δ(D) ≥ 0`
     /// (the paper's w.l.o.g. convention).
     pub fn oriented(&self, data: &Dataset) -> Result<WhyQuery> {
@@ -133,6 +184,39 @@ impl WhyQuery {
             Ok(flipped)
         }
     }
+}
+
+/// A subspace as a JSON array of `[attribute, value]` pairs.
+fn subspace_to_json(subspace: &Subspace) -> Json {
+    Json::Arr(
+        subspace
+            .filters()
+            .iter()
+            .map(|f| {
+                Json::Arr(vec![
+                    Json::Str(f.attribute().to_owned()),
+                    Json::Str(f.value().to_owned()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn subspace_from_json(doc: &Json) -> Result<Subspace> {
+    let filters = doc
+        .as_arr()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return Err(DataError::Serve(
+                    "subspace filter needs [attribute, value]".into(),
+                ));
+            }
+            Ok(Filter::equals(pair[0].as_str()?, pair[1].as_str()?))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Subspace::new(filters)
 }
 
 impl std::fmt::Display for WhyQuery {
@@ -252,6 +336,63 @@ mod tests {
         let s = q.to_string();
         assert!(s.contains("AVG(LungCancer)"));
         assert!(s.contains("Location = A"));
+    }
+
+    #[test]
+    fn json_round_trip_is_canonical() {
+        let s1 = Subspace::new([
+            Filter::equals("Smoking", "Yes"),
+            Filter::equals("Location", "A"),
+        ])
+        .unwrap();
+        let s2 = Subspace::new([
+            Filter::equals("Location", "B"),
+            Filter::equals("Smoking", "Yes"),
+        ])
+        .unwrap();
+        let q = WhyQuery::new("LungCancer", Aggregate::Avg, s1, s2).unwrap();
+        let json = q.to_json();
+        // Filters appear sorted by attribute regardless of insertion order.
+        assert_eq!(
+            json,
+            "{\"measure\":\"LungCancer\",\"aggregate\":\"AVG\",\
+             \"s1\":[[\"Location\",\"A\"],[\"Smoking\",\"Yes\"]],\
+             \"s2\":[[\"Location\",\"B\"],[\"Smoking\",\"Yes\"]]}"
+        );
+        let back = WhyQuery::from_json(&json).unwrap();
+        assert_eq!(back, q);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn equal_queries_hash_equally() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |q: &WhyQuery| {
+            let mut h = DefaultHasher::new();
+            q.hash(&mut h);
+            h.finish()
+        };
+        let a = query();
+        let b = WhyQuery::from_json(&a.to_json()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn wire_queries_are_validated() {
+        // Not siblings: both filters differ.
+        let bad = "{\"measure\":\"M\",\"aggregate\":\"AVG\",\
+                    \"s1\":[[\"X\",\"a\"]],\"s2\":[[\"Y\",\"b\"]]}";
+        assert!(WhyQuery::from_json(bad).is_err());
+        // Unknown aggregate.
+        let bad = "{\"measure\":\"M\",\"aggregate\":\"MEDIAN\",\
+                    \"s1\":[[\"X\",\"a\"]],\"s2\":[[\"X\",\"b\"]]}";
+        assert!(WhyQuery::from_json(bad).is_err());
+        // Malformed filter pair.
+        let bad = "{\"measure\":\"M\",\"aggregate\":\"AVG\",\
+                    \"s1\":[[\"X\"]],\"s2\":[[\"X\",\"b\"]]}";
+        assert!(WhyQuery::from_json(bad).is_err());
     }
 
     #[test]

@@ -59,6 +59,11 @@ pub struct XLearnerResult {
     pub sepsets: SepsetMap,
     /// Number of CI tests issued by the FCI stage.
     pub n_ci_tests: usize,
+    /// Hit/miss counters of the CI-test cache the fit ran through, captured
+    /// after the learn completes.  Zero when the engine was reconstructed
+    /// from a persisted model (no CI tests are re-issued on that path) or
+    /// when the caller supplied an uncached test.
+    pub ci_cache_stats: xinsight_stats::CacheStats,
 }
 
 /// The XLearner module.
@@ -205,6 +210,7 @@ impl XLearner {
                 .collect(),
             sepsets,
             n_ci_tests,
+            ci_cache_stats: xinsight_stats::CacheStats::default(),
         })
     }
 }

@@ -260,6 +260,18 @@ impl SelectionCache {
         self.partials.read().len()
     }
 
+    /// A snapshot of the hit/miss counters and the total entry count
+    /// (masks + partial aggregates) in the engine-wide
+    /// [`CacheStats`](xinsight_stats::CacheStats) shape, for the serving
+    /// layer's `/stats` endpoint and the benches.
+    pub fn stats(&self) -> xinsight_stats::CacheStats {
+        xinsight_stats::CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: self.mask_entries() + self.partial_entries(),
+        }
+    }
+
     /// Checks that `data` is the dataset this cache serves (latching it on
     /// first use); every public method calls this before touching entries.
     /// Crate-internal hot paths call it once per search context and then use

@@ -117,6 +117,23 @@ impl fmt::Display for Aggregate {
     }
 }
 
+impl std::str::FromStr for Aggregate {
+    type Err = DataError;
+
+    /// Parses the SQL-style name [`Aggregate`]'s `Display` writes, so the
+    /// wire and persistence formats round-trip through one spelling.
+    fn from_str(s: &str) -> Result<Aggregate> {
+        match s {
+            "SUM" => Ok(Aggregate::Sum),
+            "AVG" => Ok(Aggregate::Avg),
+            "COUNT" => Ok(Aggregate::Count),
+            "MIN" => Ok(Aggregate::Min),
+            "MAX" => Ok(Aggregate::Max),
+            other => Err(DataError::Serve(format!("unknown aggregate `{other}`"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,6 +64,9 @@ pub enum DataError {
     Overflow(String),
     /// A persisted artifact could not be written, read or decoded.
     Persist(String),
+    /// A serving-layer failure: a malformed wire request, an unknown model,
+    /// or a server-side resource limit.
+    Serve(String),
 }
 
 impl fmt::Display for DataError {
@@ -107,6 +110,7 @@ impl fmt::Display for DataError {
             DataError::DatasetMismatch(msg) => write!(f, "dataset mismatch: {msg}"),
             DataError::Overflow(msg) => write!(f, "overflow: {msg}"),
             DataError::Persist(msg) => write!(f, "persistence error: {msg}"),
+            DataError::Serve(msg) => write!(f, "serve error: {msg}"),
         }
     }
 }

@@ -10,7 +10,7 @@ use std::fmt;
 ///
 /// XPlainer's explanations and contingencies are predicates; a [`Filter`]
 /// is the single-element special case.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Predicate {
     attribute: String,
     values: Vec<String>,

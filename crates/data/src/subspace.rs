@@ -11,7 +11,7 @@ use std::fmt;
 /// Two subspaces that differ in exactly one filter are *siblings*; the shared
 /// filters are the *background* variables and the differing one is the
 /// *foreground* variable (the Why-Query context, Sec. 2.1).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Subspace {
     filters: Vec<Filter>,
 }

@@ -1,0 +1,452 @@
+//! `loadgen` — closed-loop load generation against `xinsight-serve`.
+//!
+//! Drives the HTTP server with `N` concurrent closed-loop clients (each
+//! waits for its response before sending the next request — the classic
+//! closed-loop model, so offered load adapts to service capacity) and
+//! reports throughput and exact latency percentiles.  Also the smoke
+//! client behind `scripts/verify.sh`.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--clients 1,4] [--requests N] [--model ID]
+//! loadgen --spawn [--models DIR] [--demo syn_a,flight] [--demo-rows N]
+//! loadgen --smoke --addr HOST:PORT
+//! ```
+//!
+//! * `--addr` targets a running server; `--spawn` instead fits demo
+//!   bundles, starts an in-process server and benches it — the
+//!   self-contained path that emits `BENCH_serve.json` at the workspace
+//!   root (throughput, p50/p99 per model × client count).
+//! * `--smoke` issues one `/explain`, one `/stats` and a graceful
+//!   `/admin/shutdown`, asserting each answer — used by the CI smoke test.
+//! * `XINSIGHT_BENCH_FAST=1` caps the request counts for quick runs.
+//!
+//! Queries come from each model's bundled example pool (served by
+//! `GET /models`), round-robined with a per-client offset so concurrent
+//! clients overlap on some keys (exercising the LRU) without all hammering
+//! one.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use xinsight_core::json::Json;
+use xinsight_core::pipeline::XInsightOptions;
+use xinsight_core::WhyQuery;
+use xinsight_service::{build_demo_bundles, DemoModel, HttpClient, ModelRegistry, ServerConfig};
+
+struct Args {
+    addr: Option<String>,
+    spawn: bool,
+    smoke: bool,
+    models_dir: Option<String>,
+    demo: Vec<DemoModel>,
+    demo_rows: usize,
+    clients: Vec<usize>,
+    requests: Option<usize>,
+    model: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen (--addr HOST:PORT | --spawn) [--smoke] [--clients 1,4] \
+         [--requests N] [--model ID] [--models DIR] [--demo syn_a,flight] [--demo-rows N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        spawn: false,
+        smoke: false,
+        models_dir: None,
+        demo: vec![DemoModel::SynA, DemoModel::Flight],
+        demo_rows: 0,
+        clients: vec![1, 4],
+        requests: None,
+        model: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")),
+            "--spawn" => args.spawn = true,
+            "--smoke" => args.smoke = true,
+            "--models" => args.models_dir = Some(value("--models")),
+            "--demo" => {
+                args.demo = value("--demo")
+                    .split(',')
+                    .map(|name| DemoModel::parse(name.trim()).unwrap_or_else(|| usage()))
+                    .collect();
+            }
+            "--demo-rows" => {
+                args.demo_rows = value("--demo-rows").parse().unwrap_or_else(|_| usage())
+            }
+            "--clients" => {
+                args.clients = value("--clients")
+                    .split(',')
+                    .map(|c| c.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--requests" => args.requests = value("--requests").parse().ok(),
+            "--model" => args.model = Some(value("--model")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    if args.addr.is_none() && !args.spawn {
+        eprintln!("need --addr or --spawn");
+        usage()
+    }
+    args
+}
+
+/// One model's serving inventory as reported by `GET /models`.
+struct ModelInfo {
+    id: String,
+    queries: Vec<String>,
+}
+
+fn fetch_models(addr: SocketAddr) -> Result<Vec<ModelInfo>, String> {
+    let mut client = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+    let resp = client.get("/models").map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("GET /models -> {}: {}", resp.status, resp.body));
+    }
+    let doc = Json::parse(&resp.body).map_err(|e| e.to_string())?;
+    let mut models = Vec::new();
+    for entry in doc.as_arr().map_err(|e| e.to_string())? {
+        let id = entry
+            .get("id")
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .map_err(|e| e.to_string())?;
+        let queries = entry
+            .get("example_queries")
+            .and_then(|qs| {
+                qs.as_arr()?
+                    .iter()
+                    // Validate each query locally, then keep its wire text.
+                    .map(|q| WhyQuery::from_json_value(q).map(|_| q.to_string()))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .map_err(|e| e.to_string())?;
+        models.push(ModelInfo { id, queries });
+    }
+    Ok(models)
+}
+
+fn smoke(addr: SocketAddr) -> Result<(), String> {
+    let models = fetch_models(addr)?;
+    let model = models.first().ok_or("no models loaded")?;
+    let query = model.queries.first().ok_or("model has no example queries")?;
+    let mut client = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+
+    let body = format!("{{\"model\":\"{}\",\"query\":{}}}", model.id, query);
+    let resp = client.post("/explain", &body).map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("POST /explain -> {}: {}", resp.status, resp.body));
+    }
+    let doc = Json::parse(&resp.body).map_err(|e| e.to_string())?;
+    doc.get("explanations")
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("explain body missing explanations: {e}"))?;
+    println!("smoke: /explain on `{}` ok", model.id);
+
+    let resp = client.get("/stats").map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("GET /stats -> {}: {}", resp.status, resp.body));
+    }
+    let doc = Json::parse(&resp.body).map_err(|e| e.to_string())?;
+    let total = doc
+        .get("requests_total")
+        .and_then(Json::as_u64)
+        .map_err(|e| e.to_string())?;
+    if total < 1 {
+        return Err("stats report zero requests".into());
+    }
+    println!("smoke: /stats ok ({total} requests served)");
+
+    let resp = client
+        .post("/admin/shutdown", "{}")
+        .map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("shutdown -> {}: {}", resp.status, resp.body));
+    }
+    println!("smoke: graceful shutdown requested");
+    Ok(())
+}
+
+struct RunResult {
+    name: String,
+    model: String,
+    clients: usize,
+    requests: usize,
+    errors: usize,
+    seconds: f64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    cache_hit_rate: f64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64) * p).ceil().max(1.0) as usize;
+    sorted_us[rank.min(sorted_us.len()) - 1]
+}
+
+/// The server's cumulative result-cache `(hits, misses)` from `/stats` —
+/// sampled before and after a run so each run reports its *own* hit rate,
+/// not the server-lifetime one.
+fn result_cache_counters(addr: SocketAddr) -> Result<(u64, u64), String> {
+    let mut client = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+    let stats = client.get("/stats").map_err(|e| e.to_string())?;
+    let doc = Json::parse(&stats.body).map_err(|e| e.to_string())?;
+    let cache = doc.get("result_cache").map_err(|e| e.to_string())?;
+    let hits = cache.get("hits").and_then(Json::as_u64).map_err(|e| e.to_string())?;
+    let misses = cache
+        .get("misses")
+        .and_then(Json::as_u64)
+        .map_err(|e| e.to_string())?;
+    Ok((hits, misses))
+}
+
+/// Runs one closed loop: `clients` threads × `requests_per_client`
+/// `/explain` requests against `model`, round-robining its query pool.
+fn run_closed_loop(
+    addr: SocketAddr,
+    model: &ModelInfo,
+    clients: usize,
+    requests_per_client: usize,
+) -> Result<RunResult, String> {
+    let queries = Arc::new(model.queries.clone());
+    if queries.is_empty() {
+        return Err(format!("model `{}` has no example queries", model.id));
+    }
+    let (hits_before, misses_before) = result_cache_counters(addr)?;
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_id in 0..clients {
+        let queries = Arc::clone(&queries);
+        let model_id = model.id.clone();
+        handles.push(std::thread::spawn(move || -> Result<(Vec<u64>, usize), String> {
+            let mut http = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+            let mut latencies = Vec::with_capacity(requests_per_client);
+            let mut errors = 0usize;
+            for i in 0..requests_per_client {
+                // Per-client offset: clients overlap on keys without moving
+                // in lockstep.
+                let query = &queries[(client_id * 3 + i) % queries.len()];
+                let body = format!("{{\"model\":\"{model_id}\",\"query\":{query}}}");
+                let t0 = Instant::now();
+                match http.post("/explain", &body) {
+                    Ok(resp) if resp.status == 200 => {
+                        latencies.push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    }
+                    Ok(_) => errors += 1,
+                    Err(e) => return Err(format!("client {client_id}: {e}")),
+                }
+            }
+            Ok((latencies, errors))
+        }));
+    }
+    let mut latencies = Vec::new();
+    let mut errors = 0usize;
+    for handle in handles {
+        let (mut l, e) = handle
+            .join()
+            .map_err(|_| "client thread panicked".to_owned())??;
+        latencies.append(&mut l);
+        errors += e;
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    // This run's own cache effectiveness: the counter deltas across it.
+    let (hits_after, misses_after) = result_cache_counters(addr)?;
+    let delta_hits = hits_after.saturating_sub(hits_before);
+    let delta_lookups = delta_hits + misses_after.saturating_sub(misses_before);
+    let cache_hit_rate = if delta_lookups == 0 {
+        0.0
+    } else {
+        delta_hits as f64 / delta_lookups as f64
+    };
+
+    Ok(RunResult {
+        name: format!("{}/clients{}", model.id, clients),
+        model: model.id.clone(),
+        clients,
+        requests: latencies.len(),
+        errors,
+        seconds,
+        throughput_rps: latencies.len() as f64 / seconds.max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        cache_hit_rate,
+    })
+}
+
+fn write_bench_json(threads: usize, results: &[RunResult]) {
+    let mut out = String::from("{\"bench\":\"serve\",\"threads\":");
+    out.push_str(&threads.to_string());
+    out.push_str(",\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"model\":\"{}\",\"clients\":{},\"requests\":{},\
+             \"errors\":{},\"seconds\":{:.6},\"throughput_rps\":{:.3},\
+             \"p50_us\":{},\"p99_us\":{},\"cache_hit_rate\":{:.4}}}",
+            r.name,
+            r.model,
+            r.clients,
+            r.requests,
+            r.errors,
+            r.seconds,
+            r.throughput_rps,
+            r.p50_us,
+            r.p99_us,
+            r.cache_hit_rate
+        ));
+    }
+    out.push_str("]}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("\nwrote summary to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let threads = xinsight_core::parallel::configure_pool_from_env();
+    let args = parse_args();
+    let fast = std::env::var("XINSIGHT_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    eprintln!("# worker threads (rayon): {threads}");
+
+    // --spawn: fit demo bundles and run an in-process server to target.
+    let mut spawned = None;
+    let addr: SocketAddr = if args.spawn {
+        let dir = args.models_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join(format!("xinsight_loadgen_models_{}", std::process::id()))
+                .to_string_lossy()
+                .into_owned()
+        });
+        let options = XInsightOptions::default();
+        let registry = ModelRegistry::open_empty(&dir, options.clone());
+        eprintln!("fitting {} demo bundle(s) into {dir} …", args.demo.len());
+        if let Err(e) = build_demo_bundles(&registry, &args.demo, args.demo_rows) {
+            eprintln!("building demo bundles failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let registry = match ModelRegistry::open(&dir, options) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("opening registry failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let handle =
+            match xinsight_service::start(Arc::new(registry), &ServerConfig::default()) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("starting in-process server failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        let addr = handle.addr();
+        eprintln!("in-process server listening on http://{addr}");
+        spawned = Some(handle);
+        addr
+    } else {
+        let addr = args.addr.clone().expect("checked in parse_args");
+        match addr.parse() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("bad --addr `{addr}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let outcome = if args.smoke {
+        let result = smoke(addr);
+        if result.is_ok() {
+            println!("SMOKE OK");
+        }
+        result
+    } else {
+        run_bench(addr, &args, fast, threads)
+    };
+
+    if let Some(handle) = spawned {
+        // Smoke already requested shutdown over the wire; bench shuts down
+        // here.
+        if !args.smoke {
+            handle.shutdown();
+        } else {
+            handle.wait();
+        }
+    }
+
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_bench(addr: SocketAddr, args: &Args, fast: bool, threads: usize) -> Result<(), String> {
+    let requests_per_client = args.requests.unwrap_or(if fast { 25 } else { 150 });
+    let models = fetch_models(addr)?;
+    let models: Vec<&ModelInfo> = match &args.model {
+        Some(id) => {
+            let found: Vec<&ModelInfo> = models.iter().filter(|m| &m.id == id).collect();
+            if found.is_empty() {
+                return Err(format!("model `{id}` is not loaded on the server"));
+            }
+            found
+        }
+        None => models.iter().collect(),
+    };
+    println!("\n## serve loadgen ({requests_per_client} requests/client, closed loop)\n");
+    let mut results = Vec::new();
+    for model in models {
+        for &clients in &args.clients {
+            let run = run_closed_loop(addr, model, clients.max(1), requests_per_client)?;
+            println!(
+                "{:<22} {:>8.1} req/s   p50 {:>8.3} ms   p99 {:>8.3} ms   \
+                 {} ok / {} err   cache hit rate {:.2}",
+                run.name,
+                run.throughput_rps,
+                run.p50_us as f64 / 1e3,
+                run.p99_us as f64 / 1e3,
+                run.requests,
+                run.errors,
+                run.cache_hit_rate,
+            );
+            if run.errors > 0 && run.requests == 0 {
+                return Err(format!("{}: every request failed", run.name));
+            }
+            results.push(run);
+        }
+    }
+    write_bench_json(threads, &results);
+    Ok(())
+}

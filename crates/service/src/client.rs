@@ -1,0 +1,130 @@
+//! A minimal blocking HTTP/1.1 client for the serving layer's own wire
+//! format.
+//!
+//! Exists for the closed-loop [`loadgen`](../..) clients, the verify-script
+//! smoke test and the integration tests — all of which need keep-alive
+//! request/response exchanges against [`crate::server`] without any
+//! external tooling (the build is offline; `curl` may not exist in the
+//! container).  It speaks exactly the subset [`crate::http`] serves.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use xinsight_data::{DataError, Result};
+
+/// One keep-alive connection to the server.
+#[derive(Debug)]
+pub struct HttpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A decoded response: status code and body text.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (the service always sends JSON).
+    pub body: String,
+    /// Whether the server announced it will close the connection.
+    pub closing: bool,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> DataError {
+    DataError::Serve(format!("{context}: {e}"))
+}
+
+impl HttpClient {
+    /// Connects to a server address, with a generous request timeout so a
+    /// wedged server fails tests instead of hanging them.
+    pub fn connect(addr: SocketAddr) -> Result<Self> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .map_err(|e| io_err("set timeout", e))?;
+        // Request/response round trips are latency-bound: never batch the
+        // small request segments behind Nagle.
+        stream.set_nodelay(true).map_err(|e| io_err("set nodelay", e))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone stream", e))?);
+        Ok(HttpClient { stream, reader })
+    }
+
+    /// Issues a `GET` and reads the response.
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Issues a `POST` with a JSON body and reads the response.
+    pub fn post(&mut self, path: &str, body: &str) -> Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        // One buffer, one write — see `http::write_response` on Nagle.
+        let mut message = format!(
+            "{method} {path} HTTP/1.1\r\nHost: xinsight\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        message.push_str(body);
+        self.stream
+            .write_all(message.as_bytes())
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| io_err("send request", e))?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> Result<String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| io_err("read response", e))?;
+        if n == 0 {
+            return Err(DataError::Serve("server closed the connection".into()));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> Result<ClientResponse> {
+        let status_line = self.read_line()?;
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| DataError::Serve(format!("bad status line `{status_line}`")))?;
+        let mut length = 0usize;
+        let mut closing = false;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(DataError::Serve(format!("bad response header `{line}`")));
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                length = value
+                    .parse()
+                    .map_err(|_| DataError::Serve(format!("bad content-length `{value}`")))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                closing = value.eq_ignore_ascii_case("close");
+            }
+        }
+        let mut body = vec![0u8; length];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| io_err("read body", e))?;
+        let body = String::from_utf8(body)
+            .map_err(|_| DataError::Serve("non-utf8 response body".into()))?;
+        Ok(ClientResponse {
+            status,
+            body,
+            closing,
+        })
+    }
+}

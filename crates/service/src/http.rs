@@ -1,0 +1,423 @@
+//! A dependency-free HTTP/1.1 subset: request parsing and response writing.
+//!
+//! The workspace builds offline — no tokio, no hyper — so the serving layer
+//! hand-rolls the protocol over [`std::net::TcpStream`], the same way the
+//! vendored shims hand-roll their upstream APIs.  The subset is exactly what
+//! a JSON API needs: a request line, `\r\n`-terminated headers,
+//! `Content-Length`-framed bodies, and keep-alive connections.  Everything
+//! else (chunked encoding, continuations, upgrades) is rejected with a
+//! structured error that the server maps to a `4xx` response.
+//!
+//! Parsing is defensive: header and body sizes are bounded
+//! ([`MAX_HEAD_BYTES`], [`MAX_BODY_BYTES`]) so a hostile peer cannot balloon
+//! memory, and a read timeout on an *idle* keep-alive connection surfaces as
+//! [`HttpError::Idle`] so workers can poll their shutdown flag instead of
+//! blocking forever.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method verb, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target path (query strings are kept verbatim).
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lowercased during parsing.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of a header, looked up case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// An outgoing HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always JSON in this service).
+    pub body: String,
+}
+
+impl Response {
+    /// A response with a JSON body.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// A structured JSON error body: `{"error": "<message>"}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        xinsight_core::json::Json::Str(message.to_owned()).write(&mut body);
+        body.push('}');
+        Response { status, body }
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending any request bytes —
+    /// the clean end of a keep-alive session.
+    Closed,
+    /// A read timed out before any request bytes arrived; the connection is
+    /// idle and still usable.  Workers use this to poll their shutdown flag.
+    Idle,
+    /// The peer sent bytes that are not a valid request (the message is for
+    /// the `400` response body).
+    Malformed(String),
+    /// The head or body exceeded its size bound (maps to `431`/`413`).
+    TooLarge(&'static str),
+    /// The underlying socket failed mid-request.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Idle => write!(f, "connection idle"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::TooLarge(what) => write!(f, "{what} too large"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Once a request's first byte has arrived, the rest of it must arrive
+/// within this budget; transient socket-timeout ticks inside that window
+/// are retried rather than dropping the connection.
+pub const REQUEST_DEADLINE: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Reads one request from a buffered connection.
+///
+/// Distinguishes the clean cases a keep-alive server must handle: EOF
+/// before any bytes ([`HttpError::Closed`]), a read timeout before any
+/// bytes ([`HttpError::Idle`]), and everything else as malformed/IO
+/// errors.  After the first byte, short read timeouts (the server's idle
+/// poll tick) are retried until [`REQUEST_DEADLINE`], so a slow or lossy
+/// peer mid-request is not mistaken for an idle one.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+    // Idle probe: wait (up to the socket's read timeout) for the first byte
+    // without consuming it, so a timeout here provably loses no data.
+    match reader.fill_buf() {
+        Ok([]) => return Err(HttpError::Closed),
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) => return Err(HttpError::Idle),
+        Err(e) => return Err(HttpError::Io(e)),
+    }
+    let deadline = std::time::Instant::now() + REQUEST_DEADLINE;
+    let mut line = String::new();
+    match read_crlf_line(reader, &mut line, 0, deadline) {
+        Ok(0) => return Err(HttpError::Closed),
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+            return Err(HttpError::TooLarge("request head"))
+        }
+        Err(e) => return Err(HttpError::Io(e)),
+    }
+    let mut head_bytes = line.len();
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m.to_owned(), p.to_owned(), v),
+        _ => return Err(HttpError::Malformed("bad request line".into())),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        match read_crlf_line(reader, &mut line, head_bytes, deadline) {
+            Ok(0) => return Err(HttpError::Malformed("eof inside headers".into())),
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                return Err(HttpError::TooLarge("request head"))
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+        head_bytes += line.len();
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Malformed(
+            "transfer-encoding is not supported; frame bodies with content-length".into(),
+        ));
+    }
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length `{v}`")))?,
+    };
+    if length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("request body"));
+    }
+    let mut body = vec![0u8; length];
+    let mut filled = 0usize;
+    while filled < length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(HttpError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside body",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) && std::time::Instant::now() < deadline => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(Request { body, ..request })
+}
+
+/// Reads one `\r\n`-terminated line into `out` (terminator stripped),
+/// returning the number of raw bytes consumed.  Enforces
+/// [`MAX_HEAD_BYTES`] against `already_read + line` via an `InvalidData`
+/// error, and retries short read timeouts until `deadline` (the partial
+/// line accumulates across retries, so no bytes are lost).
+fn read_crlf_line(
+    reader: &mut BufReader<TcpStream>,
+    out: &mut String,
+    already_read: usize,
+    deadline: std::time::Instant,
+) -> std::io::Result<usize> {
+    let mut raw = Vec::new();
+    let limit = (MAX_HEAD_BYTES - already_read.min(MAX_HEAD_BYTES)) + 2;
+    loop {
+        let take = (limit - raw.len().min(limit)) as u64;
+        match reader.by_ref().take(take).read_until(b'\n', &mut raw) {
+            Ok(_) => {}
+            // `read_until` keeps already-appended bytes in `raw` on error,
+            // so a timeout mid-line resumes exactly where it stopped.
+            Err(e) if is_timeout(&e) && std::time::Instant::now() < deadline => continue,
+            Err(e) => return Err(e),
+        }
+        if raw.ends_with(b"\n") {
+            break;
+        }
+        if raw.len() >= limit {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "line exceeds head limit",
+            ));
+        }
+        if raw.is_empty() {
+            return Ok(0); // clean EOF before the line started
+        }
+        // EOF mid-line: surface as malformed via UnexpectedEof.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "eof mid-line",
+        ));
+    }
+    let read = raw.len();
+    while raw.last().is_some_and(|b| *b == b'\n' || *b == b'\r') {
+        raw.pop();
+    }
+    out.push_str(
+        std::str::from_utf8(&raw)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 header"))?,
+    );
+    Ok(read)
+}
+
+/// The reason phrase for the status codes this service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a response; `close` controls the `Connection` header (and tells
+/// the peer whether another request may follow).
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    close: bool,
+) -> std::io::Result<()> {
+    // One buffer, one write: head and body in separate segments would
+    // trip Nagle + delayed-ACK into ~40–200 ms stalls per response.
+    let mut message = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    message.push_str(&response.body);
+    stream.write_all(message.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs `parse` against raw bytes by pushing them through a real socket
+    /// pair (the parser is typed against `BufReader<TcpStream>`).
+    fn parse_raw(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.write_all(raw).unwrap();
+        drop(client); // EOF so body reads terminate deterministically
+        let mut reader = BufReader::new(server);
+        read_request(&mut reader)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse_raw(
+            b"POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/explain");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"body");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_get_without_body_and_connection_close() {
+        let req = parse_raw(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_an_error() {
+        assert!(matches!(parse_raw(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn malformed_requests_are_structured() {
+        assert!(matches!(
+            parse_raw(b"NOT-HTTP\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET / HTTP/9.9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_and_heads_are_rejected() {
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_raw(huge.as_bytes()),
+            Err(HttpError::TooLarge("request body"))
+        ));
+        let mut head = String::from("GET / HTTP/1.1\r\n");
+        head.push_str(&format!("X-Big: {}\r\n\r\n", "a".repeat(MAX_HEAD_BYTES)));
+        assert!(matches!(
+            parse_raw(head.as_bytes()),
+            Err(HttpError::TooLarge("request head"))
+        ));
+    }
+
+    #[test]
+    fn response_writing_round_trips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        write_response(&mut server, &Response::json(200, "{\"ok\":true}"), true).unwrap();
+        drop(server);
+        let mut text = String::new();
+        BufReader::new(client).read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_responses_escape_the_message() {
+        let resp = Response::error(400, "bad \"thing\"\n");
+        assert_eq!(resp.body, "{\"error\":\"bad \\\"thing\\\"\\n\"}");
+    }
+}

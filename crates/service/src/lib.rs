@@ -1,0 +1,64 @@
+//! # xinsight-service
+//!
+//! The online serving layer of the XInsight reproduction: everything
+//! needed to run the engine as a long-lived, multi-model, concurrent
+//! process answering Why Queries over HTTP.
+//!
+//! The paper's pipeline splits into an expensive offline phase and a
+//! cheap online phase; `xinsight-core` already persists the offline
+//! artifact ([`FittedModel`](xinsight_core::FittedModel)) and batches the
+//! online phase ([`explain_many`](xinsight_core::pipeline::XInsight::explain_many)).
+//! This crate turns those pieces into a service:
+//!
+//! * [`registry`] — loads model **bundles** (dataset CSV + fitted model +
+//!   metadata) from a directory, keeps one warm
+//!   [`XInsight`](xinsight_core::pipeline::XInsight) engine per model,
+//!   and hot-reloads a bundle atomically while requests are in flight;
+//! * [`http`] / [`client`] — a dependency-free HTTP/1.1 subset (the
+//!   workspace builds offline: no tokio, no hyper) with keep-alive,
+//!   bounded heads/bodies and defensive parsing;
+//! * [`server`] — the accept thread, bounded **admission queue** (`503`
+//!   backpressure when full), worker pool sized with the engine's
+//!   `XINSIGHT_THREADS` knob, routing, and graceful shutdown;
+//! * [`lru`] — a byte-budgeted, memory-accounted LRU **result cache** in
+//!   front of the engine, keyed by `(model, WhyQuery)` and proven
+//!   answer-identical to the uncached path;
+//! * [`wire`] — the JSON wire format, sharing the engine's hand-rolled
+//!   [`json`](xinsight_core::json) codepath and `WhyQuery`'s canonical
+//!   serialization;
+//! * [`stats`] — QPS, latency histogram and cache-effectiveness counters
+//!   behind `GET /stats`;
+//! * [`demo`] — fitted SYN-A / FLIGHT demo bundles and deterministic
+//!   query pools for the smoke test and the `loadgen` bench.
+//!
+//! Two binaries ship with the crate: `xinsight-serve` (the server) and
+//! `loadgen` (closed-loop concurrent load generation emitting
+//! `BENCH_serve.json`).  See the README's serving quickstart.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Body | Answer |
+//! |---|---|---|
+//! | `POST /explain` | `{"model", "query"}` | ranked explanations (LRU-cached) |
+//! | `POST /explain_batch` | `{"model", "queries"}` | per-query results, shared `SelectionCache` |
+//! | `GET /models` | — | loaded models + example queries |
+//! | `GET /stats` | — | QPS, latency, cache hit rates |
+//! | `POST /admin/reload` | `{"model"}` | atomic hot-reload of one bundle |
+//! | `POST /admin/shutdown` | — | graceful shutdown |
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod demo;
+pub mod http;
+pub mod lru;
+pub mod registry;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use client::{ClientResponse, HttpClient};
+pub use demo::{build_demo_bundles, demo_queries, DemoModel};
+pub use lru::{CacheKey, ResultCache, ResultCacheStats};
+pub use registry::{save_bundle, LoadedModel, ModelRegistry};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,357 @@
+//! The memory-accounted LRU result cache in front of the explain engine.
+//!
+//! Serving traffic repeats itself: dashboards re-issue the same Why Query
+//! on every refresh, and many users look at the same anomaly.  The
+//! [`ResultCache`] memoizes the *serialized explanation list* per
+//! `(model, query)` so a repeat costs a hash lookup instead of an XPlainer
+//! search — and because the cached value is the exact byte string the
+//! uncached path would serialize, cached and direct answers are identical
+//! by construction (property-tested in `tests/serving.rs`, including
+//! across forced evictions).
+//!
+//! Unlike the engine's internal [`SelectionCache`]
+//! (never-evicting, scoped to a batch), this cache is long-lived, so it is
+//! bounded by a configurable **byte budget**: every entry is charged for
+//! its key (model id + canonical query JSON), its value and a fixed
+//! bookkeeping overhead, and the least-recently-used entries are evicted
+//! until the total fits.  Values larger than the whole budget are served
+//! but never admitted.
+//!
+//! Recency is tracked with a monotonic tick per access: a `HashMap` holds
+//! the entries and a `BTreeMap<tick, key>` orders them, making get/insert
+//! `O(log n)` without an intrusive linked list.  One mutex guards both maps
+//! (lookups are cheap relative to an explain); hit/miss/eviction counters
+//! are relaxed atomics so `/stats` never contends with serving.
+//!
+//! [`SelectionCache`]: xinsight_core::SelectionCache
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xinsight_core::WhyQuery;
+
+/// Fixed per-entry byte charge covering the maps' bookkeeping (hash entry,
+/// tick entry, `Arc` header) on top of the measured key/value lengths.
+pub const ENTRY_OVERHEAD_BYTES: usize = 128;
+
+/// Key of one cached result: the serving model (id **and** reload
+/// generation) plus the (canonicalized, hashable) query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The model the query was answered against.
+    pub model: String,
+    /// The model's reload generation.  Keying on it makes hot-reload
+    /// race-free: a slow request that finishes *after* a reload inserts
+    /// under the old generation, which post-reload lookups (built from the
+    /// new `LoadedModel`) can never hit.  [`ResultCache::invalidate_model`]
+    /// then reclaims the old generation's bytes.
+    pub generation: u64,
+    /// The query itself; `WhyQuery`'s `Hash`/`Eq` make it directly usable
+    /// as a map key, and its canonical JSON length is what the byte budget
+    /// charges for.
+    pub query: WhyQuery,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<str>,
+    bytes: usize,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct LruState {
+    entries: HashMap<CacheKey, Entry>,
+    /// `tick → key`, oldest first.  Ticks are unique (monotonic counter).
+    order: BTreeMap<u64, CacheKey>,
+    next_tick: u64,
+    bytes: usize,
+}
+
+/// A point-in-time snapshot of the result cache for `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (the caller computed and usually inserted).
+    pub misses: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Values too large to ever admit under the budget.
+    pub uncacheable: u64,
+    /// Entries currently held.
+    pub entries: usize,
+    /// Accounted bytes currently held.
+    pub bytes: usize,
+    /// The configured budget.
+    pub byte_budget: usize,
+}
+
+impl ResultCacheStats {
+    /// Fraction of lookups served from the cache (`0.0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Bounded, thread-safe, memory-accounted LRU cache of serialized
+/// explanation results (see the module docs for the design).
+#[derive(Debug)]
+pub struct ResultCache {
+    state: Mutex<LruState>,
+    byte_budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    uncacheable: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `byte_budget` accounted bytes.
+    pub fn new(byte_budget: usize) -> Self {
+        ResultCache {
+            state: Mutex::new(LruState::default()),
+            byte_budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            uncacheable: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks a result up, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<str>> {
+        let mut state = self.state.lock();
+        let state = &mut *state;
+        match state.entries.get_mut(key) {
+            Some(entry) => {
+                state.order.remove(&entry.tick);
+                entry.tick = state.next_tick;
+                state.next_tick += 1;
+                state.order.insert(entry.tick, key.clone());
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a result, evicting least-recently-used
+    /// entries until the byte budget holds.  A value whose own accounted
+    /// size exceeds the budget is not admitted (it would evict everything
+    /// and then be evicted itself).
+    pub fn insert(&self, key: CacheKey, value: Arc<str>) {
+        let entry_bytes =
+            key.model.len() + key.query.to_json().len() + value.len() + ENTRY_OVERHEAD_BYTES;
+        if entry_bytes > self.byte_budget {
+            self.uncacheable.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut state = self.state.lock();
+        if let Some(old) = state.entries.remove(&key) {
+            state.order.remove(&old.tick);
+            state.bytes -= old.bytes;
+        }
+        let tick = state.next_tick;
+        state.next_tick += 1;
+        state.bytes += entry_bytes;
+        state.order.insert(tick, key.clone());
+        state.entries.insert(
+            key,
+            Entry {
+                value,
+                bytes: entry_bytes,
+                tick,
+            },
+        );
+        while state.bytes > self.byte_budget {
+            let Some((&oldest_tick, _)) = state.order.iter().next() else {
+                break;
+            };
+            let oldest_key = state.order.remove(&oldest_tick).expect("tick just seen");
+            let evicted = state
+                .entries
+                .remove(&oldest_key)
+                .expect("order and entries stay in sync");
+            state.bytes -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every entry cached for `model` — called on hot-reload so a
+    /// swapped model file can change answers without stale replays.
+    pub fn invalidate_model(&self, model: &str) {
+        let mut state = self.state.lock();
+        let state = &mut *state;
+        let doomed: Vec<CacheKey> = state
+            .entries
+            .keys()
+            .filter(|k| k.model == model)
+            .cloned()
+            .collect();
+        for key in doomed {
+            let entry = state.entries.remove(&key).expect("key just listed");
+            state.order.remove(&entry.tick);
+            state.bytes -= entry.bytes;
+        }
+    }
+
+    /// A consistent snapshot of the counters and occupancy.
+    pub fn stats(&self) -> ResultCacheStats {
+        let state = self.state.lock();
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            entries: state.entries.len(),
+            bytes: state.bytes,
+            byte_budget: self.byte_budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xinsight_data::{Aggregate, Subspace};
+
+    fn query(value: &str) -> WhyQuery {
+        WhyQuery::new(
+            "M",
+            Aggregate::Avg,
+            Subspace::of("X", value.to_owned()),
+            Subspace::of("X", "base"),
+        )
+        .unwrap()
+    }
+
+    fn key(model: &str, value: &str) -> CacheKey {
+        CacheKey {
+            model: model.to_owned(),
+            generation: 1,
+            query: query(value),
+        }
+    }
+
+    fn entry_bytes(key: &CacheKey, value: &str) -> usize {
+        key.model.len() + key.query.to_json().len() + value.len() + ENTRY_OVERHEAD_BYTES
+    }
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let cache = ResultCache::new(1 << 20);
+        let k = key("m", "a");
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), Arc::from("answer"));
+        assert_eq!(cache.get(&k).as_deref(), Some("answer"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.bytes, entry_bytes(&k, "answer"));
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_budget() {
+        let k1 = key("m", "a");
+        let k2 = key("m", "b");
+        let k3 = key("m", "c");
+        let per_entry = entry_bytes(&k1, "v");
+        // Room for exactly two entries.
+        let cache = ResultCache::new(2 * per_entry + per_entry / 2);
+        cache.insert(k1.clone(), Arc::from("v"));
+        cache.insert(k2.clone(), Arc::from("v"));
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(cache.get(&k1).is_some());
+        cache.insert(k3.clone(), Arc::from("v"));
+        assert!(cache.get(&k1).is_some(), "recently used entry survives");
+        assert!(cache.get(&k2).is_none(), "LRU entry was evicted");
+        assert!(cache.get(&k3).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes <= stats.byte_budget);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_leaking_bytes() {
+        let cache = ResultCache::new(1 << 20);
+        let k = key("m", "a");
+        cache.insert(k.clone(), Arc::from("short"));
+        cache.insert(k.clone(), Arc::from("a longer value than before"));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, entry_bytes(&k, "a longer value than before"));
+        assert_eq!(
+            cache.get(&k).as_deref(),
+            Some("a longer value than before")
+        );
+    }
+
+    #[test]
+    fn oversized_values_are_never_admitted() {
+        let cache = ResultCache::new(256);
+        let k = key("m", "a");
+        let big = "x".repeat(512);
+        cache.insert(k.clone(), Arc::from(big.as_str()));
+        assert!(cache.get(&k).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.uncacheable, 1);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.bytes, 0);
+    }
+
+    #[test]
+    fn invalidate_model_is_selective() {
+        let cache = ResultCache::new(1 << 20);
+        cache.insert(key("m1", "a"), Arc::from("1"));
+        cache.insert(key("m1", "b"), Arc::from("2"));
+        cache.insert(key("m2", "a"), Arc::from("3"));
+        cache.invalidate_model("m1");
+        assert!(cache.get(&key("m1", "a")).is_none());
+        assert!(cache.get(&key("m1", "b")).is_none());
+        assert_eq!(cache.get(&key("m2", "a")).as_deref(), Some("3"));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, entry_bytes(&key("m2", "a"), "3"));
+    }
+
+    #[test]
+    fn distinct_models_do_not_collide() {
+        let cache = ResultCache::new(1 << 20);
+        cache.insert(key("m1", "a"), Arc::from("one"));
+        cache.insert(key("m2", "a"), Arc::from("two"));
+        assert_eq!(cache.get(&key("m1", "a")).as_deref(), Some("one"));
+        assert_eq!(cache.get(&key("m2", "a")).as_deref(), Some("two"));
+    }
+
+    #[test]
+    fn stale_generation_inserts_cannot_poison_the_new_generation() {
+        // The hot-reload race: a slow request computed against generation 1
+        // inserts *after* the reload invalidated; generation-2 lookups must
+        // not see it.
+        let cache = ResultCache::new(1 << 20);
+        let old = key("m", "a"); // generation 1
+        let new = CacheKey {
+            generation: 2,
+            ..old.clone()
+        };
+        cache.invalidate_model("m"); // the reload's invalidation
+        cache.insert(old.clone(), Arc::from("stale pre-reload answer"));
+        assert!(cache.get(&new).is_none(), "stale answer leaked across reload");
+        // invalidate_model drops every generation's entries.
+        cache.insert(new.clone(), Arc::from("fresh"));
+        cache.invalidate_model("m");
+        assert!(cache.get(&old).is_none());
+        assert!(cache.get(&new).is_none());
+        assert_eq!(cache.stats().bytes, 0);
+    }
+}

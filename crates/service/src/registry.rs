@@ -1,0 +1,472 @@
+//! The model registry: warm, swappable [`XInsight`] engines, one per model.
+//!
+//! A serving process answers queries for many datasets/tenants.  Each is
+//! packaged as a **bundle** — three flat files in the registry directory:
+//!
+//! * `<id>.csv` — the raw dataset (the engine re-applies its persisted
+//!   discretizers on load, so the CSV stays the single source of truth),
+//! * `<id>.model.json` — the [`FittedModel`] artifact saved by the offline
+//!   phase,
+//! * `<id>.meta.json` — bundle metadata: which columns are dimensions vs
+//!   measures (CSV kind inference alone would mistake numeric-looking
+//!   categories), example queries for smoke tests and load generation, and
+//!   the fit-time CI-cache counters so `/stats` can report them even
+//!   across persistence.
+//!
+//! [`ModelRegistry::open`] loads every bundle it finds and keeps the
+//! reconstructed engines warm behind `Arc`s.  [`ModelRegistry::load`]
+//! re-reads one bundle from disk and **atomically swaps** the new engine
+//! into the map: requests already holding the old `Arc` finish against a
+//! consistent model, new requests see the new one, and nothing blocks
+//! while the (potentially slow) load runs — the write lock is held only
+//! for the pointer swap.
+
+use crate::demo_queries;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use xinsight_core::json::Json;
+use xinsight_core::pipeline::{XInsight, XInsightOptions};
+use xinsight_core::{FittedModel, WhyQuery};
+use xinsight_data::{read_csv_str, write_csv_string, CsvOptions, DataError, Dataset, Result};
+use xinsight_stats::CacheStats;
+
+/// Version stamp of the bundle metadata format.
+pub const META_FORMAT_VERSION: u64 = 1;
+
+/// One loaded model: the warm engine plus its serving metadata.
+#[derive(Debug)]
+pub struct LoadedModel {
+    /// Registry id (the bundle file stem).
+    pub id: String,
+    /// The reconstructed engine, ready to answer queries.
+    pub engine: XInsight,
+    /// Rows of the raw dataset the bundle shipped.
+    pub n_rows: usize,
+    /// Reload generation: 1 for the first load, +1 per hot-reload.
+    pub generation: u64,
+    /// Example queries the bundle ships for smoke tests and load
+    /// generation (may be empty).
+    pub example_queries: Vec<WhyQuery>,
+    /// Fit-time CI-test cache counters, restored from the bundle metadata.
+    pub ci_cache_stats: CacheStats,
+}
+
+/// Thread-safe registry of loaded models, keyed by bundle id.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    dir: PathBuf,
+    options: XInsightOptions,
+    models: RwLock<HashMap<String, Arc<LoadedModel>>>,
+}
+
+/// Bundle ids double as file stems and appear in wire requests, so they are
+/// restricted to a filesystem- and URL-safe alphabet.
+pub fn validate_model_id(id: &str) -> Result<()> {
+    let ok = !id.is_empty()
+        && id.len() <= 128
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if ok {
+        Ok(())
+    } else {
+        Err(DataError::Serve(format!(
+            "invalid model id `{id}` (use [A-Za-z0-9_-], at most 128 chars)"
+        )))
+    }
+}
+
+impl ModelRegistry {
+    /// Opens a registry over a directory, loading every `*.meta.json`
+    /// bundle found there.  A directory with no bundles is an error — a
+    /// server with nothing to serve is a deployment mistake worth failing
+    /// loudly on.
+    pub fn open(dir: impl AsRef<Path>, options: XInsightOptions) -> Result<Self> {
+        let registry = Self::open_empty(dir, options);
+        let mut ids = Vec::new();
+        let entries = std::fs::read_dir(&registry.dir).map_err(|e| {
+            DataError::Serve(format!("reading model dir {}: {e}", registry.dir.display()))
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|e| DataError::Serve(format!("reading model dir: {e}")))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name.strip_suffix(".meta.json") {
+                ids.push(id.to_owned());
+            }
+        }
+        if ids.is_empty() {
+            return Err(DataError::Serve(format!(
+                "no model bundles (*.meta.json) in {}",
+                registry.dir.display()
+            )));
+        }
+        ids.sort();
+        for id in &ids {
+            registry.load(id)?;
+        }
+        Ok(registry)
+    }
+
+    /// Opens a registry with no loaded models (bundles are pulled in later
+    /// via [`ModelRegistry::load`]); used by tests and the demo flow.
+    pub fn open_empty(dir: impl AsRef<Path>, options: XInsightOptions) -> Self {
+        ModelRegistry {
+            dir: dir.as_ref().to_owned(),
+            options,
+            models: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn paths(&self, id: &str) -> (PathBuf, PathBuf, PathBuf) {
+        bundle_paths(&self.dir, id)
+    }
+
+    /// Loads (or hot-reloads) one bundle from disk and atomically swaps it
+    /// into the registry.  In-flight requests keep the `Arc` of the model
+    /// they started with; the write lock is held only for the swap itself.
+    pub fn load(&self, id: &str) -> Result<Arc<LoadedModel>> {
+        validate_model_id(id)?;
+        let (meta_path, model_path, csv_path) = self.paths(id);
+        let meta = BundleMeta::load(&meta_path)?;
+        if meta.id != id {
+            return Err(DataError::Serve(format!(
+                "bundle {} declares id `{}`",
+                meta_path.display(),
+                meta.id
+            )));
+        }
+        let csv_text = std::fs::read_to_string(&csv_path)
+            .map_err(|e| DataError::Serve(format!("reading {}: {e}", csv_path.display())))?;
+        let csv_options = CsvOptions {
+            force_dimensions: meta.dimensions.clone(),
+            force_measures: meta.measures.clone(),
+            ..CsvOptions::default()
+        };
+        let data = read_csv_str(&csv_text, &csv_options)?;
+        let model = FittedModel::load(&model_path)?;
+        let engine = XInsight::from_fitted(&data, model, &self.options)?;
+        let generation = self
+            .models
+            .read()
+            .get(id)
+            .map(|m| m.generation + 1)
+            .unwrap_or(1);
+        let loaded = Arc::new(LoadedModel {
+            id: id.to_owned(),
+            engine,
+            n_rows: data.n_rows(),
+            generation,
+            example_queries: meta.example_queries,
+            ci_cache_stats: meta.ci_cache_stats,
+        });
+        self.models
+            .write()
+            .insert(id.to_owned(), Arc::clone(&loaded));
+        Ok(loaded)
+    }
+
+    /// The current engine for a model id, if loaded.
+    pub fn get(&self, id: &str) -> Option<Arc<LoadedModel>> {
+        self.models.read().get(id).cloned()
+    }
+
+    /// Loaded model ids, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.models.read().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Snapshots of every loaded model, sorted by id.
+    pub fn models(&self) -> Vec<Arc<LoadedModel>> {
+        let mut models: Vec<Arc<LoadedModel>> = self.models.read().values().cloned().collect();
+        models.sort_by(|a, b| a.id.cmp(&b.id));
+        models
+    }
+
+    /// Fits an engine on `data` and saves the result as a bundle in this
+    /// registry's directory (without loading it — call
+    /// [`ModelRegistry::load`] for that).  Returns the fitted engine.
+    ///
+    /// When `example_queries` is empty, a deterministic pool is derived
+    /// from the dataset via [`demo_queries`] so every bundle ships
+    /// queries for smoke tests and load generation.
+    pub fn fit_and_save(
+        &self,
+        id: &str,
+        data: &Dataset,
+        example_queries: Vec<WhyQuery>,
+    ) -> Result<XInsight> {
+        let engine = XInsight::fit(data, &self.options)?;
+        let queries = if example_queries.is_empty() {
+            demo_queries(data, 8)?
+        } else {
+            example_queries
+        };
+        save_bundle(&self.dir, id, data, &engine, &queries)?;
+        Ok(engine)
+    }
+}
+
+/// The three file paths of a bundle: `(meta, model, csv)`.
+pub fn bundle_paths(dir: &Path, id: &str) -> (PathBuf, PathBuf, PathBuf) {
+    (
+        dir.join(format!("{id}.meta.json")),
+        dir.join(format!("{id}.model.json")),
+        dir.join(format!("{id}.csv")),
+    )
+}
+
+/// Saves a fitted engine plus its dataset as a loadable bundle.
+///
+/// The model artifact is written through [`FittedModel::save`] (atomic
+/// rename), so a hot-reloading server never observes a torn model file.
+pub fn save_bundle(
+    dir: &Path,
+    id: &str,
+    data: &Dataset,
+    engine: &XInsight,
+    example_queries: &[WhyQuery],
+) -> Result<()> {
+    validate_model_id(id)?;
+    std::fs::create_dir_all(dir)
+        .map_err(|e| DataError::Serve(format!("creating {}: {e}", dir.display())))?;
+    let (meta_path, model_path, csv_path) = bundle_paths(dir, id);
+    let csv = write_csv_string(data, &CsvOptions::default());
+    std::fs::write(&csv_path, csv)
+        .map_err(|e| DataError::Serve(format!("writing {}: {e}", csv_path.display())))?;
+    engine.fitted_model().save(&model_path)?;
+    let schema = data.schema();
+    let meta = BundleMeta {
+        id: id.to_owned(),
+        dimensions: schema
+            .dimension_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+        measures: schema
+            .measure_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+        example_queries: example_queries.to_vec(),
+        ci_cache_stats: engine.learner_result().ci_cache_stats,
+    };
+    std::fs::write(&meta_path, meta.to_json())
+        .map_err(|e| DataError::Serve(format!("writing {}: {e}", meta_path.display())))
+}
+
+/// The decoded `<id>.meta.json` document.
+#[derive(Debug, Clone, PartialEq)]
+struct BundleMeta {
+    id: String,
+    dimensions: Vec<String>,
+    measures: Vec<String>,
+    example_queries: Vec<WhyQuery>,
+    ci_cache_stats: CacheStats,
+}
+
+impl BundleMeta {
+    fn to_json(&self) -> String {
+        Json::Obj(vec![
+            (
+                "format_version".to_owned(),
+                Json::Num(META_FORMAT_VERSION as f64),
+            ),
+            ("id".to_owned(), Json::Str(self.id.clone())),
+            (
+                "dimensions".to_owned(),
+                Json::Arr(self.dimensions.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "measures".to_owned(),
+                Json::Arr(self.measures.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "example_queries".to_owned(),
+                Json::Arr(
+                    self.example_queries
+                        .iter()
+                        .map(WhyQuery::to_json_value)
+                        .collect(),
+                ),
+            ),
+            (
+                "ci_cache".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "hits".to_owned(),
+                        Json::Num(self.ci_cache_stats.hits as f64),
+                    ),
+                    (
+                        "misses".to_owned(),
+                        Json::Num(self.ci_cache_stats.misses as f64),
+                    ),
+                ]),
+            ),
+        ])
+        .to_string()
+    }
+
+    fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| DataError::Serve(format!("reading {}: {e}", path.display())))?;
+        let doc = Json::parse(&text)?;
+        let version = doc.get("format_version")?.as_u64()?;
+        if version != META_FORMAT_VERSION {
+            return Err(DataError::Serve(format!(
+                "unsupported bundle meta version {version} (expected {META_FORMAT_VERSION})"
+            )));
+        }
+        let ci = doc.get("ci_cache")?;
+        Ok(BundleMeta {
+            id: doc.get("id")?.as_str()?.to_owned(),
+            dimensions: doc.get("dimensions")?.as_string_vec()?,
+            measures: doc.get("measures")?.as_string_vec()?,
+            example_queries: doc
+                .get("example_queries")?
+                .as_arr()?
+                .iter()
+                .map(WhyQuery::from_json_value)
+                .collect::<Result<_>>()?,
+            ci_cache_stats: CacheStats {
+                hits: ci.get("hits")?.as_u64()?,
+                misses: ci.get("misses")?.as_u64()?,
+                entries: 0,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xinsight_data::{Aggregate, DatasetBuilder, Subspace};
+
+    fn tiny_data() -> Dataset {
+        let mut loc = Vec::new();
+        let mut smoking = Vec::new();
+        let mut severity = Vec::new();
+        for i in 0..120 {
+            let a = i % 2 == 0;
+            loc.push(if a { "A" } else { "B" });
+            let smokes = if a { i % 10 < 8 } else { i % 10 < 2 };
+            smoking.push(if smokes { "Yes" } else { "No" });
+            severity.push(if smokes { 2.0 + (i % 3) as f64 } else { 1.0 });
+        }
+        DatasetBuilder::new()
+            .dimension("Location", loc)
+            .dimension("Smoking", smoking)
+            .measure("Severity", severity)
+            .build()
+            .unwrap()
+    }
+
+    fn tiny_query() -> WhyQuery {
+        WhyQuery::new(
+            "Severity",
+            Aggregate::Avg,
+            Subspace::of("Location", "A"),
+            Subspace::of("Location", "B"),
+        )
+        .unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xinsight_registry_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip_serves_identical_answers() {
+        let dir = temp_dir("round_trip");
+        let data = tiny_data();
+        let options = XInsightOptions::default();
+        let registry = ModelRegistry::open_empty(&dir, options.clone());
+        let engine = registry
+            .fit_and_save("tiny", &data, vec![tiny_query()])
+            .unwrap();
+        let direct = engine.explain(&tiny_query()).unwrap();
+
+        let reopened = ModelRegistry::open(&dir, options).unwrap();
+        assert_eq!(reopened.ids(), vec!["tiny".to_owned()]);
+        let loaded = reopened.get("tiny").unwrap();
+        assert_eq!(loaded.generation, 1);
+        assert_eq!(loaded.n_rows, data.n_rows());
+        assert_eq!(loaded.example_queries, vec![tiny_query()]);
+        // Fit-time CI cache counters survive persistence.
+        assert!(loaded.ci_cache_stats.lookups() > 0);
+        assert_eq!(
+            loaded.ci_cache_stats.misses,
+            engine.learner_result().ci_cache_stats.misses
+        );
+        assert_eq!(loaded.engine.explain(&tiny_query()).unwrap(), direct);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hot_reload_swaps_generations_and_keeps_old_arcs_valid() {
+        let dir = temp_dir("reload");
+        let data = tiny_data();
+        let options = XInsightOptions::default();
+        let registry = ModelRegistry::open_empty(&dir, options.clone());
+        registry.fit_and_save("m", &data, vec![tiny_query()]).unwrap();
+        let first = registry.load("m").unwrap();
+        assert_eq!(first.generation, 1);
+        let second = registry.load("m").unwrap();
+        assert_eq!(second.generation, 2);
+        // The old Arc still answers (in-flight requests are unaffected).
+        assert_eq!(
+            first.engine.explain(&tiny_query()).unwrap(),
+            second.engine.explain(&tiny_query()).unwrap()
+        );
+        assert_eq!(registry.get("m").unwrap().generation, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_ids_and_missing_bundles_are_structured_errors() {
+        let dir = temp_dir("errors");
+        let registry = ModelRegistry::open_empty(&dir, XInsightOptions::default());
+        assert!(registry.load("../escape").is_err());
+        assert!(registry.load("").is_err());
+        assert!(registry.load("no_such_model").is_err());
+        assert!(validate_model_id("ok-id_3").is_ok());
+        assert!(validate_model_id("bad/id").is_err());
+        // Opening an empty directory is a loud failure.
+        assert!(ModelRegistry::open(&dir, XInsightOptions::default()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_id_mismatch_is_rejected() {
+        let dir = temp_dir("mismatch");
+        let data = tiny_data();
+        let registry = ModelRegistry::open_empty(&dir, XInsightOptions::default());
+        registry.fit_and_save("real", &data, vec![tiny_query()]).unwrap();
+        // Copy the bundle under a different stem: the declared id no longer
+        // matches.
+        for suffix in [".meta.json", ".model.json", ".csv"] {
+            std::fs::copy(
+                dir.join(format!("real{suffix}")),
+                dir.join(format!("fake{suffix}")),
+            )
+            .unwrap();
+        }
+        assert!(registry.load("fake").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

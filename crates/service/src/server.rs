@@ -1,0 +1,795 @@
+//! The serving loop: admission queue, worker pool, routing and shutdown.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                 ┌────────────── Server ──────────────────────────────┐
+//!   TCP clients → │ accept thread → admission queue → worker pool      │
+//!                 │      (503 when full)   (bounded)   (N workers)     │
+//!                 │                                        │           │
+//!                 │             ┌──────────────────────────┤           │
+//!                 │             ▼                          ▼           │
+//!                 │       ResultCache  ──miss──▶  ModelRegistry        │
+//!                 │    (LRU, byte budget)        (warm XInsight per    │
+//!                 │                               model, hot-reload)   │
+//!                 └────────────────────────────────────────────────────┘
+//! ```
+//!
+//! One thread accepts connections and pushes them onto a **bounded
+//! admission queue**; when the queue is full the connection is answered
+//! `503` immediately — backpressure surfaces to clients instead of
+//! building an invisible backlog.  A fixed pool of **workers** pops
+//! connections and serves them keep-alive, one request at a time; the
+//! engine work inside a request still fans out over the shared rayon pool
+//! (`XINSIGHT_THREADS`, [`xinsight_core::parallel`]), so the worker count
+//! controls *concurrent requests* while the rayon pool controls *CPU
+//! parallelism per request* — both sized from the same knob by default.
+//!
+//! **Graceful shutdown** (`POST /admin/shutdown` or
+//! [`ServerHandle::trigger_shutdown`]): the flag flips, the accept thread
+//! is woken by a loopback connection and stops accepting, workers finish
+//! the requests they are on (and drain already-admitted connections),
+//! answer with `Connection: close`, and exit.  [`ServerHandle::wait`]
+//! joins everything.
+
+use crate::http::{self, HttpError, Request, Response};
+use crate::lru::{CacheKey, ResultCache};
+use crate::registry::ModelRegistry;
+use crate::stats::ServerStats;
+use crate::wire;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use xinsight_core::SelectionCache;
+use xinsight_data::{DataError, Result};
+use xinsight_stats::CacheStats;
+
+/// How the server is sized and bound.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks a free port (the handle reports it).
+    pub addr: String,
+    /// Worker threads serving admitted connections.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are answered `503`.
+    pub queue_capacity: usize,
+    /// Byte budget of the LRU result cache.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            // Size the worker pool from the same knob as the engine's rayon
+            // pool so one `XINSIGHT_THREADS` governs the whole process; at
+            // least 2 so a long request cannot starve the admin endpoints
+            // on single-core containers.
+            workers: xinsight_core::parallel::configure_pool_from_env().max(2),
+            addr: "127.0.0.1:0".to_owned(),
+            queue_capacity: 64,
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Idle keep-alive connections poll the shutdown flag at this cadence.
+const IDLE_POLL: Duration = Duration::from_millis(200);
+
+/// An idle keep-alive connection is closed after this long — and
+/// immediately once other connections are waiting in the admission queue,
+/// so a handful of idle clients can never pin the whole worker pool while
+/// admitted work starves.
+const KEEP_ALIVE_IDLE_LIMIT: Duration = Duration::from_secs(30);
+
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    cache: ResultCache,
+    stats: ServerStats,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    queue_capacity: usize,
+    workers: usize,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        // Wake the accept thread out of its blocking `accept` with a
+        // throwaway loopback connection; it checks the flag first thing.
+        let _ = TcpStream::connect(self.addr);
+        self.available.notify_all();
+    }
+}
+
+/// A running server: its bound address plus the thread handles to join.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.shared.addr)
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Initiates graceful shutdown without waiting for it to finish.
+    pub fn trigger_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the server has shut down (via `POST /admin/shutdown`
+    /// or [`ServerHandle::trigger_shutdown`]) and every thread has exited.
+    pub fn wait(self) {
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+
+    /// [`ServerHandle::trigger_shutdown`] + [`ServerHandle::wait`].
+    pub fn shutdown(self) {
+        self.trigger_shutdown();
+        self.wait();
+    }
+}
+
+/// Binds the listener and spawns the accept thread plus the worker pool.
+pub fn start(registry: Arc<ModelRegistry>, config: &ServerConfig) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| DataError::Serve(format!("binding {}: {e}", config.addr)))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| DataError::Serve(format!("resolving local addr: {e}")))?;
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        registry,
+        cache: ResultCache::new(config.cache_bytes),
+        stats: ServerStats::default(),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        queue_capacity: config.queue_capacity.max(1),
+        workers,
+        shutdown: AtomicBool::new(false),
+        addr,
+    });
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("xinsight-accept".into())
+                .spawn(move || accept_loop(listener, &shared))
+                .map_err(|e| DataError::Serve(format!("spawning accept thread: {e}")))?,
+        );
+    }
+    for i in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("xinsight-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(|e| DataError::Serve(format!("spawning worker: {e}")))?,
+        );
+    }
+    Ok(ServerHandle { shared, threads })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut queue = shared.queue.lock().expect("queue lock");
+        if queue.len() >= shared.queue_capacity {
+            drop(queue);
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = http::write_response(
+                &mut stream,
+                &Response::error(503, "admission queue is full, retry later"),
+                true,
+            );
+        } else {
+            queue.push_back(stream);
+            drop(queue);
+            shared.available.notify_one();
+        }
+    }
+    // Unblock every idle worker so the pool can drain and exit.
+    shared.available.notify_all();
+}
+
+/// Pops the next admitted connection, or `None` when shutting down and the
+/// queue has drained (workers finish already-admitted work first).
+fn next_connection(shared: &Shared) -> Option<TcpStream> {
+    let mut queue = shared.queue.lock().expect("queue lock");
+    loop {
+        if let Some(stream) = queue.pop_front() {
+            return Some(stream);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        queue = shared.available.wait(queue).expect("queue lock");
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = next_connection(shared) {
+        serve_connection(shared, stream);
+    }
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    // Responses go out in one write; don't let Nagle hold that segment
+    // hostage to the peer's delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut idle_since = Instant::now();
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(request) => {
+                let started = Instant::now();
+                let (response, shutdown_after) = route(shared, &request);
+                shared.stats.latency.record(started.elapsed());
+                count_response(shared, &response);
+                let close = shutdown_after
+                    || request.wants_close()
+                    || shared.shutdown.load(Ordering::SeqCst);
+                let written = http::write_response(&mut write_half, &response, close);
+                if shutdown_after {
+                    // The goodbye response is on the wire; now stop the world.
+                    shared.begin_shutdown();
+                }
+                if written.is_err() || close {
+                    return;
+                }
+                idle_since = Instant::now();
+            }
+            Err(HttpError::Idle) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Anti-starvation: this worker is pinned to an idle
+                // connection.  Shed it once admitted work is waiting, or
+                // after the keep-alive idle limit regardless (the client
+                // reconnects; no request is in flight, so closing is safe).
+                if idle_since.elapsed() >= KEEP_ALIVE_IDLE_LIMIT
+                    || !shared.queue.lock().expect("queue lock").is_empty()
+                {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Malformed(message)) => {
+                shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = http::write_response(
+                    &mut write_half,
+                    &Response::error(400, &message),
+                    true,
+                );
+                return;
+            }
+            Err(HttpError::TooLarge(what)) => {
+                shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                let status = if what == "request body" { 413 } else { 431 };
+                let _ = http::write_response(
+                    &mut write_half,
+                    &Response::error(status, &format!("{what} too large")),
+                    true,
+                );
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        }
+    }
+}
+
+/// Maps a handler's [`DataError`] to an HTTP status: wire/validation
+/// failures are the client's (`400`), anything else is ours (`500`).
+fn status_for(error: &DataError) -> u16 {
+    match error {
+        DataError::Serve(_)
+        | DataError::Persist(_)
+        | DataError::UnknownAttribute(_)
+        | DataError::UnknownCategory { .. }
+        | DataError::WrongKind { .. }
+        | DataError::OverlappingSubspace(_)
+        | DataError::EmptyAggregate { .. } => 400,
+        _ => 500,
+    }
+}
+
+fn error_response(error: &DataError) -> Response {
+    Response::error(status_for(error), &error.to_string())
+}
+
+fn count_response(shared: &Shared, response: &Response) {
+    if response.status >= 500 {
+        shared.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+    } else if response.status >= 400 {
+        shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Routes one request; the boolean asks the worker to begin shutdown after
+/// writing the response.
+fn route(shared: &Shared, request: &Request) -> (Response, bool) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/explain") => (handle_explain(shared, &request.body), false),
+        ("POST", "/explain_batch") => (handle_explain_batch(shared, &request.body), false),
+        ("GET", "/models") => (handle_models(shared), false),
+        ("GET", "/stats") => (handle_stats(shared), false),
+        ("POST", "/admin/reload") => (handle_reload(shared, &request.body), false),
+        ("POST", "/admin/shutdown") => {
+            shared.stats.admin.fetch_add(1, Ordering::Relaxed);
+            (Response::json(200, "{\"shutting_down\":true}"), true)
+        }
+        ("GET" | "POST", "/explain" | "/explain_batch" | "/models" | "/stats" | "/admin/reload"
+        | "/admin/shutdown") => (Response::error(405, "method not allowed"), false),
+        _ => (
+            Response::error(404, &format!("no such endpoint `{}`", request.path)),
+            false,
+        ),
+    }
+}
+
+fn handle_explain(shared: &Shared, body: &[u8]) -> Response {
+    let request = match wire::ExplainRequest::parse(body) {
+        Ok(r) => r,
+        Err(e) => return error_response(&e),
+    };
+    let Some(model) = shared.registry.get(&request.model) else {
+        return Response::error(404, &format!("model `{}` is not loaded", request.model));
+    };
+    let key = CacheKey {
+        model: model.id.clone(),
+        generation: model.generation,
+        query: request.query.clone(),
+    };
+    if let Some(hit) = shared.cache.get(&key) {
+        shared.stats.explain.fetch_add(1, Ordering::Relaxed);
+        return Response::json(200, wire::explain_response(&model.id, true, &hit));
+    }
+    let selection = Arc::new(SelectionCache::new());
+    match model
+        .engine
+        .explain_many_with_cache(std::slice::from_ref(&request.query), Arc::clone(&selection))
+    {
+        Ok(mut results) => {
+            shared.stats.add_selection(selection.stats());
+            let explanations = results.pop().unwrap_or_default();
+            let json: Arc<str> = Arc::from(wire::explanations_to_string(&explanations).as_str());
+            shared.cache.insert(key, Arc::clone(&json));
+            shared.stats.explain.fetch_add(1, Ordering::Relaxed);
+            Response::json(200, wire::explain_response(&model.id, false, &json))
+        }
+        Err(e) => error_response(&e),
+    }
+}
+
+fn handle_explain_batch(shared: &Shared, body: &[u8]) -> Response {
+    let request = match wire::ExplainBatchRequest::parse(body) {
+        Ok(r) => r,
+        Err(e) => return error_response(&e),
+    };
+    let Some(model) = shared.registry.get(&request.model) else {
+        return Response::error(404, &format!("model `{}` is not loaded", request.model));
+    };
+    // Serve what the LRU already has; answer the rest in one engine batch
+    // that shares a single SelectionCache across the uncached queries.
+    let mut results: Vec<Option<(bool, Arc<str>)>> = vec![None; request.queries.len()];
+    let mut uncached = Vec::new();
+    for (i, query) in request.queries.iter().enumerate() {
+        let key = CacheKey {
+            model: model.id.clone(),
+            generation: model.generation,
+            query: query.clone(),
+        };
+        if let Some(hit) = shared.cache.get(&key) {
+            results[i] = Some((true, hit));
+        } else {
+            uncached.push((i, key));
+        }
+    }
+    if !uncached.is_empty() {
+        let queries: Vec<_> = uncached.iter().map(|(_, k)| k.query.clone()).collect();
+        let selection = Arc::new(SelectionCache::new());
+        let answers = match model
+            .engine
+            .explain_many_with_cache(&queries, Arc::clone(&selection))
+        {
+            Ok(a) => a,
+            Err(e) => return error_response(&e),
+        };
+        shared.stats.add_selection(selection.stats());
+        for ((i, key), explanations) in uncached.into_iter().zip(answers) {
+            let json: Arc<str> = Arc::from(wire::explanations_to_string(&explanations).as_str());
+            shared.cache.insert(key, Arc::clone(&json));
+            results[i] = Some((false, json));
+        }
+    }
+    let results: Vec<(bool, Arc<str>)> = results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    shared.stats.explain_batch.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .batch_queries
+        .fetch_add(results.len() as u64, Ordering::Relaxed);
+    Response::json(200, wire::explain_batch_response(&model.id, &results))
+}
+
+fn handle_models(shared: &Shared) -> Response {
+    use xinsight_core::json::Json;
+    let models: Vec<Json> = shared
+        .registry
+        .models()
+        .iter()
+        .map(|m| {
+            Json::Obj(vec![
+                ("id".to_owned(), Json::Str(m.id.clone())),
+                ("rows".to_owned(), Json::Num(m.n_rows as f64)),
+                (
+                    "graph_nodes".to_owned(),
+                    Json::Num(m.engine.graph().n_nodes() as f64),
+                ),
+                ("generation".to_owned(), Json::Num(m.generation as f64)),
+                (
+                    "example_queries".to_owned(),
+                    Json::Arr(
+                        m.example_queries
+                            .iter()
+                            .map(|q| q.to_json_value())
+                            .collect(),
+                    ),
+                ),
+                (
+                    "ci_cache_fit_time".to_owned(),
+                    Json::Obj(vec![
+                        (
+                            "hits".to_owned(),
+                            Json::Num(m.ci_cache_stats.hits as f64),
+                        ),
+                        (
+                            "misses".to_owned(),
+                            Json::Num(m.ci_cache_stats.misses as f64),
+                        ),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    shared.stats.models.fetch_add(1, Ordering::Relaxed);
+    Response::json(200, Json::Arr(models).to_string())
+}
+
+fn handle_stats(shared: &Shared) -> Response {
+    let ci: CacheStats = shared
+        .registry
+        .models()
+        .iter()
+        .map(|m| m.ci_cache_stats)
+        .fold(CacheStats::default(), CacheStats::merged);
+    let queue_depth = shared.queue.lock().expect("queue lock").len();
+    let doc = shared.stats.to_json(
+        &shared.cache.stats(),
+        ci,
+        queue_depth,
+        shared.queue_capacity,
+        shared.workers,
+    );
+    shared.stats.stats.fetch_add(1, Ordering::Relaxed);
+    Response::json(200, doc.to_string())
+}
+
+fn handle_reload(shared: &Shared, body: &[u8]) -> Response {
+    let id = match wire::parse_reload_request(body) {
+        Ok(id) => id,
+        Err(e) => return error_response(&e),
+    };
+    match shared.registry.load(&id) {
+        Ok(loaded) => {
+            // Answers may change under the new model: drop its cached results.
+            shared.cache.invalidate_model(&id);
+            shared.stats.admin.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                200,
+                format!(
+                    "{{\"reloaded\":\"{}\",\"generation\":{}}}",
+                    loaded.id, loaded.generation
+                ),
+            )
+        }
+        Err(e) => error_response(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use xinsight_core::json::Json;
+    use xinsight_core::pipeline::XInsightOptions;
+    use xinsight_core::WhyQuery;
+    use xinsight_data::{Aggregate, DatasetBuilder, Dataset, Subspace};
+
+    fn tiny_data() -> Dataset {
+        let mut loc = Vec::new();
+        let mut smoking = Vec::new();
+        let mut severity = Vec::new();
+        for i in 0..160 {
+            let a = i % 2 == 0;
+            loc.push(if a { "A" } else { "B" });
+            let smokes = if a { i % 10 < 8 } else { i % 10 < 2 };
+            smoking.push(if smokes { "Yes" } else { "No" });
+            severity.push(if smokes { 2.0 + (i % 3) as f64 } else { 1.0 });
+        }
+        DatasetBuilder::new()
+            .dimension("Location", loc)
+            .dimension("Smoking", smoking)
+            .measure("Severity", severity)
+            .build()
+            .unwrap()
+    }
+
+    fn tiny_query() -> WhyQuery {
+        WhyQuery::new(
+            "Severity",
+            Aggregate::Avg,
+            Subspace::of("Location", "A"),
+            Subspace::of("Location", "B"),
+        )
+        .unwrap()
+    }
+
+    /// Fits + saves a bundle in a temp dir and serves it.
+    fn start_tiny(tag: &str, config: ServerConfig) -> (ServerHandle, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "xinsight_server_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let options = XInsightOptions::default();
+        let registry = ModelRegistry::open_empty(&dir, options.clone());
+        registry
+            .fit_and_save("tiny", &tiny_data(), vec![tiny_query()])
+            .unwrap();
+        registry.load("tiny").unwrap();
+        let handle = start(Arc::new(registry), &config).unwrap();
+        (handle, dir)
+    }
+
+    #[test]
+    fn explain_over_http_matches_direct_and_caches() {
+        let (handle, dir) = start_tiny("explain", ServerConfig::default());
+        let engine =
+            xinsight_core::pipeline::XInsight::fit(&tiny_data(), &XInsightOptions::default())
+                .unwrap();
+        let direct = wire::explanations_to_string(&engine.explain(&tiny_query()).unwrap());
+
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let body = format!(
+            "{{\"model\":\"tiny\",\"query\":{}}}",
+            tiny_query().to_json()
+        );
+        let first = client.post("/explain", &body).unwrap();
+        assert_eq!(first.status, 200, "body: {}", first.body);
+        let doc = Json::parse(&first.body).unwrap();
+        assert!(!doc.get("cached").unwrap().as_bool().unwrap());
+        assert_eq!(doc.get("explanations").unwrap().to_string(), direct);
+
+        // Second request over the same keep-alive connection hits the LRU
+        // and returns identical explanation bytes.
+        let second = client.post("/explain", &body).unwrap();
+        let doc2 = Json::parse(&second.body).unwrap();
+        assert!(doc2.get("cached").unwrap().as_bool().unwrap());
+        assert_eq!(doc2.get("explanations").unwrap().to_string(), direct);
+
+        // Batch endpoint: one cached, one fresh, order preserved.
+        let other = WhyQuery::new(
+            "Severity",
+            Aggregate::Sum,
+            Subspace::of("Location", "A"),
+            Subspace::of("Location", "B"),
+        )
+        .unwrap();
+        let batch = format!(
+            "{{\"model\":\"tiny\",\"queries\":[{},{}]}}",
+            tiny_query().to_json(),
+            other.to_json()
+        );
+        let resp = client.post("/explain_batch", &batch).unwrap();
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let doc = Json::parse(&resp.body).unwrap();
+        let results = doc.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].get("cached").unwrap().as_bool().unwrap());
+        assert!(!results[1].get("cached").unwrap().as_bool().unwrap());
+        assert_eq!(
+            results[0].get("explanations").unwrap().to_string(),
+            direct
+        );
+        let direct_other = wire::explanations_to_string(&engine.explain(&other).unwrap());
+        assert_eq!(
+            results[1].get("explanations").unwrap().to_string(),
+            direct_other
+        );
+
+        // /models and /stats report the serving state.
+        let models = client.get("/models").unwrap();
+        let doc = Json::parse(&models.body).unwrap();
+        let entry = &doc.as_arr().unwrap()[0];
+        assert_eq!(entry.get("id").unwrap().as_str().unwrap(), "tiny");
+        assert!(!entry.get("example_queries").unwrap().as_arr().unwrap().is_empty());
+        let stats = client.get("/stats").unwrap();
+        let doc = Json::parse(&stats.body).unwrap();
+        assert_eq!(
+            doc.get("requests").unwrap().get("explain").unwrap().as_u64().unwrap(),
+            2
+        );
+        let result_cache = doc.get("result_cache").unwrap();
+        assert_eq!(result_cache.get("hits").unwrap().as_u64().unwrap(), 2);
+        assert!(doc.get("selection_cache").unwrap().get("misses").unwrap().as_u64().unwrap() > 0);
+        assert!(doc.get("ci_cache_fit_time").unwrap().get("misses").unwrap().as_u64().unwrap() > 0);
+
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wire_errors_are_4xx_and_unknown_models_404() {
+        let (handle, dir) = start_tiny("errors", ServerConfig::default());
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let resp = client
+            .post(
+                "/explain",
+                &format!("{{\"model\":\"nope\",\"query\":{}}}", tiny_query().to_json()),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 404);
+        // Malformed JSON body → 400 with a structured error.
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let resp = client.post("/explain", "{not json").unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(Json::parse(&resp.body).unwrap().get("error").is_ok());
+        // Unknown endpoint → 404; wrong method → 405.
+        let resp = client.get("/nope").unwrap();
+        assert_eq!(resp.status, 404);
+        let resp = client.get("/explain").unwrap();
+        assert_eq!(resp.status, 405);
+        // A query over a column the model does not have → 400, not 500.
+        let bad = WhyQuery::new(
+            "Severity",
+            Aggregate::Avg,
+            Subspace::of("NoSuchColumn", "A"),
+            Subspace::of("NoSuchColumn", "B"),
+        )
+        .unwrap();
+        let resp = client
+            .post(
+                "/explain",
+                &format!("{{\"model\":\"tiny\",\"query\":{}}}", bad.to_json()),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 400, "body: {}", resp.body);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admission_queue_backpressure_returns_503() {
+        let (handle, dir) = start_tiny(
+            "backpressure",
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                ..ServerConfig::default()
+            },
+        );
+        // Occupy the single worker with a continuously busy keep-alive
+        // connection (an *idle* one would be shed once the queue fills —
+        // that is the anti-starvation policy).
+        let addr = handle.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let busy = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut busy = HttpClient::connect(addr).unwrap();
+                assert_eq!(busy.get("/models").unwrap().status, 200);
+                while !stop.load(Ordering::SeqCst) {
+                    assert_eq!(busy.get("/models").unwrap().status, 200);
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        // Fill the admission queue with a second connection.
+        let _queued = std::net::TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        // The next connection must be rejected with 503.
+        let mut rejected = HttpClient::connect(addr).unwrap();
+        let resp = rejected.get("/stats").unwrap();
+        assert_eq!(resp.status, 503, "body: {}", resp.body);
+        assert!(resp.closing);
+        stop.store(true, Ordering::SeqCst);
+        busy.join().unwrap();
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_endpoint_is_graceful() {
+        let (handle, dir) = start_tiny("shutdown", ServerConfig::default());
+        let addr = handle.addr();
+        let mut client = HttpClient::connect(addr).unwrap();
+        let resp = client.post("/admin/shutdown", "{}").unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.closing, "goodbye response announces the close");
+        // The server exits on its own; wait() returns.
+        handle.wait();
+        // And the port stops accepting.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(HttpClient::connect(addr)
+            .and_then(|mut c| c.get("/stats"))
+            .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hot_reload_bumps_generation_and_invalidates_cache() {
+        let (handle, dir) = start_tiny("reload", ServerConfig::default());
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let body = format!(
+            "{{\"model\":\"tiny\",\"query\":{}}}",
+            tiny_query().to_json()
+        );
+        assert_eq!(client.post("/explain", &body).unwrap().status, 200);
+        // Cached now.
+        let doc = Json::parse(&client.post("/explain", &body).unwrap().body).unwrap();
+        assert!(doc.get("cached").unwrap().as_bool().unwrap());
+        // Reload: generation bumps, cache entries for the model are dropped.
+        let resp = client.post("/admin/reload", "{\"model\":\"tiny\"}").unwrap();
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let doc = Json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("generation").unwrap().as_u64().unwrap(), 2);
+        let doc = Json::parse(&client.post("/explain", &body).unwrap().body).unwrap();
+        assert!(
+            !doc.get("cached").unwrap().as_bool().unwrap(),
+            "reload must invalidate the model's cached results"
+        );
+        // Reloading a model with no bundle is a client error.
+        let resp = client
+            .post("/admin/reload", "{\"model\":\"ghost\"}")
+            .unwrap();
+        assert_eq!(resp.status, 400);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

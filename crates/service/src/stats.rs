@@ -1,0 +1,320 @@
+//! Server-side observability: request counters and a latency histogram.
+//!
+//! Everything is lock-free (relaxed atomics): the serving hot path only
+//! ever increments counters, and `/stats` assembles a point-in-time JSON
+//! snapshot without contending with workers.  Latencies go into a
+//! power-of-two-microsecond histogram — coarse, but monotone and
+//! allocation-free — from which approximate percentiles are derived (each
+//! reported percentile is the upper bound of its bucket, so p50/p99 are
+//! conservative).  The `loadgen` bench reports *exact* percentiles from
+//! its own recorded samples; the histogram is for the live endpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use xinsight_core::json::Json;
+use xinsight_stats::CacheStats;
+
+/// Number of histogram buckets: bucket `i` counts latencies in
+/// `[2^i, 2^(i+1))` µs (bucket 0 is `< 2` µs, the last bucket is open).
+pub const LATENCY_BUCKETS: usize = 28;
+
+/// A fixed-bucket, lock-free latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (`0` before any sample).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Approximate `quantile` (in `[0, 1]`) as the upper bound of the
+    /// bucket containing it, in microseconds.
+    pub fn quantile_upper_us(&self, quantile: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((count as f64) * quantile.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".to_owned(), Json::Num(self.count() as f64)),
+            ("mean_us".to_owned(), Json::Num(self.mean_us() as f64)),
+            (
+                "p50_us".to_owned(),
+                Json::Num(self.quantile_upper_us(0.50) as f64),
+            ),
+            (
+                "p99_us".to_owned(),
+                Json::Num(self.quantile_upper_us(0.99) as f64),
+            ),
+        ])
+    }
+}
+
+/// Aggregate counters of one server instance.
+#[derive(Debug)]
+pub struct ServerStats {
+    started: Instant,
+    /// Requests answered, by endpoint.
+    pub explain: AtomicU64,
+    /// `POST /explain_batch` requests answered.
+    pub explain_batch: AtomicU64,
+    /// Individual queries inside batch requests.
+    pub batch_queries: AtomicU64,
+    /// `GET /models` requests answered.
+    pub models: AtomicU64,
+    /// `GET /stats` requests answered.
+    pub stats: AtomicU64,
+    /// Admin requests (reload + shutdown) answered.
+    pub admin: AtomicU64,
+    /// Requests rejected with `4xx` (bad wire format, unknown paths…).
+    pub client_errors: AtomicU64,
+    /// Requests failed with `500`.
+    pub server_errors: AtomicU64,
+    /// Connections rejected with `503` by the admission queue.
+    pub rejected: AtomicU64,
+    /// End-to-end request latencies (excluding queue wait of the
+    /// *connection*, which closed-loop clients observe instead).
+    pub latency: LatencyHistogram,
+    /// Accumulated `SelectionCache` counters over all served requests.
+    pub selection_hits: AtomicU64,
+    /// Accumulated `SelectionCache` miss counter.
+    pub selection_misses: AtomicU64,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            started: Instant::now(),
+            explain: AtomicU64::new(0),
+            explain_batch: AtomicU64::new(0),
+            batch_queries: AtomicU64::new(0),
+            models: AtomicU64::new(0),
+            stats: AtomicU64::new(0),
+            admin: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            server_errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+            selection_hits: AtomicU64::new(0),
+            selection_misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServerStats {
+    /// Folds one request's `SelectionCache` counters into the running
+    /// totals.
+    pub fn add_selection(&self, stats: CacheStats) {
+        self.selection_hits.fetch_add(stats.hits, Ordering::Relaxed);
+        self.selection_misses
+            .fetch_add(stats.misses, Ordering::Relaxed);
+    }
+
+    /// Total requests that reached a handler (everything but `503`s).
+    pub fn requests_total(&self) -> u64 {
+        self.explain.load(Ordering::Relaxed)
+            + self.explain_batch.load(Ordering::Relaxed)
+            + self.models.load(Ordering::Relaxed)
+            + self.stats.load(Ordering::Relaxed)
+            + self.admin.load(Ordering::Relaxed)
+            + self.client_errors.load(Ordering::Relaxed)
+            + self.server_errors.load(Ordering::Relaxed)
+    }
+
+    /// The `/stats` JSON document.  `result_cache` and the per-model CI
+    /// stats are owned elsewhere and passed in for the snapshot.
+    pub fn to_json(
+        &self,
+        result_cache: &crate::lru::ResultCacheStats,
+        ci_cache: CacheStats,
+        queue_depth: usize,
+        queue_capacity: usize,
+        workers: usize,
+    ) -> Json {
+        let uptime = self.started.elapsed().as_secs_f64();
+        let total = self.requests_total();
+        let qps = if uptime > 0.0 {
+            total as f64 / uptime
+        } else {
+            0.0
+        };
+        let load = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+        let selection = CacheStats {
+            hits: self.selection_hits.load(Ordering::Relaxed),
+            misses: self.selection_misses.load(Ordering::Relaxed),
+            entries: 0,
+        };
+        Json::Obj(vec![
+            ("uptime_s".to_owned(), Json::Num(uptime)),
+            ("requests_total".to_owned(), Json::Num(total as f64)),
+            ("qps".to_owned(), Json::Num(qps)),
+            (
+                "requests".to_owned(),
+                Json::Obj(vec![
+                    ("explain".to_owned(), load(&self.explain)),
+                    ("explain_batch".to_owned(), load(&self.explain_batch)),
+                    ("batch_queries".to_owned(), load(&self.batch_queries)),
+                    ("models".to_owned(), load(&self.models)),
+                    ("stats".to_owned(), load(&self.stats)),
+                    ("admin".to_owned(), load(&self.admin)),
+                    ("client_errors".to_owned(), load(&self.client_errors)),
+                    ("server_errors".to_owned(), load(&self.server_errors)),
+                    ("rejected_503".to_owned(), load(&self.rejected)),
+                ]),
+            ),
+            ("latency".to_owned(), self.latency.to_json()),
+            (
+                "queue".to_owned(),
+                Json::Obj(vec![
+                    ("depth".to_owned(), Json::Num(queue_depth as f64)),
+                    ("capacity".to_owned(), Json::Num(queue_capacity as f64)),
+                    ("workers".to_owned(), Json::Num(workers as f64)),
+                ]),
+            ),
+            (
+                "result_cache".to_owned(),
+                Json::Obj(vec![
+                    ("hits".to_owned(), Json::Num(result_cache.hits as f64)),
+                    ("misses".to_owned(), Json::Num(result_cache.misses as f64)),
+                    (
+                        "hit_rate".to_owned(),
+                        Json::Num(result_cache.hit_rate()),
+                    ),
+                    (
+                        "evictions".to_owned(),
+                        Json::Num(result_cache.evictions as f64),
+                    ),
+                    (
+                        "uncacheable".to_owned(),
+                        Json::Num(result_cache.uncacheable as f64),
+                    ),
+                    ("entries".to_owned(), Json::Num(result_cache.entries as f64)),
+                    ("bytes".to_owned(), Json::Num(result_cache.bytes as f64)),
+                    (
+                        "byte_budget".to_owned(),
+                        Json::Num(result_cache.byte_budget as f64),
+                    ),
+                ]),
+            ),
+            (
+                "selection_cache".to_owned(),
+                Json::Obj(vec![
+                    ("hits".to_owned(), Json::Num(selection.hits as f64)),
+                    ("misses".to_owned(), Json::Num(selection.misses as f64)),
+                    ("hit_rate".to_owned(), Json::Num(selection.hit_rate())),
+                ]),
+            ),
+            (
+                "ci_cache_fit_time".to_owned(),
+                Json::Obj(vec![
+                    ("hits".to_owned(), Json::Num(ci_cache.hits as f64)),
+                    ("misses".to_owned(), Json::Num(ci_cache.misses as f64)),
+                    ("hit_rate".to_owned(), Json::Num(ci_cache.hit_rate())),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles_are_monotone() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 3, 3, 10, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 7);
+        assert!(h.mean_us() > 0);
+        let p50 = h.quantile_upper_us(0.50);
+        let p99 = h.quantile_upper_us(0.99);
+        assert!(p50 <= p99, "p50 {p50} must be <= p99 {p99}");
+        // The p50 bucket upper bound covers the 4th smallest sample (10µs).
+        assert!((10..=32).contains(&p50), "got {p50}");
+        // p99 covers the largest sample.
+        assert!(p99 >= 10_000, "got {p99}");
+        // Empty histogram.
+        let empty = LatencyHistogram::default();
+        assert_eq!(empty.quantile_upper_us(0.5), 0);
+        assert_eq!(empty.mean_us(), 0);
+    }
+
+    #[test]
+    fn stats_json_assembles_every_section() {
+        let stats = ServerStats::default();
+        stats.explain.fetch_add(3, Ordering::Relaxed);
+        stats.rejected.fetch_add(1, Ordering::Relaxed);
+        stats.latency.record(Duration::from_micros(500));
+        stats.add_selection(CacheStats {
+            hits: 10,
+            misses: 5,
+            entries: 7,
+        });
+        let doc = stats.to_json(
+            &crate::lru::ResultCacheStats::default(),
+            CacheStats::default(),
+            2,
+            64,
+            4,
+        );
+        assert_eq!(doc.get("requests_total").unwrap().as_u64().unwrap(), 3);
+        let requests = doc.get("requests").unwrap();
+        assert_eq!(requests.get("explain").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(requests.get("rejected_503").unwrap().as_u64().unwrap(), 1);
+        let selection = doc.get("selection_cache").unwrap();
+        assert!((selection.get("hit_rate").unwrap().as_f64().unwrap() - 10.0 / 15.0).abs() < 1e-12);
+        assert_eq!(
+            doc.get("queue").unwrap().get("capacity").unwrap().as_u64().unwrap(),
+            64
+        );
+        // The document is valid canonical JSON.
+        assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+}

@@ -1,0 +1,290 @@
+//! The JSON wire format of the serving endpoints.
+//!
+//! Requests and responses reuse the engine's hand-rolled
+//! [`Json`] codepath and [`WhyQuery`]'s
+//! canonical form, so the HTTP body, the LRU cache key and the persisted
+//! artifacts all share one serialization convention (and one set of
+//! defensive parsers).
+//!
+//! The explanation list serializes **deterministically** — field order is
+//! fixed, numbers use the canonical `f64` writer — which is what lets the
+//! result cache store the serialized string itself and still be provably
+//! answer-identical to the uncached path.
+
+use xinsight_core::json::Json;
+use xinsight_core::{Explanation, WhyQuery};
+use xinsight_data::{DataError, Predicate, Result};
+
+/// A parsed `POST /explain` body: `{"model": "...", "query": {...}}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainRequest {
+    /// The registry id of the model to answer against.
+    pub model: String,
+    /// The query, validated (sibling subspaces, known aggregate).
+    pub query: WhyQuery,
+}
+
+/// A parsed `POST /explain_batch` body:
+/// `{"model": "...", "queries": [{...}, ...]}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainBatchRequest {
+    /// The registry id of the model to answer against.
+    pub model: String,
+    /// The queries, in request order.
+    pub queries: Vec<WhyQuery>,
+}
+
+fn parse_body(body: &[u8]) -> Result<Json> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| DataError::Serve("request body is not utf-8".into()))?;
+    Json::parse(text)
+}
+
+fn model_of(doc: &Json) -> Result<String> {
+    let model = doc.get("model")?.as_str()?;
+    if model.is_empty() {
+        return Err(DataError::Serve("`model` must be non-empty".into()));
+    }
+    Ok(model.to_owned())
+}
+
+impl ExplainRequest {
+    /// Parses and validates a `POST /explain` body.
+    pub fn parse(body: &[u8]) -> Result<Self> {
+        let doc = parse_body(body)?;
+        Ok(ExplainRequest {
+            model: model_of(&doc)?,
+            query: WhyQuery::from_json_value(doc.get("query")?)?,
+        })
+    }
+}
+
+/// Upper bound on the number of queries one batch request may carry —
+/// keeps a single request from monopolizing a worker unboundedly.
+pub const MAX_BATCH_QUERIES: usize = 256;
+
+impl ExplainBatchRequest {
+    /// Parses and validates a `POST /explain_batch` body.
+    pub fn parse(body: &[u8]) -> Result<Self> {
+        let doc = parse_body(body)?;
+        let queries = doc
+            .get("queries")?
+            .as_arr()?
+            .iter()
+            .map(WhyQuery::from_json_value)
+            .collect::<Result<Vec<_>>>()?;
+        if queries.is_empty() {
+            return Err(DataError::Serve("`queries` must be non-empty".into()));
+        }
+        if queries.len() > MAX_BATCH_QUERIES {
+            return Err(DataError::Serve(format!(
+                "batch of {} queries exceeds the limit of {MAX_BATCH_QUERIES}",
+                queries.len()
+            )));
+        }
+        Ok(ExplainBatchRequest {
+            model: model_of(&doc)?,
+            queries,
+        })
+    }
+}
+
+/// A parsed `POST /admin/reload` body: `{"model": "..."}`.
+pub fn parse_reload_request(body: &[u8]) -> Result<String> {
+    model_of(&parse_body(body)?)
+}
+
+fn predicate_to_json(predicate: &Predicate) -> Json {
+    Json::Obj(vec![
+        (
+            "attribute".to_owned(),
+            Json::Str(predicate.attribute().to_owned()),
+        ),
+        (
+            "values".to_owned(),
+            Json::Arr(
+                predicate
+                    .values()
+                    .iter()
+                    .map(|v| Json::Str(v.clone()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn opt_f64(value: Option<f64>) -> Json {
+    match value {
+        Some(v) => Json::Num(v),
+        None => Json::Null,
+    }
+}
+
+/// Serializes one explanation to its wire object.
+pub fn explanation_to_json(explanation: &Explanation) -> Json {
+    Json::Obj(vec![
+        (
+            "type".to_owned(),
+            Json::Str(explanation.explanation_type.to_string()),
+        ),
+        (
+            "causal_role".to_owned(),
+            match explanation.causal_role {
+                Some(role) => Json::Str(role.to_string()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "predicate".to_owned(),
+            predicate_to_json(&explanation.predicate),
+        ),
+        (
+            "responsibility".to_owned(),
+            Json::Num(explanation.responsibility),
+        ),
+        (
+            "contingency".to_owned(),
+            match &explanation.contingency {
+                Some(p) => predicate_to_json(p),
+                None => Json::Null,
+            },
+        ),
+        (
+            "original_delta".to_owned(),
+            Json::Num(explanation.original_delta),
+        ),
+        (
+            "remaining_delta".to_owned(),
+            opt_f64(explanation.remaining_delta),
+        ),
+    ])
+}
+
+/// Serializes a ranked explanation list to the canonical string the result
+/// cache stores and `/explain` responses embed.
+pub fn explanations_to_string(explanations: &[Explanation]) -> String {
+    Json::Arr(explanations.iter().map(explanation_to_json).collect()).to_string()
+}
+
+/// Assembles the `/explain` response envelope around an (often cached)
+/// pre-serialized explanation list.
+pub fn explain_response(model: &str, cached: bool, explanations_json: &str) -> String {
+    let mut out = String::from("{\"model\":");
+    Json::Str(model.to_owned()).write(&mut out);
+    out.push_str(",\"cached\":");
+    out.push_str(if cached { "true" } else { "false" });
+    out.push_str(",\"explanations\":");
+    out.push_str(explanations_json);
+    out.push('}');
+    out
+}
+
+/// Assembles the `/explain_batch` response envelope;
+/// `results[i]` is the `(cached, serialized explanations)` pair of
+/// `queries[i]`.
+pub fn explain_batch_response(model: &str, results: &[(bool, std::sync::Arc<str>)]) -> String {
+    let mut out = String::from("{\"model\":");
+    Json::Str(model.to_owned()).write(&mut out);
+    out.push_str(",\"results\":[");
+    for (i, (cached, json)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"cached\":");
+        out.push_str(if *cached { "true" } else { "false" });
+        out.push_str(",\"explanations\":");
+        out.push_str(json);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xinsight_core::{CausalRole, ExplanationType};
+    use xinsight_data::{Aggregate, Subspace};
+
+    fn query() -> WhyQuery {
+        WhyQuery::new(
+            "M",
+            Aggregate::Avg,
+            Subspace::of("X", "a"),
+            Subspace::of("X", "b"),
+        )
+        .unwrap()
+    }
+
+    fn explanation() -> Explanation {
+        Explanation {
+            explanation_type: ExplanationType::Causal,
+            causal_role: Some(CausalRole::Parent),
+            predicate: Predicate::new("Smoking", ["Yes"]),
+            responsibility: 0.75,
+            contingency: None,
+            original_delta: 1.5,
+            remaining_delta: Some(0.25),
+        }
+    }
+
+    #[test]
+    fn explain_request_round_trips_through_query_json() {
+        let body = format!(
+            "{{\"model\":\"flight\",\"query\":{}}}",
+            query().to_json()
+        );
+        let parsed = ExplainRequest::parse(body.as_bytes()).unwrap();
+        assert_eq!(parsed.model, "flight");
+        assert_eq!(parsed.query, query());
+    }
+
+    #[test]
+    fn batch_request_preserves_order_and_validates() {
+        let q = query().to_json();
+        let body = format!("{{\"model\":\"m\",\"queries\":[{q},{q}]}}");
+        let parsed = ExplainBatchRequest::parse(body.as_bytes()).unwrap();
+        assert_eq!(parsed.queries.len(), 2);
+        assert!(ExplainBatchRequest::parse(b"{\"model\":\"m\",\"queries\":[]}").is_err());
+        assert!(ExplainBatchRequest::parse(b"{\"model\":\"\",\"queries\":[]}").is_err());
+        assert!(ExplainRequest::parse(b"not json").is_err());
+        assert!(ExplainRequest::parse(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected() {
+        let q = query().to_json();
+        let queries = vec![q; MAX_BATCH_QUERIES + 1].join(",");
+        let body = format!("{{\"model\":\"m\",\"queries\":[{queries}]}}");
+        let err = ExplainBatchRequest::parse(body.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn explanations_serialize_deterministically() {
+        let json = explanations_to_string(&[explanation()]);
+        assert_eq!(
+            json,
+            "[{\"type\":\"causal\",\"causal_role\":\"parent\",\
+             \"predicate\":{\"attribute\":\"Smoking\",\"values\":[\"Yes\"]},\
+             \"responsibility\":0.75,\"contingency\":null,\
+             \"original_delta\":1.5,\"remaining_delta\":0.25}]"
+        );
+        // Envelope embeds the list verbatim.
+        let envelope = explain_response("m", true, &json);
+        assert!(envelope.starts_with("{\"model\":\"m\",\"cached\":true,\"explanations\":["));
+        assert!(Json::parse(&envelope).is_ok());
+    }
+
+    #[test]
+    fn batch_envelope_embeds_each_result() {
+        let json: Arc<str> = Arc::from(explanations_to_string(&[explanation()]).as_str());
+        let body = explain_batch_response("m", &[(true, Arc::clone(&json)), (false, json)]);
+        let doc = Json::parse(&body).unwrap();
+        let results = doc.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].get("cached").unwrap().as_bool().unwrap());
+        assert!(!results[1].get("cached").unwrap().as_bool().unwrap());
+    }
+}

@@ -37,6 +37,50 @@ impl CacheState {
     }
 }
 
+/// A point-in-time snapshot of a cache's effectiveness counters.
+///
+/// Both caching layers of the engine — [`CachedCiTest`] offline and the
+/// online selection cache in `xinsight-core` — expose their private atomic
+/// hit/miss counters through this one struct, so the serving layer's
+/// `/stats` endpoint and the benches report them uniformly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that had to compute (and store) their entry.
+    pub misses: u64,
+    /// Distinct entries currently held.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total number of lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from memory (`0.0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Element-wise sum of two snapshots — for accumulating the stats of
+    /// many short-lived caches (e.g. one per served request) into a running
+    /// total.
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            entries: self.entries + other.entries,
+        }
+    }
+}
+
 /// A wrapper that caches the outcome of CI queries keyed by interned
 /// `(X, Y, sorted Z)` variable ids (with `X`/`Y` order normalised).
 ///
@@ -77,6 +121,17 @@ impl<T: CiTest> CachedCiTest<T> {
     /// Number of cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough snapshot of the counters and the entry count
+    /// (each value is read atomically; the trio is not sampled under one
+    /// lock, which is fine for reporting).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: self.state.lock().map.len(),
+        }
     }
 
     /// Drops all cached entries (call when switching datasets).  Interned

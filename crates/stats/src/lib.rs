@@ -34,7 +34,7 @@ mod small_vec;
 pub mod special;
 mod view;
 
-pub use cache::CachedCiTest;
+pub use cache::{CacheStats, CachedCiTest};
 pub use chi_square::ChiSquareTest;
 pub use ci_test::{CiOutcome, CiTest, IndexedCiTest};
 pub use contingency::ContingencyTable;

@@ -35,4 +35,36 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "==> cargo test --doc"
 cargo test -q --doc --workspace
 
+echo "==> serving smoke test (xinsight-serve + loadgen)"
+# Start the server on a loopback port with a freshly fitted + saved SYN-A
+# bundle, issue one /explain and one /stats through the loadgen smoke
+# client, request a graceful shutdown over the wire, and assert the server
+# process exits cleanly (status 0).
+SMOKE_DIR="$(mktemp -d)"
+cleanup_smoke() {
+    [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup_smoke EXIT
+./target/release/xinsight-serve \
+    --demo syn_a --models "$SMOKE_DIR/models" --addr 127.0.0.1:0 --workers 2 \
+    > "$SMOKE_DIR/serve.log" 2> "$SMOKE_DIR/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 1 150); do
+    grep -q "listening on" "$SMOKE_DIR/serve.log" 2>/dev/null && break
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "xinsight-serve exited before listening:" >&2
+        cat "$SMOKE_DIR/serve.err" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+SERVE_ADDR="$(sed -n 's#.*listening on http://##p' "$SMOKE_DIR/serve.log")"
+[[ -n "$SERVE_ADDR" ]] || { echo "no listening banner" >&2; exit 1; }
+./target/release/loadgen --smoke --addr "$SERVE_ADDR"
+wait "$SERVE_PID"   # graceful shutdown => exit 0 (set -e enforces it)
+SERVE_PID=""
+grep -q "shut down cleanly" "$SMOKE_DIR/serve.log"
+echo "==> serving smoke test OK"
+
 echo "==> OK"

@@ -11,5 +11,6 @@ pub use xinsight_core as core;
 pub use xinsight_data as data;
 pub use xinsight_discovery as discovery;
 pub use xinsight_graph as graph;
+pub use xinsight_service as service;
 pub use xinsight_stats as stats;
 pub use xinsight_synth as synth;
