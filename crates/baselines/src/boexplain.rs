@@ -74,9 +74,7 @@ impl ExplanationEngine for BoExplain {
         let mut weights = vec![0.5f64; m];
         let mut best: Option<(f64, Vec<usize>)> = None;
         for round in 0..self.budget {
-            let subset: Vec<usize> = (0..m)
-                .filter(|&i| rng.gen::<f64>() < weights[i])
-                .collect();
+            let subset: Vec<usize> = (0..m).filter(|&i| rng.gen::<f64>() < weights[i]).collect();
             let subset = if subset.is_empty() {
                 vec![rng.gen_range(0..m)]
             } else {

@@ -133,13 +133,8 @@ pub(crate) mod testing {
             .measure("Z", z)
             .build()
             .unwrap();
-        let query = WhyQuery::new(
-            "Z",
-            agg,
-            Subspace::of("X", "a"),
-            Subspace::of("X", "b"),
-        )
-        .unwrap();
+        let query =
+            WhyQuery::new("Z", agg, Subspace::of("X", "a"), Subspace::of("X", "b")).unwrap();
         (data, query, vec!["bad0".into(), "bad1".into()])
     }
 

@@ -10,8 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use xinsight_baselines::{BoExplain, ExplanationEngine, Scorpion};
 use xinsight_core::{
-    SearchStrategy, SelectionCache, WhyQuery, XLearner, XLearnerOptions, XPlainer,
-    XPlainerOptions,
+    SearchStrategy, SelectionCache, WhyQuery, XLearner, XLearnerOptions, XPlainer, XPlainerOptions,
 };
 use xinsight_data::{detect_fds, Aggregate, FdDetectionOptions, Subspace};
 use xinsight_discovery::{fci, FciOptions};
@@ -25,7 +24,10 @@ fn bench_data_layer(c: &mut Criterion) {
     });
     let test = ChiSquareTest::new(0.05);
     c.bench_function("chi_square_ci/flight_20k", |b| {
-        b.iter(|| test.independent(&data, "Rain", "DelayOver15", &["Month"]).unwrap())
+        b.iter(|| {
+            test.independent(&data, "Rain", "DelayOver15", &["Month"])
+                .unwrap()
+        })
     });
     let query = flight::why_query();
     c.bench_function("why_query_delta/flight_20k", |b| {
@@ -127,7 +129,13 @@ fn bench_xplainer(c: &mut Criterion) {
     group.bench_function("avg_homogeneous_pruning_off", |b| {
         b.iter(|| {
             xplainer
-                .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, false)
+                .explain_attribute(
+                    &instance.data,
+                    &query,
+                    "Y",
+                    SearchStrategy::Optimized,
+                    false,
+                )
                 .unwrap()
         })
     });
@@ -143,7 +151,13 @@ fn bench_xplainer(c: &mut Criterion) {
     group.bench_function("brute_force_sum_card8", |b| {
         b.iter(|| {
             xplainer
-                .explain_attribute(&small.data, &small_query, "Y", SearchStrategy::BruteForce, true)
+                .explain_attribute(
+                    &small.data,
+                    &small_query,
+                    "Y",
+                    SearchStrategy::BruteForce,
+                    true,
+                )
                 .unwrap()
         })
     });
@@ -205,18 +219,23 @@ fn bench_parallel_engine(c: &mut Criterion) {
     // attributes each — the explain_many workload.
     let data = flight::generate(120_000, 1);
     let attributes = ["Rain", "Carrier", "Hour", "DayOfWeek", "DelayOver15"];
-    let queries: Vec<WhyQuery> = [("May", "Nov"), ("Jun", "Nov"), ("May", "Jan"), ("Jul", "Feb")]
-        .iter()
-        .map(|&(a, b)| {
-            WhyQuery::new(
-                "DelayMinute",
-                Aggregate::Avg,
-                Subspace::of("Month", a),
-                Subspace::of("Month", b),
-            )
-            .unwrap()
-        })
-        .collect();
+    let queries: Vec<WhyQuery> = [
+        ("May", "Nov"),
+        ("Jun", "Nov"),
+        ("May", "Jan"),
+        ("Jul", "Feb"),
+    ]
+    .iter()
+    .map(|&(a, b)| {
+        WhyQuery::new(
+            "DelayMinute",
+            Aggregate::Avg,
+            Subspace::of("Month", a),
+            Subspace::of("Month", b),
+        )
+        .unwrap()
+    })
+    .collect();
     let run_batch = |opts: &XPlainerOptions, shared: Option<&Arc<SelectionCache>>| {
         let xplainer = XPlainer::new(opts.clone());
         let mut found = 0usize;
@@ -270,10 +289,18 @@ fn bench_baselines(c: &mut Criterion) {
     });
     let query = instance.query(Aggregate::Avg);
     group.bench_function("scorpion_card10", |b| {
-        b.iter(|| Scorpion::default().explain(&instance.data, &query, "Y").unwrap())
+        b.iter(|| {
+            Scorpion::default()
+                .explain(&instance.data, &query, "Y")
+                .unwrap()
+        })
     });
     group.bench_function("boexplain_card10", |b| {
-        b.iter(|| BoExplain::default().explain(&instance.data, &query, "Y").unwrap())
+        b.iter(|| {
+            BoExplain::default()
+                .explain(&instance.data, &query, "Y")
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -301,9 +328,12 @@ fn bench_serving_layer(c: &mut Criterion) {
         model: "flight".to_owned(),
         generation: 1,
         query: query.clone(),
+        options: String::new(),
     };
     hot.insert(key.clone(), Arc::clone(&value));
-    c.bench_function("serve/result_cache_hit", |b| b.iter(|| hot.get(&key).unwrap()));
+    c.bench_function("serve/result_cache_hit", |b| {
+        b.iter(|| hot.get(&key).unwrap())
+    });
 
     // Insert path with the budget sized to keep ~8 entries: every insert
     // evicts, exercising the accounting + order maintenance.
@@ -312,10 +342,12 @@ fn bench_serving_layer(c: &mut Criterion) {
             model: format!("m{i}"),
             generation: 1,
             query: query.clone(),
+            options: String::new(),
         })
         .collect();
     let entry_bytes = keys[0].model.len()
         + query.to_json().len()
+        + keys[0].options.len()
         + value.len()
         + xinsight_service::lru::ENTRY_OVERHEAD_BYTES;
     let churning = ResultCache::new(8 * entry_bytes);

@@ -70,7 +70,9 @@ fn time(name: &'static str, samples: usize, mut routine: impl FnMut()) -> Sample
 
 fn main() {
     let threads = xinsight_core::parallel::configure_pool_from_env();
-    let fast = std::env::var("XINSIGHT_BENCH_FAST").map(|v| v == "1").unwrap_or(false);
+    let fast = std::env::var("XINSIGHT_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let samples = if fast { 2 } else { 5 };
     eprintln!("# worker threads: {threads}");
     println!("\n## offline_fit");

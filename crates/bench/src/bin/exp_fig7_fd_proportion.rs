@@ -15,18 +15,17 @@ fn main() {
     let threads = xinsight_core::parallel::configure_pool_from_env();
     eprintln!("# worker threads: {threads}");
     let full = xinsight_bench::full_scale();
-    let seeds: Vec<u64> = if full { vec![1, 2, 3, 4, 5] } else { vec![1, 2, 3] };
+    let seeds: Vec<u64> = if full {
+        vec![1, 2, 3, 4, 5]
+    } else {
+        vec![1, 2, 3]
+    };
     let n_rows = if full { 5000 } else { 1500 };
     // FD proportion is driven by how many FD nodes each leaf receives.
     let fd_levels: Vec<usize> = vec![1, 2, 3, 4];
 
     println!("# Figure 7 reproduction: superiority (XLearner − FCI) by FD proportion");
-    print_header(&[
-        "FD proportion (mean)",
-        "ΔF1",
-        "ΔPrecision",
-        "ΔRecall",
-    ]);
+    print_header(&["FD proportion (mean)", "ΔF1", "ΔPrecision", "ΔRecall"]);
 
     let mut rows: Vec<(f64, f64, f64, f64)> = fd_levels
         .par_iter()

@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 use xinsight_core::pipeline::{XInsight, XInsightOptions};
+use xinsight_core::ExplainRequest;
 use xinsight_data::Filter;
 use xinsight_synth::{flight, hotel};
 
@@ -34,17 +35,22 @@ fn main() {
     println!("Δ(D)            = {delta:.3}   (paper: 3.674)");
     println!("Δ(D | Rain=Yes) = {delta_rain:.3}   (paper: −2.068 — gap shrinks/reverses)");
     let engine = XInsight::fit(&data, &XInsightOptions::default()).expect("fit FLIGHT");
-    let explanations = engine.explain(&query).expect("explain FLIGHT");
+    let explanations = engine
+        .execute(&ExplainRequest::new(query.clone()))
+        .expect("explain FLIGHT")
+        .into_explanations();
     println!("Top explanations:");
     for e in explanations.iter().take(5) {
         println!(
             "  - {e}  [role: {}]",
-            e.causal_role.map(|r| r.to_string()).unwrap_or_else(|| "-".into())
+            e.causal_role
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
-    let rain_causal = explanations
-        .iter()
-        .any(|e| e.attribute() == "Rain" && e.explanation_type == xinsight_core::ExplanationType::Causal);
+    let rain_causal = explanations.iter().any(|e| {
+        e.attribute() == "Rain" && e.explanation_type == xinsight_core::ExplanationType::Causal
+    });
     println!("shape check: Rain reported as a causal explanation: {rain_causal}\n");
 
     // Model persistence: save the fitted artifact, reload it, and serve the
@@ -62,7 +68,10 @@ fn main() {
     let model = xinsight_core::FittedModel::load(&model_path).expect("load fitted model");
     let restored = XInsight::from_fitted(&data, model, &XInsightOptions::default())
         .expect("reconstruct engine from fitted model");
-    let from_model = restored.explain(&query).expect("explain from loaded model");
+    let from_model = restored
+        .execute(&ExplainRequest::new(query.clone()))
+        .expect("explain from loaded model")
+        .into_explanations();
     println!(
         "persistence: model = {bytes} B at {}, load+reconstruct = {:.1} ms, \
          explanations identical to fit: {}\n",
@@ -80,12 +89,17 @@ fn main() {
     println!("Why Query: {query}");
     println!("Δ(D) = {delta:.3}   (paper: 0.37 − 0.30 = 0.07)");
     let engine = XInsight::fit(&data, &XInsightOptions::default()).expect("fit HOTEL");
-    let explanations = engine.explain(&query).expect("explain HOTEL");
+    let explanations = engine
+        .execute(&ExplainRequest::new(query.clone()))
+        .expect("explain HOTEL")
+        .into_explanations();
     println!("Top explanations:");
     for e in explanations.iter().take(5) {
         println!(
             "  - {e}  [role: {}]",
-            e.causal_role.map(|r| r.to_string()).unwrap_or_else(|| "-".into())
+            e.causal_role
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
     let leadtime_causal = explanations.iter().any(|e| {

@@ -10,7 +10,7 @@
 //! panel; see DESIGN.md for the substitution rationale.
 
 use xinsight_core::pipeline::{XInsight, XInsightOptions};
-use xinsight_core::WhyQuery;
+use xinsight_core::{ExplainRequest, WhyQuery};
 use xinsight_data::{Aggregate, DatasetBuilder, Filter, Subspace};
 use xinsight_synth::expert_panel::{ClaimVerdict, ExpertPanel};
 use xinsight_synth::web;
@@ -27,11 +27,9 @@ fn main() {
     let instance = web::generate(n_rows, 1);
     // Rebuild the dataset with a numeric copy of the label so AVG Why Queries apply.
     let blocked_col: Vec<f64> = (0..instance.data.n_rows())
-        .map(|i| {
-            match instance.data.value(i, "IsBlocked").unwrap() {
-                xinsight_data::Value::Category(ref s) if s == "Yes" => 1.0,
-                _ => 0.0,
-            }
+        .map(|i| match instance.data.value(i, "IsBlocked").unwrap() {
+            xinsight_data::Value::Category(ref s) if s == "Yes" => 1.0,
+            _ => 0.0,
         })
         .collect();
     let mut builder = DatasetBuilder::new();
@@ -61,8 +59,12 @@ fn main() {
         if query.delta(&data).map(|d| d.abs() < 1e-9).unwrap_or(true) {
             continue;
         }
-        let explanations = engine.explain(&query).unwrap_or_default();
-        for e in explanations.iter().take(2) {
+        // Per-request top-k: only the two best explanations are judged.
+        let explanations = engine
+            .execute(&ExplainRequest::builder(query).top_k(2).build())
+            .map(|response| response.into_explanations())
+            .unwrap_or_default();
+        for e in explanations.iter() {
             let is_causal_truth = instance.causal_behaviors.iter().any(|b| b == e.attribute());
             let claimed_causal = e.explanation_type == xinsight_core::ExplanationType::Causal;
             // An explanation is "correct" for the panel when its causal claim
@@ -74,7 +76,10 @@ fn main() {
     let panel = ExpertPanel::new(42);
     let sheet = panel.score_explanations(&explanation_correct);
     let means = ExpertPanel::mean_scores(&sheet);
-    println!("## Table 5: explanation assessment ({} explanations, 6 experts)", means.len());
+    println!(
+        "## Table 5: explanation assessment ({} explanations, 6 experts)",
+        means.len()
+    );
     for (i, (desc, mean)) in described.iter().zip(&means).enumerate() {
         println!("E{}  mean score {:.2}   {desc}", i + 1, mean);
     }
@@ -97,7 +102,10 @@ fn main() {
     }
     let verdicts = panel.judge_claims(&claim_correct);
     let tally = ExpertPanel::tally_claims(&verdicts);
-    println!("## Table 7: causal claim assessment ({} claims, 6 experts)", claims.len());
+    println!(
+        "## Table 7: causal claim assessment ({} claims, 6 experts)",
+        claims.len()
+    );
     let mut reasonable = 0usize;
     let mut unsure = 0usize;
     let mut unreasonable = 0usize;

@@ -22,7 +22,11 @@ fn main() {
     } else {
         vec![8, 12, 16]
     };
-    let seeds: Vec<u64> = if full { vec![1, 2, 3, 4, 5] } else { vec![1, 2, 3] };
+    let seeds: Vec<u64> = if full {
+        vec![1, 2, 3, 4, 5]
+    } else {
+        vec![1, 2, 3]
+    };
     let n_rows = if full { 5000 } else { 1500 };
 
     println!("# Table 6 reproduction: XLearner vs FCI on SYN-A");

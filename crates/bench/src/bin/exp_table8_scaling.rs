@@ -46,7 +46,15 @@ fn run_all(options: &SynBOptions, aggregate: Aggregate) -> Vec<EngineRun> {
 
 fn print_block(title: &str, configs: &[(String, SynBOptions)], aggregate: Aggregate) {
     println!("\n## {title} ({aggregate:?})");
-    print_header(&["Engine", "Metric", &configs.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>().join(" | ")]);
+    print_header(&[
+        "Engine",
+        "Metric",
+        &configs
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect::<Vec<_>>()
+            .join(" | "),
+    ]);
     let all: Vec<Vec<EngineRun>> = configs.iter().map(|(_, o)| run_all(o, aggregate)).collect();
     for engine_idx in 0..4 {
         let name = all[0][engine_idx].engine;
@@ -62,7 +70,11 @@ fn print_block(title: &str, configs: &[(String, SynBOptions)], aggregate: Aggreg
             })
             .collect();
         print_row(&[name.to_owned(), "F1".to_owned(), f1_cells.join(" | ")]);
-        print_row(&[name.to_owned(), "Time (s)".to_owned(), time_cells.join(" | ")]);
+        print_row(&[
+            name.to_owned(),
+            "Time (s)".to_owned(),
+            time_cells.join(" | "),
+        ]);
     }
 }
 
@@ -94,8 +106,16 @@ fn main() {
             )
         })
         .collect();
-    print_block("Varying #rows (cardinality = 10)", &row_configs, Aggregate::Sum);
-    print_block("Varying #rows (cardinality = 10)", &row_configs, Aggregate::Avg);
+    print_block(
+        "Varying #rows (cardinality = 10)",
+        &row_configs,
+        Aggregate::Sum,
+    );
+    print_block(
+        "Varying #rows (cardinality = 10)",
+        &row_configs,
+        Aggregate::Avg,
+    );
 
     // --- Sweep over cardinality at a fixed row count. ---
     let base_rows = if full { 100_000 } else { 20_000 };

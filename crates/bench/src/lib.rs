@@ -21,7 +21,9 @@ pub use xinsight_baselines::{BoExplain, ExplanationEngine, RsExplain, Scorpion};
 
 /// Returns `true` when the full (paper-scale) configuration was requested.
 pub fn full_scale() -> bool {
-    std::env::var("XINSIGHT_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("XINSIGHT_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Wall-clock timing of a closure, in seconds.
@@ -189,7 +191,10 @@ pub fn print_row(cells: &[String]) {
 /// Prints a markdown-style table header (with separator line).
 pub fn print_header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]

@@ -1,9 +1,16 @@
 //! Explanations (Def. 2.2) and XDA semantics (Table 3).
 
-use xinsight_data::Predicate;
+use xinsight_data::{DataError, Predicate};
 
 /// Whether an explanation carries causal or merely correlational meaning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Ordered (`Causal < NonCausal`) to match the ranking convention — causal
+/// explanations always come first — which also gives
+/// [`ExplainRequest`](crate::ExplainRequest) type allowlists a canonical
+/// order.  Round-trips through its [`std::fmt::Display`] form (`"causal"` /
+/// `"non-causal"`) via [`std::str::FromStr`], which is what the `/v2` wire
+/// format sends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExplanationType {
     /// The explaining variable is a (possible) cause of the target.
     Causal,
@@ -16,6 +23,20 @@ impl std::fmt::Display for ExplanationType {
         match self {
             ExplanationType::Causal => write!(f, "causal"),
             ExplanationType::NonCausal => write!(f, "non-causal"),
+        }
+    }
+}
+
+impl std::str::FromStr for ExplanationType {
+    type Err = DataError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "causal" => Ok(ExplanationType::Causal),
+            "non-causal" => Ok(ExplanationType::NonCausal),
+            other => Err(DataError::Serve(format!(
+                "unknown explanation type `{other}` (use `causal` or `non-causal`)"
+            ))),
         }
     }
 }
@@ -182,5 +203,16 @@ mod tests {
         assert_eq!(ExplanationType::Causal.to_string(), "causal");
         assert_eq!(ExplanationType::NonCausal.to_string(), "non-causal");
         assert_eq!(CausalRole::AlmostAncestor.to_string(), "almost-ancestor");
+    }
+
+    #[test]
+    fn explanation_type_round_trips_through_from_str() {
+        for t in [ExplanationType::Causal, ExplanationType::NonCausal] {
+            assert_eq!(t.to_string().parse::<ExplanationType>().unwrap(), t);
+        }
+        assert!("causal?".parse::<ExplanationType>().is_err());
+        assert!("".parse::<ExplanationType>().is_err());
+        // The ranking order: causal sorts first.
+        assert!(ExplanationType::Causal < ExplanationType::NonCausal);
     }
 }

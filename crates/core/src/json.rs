@@ -380,11 +380,9 @@ impl Parser<'_> {
                             } else {
                                 code
                             };
-                            out.push(
-                                char::from_u32(code).ok_or_else(|| {
-                                    DataError::Persist("invalid \\u code point".into())
-                                })?,
-                            );
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                DataError::Persist("invalid \\u code point".into())
+                            })?);
                         }
                         other => {
                             return Err(DataError::Persist(format!(
@@ -429,9 +427,11 @@ impl Parser<'_> {
     fn number(&mut self) -> Result<Json> {
         self.skip_ws();
         let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|b| {
-            matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        }) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])

@@ -16,12 +16,15 @@
 //!   (Sec. 3.3).
 //!
 //! [`pipeline::XInsight`] wires the three modules into the end-to-end engine
-//! used by the examples and the benchmark harness, and [`persist`] makes the
-//! fitted offline artifact a first-class, savable value
-//! ([`FittedModel`]) so servers load a model instead of re-learning it.
+//! used by the examples and the benchmark harness, [`persist`] makes the
+//! fitted offline artifact a first-class, savable value ([`FittedModel`]) so
+//! servers load a model instead of re-learning it, and [`execute`] defines
+//! the unified request/response API every online entry point routes
+//! through: an [`ExplainRequest`] (query + per-request controls) answered
+//! by an [`ExplainResponse`] (ranked, scored, self-describing).
 //!
 //! ```
-//! use xinsight_core::{WhyQuery, pipeline::{XInsight, XInsightOptions}};
+//! use xinsight_core::{ExplainRequest, WhyQuery, pipeline::{XInsight, XInsightOptions}};
 //! use xinsight_data::{Aggregate, DatasetBuilder, Subspace};
 //!
 //! // A tiny lung-cancer-style dataset (Fig. 1 of the paper, in miniature).
@@ -55,12 +58,14 @@
 //!     Subspace::of("Location", "A"),
 //!     Subspace::of("Location", "B"),
 //! ).unwrap();
-//! let explanations = engine.explain(&query).unwrap();
-//! assert!(!explanations.is_empty());
+//! let response = engine.execute(&ExplainRequest::new(query)).unwrap();
+//! assert!(!response.is_empty());
+//! assert_eq!(response.explanations[0].rank, 1);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod execute;
 mod explanation;
 pub mod json;
 pub mod parallel;
@@ -71,6 +76,9 @@ pub mod xlearner;
 pub mod xplainer;
 pub mod xtranslator;
 
+pub use execute::{
+    ExplainRequest, ExplainRequestBuilder, ExplainResponse, Provenance, ScoredExplanation,
+};
 pub use explanation::{CausalRole, Explanation, ExplanationType, XdaSemantics};
 pub use persist::FittedModel;
 pub use why_query::WhyQuery;

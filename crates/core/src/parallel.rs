@@ -29,7 +29,9 @@ pub fn configure_pool_from_env() -> usize {
     {
         // Ignore failure: the pool size already latched, which the return
         // value below reports faithfully.
-        let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global();
     }
     rayon::current_num_threads()
 }

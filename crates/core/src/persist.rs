@@ -168,7 +168,12 @@ impl FittedModel {
             ),
             (
                 "fci_variables".to_owned(),
-                Json::Arr(self.fci_variables.iter().map(|v| Json::Str(v.clone())).collect()),
+                Json::Arr(
+                    self.fci_variables
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                ),
             ),
             (
                 "dropped_redundant".to_owned(),
@@ -213,7 +218,12 @@ impl FittedModel {
                     "graph edge ({a}, {b}) out of range"
                 )));
             }
-            graph.add_edge(a, b, mark_from_str(parts[2].as_str()?)?, mark_from_str(parts[3].as_str()?)?);
+            graph.add_edge(
+                a,
+                b,
+                mark_from_str(parts[2].as_str()?)?,
+                mark_from_str(parts[3].as_str()?)?,
+            );
         }
 
         let fd_doc = doc.get("fd_graph")?;
@@ -311,9 +321,8 @@ impl FittedModel {
 
     /// Reads a model back from a file written by [`FittedModel::save`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
-        let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
-            DataError::Persist(format!("reading {}: {e}", path.as_ref().display()))
-        })?;
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| DataError::Persist(format!("reading {}: {e}", path.as_ref().display())))?;
         Self::from_json(&text)
     }
 }
@@ -331,7 +340,9 @@ fn mark_from_str(s: &str) -> Result<Mark> {
         "tail" => Ok(Mark::Tail),
         "arrow" => Ok(Mark::Arrow),
         "circle" => Ok(Mark::Circle),
-        other => Err(DataError::Persist(format!("unknown endpoint mark `{other}`"))),
+        other => Err(DataError::Persist(format!(
+            "unknown endpoint mark `{other}`"
+        ))),
     }
 }
 

@@ -1,21 +1,54 @@
 //! The end-to-end XInsight engine (Fig. 3 of the paper): an offline phase
 //! (XLearner) and an online phase (XTranslator + XPlainer) behind one type.
+//!
+//! The online phase is driven by one unified execution core,
+//! [`XInsight::execute`]: a typed [`ExplainRequest`] (query + per-request
+//! controls) in, a self-describing [`ExplainResponse`] (ranked, scored,
+//! flagged, optionally provenance-carrying) out.  Single, batch and
+//! cache-sharing entry points are thin shells over the same codepath, and
+//! the legacy `explain*` methods survive as deprecated adapters.
 
+use crate::execute::{ExplainRequest, ExplainResponse, Provenance, ScoredExplanation};
 use crate::explanation::{Explanation, ExplanationType, XdaSemantics};
 use crate::persist::FittedModel;
 use crate::why_query::WhyQuery;
 use crate::xlearner::{XLearner, XLearnerOptions, XLearnerResult};
-use crate::xplainer::{SearchStrategy, SelectionCache, XPlainer, XPlainerOptions};
+use crate::xplainer::{
+    ExplanationCandidate, SearchStrategy, SelectionCache, XPlainer, XPlainerOptions,
+};
 use crate::xtranslator::{translate, Translation};
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 use xinsight_data::{
-    discretize_equal_frequency, discretize_equal_width, AttributeKind, Dataset, DatasetBuilder,
-    Discretizer, Result,
+    discretize_equal_frequency, discretize_equal_width, Aggregate, AttributeKind, Dataset,
+    DatasetBuilder, Discretizer, Result,
 };
 use xinsight_graph::{separation, MixedGraph};
 use xinsight_stats::{CachedCiTest, ChiSquareTest};
+
+/// The human-readable name of the XPlainer search strategy a query with
+/// this aggregate engages (Table 4 of the paper) — reported in
+/// [`Provenance::strategy_evaluations`].
+fn strategy_name(strategy: SearchStrategy, aggregate: Aggregate) -> &'static str {
+    match strategy {
+        SearchStrategy::BruteForce => "brute-force",
+        SearchStrategy::Optimized => match aggregate {
+            Aggregate::Sum | Aggregate::Count => "sum-optimized",
+            Aggregate::Avg => "avg-optimized",
+            Aggregate::Min | Aggregate::Max => "brute-force-fallback",
+        },
+    }
+}
+
+/// What happened to one candidate attribute during request execution.
+enum SearchOutcome {
+    /// The search ran; it may or may not have found an explanation.
+    Done(Option<ExplanationCandidate>),
+    /// The request's deadline expired before this search started.
+    Skipped,
+}
 
 /// Options for the full pipeline.
 #[derive(Debug, Clone)]
@@ -116,8 +149,7 @@ impl XInsight {
                 // In the discovery view the binned column carries the measure's
                 // own name so that graph nodes and attributes coincide.
                 let tmp = disc.apply(&clean, Some("__tmp_bin"))?;
-                discovery =
-                    discovery.dimension_column(name, tmp.dimension("__tmp_bin")?.clone());
+                discovery = discovery.dimension_column(name, tmp.dimension("__tmp_bin")?.clone());
                 binned_measures.push(name.clone());
                 discretizers.push(disc);
             }
@@ -225,30 +257,18 @@ impl XInsight {
         translate(&self.learner_result.graph, query)
     }
 
-    /// Answers a Why Query with a ranked list of explanations
-    /// (causal explanations first, then by responsibility).
+    /// Executes one [`ExplainRequest`]: the unified online entry point.
     ///
-    /// The per-attribute searches are independent; when
-    /// [`XInsightOptions::parallel`] is set (the default) they fan out over
-    /// the rayon thread pool, sharing one [`SelectionCache`] so sibling-mask
-    /// and aggregate work done for one attribute is replayed by the others.
-    /// The result is identical to the serial path.
-    pub fn explain(&self, query: &WhyQuery) -> Result<Vec<Explanation>> {
-        self.explain_with_cache(query, Arc::new(SelectionCache::new()))
-    }
-
-    /// Answers a batch of Why Queries, sharing one [`SelectionCache`] across
-    /// all of them (and, when [`XInsightOptions::parallel`] is set, fanning
-    /// the queries out over the thread pool).
-    ///
-    /// Queries in a batch typically hit the same sibling subspaces and
-    /// candidate attributes, so the cross-query cache turns most of the
-    /// second-to-last queries' `Δ(·)` terms into replays.  Results are in
-    /// input order and byte-identical to calling [`XInsight::explain`] on
-    /// each query serially.
+    /// Every per-request control is honoured here — the
+    /// [`ExplanationType`] allowlist prunes candidate attributes *before*
+    /// searching, the deadline skips searches that have not started when
+    /// the budget runs out, and `min_score`/`top_k` trim the ranked list
+    /// (flagging [`ExplainResponse::truncated`]).  A request with default
+    /// options returns exactly what the legacy `explain` returned, ranked
+    /// causal-first then by responsibility.
     ///
     /// ```
-    /// # use xinsight_core::{WhyQuery, pipeline::{XInsight, XInsightOptions}};
+    /// # use xinsight_core::{ExplainRequest, WhyQuery, pipeline::{XInsight, XInsightOptions}};
     /// # use xinsight_data::{Aggregate, DatasetBuilder, Subspace};
     /// # let mut loc = Vec::new();
     /// # let mut smoking = Vec::new();
@@ -272,69 +292,123 @@ impl XInsight {
     /// #     .build()
     /// #     .unwrap();
     /// let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
-    /// let queries = [
-    ///     WhyQuery::new("LungCancer", Aggregate::Avg,
-    ///                   Subspace::of("Location", "A"),
-    ///                   Subspace::of("Location", "B")).unwrap(),
-    ///     WhyQuery::new("LungCancer", Aggregate::Sum,
-    ///                   Subspace::of("Location", "A"),
-    ///                   Subspace::of("Location", "B")).unwrap(),
-    /// ];
-    /// let batched = engine.explain_many(&queries).unwrap();
-    /// assert_eq!(batched.len(), 2);
-    /// assert_eq!(batched[0], engine.explain(&queries[0]).unwrap());
+    /// let query = WhyQuery::new("LungCancer", Aggregate::Avg,
+    ///                           Subspace::of("Location", "A"),
+    ///                           Subspace::of("Location", "B")).unwrap();
+    /// let response = engine
+    ///     .execute(&ExplainRequest::builder(query).top_k(1).include_provenance(true).build())
+    ///     .unwrap();
+    /// assert!(response.len() <= 1);
+    /// assert!(response.explanations.iter().all(|s| s.rank == 1));
+    /// assert!(response.provenance.is_some());
     /// ```
-    pub fn explain_many(&self, queries: &[WhyQuery]) -> Result<Vec<Vec<Explanation>>> {
-        self.explain_many_with_cache(queries, Arc::new(SelectionCache::new()))
+    pub fn execute(&self, request: &ExplainRequest) -> Result<ExplainResponse> {
+        self.execute_with_cache(request, Arc::new(SelectionCache::new()))
     }
 
-    /// [`XInsight::explain_many`] with a caller-supplied [`SelectionCache`].
+    /// Executes a batch of requests, sharing one [`SelectionCache`] across
+    /// all of them (and, when [`XInsightOptions::parallel`] is set, fanning
+    /// the requests out over the thread pool).
     ///
-    /// Answers are byte-identical to [`XInsight::explain`] on each query —
-    /// the cache only replays `Δ(·)` building blocks, it never changes them.
-    /// Callers that own the cache can read
+    /// Requests in a batch typically hit the same sibling subspaces and
+    /// candidate attributes, so the cross-request cache turns most of the
+    /// later requests' `Δ(·)` terms into replays.  Responses are in input
+    /// order and identical to calling [`XInsight::execute`] per request.
+    pub fn execute_batch(&self, requests: &[ExplainRequest]) -> Result<Vec<ExplainResponse>> {
+        self.execute_batch_with_cache(requests, Arc::new(SelectionCache::new()))
+    }
+
+    /// [`XInsight::execute_batch`] with a caller-supplied
+    /// [`SelectionCache`].
+    ///
+    /// The cache only replays `Δ(·)` building blocks, it never changes
+    /// answers.  Callers that own the cache can read
     /// [`SelectionCache::stats`] afterwards (the serving layer accumulates
     /// them into its `/stats` endpoint) or share one cache across several
     /// related batches.  The usual cache rules apply: one cache per dataset
     /// (enforced by a fingerprint check), and entries are never evicted, so
     /// scope a cache to a bounded working set rather than holding one
     /// forever.
-    pub fn explain_many_with_cache(
+    pub fn execute_batch_with_cache(
         &self,
-        queries: &[WhyQuery],
+        requests: &[ExplainRequest],
         cache: Arc<SelectionCache>,
-    ) -> Result<Vec<Vec<Explanation>>> {
-        let results: Vec<Result<Vec<Explanation>>> = if self.options.parallel {
-            queries
+    ) -> Result<Vec<ExplainResponse>> {
+        let results: Vec<Result<ExplainResponse>> = if self.options.parallel {
+            requests
                 .par_iter()
-                .map(|query| self.explain_with_cache(query, Arc::clone(&cache)))
+                .map(|request| self.execute_with_cache(request, Arc::clone(&cache)))
                 .collect()
         } else {
-            queries
+            requests
                 .iter()
-                .map(|query| self.explain_with_cache(query, Arc::clone(&cache)))
+                .map(|request| self.execute_with_cache(request, Arc::clone(&cache)))
                 .collect()
         };
         results.into_iter().collect()
     }
 
-    /// The explanation engine behind [`XInsight::explain`] and
-    /// [`XInsight::explain_many`], parameterized by the selection cache the
-    /// `Δ(·)` terms are answered through.
-    fn explain_with_cache(
+    /// Answers a Why Query with a ranked list of explanations.
+    #[deprecated(note = "use `XInsight::execute` with an `ExplainRequest`")]
+    pub fn explain(&self, query: &WhyQuery) -> Result<Vec<Explanation>> {
+        Ok(self
+            .execute(&ExplainRequest::new(query.clone()))?
+            .into_explanations())
+    }
+
+    /// Answers a batch of Why Queries with one shared [`SelectionCache`].
+    #[deprecated(note = "use `XInsight::execute_batch` with `ExplainRequest`s")]
+    pub fn explain_many(&self, queries: &[WhyQuery]) -> Result<Vec<Vec<Explanation>>> {
+        let requests: Vec<ExplainRequest> = queries
+            .iter()
+            .map(|query| ExplainRequest::new(query.clone()))
+            .collect();
+        Ok(self
+            .execute_batch(&requests)?
+            .into_iter()
+            .map(ExplainResponse::into_explanations)
+            .collect())
+    }
+
+    /// Answers a batch of Why Queries through a caller-supplied
+    /// [`SelectionCache`].
+    #[deprecated(note = "use `XInsight::execute_batch_with_cache` with `ExplainRequest`s")]
+    pub fn explain_many_with_cache(
         &self,
-        query: &WhyQuery,
+        queries: &[WhyQuery],
         cache: Arc<SelectionCache>,
-    ) -> Result<Vec<Explanation>> {
-        let query = query.oriented(&self.augmented)?;
+    ) -> Result<Vec<Vec<Explanation>>> {
+        let requests: Vec<ExplainRequest> = queries
+            .iter()
+            .map(|query| ExplainRequest::new(query.clone()))
+            .collect();
+        Ok(self
+            .execute_batch_with_cache(&requests, cache)?
+            .into_iter()
+            .map(ExplainResponse::into_explanations)
+            .collect())
+    }
+
+    /// The execution core behind every online entry point, parameterized by
+    /// the selection cache the `Δ(·)` terms are answered through.
+    pub fn execute_with_cache(
+        &self,
+        request: &ExplainRequest,
+        cache: Arc<SelectionCache>,
+    ) -> Result<ExplainResponse> {
+        let started = Instant::now();
+        let deadline = request.deadline().map(|budget| started + budget);
+        let query = request.query().oriented(&self.augmented)?;
         let original_delta = query.delta(&self.augmented)?;
         let translation = self.translation(&query);
         // `XInsightOptions::parallel` is the master switch for the whole
-        // online phase; `xplainer.parallel` can *additionally* opt the inner
-        // probe loops out.  AND-ing the two means neither flag silently
-        // overrides an explicit `false` in the other.
+        // online phase (overridable per request); `xplainer.parallel` can
+        // *additionally* opt the inner probe loops out.  AND-ing the two
+        // means neither flag silently overrides an explicit `false` in the
+        // other.
+        let parallel = request.parallel().unwrap_or(self.options.parallel);
         let xplainer = XPlainer::new(XPlainerOptions {
-            parallel: self.options.parallel && self.options.xplainer.parallel,
+            parallel: parallel && self.options.xplainer.parallel,
             ..self.options.xplainer.clone()
         });
 
@@ -345,13 +419,23 @@ impl XInsight {
             s.extend(query.background());
             s
         };
+        // The type allowlist prunes candidates *before* searching, so a
+        // causal-only request never pays for non-causal searches.
+        let type_allowed =
+            |semantics: &XdaSemantics| match (request.types(), semantics.explanation_type()) {
+                (None, _) => true,
+                (Some(allow), Some(t)) => allow.contains(&t),
+                (Some(_), None) => false,
+            };
 
         // Candidate attributes in translation (= variable-name) order, so the
         // search schedule and output ranking are deterministic.
         let targets: Vec<(XdaSemantics, String, bool)> = translation
             .iter()
             .filter(|(variable, semantics)| {
-                !skip.contains(variable) && semantics.has_explainability()
+                !skip.contains(variable)
+                    && semantics.has_explainability()
+                    && type_allowed(semantics)
             })
             .filter_map(|(variable, semantics)| {
                 // Measures are explained through their binned companion
@@ -374,27 +458,51 @@ impl XInsight {
             })
             .collect();
 
-        let search = |target: &(XdaSemantics, String, bool)| {
+        let search = |target: &(XdaSemantics, String, bool)| -> Result<SearchOutcome> {
+            // Soft deadline: a search that has not *started* in budget is
+            // skipped; one that has started runs to completion, so every
+            // returned explanation is exact.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(SearchOutcome::Skipped);
+            }
             let (_, attribute, homogeneous) = target;
-            xplainer.explain_attribute_cached(
-                &self.augmented,
-                &query,
-                attribute,
-                self.options.strategy,
-                *homogeneous,
-                Arc::clone(&cache),
-            )
+            xplainer
+                .explain_attribute_cached(
+                    &self.augmented,
+                    &query,
+                    attribute,
+                    self.options.strategy,
+                    *homogeneous,
+                    Arc::clone(&cache),
+                )
+                .map(SearchOutcome::Done)
         };
-        let candidates: Vec<_> = if self.options.parallel {
+        let outcomes: Vec<_> = if parallel {
             targets.par_iter().map(search).collect()
         } else {
             targets.iter().map(search).collect()
         };
 
         let mut explanations = Vec::new();
-        for (target, candidate) in targets.iter().zip(candidates) {
+        let mut deadline_hit = false;
+        let mut attributes_searched = 0usize;
+        let mut attributes_skipped = 0usize;
+        let mut delta_evaluations = 0usize;
+        for (target, outcome) in targets.iter().zip(outcomes) {
             let (semantics, _, _) = target;
-            if let Some(c) = candidate? {
+            let candidate = match outcome? {
+                SearchOutcome::Done(candidate) => {
+                    attributes_searched += 1;
+                    candidate
+                }
+                SearchOutcome::Skipped => {
+                    attributes_skipped += 1;
+                    deadline_hit = true;
+                    continue;
+                }
+            };
+            if let Some(c) = candidate {
+                delta_evaluations += c.n_delta_evaluations;
                 let explanation_type = semantics
                     .explanation_type()
                     .unwrap_or(ExplanationType::NonCausal);
@@ -426,7 +534,45 @@ impl XInsight {
                         .unwrap_or(std::cmp::Ordering::Equal),
                 )
         });
-        Ok(explanations)
+
+        // Post-ranking trims: first the score floor, then the count cap —
+        // both only ever remove from the tail of the (already sorted) list
+        // within each type class, and both set the `truncated` marker.
+        let found = explanations.len();
+        if let Some(min_score) = request.min_score() {
+            explanations.retain(|e| e.responsibility >= min_score);
+        }
+        if let Some(top_k) = request.top_k() {
+            explanations.truncate(top_k);
+        }
+        let truncated = explanations.len() < found;
+
+        let explanations: Vec<ScoredExplanation> = explanations
+            .into_iter()
+            .enumerate()
+            .map(|(i, explanation)| ScoredExplanation {
+                rank: i + 1,
+                score: explanation.responsibility,
+                explanation,
+            })
+            .collect();
+        let provenance = request.include_provenance().then(|| Provenance {
+            strategy_evaluations: vec![(
+                strategy_name(self.options.strategy, query.aggregate()).to_owned(),
+                delta_evaluations,
+            )],
+            attributes_searched,
+            attributes_skipped,
+            selection_cache: cache.stats(),
+            ci_cache_fit_time: self.learner_result.ci_cache_stats,
+        });
+        Ok(ExplainResponse {
+            explanations,
+            truncated,
+            deadline_hit,
+            elapsed: started.elapsed(),
+            provenance,
+        })
     }
 
     /// Homogeneity check (Def. 3.7): the sibling subspaces are homogeneous on
@@ -489,7 +635,11 @@ mod tests {
                 1.0 + (rng() < 0.2) as u8 as f64
             };
             severity.push(sev);
-            surgery.push(if sev > 2.0 && rng() < 0.8 { "Yes" } else { "No" });
+            surgery.push(if sev > 2.0 && rng() < 0.8 {
+                "Yes"
+            } else {
+                "No"
+            });
         }
         xinsight_data::DatasetBuilder::new()
             .dimension("Location", location)
@@ -511,11 +661,18 @@ mod tests {
         .unwrap()
     }
 
+    fn explain(engine: &XInsight, query: &WhyQuery) -> Vec<Explanation> {
+        engine
+            .execute(&ExplainRequest::new(query.clone()))
+            .unwrap()
+            .into_explanations()
+    }
+
     #[test]
     fn end_to_end_smoking_is_a_top_causal_explanation() {
         let data = lung_cancer_data(3000);
         let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
-        let explanations = engine.explain(&why_query()).unwrap();
+        let explanations = explain(&engine, &why_query());
         assert!(!explanations.is_empty());
         let causal: Vec<_> = explanations
             .iter()
@@ -524,7 +681,10 @@ mod tests {
         assert!(
             causal.iter().any(|e| e.attribute() == "Smoking"),
             "Smoking must appear among causal explanations; got: {:?}",
-            explanations.iter().map(|e| e.attribute()).collect::<Vec<_>>()
+            explanations
+                .iter()
+                .map(|e| e.attribute())
+                .collect::<Vec<_>>()
         );
         let smoking = causal.iter().find(|e| e.attribute() == "Smoking").unwrap();
         // Conditioning on either smoking status equalises the two locations,
@@ -549,7 +709,7 @@ mod tests {
     fn surgery_is_not_reported_as_causal() {
         let data = lung_cancer_data(3000);
         let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
-        let explanations = engine.explain(&why_query()).unwrap();
+        let explanations = explain(&engine, &why_query());
         for e in &explanations {
             if e.attribute() == "Surgery" {
                 assert_eq!(e.explanation_type, ExplanationType::NonCausal);
@@ -562,9 +722,7 @@ mod tests {
         let data = lung_cancer_data(2000);
         let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
         let t = engine.translation(&why_query());
-        assert!(t
-            .explainable_variables()
-            .contains(&"Smoking"));
+        assert!(t.explainable_variables().contains(&"Smoking"));
         assert!(engine.graph().n_nodes() >= 5);
         assert!(engine.learner_result().n_ci_tests > 0);
     }
@@ -574,7 +732,7 @@ mod tests {
         let data = lung_cancer_data(1500);
         let options = XInsightOptions::default();
         let engine = XInsight::fit(&data, &options).unwrap();
-        let direct = engine.explain(&why_query()).unwrap();
+        let direct = explain(&engine, &why_query());
 
         let json = engine.fitted_model().to_json();
         let model = crate::persist::FittedModel::from_json(&json).unwrap();
@@ -582,7 +740,150 @@ mod tests {
         let restored = XInsight::from_fitted(&data, model, &options).unwrap();
         assert_eq!(restored.graph(), engine.graph());
         assert_eq!(restored.data(), engine.data());
-        assert_eq!(restored.explain(&why_query()).unwrap(), direct);
+        assert_eq!(explain(&restored, &why_query()), direct);
+    }
+
+    #[test]
+    fn deprecated_shims_match_execute_exactly() {
+        let data = lung_cancer_data(1200);
+        let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+        let query = why_query();
+        let via_execute = explain(&engine, &query);
+        #[allow(deprecated)]
+        {
+            assert_eq!(engine.explain(&query).unwrap(), via_execute);
+            assert_eq!(
+                engine.explain_many(std::slice::from_ref(&query)).unwrap(),
+                vec![via_execute.clone()]
+            );
+            assert_eq!(
+                engine
+                    .explain_many_with_cache(
+                        std::slice::from_ref(&query),
+                        Arc::new(SelectionCache::new())
+                    )
+                    .unwrap(),
+                vec![via_execute]
+            );
+        }
+    }
+
+    #[test]
+    fn per_request_controls_shape_the_response() {
+        let data = lung_cancer_data(3000);
+        let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+        let query = why_query();
+        let full = engine.execute(&ExplainRequest::new(query.clone())).unwrap();
+        assert!(!full.truncated);
+        assert!(!full.deadline_hit);
+        assert!(full.provenance.is_none());
+        assert!(full.len() >= 2, "need several explanations to trim");
+        // Ranks are 1-based and contiguous; scores mirror responsibility.
+        for (i, scored) in full.explanations.iter().enumerate() {
+            assert_eq!(scored.rank, i + 1);
+            assert_eq!(scored.score, scored.explanation.responsibility);
+        }
+
+        // top_k keeps the best-ranked prefix and flags truncation.
+        let top1 = engine
+            .execute(&ExplainRequest::builder(query.clone()).top_k(1).build())
+            .unwrap();
+        assert_eq!(top1.len(), 1);
+        assert!(top1.truncated);
+        assert_eq!(top1.explanations[0], full.explanations[0]);
+
+        // The type allowlist drops the other class entirely (and is not
+        // counted as truncation — nothing the request asked for was cut).
+        let causal_only = engine
+            .execute(
+                &ExplainRequest::builder(query.clone())
+                    .allow_types([ExplanationType::Causal])
+                    .build(),
+            )
+            .unwrap();
+        assert!(!causal_only.is_empty());
+        assert!(causal_only
+            .explanations
+            .iter()
+            .all(|s| s.explanation.explanation_type == ExplanationType::Causal));
+        assert!(!causal_only.truncated);
+
+        // A min_score above every responsibility empties the response.
+        let none = engine
+            .execute(
+                &ExplainRequest::builder(query.clone())
+                    .min_score(2.0)
+                    .build(),
+            )
+            .unwrap();
+        assert!(none.is_empty());
+        assert!(none.truncated);
+
+        // Per-request serial override returns identical explanations.
+        let serial = engine
+            .execute(
+                &ExplainRequest::builder(query.clone())
+                    .parallel(false)
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(serial.explanations, full.explanations);
+
+        // Provenance reports the strategy, its spend and the cache state.
+        let with_provenance = engine
+            .execute(
+                &ExplainRequest::builder(query.clone())
+                    .include_provenance(true)
+                    .build(),
+            )
+            .unwrap();
+        let provenance = with_provenance.provenance.unwrap();
+        assert_eq!(provenance.strategy_evaluations.len(), 1);
+        assert_eq!(provenance.strategy_evaluations[0].0, "avg-optimized");
+        assert!(provenance.strategy_evaluations[0].1 > 0);
+        assert!(provenance.attributes_searched > 0);
+        assert_eq!(provenance.attributes_skipped, 0);
+        assert!(provenance.selection_cache.lookups() > 0);
+        assert!(provenance.ci_cache_fit_time.lookups() > 0);
+    }
+
+    #[test]
+    fn zero_deadline_yields_a_flagged_partial_response() {
+        let data = lung_cancer_data(1200);
+        let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+        let response = engine
+            .execute(
+                &ExplainRequest::builder(why_query())
+                    .deadline(std::time::Duration::ZERO)
+                    .include_provenance(true)
+                    .build(),
+            )
+            .unwrap();
+        // Nothing can start inside a zero budget: every candidate attribute
+        // is skipped and the response says so.
+        assert!(response.deadline_hit);
+        assert!(response.is_empty());
+        let provenance = response.provenance.unwrap();
+        assert_eq!(provenance.attributes_searched, 0);
+        assert!(provenance.attributes_skipped > 0);
+    }
+
+    #[test]
+    fn execute_batch_matches_per_request_execute() {
+        let data = lung_cancer_data(1200);
+        let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+        let requests = [
+            ExplainRequest::new(why_query()),
+            ExplainRequest::builder(why_query()).top_k(1).build(),
+        ];
+        let batched = engine.execute_batch(&requests).unwrap();
+        assert_eq!(batched.len(), 2);
+        for (request, response) in requests.iter().zip(&batched) {
+            assert_eq!(
+                response.explanations,
+                engine.execute(request).unwrap().explanations
+            );
+        }
     }
 
     #[test]

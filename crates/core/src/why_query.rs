@@ -103,12 +103,11 @@ impl WhyQuery {
     /// case via [`WhyQuery::delta_over_opt`] — this method maps it to an
     /// error for callers that require a value.
     pub fn delta_over(&self, data: &Dataset, restriction: &RowMask) -> Result<f64> {
-        self.delta_over_opt(data, restriction)?.ok_or_else(|| {
-            DataError::EmptyAggregate {
+        self.delta_over_opt(data, restriction)?
+            .ok_or_else(|| DataError::EmptyAggregate {
                 aggregate: "WHY-QUERY",
                 attribute: self.measure.clone(),
-            }
-        })
+            })
     }
 
     /// Like [`WhyQuery::delta_over`] but returns `None` when one side is

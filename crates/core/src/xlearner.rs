@@ -140,11 +140,7 @@ impl XLearner {
                 .iter()
                 .copied()
                 .filter(|v| !removed.contains(v))
-                .filter(|v| {
-                    parents[v]
-                        .iter()
-                        .any(|p| !removed.contains(p))
-                })
+                .filter(|v| parents[v].iter().any(|p| !removed.contains(p)))
                 .max_by_key(|v| depths.get(*v).copied().unwrap_or(0));
             let x = match candidate {
                 Some(x) => x,
@@ -310,12 +306,17 @@ mod tests {
             ..XLearnerOptions::default()
         });
         let test = ChiSquareTest::new(0.05);
-        let result = learner.learn(&data, &["City", "State", "Weather"], &test).unwrap();
+        let result = learner
+            .learn(&data, &["City", "State", "Weather"], &test)
+            .unwrap();
         let g = &result.graph;
         let city = g.expect_id("City");
         let state = g.expect_id("State");
         assert!(g.adjacent(city, state));
-        assert!(!g.is_parent(city, state), "without ANM the FD edge stays undetermined");
+        assert!(
+            !g.is_parent(city, state),
+            "without ANM the FD edge stays undetermined"
+        );
     }
 
     #[test]
@@ -337,7 +338,12 @@ mod tests {
         let learner = XLearner::default();
         let test = ChiSquareTest::new(0.05);
         let result = learner
-            .learn_with_fd_graph(&data, &["City", "State", "Country", "Weather"], &test, &fd_graph)
+            .learn_with_fd_graph(
+                &data,
+                &["City", "State", "Country", "Weather"],
+                &test,
+                &fd_graph,
+            )
             .unwrap();
         let g = &result.graph;
         assert!(g.is_parent(g.expect_id("State"), g.expect_id("Country")));
@@ -377,7 +383,11 @@ mod tests {
         let learner = XLearner::default();
         let test = ChiSquareTest::new(0.05);
         let result = learner
-            .learn(&data, &["Location", "Region", "Smoking", "LungCancer"], &test)
+            .learn(
+                &data,
+                &["Location", "Region", "Smoking", "LungCancer"],
+                &test,
+            )
             .unwrap();
         let g = &result.graph;
         assert!(

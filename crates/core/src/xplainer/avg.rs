@@ -136,7 +136,7 @@ mod tests {
     use super::*;
     use crate::why_query::WhyQuery;
     use crate::xplainer::XPlainerOptions;
-    use xinsight_data::{Aggregate, DatasetBuilder, Dataset, Subspace};
+    use xinsight_data::{Aggregate, Dataset, DatasetBuilder, Subspace};
 
     /// SYN-B-style data: categories bad1/bad2 of Y push AVG(Z) up on the
     /// X = a side only.

@@ -71,10 +71,7 @@ pub fn search(ctx: &SearchContext<'_>) -> Option<ExplanationCandidate> {
 /// its minimal-weight certifying contingency and returns the scored
 /// candidate, or `None` when the predicate is not an actual cause (or its
 /// score is not positive).
-fn evaluate_predicate(
-    ctx: &SearchContext<'_>,
-    p_bits: u64,
-) -> Option<(f64, ExplanationCandidate)> {
+fn evaluate_predicate(ctx: &SearchContext<'_>, p_bits: u64) -> Option<(f64, ExplanationCandidate)> {
     let m = ctx.m();
     let p: Vec<usize> = (0..m).filter(|i| p_bits >> i & 1 == 1).collect();
     let rest: Vec<usize> = (0..m).filter(|i| p_bits >> i & 1 == 0).collect();
@@ -94,8 +91,8 @@ fn evaluate_predicate(
         let mut both = p.clone();
         both.extend_from_slice(&gamma);
         let without_both = ctx.delta_without(&both);
-        let valid = ctx.is_resolved(without_both)
-            && matches!(without_gamma, Some(d) if d > ctx.epsilon());
+        let valid =
+            ctx.is_resolved(without_both) && matches!(without_gamma, Some(d) if d > ctx.epsilon());
         if !valid {
             continue;
         }
@@ -134,7 +131,7 @@ mod tests {
     use super::*;
     use crate::why_query::WhyQuery;
     use crate::xplainer::XPlainerOptions;
-    use xinsight_data::{Aggregate, DatasetBuilder, Dataset, Subspace};
+    use xinsight_data::{Aggregate, Dataset, DatasetBuilder, Subspace};
 
     /// `Y = hot` fully accounts for the SUM difference between X = a and X = b.
     fn single_cause() -> (Dataset, WhyQuery) {

@@ -660,11 +660,7 @@ mod tests {
             .dimension("X", ["a", "a", "a"])
             .measure_column(
                 "M",
-                xinsight_data::MeasureColumn::from_optional_values([
-                    Some(4.0),
-                    None,
-                    Some(6.0),
-                ]),
+                xinsight_data::MeasureColumn::from_optional_values([Some(4.0), None, Some(6.0)]),
             )
             .build()
             .unwrap();

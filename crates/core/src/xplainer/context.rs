@@ -46,7 +46,13 @@ impl<'a> SearchContext<'a> {
         attribute: &str,
         options: &XPlainerOptions,
     ) -> Result<Self> {
-        Self::build_with_cache(data, query, attribute, options, Arc::new(SelectionCache::new()))
+        Self::build_with_cache(
+            data,
+            query,
+            attribute,
+            options,
+            Arc::new(SelectionCache::new()),
+        )
     }
 
     /// Builds the context for one attribute of interest on a shared cache, so
@@ -98,12 +104,12 @@ impl<'a> SearchContext<'a> {
         };
         // Δ(D) through the cache (the empty clause's complement selects the
         // full sides), shared across every attribute of the same query.
-        let delta_d = ctx.delta_clause(&[], true).ok_or_else(|| {
-            DataError::EmptyAggregate {
+        let delta_d = ctx
+            .delta_clause(&[], true)
+            .ok_or_else(|| DataError::EmptyAggregate {
                 aggregate: "WHY-QUERY",
                 attribute: query.measure().to_owned(),
-            }
-        })?;
+            })?;
         ctx.delta_d = delta_d;
         ctx.epsilon = options
             .epsilon
@@ -293,11 +299,7 @@ mod tests {
     fn delta_of_and_without_track_subsets() {
         let (data, query) = fixture();
         let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
-        let p_index = ctx
-            .filters()
-            .iter()
-            .position(|f| f.value() == "p")
-            .unwrap();
+        let p_index = ctx.filters().iter().position(|f| f.value() == "p").unwrap();
         // Restricting to Y = p: avg(a) = 10, avg(b) = 1.
         assert!((ctx.delta_of(&[p_index]).unwrap() - 9.0).abs() < 1e-12);
         // Removing Y = p rows: avg(a) = 2, avg(b) = 1.

@@ -27,14 +27,13 @@ pub fn search(ctx: &SearchContext<'_>) -> Option<ExplanationCandidate> {
     // empty set is zero on that side).  The probes are independent, so they
     // fan out over the thread pool; the ordered collect keeps the result
     // identical to a serial scan.
-    let mut contributions: Vec<(usize, f64)> = map_items(
-        ctx.parallel(),
-        (0..ctx.m()).collect(),
-        |i| (i, ctx.delta_of(&[i]).unwrap_or(0.0)),
-    )
-    .into_iter()
-    .filter(|&(_, d)| d > 0.0)
-    .collect();
+    let mut contributions: Vec<(usize, f64)> =
+        map_items(ctx.parallel(), (0..ctx.m()).collect(), |i| {
+            (i, ctx.delta_of(&[i]).unwrap_or(0.0))
+        })
+        .into_iter()
+        .filter(|&(_, d)| d > 0.0)
+        .collect();
     if contributions.is_empty() {
         return None;
     }
@@ -119,7 +118,7 @@ mod tests {
     use super::*;
     use crate::why_query::WhyQuery;
     use crate::xplainer::XPlainerOptions;
-    use xinsight_data::{Aggregate, DatasetBuilder, Dataset, Subspace};
+    use xinsight_data::{Aggregate, Dataset, DatasetBuilder, Subspace};
 
     /// Three "guilty" categories with large positive Δ_i, several innocent ones.
     fn fixture(n_noise: usize) -> (Dataset, WhyQuery) {

@@ -191,7 +191,12 @@ mod tests {
     /// LungCancer -> Survival.
     fn lung_cancer_pag() -> MixedGraph {
         let mut g = MixedGraph::new([
-            "Location", "Stress", "Smoking", "LungCancer", "Surgery", "Survival",
+            "Location",
+            "Stress",
+            "Smoking",
+            "LungCancer",
+            "Surgery",
+            "Survival",
         ]);
         let loc = g.expect_id("Location");
         let stress = g.expect_id("Stress");

@@ -141,11 +141,7 @@ impl DimensionColumn {
                 counts[code as usize] += 1;
             }
         }
-        self.categories
-            .iter()
-            .cloned()
-            .zip(counts)
-            .collect()
+        self.categories.iter().cloned().zip(counts).collect()
     }
 }
 
@@ -166,10 +162,7 @@ impl MeasureColumn {
     /// Builds a measure column where some values may be missing.
     pub fn from_optional_values<I: IntoIterator<Item = Option<f64>>>(values: I) -> Self {
         MeasureColumn {
-            values: values
-                .into_iter()
-                .map(|v| v.unwrap_or(f64::NAN))
-                .collect(),
+            values: values.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect(),
         }
     }
 

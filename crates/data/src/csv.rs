@@ -184,7 +184,9 @@ mod tests {
             AttributeKind::Measure
         );
         assert_eq!(
-            Aggregate::Sum.eval(&d, "LungCancer", &d.all_rows()).unwrap(),
+            Aggregate::Sum
+                .eval(&d, "LungCancer", &d.all_rows())
+                .unwrap(),
             8.0
         );
     }

@@ -274,7 +274,10 @@ mod tests {
         assert_eq!(d.n_rows(), 4);
         assert_eq!(d.n_attributes(), 3);
         assert_eq!(d.cardinality("Location").unwrap(), 2);
-        assert_eq!(d.value(0, "Smoking").unwrap(), Value::Category("Yes".into()));
+        assert_eq!(
+            d.value(0, "Smoking").unwrap(),
+            Value::Category("Yes".into())
+        );
         assert_eq!(d.value(3, "LungCancer").unwrap(), Value::Number(2.0));
     }
 
@@ -304,7 +307,10 @@ mod tests {
         let mask = RowMask::from_bools([true, false, false, true]);
         let sub = d.filter_rows(&mask).unwrap();
         assert_eq!(sub.n_rows(), 2);
-        assert_eq!(sub.value(1, "Location").unwrap(), Value::Category("B".into()));
+        assert_eq!(
+            sub.value(1, "Location").unwrap(),
+            Value::Category("B".into())
+        );
     }
 
     #[test]

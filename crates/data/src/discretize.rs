@@ -33,7 +33,9 @@ impl BinSpec {
             ));
         }
         if cuts.iter().any(|c| !c.is_finite()) {
-            return Err(DataError::InvalidBinning("cut points must be finite".into()));
+            return Err(DataError::InvalidBinning(
+                "cut points must be finite".into(),
+            ));
         }
         let mut labels = Vec::with_capacity(cuts.len() + 1);
         labels.push(format!("≤ {}", fmt_num(cuts[0])));
@@ -61,11 +63,7 @@ impl BinSpec {
 
     /// Index of the bin containing `value`.
     pub fn bin_of(&self, value: f64) -> usize {
-        match self
-            .cuts
-            .iter()
-            .position(|&c| value <= c)
-        {
+        match self.cuts.iter().position(|&c| value <= c) {
             Some(i) => i,
             None => self.cuts.len(),
         }
@@ -157,7 +155,12 @@ pub fn discretize_equal_frequency(
         ));
     }
     let col = data.measure(measure)?;
-    let mut values: Vec<f64> = col.values().iter().copied().filter(|v| !v.is_nan()).collect();
+    let mut values: Vec<f64> = col
+        .values()
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .collect();
     if values.len() < n_bins {
         return Err(DataError::InvalidBinning(format!(
             "measure `{measure}` has only {} non-missing values for {n_bins} bins",
@@ -236,7 +239,10 @@ mod tests {
         let counts = col.value_counts(&binned.all_rows());
         let max = counts.iter().map(|(_, c)| *c).max().unwrap();
         let min = counts.iter().map(|(_, c)| *c).min().unwrap();
-        assert!(max - min <= 2, "bins should be roughly balanced: {counts:?}");
+        assert!(
+            max - min <= 2,
+            "bins should be roughly balanced: {counts:?}"
+        );
     }
 
     #[test]

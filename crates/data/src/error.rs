@@ -69,6 +69,34 @@ pub enum DataError {
     Serve(String),
 }
 
+impl DataError {
+    /// A stable, machine-readable code for this error kind.
+    ///
+    /// The serving layer's versioned wire format (`/v2` responses) embeds
+    /// this next to the human-readable message, so clients can branch on
+    /// the kind of failure without parsing prose — and the code space is
+    /// defined here, in the crate that owns the error, so every layer
+    /// (engine, persistence, HTTP) reports the same vocabulary.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DataError::UnknownAttribute(_) => "unknown-attribute",
+            DataError::WrongKind { .. } => "wrong-kind",
+            DataError::UnknownCategory { .. } => "unknown-category",
+            DataError::LengthMismatch { .. } => "length-mismatch",
+            DataError::DuplicateAttribute(_) => "duplicate-attribute",
+            DataError::EmptyAggregate { .. } => "empty-aggregate",
+            DataError::OverlappingSubspace(_) => "overlapping-subspace",
+            DataError::Csv(_) => "csv",
+            DataError::InvalidBinning(_) => "invalid-binning",
+            DataError::MaskLengthMismatch { .. } => "mask-length-mismatch",
+            DataError::DatasetMismatch(_) => "dataset-mismatch",
+            DataError::Overflow(_) => "overflow",
+            DataError::Persist(_) => "persist",
+            DataError::Serve(_) => "serve",
+        }
+    }
+}
+
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -78,7 +106,10 @@ impl fmt::Display for DataError {
                 expected,
             } => write!(f, "attribute `{attribute}` is not a {expected}"),
             DataError::UnknownCategory { attribute, value } => {
-                write!(f, "value `{value}` does not occur in dimension `{attribute}`")
+                write!(
+                    f,
+                    "value `{value}` does not occur in dimension `{attribute}`"
+                )
             }
             DataError::LengthMismatch {
                 attribute,
@@ -105,7 +136,10 @@ impl fmt::Display for DataError {
             DataError::Csv(msg) => write!(f, "csv error: {msg}"),
             DataError::InvalidBinning(msg) => write!(f, "invalid binning: {msg}"),
             DataError::MaskLengthMismatch { mask, rows } => {
-                write!(f, "row mask has {mask} bits but the dataset has {rows} rows")
+                write!(
+                    f,
+                    "row mask has {mask} bits but the dataset has {rows} rows"
+                )
             }
             DataError::DatasetMismatch(msg) => write!(f, "dataset mismatch: {msg}"),
             DataError::Overflow(msg) => write!(f, "overflow: {msg}"),
@@ -151,5 +185,23 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error>(_: &E) {}
         assert_err(&DataError::Csv("bad".into()));
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct_per_variant() {
+        let samples = [
+            DataError::UnknownAttribute("x".into()),
+            DataError::Serve("x".into()),
+            DataError::Persist("x".into()),
+            DataError::Overflow("x".into()),
+            DataError::OverlappingSubspace("x".into()),
+        ];
+        let codes: std::collections::HashSet<&str> = samples.iter().map(DataError::code).collect();
+        assert_eq!(codes.len(), samples.len(), "codes must be distinct");
+        assert_eq!(DataError::Serve("x".into()).code(), "serve");
+        assert_eq!(
+            DataError::UnknownAttribute("x".into()).code(),
+            "unknown-attribute"
+        );
     }
 }

@@ -369,10 +369,7 @@ mod tests {
 
     fn city_info() -> Dataset {
         DatasetBuilder::new()
-            .dimension(
-                "City",
-                ["SEA", "SFO", "LAX", "NYC", "BOS", "SEA"],
-            )
+            .dimension("City", ["SEA", "SFO", "LAX", "NYC", "BOS", "SEA"])
             .dimension("State", ["WA", "CA", "CA", "NY", "MA", "WA"])
             .dimension("Country", ["US", "US", "US", "US", "US", "US"])
             .dimension("Weather", ["Rain", "Sun", "Sun", "Rain", "Snow", "Sun"])

@@ -167,18 +167,21 @@ impl RowMask {
         rhs: &'a [u64],
         combine: impl Fn(u64, u64) -> u64 + 'a,
     ) -> impl Iterator<Item = usize> + 'a {
-        lhs.iter().zip(rhs).enumerate().flat_map(move |(wi, (a, b))| {
-            let mut w = combine(*a, *b);
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    None
-                } else {
-                    let bit = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    Some(wi * 64 + bit)
-                }
+        lhs.iter()
+            .zip(rhs)
+            .enumerate()
+            .flat_map(move |(wi, (a, b))| {
+                let mut w = combine(*a, *b);
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        None
+                    } else {
+                        let bit = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        Some(wi * 64 + bit)
+                    }
+                })
             })
-        })
     }
 
     /// Rows selected in `self` but not in `other` (`D − D'` in the paper).

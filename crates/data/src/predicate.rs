@@ -73,7 +73,9 @@ impl Predicate {
 
     /// Returns `true` if the predicate asserts the given value.
     pub fn contains(&self, value: &str) -> bool {
-        self.values.binary_search_by(|v| v.as_str().cmp(value)).is_ok()
+        self.values
+            .binary_search_by(|v| v.as_str().cmp(value))
+            .is_ok()
     }
 
     /// The individual filters making up the disjunction.
@@ -176,7 +178,10 @@ mod tests {
     fn mask_is_union_of_filter_masks() {
         let d = data();
         let p = Predicate::new("Carrier", ["AA", "DL"]);
-        assert_eq!(p.mask(&d).unwrap().iter_selected().collect::<Vec<_>>(), vec![0, 2, 3, 5]);
+        assert_eq!(
+            p.mask(&d).unwrap().iter_selected().collect::<Vec<_>>(),
+            vec![0, 2, 3, 5]
+        );
     }
 
     #[test]

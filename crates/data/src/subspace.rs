@@ -95,7 +95,10 @@ impl Subspace {
     ///
     /// Siblings constrain the same set of dimensions and differ in the value
     /// of exactly one of them.
-    pub fn sibling_difference<'a>(&'a self, other: &'a Subspace) -> Option<(&'a str, &'a str, &'a str)> {
+    pub fn sibling_difference<'a>(
+        &'a self,
+        other: &'a Subspace,
+    ) -> Option<(&'a str, &'a str, &'a str)> {
         if self.filters.len() != other.filters.len() {
             return None;
         }
@@ -154,7 +157,10 @@ mod tests {
         let s = Subspace::of("Location", "A")
             .and(Filter::equals("Severity", "Severe"))
             .unwrap();
-        assert_eq!(s.mask(&d).unwrap().iter_selected().collect::<Vec<_>>(), vec![0, 4]);
+        assert_eq!(
+            s.mask(&d).unwrap().iter_selected().collect::<Vec<_>>(),
+            vec![0, 4]
+        );
         assert_eq!(s.len(), 2);
     }
 
@@ -212,18 +218,17 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Subspace::all().to_string(), "⊤");
-        let s = Subspace::new([
-            Filter::equals("B", "2"),
-            Filter::equals("A", "1"),
-        ])
-        .unwrap();
+        let s = Subspace::new([Filter::equals("B", "2"), Filter::equals("A", "1")]).unwrap();
         assert_eq!(s.to_string(), "A = 1 ∧ B = 2");
     }
 
     #[test]
     fn filter_on_lookup() {
         let s = Subspace::of("Location", "A");
-        assert_eq!(s.filter_on("Location"), Some(&Filter::equals("Location", "A")));
+        assert_eq!(
+            s.filter_on("Location"),
+            Some(&Filter::equals("Location", "A"))
+        );
         assert_eq!(s.filter_on("Other"), None);
         assert_eq!(s.attributes(), vec!["Location"]);
     }

@@ -284,7 +284,12 @@ mod tests {
     fn paper_fig1_lung_cancer_pipeline() {
         // Location -> Smoking <- Stress, Smoking -> LungCancer -> {Surgery, Survival}.
         let mut dag = Dag::new([
-            "Location", "Stress", "Smoking", "LungCancer", "Surgery", "Survival",
+            "Location",
+            "Stress",
+            "Smoking",
+            "LungCancer",
+            "Surgery",
+            "Survival",
         ]);
         dag.add_edge(0, 2);
         dag.add_edge(1, 2);
@@ -293,7 +298,14 @@ mod tests {
         dag.add_edge(3, 5);
         let result = run_oracle_fci(
             &dag,
-            &["Location", "Stress", "Smoking", "LungCancer", "Surgery", "Survival"],
+            &[
+                "Location",
+                "Stress",
+                "Smoking",
+                "LungCancer",
+                "Surgery",
+                "Survival",
+            ],
         );
         let g = &result.pag;
         assert_eq!(g.n_edges(), 5);

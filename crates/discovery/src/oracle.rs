@@ -73,10 +73,7 @@ mod tests {
     use xinsight_data::DatasetBuilder;
 
     fn dummy_data() -> Dataset {
-        DatasetBuilder::new()
-            .dimension("A", ["x"])
-            .build()
-            .unwrap()
+        DatasetBuilder::new().dimension("A", ["x"]).build().unwrap()
     }
 
     #[test]

@@ -324,7 +324,8 @@ fn rule_r10(g: &mut MixedGraph) -> usize {
                                 continue;
                             }
                             let p1 = mu == beta || uncovered_pd_path_exists_via(g, a, mu, beta);
-                            let p2 = omega == theta || uncovered_pd_path_exists_via(g, a, omega, theta);
+                            let p2 =
+                                omega == theta || uncovered_pd_path_exists_via(g, a, omega, theta);
                             if p1 && p2 {
                                 fired = true;
                                 break 'outer;
@@ -599,10 +600,7 @@ mod tests {
     fn rules_reach_a_fixpoint() {
         // A *-> B <-* C collider plus B o-o D: R1 must orient B -> D, and a
         // second pass must change nothing.
-        let mut g = circle_graph(
-            &["A", "B", "C", "D"],
-            &[("A", "B"), ("C", "B"), ("B", "D")],
-        );
+        let mut g = circle_graph(&["A", "B", "C", "D"], &[("A", "B"), ("C", "B"), ("B", "D")]);
         let mut sepsets = SepsetMap::new();
         sepsets.insert("A", "C", vec![]);
         sepsets.insert("A", "D", vec!["B".into()]);

@@ -81,8 +81,14 @@ mod tests {
     fn insert_and_get_is_symmetric() {
         let mut m = SepsetMap::new();
         m.insert("B", "A", vec!["Z".into(), "Y".into()]);
-        assert_eq!(m.get("A", "B").unwrap(), &["Y".to_string(), "Z".to_string()]);
-        assert_eq!(m.get("B", "A").unwrap(), &["Y".to_string(), "Z".to_string()]);
+        assert_eq!(
+            m.get("A", "B").unwrap(),
+            &["Y".to_string(), "Z".to_string()]
+        );
+        assert_eq!(
+            m.get("B", "A").unwrap(),
+            &["Y".to_string(), "Z".to_string()]
+        );
         assert!(m.contains_pair("A", "B"));
         assert!(!m.contains_pair("A", "C"));
         assert_eq!(m.len(), 1);

@@ -104,11 +104,7 @@ pub(crate) fn skeleton_search_compiled(
             .iter()
             .flat_map(|e| [(e.a, e.b), (e.b, e.a)])
             .filter_map(|(x, y)| {
-                let adj: Vec<NodeId> = graph
-                    .neighbors(x)
-                    .into_iter()
-                    .filter(|&v| v != y)
-                    .collect();
+                let adj: Vec<NodeId> = graph.neighbors(x).into_iter().filter(|&v| v != y).collect();
                 (adj.len() >= depth).then_some((x, y, adj))
             })
             .collect();
@@ -329,13 +325,8 @@ mod tests {
             },
         )
         .unwrap();
-        let parallel = skeleton_search(
-            &dummy_data(),
-            &vars,
-            &oracle,
-            &SkeletonOptions::default(),
-        )
-        .unwrap();
+        let parallel =
+            skeleton_search(&dummy_data(), &vars, &oracle, &SkeletonOptions::default()).unwrap();
         assert_eq!(serial.graph, parallel.graph);
         assert_eq!(serial.sepsets, parallel.sepsets);
         assert_eq!(serial.n_ci_tests, parallel.n_ci_tests);

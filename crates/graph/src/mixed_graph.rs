@@ -115,9 +115,7 @@ impl MixedGraph {
 
     /// The edge between `a` and `b`, if any.
     pub fn edge(&self, a: NodeId, b: NodeId) -> Option<Edge> {
-        self.adj[a]
-            .get(&b)
-            .map(|&(ma, mb)| Edge::new(a, b, ma, mb))
+        self.adj[a].get(&b).map(|&(ma, mb)| Edge::new(a, b, ma, mb))
     }
 
     /// The mark at `at`'s end of the edge between `at` and `other`.
@@ -128,8 +126,7 @@ impl MixedGraph {
     /// Sets the mark at `at`'s end of the existing edge between `at` and
     /// `other`.  Panics when the edge does not exist.
     pub fn set_mark(&mut self, at: NodeId, other: NodeId, mark: Mark) {
-        let (_, far) = *self
-            .adj[at]
+        let (_, far) = *self.adj[at]
             .get(&other)
             .unwrap_or_else(|| panic!("no edge between {at} and {other}"));
         self.adj[at].insert(other, (mark, far));
@@ -261,9 +258,10 @@ impl MixedGraph {
     pub fn has_almost_directed_cycle(&self) -> bool {
         for e in self.edges() {
             if e.is_bidirected()
-                && (self.descendants(e.a).contains(&e.b) || self.descendants(e.b).contains(&e.a)) {
-                    return true;
-                }
+                && (self.descendants(e.a).contains(&e.b) || self.descendants(e.b).contains(&e.a))
+            {
+                return true;
+            }
         }
         false
     }
@@ -310,7 +308,11 @@ impl MixedGraph {
         // Cap the enumeration to keep the check usable; graphs in tests are small.
         if k > 20 {
             // Fall back to checking the two canonical candidates.
-            let cand1: Vec<NodeId> = self.ancestors(a).union(&self.ancestors(b)).copied().collect();
+            let cand1: Vec<NodeId> = self
+                .ancestors(a)
+                .union(&self.ancestors(b))
+                .copied()
+                .collect();
             return crate::separation::m_separated(self, a, b, &cand1)
                 || crate::separation::m_separated(self, a, b, &[]);
         }
@@ -386,7 +388,12 @@ mod tests {
     /// The paper's Fig. 1(c) lung-cancer graph (fully oriented variant).
     fn lung_cancer_graph() -> MixedGraph {
         let mut g = MixedGraph::new([
-            "Location", "Stress", "Smoking", "LungCancer", "Surgery", "Survival",
+            "Location",
+            "Stress",
+            "Smoking",
+            "LungCancer",
+            "Surgery",
+            "Survival",
         ]);
         let loc = g.expect_id("Location");
         let stress = g.expect_id("Stress");

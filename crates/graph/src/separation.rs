@@ -150,7 +150,12 @@ mod tests {
     /// The paper's Fig. 1(c) as a fully oriented graph.
     fn lung_cancer() -> MixedGraph {
         let mut g = MixedGraph::new([
-            "Location", "Stress", "Smoking", "LungCancer", "Surgery", "Survival",
+            "Location",
+            "Stress",
+            "Smoking",
+            "LungCancer",
+            "Surgery",
+            "Survival",
         ]);
         g.add_directed(g.expect_id("Location"), g.expect_id("Smoking"));
         g.add_directed(g.expect_id("Stress"), g.expect_id("Smoking"));
@@ -164,7 +169,12 @@ mod tests {
     fn paper_example_2_7_smoking_blocks_location() {
         let g = lung_cancer();
         // Lung Cancer ⫫ Location | Smoking (Ex. 2.7).
-        assert!(m_separated_by_names(&g, "LungCancer", "Location", &["Smoking"]));
+        assert!(m_separated_by_names(
+            &g,
+            "LungCancer",
+            "Location",
+            &["Smoking"]
+        ));
         assert!(!m_separated_by_names(&g, "LungCancer", "Location", &[]));
     }
 
@@ -174,18 +184,48 @@ mod tests {
         // Location and Stress are marginally separated but conditioning on the
         // collider Smoking (or on its descendant LungCancer) connects them.
         assert!(m_separated_by_names(&g, "Location", "Stress", &[]));
-        assert!(!m_separated_by_names(&g, "Location", "Stress", &["Smoking"]));
-        assert!(!m_separated_by_names(&g, "Location", "Stress", &["LungCancer"]));
-        assert!(!m_separated_by_names(&g, "Location", "Stress", &["Survival"]));
+        assert!(!m_separated_by_names(
+            &g,
+            "Location",
+            "Stress",
+            &["Smoking"]
+        ));
+        assert!(!m_separated_by_names(
+            &g,
+            "Location",
+            "Stress",
+            &["LungCancer"]
+        ));
+        assert!(!m_separated_by_names(
+            &g,
+            "Location",
+            "Stress",
+            &["Survival"]
+        ));
     }
 
     #[test]
     fn downstream_variables_connected_without_conditioning() {
         let g = lung_cancer();
         assert!(!m_separated_by_names(&g, "Surgery", "Survival", &[]));
-        assert!(m_separated_by_names(&g, "Surgery", "Survival", &["LungCancer"]));
-        assert!(m_separated_by_names(&g, "Location", "Survival", &["Smoking"]));
-        assert!(m_separated_by_names(&g, "Location", "Survival", &["LungCancer"]));
+        assert!(m_separated_by_names(
+            &g,
+            "Surgery",
+            "Survival",
+            &["LungCancer"]
+        ));
+        assert!(m_separated_by_names(
+            &g,
+            "Location",
+            "Survival",
+            &["Smoking"]
+        ));
+        assert!(m_separated_by_names(
+            &g,
+            "Location",
+            "Survival",
+            &["LungCancer"]
+        ));
     }
 
     #[test]

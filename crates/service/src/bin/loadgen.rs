@@ -7,8 +7,8 @@
 //! client behind `scripts/verify.sh`.
 //!
 //! ```text
-//! loadgen --addr HOST:PORT [--clients 1,4] [--requests N] [--model ID]
-//! loadgen --spawn [--models DIR] [--demo syn_a,flight] [--demo-rows N]
+//! loadgen --addr HOST:PORT [--v2] [--clients 1,4] [--requests N] [--model ID]
+//! loadgen --spawn [--v2] [--models DIR] [--demo syn_a,flight] [--demo-rows N]
 //! loadgen --smoke --addr HOST:PORT
 //! ```
 //!
@@ -16,7 +16,12 @@
 //!   bundles, starts an in-process server and benches it — the
 //!   self-contained path that emits `BENCH_serve.json` at the workspace
 //!   root (throughput, p50/p99 per model × client count).
-//! * `--smoke` issues one `/explain`, one `/stats` and a graceful
+//! * `--v2` drives `POST /v2/explain` instead of the v1 endpoint, with a
+//!   deterministic pseudo-random `top_k` per request (the per-request
+//!   options are part of the LRU key, so this also exercises the larger
+//!   v2 key space).
+//! * `--smoke` gates on `GET /healthz`, then issues one `/explain`, one
+//!   `/v2/explain` with a non-default `top_k`, one `/stats` and a graceful
 //!   `/admin/shutdown`, asserting each answer — used by the CI smoke test.
 //! * `XINSIGHT_BENCH_FAST=1` caps the request counts for quick runs.
 //!
@@ -28,16 +33,35 @@
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xinsight_core::json::Json;
 use xinsight_core::pipeline::XInsightOptions;
 use xinsight_core::WhyQuery;
-use xinsight_service::{build_demo_bundles, DemoModel, HttpClient, ModelRegistry, ServerConfig};
+use xinsight_service::{
+    build_demo_bundles, explain_v2_body, wait_healthy, DemoModel, HttpClient, ModelRegistry,
+    ServerConfig,
+};
+
+/// A tiny deterministic LCG for the `--v2` option sampler — the workspace
+/// convention for reproducible pseudo-randomness without a rand dependency
+/// in binaries.
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    }
+}
 
 struct Args {
     addr: Option<String>,
     spawn: bool,
     smoke: bool,
+    v2: bool,
     models_dir: Option<String>,
     demo: Vec<DemoModel>,
     demo_rows: usize,
@@ -48,7 +72,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen (--addr HOST:PORT | --spawn) [--smoke] [--clients 1,4] \
+        "usage: loadgen (--addr HOST:PORT | --spawn) [--smoke] [--v2] [--clients 1,4] \
          [--requests N] [--model ID] [--models DIR] [--demo syn_a,flight] [--demo-rows N]"
     );
     std::process::exit(2);
@@ -59,6 +83,7 @@ fn parse_args() -> Args {
         addr: None,
         spawn: false,
         smoke: false,
+        v2: false,
         models_dir: None,
         demo: vec![DemoModel::SynA, DemoModel::Flight],
         demo_rows: 0,
@@ -78,6 +103,7 @@ fn parse_args() -> Args {
             "--addr" => args.addr = Some(value("--addr")),
             "--spawn" => args.spawn = true,
             "--smoke" => args.smoke = true,
+            "--v2" => args.v2 = true,
             "--models" => args.models_dir = Some(value("--models")),
             "--demo" => {
                 args.demo = value("--demo")
@@ -145,9 +171,17 @@ fn fetch_models(addr: SocketAddr) -> Result<Vec<ModelInfo>, String> {
 }
 
 fn smoke(addr: SocketAddr) -> Result<(), String> {
+    // Readiness gate: poll the cheap liveness endpoint instead of sleeping
+    // and hoping the server is up.
+    wait_healthy(addr, Duration::from_secs(30)).map_err(|e| e.to_string())?;
+    println!("smoke: /healthz ok");
+
     let models = fetch_models(addr)?;
     let model = models.first().ok_or("no models loaded")?;
-    let query = model.queries.first().ok_or("model has no example queries")?;
+    let query = model
+        .queries
+        .first()
+        .ok_or("model has no example queries")?;
     let mut client = HttpClient::connect(addr).map_err(|e| e.to_string())?;
 
     let body = format!("{{\"model\":\"{}\",\"query\":{}}}", model.id, query);
@@ -160,6 +194,54 @@ fn smoke(addr: SocketAddr) -> Result<(), String> {
         .and_then(Json::as_arr)
         .map_err(|e| format!("explain body missing explanations: {e}"))?;
     println!("smoke: /explain on `{}` ok", model.id);
+
+    // The versioned surface, with a non-default top_k: the envelope and
+    // the ranked prefix must both honour it.
+    let resp = client
+        .explain_v2(
+            &model.id,
+            query,
+            Some("{\"top_k\":1,\"include_provenance\":true}"),
+        )
+        .map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!(
+            "POST /v2/explain -> {}: {}",
+            resp.status, resp.body
+        ));
+    }
+    let doc = Json::parse(&resp.body).map_err(|e| e.to_string())?;
+    let slots = doc
+        .get("result")
+        .and_then(|r| r.get("explanations"))
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("v2 body missing result.explanations: {e}"))?;
+    if slots.len() > 1 {
+        return Err(format!("top_k=1 returned {} explanations", slots.len()));
+    }
+    if let Some(first) = slots.first() {
+        let rank = first
+            .get("rank")
+            .and_then(Json::as_u64)
+            .map_err(|e| format!("v2 slot missing rank: {e}"))?;
+        if rank != 1 {
+            return Err(format!("top-ranked slot reports rank {rank}"));
+        }
+    }
+    // A cached answer legitimately has no fresh provenance (the entry may
+    // have been warmed by a provenance-less request with the same
+    // result-shaping options), so only require it on a recomputed answer.
+    let cached = doc
+        .get("cached")
+        .and_then(Json::as_bool)
+        .map_err(|e| format!("v2 body missing cached: {e}"))?;
+    if !cached {
+        doc.get("provenance")
+            .and_then(|p| p.get("attributes_searched"))
+            .and_then(Json::as_u64)
+            .map_err(|e| format!("v2 body missing provenance: {e}"))?;
+    }
+    println!("smoke: /v2/explain (top_k=1) on `{}` ok", model.id);
 
     let resp = client.get("/stats").map_err(|e| e.to_string())?;
     if resp.status != 200 {
@@ -214,7 +296,10 @@ fn result_cache_counters(addr: SocketAddr) -> Result<(u64, u64), String> {
     let stats = client.get("/stats").map_err(|e| e.to_string())?;
     let doc = Json::parse(&stats.body).map_err(|e| e.to_string())?;
     let cache = doc.get("result_cache").map_err(|e| e.to_string())?;
-    let hits = cache.get("hits").and_then(Json::as_u64).map_err(|e| e.to_string())?;
+    let hits = cache
+        .get("hits")
+        .and_then(Json::as_u64)
+        .map_err(|e| e.to_string())?;
     let misses = cache
         .get("misses")
         .and_then(Json::as_u64)
@@ -223,12 +308,16 @@ fn result_cache_counters(addr: SocketAddr) -> Result<(u64, u64), String> {
 }
 
 /// Runs one closed loop: `clients` threads × `requests_per_client`
-/// `/explain` requests against `model`, round-robining its query pool.
+/// requests against `model`, round-robining its query pool.  In `v2` mode
+/// each request goes to `POST /v2/explain` with a deterministic
+/// pseudo-random `top_k` in `1..=4` — distinct options are distinct LRU
+/// keys, so this sweeps a 4× larger key space than the v1 loop.
 fn run_closed_loop(
     addr: SocketAddr,
     model: &ModelInfo,
     clients: usize,
     requests_per_client: usize,
+    v2: bool,
 ) -> Result<RunResult, String> {
     let queries = Arc::new(model.queries.clone());
     if queries.is_empty() {
@@ -240,26 +329,41 @@ fn run_closed_loop(
     for client_id in 0..clients {
         let queries = Arc::clone(&queries);
         let model_id = model.id.clone();
-        handles.push(std::thread::spawn(move || -> Result<(Vec<u64>, usize), String> {
-            let mut http = HttpClient::connect(addr).map_err(|e| e.to_string())?;
-            let mut latencies = Vec::with_capacity(requests_per_client);
-            let mut errors = 0usize;
-            for i in 0..requests_per_client {
-                // Per-client offset: clients overlap on keys without moving
-                // in lockstep.
-                let query = &queries[(client_id * 3 + i) % queries.len()];
-                let body = format!("{{\"model\":\"{model_id}\",\"query\":{query}}}");
-                let t0 = Instant::now();
-                match http.post("/explain", &body) {
-                    Ok(resp) if resp.status == 200 => {
-                        latencies.push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        handles.push(std::thread::spawn(
+            move || -> Result<(Vec<u64>, usize), String> {
+                let mut http = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+                let mut sample = lcg(client_id as u64 + 1);
+                let mut latencies = Vec::with_capacity(requests_per_client);
+                let mut errors = 0usize;
+                for i in 0..requests_per_client {
+                    // Per-client offset: clients overlap on keys without moving
+                    // in lockstep.
+                    let query = &queries[(client_id * 3 + i) % queries.len()];
+                    let (path, body) = if v2 {
+                        let top_k = 1 + sample() % 4;
+                        let options = format!("{{\"top_k\":{top_k}}}");
+                        (
+                            "/v2/explain",
+                            explain_v2_body(&model_id, query, Some(&options)),
+                        )
+                    } else {
+                        (
+                            "/explain",
+                            format!("{{\"model\":\"{model_id}\",\"query\":{query}}}"),
+                        )
+                    };
+                    let t0 = Instant::now();
+                    match http.post(path, &body) {
+                        Ok(resp) if resp.status == 200 => {
+                            latencies.push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                        }
+                        Ok(_) => errors += 1,
+                        Err(e) => return Err(format!("client {client_id}: {e}")),
                     }
-                    Ok(_) => errors += 1,
-                    Err(e) => return Err(format!("client {client_id}: {e}")),
                 }
-            }
-            Ok((latencies, errors))
-        }));
+                Ok((latencies, errors))
+            },
+        ));
     }
     let mut latencies = Vec::new();
     let mut errors = 0usize;
@@ -284,7 +388,12 @@ fn run_closed_loop(
     };
 
     Ok(RunResult {
-        name: format!("{}/clients{}", model.id, clients),
+        name: format!(
+            "{}/clients{}{}",
+            model.id,
+            clients,
+            if v2 { "/v2" } else { "" }
+        ),
         model: model.id.clone(),
         clients,
         requests: latencies.len(),
@@ -360,14 +469,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let handle =
-            match xinsight_service::start(Arc::new(registry), &ServerConfig::default()) {
-                Ok(h) => h,
-                Err(e) => {
-                    eprintln!("starting in-process server failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+        let handle = match xinsight_service::start(Arc::new(registry), &ServerConfig::default()) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("starting in-process server failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let addr = handle.addr();
         eprintln!("in-process server listening on http://{addr}");
         spawned = Some(handle);
@@ -425,11 +533,14 @@ fn run_bench(addr: SocketAddr, args: &Args, fast: bool, threads: usize) -> Resul
         }
         None => models.iter().collect(),
     };
-    println!("\n## serve loadgen ({requests_per_client} requests/client, closed loop)\n");
+    println!(
+        "\n## serve loadgen ({requests_per_client} requests/client, closed loop{})\n",
+        if args.v2 { ", /v2/explain" } else { "" }
+    );
     let mut results = Vec::new();
     for model in models {
         for &clients in &args.clients {
-            let run = run_closed_loop(addr, model, clients.max(1), requests_per_client)?;
+            let run = run_closed_loop(addr, model, clients.max(1), requests_per_client, args.v2)?;
             println!(
                 "{:<22} {:>8.1} req/s   p50 {:>8.3} ms   p99 {:>8.3} ms   \
                  {} ok / {} err   cache hit rate {:.2}",

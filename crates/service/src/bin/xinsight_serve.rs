@@ -16,6 +16,11 @@
 //! serving path used by the smoke test and the `loadgen --spawn` bench.
 //! Thread pinning follows the engine convention: `XINSIGHT_THREADS` sizes
 //! both the rayon pool and (by default) the worker pool.
+//!
+//! The server speaks both wire generations: the stable v1 endpoints
+//! (`/explain`, `/explain_batch`) and the versioned `/v2` surface with
+//! per-request options and the full response envelope, plus `GET /healthz`
+//! for cheap liveness probing (see `xinsight_service::server`).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -65,9 +70,7 @@ fn parse_args() -> Args {
             "--addr" => args.addr = value("--addr"),
             "--workers" => args.workers = value("--workers").parse().ok(),
             "--queue" => args.queue = value("--queue").parse().ok(),
-            "--cache-mb" => {
-                args.cache_mb = value("--cache-mb").parse().unwrap_or_else(|_| usage())
-            }
+            "--cache-mb" => args.cache_mb = value("--cache-mb").parse().unwrap_or_else(|_| usage()),
             "--demo" => {
                 for name in value("--demo").split(',') {
                     match DemoModel::parse(name.trim()) {

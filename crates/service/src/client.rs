@@ -34,6 +34,50 @@ fn io_err(context: &str, e: std::io::Error) -> DataError {
     DataError::Serve(format!("{context}: {e}"))
 }
 
+/// Assembles a `POST /v2/explain` body from pre-serialized parts.
+pub fn explain_v2_body(model: &str, query_json: &str, options_json: Option<&str>) -> String {
+    let mut body = String::from("{\"model\":");
+    xinsight_core::json::Json::Str(model.to_owned()).write(&mut body);
+    body.push_str(",\"query\":");
+    body.push_str(query_json);
+    if let Some(options) = options_json {
+        body.push_str(",\"options\":");
+        body.push_str(options);
+    }
+    body.push('}');
+    body
+}
+
+/// Polls `GET /healthz` (reconnecting each attempt) until the server
+/// answers `200` or `timeout` elapses.
+///
+/// The liveness endpoint never touches a model, so this readiness gate is
+/// honest even while the server is busy fitting or answering — the CI
+/// smoke test uses it instead of sleeping and hoping.
+pub fn wait_healthy(addr: SocketAddr, timeout: Duration) -> Result<()> {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        // Anything short of a 200 — connection refused, 503 backpressure —
+        // is retried until the deadline.
+        let outcome = HttpClient::connect(addr).and_then(|mut c| c.get("/healthz"));
+        match outcome {
+            Ok(response) if response.status == 200 => return Ok(()),
+            other => {
+                if std::time::Instant::now() >= deadline {
+                    let detail = match other {
+                        Ok(response) => format!("last answer was {}", response.status),
+                        Err(e) => e.to_string(),
+                    };
+                    return Err(DataError::Serve(format!(
+                        "server at {addr} not healthy within {timeout:?}: {detail}"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
 impl HttpClient {
     /// Connects to a server address, with a generous request timeout so a
     /// wedged server fails tests instead of hanging them.
@@ -44,7 +88,9 @@ impl HttpClient {
             .map_err(|e| io_err("set timeout", e))?;
         // Request/response round trips are latency-bound: never batch the
         // small request segments behind Nagle.
-        stream.set_nodelay(true).map_err(|e| io_err("set nodelay", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| io_err("set nodelay", e))?;
         let reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone stream", e))?);
         Ok(HttpClient { stream, reader })
     }
@@ -57,6 +103,19 @@ impl HttpClient {
     /// Issues a `POST` with a JSON body and reads the response.
     pub fn post(&mut self, path: &str, body: &str) -> Result<ClientResponse> {
         self.request("POST", path, Some(body))
+    }
+
+    /// Issues a `POST /v2/explain`, assembling the versioned body from the
+    /// model id, the query's canonical JSON and an optional pre-serialized
+    /// options object (e.g. `{"top_k":3}`).
+    pub fn explain_v2(
+        &mut self,
+        model: &str,
+        query_json: &str,
+        options_json: Option<&str>,
+    ) -> Result<ClientResponse> {
+        let body = explain_v2_body(model, query_json, options_json);
+        self.post("/v2/explain", &body)
     }
 
     fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> Result<ClientResponse> {

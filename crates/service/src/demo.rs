@@ -143,6 +143,25 @@ pub fn demo_queries(data: &Dataset, limit: usize) -> Result<Vec<WhyQuery>> {
     Ok(queries)
 }
 
+/// A deterministic pool of `/v2/explain` options objects (pre-serialized
+/// JSON), rotating through the per-request controls — different `top_k`s,
+/// a score floor, a causal-only allowlist, provenance — so v2 load
+/// generation exercises distinct LRU keys and every response shape without
+/// shipping a request log.  The pool repeats cyclically up to `limit`.
+pub fn demo_v2_options(limit: usize) -> Vec<String> {
+    const POOL: [&str; 6] = [
+        "{}",
+        "{\"top_k\":1}",
+        "{\"top_k\":3}",
+        "{\"min_score\":0.05}",
+        "{\"types\":[\"causal\"]}",
+        "{\"top_k\":2,\"include_provenance\":true}",
+    ];
+    (0..limit)
+        .map(|i| POOL[i % POOL.len()].to_owned())
+        .collect()
+}
+
 /// Fits and saves the requested demo bundles into the registry's
 /// directory, returning their ids.  `n_rows == 0` uses each model's
 /// default scale.
@@ -188,6 +207,29 @@ mod tests {
         let foregrounds: std::collections::HashSet<&str> =
             queries.iter().map(|q| q.foreground()).collect();
         assert!(foregrounds.len() >= 2, "got {foregrounds:?}");
+    }
+
+    #[test]
+    fn v2_option_pool_is_deterministic_and_parseable() {
+        let pool = demo_v2_options(8);
+        assert_eq!(pool.len(), 8);
+        assert_eq!(pool, demo_v2_options(8));
+        assert_eq!(pool[0], pool[6], "pool repeats cyclically");
+        for options in &pool {
+            let doc = xinsight_core::json::Json::parse(options).unwrap();
+            crate::wire::RequestOptions::parse(Some(&doc)).unwrap();
+        }
+        // The pool produces several distinct LRU key suffixes.
+        let keys: std::collections::HashSet<String> = demo_v2_options(6)
+            .iter()
+            .map(|options| {
+                let doc = xinsight_core::json::Json::parse(options).unwrap();
+                crate::wire::RequestOptions::parse(Some(&doc))
+                    .unwrap()
+                    .cache_key()
+            })
+            .collect();
+        assert!(keys.len() >= 5, "got {keys:?}");
     }
 
     #[test]

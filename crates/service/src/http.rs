@@ -332,10 +332,8 @@ mod tests {
 
     #[test]
     fn parses_a_post_with_body() {
-        let req = parse_raw(
-            b"POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
-        )
-        .unwrap();
+        let req = parse_raw(b"POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody")
+            .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/explain");
         assert_eq!(req.header("host"), Some("x"));

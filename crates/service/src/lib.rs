@@ -6,8 +6,11 @@
 //!
 //! The paper's pipeline splits into an expensive offline phase and a
 //! cheap online phase; `xinsight-core` already persists the offline
-//! artifact ([`FittedModel`](xinsight_core::FittedModel)) and batches the
-//! online phase ([`explain_many`](xinsight_core::pipeline::XInsight::explain_many)).
+//! artifact ([`FittedModel`](xinsight_core::FittedModel)) and executes the
+//! online phase through the unified request/response API
+//! ([`execute`](xinsight_core::pipeline::XInsight::execute) over
+//! [`ExplainRequest`](xinsight_core::ExplainRequest) /
+//! [`ExplainResponse`](xinsight_core::ExplainResponse)).
 //! This crate turns those pieces into a service:
 //!
 //! * [`registry`] — loads model **bundles** (dataset CSV + fitted model +
@@ -23,7 +26,9 @@
 //! * [`lru`] — a byte-budgeted, memory-accounted LRU **result cache** in
 //!   front of the engine, keyed by `(model, WhyQuery)` and proven
 //!   answer-identical to the uncached path;
-//! * [`wire`] — the JSON wire format, sharing the engine's hand-rolled
+//! * [`wire`] — the **versioned** JSON wire format (stable v1 plus the
+//!   `/v2` surface carrying per-request options and the full response
+//!   envelope), sharing the engine's hand-rolled
 //!   [`json`](xinsight_core::json) codepath and `WhyQuery`'s canonical
 //!   serialization;
 //! * [`stats`] — QPS, latency histogram and cache-effectiveness counters
@@ -39,12 +44,19 @@
 //!
 //! | Endpoint | Body | Answer |
 //! |---|---|---|
-//! | `POST /explain` | `{"model", "query"}` | ranked explanations (LRU-cached) |
-//! | `POST /explain_batch` | `{"model", "queries"}` | per-query results, shared `SelectionCache` |
+//! | `GET /healthz` | — | `{"ok":true}` liveness, no model touch |
+//! | `POST /explain` | `{"model", "query"}` | v1: bare ranked explanations (LRU-cached) |
+//! | `POST /explain_batch` | `{"model", "queries"}` | v1: per-query results, shared `SelectionCache` |
+//! | `POST /v2/explain` | `{"model", "query", "options"?}` | full envelope: ranked+scored, markers, provenance |
+//! | `POST /v2/explain_batch` | `{"model", "queries", "options"?}` | per-query v2 envelopes |
 //! | `GET /models` | — | loaded models + example queries |
 //! | `GET /stats` | — | QPS, latency, cache hit rates |
 //! | `POST /admin/reload` | `{"model"}` | atomic hot-reload of one bundle |
 //! | `POST /admin/shutdown` | — | graceful shutdown |
+//!
+//! The v1 endpoints are thin adapters that build a *default*
+//! [`ExplainRequest`](xinsight_core::ExplainRequest); their wire bytes are
+//! unchanged (property-tested in `tests/api_v2.rs`).
 
 #![warn(missing_docs)]
 
@@ -57,8 +69,8 @@ pub mod server;
 pub mod stats;
 pub mod wire;
 
-pub use client::{ClientResponse, HttpClient};
-pub use demo::{build_demo_bundles, demo_queries, DemoModel};
+pub use client::{explain_v2_body, wait_healthy, ClientResponse, HttpClient};
+pub use demo::{build_demo_bundles, demo_queries, demo_v2_options, DemoModel};
 pub use lru::{CacheKey, ResultCache, ResultCacheStats};
 pub use registry::{save_bundle, LoadedModel, ModelRegistry};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -36,7 +36,8 @@ use xinsight_core::WhyQuery;
 pub const ENTRY_OVERHEAD_BYTES: usize = 128;
 
 /// Key of one cached result: the serving model (id **and** reload
-/// generation) plus the (canonicalized, hashable) query.
+/// generation), the (canonicalized, hashable) query, and the canonical
+/// per-request options suffix.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// The model the query was answered against.
@@ -51,6 +52,13 @@ pub struct CacheKey {
     /// as a map key, and its canonical JSON length is what the byte budget
     /// charges for.
     pub query: WhyQuery,
+    /// Canonical serialization of the request's result-shaping options
+    /// ([`RequestOptions::cache_key`](crate::wire::RequestOptions::cache_key)),
+    /// so two requests that differ only in `top_k`, `min_score`, `types`
+    /// or `deadline_ms` never alias.  v1 requests — whose cached value is
+    /// a bare explanation array rather than a v2 result object — use the
+    /// empty string.
+    pub options: String,
 }
 
 #[derive(Debug)]
@@ -150,8 +158,11 @@ impl ResultCache {
     /// size exceeds the budget is not admitted (it would evict everything
     /// and then be evicted itself).
     pub fn insert(&self, key: CacheKey, value: Arc<str>) {
-        let entry_bytes =
-            key.model.len() + key.query.to_json().len() + value.len() + ENTRY_OVERHEAD_BYTES;
+        let entry_bytes = key.model.len()
+            + key.query.to_json().len()
+            + key.options.len()
+            + value.len()
+            + ENTRY_OVERHEAD_BYTES;
         if entry_bytes > self.byte_budget {
             self.uncacheable.fetch_add(1, Ordering::Relaxed);
             return;
@@ -240,11 +251,16 @@ mod tests {
             model: model.to_owned(),
             generation: 1,
             query: query(value),
+            options: String::new(),
         }
     }
 
     fn entry_bytes(key: &CacheKey, value: &str) -> usize {
-        key.model.len() + key.query.to_json().len() + value.len() + ENTRY_OVERHEAD_BYTES
+        key.model.len()
+            + key.query.to_json().len()
+            + key.options.len()
+            + value.len()
+            + ENTRY_OVERHEAD_BYTES
     }
 
     #[test]
@@ -290,10 +306,7 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.bytes, entry_bytes(&k, "a longer value than before"));
-        assert_eq!(
-            cache.get(&k).as_deref(),
-            Some("a longer value than before")
-        );
+        assert_eq!(cache.get(&k).as_deref(), Some("a longer value than before"));
     }
 
     #[test]
@@ -334,6 +347,36 @@ mod tests {
     }
 
     #[test]
+    fn distinct_request_options_do_not_collide() {
+        // Same model, same generation, same query — only the options
+        // suffix differs; the entries must stay independent (v1 vs v2
+        // default vs v2 with a top_k all store different payload shapes).
+        let cache = ResultCache::new(1 << 20);
+        let v1 = key("m", "a");
+        let v2_default = CacheKey {
+            options: "v2{}".to_owned(),
+            ..v1.clone()
+        };
+        let v2_top1 = CacheKey {
+            options: "v2{\"top_k\":1.0}".to_owned(),
+            ..v1.clone()
+        };
+        cache.insert(v1.clone(), Arc::from("plain array"));
+        cache.insert(v2_default.clone(), Arc::from("scored object"));
+        cache.insert(v2_top1.clone(), Arc::from("scored object, one entry"));
+        assert_eq!(cache.get(&v1).as_deref(), Some("plain array"));
+        assert_eq!(cache.get(&v2_default).as_deref(), Some("scored object"));
+        assert_eq!(
+            cache.get(&v2_top1).as_deref(),
+            Some("scored object, one entry")
+        );
+        assert_eq!(cache.stats().entries, 3);
+        // Model-level invalidation drops every options variant.
+        cache.invalidate_model("m");
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
     fn stale_generation_inserts_cannot_poison_the_new_generation() {
         // The hot-reload race: a slow request computed against generation 1
         // inserts *after* the reload invalidated; generation-2 lookups must
@@ -346,7 +389,10 @@ mod tests {
         };
         cache.invalidate_model("m"); // the reload's invalidation
         cache.insert(old.clone(), Arc::from("stale pre-reload answer"));
-        assert!(cache.get(&new).is_none(), "stale answer leaked across reload");
+        assert!(
+            cache.get(&new).is_none(),
+            "stale answer leaked across reload"
+        );
         // invalidate_model drops every generation's entries.
         cache.insert(new.clone(), Arc::from("fresh"));
         cache.invalidate_model("m");

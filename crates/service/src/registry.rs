@@ -370,6 +370,13 @@ mod tests {
             .unwrap()
     }
 
+    fn explain(engine: &XInsight, query: &WhyQuery) -> Vec<xinsight_core::Explanation> {
+        engine
+            .execute(&xinsight_core::ExplainRequest::new(query.clone()))
+            .unwrap()
+            .into_explanations()
+    }
+
     fn tiny_query() -> WhyQuery {
         WhyQuery::new(
             "Severity",
@@ -381,10 +388,8 @@ mod tests {
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "xinsight_registry_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("xinsight_registry_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -399,7 +404,7 @@ mod tests {
         let engine = registry
             .fit_and_save("tiny", &data, vec![tiny_query()])
             .unwrap();
-        let direct = engine.explain(&tiny_query()).unwrap();
+        let direct = explain(&engine, &tiny_query());
 
         let reopened = ModelRegistry::open(&dir, options).unwrap();
         assert_eq!(reopened.ids(), vec!["tiny".to_owned()]);
@@ -413,7 +418,7 @@ mod tests {
             loaded.ci_cache_stats.misses,
             engine.learner_result().ci_cache_stats.misses
         );
-        assert_eq!(loaded.engine.explain(&tiny_query()).unwrap(), direct);
+        assert_eq!(explain(&loaded.engine, &tiny_query()), direct);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -423,15 +428,17 @@ mod tests {
         let data = tiny_data();
         let options = XInsightOptions::default();
         let registry = ModelRegistry::open_empty(&dir, options.clone());
-        registry.fit_and_save("m", &data, vec![tiny_query()]).unwrap();
+        registry
+            .fit_and_save("m", &data, vec![tiny_query()])
+            .unwrap();
         let first = registry.load("m").unwrap();
         assert_eq!(first.generation, 1);
         let second = registry.load("m").unwrap();
         assert_eq!(second.generation, 2);
         // The old Arc still answers (in-flight requests are unaffected).
         assert_eq!(
-            first.engine.explain(&tiny_query()).unwrap(),
-            second.engine.explain(&tiny_query()).unwrap()
+            explain(&first.engine, &tiny_query()),
+            explain(&second.engine, &tiny_query())
         );
         assert_eq!(registry.get("m").unwrap().generation, 2);
         let _ = std::fs::remove_dir_all(&dir);
@@ -456,7 +463,9 @@ mod tests {
         let dir = temp_dir("mismatch");
         let data = tiny_data();
         let registry = ModelRegistry::open_empty(&dir, XInsightOptions::default());
-        registry.fit_and_save("real", &data, vec![tiny_query()]).unwrap();
+        registry
+            .fit_and_save("real", &data, vec![tiny_query()])
+            .unwrap();
         // Copy the bundle under a different stem: the declared id no longer
         // matches.
         for suffix in [".meta.json", ".model.json", ".csv"] {

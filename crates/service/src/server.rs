@@ -43,7 +43,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use xinsight_core::SelectionCache;
+use xinsight_core::{ExplainRequest, SelectionCache};
 use xinsight_data::{DataError, Result};
 use xinsight_stats::CacheStats;
 
@@ -288,11 +288,8 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             Err(HttpError::Closed) => return,
             Err(HttpError::Malformed(message)) => {
                 shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = http::write_response(
-                    &mut write_half,
-                    &Response::error(400, &message),
-                    true,
-                );
+                let _ =
+                    http::write_response(&mut write_half, &Response::error(400, &message), true);
                 return;
             }
             Err(HttpError::TooLarge(what)) => {
@@ -329,6 +326,27 @@ fn error_response(error: &DataError) -> Response {
     Response::error(status_for(error), &error.to_string())
 }
 
+/// The v2 error body: the human-readable message plus the stable
+/// machine-readable [`DataError::code`], shared with the engine's own
+/// error vocabulary.
+fn error_response_v2(error: &DataError) -> Response {
+    use xinsight_core::json::Json;
+    let body = Json::Obj(vec![
+        ("error".to_owned(), Json::Str(error.to_string())),
+        ("code".to_owned(), Json::Str(error.code().to_owned())),
+    ]);
+    Response::json(status_for(error), body.to_string())
+}
+
+/// A v2 `404` for an unknown model id — same body shape as
+/// [`error_response_v2`], but with the not-found status v1 uses too.
+fn model_not_found_v2(model: &str) -> Response {
+    let mut response =
+        error_response_v2(&DataError::Serve(format!("model `{model}` is not loaded")));
+    response.status = 404;
+    response
+}
+
 fn count_response(shared: &Shared, response: &Response) {
     if response.status >= 500 {
         shared.stats.server_errors.fetch_add(1, Ordering::Relaxed);
@@ -341,8 +359,14 @@ fn count_response(shared: &Shared, response: &Response) {
 /// writing the response.
 fn route(shared: &Shared, request: &Request) -> (Response, bool) {
     match (request.method.as_str(), request.path.as_str()) {
+        // Liveness: answered inline from nothing but the shutdown flag — no
+        // model, cache or registry is touched, so it stays cheap and honest
+        // even while every engine is busy.
+        ("GET", "/healthz") => (Response::json(200, "{\"ok\":true}"), false),
         ("POST", "/explain") => (handle_explain(shared, &request.body), false),
         ("POST", "/explain_batch") => (handle_explain_batch(shared, &request.body), false),
+        ("POST", "/v2/explain") => (handle_explain_v2(shared, &request.body), false),
+        ("POST", "/v2/explain_batch") => (handle_explain_batch_v2(shared, &request.body), false),
         ("GET", "/models") => (handle_models(shared), false),
         ("GET", "/stats") => (handle_stats(shared), false),
         ("POST", "/admin/reload") => (handle_reload(shared, &request.body), false),
@@ -350,8 +374,11 @@ fn route(shared: &Shared, request: &Request) -> (Response, bool) {
             shared.stats.admin.fetch_add(1, Ordering::Relaxed);
             (Response::json(200, "{\"shutting_down\":true}"), true)
         }
-        ("GET" | "POST", "/explain" | "/explain_batch" | "/models" | "/stats" | "/admin/reload"
-        | "/admin/shutdown") => (Response::error(405, "method not allowed"), false),
+        (
+            "GET" | "POST",
+            "/healthz" | "/explain" | "/explain_batch" | "/v2/explain" | "/v2/explain_batch"
+            | "/models" | "/stats" | "/admin/reload" | "/admin/shutdown",
+        ) => (Response::error(405, "method not allowed"), false),
         _ => (
             Response::error(404, &format!("no such endpoint `{}`", request.path)),
             false,
@@ -359,8 +386,12 @@ fn route(shared: &Shared, request: &Request) -> (Response, bool) {
     }
 }
 
+/// The v1 `/explain` handler — now an adapter: it builds a *default*
+/// [`ExplainRequest`] and routes through the same `execute` core as `/v2`,
+/// serializing the response back into the stable v1 wire shape (a bare
+/// explanation array, cached under the empty options suffix).
 fn handle_explain(shared: &Shared, body: &[u8]) -> Response {
-    let request = match wire::ExplainRequest::parse(body) {
+    let request = match wire::ExplainV1::parse(body) {
         Ok(r) => r,
         Err(e) => return error_response(&e),
     };
@@ -371,19 +402,21 @@ fn handle_explain(shared: &Shared, body: &[u8]) -> Response {
         model: model.id.clone(),
         generation: model.generation,
         query: request.query.clone(),
+        options: String::new(),
     };
     if let Some(hit) = shared.cache.get(&key) {
         shared.stats.explain.fetch_add(1, Ordering::Relaxed);
         return Response::json(200, wire::explain_response(&model.id, true, &hit));
     }
+    let engine_request = ExplainRequest::new(request.query);
     let selection = Arc::new(SelectionCache::new());
     match model
         .engine
-        .explain_many_with_cache(std::slice::from_ref(&request.query), Arc::clone(&selection))
+        .execute_with_cache(&engine_request, Arc::clone(&selection))
     {
-        Ok(mut results) => {
+        Ok(response) => {
             shared.stats.add_selection(selection.stats());
-            let explanations = results.pop().unwrap_or_default();
+            let explanations = response.into_explanations();
             let json: Arc<str> = Arc::from(wire::explanations_to_string(&explanations).as_str());
             shared.cache.insert(key, Arc::clone(&json));
             shared.stats.explain.fetch_add(1, Ordering::Relaxed);
@@ -393,8 +426,10 @@ fn handle_explain(shared: &Shared, body: &[u8]) -> Response {
     }
 }
 
+/// The v1 `/explain_batch` handler — an adapter over the batched execute
+/// core, keeping the v1 response bytes stable.
 fn handle_explain_batch(shared: &Shared, body: &[u8]) -> Response {
-    let request = match wire::ExplainBatchRequest::parse(body) {
+    let request = match wire::ExplainBatchV1::parse(body) {
         Ok(r) => r,
         Err(e) => return error_response(&e),
     };
@@ -410,6 +445,7 @@ fn handle_explain_batch(shared: &Shared, body: &[u8]) -> Response {
             model: model.id.clone(),
             generation: model.generation,
             query: query.clone(),
+            options: String::new(),
         };
         if let Some(hit) = shared.cache.get(&key) {
             results[i] = Some((true, hit));
@@ -418,17 +454,21 @@ fn handle_explain_batch(shared: &Shared, body: &[u8]) -> Response {
         }
     }
     if !uncached.is_empty() {
-        let queries: Vec<_> = uncached.iter().map(|(_, k)| k.query.clone()).collect();
+        let requests: Vec<ExplainRequest> = uncached
+            .iter()
+            .map(|(_, k)| ExplainRequest::new(k.query.clone()))
+            .collect();
         let selection = Arc::new(SelectionCache::new());
         let answers = match model
             .engine
-            .explain_many_with_cache(&queries, Arc::clone(&selection))
+            .execute_batch_with_cache(&requests, Arc::clone(&selection))
         {
             Ok(a) => a,
             Err(e) => return error_response(&e),
         };
         shared.stats.add_selection(selection.stats());
-        for ((i, key), explanations) in uncached.into_iter().zip(answers) {
+        for ((i, key), response) in uncached.into_iter().zip(answers) {
+            let explanations = response.into_explanations();
             let json: Arc<str> = Arc::from(wire::explanations_to_string(&explanations).as_str());
             shared.cache.insert(key, Arc::clone(&json));
             results[i] = Some((false, json));
@@ -444,6 +484,150 @@ fn handle_explain_batch(shared: &Shared, body: &[u8]) -> Response {
         .batch_queries
         .fetch_add(results.len() as u64, Ordering::Relaxed);
     Response::json(200, wire::explain_batch_response(&model.id, &results))
+}
+
+/// `POST /v2/explain`: the full request/response surface — per-request
+/// options in, the self-describing envelope out.
+fn handle_explain_v2(shared: &Shared, body: &[u8]) -> Response {
+    let started = Instant::now();
+    let request = match wire::ExplainV2::parse(body) {
+        Ok(r) => r,
+        Err(e) => return error_response_v2(&e),
+    };
+    let Some(model) = shared.registry.get(&request.model) else {
+        return model_not_found_v2(&request.model);
+    };
+    let key = CacheKey {
+        model: model.id.clone(),
+        generation: model.generation,
+        query: request.query.clone(),
+        options: request.options.cache_key(),
+    };
+    if let Some(hit) = shared.cache.get(&key) {
+        shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed);
+        // A cached result was not recomputed, so there is no fresh
+        // provenance to report — `cached: true` *is* the provenance.
+        let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        return Response::json(
+            200,
+            wire::explain_v2_response(&model.id, true, false, elapsed_us, None, &hit),
+        );
+    }
+    let engine_request = request.options.to_engine_request(request.query);
+    let selection = Arc::new(SelectionCache::new());
+    match model
+        .engine
+        .execute_with_cache(&engine_request, Arc::clone(&selection))
+    {
+        Ok(mut response) => {
+            shared.stats.add_selection(selection.stats());
+            if let Some(provenance) = response.provenance.as_mut() {
+                // Engines restored from a bundle lose their fit-time CI
+                // counters; the registry persisted them, so re-attach.
+                provenance.ci_cache_fit_time = model.ci_cache_stats;
+            }
+            let result: Arc<str> = Arc::from(wire::v2_result_to_string(&response).as_str());
+            // A deadline-hit response is a *partial* answer; caching it
+            // would replay the partiality to future (possibly unhurried)
+            // requests.
+            if !response.deadline_hit {
+                shared.cache.insert(key, Arc::clone(&result));
+            }
+            shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed);
+            // Handler wall-clock on both paths (parse + lookup + engine),
+            // so cached and uncached `elapsed_us` are comparable.
+            let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            Response::json(
+                200,
+                wire::explain_v2_response(
+                    &model.id,
+                    false,
+                    response.deadline_hit,
+                    elapsed_us,
+                    response.provenance.as_ref(),
+                    &result,
+                ),
+            )
+        }
+        Err(e) => error_response_v2(&e),
+    }
+}
+
+/// `POST /v2/explain_batch`: one options object applied to every query,
+/// answered through the LRU plus one shared-cache engine batch.
+fn handle_explain_batch_v2(shared: &Shared, body: &[u8]) -> Response {
+    let request = match wire::ExplainBatchV2::parse(body) {
+        Ok(r) => r,
+        Err(e) => return error_response_v2(&e),
+    };
+    let Some(model) = shared.registry.get(&request.model) else {
+        return model_not_found_v2(&request.model);
+    };
+    let options_key = request.options.cache_key();
+    let mut results: Vec<Option<wire::BatchSlotV2>> = Vec::new();
+    results.resize_with(request.queries.len(), || None);
+    let mut uncached = Vec::new();
+    for (i, query) in request.queries.iter().enumerate() {
+        let key = CacheKey {
+            model: model.id.clone(),
+            generation: model.generation,
+            query: query.clone(),
+            options: options_key.clone(),
+        };
+        if let Some(hit) = shared.cache.get(&key) {
+            results[i] = Some(wire::BatchSlotV2 {
+                cached: true,
+                deadline_hit: false,
+                provenance: None,
+                result: hit,
+            });
+        } else {
+            uncached.push((i, key));
+        }
+    }
+    if !uncached.is_empty() {
+        let requests: Vec<ExplainRequest> = uncached
+            .iter()
+            .map(|(_, k)| request.options.to_engine_request(k.query.clone()))
+            .collect();
+        let selection = Arc::new(SelectionCache::new());
+        let answers = match model
+            .engine
+            .execute_batch_with_cache(&requests, Arc::clone(&selection))
+        {
+            Ok(a) => a,
+            Err(e) => return error_response_v2(&e),
+        };
+        shared.stats.add_selection(selection.stats());
+        for ((i, key), mut response) in uncached.into_iter().zip(answers) {
+            if let Some(provenance) = response.provenance.as_mut() {
+                provenance.ci_cache_fit_time = model.ci_cache_stats;
+            }
+            let result: Arc<str> = Arc::from(wire::v2_result_to_string(&response).as_str());
+            if !response.deadline_hit {
+                shared.cache.insert(key, Arc::clone(&result));
+            }
+            results[i] = Some(wire::BatchSlotV2 {
+                cached: false,
+                deadline_hit: response.deadline_hit,
+                provenance: response.provenance,
+                result,
+            });
+        }
+    }
+    let results: Vec<wire::BatchSlotV2> = results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect();
+    shared
+        .stats
+        .explain_batch_v2
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .batch_queries
+        .fetch_add(results.len() as u64, Ordering::Relaxed);
+    Response::json(200, wire::explain_batch_v2_response(&model.id, &results))
 }
 
 fn handle_models(shared: &Shared) -> Response {
@@ -473,10 +657,7 @@ fn handle_models(shared: &Shared) -> Response {
                 (
                     "ci_cache_fit_time".to_owned(),
                     Json::Obj(vec![
-                        (
-                            "hits".to_owned(),
-                            Json::Num(m.ci_cache_stats.hits as f64),
-                        ),
+                        ("hits".to_owned(), Json::Num(m.ci_cache_stats.hits as f64)),
                         (
                             "misses".to_owned(),
                             Json::Num(m.ci_cache_stats.misses as f64),
@@ -538,7 +719,7 @@ mod tests {
     use xinsight_core::json::Json;
     use xinsight_core::pipeline::XInsightOptions;
     use xinsight_core::WhyQuery;
-    use xinsight_data::{Aggregate, DatasetBuilder, Dataset, Subspace};
+    use xinsight_data::{Aggregate, Dataset, DatasetBuilder, Subspace};
 
     fn tiny_data() -> Dataset {
         let mut loc = Vec::new();
@@ -571,10 +752,8 @@ mod tests {
 
     /// Fits + saves a bundle in a temp dir and serves it.
     fn start_tiny(tag: &str, config: ServerConfig) -> (ServerHandle, std::path::PathBuf) {
-        let dir = std::env::temp_dir().join(format!(
-            "xinsight_server_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("xinsight_server_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let options = XInsightOptions::default();
@@ -587,13 +766,22 @@ mod tests {
         (handle, dir)
     }
 
+    fn direct_explanations(engine: &xinsight_core::pipeline::XInsight, query: &WhyQuery) -> String {
+        wire::explanations_to_string(
+            &engine
+                .execute(&ExplainRequest::new(query.clone()))
+                .unwrap()
+                .into_explanations(),
+        )
+    }
+
     #[test]
     fn explain_over_http_matches_direct_and_caches() {
         let (handle, dir) = start_tiny("explain", ServerConfig::default());
         let engine =
             xinsight_core::pipeline::XInsight::fit(&tiny_data(), &XInsightOptions::default())
                 .unwrap();
-        let direct = wire::explanations_to_string(&engine.explain(&tiny_query()).unwrap());
+        let direct = direct_explanations(&engine, &tiny_query());
 
         let mut client = HttpClient::connect(handle.addr()).unwrap();
         let body = format!(
@@ -633,11 +821,8 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert!(results[0].get("cached").unwrap().as_bool().unwrap());
         assert!(!results[1].get("cached").unwrap().as_bool().unwrap());
-        assert_eq!(
-            results[0].get("explanations").unwrap().to_string(),
-            direct
-        );
-        let direct_other = wire::explanations_to_string(&engine.explain(&other).unwrap());
+        assert_eq!(results[0].get("explanations").unwrap().to_string(), direct);
+        let direct_other = direct_explanations(&engine, &other);
         assert_eq!(
             results[1].get("explanations").unwrap().to_string(),
             direct_other
@@ -648,17 +833,198 @@ mod tests {
         let doc = Json::parse(&models.body).unwrap();
         let entry = &doc.as_arr().unwrap()[0];
         assert_eq!(entry.get("id").unwrap().as_str().unwrap(), "tiny");
-        assert!(!entry.get("example_queries").unwrap().as_arr().unwrap().is_empty());
+        assert!(!entry
+            .get("example_queries")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
         let stats = client.get("/stats").unwrap();
         let doc = Json::parse(&stats.body).unwrap();
         assert_eq!(
-            doc.get("requests").unwrap().get("explain").unwrap().as_u64().unwrap(),
+            doc.get("requests")
+                .unwrap()
+                .get("explain")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
             2
         );
         let result_cache = doc.get("result_cache").unwrap();
         assert_eq!(result_cache.get("hits").unwrap().as_u64().unwrap(), 2);
-        assert!(doc.get("selection_cache").unwrap().get("misses").unwrap().as_u64().unwrap() > 0);
-        assert!(doc.get("ci_cache_fit_time").unwrap().get("misses").unwrap().as_u64().unwrap() > 0);
+        assert!(
+            doc.get("selection_cache")
+                .unwrap()
+                .get("misses")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        assert!(
+            doc.get("ci_cache_fit_time")
+                .unwrap()
+                .get("misses")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn healthz_is_alive_without_touching_models() {
+        // An *empty* registry: /healthz must answer even though there is
+        // nothing to serve (liveness, not readiness of any model).
+        let dir = std::env::temp_dir().join(format!("xinsight_healthz_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let registry = ModelRegistry::open_empty(&dir, XInsightOptions::default());
+        let handle = start(Arc::new(registry), &ServerConfig::default()).unwrap();
+        crate::client::wait_healthy(handle.addr(), Duration::from_secs(5)).unwrap();
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let resp = client.get("/healthz").unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(Json::parse(&resp.body)
+            .unwrap()
+            .get("ok")
+            .unwrap()
+            .as_bool()
+            .unwrap());
+        // Wrong method is still a 405, not a 404.
+        assert_eq!(client.post("/healthz", "{}").unwrap().status, 405);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_explain_honours_options_and_distinguishes_cache_keys() {
+        let (handle, dir) = start_tiny("v2", ServerConfig::default());
+        let engine =
+            xinsight_core::pipeline::XInsight::fit(&tiny_data(), &XInsightOptions::default())
+                .unwrap();
+        let direct = engine
+            .execute(&ExplainRequest::new(tiny_query()))
+            .unwrap()
+            .into_explanations();
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let query_json = tiny_query().to_json();
+
+        // Default options: the scored ranking mirrors the direct answer.
+        let resp = client.explain_v2("tiny", &query_json, None).unwrap();
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let doc = Json::parse(&resp.body).unwrap();
+        assert!(!doc.get("cached").unwrap().as_bool().unwrap());
+        assert!(!doc.get("deadline_hit").unwrap().as_bool().unwrap());
+        let result = doc.get("result").unwrap();
+        assert!(!result.get("truncated").unwrap().as_bool().unwrap());
+        let slots = result.get("explanations").unwrap().as_arr().unwrap();
+        assert_eq!(slots.len(), direct.len());
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(slot.get("rank").unwrap().as_u64().unwrap(), (i + 1) as u64);
+            assert_eq!(
+                slot.get("explanation").unwrap().to_string(),
+                wire::explanation_to_json(&direct[i]).to_string()
+            );
+        }
+
+        // top_k=1 is a *different* LRU key: the first such request cannot
+        // be a hit even though the default-options answer is cached.
+        let resp = client
+            .explain_v2(
+                "tiny",
+                &query_json,
+                Some("{\"top_k\":1,\"include_provenance\":true}"),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let doc = Json::parse(&resp.body).unwrap();
+        assert!(
+            !doc.get("cached").unwrap().as_bool().unwrap(),
+            "a top_k=1 request must not alias the default-options entry"
+        );
+        let result = doc.get("result").unwrap();
+        assert!(result.get("truncated").unwrap().as_bool().unwrap() || direct.len() <= 1);
+        assert!(result.get("explanations").unwrap().as_arr().unwrap().len() <= 1);
+        let provenance = doc.get("provenance").unwrap();
+        assert!(
+            provenance
+                .get("attributes_searched")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        // The registry re-attached the persisted fit-time CI counters.
+        assert!(
+            provenance
+                .get("ci_cache_fit_time")
+                .unwrap()
+                .get("misses")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+
+        // Repeating each request hits its own entry.
+        for options in [None, Some("{\"top_k\":1,\"include_provenance\":true}")] {
+            let resp = client.explain_v2("tiny", &query_json, options).unwrap();
+            let doc = Json::parse(&resp.body).unwrap();
+            assert!(doc.get("cached").unwrap().as_bool().unwrap(), "{options:?}");
+        }
+
+        // v2 batch: same options applied to both queries, order preserved.
+        let other = WhyQuery::new(
+            "Severity",
+            Aggregate::Sum,
+            Subspace::of("Location", "A"),
+            Subspace::of("Location", "B"),
+        )
+        .unwrap();
+        let body = format!(
+            "{{\"model\":\"tiny\",\"queries\":[{},{}],\"options\":{{\"top_k\":1}}}}",
+            query_json,
+            other.to_json()
+        );
+        let resp = client.post("/v2/explain_batch", &body).unwrap();
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let doc = Json::parse(&resp.body).unwrap();
+        let results = doc.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        for slot in results {
+            assert!(
+                slot.get("result")
+                    .unwrap()
+                    .get("explanations")
+                    .unwrap()
+                    .as_arr()
+                    .unwrap()
+                    .len()
+                    <= 1
+            );
+        }
+
+        // v2 errors carry the shared machine-readable code.
+        let resp = client.explain_v2("ghost", &query_json, None).unwrap();
+        assert_eq!(resp.status, 404);
+        let doc = Json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("code").unwrap().as_str().unwrap(), "serve");
+        let resp = client
+            .explain_v2("tiny", &query_json, Some("{\"bogus\":1}"))
+            .unwrap();
+        assert_eq!(resp.status, 400);
+        let doc = Json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("code").unwrap().as_str().unwrap(), "serve");
+        assert!(doc
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("bogus"));
 
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
@@ -671,7 +1037,10 @@ mod tests {
         let resp = client
             .post(
                 "/explain",
-                &format!("{{\"model\":\"nope\",\"query\":{}}}", tiny_query().to_json()),
+                &format!(
+                    "{{\"model\":\"nope\",\"query\":{}}}",
+                    tiny_query().to_json()
+                ),
             )
             .unwrap();
         assert_eq!(resp.status, 404);
@@ -775,7 +1144,9 @@ mod tests {
         let doc = Json::parse(&client.post("/explain", &body).unwrap().body).unwrap();
         assert!(doc.get("cached").unwrap().as_bool().unwrap());
         // Reload: generation bumps, cache entries for the model are dropped.
-        let resp = client.post("/admin/reload", "{\"model\":\"tiny\"}").unwrap();
+        let resp = client
+            .post("/admin/reload", "{\"model\":\"tiny\"}")
+            .unwrap();
         assert_eq!(resp.status, 200, "body: {}", resp.body);
         let doc = Json::parse(&resp.body).unwrap();
         assert_eq!(doc.get("generation").unwrap().as_u64().unwrap(), 2);

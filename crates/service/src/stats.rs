@@ -103,7 +103,11 @@ pub struct ServerStats {
     pub explain: AtomicU64,
     /// `POST /explain_batch` requests answered.
     pub explain_batch: AtomicU64,
-    /// Individual queries inside batch requests.
+    /// `POST /v2/explain` requests answered.
+    pub explain_v2: AtomicU64,
+    /// `POST /v2/explain_batch` requests answered.
+    pub explain_batch_v2: AtomicU64,
+    /// Individual queries inside batch requests (v1 and v2).
     pub batch_queries: AtomicU64,
     /// `GET /models` requests answered.
     pub models: AtomicU64,
@@ -132,6 +136,8 @@ impl Default for ServerStats {
             started: Instant::now(),
             explain: AtomicU64::new(0),
             explain_batch: AtomicU64::new(0),
+            explain_v2: AtomicU64::new(0),
+            explain_batch_v2: AtomicU64::new(0),
             batch_queries: AtomicU64::new(0),
             models: AtomicU64::new(0),
             stats: AtomicU64::new(0),
@@ -159,6 +165,8 @@ impl ServerStats {
     pub fn requests_total(&self) -> u64 {
         self.explain.load(Ordering::Relaxed)
             + self.explain_batch.load(Ordering::Relaxed)
+            + self.explain_v2.load(Ordering::Relaxed)
+            + self.explain_batch_v2.load(Ordering::Relaxed)
             + self.models.load(Ordering::Relaxed)
             + self.stats.load(Ordering::Relaxed)
             + self.admin.load(Ordering::Relaxed)
@@ -198,6 +206,8 @@ impl ServerStats {
                 Json::Obj(vec![
                     ("explain".to_owned(), load(&self.explain)),
                     ("explain_batch".to_owned(), load(&self.explain_batch)),
+                    ("explain_v2".to_owned(), load(&self.explain_v2)),
+                    ("explain_batch_v2".to_owned(), load(&self.explain_batch_v2)),
                     ("batch_queries".to_owned(), load(&self.batch_queries)),
                     ("models".to_owned(), load(&self.models)),
                     ("stats".to_owned(), load(&self.stats)),
@@ -221,10 +231,7 @@ impl ServerStats {
                 Json::Obj(vec![
                     ("hits".to_owned(), Json::Num(result_cache.hits as f64)),
                     ("misses".to_owned(), Json::Num(result_cache.misses as f64)),
-                    (
-                        "hit_rate".to_owned(),
-                        Json::Num(result_cache.hit_rate()),
-                    ),
+                    ("hit_rate".to_owned(), Json::Num(result_cache.hit_rate())),
                     (
                         "evictions".to_owned(),
                         Json::Num(result_cache.evictions as f64),
@@ -311,7 +318,12 @@ mod tests {
         let selection = doc.get("selection_cache").unwrap();
         assert!((selection.get("hit_rate").unwrap().as_f64().unwrap() - 10.0 / 15.0).abs() < 1e-12);
         assert_eq!(
-            doc.get("queue").unwrap().get("capacity").unwrap().as_u64().unwrap(),
+            doc.get("queue")
+                .unwrap()
+                .get("capacity")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
             64
         );
         // The document is valid canonical JSON.

@@ -87,7 +87,9 @@ mod tests {
         // through Z while keeping X and Y conditionally independent.
         let mut state = 0x12345678u64;
         let mut rand01 = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (1u64 << 31) as f64
         };
         for _ in 0..n {
@@ -118,7 +120,9 @@ mod tests {
 
     #[test]
     fn perfectly_dependent_variables_rejected() {
-        let x: Vec<&str> = (0..200).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
+        let x: Vec<&str> = (0..200)
+            .map(|i| if i % 2 == 0 { "a" } else { "b" })
+            .collect();
         let d = DatasetBuilder::new()
             .dimension("X", x.clone())
             .dimension("Y", x)

@@ -102,8 +102,12 @@ impl<T: CiTest + ?Sized> IndexedCiTest for NameBridge<'_, T> {
     fn test_ids(&self, x: u32, y: u32, z: &[u32]) -> Result<CiOutcome> {
         check_ids(self.vars.len(), x, y, z)?;
         let z_names: Vec<&str> = z.iter().map(|&i| self.vars[i as usize]).collect();
-        self.test
-            .test(self.data, self.vars[x as usize], self.vars[y as usize], &z_names)
+        self.test.test(
+            self.data,
+            self.vars[x as usize],
+            self.vars[y as usize],
+            &z_names,
+        )
     }
 }
 

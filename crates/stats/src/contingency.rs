@@ -83,13 +83,17 @@ impl ContingencyTable {
         }
         let cells = joint
             .checked_mul((x_card as u128) * (y_card as u128))
-            .ok_or_else(|| {
-                DataError::Overflow(
-                    "contingency cell space exceeds u128".to_owned(),
-                )
-            })?;
+            .ok_or_else(|| DataError::Overflow("contingency cell space exceeds u128".to_owned()))?;
         if cells <= DENSE_CELL_LIMIT {
-            Self::build_dense(x_codes, y_codes, &z_codes, x_card, y_card, &z_cards, joint as usize)
+            Self::build_dense(
+                x_codes,
+                y_codes,
+                &z_codes,
+                x_card,
+                y_card,
+                &z_cards,
+                joint as usize,
+            )
         } else {
             Self::build_sparse(x_codes, y_codes, &z_codes, x_card, y_card, &z_cards)
         }
@@ -156,7 +160,8 @@ impl ContingencyTable {
                 stratum = stratum * card as u128 + cz as u128;
             }
             map.entry(stratum)
-                .or_insert_with(|| vec![0u64; x_card * y_card])[cx as usize * y_card + cy as usize] += 1;
+                .or_insert_with(|| vec![0u64; x_card * y_card])
+                [cx as usize * y_card + cy as usize] += 1;
             total += 1;
         }
         // Deterministic stratum order (ascending joint key).
@@ -257,8 +262,12 @@ mod tests {
 
     fn dependent_data() -> Dataset {
         // X perfectly determines Y.
-        let x: Vec<&str> = (0..100).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
-        let y: Vec<&str> = (0..100).map(|i| if i % 2 == 0 { "p" } else { "q" }).collect();
+        let x: Vec<&str> = (0..100)
+            .map(|i| if i % 2 == 0 { "a" } else { "b" })
+            .collect();
+        let y: Vec<&str> = (0..100)
+            .map(|i| if i % 2 == 0 { "p" } else { "q" })
+            .collect();
         DatasetBuilder::new()
             .dimension("X", x)
             .dimension("Y", y)
@@ -268,8 +277,12 @@ mod tests {
 
     fn independent_data() -> Dataset {
         // X and Y vary on unrelated cycles -> near-independent counts.
-        let x: Vec<&str> = (0..120).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
-        let y: Vec<&str> = (0..120).map(|i| if (i / 2) % 2 == 0 { "p" } else { "q" }).collect();
+        let x: Vec<&str> = (0..120)
+            .map(|i| if i % 2 == 0 { "a" } else { "b" })
+            .collect();
+        let y: Vec<&str> = (0..120)
+            .map(|i| if (i / 2) % 2 == 0 { "p" } else { "q" })
+            .collect();
         DatasetBuilder::new()
             .dimension("X", x)
             .dimension("Y", y)
@@ -310,8 +323,12 @@ mod tests {
         // Y = X within each stratum of Z, so conditional dependence persists.
         let n = 80;
         let z: Vec<String> = (0..n).map(|i| format!("z{}", i % 4)).collect();
-        let x: Vec<&str> = (0..n).map(|i| if (i / 4) % 2 == 0 { "a" } else { "b" }).collect();
-        let y: Vec<&str> = (0..n).map(|i| if (i / 4) % 2 == 0 { "p" } else { "q" }).collect();
+        let x: Vec<&str> = (0..n)
+            .map(|i| if (i / 4) % 2 == 0 { "a" } else { "b" })
+            .collect();
+        let y: Vec<&str> = (0..n)
+            .map(|i| if (i / 4) % 2 == 0 { "p" } else { "q" })
+            .collect();
         let d = DatasetBuilder::new()
             .dimension("Z", z.iter().map(String::as_str))
             .dimension("X", x)
@@ -373,8 +390,12 @@ mod tests {
     fn from_view_matches_name_based_build() {
         let n = 120;
         let z: Vec<String> = (0..n).map(|i| format!("z{}", i % 5)).collect();
-        let x: Vec<&str> = (0..n).map(|i| if (i / 3) % 2 == 0 { "a" } else { "b" }).collect();
-        let y: Vec<&str> = (0..n).map(|i| if (i / 7) % 2 == 0 { "p" } else { "q" }).collect();
+        let x: Vec<&str> = (0..n)
+            .map(|i| if (i / 3) % 2 == 0 { "a" } else { "b" })
+            .collect();
+        let y: Vec<&str> = (0..n)
+            .map(|i| if (i / 7) % 2 == 0 { "p" } else { "q" })
+            .collect();
         let d = DatasetBuilder::new()
             .dimension("Z", z.iter().map(String::as_str))
             .dimension("X", x)
@@ -399,8 +420,12 @@ mod tests {
         let n = 200;
         let z1: Vec<String> = (0..n).map(|i| format!("u{}", i % 7)).collect();
         let z2: Vec<String> = (0..n).map(|i| format!("v{}", (i / 2) % 6)).collect();
-        let x: Vec<&str> = (0..n).map(|i| if (i / 5) % 2 == 0 { "a" } else { "b" }).collect();
-        let y: Vec<&str> = (0..n).map(|i| if (i / 11) % 2 == 0 { "p" } else { "q" }).collect();
+        let x: Vec<&str> = (0..n)
+            .map(|i| if (i / 5) % 2 == 0 { "a" } else { "b" })
+            .collect();
+        let y: Vec<&str> = (0..n)
+            .map(|i| if (i / 11) % 2 == 0 { "p" } else { "q" })
+            .collect();
         let d = DatasetBuilder::new()
             .dimension("Z1", z1.iter().map(String::as_str))
             .dimension("Z2", z2.iter().map(String::as_str))
@@ -449,7 +474,11 @@ mod tests {
         // strata, yet only 2 rows exist.
         let t = ContingencyTable::build(&d, "X", "Y", &z_names[..40]).unwrap();
         assert_eq!(t.total, 2);
-        assert_eq!(t.n_strata(), 2, "one materialized stratum per observed Z configuration");
+        assert_eq!(
+            t.n_strata(),
+            2,
+            "one materialized stratum per observed Z configuration"
+        );
     }
 
     #[test]

@@ -229,7 +229,9 @@ mod tests {
             .measure("Y", y)
             .build()
             .unwrap();
-        assert!(FisherZTest::new(0.01).independent(&d, "X", "Y", &[]).unwrap());
+        assert!(FisherZTest::new(0.01)
+            .independent(&d, "X", "Y", &[])
+            .unwrap());
     }
 
     #[test]

@@ -79,9 +79,15 @@ mod tests {
 
     #[test]
     fn agrees_with_chi_square_on_clear_cases() {
-        let x: Vec<&str> = (0..300).map(|i| if i % 3 == 0 { "a" } else { "b" }).collect();
-        let y_dep: Vec<&str> = (0..300).map(|i| if i % 3 == 0 { "p" } else { "q" }).collect();
-        let y_ind: Vec<&str> = (0..300).map(|i| if i % 2 == 0 { "p" } else { "q" }).collect();
+        let x: Vec<&str> = (0..300)
+            .map(|i| if i % 3 == 0 { "a" } else { "b" })
+            .collect();
+        let y_dep: Vec<&str> = (0..300)
+            .map(|i| if i % 3 == 0 { "p" } else { "q" })
+            .collect();
+        let y_ind: Vec<&str> = (0..300)
+            .map(|i| if i % 2 == 0 { "p" } else { "q" })
+            .collect();
         let dep = DatasetBuilder::new()
             .dimension("X", x.clone())
             .dimension("Y", y_dep)

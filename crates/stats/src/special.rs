@@ -153,11 +153,7 @@ mod tests {
     #[test]
     fn ln_gamma_half_integer() {
         // Γ(1/2) = sqrt(pi).
-        assert!(close(
-            ln_gamma(0.5),
-            0.5 * std::f64::consts::PI.ln(),
-            1e-10
-        ));
+        assert!(close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-10));
     }
 
     #[test]

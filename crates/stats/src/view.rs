@@ -151,11 +151,7 @@ mod tests {
         let d = DatasetBuilder::new()
             .dimension_column(
                 "X",
-                xinsight_data::DimensionColumn::from_optional_values([
-                    Some("a"),
-                    None,
-                    Some("b"),
-                ]),
+                xinsight_data::DimensionColumn::from_optional_values([Some("a"), None, Some("b")]),
             )
             .build()
             .unwrap();

@@ -103,9 +103,7 @@ impl ExpertPanel {
         }
         let n_items = sheet[0].len();
         (0..n_items)
-            .map(|i| {
-                sheet.iter().map(|row| row[i] as f64).sum::<f64>() / sheet.len() as f64
-            })
+            .map(|i| sheet.iter().map(|row| row[i] as f64).sum::<f64>() / sheet.len() as f64)
             .collect()
     }
 
@@ -143,8 +141,14 @@ mod tests {
         assert_eq!(sheet.len(), N_EXPERTS);
         assert_eq!(sheet[0].len(), 4);
         let means = ExpertPanel::mean_scores(&sheet);
-        assert!(means[0] >= 3.3, "correct explanations score around 4: {means:?}");
-        assert!(means[2] <= 3.0, "incorrect explanations score lower: {means:?}");
+        assert!(
+            means[0] >= 3.3,
+            "correct explanations score around 4: {means:?}"
+        );
+        assert!(
+            means[2] <= 3.0,
+            "incorrect explanations score lower: {means:?}"
+        );
     }
 
     #[test]

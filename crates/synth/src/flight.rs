@@ -40,8 +40,13 @@ pub fn generate(n_rows: usize, seed: u64) -> Dataset {
     for _ in 0..n_rows {
         let m = rng.gen_range(0..12usize);
         month.push(MONTHS[m]);
-        quarter.push(["Q1", "Q1", "Q1", "Q2", "Q2", "Q2", "Q3", "Q3", "Q3", "Q4", "Q4", "Q4"][m]);
-        day_of_week.push(["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][rng.gen_range(0..7usize)]);
+        quarter.push(
+            [
+                "Q1", "Q1", "Q1", "Q2", "Q2", "Q2", "Q3", "Q3", "Q3", "Q4", "Q4", "Q4",
+            ][m],
+        );
+        day_of_week
+            .push(["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][rng.gen_range(0..7usize)]);
         hour.push(["Morning", "Afternoon", "Evening", "Night"][rng.gen_range(0..4usize)]);
         let c = rng.gen_range(0..carriers.len());
         carrier.push(carriers[c]);
@@ -127,7 +132,9 @@ mod tests {
         let (fds, _) =
             xinsight_data::detect_fds(&data, &xinsight_data::FdDetectionOptions::default())
                 .unwrap();
-        assert!(fds.iter().any(|fd| fd.determinant == "Month" && fd.dependent == "Quarter"));
+        assert!(fds
+            .iter()
+            .any(|fd| fd.determinant == "Month" && fd.dependent == "Quarter"));
     }
 
     #[test]

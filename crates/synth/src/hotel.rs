@@ -31,7 +31,11 @@ pub fn generate(n_rows: usize, seed: u64) -> Dataset {
         month.push(months[m]);
         let s = rng.gen_range(0..segments.len());
         segment.push(segments[s]);
-        deposit.push(if rng.gen::<f64>() < 0.12 { "NonRefundable" } else { "NoDeposit" });
+        deposit.push(if rng.gen::<f64>() < 0.12 {
+            "NonRefundable"
+        } else {
+            "NoDeposit"
+        });
         room.push(["A", "D", "E"][rng.gen_range(0..3usize)]);
 
         // Month -> lead time: summer arrivals are booked much earlier.
@@ -46,13 +50,17 @@ pub fn generate(n_rows: usize, seed: u64) -> Dataset {
             "Corporate" => -25.0,
             _ => 0.0,
         };
-        let lt: f64 = (base_lead + seg_shift + Normal::new(0.0, 30.0).unwrap().sample(&mut rng))
-            .max(0.0);
+        let lt: f64 =
+            (base_lead + seg_shift + Normal::new(0.0, 30.0).unwrap().sample(&mut rng)).max(0.0);
         lead_time.push(lt);
 
         // Lead time -> cancellation probability.
         let p_cancel = (0.12f64 + 0.0022 * lt).min(0.85);
-        cancelled.push(if rng.gen::<f64>() < p_cancel { 1.0 } else { 0.0 });
+        cancelled.push(if rng.gen::<f64>() < p_cancel {
+            1.0
+        } else {
+            0.0
+        });
     }
 
     DatasetBuilder::new()

@@ -127,7 +127,8 @@ pub fn generate(options: &SynAOptions) -> SynAInstance {
     let mut fd_columns: Vec<(String, String, Vec<u8>, usize)> = Vec::new(); // (name, parent, values, cardinality)
     let mut fds = Vec::new();
     for &v in &observed_core {
-        let is_leaf = dag.children(v).iter().all(|c| latent.contains(c)) || dag.children(v).is_empty();
+        let is_leaf =
+            dag.children(v).iter().all(|c| latent.contains(c)) || dag.children(v).is_empty();
         if !is_leaf {
             continue;
         }
@@ -157,7 +158,9 @@ pub fn generate(options: &SynAOptions) -> SynAInstance {
         let labels: Vec<String> = values.iter().map(|c| format!("g{c}")).collect();
         builder = builder.dimension(name, labels.iter().map(String::as_str));
     }
-    let data = builder.build().expect("generator builds a consistent dataset");
+    let data = builder
+        .build()
+        .expect("generator builds a consistent dataset");
 
     let mut observed: Vec<String> = observed_core.iter().map(|&v| names[v].clone()).collect();
     observed.extend(fd_columns.iter().map(|(n, _, _, _)| n.clone()));
@@ -170,8 +173,8 @@ pub fn generate(options: &SynAOptions) -> SynAInstance {
         .dimension("_", ["x"])
         .build()
         .expect("dummy dataset");
-    let oracle_result = fci(&dummy, &core_names, &oracle, &FciOptions::default())
-        .expect("oracle FCI cannot fail");
+    let oracle_result =
+        fci(&dummy, &core_names, &oracle, &FciOptions::default()).expect("oracle FCI cannot fail");
     let mut ground_truth = MixedGraph::new(observed.clone());
     ground_truth.merge_by_name(&oracle_result.pag);
     for (name, parent, _, _) in &fd_columns {
@@ -225,11 +228,7 @@ mod tests {
         };
         let inst = generate(&opts);
         // 10 core variables, 1 masked -> 9 observed core + FD nodes.
-        let n_fd = inst
-            .observed
-            .iter()
-            .filter(|n| n.contains("_fd"))
-            .count();
+        let n_fd = inst.observed.iter().filter(|n| n.contains("_fd")).count();
         assert_eq!(inst.observed.len(), 9 + n_fd);
         assert!(n_fd >= 2, "leaves must receive FD nodes");
         assert_eq!(inst.data.n_attributes(), inst.observed.len());
@@ -244,14 +243,14 @@ mod tests {
             seed: 5,
             ..SynAOptions::default()
         });
-        let (detected, _) = xinsight_data::detect_fds(
-            &inst.data,
-            &xinsight_data::FdDetectionOptions::default(),
-        )
-        .unwrap();
+        let (detected, _) =
+            xinsight_data::detect_fds(&inst.data, &xinsight_data::FdDetectionOptions::default())
+                .unwrap();
         for (det, dep) in inst.fd_graph.edges() {
             assert!(
-                detected.iter().any(|fd| fd.determinant == det && fd.dependent == dep),
+                detected
+                    .iter()
+                    .any(|fd| fd.determinant == det && fd.dependent == dep),
                 "declared FD {det} -> {dep} must hold in the sampled data"
             );
         }

@@ -174,10 +174,7 @@ mod tests {
         assert!(delta > 5.0, "Δ = {delta}");
         // Removing the trigger rows must shrink the difference drastically.
         let pred = xinsight_data::Predicate::new("Y", inst.ground_truth.clone());
-        let kept = inst
-            .data
-            .all_rows()
-            .minus(&pred.mask(&inst.data).unwrap());
+        let kept = inst.data.all_rows().minus(&pred.mask(&inst.data).unwrap());
         let remaining = query.delta_over(&inst.data, &kept).unwrap();
         assert!(remaining.abs() < delta * 0.2);
     }

@@ -73,7 +73,9 @@ pub fn generate(n_rows: usize, seed: u64) -> WebInstance {
         builder = builder.dimension(&format!("B{i:02}"), column.iter().copied());
     }
     builder = builder.dimension("IsBlocked", blocked);
-    let data = builder.build().expect("generator builds a consistent dataset");
+    let data = builder
+        .build()
+        .expect("generator builds a consistent dataset");
 
     WebInstance {
         data,
@@ -133,7 +135,9 @@ mod tests {
         let inst = generate(1000, 4);
         // The label is categorical; a COUNT aggregate over any measure-free
         // dataset is still possible through filters.
-        let yes = Filter::equals("IsBlocked", "Yes").support(&inst.data).unwrap();
+        let yes = Filter::equals("IsBlocked", "Yes")
+            .support(&inst.data)
+            .unwrap();
         assert!(yes > 50);
         assert!(inst.data.measure("IsBlocked").is_err());
         let _ = Aggregate::Count;

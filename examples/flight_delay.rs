@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's headline observation: under Rain = Yes the gap reverses.
     let rainy = Filter::equals("Rain", "Yes").mask(&data)?;
-    println!("Δ(D | Rain=Yes) = {:.3} minutes\n", query.delta_over(&data, &rainy)?);
+    println!(
+        "Δ(D | Rain=Yes) = {:.3} minutes\n",
+        query.delta_over(&data, &rainy)?
+    );
 
     // --- Functional dependencies (Month --FD--> Quarter). ---
     let (fds, _) = detect_fds(&data, &FdDetectionOptions::default())?;

@@ -9,19 +9,24 @@
 //! how the paper's "LeadTime ≤ 133" explanation arises.
 
 use xinsight::core::pipeline::{XInsight, XInsightOptions};
-use xinsight::core::ExplanationType;
+use xinsight::core::{ExplainRequest, ExplanationType};
 use xinsight::synth::hotel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = hotel::generate(30_000, 1);
     let query = hotel::why_query();
     println!("why query: {query}");
-    println!("Δ(D) = {:.4} (cancellation-rate gap)\n", query.delta(&data)?);
+    println!(
+        "Δ(D) = {:.4} (cancellation-rate gap)\n",
+        query.delta(&data)?
+    );
 
     let engine = XInsight::fit(&data, &XInsightOptions::default())?;
     println!("learned causal graph:\n{}\n", engine.graph());
 
-    let explanations = engine.explain(&query)?;
+    let explanations = engine
+        .execute(&ExplainRequest::new(query.clone()))?
+        .into_explanations();
     println!("explanations (causal first):");
     for e in &explanations {
         println!(

@@ -10,12 +10,17 @@
 //! of Fig. 1(e).
 
 use xinsight::core::pipeline::{XInsight, XInsightOptions};
+use xinsight::core::{ExplainRequest, ExplanationType};
 use xinsight::synth::lung_cancer;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Data: a simulated version of Fig. 1(a).
     let data = lung_cancer::generate(5000, 7);
-    println!("dataset: {} rows × {} attributes\n", data.n_rows(), data.n_attributes());
+    println!(
+        "dataset: {} rows × {} attributes\n",
+        data.n_rows(),
+        data.n_attributes()
+    );
 
     // 2. Offline phase: learn the FD-augmented PAG (Fig. 1(c)).
     let engine = XInsight::fit(&data, &XInsightOptions::default())?;
@@ -34,33 +39,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
-    // 5. XPlainer: quantitative explanations (Fig. 1(e)).
+    // 5. XPlainer: quantitative explanations (Fig. 1(e)), via the unified
+    //    request/response API.
     println!("explanations:");
-    for explanation in engine.explain(&query)? {
+    let response = engine.execute(&ExplainRequest::new(query.clone()))?;
+    for scored in &response.explanations {
         println!(
-            "  {explanation}   (Δ after removal: {})",
-            explanation
+            "  #{} {}   (Δ after removal: {})",
+            scored.rank,
+            scored.explanation,
+            scored
+                .explanation
                 .remaining_delta
                 .map(|d| format!("{d:.3}"))
                 .unwrap_or_else(|| "-".into())
         );
     }
 
-    // 6. Batched serving: several Why Queries answered through one shared
+    // 6. Per-request controls: the same query, narrowed to the single best
+    //    causal explanation, with provenance explaining the spend.
+    let narrowed = engine.execute(
+        &ExplainRequest::builder(query)
+            .top_k(1)
+            .allow_types([ExplanationType::Causal])
+            .include_provenance(true)
+            .build(),
+    )?;
+    if let Some(best) = narrowed.explanations.first() {
+        println!("\nbest causal explanation: {}", best.explanation);
+    }
+    if let Some(provenance) = &narrowed.provenance {
+        for (strategy, evaluations) in &provenance.strategy_evaluations {
+            println!("  searched via {strategy}: {evaluations} Δ-evaluations");
+        }
+    }
+
+    // 7. Batched serving: several requests answered through one shared
     //    selection cache and the thread pool (set XINSIGHT_THREADS to pin
-    //    the worker count).  Results are identical to one-by-one `explain`.
+    //    the worker count).  Results are identical to one-by-one `execute`.
     let batch = [
-        lung_cancer::why_query(),
-        xinsight::core::WhyQuery::new(
+        ExplainRequest::new(lung_cancer::why_query()),
+        ExplainRequest::new(xinsight::core::WhyQuery::new(
             "LungCancer",
             xinsight::data::Aggregate::Sum,
             xinsight::data::Subspace::of("Location", "A"),
             xinsight::data::Subspace::of("Location", "B"),
-        )?,
+        )?),
     ];
-    println!("\nbatched ({} queries via explain_many):", batch.len());
-    for (query, explanations) in batch.iter().zip(engine.explain_many(&batch)?) {
-        println!("  {query}  →  {} explanation(s)", explanations.len());
+    println!("\nbatched ({} requests via execute_batch):", batch.len());
+    for (request, response) in batch.iter().zip(engine.execute_batch(&batch)?) {
+        println!(
+            "  {}  →  {} explanation(s) in {:?}",
+            request.query(),
+            response.len(),
+            response.elapsed
+        );
     }
     Ok(())
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use xinsight::core::pipeline::{XInsight, XInsightOptions};
-use xinsight::core::WhyQuery;
+use xinsight::core::{ExplainRequest, WhyQuery};
 use xinsight::data::{Aggregate, DatasetBuilder, Subspace};
 use xinsight::synth::web;
 
@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         instance.data.n_rows(),
         web::N_BEHAVIORS
     );
-    println!("ground-truth causal behaviours: {:?}\n", instance.causal_behaviors);
+    println!(
+        "ground-truth causal behaviours: {:?}\n",
+        instance.causal_behaviors
+    );
 
     // Re-encode the label as a 0/1 measure so AVG Why Queries apply.
     let blocked: Vec<f64> = (0..instance.data.n_rows())
@@ -50,13 +53,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("why query: {query}");
     println!("Δ(D) = {:.4}\n", query.delta(&data)?);
 
-    let explanations = engine.explain(&query)?;
+    // Per-request top-k: ask the engine for the six best directly.
+    let response = engine.execute(&ExplainRequest::builder(query).top_k(6).build())?;
     println!("top explanations:");
-    for e in explanations.iter().take(6) {
+    for scored in &response.explanations {
+        let e = &scored.explanation;
         let truly_causal = instance.causal_behaviors.iter().any(|b| b == e.attribute());
         println!(
             "  {e}   [generator says: {}]",
-            if truly_causal { "true cause" } else { "not a cause" }
+            if truly_causal {
+                "true cause"
+            } else {
+                "not a cause"
+            }
         );
     }
 

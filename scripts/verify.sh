@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 build + tests, rustdoc build, and doc-tests.
+# Full verification: tier-1 build + tests, rustfmt + clippy (both
+# toolchain-guarded), rustdoc build, doc-tests, and the serving smoke test.
 #
 #   ./scripts/verify.sh          # everything
 #   ./scripts/verify.sh --quick  # tier-1 only (build + tests)
@@ -22,6 +23,13 @@ if [[ "${1:-}" == "--quick" ]]; then
     exit 0
 fi
 
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+else
+    echo "==> cargo fmt unavailable in this toolchain: skipping"
+fi
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace (warnings are errors)"
     cargo clippy --workspace --all-targets -- -D warnings
@@ -37,8 +45,10 @@ cargo test -q --doc --workspace
 
 echo "==> serving smoke test (xinsight-serve + loadgen)"
 # Start the server on a loopback port with a freshly fitted + saved SYN-A
-# bundle, issue one /explain and one /stats through the loadgen smoke
-# client, request a graceful shutdown over the wire, and assert the server
+# bundle and drive it with the loadgen smoke client, which gates on
+# GET /healthz (polling the liveness endpoint instead of sleeping), then
+# asserts one /explain, one /v2/explain with a non-default top_k, one
+# /stats, and a graceful shutdown over the wire; finally assert the server
 # process exits cleanly (status 0).
 SMOKE_DIR="$(mktemp -d)"
 cleanup_smoke() {
@@ -50,6 +60,8 @@ trap cleanup_smoke EXIT
     --demo syn_a --models "$SMOKE_DIR/models" --addr 127.0.0.1:0 --workers 2 \
     > "$SMOKE_DIR/serve.log" 2> "$SMOKE_DIR/serve.err" &
 SERVE_PID=$!
+# The only thing the log tail is needed for is the bound address (port 0);
+# readiness itself is the smoke client's /healthz poll.
 for _ in $(seq 1 150); do
     grep -q "listening on" "$SMOKE_DIR/serve.log" 2>/dev/null && break
     if ! kill -0 "$SERVE_PID" 2>/dev/null; then

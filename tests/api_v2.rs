@@ -1,0 +1,279 @@
+//! Equivalence tests for the unified execution API and the `/v2` wire
+//! surface.
+//!
+//! The redesign's correctness bar has two halves:
+//!
+//! * **engine level** — `execute` with a default [`ExplainRequest`] is
+//!   byte-identical to the legacy (now deprecated) `explain` path,
+//!   including when served through the bounded LRU (property test);
+//! * **wire level** — on a served SYN-A bundle, the v1 endpoints and
+//!   `/v2` with default options answer with the same explanation bytes,
+//!   and the v2 per-request controls (`top_k`, type allowlist, deadline)
+//!   behave end-to-end, with differently-parameterized requests never
+//!   aliasing in the result cache.
+
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use xinsight::core::json::Json;
+use xinsight::core::pipeline::{XInsight, XInsightOptions};
+use xinsight::core::{ExplainRequest, WhyQuery};
+use xinsight::service::{
+    demo::syn_a_serving_data, demo_queries, demo_v2_options, lru::CacheKey, lru::ResultCache, wire,
+    HttpClient, ModelRegistry, ServerConfig,
+};
+
+/// One fitted SYN-A serving engine + query pool + per-query *legacy-path*
+/// wire answers, shared across property cases (the fit is the expensive
+/// part).
+struct Fixture {
+    engine: XInsight,
+    queries: Vec<WhyQuery>,
+    /// Serialized explanation lists produced by the deprecated `explain`
+    /// shim — the pre-redesign behavior the new core must reproduce.
+    legacy: Vec<String>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let data = syn_a_serving_data(500, 7).unwrap();
+        let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+        let queries = demo_queries(&data, 6).unwrap();
+        #[allow(deprecated)]
+        let legacy = queries
+            .iter()
+            .map(|q| wire::explanations_to_string(&engine.explain(q).unwrap()))
+            .collect();
+        Fixture {
+            engine,
+            queries,
+            legacy,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // `execute` with default options — directly and served through a
+    // tiny, eviction-heavy LRU — reproduces the deprecated `explain`
+    // path's bytes exactly.
+    #[test]
+    fn default_execute_is_byte_identical_to_legacy_explain(
+        stream in prop::collection::vec(0usize..6, 1..20),
+        budget_entries in 1usize..4,
+    ) {
+        let fx = fixture();
+        let per_entry = fx.queries[0].to_json().len()
+            + fx.legacy.iter().map(String::len).max().unwrap()
+            + xinsight::service::lru::ENTRY_OVERHEAD_BYTES
+            + 8;
+        let cache = ResultCache::new(budget_entries * per_entry);
+        for &raw in &stream {
+            let i = raw % fx.queries.len();
+            let query = &fx.queries[i];
+            // Direct: the new unified core.
+            let response = fx
+                .engine
+                .execute(&ExplainRequest::new(query.clone()))
+                .unwrap();
+            prop_assert!(!response.truncated);
+            prop_assert!(!response.deadline_hit);
+            for (rank0, scored) in response.explanations.iter().enumerate() {
+                prop_assert_eq!(scored.rank, rank0 + 1);
+                prop_assert_eq!(
+                    scored.score.to_bits(),
+                    scored.explanation.responsibility.to_bits()
+                );
+            }
+            let direct = wire::explanations_to_string(&response.into_explanations());
+            prop_assert_eq!(&direct, &fx.legacy[i], "query {} diverged from legacy path", i);
+
+            // Through the LRU, exactly as the v1 serving adapter caches it.
+            let key = CacheKey {
+                model: "syn_a".to_owned(),
+                generation: 1,
+                query: query.clone(),
+                options: String::new(),
+            };
+            let served: Arc<str> = match cache.get(&key) {
+                Some(hit) => hit,
+                None => {
+                    let json: Arc<str> = Arc::from(direct.as_str());
+                    cache.insert(key, Arc::clone(&json));
+                    json
+                }
+            };
+            prop_assert_eq!(&*served, fx.legacy[i].as_str(),
+                            "query {} diverged through the LRU", i);
+        }
+    }
+}
+
+/// Serves the fixture's SYN-A bundle over real HTTP, for wire-level tests.
+fn serve_fixture(tag: &str) -> (xinsight::service::ServerHandle, std::path::PathBuf) {
+    let fx = fixture();
+    let data = syn_a_serving_data(500, 7).unwrap();
+    let dir = std::env::temp_dir().join(format!("xinsight_api_v2_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let options = XInsightOptions::default();
+    xinsight::service::save_bundle(&dir, "syn_a", &data, &fx.engine, &fx.queries).unwrap();
+    let registry = ModelRegistry::open(&dir, options).unwrap();
+    let handle = xinsight::service::start(Arc::new(registry), &ServerConfig::default()).unwrap();
+    xinsight::service::wait_healthy(handle.addr(), std::time::Duration::from_secs(10)).unwrap();
+    (handle, dir)
+}
+
+/// v1 and v2-with-default-options answer every served SYN-A query with the
+/// same explanation content, and the v2 envelope is well-formed.
+#[test]
+fn v1_wire_equals_v2_wire_with_defaults_on_served_syn_a() {
+    let fx = fixture();
+    let (handle, dir) = serve_fixture("equiv");
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    for (i, query) in fx.queries.iter().enumerate() {
+        let v1_body = format!("{{\"model\":\"syn_a\",\"query\":{}}}", query.to_json());
+        let v1 = client.post("/explain", &v1_body).unwrap();
+        assert_eq!(v1.status, 200, "v1 query {i}: {}", v1.body);
+        let v1_doc = Json::parse(&v1.body).unwrap();
+        let v1_explanations = v1_doc.get("explanations").unwrap();
+        assert_eq!(
+            v1_explanations.to_string(),
+            fx.legacy[i],
+            "v1 wire diverged from the pre-redesign bytes on query {i}"
+        );
+
+        let v2 = client.explain_v2("syn_a", &query.to_json(), None).unwrap();
+        assert_eq!(v2.status, 200, "v2 query {i}: {}", v2.body);
+        let v2_doc = Json::parse(&v2.body).unwrap();
+        assert!(!v2_doc.get("deadline_hit").unwrap().as_bool().unwrap());
+        let result = v2_doc.get("result").unwrap();
+        assert!(!result.get("truncated").unwrap().as_bool().unwrap());
+        let slots = result.get("explanations").unwrap().as_arr().unwrap();
+        let v1_list = v1_explanations.as_arr().unwrap();
+        assert_eq!(slots.len(), v1_list.len(), "query {i} cardinality");
+        for (rank0, (slot, v1_entry)) in slots.iter().zip(v1_list).enumerate() {
+            assert_eq!(
+                slot.get("rank").unwrap().as_u64().unwrap(),
+                (rank0 + 1) as u64
+            );
+            assert_eq!(
+                slot.get("explanation").unwrap().to_string(),
+                v1_entry.to_string(),
+                "query {i} rank {} diverged between v1 and v2",
+                rank0 + 1
+            );
+        }
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The v2 controls work end-to-end over HTTP: `top_k` truncates (and is
+/// its own cache key), the type allowlist filters, a zero deadline yields
+/// a flagged partial answer that is never cached, and the demo option pool
+/// parses against the live server.
+#[test]
+fn v2_controls_work_end_to_end_on_served_syn_a() {
+    let fx = fixture();
+    let (handle, dir) = serve_fixture("controls");
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    // Pick a query with a non-empty answer so top_k has something to trim.
+    let (query, full_len) = fx
+        .queries
+        .iter()
+        .zip(&fx.legacy)
+        .map(|(q, legacy)| {
+            let n = Json::parse(legacy).unwrap().as_arr().unwrap().len();
+            (q, n)
+        })
+        .max_by_key(|&(_, n)| n)
+        .unwrap();
+    let query_json = query.to_json();
+    assert!(full_len >= 1, "fixture has no explainable query");
+
+    // Warm the default-options entry, then check top_k=1 misses (distinct
+    // key) and truncates.
+    let first = client.explain_v2("syn_a", &query_json, None).unwrap();
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    let top1 = client
+        .explain_v2("syn_a", &query_json, Some("{\"top_k\":1}"))
+        .unwrap();
+    let doc = Json::parse(&top1.body).unwrap();
+    assert!(
+        !doc.get("cached").unwrap().as_bool().unwrap(),
+        "top_k=1 aliased the default-options LRU entry"
+    );
+    let result = doc.get("result").unwrap();
+    let slots = result.get("explanations").unwrap().as_arr().unwrap();
+    assert!(slots.len() <= 1);
+    assert_eq!(
+        result.get("truncated").unwrap().as_bool().unwrap(),
+        full_len > 1
+    );
+    // Its repeat is a hit on its own entry.
+    let again = client
+        .explain_v2("syn_a", &query_json, Some("{\"top_k\":1}"))
+        .unwrap();
+    assert!(Json::parse(&again.body)
+        .unwrap()
+        .get("cached")
+        .unwrap()
+        .as_bool()
+        .unwrap());
+
+    // Causal-only allowlist: every returned explanation is causal.
+    let causal = client
+        .explain_v2("syn_a", &query_json, Some("{\"types\":[\"causal\"]}"))
+        .unwrap();
+    let doc = Json::parse(&causal.body).unwrap();
+    for slot in doc
+        .get("result")
+        .unwrap()
+        .get("explanations")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+    {
+        assert_eq!(
+            slot.get("explanation")
+                .unwrap()
+                .get("type")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "causal"
+        );
+    }
+
+    // A zero deadline: flagged partial answer, and *not* cached — the
+    // repeat recomputes (cached:false again) instead of replaying the
+    // partiality.
+    for round in 0..2 {
+        let rushed = client
+            .explain_v2("syn_a", &query_json, Some("{\"deadline_ms\":0}"))
+            .unwrap();
+        let doc = Json::parse(&rushed.body).unwrap();
+        assert!(
+            !doc.get("cached").unwrap().as_bool().unwrap(),
+            "round {round}"
+        );
+        assert!(
+            doc.get("deadline_hit").unwrap().as_bool().unwrap(),
+            "round {round}"
+        );
+    }
+
+    // The demo option pool is servable as-is.
+    for options in demo_v2_options(6) {
+        let resp = client
+            .explain_v2("syn_a", &query_json, Some(&options))
+            .unwrap();
+        assert_eq!(resp.status, 200, "options {options}: {}", resp.body);
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

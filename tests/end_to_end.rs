@@ -2,7 +2,7 @@
 //! studies, checked against the causal stories the paper reports.
 
 use xinsight::core::pipeline::{XInsight, XInsightOptions};
-use xinsight::core::ExplanationType;
+use xinsight::core::{ExplainRequest, ExplanationType};
 use xinsight::synth::{flight, hotel, lung_cancer};
 
 #[test]
@@ -10,7 +10,10 @@ fn lung_cancer_pipeline_reports_smoking_as_causal() {
     let data = lung_cancer::generate(4000, 7);
     let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
     let query = lung_cancer::why_query();
-    let explanations = engine.explain(&query).unwrap();
+    let explanations = engine
+        .execute(&ExplainRequest::new(query.clone()))
+        .unwrap()
+        .into_explanations();
     assert!(!explanations.is_empty());
 
     let smoking = explanations
@@ -47,9 +50,15 @@ fn flight_pipeline_finds_a_weather_related_causal_explanation() {
     let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
     let query = flight::why_query();
     let delta = query.delta(engine.data()).unwrap();
-    assert!(delta > 1.0, "May-vs-November delay gap must exist (Δ = {delta})");
+    assert!(
+        delta > 1.0,
+        "May-vs-November delay gap must exist (Δ = {delta})"
+    );
 
-    let explanations = engine.explain(&query).unwrap();
+    let explanations = engine
+        .execute(&ExplainRequest::new(query.clone()))
+        .unwrap()
+        .into_explanations();
     assert!(!explanations.is_empty());
     let weather_related = explanations.iter().any(|e| {
         (e.attribute() == "Rain"
@@ -60,7 +69,10 @@ fn flight_pipeline_finds_a_weather_related_causal_explanation() {
     assert!(
         weather_related,
         "a weather variable must appear among the causal explanations: {:?}",
-        explanations.iter().map(|e| e.attribute()).collect::<Vec<_>>()
+        explanations
+            .iter()
+            .map(|e| e.attribute())
+            .collect::<Vec<_>>()
     );
 }
 
@@ -69,7 +81,10 @@ fn hotel_pipeline_explains_cancellations_via_lead_time() {
     let data = hotel::generate(20_000, 1);
     let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
     let query = hotel::why_query();
-    let explanations = engine.explain(&query).unwrap();
+    let explanations = engine
+        .execute(&ExplainRequest::new(query.clone()))
+        .unwrap()
+        .into_explanations();
     assert!(!explanations.is_empty());
     let lead_time = explanations
         .iter()
@@ -77,19 +92,29 @@ fn hotel_pipeline_explains_cancellations_via_lead_time() {
     assert!(
         lead_time.is_some(),
         "LeadTime must appear among the explanations: {:?}",
-        explanations.iter().map(|e| e.attribute()).collect::<Vec<_>>()
+        explanations
+            .iter()
+            .map(|e| e.attribute())
+            .collect::<Vec<_>>()
     );
     let lt = lead_time.unwrap();
     assert!(lt.responsibility > 0.0);
     // The explanation predicate is over lead-time *ranges* (a discretized measure).
-    assert!(lt.predicate.values().iter().any(|v| v.contains('≤') || v.contains('(') || v.contains('>')));
+    assert!(lt
+        .predicate
+        .values()
+        .iter()
+        .any(|v| v.contains('≤') || v.contains('(') || v.contains('>')));
 }
 
 #[test]
 fn explanations_are_ranked_causal_first_then_by_responsibility() {
     let data = lung_cancer::generate(3000, 11);
     let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
-    let explanations = engine.explain(&lung_cancer::why_query()).unwrap();
+    let explanations = engine
+        .execute(&ExplainRequest::new(lung_cancer::why_query()))
+        .unwrap()
+        .into_explanations();
     let mut seen_non_causal = false;
     let mut last_causal_resp = f64::INFINITY;
     for e in &explanations {

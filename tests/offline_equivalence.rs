@@ -10,10 +10,33 @@
 use proptest::prelude::*;
 use xinsight::core::pipeline::{XInsight, XInsightOptions};
 use xinsight::core::FittedModel;
+use xinsight::core::{ExplainRequest, Explanation, WhyQuery};
 use xinsight::data::Aggregate;
 use xinsight::discovery::{fci, fci_skeleton, FciOptions};
 use xinsight::stats::{CachedCiTest, ChiSquareTest};
 use xinsight::synth::{lung_cancer, syn_a, syn_b};
+
+/// The new-API equivalent of the old `explain` shape, for equivalence
+/// assertions.
+fn explain(engine: &XInsight, query: &WhyQuery) -> Vec<Explanation> {
+    engine
+        .execute(&ExplainRequest::new(query.clone()))
+        .unwrap()
+        .into_explanations()
+}
+
+fn explain_many(engine: &XInsight, queries: &[WhyQuery]) -> Vec<Vec<Explanation>> {
+    let requests: Vec<ExplainRequest> = queries
+        .iter()
+        .map(|q| ExplainRequest::new(q.clone()))
+        .collect();
+    engine
+        .execute_batch(&requests)
+        .unwrap()
+        .into_iter()
+        .map(|response| response.into_explanations())
+        .collect()
+}
 
 fn fci_options(parallel: bool) -> FciOptions {
     FciOptions {
@@ -89,10 +112,7 @@ fn parallel_fit_equals_serial_fit_on_syn_b() {
     assert_eq!(parallel.graph(), serial.graph());
     assert_eq!(parallel.fitted_model(), serial.fitted_model());
     let query = instance.query(Aggregate::Avg);
-    assert_eq!(
-        parallel.explain(&query).unwrap(),
-        serial.explain(&query).unwrap()
-    );
+    assert_eq!(explain(&parallel, &query), explain(&serial, &query));
 }
 
 /// fit → save → load → explain equals fit → explain, through an actual file.
@@ -102,7 +122,7 @@ fn fitted_model_file_round_trip_serves_identically() {
     let options = XInsightOptions::default();
     let engine = XInsight::fit(&data, &options).unwrap();
     let query = lung_cancer::why_query();
-    let direct = engine.explain(&query).unwrap();
+    let direct = explain(&engine, &query);
 
     let path = std::env::temp_dir().join("xinsight_offline_equivalence_model.json");
     engine.fitted_model().save(&path).unwrap();
@@ -112,12 +132,12 @@ fn fitted_model_file_round_trip_serves_identically() {
 
     let restored = XInsight::from_fitted(&data, loaded, &options).unwrap();
     assert_eq!(restored.graph(), engine.graph());
-    assert_eq!(restored.explain(&query).unwrap(), direct);
+    assert_eq!(explain(&restored, &query), direct);
 
     // Batch serving from the loaded artifact matches too.
     let queries = [query.clone(), query];
     assert_eq!(
-        restored.explain_many(&queries).unwrap(),
-        engine.explain_many(&queries).unwrap()
+        explain_many(&restored, &queries),
+        explain_many(&engine, &queries)
     );
 }

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use xinsight::core::{SearchStrategy, WhyQuery, XPlainer, XPlainerOptions};
-use xinsight::data::{
-    Aggregate, DatasetBuilder, Filter, Predicate, RowMask, Subspace,
-};
+use xinsight::data::{Aggregate, DatasetBuilder, Filter, Predicate, RowMask, Subspace};
 use xinsight::graph::{separation, Dag, MixedGraph};
 
 // ---------------------------------------------------------------------------
@@ -195,7 +193,10 @@ fn sample_from_dag(dag: &Dag, n_rows: usize, seed: u64) -> xinsight::data::Datas
     }
     let mut builder = DatasetBuilder::new();
     for (v, column) in columns.iter().enumerate() {
-        let labels: Vec<&str> = column.iter().map(|&c| if c == 1 { "1" } else { "0" }).collect();
+        let labels: Vec<&str> = column
+            .iter()
+            .map(|&c| if c == 1 { "1" } else { "0" })
+            .collect();
         builder = builder.dimension(dag.name(v), labels);
     }
     builder.build().unwrap()
@@ -373,5 +374,8 @@ fn filters_and_subspaces_compose() {
         .build()
         .unwrap();
     let s = Subspace::new([Filter::equals("A", "x"), Filter::equals("B", "2")]).unwrap();
-    assert_eq!(s.mask(&data).unwrap().iter_selected().collect::<Vec<_>>(), vec![1]);
+    assert_eq!(
+        s.mask(&data).unwrap().iter_selected().collect::<Vec<_>>(),
+        vec![1]
+    );
 }

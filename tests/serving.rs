@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
 use xinsight::core::pipeline::{XInsight, XInsightOptions};
-use xinsight::core::WhyQuery;
+use xinsight::core::{ExplainRequest, WhyQuery};
 use xinsight::data::{Aggregate, Dataset, DatasetBuilder, Subspace};
 use xinsight::service::{
     demo_queries, lru::CacheKey, lru::ResultCache, wire, HttpClient, ModelRegistry, ServerConfig,
@@ -79,7 +79,10 @@ fn fixture() -> &'static Fixture {
         );
         let direct = queries
             .iter()
-            .map(|q| wire::explanations_to_string(&engine.explain(q).unwrap()))
+            .map(|q| {
+                let response = engine.execute(&ExplainRequest::new(q.clone())).unwrap();
+                wire::explanations_to_string(&response.into_explanations())
+            })
             .collect();
         Fixture {
             engine,
@@ -114,16 +117,18 @@ proptest! {
                 model: "m".to_owned(),
                 generation: 1,
                 query: query.clone(),
+                options: String::new(),
             };
             // The serving path: LRU hit, or engine + insert on miss.
             let served: Arc<str> = match cache.get(&key) {
                 Some(hit) => hit,
                 None => {
                     let answers = fx.engine
-                        .explain_many(std::slice::from_ref(query))
+                        .execute_batch(&[ExplainRequest::new(query.clone())])
                         .unwrap();
+                    let explanations = answers.into_iter().next().unwrap().into_explanations();
                     let json: Arc<str> =
-                        Arc::from(wire::explanations_to_string(&answers[0]).as_str());
+                        Arc::from(wire::explanations_to_string(&explanations).as_str());
                     cache.insert(key, Arc::clone(&json));
                     json
                 }
@@ -214,10 +219,7 @@ fn concurrent_http_serving_matches_serial_direct_answers() {
             }
             // One batch covering the whole pool, order preserved.
             let batch: Vec<String> = fx.queries.iter().map(WhyQuery::to_json).collect();
-            let body = format!(
-                "{{\"model\":\"served\",\"queries\":[{}]}}",
-                batch.join(",")
-            );
+            let body = format!("{{\"model\":\"served\",\"queries\":[{}]}}", batch.join(","));
             let resp = http.post("/explain_batch", &body).unwrap();
             assert_eq!(resp.status, 200, "client {offset}: {}", resp.body);
             let doc = xinsight::core::json::Json::parse(&resp.body).unwrap();

@@ -70,6 +70,11 @@ fn xlearner_recall_advantage_comes_from_fd_edges() {
         ..SynAOptions::default()
     });
     let (xl, plain) = bench_support::compare(&instance);
-    assert!(xl.recall >= plain.recall, "recall: {} vs {}", xl.recall, plain.recall);
+    assert!(
+        xl.recall >= plain.recall,
+        "recall: {} vs {}",
+        xl.recall,
+        plain.recall
+    );
     assert!(xl.precision > 0.5);
 }

@@ -79,8 +79,12 @@ fn exhaustive_baselines_refuse_high_cardinality_but_xplainer_does_not() {
         ..SynBOptions::default()
     });
     let query = instance.query(Aggregate::Avg);
-    assert!(Scorpion::default().explain(&instance.data, &query, "Y").is_err());
-    assert!(RsExplain::default().explain(&instance.data, &query, "Y").is_err());
+    assert!(Scorpion::default()
+        .explain(&instance.data, &query, "Y")
+        .is_err());
+    assert!(RsExplain::default()
+        .explain(&instance.data, &query, "Y")
+        .is_err());
     let xplainer = XPlainer::new(XPlainerOptions::default());
     let ours = xplainer
         .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
@@ -141,12 +145,13 @@ fn small_mean_gaps_are_still_explained() {
 }
 
 #[test]
-fn explain_many_is_byte_identical_to_serial_explain_calls() {
-    // The acceptance bar of the parallel/cached engine: a batch of >= 4 Why
-    // Queries answered through the shared SelectionCache and the thread pool
-    // must reproduce the fully serial engine's explanations exactly —
+fn execute_batch_is_byte_identical_to_serial_execute_calls() {
+    // The acceptance bar of the parallel/cached engine: a batch of >= 4
+    // requests answered through the shared SelectionCache and the thread
+    // pool must reproduce the fully serial engine's explanations exactly —
     // including every floating-point field.
     use xinsight::core::pipeline::{XInsight, XInsightOptions};
+    use xinsight::core::ExplainRequest;
     use xinsight::data::Subspace;
     use xinsight::synth::flight;
 
@@ -161,7 +166,13 @@ fn explain_many_is_byte_identical_to_serial_explain_calls() {
     )
     .unwrap();
 
-    let pairs = [("May", "Nov"), ("Jun", "Nov"), ("May", "Jan"), ("Jul", "Feb"), ("Aug", "Dec")];
+    let pairs = [
+        ("May", "Nov"),
+        ("Jun", "Nov"),
+        ("May", "Jan"),
+        ("Jul", "Feb"),
+        ("Aug", "Dec"),
+    ];
     let queries: Vec<xinsight::core::WhyQuery> = pairs
         .iter()
         .map(|&(a, b)| {
@@ -175,17 +186,29 @@ fn explain_many_is_byte_identical_to_serial_explain_calls() {
         })
         .collect();
 
-    let batched = parallel_engine.explain_many(&queries).unwrap();
+    let requests: Vec<ExplainRequest> = queries
+        .iter()
+        .map(|q| ExplainRequest::new(q.clone()))
+        .collect();
+    let batched: Vec<Vec<xinsight::core::Explanation>> = parallel_engine
+        .execute_batch(&requests)
+        .unwrap()
+        .into_iter()
+        .map(|response| response.into_explanations())
+        .collect();
     assert_eq!(batched.len(), queries.len());
     assert!(
         batched.iter().any(|explanations| !explanations.is_empty()),
         "at least one query must be explainable"
     );
     for (query, batch_result) in queries.iter().zip(&batched) {
-        let serial_result = serial_engine.explain(query).unwrap();
+        let serial_result = serial_engine
+            .execute(&ExplainRequest::new(query.clone()))
+            .unwrap()
+            .into_explanations();
         assert_eq!(
             batch_result, &serial_result,
-            "parallel+cached explain_many diverged from serial explain on {query}"
+            "parallel+cached execute_batch diverged from serial execute on {query}"
         );
         // Bit-level equality of every floating-point field, not just
         // PartialEq (which 0.0 == -0.0 would satisfy).
@@ -279,5 +302,8 @@ fn shared_cache_reuses_work_across_strategies_and_queries() {
         .unwrap()
         .expect("replayed AVG explanation exists");
     assert_eq!(replay.predicate.values(), avg.predicate.values());
-    assert_eq!(replay.n_delta_evaluations, 0, "fully warm cache => zero fresh Δ evaluations");
+    assert_eq!(
+        replay.n_delta_evaluations, 0,
+        "fully warm cache => zero fresh Δ evaluations"
+    );
 }

@@ -70,7 +70,9 @@ impl Bencher {
 }
 
 fn fast_mode() -> bool {
-    std::env::var("XINSIGHT_BENCH_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("XINSIGHT_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -164,9 +166,11 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut |b| {
-            f(b, input)
-        });
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
         self
     }
 
@@ -205,9 +209,7 @@ mod tests {
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
         let mut group = c.benchmark_group("grp");
         group.sample_size(3);
-        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| {
-            b.iter(|| x * 2)
-        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| b.iter(|| x * 2));
         group.finish();
     }
 

@@ -402,7 +402,10 @@ mod tests {
 
     #[test]
     fn filter_and_filter_map() {
-        let evens: Vec<usize> = (0..100usize).into_par_iter().filter(|x| x % 2 == 0).collect();
+        let evens: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter(|x| x % 2 == 0)
+            .collect();
         assert_eq!(evens.len(), 50);
         let halves: Vec<usize> = (0..100usize)
             .into_par_iter()
@@ -464,12 +467,17 @@ mod tests {
 
     #[test]
     fn collect_into_result() {
-        let ok: Result<Vec<usize>, String> =
-            (0..10usize).into_par_iter().map(Ok).collect();
+        let ok: Result<Vec<usize>, String> = (0..10usize).into_par_iter().map(Ok).collect();
         assert_eq!(ok.unwrap().len(), 10);
         let err: Result<Vec<usize>, String> = (0..10usize)
             .into_par_iter()
-            .map(|x| if x == 5 { Err("boom".to_string()) } else { Ok(x) })
+            .map(|x| {
+                if x == 5 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
             .collect();
         assert!(err.is_err());
     }
