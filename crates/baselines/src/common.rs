@@ -48,7 +48,7 @@ impl<'a> AttributeContext<'a> {
         let filters: Vec<Filter> = column
             .categories()
             .iter()
-            .map(|v| Filter::equals(attribute, v.clone()))
+            .map(|v| Filter::equals(attribute, v.as_ref()))
             .collect();
         let masks = filters
             .iter()

@@ -88,6 +88,7 @@ fn bench_xplainer(c: &mut Criterion) {
             seed: 1,
             ..syn_b::SynBOptions::default()
         });
+        let store = instance.data.clone().into_segmented();
         let xplainer = XPlainer::new(XPlainerOptions::default());
         for aggregate in [Aggregate::Sum, Aggregate::Avg] {
             let query = instance.query(aggregate);
@@ -97,13 +98,7 @@ fn bench_xplainer(c: &mut Criterion) {
                 |b, _| {
                     b.iter(|| {
                         xplainer
-                            .explain_attribute(
-                                &instance.data,
-                                &query,
-                                "Y",
-                                SearchStrategy::Optimized,
-                                true,
-                            )
+                            .explain_attribute(&store, &query, "Y", SearchStrategy::Optimized, true)
                             .unwrap()
                     })
                 },
@@ -117,25 +112,20 @@ fn bench_xplainer(c: &mut Criterion) {
         seed: 1,
         ..syn_b::SynBOptions::default()
     });
+    let store = instance.data.clone().into_segmented();
     let xplainer = XPlainer::new(XPlainerOptions::default());
     let query = instance.query(Aggregate::Avg);
     group.bench_function("avg_homogeneous_pruning_on", |b| {
         b.iter(|| {
             xplainer
-                .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+                .explain_attribute(&store, &query, "Y", SearchStrategy::Optimized, true)
                 .unwrap()
         })
     });
     group.bench_function("avg_homogeneous_pruning_off", |b| {
         b.iter(|| {
             xplainer
-                .explain_attribute(
-                    &instance.data,
-                    &query,
-                    "Y",
-                    SearchStrategy::Optimized,
-                    false,
-                )
+                .explain_attribute(&store, &query, "Y", SearchStrategy::Optimized, false)
                 .unwrap()
         })
     });
@@ -146,13 +136,14 @@ fn bench_xplainer(c: &mut Criterion) {
         seed: 1,
         ..syn_b::SynBOptions::default()
     });
+    let small_store = small.data.clone().into_segmented();
     let small_query = small.query(Aggregate::Sum);
     group.sample_size(10);
     group.bench_function("brute_force_sum_card8", |b| {
         b.iter(|| {
             xplainer
                 .explain_attribute(
-                    &small.data,
+                    &small_store,
                     &small_query,
                     "Y",
                     SearchStrategy::BruteForce,
@@ -191,6 +182,7 @@ fn bench_parallel_engine(c: &mut Criterion) {
         seed: 1,
         ..syn_b::SynBOptions::default()
     });
+    let store = instance.data.clone().into_segmented();
     for aggregate in [Aggregate::Sum, Aggregate::Avg] {
         let query = instance.query(aggregate);
         for (label, opts) in [("serial", &serial_opts), ("parallel", &parallel_opts)] {
@@ -201,13 +193,7 @@ fn bench_parallel_engine(c: &mut Criterion) {
                     let xplainer = XPlainer::new(opts.clone());
                     b.iter(|| {
                         xplainer
-                            .explain_attribute(
-                                &instance.data,
-                                query,
-                                "Y",
-                                SearchStrategy::Optimized,
-                                true,
-                            )
+                            .explain_attribute(&store, query, "Y", SearchStrategy::Optimized, true)
                             .unwrap()
                     })
                 },
@@ -217,7 +203,7 @@ fn bench_parallel_engine(c: &mut Criterion) {
 
     // A batch of four Why Queries over FLIGHT (120k rows), five candidate
     // attributes each — the explain_many workload.
-    let data = flight::generate(120_000, 1);
+    let data = flight::generate(120_000, 1).into_segmented();
     let attributes = ["Rain", "Carrier", "Hour", "DayOfWeek", "DelayOver15"];
     let queries: Vec<WhyQuery> = [
         ("May", "Nov"),

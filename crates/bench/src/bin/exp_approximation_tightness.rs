@@ -35,21 +35,16 @@ fn main() {
                 ..SynBOptions::default()
             });
             let query = instance.query(aggregate);
+            let store = instance.data.clone().into_segmented();
             let xplainer = XPlainer::new(XPlainerOptions::default());
             let (approx, t_approx) = timed(|| {
                 xplainer
-                    .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+                    .explain_attribute(&store, &query, "Y", SearchStrategy::Optimized, true)
                     .unwrap()
             });
             let (exact, t_exact) = timed(|| {
                 xplainer
-                    .explain_attribute(
-                        &instance.data,
-                        &query,
-                        "Y",
-                        SearchStrategy::BruteForce,
-                        true,
-                    )
+                    .explain_attribute(&store, &query, "Y", SearchStrategy::BruteForce, true)
                     .unwrap()
             });
             if let (Some(a), Some(e)) = (approx, exact) {

@@ -84,6 +84,6 @@ pub use persist::FittedModel;
 pub use why_query::WhyQuery;
 pub use xlearner::{XLearner, XLearnerOptions, XLearnerResult};
 pub use xplainer::{
-    ExplanationCandidate, PartialAgg, SearchStrategy, SelectionCache, XPlainer, XPlainerOptions,
+    ExplanationCandidate, SearchStrategy, SelectionCache, XPlainer, XPlainerOptions,
 };
 pub use xtranslator::{translate, translate_variable, Translation};

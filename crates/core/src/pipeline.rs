@@ -22,8 +22,8 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 use xinsight_data::{
-    discretize_equal_frequency, discretize_equal_width, Aggregate, AttributeKind, Dataset,
-    DatasetBuilder, Discretizer, Result,
+    discretize_equal_frequency, discretize_equal_width, Aggregate, AttributeKind, DataError,
+    Dataset, DatasetBuilder, Discretizer, Result, Schema, SegmentedDataset,
 };
 use xinsight_graph::{separation, MixedGraph};
 use xinsight_stats::{CachedCiTest, ChiSquareTest};
@@ -98,8 +98,12 @@ impl Default for XInsightOptions {
 #[derive(Debug)]
 pub struct XInsight {
     options: XInsightOptions,
-    /// Original data (nulls dropped) augmented with `<measure>_bin` columns.
-    augmented: Dataset,
+    /// The segmented store the online phase answers against: original data
+    /// (nulls dropped) augmented with `<measure>_bin` columns.  One segment
+    /// after a fit/restore; one more per [`XInsight::with_ingested`] batch.
+    augmented: SegmentedDataset,
+    /// The raw (pre-augmentation) schema — what ingested rows must match.
+    raw_schema: Schema,
     /// Measures that were successfully discretized.
     binned_measures: Vec<String>,
     /// The discretizers behind `binned_measures`, kept for persistence.
@@ -172,7 +176,8 @@ impl XInsight {
 
         Ok(XInsight {
             options: options.clone(),
-            augmented,
+            raw_schema: clean.schema().clone(),
+            augmented: SegmentedDataset::from_dataset(augmented),
             binned_measures,
             discretizers,
             learner_result,
@@ -212,6 +217,7 @@ impl XInsight {
         options: &XInsightOptions,
     ) -> Result<Self> {
         let clean = data.drop_null_rows();
+        let raw_schema = clean.schema().clone();
         let mut augmented = clean;
         let mut binned_measures = Vec::new();
         for disc in &model.discretizers {
@@ -221,7 +227,8 @@ impl XInsight {
         }
         Ok(XInsight {
             options: options.clone(),
-            augmented,
+            raw_schema,
+            augmented: SegmentedDataset::from_dataset(augmented),
             binned_measures,
             discretizers: model.discretizers,
             learner_result: XLearnerResult {
@@ -246,10 +253,59 @@ impl XInsight {
         &self.learner_result
     }
 
-    /// The preprocessed dataset the engine answers queries against
-    /// (nulls dropped, `<measure>_bin` companion columns added).
-    pub fn data(&self) -> &Dataset {
+    /// The segmented store the engine answers queries against (nulls
+    /// dropped, `<measure>_bin` companion columns added): one segment after
+    /// a fit or restore, plus one per ingested batch.
+    pub fn data(&self) -> &SegmentedDataset {
         &self.augmented
+    }
+
+    /// The raw (pre-augmentation) schema ingested rows must match: the
+    /// original dimensions and measures, without the `<measure>_bin`
+    /// companion columns the engine derives itself.
+    pub fn raw_schema(&self) -> &Schema {
+        &self.raw_schema
+    }
+
+    /// Returns a new engine whose store has `batch` appended as one sealed
+    /// segment — the streaming-ingest step.  The fitted model (graph,
+    /// discretizers, FDs) is shared unchanged: new rows become explainable
+    /// through the *existing* model without re-running causal discovery,
+    /// exactly like a dashboard refreshing over a growing table.
+    ///
+    /// `batch` must carry this engine's [raw schema](XInsight::raw_schema)
+    /// (same attributes, kinds and order).  Rows with missing values are
+    /// dropped (the paper's preprocessing, applied per batch — the result
+    /// equals having fitted-restored over the concatenated data); a batch
+    /// that is empty after cleaning is rejected.  The engine is cheap to
+    /// produce: existing segments and the learned artifacts are shared, so
+    /// a serving layer can atomically swap engines per ingest.
+    pub fn with_ingested(&self, batch: &Dataset) -> Result<XInsight> {
+        if *batch.schema() != self.raw_schema {
+            return Err(DataError::DatasetMismatch(format!(
+                "ingested rows must match the model's raw schema [{}]",
+                self.raw_schema.names().join(", ")
+            )));
+        }
+        let clean = batch.drop_null_rows();
+        if clean.n_rows() == 0 {
+            return Err(DataError::Serve(
+                "ingest batch has no complete rows after dropping missing values".into(),
+            ));
+        }
+        let mut augmented = clean;
+        for disc in &self.discretizers {
+            let bin_name = format!("{}_bin", disc.measure());
+            augmented = disc.apply(&augmented, Some(&bin_name))?;
+        }
+        Ok(XInsight {
+            options: self.options.clone(),
+            raw_schema: self.raw_schema.clone(),
+            augmented: self.augmented.seal(&augmented)?,
+            binned_measures: self.binned_measures.clone(),
+            discretizers: self.discretizers.clone(),
+            learner_result: self.learner_result.clone(),
+        })
     }
 
     /// Runs XTranslator for a query: the per-variable XDA semantics.
@@ -398,8 +454,8 @@ impl XInsight {
     ) -> Result<ExplainResponse> {
         let started = Instant::now();
         let deadline = request.deadline().map(|budget| started + budget);
-        let query = request.query().oriented(&self.augmented)?;
-        let original_delta = query.delta(&self.augmented)?;
+        let query = request.query().oriented_store(&self.augmented)?;
+        let original_delta = query.delta_store(&self.augmented)?;
         let translation = self.translation(&query);
         // `XInsightOptions::parallel` is the master switch for the whole
         // online phase (overridable per request); `xplainer.parallel` can
@@ -886,6 +942,51 @@ mod tests {
         }
     }
 
+    /// Rows `lo..hi` of a dataset as a standalone dataset.
+    fn rows_range(data: &Dataset, lo: usize, hi: usize) -> Dataset {
+        let mask =
+            xinsight_data::RowMask::from_bools((0..data.n_rows()).map(|i| (lo..hi).contains(&i)));
+        data.filter_rows(&mask).unwrap()
+    }
+
+    #[test]
+    fn ingest_matches_restore_over_concatenated_data() {
+        let data = lung_cancer_data(1500);
+        let options = XInsightOptions::default();
+        let engine = XInsight::fit(&data, &options).unwrap();
+        let model = engine.fitted_model();
+        let full = XInsight::from_fitted(&data, model.clone(), &options).unwrap();
+        // Restore over a prefix, then stream the rest in as two ingest
+        // batches: same rows, same model, three segments instead of one.
+        let chunked = XInsight::from_fitted(&rows_range(&data, 0, 900), model, &options)
+            .unwrap()
+            .with_ingested(&rows_range(&data, 900, 1300))
+            .unwrap()
+            .with_ingested(&rows_range(&data, 1300, 1500))
+            .unwrap();
+        assert_eq!(chunked.data().n_segments(), 3);
+        assert_eq!(chunked.data().epoch(), 2);
+        assert_eq!(chunked.data().n_rows(), full.data().n_rows());
+        // The segmented engine answers byte-identically to the monolithic one.
+        assert_eq!(
+            explain(&chunked, &why_query()),
+            explain(&full, &why_query())
+        );
+    }
+
+    #[test]
+    fn ingest_validates_schema_and_non_empty_batches() {
+        let data = lung_cancer_data(600);
+        let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
+        assert_eq!(engine.raw_schema().names(), data.schema().names());
+        // A batch missing columns is rejected.
+        let narrow = data.select_attributes(&["Location", "LungCancer"]).unwrap();
+        assert!(engine.with_ingested(&narrow).is_err());
+        // A batch with zero (complete) rows is rejected.
+        let empty = rows_range(&data, 0, 0);
+        assert!(engine.with_ingested(&empty).is_err());
+    }
+
     #[test]
     fn serial_and_parallel_fits_learn_the_same_model() {
         let data = lung_cancer_data(1200);
@@ -912,6 +1013,6 @@ mod tests {
         let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
         assert!(engine.graph().id("LungCancer").is_some());
         // The augmented dataset exposes the binned companion column.
-        assert!(engine.data().dimension("LungCancer_bin").is_ok());
+        assert!(engine.data().categories("LungCancer_bin").is_ok());
     }
 }

@@ -1,7 +1,9 @@
 //! Why Queries (Def. 2.1).
 
 use crate::json::Json;
-use xinsight_data::{Aggregate, DataError, Dataset, Filter, Result, RowMask, Subspace};
+use xinsight_data::{
+    Aggregate, DataError, Dataset, Filter, Result, RowMask, SegmentedDataset, Subspace,
+};
 
 /// A Why Query `Δ_{s1, s2, M, agg}(D) = agg_M(D_{s1}) − agg_M(D_{s2})` over two
 /// sibling subspaces.
@@ -174,14 +176,52 @@ impl WhyQuery {
         if self.delta(data)? >= 0.0 {
             Ok(self.clone())
         } else {
-            let mut flipped = self.clone();
-            std::mem::swap(&mut flipped.s1, &mut flipped.s2);
-            flipped.foreground_values = (
-                flipped.foreground_values.1.clone(),
-                flipped.foreground_values.0.clone(),
-            );
-            Ok(flipped)
+            Ok(self.flipped())
         }
+    }
+
+    /// Evaluates `Δ(D)` over a segmented store, merging the per-segment
+    /// partial aggregates exactly (bit-identical for any segmentation of
+    /// the same rows).  Errors when either sibling side is empty and the
+    /// aggregate undefined there; see [`WhyQuery::delta_store_opt`].
+    pub fn delta_store(&self, store: &SegmentedDataset) -> Result<f64> {
+        self.delta_store_opt(store)?
+            .ok_or_else(|| DataError::EmptyAggregate {
+                aggregate: "WHY-QUERY",
+                attribute: self.measure.clone(),
+            })
+    }
+
+    /// Like [`WhyQuery::delta_store`] but returns `None` when one side is
+    /// empty and the aggregate is undefined there.
+    pub fn delta_store_opt(&self, store: &SegmentedDataset) -> Result<Option<f64>> {
+        let a1 = store.aggregate_subspace(&self.measure, self.aggregate, &self.s1)?;
+        let a2 = store.aggregate_subspace(&self.measure, self.aggregate, &self.s2)?;
+        Ok(match (a1, a2) {
+            (Some(x), Some(y)) => Some(x - y),
+            _ => None,
+        })
+    }
+
+    /// [`WhyQuery::oriented`] over a segmented store: swaps `s1`/`s2` when
+    /// necessary so that `Δ(D) ≥ 0`.
+    pub fn oriented_store(&self, store: &SegmentedDataset) -> Result<WhyQuery> {
+        if self.delta_store(store)? >= 0.0 {
+            Ok(self.clone())
+        } else {
+            Ok(self.flipped())
+        }
+    }
+
+    /// The sibling-swapped query (`s1 ↔ s2`, foreground values swapped).
+    fn flipped(&self) -> WhyQuery {
+        let mut flipped = self.clone();
+        std::mem::swap(&mut flipped.s1, &mut flipped.s2);
+        flipped.foreground_values = (
+            flipped.foreground_values.1.clone(),
+            flipped.foreground_values.0.clone(),
+        );
+        flipped
     }
 }
 
@@ -310,6 +350,47 @@ mod tests {
         let fixed = reversed.oriented(&d).unwrap();
         assert!(fixed.delta(&d).unwrap() > 0.0);
         assert_eq!(fixed.foreground_values(), ("A", "B"));
+    }
+
+    #[test]
+    fn store_deltas_match_monolithic_deltas_across_segmentations() {
+        let d = data();
+        let q = query();
+        let mono = q.delta(&d).unwrap();
+        let store = SegmentedDataset::from_dataset(d.clone());
+        assert_eq!(q.delta_store(&store).unwrap().to_bits(), mono.to_bits());
+        // Split the same rows across two segments: identical bits.
+        let first = d
+            .filter_rows(&RowMask::from_bools([true, true, true, true, false, false]))
+            .unwrap();
+        let rest = d
+            .filter_rows(&RowMask::from_bools([
+                false, false, false, false, true, true,
+            ]))
+            .unwrap();
+        let split = SegmentedDataset::from_dataset(first).seal(&rest).unwrap();
+        assert_eq!(q.delta_store(&split).unwrap().to_bits(), mono.to_bits());
+        // Orientation over the store mirrors the dataset path.
+        let reversed = WhyQuery::new(
+            "LungCancer",
+            Aggregate::Avg,
+            Subspace::of("Location", "B"),
+            Subspace::of("Location", "A"),
+        )
+        .unwrap();
+        let fixed = reversed.oriented_store(&split).unwrap();
+        assert!(fixed.delta_store(&split).unwrap() > 0.0);
+        assert_eq!(fixed.foreground_values(), ("A", "B"));
+        // Empty sides are None / an error, mirroring delta_over_opt.
+        let ghost = WhyQuery::new(
+            "LungCancer",
+            Aggregate::Avg,
+            Subspace::of("Location", "A"),
+            Subspace::of("Location", "Z"),
+        )
+        .unwrap();
+        assert_eq!(ghost.delta_store_opt(&split).unwrap(), None);
+        assert!(ghost.delta_store(&split).is_err());
     }
 
     #[test]

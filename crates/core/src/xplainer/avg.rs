@@ -136,11 +136,11 @@ mod tests {
     use super::*;
     use crate::why_query::WhyQuery;
     use crate::xplainer::XPlainerOptions;
-    use xinsight_data::{Aggregate, Dataset, DatasetBuilder, Subspace};
+    use xinsight_data::{Aggregate, DatasetBuilder, SegmentedDataset, Subspace};
 
     /// SYN-B-style data: categories bad1/bad2 of Y push AVG(Z) up on the
     /// X = a side only.
-    fn fixture() -> (Dataset, WhyQuery) {
+    fn fixture() -> (SegmentedDataset, WhyQuery) {
         let mut x = Vec::new();
         let mut y = Vec::new();
         let mut z = Vec::new();
@@ -167,7 +167,8 @@ mod tests {
             .dimension("Y", y.iter().map(String::as_str))
             .measure("Z", z)
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "Z",
             Aggregate::Avg,
@@ -210,7 +211,8 @@ mod tests {
             .dimension("Y", ["spike", "norm", "norm", "norm", "norm", "spike"])
             .measure("Z", [90.0, 10.0, 10.0, 10.0, 10.0, 11.0])
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "Z",
             Aggregate::Avg,
@@ -234,7 +236,8 @@ mod tests {
             .dimension("Y", ["u", "u", "v", "v", "w", "w", "w", "w"])
             .measure("Z", [50.0, 50.0, 50.0, 50.0, 10.0, 10.0, 10.0, 10.0])
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "Z",
             Aggregate::Avg,
@@ -260,7 +263,8 @@ mod tests {
             .dimension("Y", ["u", "u"])
             .measure("Z", [1.0, 1.0])
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "Z",
             Aggregate::Avg,

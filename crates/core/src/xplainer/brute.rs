@@ -131,16 +131,17 @@ mod tests {
     use super::*;
     use crate::why_query::WhyQuery;
     use crate::xplainer::XPlainerOptions;
-    use xinsight_data::{Aggregate, Dataset, DatasetBuilder, Subspace};
+    use xinsight_data::{Aggregate, DatasetBuilder, SegmentedDataset, Subspace};
 
     /// `Y = hot` fully accounts for the SUM difference between X = a and X = b.
-    fn single_cause() -> (Dataset, WhyQuery) {
+    fn single_cause() -> (SegmentedDataset, WhyQuery) {
         let data = DatasetBuilder::new()
             .dimension("X", ["a", "a", "a", "b", "b", "b"])
             .dimension("Y", ["hot", "cold", "mild", "hot", "cold", "mild"])
             .measure("M", [100.0, 5.0, 5.0, 10.0, 5.0, 5.0])
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "M",
             Aggregate::Sum,
@@ -171,7 +172,8 @@ mod tests {
             .dimension("Y", ["hot", "warm", "cold", "cold"])
             .measure("M", [50.0, 50.0, 5.0, 5.0])
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "M",
             Aggregate::Sum,
@@ -202,7 +204,8 @@ mod tests {
             .dimension("Y", ["hot", "warm", "cold", "cold"])
             .measure("M", [50.0, 50.0, 5.0, 5.0])
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "M",
             Aggregate::Sum,
@@ -233,7 +236,8 @@ mod tests {
             .dimension("Y", ["u", "v", "u", "v"])
             .measure("M", [10.0, 10.0, 1.0, 1.0])
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "M",
             Aggregate::Avg,

@@ -1,4 +1,5 @@
-//! The shared selection/aggregation cache behind the online search engine.
+//! The shared selection/aggregation cache behind the online search engine,
+//! keyed per segment of the store it serves.
 //!
 //! Every XPlainer strategy spends its time evaluating `Δ(D_P)` and
 //! `Δ(D − D_P)` terms, each of which aggregates the measure over
@@ -6,61 +7,87 @@
 //! building blocks recur constantly: the SUM path's per-filter masks are
 //! re-probed by the AVG greedy rounds and by brute force, sibling-subspace
 //! masks are shared by **every** clause of **every** attribute, and a batch
-//! of Why Queries over the same dataset overlaps almost entirely.
+//! of Why Queries over the same store overlaps almost entirely.
 //!
-//! [`SelectionCache`] memoizes both layers:
+//! [`SelectionCache`] memoizes both layers **per segment**:
 //!
-//! * **masks** — one [`RowMask`] per filter (`X = x`), per subspace
-//!   (conjunction) and per predicate clause (disjunction of filters on one
-//!   attribute), stored behind `Arc` so concurrent searches share them;
-//! * **partial aggregates** — per *(side, measure, clause, complement)* the
-//!   `(rows, count, sum, min, max)` tuple a [`PartialAgg`] carries, from
-//!   which `Δ` under any aggregate function is derived arithmetically.
+//! * **masks** — one [`RowMask`] per `(segment, filter)`,
+//!   `(segment, subspace)` and `(segment, clause)`, each in the segment's
+//!   local row domain, stored behind `Arc` so concurrent searches share
+//!   them;
+//! * **partial aggregates** — per
+//!   `(segment, side, measure, clause, complement)` the mergeable
+//!   [`MeasureStats`] sufficient statistics, from which `Δ` under any
+//!   aggregate is derived arithmetically *after* merging the per-segment
+//!   partials in segment order.
 //!
-//! Aggregates are computed with the word-parallel mask primitives
-//! ([`RowMask::intersect_count`], [`RowMask::and_not_count`],
-//! [`RowMask::iter_and`], [`RowMask::iter_and_not`]), so the inner loop never
-//! materializes an intersection mask; selections that empty a side are
-//! detected by popcount alone without touching the measure column.
+//! Keys carry the segment's process-unique id **and its seal epoch**.
+//! Both are immutable properties of a sealed segment, so an ingest — which
+//! only ever *adds* segments in a new snapshot — invalidates nothing:
+//! the new segment simply contributes additional cache keys, and every
+//! entry computed for older segments keeps answering across epochs.  A
+//! cheap lineage latch ([`SegmentedDataset::lineage`]) rejects reuse with a
+//! *different* store outright.
+//!
+//! Merging per-segment [`MeasureStats`] uses exact summation
+//! ([`xinsight_data::ExactSum`]), so the merged aggregate is bit-identical
+//! for any segmentation of the same rows — the invariant the
+//! "segmented == monolithic" property tests pin down.
 //!
 //! The cache is written once and shared freely: all methods take `&self`,
 //! interior state lives behind [`parking_lot::RwLock`] maps, and hit/miss
-//! counters are atomic.  One instance serves a single [`super::SearchContext`]
-//! (private, per-attribute reuse), a whole query (cross-attribute reuse in
-//! [`crate::pipeline::XInsight::explain`]) or a whole batch (cross-query
-//! reuse in [`crate::pipeline::XInsight::explain_many`]).
-//!
-//! Lookups build an owned string key per probe (side, measure, clause
-//! values); that is already far less allocation than the pre-cache engine's
-//! one materialized union mask per probe, but a context-local layer keyed by
-//! filter-index bitmasks would shave it further — a noted future
-//! optimization, not yet needed at the scales the benchmarks cover.
+//! counters are atomic.  One instance serves a single
+//! [`super::SearchContext`] (private, per-attribute reuse), a whole query
+//! (cross-attribute reuse in
+//! [`crate::pipeline::XInsight::execute`]) or a whole batch (cross-query
+//! reuse in [`crate::pipeline::XInsight::execute_batch`]).
 //!
 //! Entries are never evicted: the cache grows with the number of *distinct*
-//! clauses probed, which is what turns repeated `Δ` terms into replays.
-//! For the optimized strategies that is O(m²) small entries per attribute;
-//! brute force probes O(2^m) clauses, bounded by
+//! `(segment, clause)` pairs probed, which is what turns repeated `Δ` terms
+//! into replays.  For the optimized strategies that is O(m²) small entries
+//! per attribute per segment; brute force probes O(2^m) clauses, bounded by
 //! [`super::XPlainerOptions::max_brute_force_filters`] (the same knob that
 //! bounds its running time).  Scope a cache to a batch — create a fresh one
-//! per `explain_many` call, as the pipeline does — rather than holding one
+//! per `execute_batch` call, as the pipeline does — rather than holding one
 //! forever.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use xinsight_data::{Aggregate, DataError, Dataset, Result, RowMask, Subspace};
+use xinsight_data::{
+    DataError, MeasureStats, Result, RowMask, Segment, SegmentedDataset, Subspace,
+};
 
 /// Clause masks are memoized up to this many filter values; larger unions are
 /// built transiently instead.  Rationale: a partial aggregate is computed at
-/// most once per (side, clause, complement) key, so a clause mask is needed
-/// only a handful of times ever — but brute force enumerates `2^m` clauses,
-/// and retaining one `n_rows`-bit mask per clause in a never-evicted cache
-/// would pin hundreds of MB on large datasets.  Short clauses (the ones every
-/// strategy and attribute re-probes) stay shared; long tails stay transient.
+/// most once per (segment, side, clause, complement) key, so a clause mask is
+/// needed only a handful of times ever — but brute force enumerates `2^m`
+/// clauses, and retaining one mask per clause per segment in a never-evicted
+/// cache would pin hundreds of MB on large datasets.  Short clauses (the ones
+/// every strategy and attribute re-probes) stay shared; long tails stay
+/// transient.
 const MAX_CACHED_CLAUSE_VALUES: usize = 2;
 
-/// Key of one memoized row mask.
+/// The identity of one sealed segment: its process-unique id plus the epoch
+/// it was sealed in.  Both never change for a sealed segment, so entries
+/// under this key survive every later ingest.
+#[derive(Debug, Clone, Copy, Hash, PartialEq, Eq)]
+struct SegmentId {
+    id: u64,
+    epoch: u64,
+}
+
+impl SegmentId {
+    fn of(segment: &Segment) -> SegmentId {
+        SegmentId {
+            id: segment.id(),
+            epoch: segment.epoch(),
+        }
+    }
+}
+
+/// Key of one memoized row mask (scoped to a segment).
 #[derive(Debug, Clone, Hash, PartialEq, Eq)]
 enum MaskKey {
     /// A single equality filter `attribute = value`.
@@ -75,9 +102,11 @@ enum MaskKey {
     },
 }
 
-/// Key of one memoized partial aggregate.
+/// Key of one memoized per-segment partial aggregate.
 #[derive(Debug, Clone, Hash, PartialEq, Eq)]
 struct PartialKey {
+    /// The segment the statistics were computed over.
+    segment: SegmentId,
     /// Canonical key of the sibling-subspace side the aggregate is scoped to.
     side: String,
     /// The aggregated measure.
@@ -92,145 +121,21 @@ struct PartialKey {
     complement: bool,
 }
 
-/// The sufficient statistics of a measure over one selection: every aggregate
-/// the data model supports is derived from this tuple, so SUM, AVG, COUNT,
-/// MIN and MAX probes of the same selection share one cache entry.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PartialAgg {
-    /// Number of selected rows (including rows whose measure is missing).
-    pub rows: usize,
-    /// Number of selected rows with a non-missing measure value.
-    pub count: usize,
-    /// Sum of the non-missing measure values.
-    pub sum: f64,
-    /// Minimum of the non-missing measure values (`∞` when `count == 0`).
-    pub min: f64,
-    /// Maximum of the non-missing measure values (`−∞` when `count == 0`).
-    pub max: f64,
-}
-
-impl PartialAgg {
-    const EMPTY: PartialAgg = PartialAgg {
-        rows: 0,
-        count: 0,
-        sum: 0.0,
-        min: f64::INFINITY,
-        max: f64::NEG_INFINITY,
-    };
-
-    /// The value of `aggregate` over this selection, or `None` when the
-    /// aggregate is undefined on an empty selection (AVG / MIN / MAX;
-    /// SUM and COUNT of an empty selection are 0, mirroring
-    /// [`Aggregate::eval`]).
-    pub fn value(&self, aggregate: Aggregate) -> Option<f64> {
-        match aggregate {
-            Aggregate::Sum => Some(self.sum),
-            Aggregate::Count => Some(self.count as f64),
-            Aggregate::Avg => (self.count > 0).then(|| self.sum / self.count as f64),
-            Aggregate::Min => (self.count > 0).then_some(self.min),
-            Aggregate::Max => (self.count > 0).then_some(self.max),
-        }
-    }
-}
-
-/// Shared, thread-safe memoization of filter/subspace/clause masks and
-/// partial aggregates (see the module docs for the design).
+/// Shared, thread-safe memoization of per-segment filter/subspace/clause
+/// masks and partial aggregates (see the module docs for the design).
 #[derive(Debug, Default)]
 pub struct SelectionCache {
-    masks: RwLock<HashMap<MaskKey, Arc<RowMask>>>,
-    partials: RwLock<HashMap<PartialKey, PartialAgg>>,
+    masks: RwLock<HashMap<(SegmentId, MaskKey), Arc<RowMask>>>,
+    /// Per-segment partial aggregates behind `Arc`, so a warm-cache replay
+    /// is a pointer copy rather than a clone of the exact-sum partials.
+    partials: RwLock<HashMap<PartialKey, Arc<MeasureStats>>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    /// Fingerprint of the dataset this cache was first used with; every
-    /// entry is only valid against that dataset, so later calls with a
-    /// detectably different one are rejected instead of replaying wrong
-    /// answers (heuristic — see [`DatasetFingerprint`]'s limits).
-    dataset: OnceLock<DatasetFingerprint>,
-    /// Address of the last dataset that passed the fingerprint check — a
-    /// fast path so repeated checks against the *same* `&Dataset` (the
-    /// common case: one engine, one batch) skip rehashing its contents.
-    checked_ptr: AtomicUsize,
-}
-
-/// An identity check for "same dataset as before": row count, an FNV-1a hash
-/// of the schema's attribute names and every dimension's category dictionary,
-/// and a content hash — over **all** rows for datasets up to
-/// [`FINGERPRINT_FULL_SCAN_ROWS`] rows, over a fixed evenly-spaced sample of
-/// [`FINGERPRINT_SAMPLE_ROWS`] rows above that.
-///
-/// This is a *heuristic* guard, not a cryptographic guarantee: for large
-/// datasets, two that agree on shape, every dimension dictionary and every
-/// sampled row are indistinguishable.  It reliably catches the realistic
-/// misuses (different source data, different seed, re-binned or re-coded
-/// columns); callers must still follow the documented rule of one cache per
-/// dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct DatasetFingerprint {
-    n_rows: usize,
-    schema_hash: u64,
-    content_hash: u64,
-}
-
-/// Datasets up to this many rows are content-hashed in full.
-const FINGERPRINT_FULL_SCAN_ROWS: usize = 4096;
-/// Larger datasets are content-hashed over this many evenly-spaced rows.
-const FINGERPRINT_SAMPLE_ROWS: usize = 64;
-
-impl DatasetFingerprint {
-    fn of(data: &Dataset) -> Self {
-        let fnv = |hash: &mut u64, byte: u8| {
-            *hash ^= byte as u64;
-            *hash = hash.wrapping_mul(0x100000001b3);
-        };
-        let fnv_u64 = |hash: &mut u64, word: u64| {
-            for byte in word.to_le_bytes() {
-                fnv(hash, byte);
-            }
-        };
-        // Schema: attribute names plus each dimension's category dictionary
-        // (dictionaries capture most content divergence — different data
-        // almost always codes differently).
-        let mut schema_hash: u64 = 0xcbf29ce484222325;
-        for idx in 0..data.n_attributes() {
-            for b in data.schema().names()[idx].bytes() {
-                fnv(&mut schema_hash, b);
-            }
-            fnv(&mut schema_hash, 0xff); // attribute separator
-            if let xinsight_data::Column::Dimension(col) = data.column(idx) {
-                for category in col.categories() {
-                    for b in category.bytes() {
-                        fnv(&mut schema_hash, b);
-                    }
-                    fnv(&mut schema_hash, 0xfe); // category separator
-                }
-            }
-        }
-        // Content: full scan for small datasets, evenly-spaced sample above.
-        let mut content_hash: u64 = 0xcbf29ce484222325;
-        let n = data.n_rows();
-        let (step, take) = if n <= FINGERPRINT_FULL_SCAN_ROWS {
-            (1, n)
-        } else {
-            (n / FINGERPRINT_SAMPLE_ROWS, FINGERPRINT_SAMPLE_ROWS)
-        };
-        for row in (0..n).step_by(step.max(1)).take(take) {
-            for idx in 0..data.n_attributes() {
-                match data.column(idx) {
-                    xinsight_data::Column::Dimension(col) => {
-                        fnv_u64(&mut content_hash, col.code(row) as u64)
-                    }
-                    xinsight_data::Column::Measure(col) => {
-                        fnv_u64(&mut content_hash, col.values()[row].to_bits())
-                    }
-                }
-            }
-        }
-        DatasetFingerprint {
-            n_rows: n,
-            schema_hash,
-            content_hash,
-        }
-    }
+    /// Lineage of the store this cache was first used with.  Entries are
+    /// keyed by process-unique segment ids, so they could never *alias*
+    /// across stores — the latch exists to fail loudly on the misuse
+    /// (one cache per store) instead of silently giving zero hits.
+    lineage: OnceLock<u64>,
 }
 
 impl SelectionCache {
@@ -272,44 +177,29 @@ impl SelectionCache {
         }
     }
 
-    /// Checks that `data` is the dataset this cache serves (latching it on
-    /// first use); every public method calls this before touching entries.
-    /// Crate-internal hot paths call it once per search context and then use
-    /// the `_trusted` variants.
-    pub(super) fn ensure_dataset(&self, data: &Dataset) -> Result<()> {
-        let ptr = data as *const Dataset as usize;
-        if self.checked_ptr.load(Ordering::Relaxed) == ptr {
-            // Same allocation as the last accepted dataset: skip rehashing.
-            // (A different dataset reallocated at the same address while the
-            // cache lives is possible in principle; the fingerprint itself is
-            // already a heuristic, and this shortcut only widens it for
-            // callers who dropped one borrowed dataset mid-batch.)
-            return Ok(());
-        }
-        let fingerprint = DatasetFingerprint::of(data);
-        let latched = self.dataset.get_or_init(|| fingerprint);
-        if *latched == fingerprint {
-            self.checked_ptr.store(ptr, Ordering::Relaxed);
+    /// Checks that `store` is (a snapshot of) the store this cache serves,
+    /// latching its lineage on first use.  Every epoch of one store is
+    /// accepted — sealed segments are immutable, so entries computed in an
+    /// older epoch remain exact in every later one; a different store is
+    /// rejected.  Public entry points call this; crate-internal hot paths
+    /// call it once per search context and then use the `_trusted`
+    /// variants.
+    pub(super) fn ensure_store(&self, store: &SegmentedDataset) -> Result<()> {
+        let lineage = store.lineage();
+        let latched = *self.lineage.get_or_init(|| lineage);
+        if latched == lineage {
             Ok(())
         } else {
             Err(DataError::DatasetMismatch(format!(
-                "SelectionCache was built against a dataset with {} rows \
-                 (schema {:#x}, content {:#x}) but was queried with one with \
-                 {} rows (schema {:#x}, content {:#x}); use one cache per \
-                 dataset",
-                latched.n_rows,
-                latched.schema_hash,
-                latched.content_hash,
-                fingerprint.n_rows,
-                fingerprint.schema_hash,
-                fingerprint.content_hash
+                "SelectionCache was built against store lineage {latched} but was queried \
+                 with lineage {lineage}; use one cache per store (any epoch of it)"
             )))
         }
     }
 
     fn mask_or_insert(
         &self,
-        key: MaskKey,
+        key: (SegmentId, MaskKey),
         build: impl FnOnce() -> Result<RowMask>,
     ) -> Result<Arc<RowMask>> {
         if let Some(mask) = self.masks.read().get(&key) {
@@ -332,78 +222,95 @@ impl SelectionCache {
         }
     }
 
-    /// The row mask of one equality filter `attribute = value`.
+    /// The row mask of one equality filter `attribute = value` within one
+    /// segment (segment-local row domain).
     pub fn filter_mask(
         &self,
-        data: &Dataset,
+        store: &SegmentedDataset,
+        segment: &Segment,
         attribute: &str,
         value: &str,
     ) -> Result<Arc<RowMask>> {
-        self.ensure_dataset(data)?;
-        self.filter_mask_trusted(data, attribute, value)
+        self.ensure_store(store)?;
+        self.filter_mask_trusted(segment, attribute, value)
     }
 
     pub(super) fn filter_mask_trusted(
         &self,
-        data: &Dataset,
+        segment: &Segment,
         attribute: &str,
         value: &str,
     ) -> Result<Arc<RowMask>> {
         self.mask_or_insert(
-            MaskKey::Filter {
-                attribute: attribute.to_owned(),
-                value: value.to_owned(),
-            },
-            || xinsight_data::Filter::equals(attribute, value).mask(data),
+            (
+                SegmentId::of(segment),
+                MaskKey::Filter {
+                    attribute: attribute.to_owned(),
+                    value: value.to_owned(),
+                },
+            ),
+            || xinsight_data::Filter::equals(attribute, value).mask(segment.data()),
         )
     }
 
-    /// The row mask of a subspace (conjunction of filters).
-    pub fn subspace_mask(&self, data: &Dataset, subspace: &Subspace) -> Result<Arc<RowMask>> {
-        self.ensure_dataset(data)?;
-        self.subspace_mask_trusted(data, subspace)
+    /// The row mask of a subspace (conjunction of filters) within one
+    /// segment.
+    pub fn subspace_mask(
+        &self,
+        store: &SegmentedDataset,
+        segment: &Segment,
+        subspace: &Subspace,
+    ) -> Result<Arc<RowMask>> {
+        self.ensure_store(store)?;
+        self.subspace_mask_trusted(segment, subspace)
     }
 
     pub(super) fn subspace_mask_trusted(
         &self,
-        data: &Dataset,
+        segment: &Segment,
         subspace: &Subspace,
     ) -> Result<Arc<RowMask>> {
-        self.mask_or_insert(MaskKey::Subspace(subspace_key(subspace)), || {
-            subspace.mask(data)
-        })
+        self.mask_or_insert(
+            (
+                SegmentId::of(segment),
+                MaskKey::Subspace(subspace_key(subspace)),
+            ),
+            || subspace.mask(segment.data()),
+        )
     }
 
-    /// The row mask of a predicate clause: the union of the given filters on
-    /// one attribute.  `values` must be sorted and deduplicated (the caller's
-    /// canonical clause form).  The empty clause selects no rows.
+    /// The row mask of a predicate clause — the union of the given filters
+    /// on one attribute — within one segment.  `values` must be sorted and
+    /// deduplicated (the caller's canonical clause form).  The empty clause
+    /// selects no rows.
     ///
     /// Clauses up to `MAX_CACHED_CLAUSE_VALUES` values are memoized; larger
     /// unions are built transiently (see that constant's docs for why).
     pub fn clause_mask(
         &self,
-        data: &Dataset,
+        store: &SegmentedDataset,
+        segment: &Segment,
         attribute: &str,
         values: &[String],
     ) -> Result<Arc<RowMask>> {
-        self.ensure_dataset(data)?;
-        self.clause_mask_trusted(data, attribute, values)
+        self.ensure_store(store)?;
+        self.clause_mask_trusted(segment, attribute, values)
     }
 
     fn clause_mask_trusted(
         &self,
-        data: &Dataset,
+        segment: &Segment,
         attribute: &str,
         values: &[String],
     ) -> Result<Arc<RowMask>> {
         if let [value] = values {
             // A single-filter clause *is* its filter mask; no second entry.
-            return self.filter_mask_trusted(data, attribute, value);
+            return self.filter_mask_trusted(segment, attribute, value);
         }
         let build_union = || {
-            let mut mask = RowMask::zeros(data.n_rows());
+            let mut mask = RowMask::zeros(segment.n_rows());
             for value in values {
-                let filter = self.filter_mask_trusted(data, attribute, value)?;
+                let filter = self.filter_mask_trusted(segment, attribute, value)?;
                 mask = mask.or(&filter);
             }
             Ok(mask)
@@ -412,50 +319,59 @@ impl SelectionCache {
             return Ok(Arc::new(build_union()?));
         }
         self.mask_or_insert(
-            MaskKey::Clause {
-                attribute: attribute.to_owned(),
-                values: values.to_vec(),
-            },
+            (
+                SegmentId::of(segment),
+                MaskKey::Clause {
+                    attribute: attribute.to_owned(),
+                    values: values.to_vec(),
+                },
+            ),
             build_union,
         )
     }
 
     /// The partial aggregate of `measure` over `side ∩ clause`
-    /// (or `side − clause` when `complement` is set), memoized.
+    /// (or `side − clause` when `complement` is set) within one segment,
+    /// memoized.  Callers merge the per-segment statistics in segment order
+    /// — a bit-exact operation thanks to [`MeasureStats`]'s exact sum.
     ///
-    /// Returns the statistics and whether they were freshly computed (`true`
-    /// on a cache miss) — the search context uses the flag to count actual
-    /// `Δ(·)` evaluations as opposed to cache replays.
+    /// Returns the (shared) statistics and whether they were freshly
+    /// computed (`true` on a cache miss) — the search context uses the flag
+    /// to count actual `Δ(·)` evaluations as opposed to cache replays.
     #[allow(clippy::too_many_arguments)]
     pub fn partial_agg(
         &self,
-        data: &Dataset,
+        store: &SegmentedDataset,
+        segment: &Segment,
         measure: &str,
         side_key: &str,
         side: &RowMask,
         attribute: &str,
         values: &[String],
         complement: bool,
-    ) -> Result<(PartialAgg, bool)> {
-        self.ensure_dataset(data)?;
-        self.partial_agg_trusted(data, measure, side_key, side, attribute, values, complement)
+    ) -> Result<(Arc<MeasureStats>, bool)> {
+        self.ensure_store(store)?;
+        self.partial_agg_trusted(
+            segment, measure, side_key, side, attribute, values, complement,
+        )
     }
 
-    /// [`SelectionCache::partial_agg`] without the per-call dataset check —
-    /// for hot-path callers (the search context) that validated the dataset
+    /// [`SelectionCache::partial_agg`] without the per-call store check —
+    /// for hot-path callers (the search context) that validated the store
     /// once at construction and hold it for their whole lifetime.
     #[allow(clippy::too_many_arguments)]
     pub(super) fn partial_agg_trusted(
         &self,
-        data: &Dataset,
+        segment: &Segment,
         measure: &str,
         side_key: &str,
         side: &RowMask,
         attribute: &str,
         values: &[String],
         complement: bool,
-    ) -> Result<(PartialAgg, bool)> {
+    ) -> Result<(Arc<MeasureStats>, bool)> {
         let key = PartialKey {
+            segment: SegmentId::of(segment),
             side: side_key.to_owned(),
             measure: measure.to_owned(),
             // The empty clause selects nothing regardless of attribute; key it
@@ -470,24 +386,26 @@ impl SelectionCache {
         };
         if let Some(stats) = self.partials.read().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((*stats, false));
+            return Ok((Arc::clone(stats), false));
         }
-        let clause = self.clause_mask_trusted(data, attribute, values)?;
-        let stats = compute_partial(data, measure, side, &clause, complement)?;
+        let clause = self.clause_mask_trusted(segment, attribute, values)?;
+        let stats = Arc::new(compute_partial(
+            segment, measure, side, &clause, complement,
+        )?);
         // Freshness is decided by entry occupancy under the write lock: when
         // two workers race on the same key, both compute (same inputs → same
         // stats) but exactly one reports `fresh = true`, so each distinct key
         // is counted as a miss exactly once.  (A caller aggregating over the
-        // two per-side keys of one Δ term can still attribute a racy term to
-        // two workers — see `SearchContext::evaluations`.)
+        // per-side, per-segment keys of one Δ term can still attribute a racy
+        // term to two workers — see `SearchContext::evaluations`.)
         match self.partials.write().entry(key) {
             std::collections::hash_map::Entry::Occupied(existing) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Ok((*existing.get(), false))
+                Ok((Arc::clone(existing.get()), false))
             }
             std::collections::hash_map::Entry::Vacant(slot) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                slot.insert(stats);
+                slot.insert(Arc::clone(&stats));
                 Ok((stats, true))
             }
         }
@@ -499,16 +417,17 @@ fn subspace_key(subspace: &Subspace) -> String {
     subspace.to_string()
 }
 
-/// Aggregates `measure` over `side ∩ clause` (or `side − clause`) using the
-/// word-parallel mask primitives; no intermediate mask is materialized.
+/// Aggregates `measure` over `side ∩ clause` (or `side − clause`) within one
+/// segment using the word-parallel mask primitives; no intermediate mask is
+/// materialized.
 fn compute_partial(
-    data: &Dataset,
+    segment: &Segment,
     measure: &str,
     side: &RowMask,
     clause: &RowMask,
     complement: bool,
-) -> Result<PartialAgg> {
-    let column = data.measure(measure)?;
+) -> Result<MeasureStats> {
+    let column = segment.data().measure(measure)?;
     // Popcount-only emptiness probe: selections that wipe out a side (the
     // common case deep in the greedy/brute loops) never touch the column.
     let rows = if complement {
@@ -516,13 +435,11 @@ fn compute_partial(
     } else {
         side.intersect_count(clause)
     };
+    let mut stats = MeasureStats::new();
     if rows == 0 {
-        return Ok(PartialAgg::EMPTY);
+        return Ok(stats);
     }
-    let mut stats = PartialAgg {
-        rows,
-        ..PartialAgg::EMPTY
-    };
+    stats.add_rows(rows);
     let (mut kept, mut removed);
     let selected: &mut dyn Iterator<Item = usize> = if complement {
         removed = side.iter_and_not(clause);
@@ -533,10 +450,7 @@ fn compute_partial(
     };
     for i in selected {
         if let Some(v) = column.value(i) {
-            stats.count += 1;
-            stats.sum += v;
-            stats.min = stats.min.min(v);
-            stats.max = stats.max.max(v);
+            stats.observe(v);
         }
     }
     Ok(stats)
@@ -545,23 +459,29 @@ fn compute_partial(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xinsight_data::{DatasetBuilder, Filter};
+    use xinsight_data::{Aggregate, DatasetBuilder, Filter, Value};
 
-    fn data() -> Dataset {
-        DatasetBuilder::new()
-            .dimension("X", ["a", "a", "a", "b", "b", "b"])
-            .dimension("Y", ["p", "q", "r", "p", "q", "r"])
-            .measure("M", [10.0, 2.0, 3.0, 1.0, 5.0, 7.0])
-            .build()
-            .unwrap()
+    fn data() -> SegmentedDataset {
+        SegmentedDataset::from_dataset(
+            DatasetBuilder::new()
+                .dimension("X", ["a", "a", "a", "b", "b", "b"])
+                .dimension("Y", ["p", "q", "r", "p", "q", "r"])
+                .measure("M", [10.0, 2.0, 3.0, 1.0, 5.0, 7.0])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn seg(store: &SegmentedDataset) -> &Segment {
+        &store.segments()[0]
     }
 
     #[test]
     fn filter_masks_are_shared() {
-        let d = data();
+        let store = data();
         let cache = SelectionCache::new();
-        let m1 = cache.filter_mask(&d, "Y", "p").unwrap();
-        let m2 = cache.filter_mask(&d, "Y", "p").unwrap();
+        let m1 = cache.filter_mask(&store, seg(&store), "Y", "p").unwrap();
+        let m2 = cache.filter_mask(&store, seg(&store), "Y", "p").unwrap();
         assert!(Arc::ptr_eq(&m1, &m2));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
@@ -570,48 +490,70 @@ mod tests {
 
     #[test]
     fn clause_mask_is_union_of_filters() {
-        let d = data();
+        let store = data();
         let cache = SelectionCache::new();
         let values = vec!["p".to_owned(), "q".to_owned()];
-        let clause = cache.clause_mask(&d, "Y", &values).unwrap();
+        let clause = cache
+            .clause_mask(&store, seg(&store), "Y", &values)
+            .unwrap();
         let by_hand = Filter::equals("Y", "p")
-            .mask(&d)
+            .mask(seg(&store).data())
             .unwrap()
-            .or(&Filter::equals("Y", "q").mask(&d).unwrap());
+            .or(&Filter::equals("Y", "q").mask(seg(&store).data()).unwrap());
         assert_eq!(*clause, by_hand);
         // Single-value clauses alias the filter-mask entry.
-        let single = cache.clause_mask(&d, "Y", &["r".to_owned()]).unwrap();
-        let filter = cache.filter_mask(&d, "Y", "r").unwrap();
+        let single = cache
+            .clause_mask(&store, seg(&store), "Y", &["r".to_owned()])
+            .unwrap();
+        let filter = cache.filter_mask(&store, seg(&store), "Y", "r").unwrap();
         assert!(Arc::ptr_eq(&single, &filter));
     }
 
     #[test]
     fn partial_aggregates_match_direct_aggregation() {
-        let d = data();
+        let store = data();
         let cache = SelectionCache::new();
-        let side = Filter::equals("X", "a").mask(&d).unwrap();
+        let side = Filter::equals("X", "a").mask(seg(&store).data()).unwrap();
         let values = vec!["p".to_owned(), "q".to_owned()];
         let (stats, fresh) = cache
-            .partial_agg(&d, "M", "X = a", &side, "Y", &values, false)
+            .partial_agg(
+                &store,
+                seg(&store),
+                "M",
+                "X = a",
+                &side,
+                "Y",
+                &values,
+                false,
+            )
             .unwrap();
         assert!(fresh);
         // X = a ∩ Y ∈ {p, q} selects rows 0 and 1: M = 10, 2.
         assert_eq!(stats.rows, 2);
         assert_eq!(stats.count, 2);
-        assert_eq!(stats.sum, 12.0);
+        assert_eq!(stats.sum(), 12.0);
         assert_eq!(stats.value(Aggregate::Avg), Some(6.0));
         assert_eq!(stats.value(Aggregate::Min), Some(2.0));
         assert_eq!(stats.value(Aggregate::Max), Some(10.0));
         assert_eq!(stats.value(Aggregate::Count), Some(2.0));
         // Complement: X = a − Y ∈ {p, q} selects row 2 only.
         let (rest, _) = cache
-            .partial_agg(&d, "M", "X = a", &side, "Y", &values, true)
+            .partial_agg(&store, seg(&store), "M", "X = a", &side, "Y", &values, true)
             .unwrap();
         assert_eq!(rest.rows, 1);
         assert_eq!(rest.value(Aggregate::Sum), Some(3.0));
         // Replay hits the cache.
         let (again, fresh) = cache
-            .partial_agg(&d, "M", "X = a", &side, "Y", &values, false)
+            .partial_agg(
+                &store,
+                seg(&store),
+                "M",
+                "X = a",
+                &side,
+                "Y",
+                &values,
+                false,
+            )
             .unwrap();
         assert!(!fresh);
         assert_eq!(again, stats);
@@ -619,12 +561,12 @@ mod tests {
 
     #[test]
     fn empty_selection_semantics_mirror_aggregate_eval() {
-        let d = data();
+        let store = data();
         let cache = SelectionCache::new();
-        let side = Filter::equals("X", "a").mask(&d).unwrap();
+        let side = Filter::equals("X", "a").mask(seg(&store).data()).unwrap();
         // The empty clause intersected with anything is empty…
         let (none, _) = cache
-            .partial_agg(&d, "M", "X = a", &side, "Y", &[], false)
+            .partial_agg(&store, seg(&store), "M", "X = a", &side, "Y", &[], false)
             .unwrap();
         assert_eq!(none.rows, 0);
         assert_eq!(none.value(Aggregate::Sum), Some(0.0));
@@ -633,7 +575,7 @@ mod tests {
         assert_eq!(none.value(Aggregate::Min), None);
         // …and its complement is the side itself.
         let (all, _) = cache
-            .partial_agg(&d, "M", "X = a", &side, "Y", &[], true)
+            .partial_agg(&store, seg(&store), "M", "X = a", &side, "Y", &[], true)
             .unwrap();
         assert_eq!(all.rows, 3);
         assert_eq!(all.value(Aggregate::Sum), Some(15.0));
@@ -641,14 +583,14 @@ mod tests {
 
     #[test]
     fn empty_clause_entry_is_shared_across_attributes() {
-        let d = data();
+        let store = data();
         let cache = SelectionCache::new();
-        let side = Filter::equals("X", "b").mask(&d).unwrap();
+        let side = Filter::equals("X", "b").mask(seg(&store).data()).unwrap();
         let (_, fresh_y) = cache
-            .partial_agg(&d, "M", "X = b", &side, "Y", &[], true)
+            .partial_agg(&store, seg(&store), "M", "X = b", &side, "Y", &[], true)
             .unwrap();
         let (_, fresh_x) = cache
-            .partial_agg(&d, "M", "X = b", &side, "X", &[], true)
+            .partial_agg(&store, seg(&store), "M", "X = b", &side, "X", &[], true)
             .unwrap();
         assert!(fresh_y);
         assert!(!fresh_x, "empty clause must be keyed attribute-free");
@@ -656,18 +598,33 @@ mod tests {
 
     #[test]
     fn missing_measure_values_are_skipped() {
-        let d = DatasetBuilder::new()
-            .dimension("X", ["a", "a", "a"])
-            .measure_column(
-                "M",
-                xinsight_data::MeasureColumn::from_optional_values([Some(4.0), None, Some(6.0)]),
-            )
-            .build()
-            .unwrap();
+        let store = SegmentedDataset::from_dataset(
+            DatasetBuilder::new()
+                .dimension("X", ["a", "a", "a"])
+                .measure_column(
+                    "M",
+                    xinsight_data::MeasureColumn::from_optional_values([
+                        Some(4.0),
+                        None,
+                        Some(6.0),
+                    ]),
+                )
+                .build()
+                .unwrap(),
+        );
         let cache = SelectionCache::new();
-        let side = d.all_rows();
+        let side = store.segments()[0].all_rows();
         let (stats, _) = cache
-            .partial_agg(&d, "M", "all", &side, "", &[], true)
+            .partial_agg(
+                &store,
+                &store.segments()[0],
+                "M",
+                "all",
+                &side,
+                "",
+                &[],
+                true,
+            )
             .unwrap();
         assert_eq!(stats.rows, 3);
         assert_eq!(stats.count, 2);
@@ -676,72 +633,56 @@ mod tests {
 
     #[test]
     fn unknown_measure_is_an_error() {
-        let d = data();
+        let store = data();
         let cache = SelectionCache::new();
-        let side = d.all_rows();
+        let side = seg(&store).all_rows();
         assert!(cache
-            .partial_agg(&d, "nope", "all", &side, "Y", &[], false)
+            .partial_agg(&store, seg(&store), "nope", "all", &side, "Y", &[], false)
             .is_err());
     }
 
     #[test]
-    fn reuse_with_a_different_dataset_is_rejected() {
-        let d = data();
+    fn reuse_with_a_different_store_is_rejected_but_epochs_are_not() {
+        let store = data();
         let cache = SelectionCache::new();
-        cache.filter_mask(&d, "Y", "p").unwrap();
-        // Identical dataset (same schema, rows and contents) → accepted.
-        let identical = data();
-        assert!(cache.filter_mask(&identical, "Y", "q").is_ok());
-        // Same shape but different contents → rejected (content hash).
-        let same_shape = DatasetBuilder::new()
-            .dimension("X", ["a", "a", "a", "b", "b", "b"])
-            .dimension("Y", ["q", "q", "r", "p", "p", "r"])
-            .measure("M", [1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
-            .build()
+        cache.filter_mask(&store, seg(&store), "Y", "p").unwrap();
+        // Another epoch of the *same* store is accepted, and the new segment
+        // contributes fresh keys while old entries replay.
+        let grown = store
+            .append_rows(&[vec![Value::from("a"), Value::from("p"), Value::from(100.0)]])
             .unwrap();
+        let hits_before = cache.hits();
+        assert!(cache
+            .filter_mask(&grown, &grown.segments()[0], "Y", "p")
+            .is_ok());
+        assert_eq!(cache.hits(), hits_before + 1, "old segment entries replay");
+        assert!(cache
+            .filter_mask(&grown, &grown.segments()[1], "Y", "p")
+            .is_ok());
+        assert_eq!(cache.mask_entries(), 2, "new segment adds its own key");
+        // A different store (even with identical contents) is rejected.
+        let other = data();
         assert!(matches!(
-            cache.filter_mask(&same_shape, "Y", "p"),
-            Err(DataError::DatasetMismatch(_))
-        ));
-        // Different row count → rejected with a DatasetMismatch error.
-        let shorter = DatasetBuilder::new()
-            .dimension("X", ["a", "b"])
-            .dimension("Y", ["p", "q"])
-            .measure("M", [1.0, 2.0])
-            .build()
-            .unwrap();
-        assert!(matches!(
-            cache.filter_mask(&shorter, "Y", "p"),
-            Err(DataError::DatasetMismatch(_))
-        ));
-        // Different schema (even with the fingerprinted row count) → rejected.
-        let renamed = DatasetBuilder::new()
-            .dimension("X", ["a", "a", "a", "b", "b", "b"])
-            .dimension("Z", ["p", "q", "r", "p", "q", "r"])
-            .measure("M", [10.0, 2.0, 3.0, 1.0, 5.0, 7.0])
-            .build()
-            .unwrap();
-        assert!(matches!(
-            cache.subspace_mask(&renamed, &Subspace::of("X", "a")),
+            cache.filter_mask(&other, &other.segments()[0], "Y", "p"),
             Err(DataError::DatasetMismatch(_))
         ));
     }
 
     #[test]
     fn long_clauses_are_not_retained_in_the_mask_layer() {
-        let d = data();
+        let store = data();
         let cache = SelectionCache::new();
-        let side = Filter::equals("X", "a").mask(&d).unwrap();
+        let side = Filter::equals("X", "a").mask(seg(&store).data()).unwrap();
         // A 3-value clause (> MAX_CACHED_CLAUSE_VALUES): its union mask must
         // be transient, while its partial aggregate is still memoized.
         let long: Vec<String> = ["p", "q", "r"].iter().map(|s| s.to_string()).collect();
         let (_, fresh) = cache
-            .partial_agg(&d, "M", "X = a", &side, "Y", &long, false)
+            .partial_agg(&store, seg(&store), "M", "X = a", &side, "Y", &long, false)
             .unwrap();
         assert!(fresh);
         let masks_after_long = cache.mask_entries();
         let (_, replay) = cache
-            .partial_agg(&d, "M", "X = a", &side, "Y", &long, false)
+            .partial_agg(&store, seg(&store), "M", "X = a", &side, "Y", &long, false)
             .unwrap();
         assert!(!replay, "partial aggregates of long clauses are memoized");
         assert_eq!(
@@ -754,8 +695,8 @@ mod tests {
         assert_eq!(masks_after_long, 3);
         // A 2-value clause is still shared.
         let short: Vec<String> = ["p", "q"].iter().map(|s| s.to_string()).collect();
-        let first = cache.clause_mask(&d, "Y", &short).unwrap();
-        let second = cache.clause_mask(&d, "Y", &short).unwrap();
+        let first = cache.clause_mask(&store, seg(&store), "Y", &short).unwrap();
+        let second = cache.clause_mask(&store, seg(&store), "Y", &short).unwrap();
         assert!(Arc::ptr_eq(&first, &second));
     }
 }

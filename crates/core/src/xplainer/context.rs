@@ -1,30 +1,53 @@
-//! Shared search state for the XPlainer strategies.
+//! Shared search state for the XPlainer strategies, spanning every segment
+//! of the store.
+//!
+//! The strategies (`sum`, `avg`, `brute`) are segmentation-oblivious: they
+//! probe `Δ(·)` terms through this context, and the context answers each
+//! term by merging per-segment partial aggregates from the
+//! [`SelectionCache`] — deterministically, in segment order, with exact
+//! summation — so the chosen explanation is bit-identical for any
+//! segmentation of the same rows.
 
 use super::cache::SelectionCache;
-use super::XPlainerOptions;
+use super::{map_items, XPlainerOptions};
 use crate::why_query::WhyQuery;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use xinsight_data::{DataError, Dataset, Filter, Predicate, Result};
+use xinsight_data::{
+    DataError, Filter, MeasureStats, Predicate, Result, RowMask, Segment, SegmentedDataset,
+};
+
+/// The per-segment slice of the context: the segment plus its two
+/// sibling-subspace masks (segment-local row domain).
+#[derive(Debug)]
+struct SegmentSides {
+    segment: Arc<Segment>,
+    s1: Arc<RowMask>,
+    s2: Arc<RowMask>,
+}
 
 /// Precomputed per-attribute state shared by every search strategy: the
-/// filters of the attribute, the sibling-subspace masks, `Δ(D)`, `ε` and
-/// `σ`, plus a counter of `Δ(·)` evaluations.
+/// filters of the attribute (drawn from the store's *global* dictionary, so
+/// categories that only appear in later segments are searchable), the
+/// per-segment sibling-subspace masks, `Δ(D)`, `ε` and `σ`, plus a counter
+/// of `Δ(·)` evaluations.
 ///
-/// All `Δ` terms are answered through a [`SelectionCache`]: masks and partial
-/// aggregates computed by one strategy (or one attribute, or one query of a
-/// batch) are replayed by the others instead of being recomputed.  The
-/// context is `Sync`, so the strategies may probe it from parallel workers.
+/// All `Δ` terms are answered through a [`SelectionCache`]: per-segment
+/// masks and partial aggregates computed by one strategy (or one attribute,
+/// or one query of a batch) are replayed by the others instead of being
+/// recomputed.  The context is `Sync`, so the strategies may probe it from
+/// parallel workers; with parallelism enabled, both the per-filter probe
+/// loops *and* the per-segment partials inside one probe fan out over the
+/// shared rayon pool (searches scale with segments × attributes).
 #[derive(Debug)]
 pub struct SearchContext<'a> {
-    data: &'a Dataset,
+    store: &'a SegmentedDataset,
     query: &'a WhyQuery,
     attribute: String,
     filters: Vec<Filter>,
     s1_key: String,
     s2_key: String,
-    s1_mask: Arc<xinsight_data::RowMask>,
-    s2_mask: Arc<xinsight_data::RowMask>,
+    sides: Vec<SegmentSides>,
     delta_d: f64,
     epsilon: f64,
     sigma: f64,
@@ -32,8 +55,9 @@ pub struct SearchContext<'a> {
     /// Number of `Δ(·)` terms actually computed (cache misses); replays from
     /// the cache are free and not counted.  Serial runs count exactly one per
     /// distinct term; under parallel scheduling, workers racing on the same
-    /// term may each win one of its two per-side cache entries and both count
-    /// it, so parallel counts can exceed serial ones by a bounded amount.
+    /// term may each win one of its per-side, per-segment cache entries and
+    /// both count it, so parallel counts can exceed serial ones by a bounded
+    /// amount.
     evaluations: AtomicUsize,
     cache: Arc<SelectionCache>,
 }
@@ -41,13 +65,13 @@ pub struct SearchContext<'a> {
 impl<'a> SearchContext<'a> {
     /// Builds the context for one attribute of interest with a private cache.
     pub fn build(
-        data: &'a Dataset,
+        store: &'a SegmentedDataset,
         query: &'a WhyQuery,
         attribute: &str,
         options: &XPlainerOptions,
     ) -> Result<Self> {
         Self::build_with_cache(
-            data,
+            store,
             query,
             attribute,
             options,
@@ -59,42 +83,54 @@ impl<'a> SearchContext<'a> {
     /// masks and partial aggregates are reused across attributes, strategies
     /// and queries.
     pub fn build_with_cache(
-        data: &'a Dataset,
+        store: &'a SegmentedDataset,
         query: &'a WhyQuery,
         attribute: &str,
         options: &XPlainerOptions,
         cache: Arc<SelectionCache>,
     ) -> Result<Self> {
-        let column = data.dimension(attribute)?;
+        // Filters come from the global dictionary: every category observed in
+        // *any* segment, in stable first-occurrence (= code) order.
+        let categories = store.categories(attribute)?;
         // Validate the measure up front: every later Δ probe relies on it and
         // `expect`s success, so a missing/typo'd measure must surface as an
         // error here, not a panic deep in a worker.
-        data.measure(query.measure())?;
-        let filters: Vec<Filter> = column
-            .categories()
+        store.check_measure(query.measure())?;
+        let filters: Vec<Filter> = categories
             .iter()
-            .map(|v| Filter::equals(attribute, v.clone()))
+            .map(|v| Filter::equals(attribute, v.as_ref()))
             .collect();
-        // Validate the dataset against the cache's fingerprint exactly once;
+        // Validate the store against the cache's lineage latch exactly once;
         // the warm-up below and every later Δ probe use the trusted variants.
-        cache.ensure_dataset(data)?;
-        // Warm the mask layer: sibling-subspace and per-filter masks.
-        let s1_mask = cache.subspace_mask_trusted(data, query.s1())?;
-        let s2_mask = cache.subspace_mask_trusted(data, query.s2())?;
-        for filter in &filters {
-            cache.filter_mask_trusted(data, filter.attribute(), filter.value())?;
-        }
+        cache.ensure_store(store)?;
+        // Warm the mask layer per segment: sibling-subspace and per-filter
+        // masks.  Segments are independent, so the warm-up fans out over the
+        // pool — this is the "segments × attributes" axis of engine
+        // parallelism (attributes fan out one level up, in the pipeline).
+        let sides: Vec<SegmentSides> = map_items(
+            options.parallel,
+            store.segments().iter().map(Arc::clone).collect(),
+            |segment| -> Result<SegmentSides> {
+                let s1 = cache.subspace_mask_trusted(&segment, query.s1())?;
+                let s2 = cache.subspace_mask_trusted(&segment, query.s2())?;
+                for filter in &filters {
+                    cache.filter_mask_trusted(&segment, filter.attribute(), filter.value())?;
+                }
+                Ok(SegmentSides { segment, s1, s2 })
+            },
+        )
+        .into_iter()
+        .collect::<Result<_>>()?;
         let s1_key = query.s1().to_string();
         let s2_key = query.s2().to_string();
         let mut ctx = SearchContext {
-            data,
+            store,
             query,
             attribute: attribute.to_owned(),
             filters,
             s1_key,
             s2_key,
-            s1_mask,
-            s2_mask,
+            sides,
             delta_d: 0.0,
             epsilon: 0.0,
             sigma: 0.0,
@@ -131,7 +167,12 @@ impl<'a> SearchContext<'a> {
         &self.attribute
     }
 
-    /// `Δ(D)` over the full dataset.
+    /// The store the context searches over.
+    pub fn store(&self) -> &SegmentedDataset {
+        self.store
+    }
+
+    /// `Δ(D)` over the full store.
     pub fn delta_d(&self) -> f64 {
         self.delta_d
     }
@@ -187,34 +228,52 @@ impl<'a> SearchContext<'a> {
         values
     }
 
+    /// The statistics of one side over the clause selection, merged across
+    /// segments in segment order (exact, so segmentation-independent).
+    /// Returns the merged statistics and whether any per-segment partial
+    /// was freshly computed.
+    fn side_stats(
+        &self,
+        side_key: &str,
+        pick: impl Fn(&SegmentSides) -> &Arc<RowMask> + Sync,
+        values: &[String],
+        complement: bool,
+    ) -> (MeasureStats, bool) {
+        // Per-segment partials are independent; fan them out when the store
+        // is actually segmented.  The ordered collect keeps the merge
+        // deterministic either way.
+        let partials: Vec<(Arc<MeasureStats>, bool)> = map_items(
+            self.parallel && self.sides.len() > 1,
+            self.sides.iter().collect(),
+            |sides| {
+                self.cache
+                    .partial_agg_trusted(
+                        &sides.segment,
+                        self.query.measure(),
+                        side_key,
+                        pick(sides),
+                        &self.attribute,
+                        values,
+                        complement,
+                    )
+                    .expect("context attributes validated at build time")
+            },
+        );
+        let mut merged = MeasureStats::new();
+        let mut fresh = false;
+        for (stats, was_fresh) in partials {
+            merged.merge(&stats);
+            fresh |= was_fresh;
+        }
+        (merged, fresh)
+    }
+
     /// `Δ` over `side ∩ clause` (or `side − clause`), both sides, via the
     /// cache.  `None` when one sibling side's aggregate is undefined.
     fn delta_clause(&self, indices: &[usize], complement: bool) -> Option<f64> {
         let values = self.clause_values(indices);
-        let (a, fresh_a) = self
-            .cache
-            .partial_agg_trusted(
-                self.data,
-                self.query.measure(),
-                &self.s1_key,
-                &self.s1_mask,
-                &self.attribute,
-                &values,
-                complement,
-            )
-            .expect("context attributes validated at build time");
-        let (b, fresh_b) = self
-            .cache
-            .partial_agg_trusted(
-                self.data,
-                self.query.measure(),
-                &self.s2_key,
-                &self.s2_mask,
-                &self.attribute,
-                &values,
-                complement,
-            )
-            .expect("context attributes validated at build time");
+        let (a, fresh_a) = self.side_stats(&self.s1_key, |s| &s.s1, &values, complement);
+        let (b, fresh_b) = self.side_stats(&self.s2_key, |s| &s.s2, &values, complement);
         if fresh_a || fresh_b {
             self.evaluations.fetch_add(1, Ordering::Relaxed);
         }
@@ -264,9 +323,9 @@ impl<'a> SearchContext<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xinsight_data::{Aggregate, DatasetBuilder, Subspace};
+    use xinsight_data::{Aggregate, DatasetBuilder, Subspace, Value};
 
-    fn fixture() -> (Dataset, WhyQuery) {
+    fn fixture() -> (SegmentedDataset, WhyQuery) {
         let data = DatasetBuilder::new()
             .dimension("X", ["a", "a", "a", "b", "b", "b"])
             .dimension("Y", ["p", "q", "q", "p", "q", "q"])
@@ -280,25 +339,26 @@ mod tests {
             Subspace::of("X", "b"),
         )
         .unwrap();
-        (data, query)
+        (SegmentedDataset::from_dataset(data), query)
     }
 
     #[test]
     fn context_exposes_filters_and_delta() {
-        let (data, query) = fixture();
-        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let (store, query) = fixture();
+        let ctx = SearchContext::build(&store, &query, "Y", &XPlainerOptions::default()).unwrap();
         assert_eq!(ctx.m(), 2);
         assert_eq!(ctx.attribute(), "Y");
         // Δ(D) = avg(a) − avg(b) = 14/3 − 1.
         assert!((ctx.delta_d() - (14.0 / 3.0 - 1.0)).abs() < 1e-12);
         assert!(ctx.epsilon() > 0.0);
         assert_eq!(ctx.sigma(), 0.5);
+        assert_eq!(ctx.store().n_segments(), 1);
     }
 
     #[test]
     fn delta_of_and_without_track_subsets() {
-        let (data, query) = fixture();
-        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let (store, query) = fixture();
+        let ctx = SearchContext::build(&store, &query, "Y", &XPlainerOptions::default()).unwrap();
         let p_index = ctx.filters().iter().position(|f| f.value() == "p").unwrap();
         // Restricting to Y = p: avg(a) = 10, avg(b) = 1.
         assert!((ctx.delta_of(&[p_index]).unwrap() - 9.0).abs() < 1e-12);
@@ -308,9 +368,64 @@ mod tests {
     }
 
     #[test]
+    fn segmented_deltas_match_the_single_segment_case_exactly() {
+        let (store, query) = fixture();
+        // The same six rows split 2 / 3 / 1 across three segments.
+        let flat = store.segments()[0].data().clone();
+        let row = |i: usize| -> Vec<Value> {
+            vec![
+                flat.value(i, "X").unwrap(),
+                flat.value(i, "Y").unwrap(),
+                flat.value(i, "M").unwrap(),
+            ]
+        };
+        let split = SegmentedDataset::from_dataset(
+            DatasetBuilder::new()
+                .dimension("X", ["a", "a"])
+                .dimension("Y", ["p", "q"])
+                .measure("M", [10.0, 2.0])
+                .build()
+                .unwrap(),
+        )
+        .append_rows(&[row(2), row(3), row(4)])
+        .unwrap()
+        .append_rows(&[row(5)])
+        .unwrap();
+        assert_eq!(split.n_segments(), 3);
+        let mono = SearchContext::build(&store, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let seg = SearchContext::build(&split, &query, "Y", &XPlainerOptions::default()).unwrap();
+        assert_eq!(mono.delta_d().to_bits(), seg.delta_d().to_bits());
+        for indices in [vec![0usize], vec![1], vec![0, 1]] {
+            assert_eq!(
+                mono.delta_of(&indices).map(f64::to_bits),
+                seg.delta_of(&indices).map(f64::to_bits)
+            );
+            assert_eq!(
+                mono.delta_without(&indices).map(f64::to_bits),
+                seg.delta_without(&indices).map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn filters_cover_categories_first_seen_in_later_segments() {
+        let (store, query) = fixture();
+        let grown = store
+            .append_rows(&[vec![Value::from("a"), Value::from("z"), Value::from(50.0)]])
+            .unwrap();
+        let ctx = SearchContext::build(&grown, &query, "Y", &XPlainerOptions::default()).unwrap();
+        assert_eq!(ctx.m(), 3, "the new category `z` must be searchable");
+        let z = ctx.filters().iter().position(|f| f.value() == "z").unwrap();
+        // Y = z only selects the appended row (side a): avg(a) = 50, b empty.
+        assert_eq!(ctx.delta_of(&[z]), None);
+        // Removing it restores the original six rows.
+        assert!((ctx.delta_without(&[z]).unwrap() - (14.0 / 3.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
     fn cached_replays_are_not_billed_as_evaluations() {
-        let (data, query) = fixture();
-        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let (store, query) = fixture();
+        let ctx = SearchContext::build(&store, &query, "Y", &XPlainerOptions::default()).unwrap();
         let first = ctx.delta_of(&[0]);
         let after_first = ctx.evaluations();
         let replay = ctx.delta_of(&[0]);
@@ -324,17 +439,17 @@ mod tests {
 
     #[test]
     fn sibling_contexts_share_the_cache() {
-        let (data, query) = fixture();
+        let (store, query) = fixture();
         let cache = Arc::new(SelectionCache::new());
         let opts = XPlainerOptions::default();
-        let ctx1 =
-            SearchContext::build_with_cache(&data, &query, "Y", &opts, Arc::clone(&cache)).unwrap();
+        let ctx1 = SearchContext::build_with_cache(&store, &query, "Y", &opts, Arc::clone(&cache))
+            .unwrap();
         let _ = ctx1.delta_of(&[0]);
         let spent = ctx1.evaluations();
         assert!(spent > 0);
         // A second context over the same attribute replays everything.
-        let ctx2 =
-            SearchContext::build_with_cache(&data, &query, "Y", &opts, Arc::clone(&cache)).unwrap();
+        let ctx2 = SearchContext::build_with_cache(&store, &query, "Y", &opts, Arc::clone(&cache))
+            .unwrap();
         let _ = ctx2.delta_of(&[0]);
         assert_eq!(ctx2.evaluations(), 0);
         assert!(cache.hits() > 0);
@@ -342,8 +457,8 @@ mod tests {
 
     #[test]
     fn removing_everything_is_not_a_valid_resolution() {
-        let (data, query) = fixture();
-        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let (store, query) = fixture();
+        let ctx = SearchContext::build(&store, &query, "Y", &XPlainerOptions::default()).unwrap();
         let all: Vec<usize> = (0..ctx.m()).collect();
         assert_eq!(ctx.delta_without(&all), None);
         assert!(!ctx.is_resolved(None));
@@ -353,8 +468,8 @@ mod tests {
 
     #[test]
     fn predicate_of_maps_indices_to_values() {
-        let (data, query) = fixture();
-        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let (store, query) = fixture();
+        let ctx = SearchContext::build(&store, &query, "Y", &XPlainerOptions::default()).unwrap();
         let pred = ctx.predicate_of(&[0, 1]);
         assert_eq!(pred.len(), 2);
         assert_eq!(pred.attribute(), "Y");
@@ -362,20 +477,20 @@ mod tests {
 
     #[test]
     fn explicit_epsilon_and_sigma_override_defaults() {
-        let (data, query) = fixture();
+        let (store, query) = fixture();
         let opts = XPlainerOptions {
             epsilon: Some(0.25),
             sigma: Some(0.05),
             ..XPlainerOptions::default()
         };
-        let ctx = SearchContext::build(&data, &query, "Y", &opts).unwrap();
+        let ctx = SearchContext::build(&store, &query, "Y", &opts).unwrap();
         assert_eq!(ctx.epsilon(), 0.25);
         assert_eq!(ctx.sigma(), 0.05);
     }
 
     #[test]
     fn unknown_measure_errors_instead_of_panicking() {
-        let (data, _) = fixture();
+        let (store, _) = fixture();
         let bad = WhyQuery::new(
             "NoSuchMeasure",
             Aggregate::Avg,
@@ -383,7 +498,7 @@ mod tests {
             Subspace::of("X", "b"),
         )
         .unwrap();
-        assert!(SearchContext::build(&data, &bad, "Y", &XPlainerOptions::default()).is_err());
+        assert!(SearchContext::build(&store, &bad, "Y", &XPlainerOptions::default()).is_err());
         // A dimension used as a measure is rejected the same way.
         let dim = WhyQuery::new(
             "Y",
@@ -392,13 +507,13 @@ mod tests {
             Subspace::of("X", "b"),
         )
         .unwrap();
-        assert!(SearchContext::build(&data, &dim, "Y", &XPlainerOptions::default()).is_err());
+        assert!(SearchContext::build(&store, &dim, "Y", &XPlainerOptions::default()).is_err());
     }
 
     #[test]
     fn contingency_weight_is_nonnegative_fraction() {
-        let (data, query) = fixture();
-        let ctx = SearchContext::build(&data, &query, "Y", &XPlainerOptions::default()).unwrap();
+        let (store, query) = fixture();
+        let ctx = SearchContext::build(&store, &query, "Y", &XPlainerOptions::default()).unwrap();
         let w = ctx.contingency_weight(&[0], &[1]);
         assert!(w >= 0.0);
     }

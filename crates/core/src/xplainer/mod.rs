@@ -24,13 +24,13 @@ mod cache;
 mod context;
 mod sum;
 
-pub use cache::{PartialAgg, SelectionCache};
+pub use cache::SelectionCache;
 pub use context::SearchContext;
 
 use crate::why_query::WhyQuery;
 use rayon::prelude::*;
 use std::sync::Arc;
-use xinsight_data::{Aggregate, Dataset, Predicate, Result};
+use xinsight_data::{Aggregate, Predicate, Result, SegmentedDataset};
 
 /// How XPlainer searches for the optimal explanation on one attribute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,23 +127,24 @@ impl XPlainer {
     }
 
     /// Searches the optimal explanation for `query` within the filters of
-    /// `attribute`.
+    /// `attribute`, over every segment of `store`.
     ///
     /// `homogeneous` states whether the sibling subspaces are homogeneous on
     /// the attribute (Def. 3.7) — the caller derives this from the causal
     /// graph; it only affects the AVG pruning.  Returns `Ok(None)` when the
     /// attribute admits no (counterfactual or actual) cause at the configured
-    /// `ε`.
+    /// `ε`.  The result is bit-identical for any segmentation of the same
+    /// rows (the per-segment partials merge exactly).
     pub fn explain_attribute(
         &self,
-        data: &Dataset,
+        store: &SegmentedDataset,
         query: &WhyQuery,
         attribute: &str,
         strategy: SearchStrategy,
         homogeneous: bool,
     ) -> Result<Option<ExplanationCandidate>> {
         self.explain_attribute_cached(
-            data,
+            store,
             query,
             attribute,
             strategy,
@@ -153,21 +154,21 @@ impl XPlainer {
     }
 
     /// Like [`XPlainer::explain_attribute`], but answering every `Δ(·)` term
-    /// through a shared [`SelectionCache`], so filter masks and partial
+    /// through a shared [`SelectionCache`], so per-segment masks and partial
     /// aggregates built here are reused by searches over other attributes
     /// (and other queries) holding the same cache.  This is the entry point
-    /// the batched [`crate::pipeline::XInsight::explain_many`] engine uses.
+    /// the batched [`crate::pipeline::XInsight::execute_batch`] engine uses.
     #[allow(clippy::too_many_arguments)]
     pub fn explain_attribute_cached(
         &self,
-        data: &Dataset,
+        store: &SegmentedDataset,
         query: &WhyQuery,
         attribute: &str,
         strategy: SearchStrategy,
         homogeneous: bool,
         cache: Arc<SelectionCache>,
     ) -> Result<Option<ExplanationCandidate>> {
-        let ctx = SearchContext::build_with_cache(data, query, attribute, &self.options, cache)?;
+        let ctx = SearchContext::build_with_cache(store, query, attribute, &self.options, cache)?;
         if ctx.m() == 0 || ctx.delta_d() <= ctx.epsilon() {
             // Either nothing to explain or the difference is already below ε.
             return Ok(None);
@@ -206,7 +207,7 @@ mod tests {
 
     /// A dataset where `Y ∈ {bad1, bad2}` drives the difference of AVG(Z)
     /// between X = a and X = b (a miniature SYN-B, Sec. 8.12 of the paper).
-    fn synb_like() -> (Dataset, WhyQuery) {
+    fn synb_like() -> (SegmentedDataset, WhyQuery) {
         let mut x = Vec::new();
         let mut y = Vec::new();
         let mut z = Vec::new();
@@ -243,7 +244,7 @@ mod tests {
             Subspace::of("X", "b"),
         )
         .unwrap();
-        (data, query)
+        (SegmentedDataset::from_dataset(data), query)
     }
 
     #[test]
@@ -300,12 +301,14 @@ mod tests {
 
     #[test]
     fn no_explanation_when_difference_is_below_epsilon() {
-        let data = DatasetBuilder::new()
-            .dimension("X", ["a", "a", "b", "b"])
-            .dimension("Y", ["u", "v", "u", "v"])
-            .measure("Z", [1.0, 1.0, 1.0, 1.0])
-            .build()
-            .unwrap();
+        let data = SegmentedDataset::from_dataset(
+            DatasetBuilder::new()
+                .dimension("X", ["a", "a", "b", "b"])
+                .dimension("Y", ["u", "v", "u", "v"])
+                .measure("Z", [1.0, 1.0, 1.0, 1.0])
+                .build()
+                .unwrap(),
+        );
         let query = WhyQuery::new(
             "Z",
             Aggregate::Avg,
@@ -326,12 +329,14 @@ mod tests {
         let x: Vec<&str> = (0..n).map(|i| if i < 1000 { "a" } else { "b" }).collect();
         let y: Vec<String> = (0..n).map(|i| format!("v{}", i % 20)).collect();
         let z: Vec<f64> = (0..n).map(|i| if i < 1000 { 5.0 } else { 1.0 }).collect();
-        let data = DatasetBuilder::new()
-            .dimension("X", x)
-            .dimension("Y", y.iter().map(String::as_str))
-            .measure("Z", z)
-            .build()
-            .unwrap();
+        let data = SegmentedDataset::from_dataset(
+            DatasetBuilder::new()
+                .dimension("X", x)
+                .dimension("Y", y.iter().map(String::as_str))
+                .measure("Z", z)
+                .build()
+                .unwrap(),
+        );
         let query = WhyQuery::new(
             "Z",
             Aggregate::Avg,

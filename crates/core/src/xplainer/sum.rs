@@ -118,10 +118,10 @@ mod tests {
     use super::*;
     use crate::why_query::WhyQuery;
     use crate::xplainer::XPlainerOptions;
-    use xinsight_data::{Aggregate, Dataset, DatasetBuilder, Subspace};
+    use xinsight_data::{Aggregate, DatasetBuilder, SegmentedDataset, Subspace};
 
     /// Three "guilty" categories with large positive Δ_i, several innocent ones.
-    fn fixture(n_noise: usize) -> (Dataset, WhyQuery) {
+    fn fixture(n_noise: usize) -> (SegmentedDataset, WhyQuery) {
         let mut x = Vec::new();
         let mut y = Vec::new();
         let mut m = Vec::new();
@@ -147,7 +147,8 @@ mod tests {
             .dimension("Y", y.iter().map(String::as_str))
             .measure("M", m)
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "M",
             Aggregate::Sum,
@@ -188,7 +189,8 @@ mod tests {
             .dimension("Y", ["up", "down", "down", "base"])
             .measure("M", [100.0, 5.0, 50.0, 1.0])
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "M",
             Aggregate::Sum,
@@ -212,7 +214,8 @@ mod tests {
             .dimension("Y", ["u", "v", "u", "v"])
             .measure("M", [10.0, 10.0, 1.0, 1.0])
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "M",
             Aggregate::Sum,
@@ -233,7 +236,8 @@ mod tests {
             .dimension("Z", ["only", "only", "only", "only"])
             .measure("M", [10.0, 10.0, 1.0, 1.0])
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query2 = WhyQuery::new(
             "M",
             Aggregate::Sum,
@@ -252,7 +256,8 @@ mod tests {
             .dimension("Y", ["u", "u"])
             .measure("M", [1.0, 1.0])
             .build()
-            .unwrap();
+            .unwrap()
+            .into_segmented();
         let query = WhyQuery::new(
             "M",
             Aggregate::Sum,

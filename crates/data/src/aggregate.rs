@@ -30,6 +30,11 @@ impl Aggregate {
     ///
     /// `Sum` and `Count` of an empty selection are 0; `Avg`, `Min` and `Max`
     /// of an empty selection are undefined and return an error.
+    ///
+    /// Accumulation goes through [`MeasureStats`](crate::MeasureStats) —
+    /// the same exactly-summing codepath the segmented store merges — so a
+    /// monolithic evaluation and a per-segment merge of the same rows are
+    /// bit-identical.
     pub fn eval(&self, data: &Dataset, measure: &str, mask: &RowMask) -> Result<f64> {
         if mask.len() != data.n_rows() {
             return Err(DataError::MaskLengthMismatch {
@@ -37,53 +42,12 @@ impl Aggregate {
                 rows: data.n_rows(),
             });
         }
-        let col = data.measure(measure)?;
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
-        for i in mask.iter_selected() {
-            if let Some(v) = col.value(i) {
-                sum += v;
-                count += 1;
-                min = min.min(v);
-                max = max.max(v);
-            }
-        }
-        match self {
-            Aggregate::Sum => Ok(sum),
-            Aggregate::Count => Ok(count as f64),
-            Aggregate::Avg => {
-                if count == 0 {
-                    Err(DataError::EmptyAggregate {
-                        aggregate: "AVG",
-                        attribute: measure.to_owned(),
-                    })
-                } else {
-                    Ok(sum / count as f64)
-                }
-            }
-            Aggregate::Min => {
-                if count == 0 {
-                    Err(DataError::EmptyAggregate {
-                        aggregate: "MIN",
-                        attribute: measure.to_owned(),
-                    })
-                } else {
-                    Ok(min)
-                }
-            }
-            Aggregate::Max => {
-                if count == 0 {
-                    Err(DataError::EmptyAggregate {
-                        aggregate: "MAX",
-                        attribute: measure.to_owned(),
-                    })
-                } else {
-                    Ok(max)
-                }
-            }
-        }
+        crate::MeasureStats::of(data.measure(measure)?, mask)
+            .value(*self)
+            .ok_or_else(|| DataError::EmptyAggregate {
+                aggregate: self.name(),
+                attribute: measure.to_owned(),
+            })
     }
 
     /// Like [`Aggregate::eval`] but returns `None` instead of an error for an
@@ -102,18 +66,22 @@ impl Aggregate {
     pub fn is_additive(&self) -> bool {
         matches!(self, Aggregate::Sum | Aggregate::Count)
     }
-}
 
-impl fmt::Display for Aggregate {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+    /// The SQL-style name (what `Display` writes and `FromStr` parses).
+    pub fn name(&self) -> &'static str {
+        match self {
             Aggregate::Sum => "SUM",
             Aggregate::Avg => "AVG",
             Aggregate::Count => "COUNT",
             Aggregate::Min => "MIN",
             Aggregate::Max => "MAX",
-        };
-        write!(f, "{name}")
+        }
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
     }
 }
 

@@ -4,16 +4,23 @@ use crate::error::{DataError, Result};
 use crate::mask::RowMask;
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Dictionary-encoded categorical column.
 ///
 /// Each distinct category receives a dense `u32` code; the per-row payload is
 /// the vector of codes.  `u32::MAX` encodes a missing value.
+///
+/// Categories are interned as `Arc<str>`: the dictionary vector and the
+/// reverse lookup share one allocation per category (instead of storing every
+/// string twice), and a [`SegmentedDataset`](crate::SegmentedDataset) whose
+/// segments snapshot a shared global dictionary pays one allocation per
+/// category *total*, however many segments exist.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DimensionColumn {
     codes: Vec<u32>,
-    categories: Vec<String>,
-    lookup: HashMap<String, u32>,
+    categories: Vec<Arc<str>>,
+    lookup: HashMap<Arc<str>, u32>,
 }
 
 /// Sentinel code used for missing categorical values.
@@ -57,14 +64,41 @@ impl DimensionColumn {
         col
     }
 
+    /// Builds a dimension column from pre-encoded storage: per-row `codes`
+    /// into the given `categories` dictionary (typically a snapshot of a
+    /// [`SegmentedDataset`](crate::SegmentedDataset)'s shared global
+    /// dictionary, so the `Arc<str>`s are shared rather than re-interned).
+    /// Every code must be in range or [`NULL_CODE`]; the dictionary must be
+    /// duplicate-free.
+    pub fn from_parts(codes: Vec<u32>, categories: Vec<Arc<str>>) -> Result<Self> {
+        let cardinality = categories.len() as u32;
+        if let Some(&bad) = codes.iter().find(|&&c| c != NULL_CODE && c >= cardinality) {
+            return Err(DataError::InvalidBinning(format!(
+                "dictionary code {bad} is out of range for a dictionary of {cardinality}"
+            )));
+        }
+        let mut lookup = HashMap::with_capacity(categories.len());
+        for (i, category) in categories.iter().enumerate() {
+            if lookup.insert(Arc::clone(category), i as u32).is_some() {
+                return Err(DataError::DuplicateAttribute(category.to_string()));
+            }
+        }
+        Ok(DimensionColumn {
+            codes,
+            categories,
+            lookup,
+        })
+    }
+
     /// Appends one value, interning its category.
     pub fn push(&mut self, value: &str) {
         let code = match self.lookup.get(value) {
             Some(&c) => c,
             None => {
                 let c = self.categories.len() as u32;
-                self.categories.push(value.to_owned());
-                self.lookup.insert(value.to_owned(), c);
+                let interned: Arc<str> = Arc::from(value);
+                self.categories.push(Arc::clone(&interned));
+                self.lookup.insert(interned, c);
                 c
             }
         };
@@ -99,11 +133,11 @@ impl DimensionColumn {
 
     /// The category string for a dictionary code.
     pub fn category(&self, code: u32) -> Option<&str> {
-        self.categories.get(code as usize).map(|s| s.as_str())
+        self.categories.get(code as usize).map(|s| s.as_ref())
     }
 
-    /// All category strings, ordered by code.
-    pub fn categories(&self) -> &[String] {
+    /// All (interned) category strings, ordered by code.
+    pub fn categories(&self) -> &[Arc<str>] {
         &self.categories
     }
 
@@ -141,7 +175,11 @@ impl DimensionColumn {
                 counts[code as usize] += 1;
             }
         }
-        self.categories.iter().cloned().zip(counts).collect()
+        self.categories
+            .iter()
+            .map(|c| c.to_string())
+            .zip(counts)
+            .collect()
     }
 }
 
@@ -289,6 +327,22 @@ mod tests {
         assert_eq!(col.code_of("c"), Some(2));
         assert_eq!(col.value(3), Some("c"));
         assert_eq!(col.code_of("zzz"), None);
+    }
+
+    #[test]
+    fn from_parts_validates_codes_and_shares_interned_categories() {
+        let dict: Vec<Arc<str>> = vec![Arc::from("a"), Arc::from("b")];
+        let col = DimensionColumn::from_parts(vec![0, 1, NULL_CODE, 0], dict.clone()).unwrap();
+        assert_eq!(col.len(), 4);
+        assert_eq!(col.cardinality(), 2);
+        assert_eq!(col.value(1), Some("b"));
+        assert!(col.is_null(2));
+        // The dictionary entries are shared, not re-interned.
+        assert!(Arc::ptr_eq(&col.categories()[0], &dict[0]));
+        // Out-of-range codes and duplicate categories are rejected.
+        assert!(DimensionColumn::from_parts(vec![2], dict.clone()).is_err());
+        let dup: Vec<Arc<str>> = vec![Arc::from("x"), Arc::from("x")];
+        assert!(DimensionColumn::from_parts(vec![0], dup).is_err());
     }
 
     #[test]

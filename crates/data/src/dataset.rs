@@ -170,6 +170,71 @@ impl Dataset {
     pub fn dimension_codes(&self, name: &str) -> Result<&[u32]> {
         Ok(self.dimension(name)?.codes())
     }
+
+    /// Wraps this dataset as a single-segment
+    /// [`SegmentedDataset`](crate::SegmentedDataset) — the store the online
+    /// engine operates on.  Zero-copy: the segment takes ownership of the
+    /// columns and the global dictionary shares their interned categories.
+    pub fn into_segmented(self) -> crate::SegmentedDataset {
+        crate::SegmentedDataset::from_dataset(self)
+    }
+
+    /// Assembles row-major [`Value`]s (in `schema` order) into a columnar
+    /// dataset: dimension cells must be [`Value::Category`], measure cells
+    /// [`Value::Number`], and [`Value::Null`] marks a missing cell of
+    /// either kind.  The one row-to-column codepath behind both
+    /// [`SegmentedDataset::append_rows`](crate::SegmentedDataset::append_rows)
+    /// and the serving layer's wire ingest.
+    pub fn from_rows(schema: &Schema, rows: &[Vec<Value>]) -> Result<Dataset> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != schema.len() {
+                return Err(DataError::LengthMismatch {
+                    attribute: format!("row {i}"),
+                    got: row.len(),
+                    expected: schema.len(),
+                });
+            }
+        }
+        let mut builder = DatasetBuilder::new();
+        for idx in 0..schema.len() {
+            let meta = schema.attribute(idx);
+            match meta.kind {
+                AttributeKind::Dimension => {
+                    let values: Vec<Option<&str>> = rows
+                        .iter()
+                        .map(|row| match &row[idx] {
+                            Value::Category(s) => Ok(Some(s.as_str())),
+                            Value::Null => Ok(None),
+                            Value::Number(_) => Err(DataError::WrongKind {
+                                attribute: meta.name.clone(),
+                                expected: "dimension",
+                            }),
+                        })
+                        .collect::<Result<_>>()?;
+                    builder = builder.dimension_column(
+                        &meta.name,
+                        DimensionColumn::from_optional_values(values),
+                    );
+                }
+                AttributeKind::Measure => {
+                    let values: Vec<Option<f64>> = rows
+                        .iter()
+                        .map(|row| match &row[idx] {
+                            Value::Number(x) => Ok(Some(*x)),
+                            Value::Null => Ok(None),
+                            Value::Category(_) => Err(DataError::WrongKind {
+                                attribute: meta.name.clone(),
+                                expected: "measure",
+                            }),
+                        })
+                        .collect::<Result<_>>()?;
+                    builder = builder
+                        .measure_column(&meta.name, MeasureColumn::from_optional_values(values));
+                }
+            }
+        }
+        builder.build()
+    }
 }
 
 /// Builder for [`Dataset`] values.

@@ -43,11 +43,13 @@ mod csv;
 mod dataset;
 mod discretize;
 mod error;
+mod exact;
 mod fd;
 mod filter;
 mod mask;
 mod predicate;
 mod schema;
+mod segment;
 mod subspace;
 mod value;
 
@@ -57,10 +59,12 @@ pub use csv::{read_csv_str, write_csv_string, CsvOptions};
 pub use dataset::{Dataset, DatasetBuilder};
 pub use discretize::{discretize_equal_frequency, discretize_equal_width, BinSpec, Discretizer};
 pub use error::{DataError, Result};
+pub use exact::{ExactSum, MeasureStats};
 pub use fd::{detect_fds, FdDetectionOptions, FdGraph, FunctionalDependency};
 pub use filter::Filter;
 pub use mask::RowMask;
 pub use predicate::Predicate;
 pub use schema::{AttributeKind, AttributeMeta, Schema};
+pub use segment::{Segment, SegmentedDataset};
 pub use subspace::Subspace;
 pub use value::Value;

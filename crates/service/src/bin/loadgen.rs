@@ -7,8 +7,8 @@
 //! client behind `scripts/verify.sh`.
 //!
 //! ```text
-//! loadgen --addr HOST:PORT [--v2] [--clients 1,4] [--requests N] [--model ID]
-//! loadgen --spawn [--v2] [--models DIR] [--demo syn_a,flight] [--demo-rows N]
+//! loadgen --addr HOST:PORT [--v2] [--ingest-mix PCT] [--clients 1,4] [--requests N] [--model ID]
+//! loadgen --spawn [--v2] [--ingest-mix PCT] [--models DIR] [--demo syn_a,flight] [--demo-rows N]
 //! loadgen --smoke --addr HOST:PORT
 //! ```
 //!
@@ -20,8 +20,16 @@
 //!   deterministic pseudo-random `top_k` per request (the per-request
 //!   options are part of the LRU key, so this also exercises the larger
 //!   v2 key space).
+//! * `--ingest-mix PCT` turns the closed loop into a mixed read/write
+//!   workload: each iteration issues a `POST /v2/ingest` (pseudo-randomly
+//!   varied rows derived from the model's advertised ingest templates)
+//!   with probability `PCT`%, an explain otherwise.  Ingest latencies are
+//!   reported separately (p50/p99), and the per-run cache-hit delta shows
+//!   what the generation bumps cost the LRU.
 //! * `--smoke` gates on `GET /healthz`, then issues one `/explain`, one
-//!   `/v2/explain` with a non-default `top_k`, one `/stats` and a graceful
+//!   `/v2/explain` with a non-default `top_k`, one `/v2/ingest` (asserting
+//!   the new segment in `/stats` and that a re-issued `/v2/explain`
+//!   reflects the grown store), one `/stats` and a graceful
 //!   `/admin/shutdown`, asserting each answer — used by the CI smoke test.
 //! * `XINSIGHT_BENCH_FAST=1` caps the request counts for quick runs.
 //!
@@ -38,8 +46,8 @@ use xinsight_core::json::Json;
 use xinsight_core::pipeline::XInsightOptions;
 use xinsight_core::WhyQuery;
 use xinsight_service::{
-    build_demo_bundles, explain_v2_body, wait_healthy, DemoModel, HttpClient, ModelRegistry,
-    ServerConfig,
+    build_demo_bundles, explain_v2_body, ingest_v2_body, wait_healthy, DemoModel, HttpClient,
+    ModelRegistry, ServerConfig,
 };
 
 /// A tiny deterministic LCG for the `--v2` option sampler — the workspace
@@ -68,12 +76,14 @@ struct Args {
     clients: Vec<usize>,
     requests: Option<usize>,
     model: Option<String>,
+    ingest_mix: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen (--addr HOST:PORT | --spawn) [--smoke] [--v2] [--clients 1,4] \
-         [--requests N] [--model ID] [--models DIR] [--demo syn_a,flight] [--demo-rows N]"
+        "usage: loadgen (--addr HOST:PORT | --spawn) [--smoke] [--v2] [--ingest-mix PCT] \
+         [--clients 1,4] [--requests N] [--model ID] [--models DIR] \
+         [--demo syn_a,flight] [--demo-rows N]"
     );
     std::process::exit(2);
 }
@@ -90,6 +100,7 @@ fn parse_args() -> Args {
         clients: vec![1, 4],
         requests: None,
         model: None,
+        ingest_mix: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -121,6 +132,13 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--requests" => args.requests = value("--requests").parse().ok(),
+            "--ingest-mix" => {
+                args.ingest_mix = value("--ingest-mix").parse().unwrap_or_else(|_| usage());
+                if args.ingest_mix > 100 {
+                    eprintln!("--ingest-mix must be 0..=100");
+                    usage()
+                }
+            }
             "--model" => args.model = Some(value("--model")),
             "--help" | "-h" => usage(),
             other => {
@@ -140,6 +158,8 @@ fn parse_args() -> Args {
 struct ModelInfo {
     id: String,
     queries: Vec<String>,
+    /// Ingest template rows (serialized JSON objects) for write workloads.
+    ingest_rows: Vec<String>,
 }
 
 fn fetch_models(addr: SocketAddr) -> Result<Vec<ModelInfo>, String> {
@@ -165,7 +185,16 @@ fn fetch_models(addr: SocketAddr) -> Result<Vec<ModelInfo>, String> {
                     .collect::<Result<Vec<_>, _>>()
             })
             .map_err(|e| e.to_string())?;
-        models.push(ModelInfo { id, queries });
+        let ingest_rows = entry
+            .get("ingest_template")
+            .and_then(Json::as_arr)
+            .map(|rows| rows.iter().map(|r| r.to_string()).collect())
+            .unwrap_or_default();
+        models.push(ModelInfo {
+            id,
+            queries,
+            ingest_rows,
+        });
     }
     Ok(models)
 }
@@ -243,6 +272,70 @@ fn smoke(addr: SocketAddr) -> Result<(), String> {
     }
     println!("smoke: /v2/explain (top_k=1) on `{}` ok", model.id);
 
+    // Streaming ingest: append a handful of template rows, assert the new
+    // segment shows up in /stats, and that a re-issued /v2/explain answers
+    // against the grown store (fresh generation ⇒ not a cache replay).
+    let template = model
+        .ingest_rows
+        .first()
+        .ok_or("model advertises no ingest template")?;
+    let rows = format!("[{template},{template},{template}]");
+    let resp = client
+        .post("/v2/ingest", &ingest_v2_body(&model.id, &rows))
+        .map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("POST /v2/ingest -> {}: {}", resp.status, resp.body));
+    }
+    let doc = Json::parse(&resp.body).map_err(|e| e.to_string())?;
+    let segments = doc
+        .get("segments")
+        .and_then(Json::as_u64)
+        .map_err(|e| format!("ingest body missing segments: {e}"))?;
+    if segments < 2 {
+        return Err(format!("ingest reports {segments} segments, expected >= 2"));
+    }
+    let stats = client.get("/stats").map_err(|e| e.to_string())?;
+    let doc = Json::parse(&stats.body).map_err(|e| e.to_string())?;
+    let reported = doc
+        .get("models")
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("/stats missing models: {e}"))?
+        .iter()
+        .find(|m| {
+            m.get("id")
+                .and_then(Json::as_str)
+                .map(|id| id == model.id)
+                .unwrap_or(false)
+        })
+        .and_then(|m| m.get("segments").and_then(Json::as_u64).ok())
+        .ok_or("/stats does not report the ingested model's segments")?;
+    if reported != segments {
+        return Err(format!(
+            "/stats reports {reported} segments, ingest reported {segments}"
+        ));
+    }
+    let resp = client
+        .explain_v2(&model.id, query, None)
+        .map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!(
+            "post-ingest /v2/explain -> {}: {}",
+            resp.status, resp.body
+        ));
+    }
+    let doc = Json::parse(&resp.body).map_err(|e| e.to_string())?;
+    let cached = doc
+        .get("cached")
+        .and_then(Json::as_bool)
+        .map_err(|e| format!("v2 body missing cached: {e}"))?;
+    if cached {
+        return Err("post-ingest explain replayed a pre-ingest cache entry".into());
+    }
+    println!(
+        "smoke: /v2/ingest on `{}` ok ({segments} segments)",
+        model.id
+    );
+
     let resp = client.get("/stats").map_err(|e| e.to_string())?;
     if resp.status != 200 {
         return Err(format!("GET /stats -> {}: {}", resp.status, resp.body));
@@ -278,6 +371,11 @@ struct RunResult {
     p50_us: u64,
     p99_us: u64,
     cache_hit_rate: f64,
+    /// `/v2/ingest` requests issued by the mixed workload (0 on pure-read
+    /// runs) and their exact latency percentiles.
+    ingest_requests: usize,
+    ingest_p50_us: u64,
+    ingest_p99_us: u64,
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
@@ -311,35 +409,52 @@ fn result_cache_counters(addr: SocketAddr) -> Result<(u64, u64), String> {
 /// requests against `model`, round-robining its query pool.  In `v2` mode
 /// each request goes to `POST /v2/explain` with a deterministic
 /// pseudo-random `top_k` in `1..=4` — distinct options are distinct LRU
-/// keys, so this sweeps a 4× larger key space than the v1 loop.
+/// keys, so this sweeps a 4× larger key space than the v1 loop.  With
+/// `ingest_mix > 0`, each iteration instead issues a `POST /v2/ingest`
+/// with that percent probability (pseudo-random rows derived from the
+/// model's ingest templates by perturbing the measures), making the loop a
+/// mixed read/write workload; ingest latencies are tallied separately and
+/// the cache-hit delta exposes the post-ingest LRU cost.
 fn run_closed_loop(
     addr: SocketAddr,
     model: &ModelInfo,
     clients: usize,
     requests_per_client: usize,
     v2: bool,
+    ingest_mix: u64,
 ) -> Result<RunResult, String> {
     let queries = Arc::new(model.queries.clone());
     if queries.is_empty() {
         return Err(format!("model `{}` has no example queries", model.id));
     }
+    if ingest_mix > 0 && model.ingest_rows.is_empty() {
+        return Err(format!(
+            "model `{}` advertises no ingest templates for --ingest-mix",
+            model.id
+        ));
+    }
+    let templates = Arc::new(model.ingest_rows.clone());
     let (hits_before, misses_before) = result_cache_counters(addr)?;
     let started = Instant::now();
     let mut handles = Vec::new();
     for client_id in 0..clients {
         let queries = Arc::clone(&queries);
+        let templates = Arc::clone(&templates);
         let model_id = model.id.clone();
         handles.push(std::thread::spawn(
-            move || -> Result<(Vec<u64>, usize), String> {
+            move || -> Result<(Vec<u64>, Vec<u64>, usize), String> {
                 let mut http = HttpClient::connect(addr).map_err(|e| e.to_string())?;
                 let mut sample = lcg(client_id as u64 + 1);
                 let mut latencies = Vec::with_capacity(requests_per_client);
+                let mut ingest_latencies = Vec::new();
                 let mut errors = 0usize;
                 for i in 0..requests_per_client {
-                    // Per-client offset: clients overlap on keys without moving
-                    // in lockstep.
-                    let query = &queries[(client_id * 3 + i) % queries.len()];
-                    let (path, body) = if v2 {
+                    let (path, body) = if ingest_mix > 0 && sample() % 100 < ingest_mix {
+                        let template = &templates[sample() as usize % templates.len()];
+                        let row = perturb_measures(template, sample());
+                        ("/v2/ingest", ingest_v2_body(&model_id, &format!("[{row}]")))
+                    } else if v2 {
+                        let query = &queries[(client_id * 3 + i) % queries.len()];
                         let top_k = 1 + sample() % 4;
                         let options = format!("{{\"top_k\":{top_k}}}");
                         (
@@ -347,6 +462,9 @@ fn run_closed_loop(
                             explain_v2_body(&model_id, query, Some(&options)),
                         )
                     } else {
+                        // Per-client offset: clients overlap on keys without
+                        // moving in lockstep.
+                        let query = &queries[(client_id * 3 + i) % queries.len()];
                         (
                             "/explain",
                             format!("{{\"model\":\"{model_id}\",\"query\":{query}}}"),
@@ -355,27 +473,35 @@ fn run_closed_loop(
                     let t0 = Instant::now();
                     match http.post(path, &body) {
                         Ok(resp) if resp.status == 200 => {
-                            latencies.push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                            let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                            if path == "/v2/ingest" {
+                                ingest_latencies.push(us);
+                            } else {
+                                latencies.push(us);
+                            }
                         }
                         Ok(_) => errors += 1,
                         Err(e) => return Err(format!("client {client_id}: {e}")),
                     }
                 }
-                Ok((latencies, errors))
+                Ok((latencies, ingest_latencies, errors))
             },
         ));
     }
     let mut latencies = Vec::new();
+    let mut ingest_latencies = Vec::new();
     let mut errors = 0usize;
     for handle in handles {
-        let (mut l, e) = handle
+        let (mut l, mut il, e) = handle
             .join()
             .map_err(|_| "client thread panicked".to_owned())??;
         latencies.append(&mut l);
+        ingest_latencies.append(&mut il);
         errors += e;
     }
     let seconds = started.elapsed().as_secs_f64();
     latencies.sort_unstable();
+    ingest_latencies.sort_unstable();
 
     // This run's own cache effectiveness: the counter deltas across it.
     let (hits_after, misses_after) = result_cache_counters(addr)?;
@@ -387,23 +513,53 @@ fn run_closed_loop(
         delta_hits as f64 / delta_lookups as f64
     };
 
+    let total = latencies.len() + ingest_latencies.len();
     Ok(RunResult {
         name: format!(
-            "{}/clients{}{}",
+            "{}/clients{}{}{}",
             model.id,
             clients,
-            if v2 { "/v2" } else { "" }
+            if v2 { "/v2" } else { "" },
+            if ingest_mix > 0 {
+                format!("/ingest{ingest_mix}")
+            } else {
+                String::new()
+            }
         ),
         model: model.id.clone(),
         clients,
-        requests: latencies.len(),
+        requests: total,
         errors,
         seconds,
-        throughput_rps: latencies.len() as f64 / seconds.max(1e-9),
+        throughput_rps: total as f64 / seconds.max(1e-9),
         p50_us: percentile(&latencies, 0.50),
         p99_us: percentile(&latencies, 0.99),
         cache_hit_rate,
+        ingest_requests: ingest_latencies.len(),
+        ingest_p50_us: percentile(&ingest_latencies, 0.50),
+        ingest_p99_us: percentile(&ingest_latencies, 0.99),
     })
+}
+
+/// Derives a pseudo-random ingest row from a template row object by
+/// perturbing every numeric (measure) field with a small deterministic
+/// jitter — realistic "new" rows without shipping the generators over the
+/// wire.  Dimension values are kept, so the row stays schema-valid.
+fn perturb_measures(template: &str, salt: u64) -> String {
+    let Ok(Json::Obj(fields)) = Json::parse(template) else {
+        return template.to_owned();
+    };
+    let jitter = (salt % 1000) as f64 / 1000.0;
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(name, value)| match value {
+                Json::Num(x) => (name, Json::Num(x + jitter)),
+                other => (name, other),
+            })
+            .collect(),
+    )
+    .to_string()
 }
 
 fn write_bench_json(threads: usize, results: &[RunResult]) {
@@ -417,7 +573,8 @@ fn write_bench_json(threads: usize, results: &[RunResult]) {
         out.push_str(&format!(
             "{{\"name\":\"{}\",\"model\":\"{}\",\"clients\":{},\"requests\":{},\
              \"errors\":{},\"seconds\":{:.6},\"throughput_rps\":{:.3},\
-             \"p50_us\":{},\"p99_us\":{},\"cache_hit_rate\":{:.4}}}",
+             \"p50_us\":{},\"p99_us\":{},\"cache_hit_rate\":{:.4},\
+             \"ingest_requests\":{},\"ingest_p50_us\":{},\"ingest_p99_us\":{}}}",
             r.name,
             r.model,
             r.clients,
@@ -427,7 +584,10 @@ fn write_bench_json(threads: usize, results: &[RunResult]) {
             r.throughput_rps,
             r.p50_us,
             r.p99_us,
-            r.cache_hit_rate
+            r.cache_hit_rate,
+            r.ingest_requests,
+            r.ingest_p50_us,
+            r.ingest_p99_us
         ));
     }
     out.push_str("]}\n");
@@ -534,28 +694,62 @@ fn run_bench(addr: SocketAddr, args: &Args, fast: bool, threads: usize) -> Resul
         None => models.iter().collect(),
     };
     println!(
-        "\n## serve loadgen ({requests_per_client} requests/client, closed loop{})\n",
-        if args.v2 { ", /v2/explain" } else { "" }
+        "\n## serve loadgen ({requests_per_client} requests/client, closed loop{}{})\n",
+        if args.v2 { ", /v2/explain" } else { "" },
+        if args.ingest_mix > 0 {
+            format!(", {}% ingest mix", args.ingest_mix)
+        } else {
+            String::new()
+        }
     );
+    // With an ingest mix, also run the pure-read baseline at each point so
+    // the emitted BENCH_serve.json carries both sides of the comparison.
+    // The mix is the OUTER loop: every baseline runs before the first
+    // ingest, so baselines measure the pristine single-segment stores and
+    // warm LRU rather than whatever segments/invalidations an earlier
+    // mixed run left behind on the shared server.
+    let mixes: Vec<u64> = if args.ingest_mix > 0 {
+        vec![0, args.ingest_mix]
+    } else {
+        vec![0]
+    };
     let mut results = Vec::new();
-    for model in models {
-        for &clients in &args.clients {
-            let run = run_closed_loop(addr, model, clients.max(1), requests_per_client, args.v2)?;
-            println!(
-                "{:<22} {:>8.1} req/s   p50 {:>8.3} ms   p99 {:>8.3} ms   \
+    for &mix in &mixes {
+        for model in &models {
+            for &clients in &args.clients {
+                let run = run_closed_loop(
+                    addr,
+                    model,
+                    clients.max(1),
+                    requests_per_client,
+                    args.v2,
+                    mix,
+                )?;
+                print!(
+                    "{:<30} {:>8.1} req/s   p50 {:>8.3} ms   p99 {:>8.3} ms   \
                  {} ok / {} err   cache hit rate {:.2}",
-                run.name,
-                run.throughput_rps,
-                run.p50_us as f64 / 1e3,
-                run.p99_us as f64 / 1e3,
-                run.requests,
-                run.errors,
-                run.cache_hit_rate,
-            );
-            if run.errors > 0 && run.requests == 0 {
-                return Err(format!("{}: every request failed", run.name));
+                    run.name,
+                    run.throughput_rps,
+                    run.p50_us as f64 / 1e3,
+                    run.p99_us as f64 / 1e3,
+                    run.requests,
+                    run.errors,
+                    run.cache_hit_rate,
+                );
+                if run.ingest_requests > 0 {
+                    print!(
+                        "   ingest ×{} p50 {:.3} ms p99 {:.3} ms",
+                        run.ingest_requests,
+                        run.ingest_p50_us as f64 / 1e3,
+                        run.ingest_p99_us as f64 / 1e3,
+                    );
+                }
+                println!();
+                if run.errors > 0 && run.requests == 0 {
+                    return Err(format!("{}: every request failed", run.name));
+                }
+                results.push(run);
             }
-            results.push(run);
         }
     }
     write_bench_json(threads, &results);

@@ -48,6 +48,17 @@ pub fn explain_v2_body(model: &str, query_json: &str, options_json: Option<&str>
     body
 }
 
+/// Assembles a `POST /v2/ingest` body from a model id and a pre-serialized
+/// JSON array of row objects (e.g. `[{"Month":"May","DelayMinute":42}]`).
+pub fn ingest_v2_body(model: &str, rows_json: &str) -> String {
+    let mut body = String::from("{\"model\":");
+    xinsight_core::json::Json::Str(model.to_owned()).write(&mut body);
+    body.push_str(",\"rows\":");
+    body.push_str(rows_json);
+    body.push('}');
+    body
+}
+
 /// Polls `GET /healthz` (reconnecting each attempt) until the server
 /// answers `200` or `timeout` elapses.
 ///
@@ -116,6 +127,13 @@ impl HttpClient {
     ) -> Result<ClientResponse> {
         let body = explain_v2_body(model, query_json, options_json);
         self.post("/v2/explain", &body)
+    }
+
+    /// Issues a `POST /v2/ingest`, appending rows (a pre-serialized JSON
+    /// array of row objects) to the model's segmented store.
+    pub fn ingest_v2(&mut self, model: &str, rows_json: &str) -> Result<ClientResponse> {
+        let body = ingest_v2_body(model, rows_json);
+        self.post("/v2/ingest", &body)
     }
 
     fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> Result<ClientResponse> {

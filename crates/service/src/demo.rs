@@ -129,8 +129,8 @@ pub fn demo_queries(data: &Dataset, limit: usize) -> Result<Vec<WhyQuery>> {
                 queries.push(WhyQuery::new(
                     *measure,
                     aggregate,
-                    Subspace::of(dim, categories[round].clone()),
-                    Subspace::of(dim, categories[round + 1].clone()),
+                    Subspace::of(dim, categories[round].as_ref()),
+                    Subspace::of(dim, categories[round + 1].as_ref()),
                 )?);
                 grew = true;
             }

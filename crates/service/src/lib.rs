@@ -49,8 +49,9 @@
 //! | `POST /explain_batch` | `{"model", "queries"}` | v1: per-query results, shared `SelectionCache` |
 //! | `POST /v2/explain` | `{"model", "query", "options"?}` | full envelope: ranked+scored, markers, provenance |
 //! | `POST /v2/explain_batch` | `{"model", "queries", "options"?}` | per-query v2 envelopes |
-//! | `GET /models` | — | loaded models + example queries |
-//! | `GET /stats` | — | QPS, latency, cache hit rates |
+//! | `POST /v2/ingest` | `{"model", "rows"}` | appends a sealed segment, bumps the generation — no reload |
+//! | `GET /models` | — | loaded models + example queries + ingest templates |
+//! | `GET /stats` | — | QPS, latency, cache hit rates, per-model segments/rows/epoch |
 //! | `POST /admin/reload` | `{"model"}` | atomic hot-reload of one bundle |
 //! | `POST /admin/shutdown` | — | graceful shutdown |
 //!
@@ -69,7 +70,7 @@ pub mod server;
 pub mod stats;
 pub mod wire;
 
-pub use client::{explain_v2_body, wait_healthy, ClientResponse, HttpClient};
+pub use client::{explain_v2_body, ingest_v2_body, wait_healthy, ClientResponse, HttpClient};
 pub use demo::{build_demo_bundles, demo_queries, demo_v2_options, DemoModel};
 pub use lru::{CacheKey, ResultCache, ResultCacheStats};
 pub use registry::{save_bundle, LoadedModel, ModelRegistry};

@@ -22,18 +22,22 @@
 //! for the pointer swap.
 
 use crate::demo_queries;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use xinsight_core::json::Json;
 use xinsight_core::pipeline::{XInsight, XInsightOptions};
 use xinsight_core::{FittedModel, WhyQuery};
-use xinsight_data::{read_csv_str, write_csv_string, CsvOptions, DataError, Dataset, Result};
+use xinsight_data::{
+    read_csv_str, write_csv_string, CsvOptions, DataError, Dataset, Result, Value,
+};
 use xinsight_stats::CacheStats;
 
-/// Version stamp of the bundle metadata format.
-pub const META_FORMAT_VERSION: u64 = 1;
+/// Version stamp of the bundle metadata format (v2 added the `store`
+/// section: segments / rows / epoch of the engine's segmented store at
+/// save time).
+pub const META_FORMAT_VERSION: u64 = 2;
 
 /// One loaded model: the warm engine plus its serving metadata.
 #[derive(Debug)]
@@ -42,13 +46,19 @@ pub struct LoadedModel {
     pub id: String,
     /// The reconstructed engine, ready to answer queries.
     pub engine: XInsight,
-    /// Rows of the raw dataset the bundle shipped.
+    /// Rows served: the raw bundle rows, plus every row ingested since.
     pub n_rows: usize,
-    /// Reload generation: 1 for the first load, +1 per hot-reload.
+    /// Swap generation: 1 for the first load, +1 per hot-reload **and**
+    /// per ingest (each swaps in a new engine, so LRU keys carrying the
+    /// generation roll over either way).
     pub generation: u64,
     /// Example queries the bundle ships for smoke tests and load
     /// generation (may be empty).
     pub example_queries: Vec<WhyQuery>,
+    /// Example raw rows (serialized JSON objects in the `/v2/ingest` row
+    /// shape), derived from the bundle's dataset — ingest templates for
+    /// smoke tests and mixed read/write load generation.
+    pub example_rows: Vec<String>,
     /// Fit-time CI-test cache counters, restored from the bundle metadata.
     pub ci_cache_stats: CacheStats,
 }
@@ -59,6 +69,10 @@ pub struct ModelRegistry {
     dir: PathBuf,
     options: XInsightOptions,
     models: RwLock<HashMap<String, Arc<LoadedModel>>>,
+    /// Serializes engine swaps (bundle loads and ingests) per registry, so
+    /// two concurrent ingests cannot both build on the same predecessor
+    /// and silently drop one batch.  Readers never take it.
+    swap_lock: Mutex<()>,
 }
 
 /// Bundle ids double as file stems and appear in wire requests, so they are
@@ -117,6 +131,7 @@ impl ModelRegistry {
             dir: dir.as_ref().to_owned(),
             options,
             models: RwLock::new(HashMap::new()),
+            swap_lock: Mutex::new(()),
         }
     }
 
@@ -153,6 +168,8 @@ impl ModelRegistry {
         let data = read_csv_str(&csv_text, &csv_options)?;
         let model = FittedModel::load(&model_path)?;
         let engine = XInsight::from_fitted(&data, model, &self.options)?;
+        let example_rows = example_rows_of(&data, 4);
+        let _guard = self.swap_lock.lock();
         let generation = self
             .models
             .read()
@@ -165,7 +182,42 @@ impl ModelRegistry {
             n_rows: data.n_rows(),
             generation,
             example_queries: meta.example_queries,
+            example_rows,
             ci_cache_stats: meta.ci_cache_stats,
+        });
+        self.models
+            .write()
+            .insert(id.to_owned(), Arc::clone(&loaded));
+        Ok(loaded)
+    }
+
+    /// Appends a validated batch of raw rows to one model's segmented
+    /// store: builds a successor engine via
+    /// [`XInsight::with_ingested`] (the fitted model is shared, only the
+    /// new segment is materialized) and **atomically swaps** it in with a
+    /// bumped generation.  In-flight requests holding the old `Arc` finish
+    /// on their snapshot; nothing is invalidated — the new segment is pure
+    /// growth.  Concurrent ingests and reloads are serialized by the
+    /// registry's swap lock, so no batch is ever lost.
+    ///
+    /// The ingest is in-memory: it survives until the next
+    /// [`ModelRegistry::load`] of the bundle (which restores the on-disk
+    /// state).  Durable ingest would append to the bundle CSV; that is
+    /// deliberately out of scope here.
+    pub fn ingest(&self, id: &str, batch: &Dataset) -> Result<Arc<LoadedModel>> {
+        let _guard = self.swap_lock.lock();
+        let current = self
+            .get(id)
+            .ok_or_else(|| DataError::Serve(format!("model `{id}` is not loaded")))?;
+        let engine = current.engine.with_ingested(batch)?;
+        let loaded = Arc::new(LoadedModel {
+            id: id.to_owned(),
+            engine,
+            n_rows: current.n_rows + batch.n_rows(),
+            generation: current.generation + 1,
+            example_queries: current.example_queries.clone(),
+            example_rows: current.example_rows.clone(),
+            ci_cache_stats: current.ci_cache_stats,
         });
         self.models
             .write()
@@ -216,6 +268,30 @@ impl ModelRegistry {
     }
 }
 
+/// Serializes the first `limit` raw rows of a dataset as `/v2/ingest`-shaped
+/// JSON row objects — the ingest templates `GET /models` advertises so wire
+/// clients (smoke test, `loadgen --ingest-mix`) can write without knowing
+/// the schema out of band.
+fn example_rows_of(data: &Dataset, limit: usize) -> Vec<String> {
+    (0..data.n_rows().min(limit))
+        .map(|row| {
+            let fields: Vec<(String, Json)> = data
+                .schema()
+                .iter()
+                .map(|meta| {
+                    let value = match data.value(row, &meta.name) {
+                        Ok(Value::Category(s)) => Json::Str(s),
+                        Ok(Value::Number(x)) => Json::Num(x),
+                        _ => Json::Null,
+                    };
+                    (meta.name.clone(), value)
+                })
+                .collect();
+            Json::Obj(fields).to_string()
+        })
+        .collect()
+}
+
 /// The three file paths of a bundle: `(meta, model, csv)`.
 pub fn bundle_paths(dir: &Path, id: &str) -> (PathBuf, PathBuf, PathBuf) {
     (
@@ -259,9 +335,25 @@ pub fn save_bundle(
             .collect(),
         example_queries: example_queries.to_vec(),
         ci_cache_stats: engine.learner_result().ci_cache_stats,
+        store: StoreMeta {
+            segments: engine.data().n_segments(),
+            rows: engine.data().n_rows(),
+            epoch: engine.data().epoch(),
+        },
     };
     std::fs::write(&meta_path, meta.to_json())
         .map_err(|e| DataError::Serve(format!("writing {}: {e}", meta_path.display())))
+}
+
+/// The segmented-store shape of the engine at bundle-save time, surfaced in
+/// the bundle metadata so operators can see what a bundle holds without
+/// loading it.  (A bundle's CSV is always re-loaded as one base segment;
+/// ingested segments are in-memory and not persisted.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StoreMeta {
+    segments: usize,
+    rows: usize,
+    epoch: u64,
 }
 
 /// The decoded `<id>.meta.json` document.
@@ -272,6 +364,7 @@ struct BundleMeta {
     measures: Vec<String>,
     example_queries: Vec<WhyQuery>,
     ci_cache_stats: CacheStats,
+    store: StoreMeta,
 }
 
 impl BundleMeta {
@@ -312,6 +405,14 @@ impl BundleMeta {
                     ),
                 ]),
             ),
+            (
+                "store".to_owned(),
+                Json::Obj(vec![
+                    ("segments".to_owned(), Json::Num(self.store.segments as f64)),
+                    ("rows".to_owned(), Json::Num(self.store.rows as f64)),
+                    ("epoch".to_owned(), Json::Num(self.store.epoch as f64)),
+                ]),
+            ),
         ])
         .to_string()
     }
@@ -327,6 +428,7 @@ impl BundleMeta {
             )));
         }
         let ci = doc.get("ci_cache")?;
+        let store = doc.get("store")?;
         Ok(BundleMeta {
             id: doc.get("id")?.as_str()?.to_owned(),
             dimensions: doc.get("dimensions")?.as_string_vec()?,
@@ -341,6 +443,11 @@ impl BundleMeta {
                 hits: ci.get("hits")?.as_u64()?,
                 misses: ci.get("misses")?.as_u64()?,
                 entries: 0,
+            },
+            store: StoreMeta {
+                segments: store.get("segments")?.as_u64()? as usize,
+                rows: store.get("rows")?.as_u64()? as usize,
+                epoch: store.get("epoch")?.as_u64()?,
             },
         })
     }
@@ -441,6 +548,41 @@ mod tests {
             explain(&second.engine, &tiny_query())
         );
         assert_eq!(registry.get("m").unwrap().generation, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ingest_swaps_generation_and_grows_the_store() {
+        let dir = temp_dir("ingest");
+        let data = tiny_data();
+        let registry = ModelRegistry::open_empty(&dir, XInsightOptions::default());
+        registry
+            .fit_and_save("m", &data, vec![tiny_query()])
+            .unwrap();
+        let first = registry.load("m").unwrap();
+        assert_eq!(first.engine.data().n_segments(), 1);
+        assert!(!first.example_rows.is_empty());
+        // Ingest a small batch (here: a re-send of the first six raw rows).
+        let batch = data
+            .filter_rows(&xinsight_data::RowMask::from_bools(
+                (0..data.n_rows()).map(|i| i < 6),
+            ))
+            .unwrap();
+        let second = registry.ingest("m", &batch).unwrap();
+        assert_eq!(second.generation, first.generation + 1);
+        assert_eq!(second.engine.data().n_segments(), 2);
+        assert_eq!(second.engine.data().epoch(), 1);
+        assert_eq!(second.n_rows, first.n_rows + 6);
+        assert_eq!(registry.get("m").unwrap().generation, second.generation);
+        // The pre-ingest snapshot is untouched (in-flight requests finish
+        // on the store they started with).
+        assert_eq!(first.engine.data().n_segments(), 1);
+        // A reload restores the on-disk state: ingest is in-memory.
+        let reloaded = registry.load("m").unwrap();
+        assert_eq!(reloaded.engine.data().n_segments(), 1);
+        assert_eq!(reloaded.generation, second.generation + 1);
+        // Ingesting into an unknown id is a structured error.
+        assert!(registry.ingest("ghost", &batch).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

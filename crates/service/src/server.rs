@@ -367,6 +367,7 @@ fn route(shared: &Shared, request: &Request) -> (Response, bool) {
         ("POST", "/explain_batch") => (handle_explain_batch(shared, &request.body), false),
         ("POST", "/v2/explain") => (handle_explain_v2(shared, &request.body), false),
         ("POST", "/v2/explain_batch") => (handle_explain_batch_v2(shared, &request.body), false),
+        ("POST", "/v2/ingest") => (handle_ingest_v2(shared, &request.body), false),
         ("GET", "/models") => (handle_models(shared), false),
         ("GET", "/stats") => (handle_stats(shared), false),
         ("POST", "/admin/reload") => (handle_reload(shared, &request.body), false),
@@ -377,7 +378,7 @@ fn route(shared: &Shared, request: &Request) -> (Response, bool) {
         (
             "GET" | "POST",
             "/healthz" | "/explain" | "/explain_batch" | "/v2/explain" | "/v2/explain_batch"
-            | "/models" | "/stats" | "/admin/reload" | "/admin/shutdown",
+            | "/v2/ingest" | "/models" | "/stats" | "/admin/reload" | "/admin/shutdown",
         ) => (Response::error(405, "method not allowed"), false),
         _ => (
             Response::error(404, &format!("no such endpoint `{}`", request.path)),
@@ -630,6 +631,55 @@ fn handle_explain_batch_v2(shared: &Shared, body: &[u8]) -> Response {
     Response::json(200, wire::explain_batch_v2_response(&model.id, &results))
 }
 
+/// `POST /v2/ingest`: validates the wire rows against the model's raw
+/// schema, appends them as one sealed segment (atomic engine swap with a
+/// generation bump — in-flight requests finish on their old snapshot) and
+/// reports the new store shape.  No model reload happens; the fitted causal
+/// model is shared and the new rows are immediately explainable.
+fn handle_ingest_v2(shared: &Shared, body: &[u8]) -> Response {
+    let request = match wire::IngestV2::parse(body) {
+        Ok(r) => r,
+        Err(e) => return error_response_v2(&e),
+    };
+    let Some(model) = shared.registry.get(&request.model) else {
+        return model_not_found_v2(&request.model);
+    };
+    let batch = match wire::rows_to_dataset(model.engine.raw_schema(), &request.rows) {
+        Ok(b) => b,
+        Err(e) => return error_response_v2(&e),
+    };
+    match shared.registry.ingest(&request.model, &batch) {
+        Ok(loaded) => {
+            // Old-generation LRU entries are unreachable already (the
+            // generation is part of the key); dropping them reclaims their
+            // byte budget immediately.
+            shared.cache.invalidate_model(&request.model);
+            shared.stats.ingest_v2.fetch_add(1, Ordering::Relaxed);
+            let store = loaded.engine.data();
+            // `ingested` counts rows actually sealed into the store — the
+            // new segment's size; rows the engine's preprocessing dropped
+            // (missing cells) are reported separately so the arithmetic
+            // always reconciles for clients.
+            let sealed = store.segments().last().map(|s| s.n_rows()).unwrap_or(0);
+            Response::json(
+                200,
+                format!(
+                    "{{\"model\":\"{}\",\"ingested\":{},\"dropped_null_rows\":{},\
+                     \"rows\":{},\"segments\":{},\"epoch\":{},\"generation\":{}}}",
+                    loaded.id,
+                    sealed,
+                    batch.n_rows().saturating_sub(sealed),
+                    store.n_rows(),
+                    store.n_segments(),
+                    store.epoch(),
+                    loaded.generation
+                ),
+            )
+        }
+        Err(e) => error_response_v2(&e),
+    }
+}
+
 fn handle_models(shared: &Shared) -> Response {
     use xinsight_core::json::Json;
     let models: Vec<Json> = shared
@@ -637,6 +687,7 @@ fn handle_models(shared: &Shared) -> Response {
         .models()
         .iter()
         .map(|m| {
+            let store = m.engine.data();
             Json::Obj(vec![
                 ("id".to_owned(), Json::Str(m.id.clone())),
                 ("rows".to_owned(), Json::Num(m.n_rows as f64)),
@@ -645,12 +696,24 @@ fn handle_models(shared: &Shared) -> Response {
                     Json::Num(m.engine.graph().n_nodes() as f64),
                 ),
                 ("generation".to_owned(), Json::Num(m.generation as f64)),
+                ("segments".to_owned(), Json::Num(store.n_segments() as f64)),
+                ("epoch".to_owned(), Json::Num(store.epoch() as f64)),
+                ("store_rows".to_owned(), Json::Num(store.n_rows() as f64)),
                 (
                     "example_queries".to_owned(),
                     Json::Arr(
                         m.example_queries
                             .iter()
                             .map(|q| q.to_json_value())
+                            .collect(),
+                    ),
+                ),
+                (
+                    "ingest_template".to_owned(),
+                    Json::Arr(
+                        m.example_rows
+                            .iter()
+                            .filter_map(|row| Json::parse(row).ok())
                             .collect(),
                     ),
                 ),
@@ -672,16 +735,34 @@ fn handle_models(shared: &Shared) -> Response {
 }
 
 fn handle_stats(shared: &Shared) -> Response {
-    let ci: CacheStats = shared
-        .registry
-        .models()
+    use xinsight_core::json::Json;
+    let models = shared.registry.models();
+    let ci: CacheStats = models
         .iter()
         .map(|m| m.ci_cache_stats)
         .fold(CacheStats::default(), CacheStats::merged);
+    // Per-model store shape: how segmented each served store currently is,
+    // how many rows it holds, and its ingest epoch.
+    let model_stores = Json::Arr(
+        models
+            .iter()
+            .map(|m| {
+                let store = m.engine.data();
+                Json::Obj(vec![
+                    ("id".to_owned(), Json::Str(m.id.clone())),
+                    ("generation".to_owned(), Json::Num(m.generation as f64)),
+                    ("segments".to_owned(), Json::Num(store.n_segments() as f64)),
+                    ("rows".to_owned(), Json::Num(store.n_rows() as f64)),
+                    ("epoch".to_owned(), Json::Num(store.epoch() as f64)),
+                ])
+            })
+            .collect(),
+    );
     let queue_depth = shared.queue.lock().expect("queue lock").len();
     let doc = shared.stats.to_json(
         &shared.cache.stats(),
         ci,
+        model_stores,
         queue_depth,
         shared.queue_capacity,
         shared.workers,
@@ -1026,6 +1107,69 @@ mod tests {
             .unwrap()
             .contains("bogus"));
 
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ingest_over_http_round_trips_without_a_reload() {
+        let (handle, dir) = start_tiny("ingest", ServerConfig::default());
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let query_body = format!(
+            "{{\"model\":\"tiny\",\"query\":{}}}",
+            tiny_query().to_json()
+        );
+        // Warm the LRU, confirm the hit.
+        assert_eq!(client.post("/explain", &query_body).unwrap().status, 200);
+        let doc = Json::parse(&client.post("/explain", &query_body).unwrap().body).unwrap();
+        assert!(doc.get("cached").unwrap().as_bool().unwrap());
+        // /models advertises the store shape and ingest templates.
+        let models = client.get("/models").unwrap();
+        let doc = Json::parse(&models.body).unwrap();
+        let entry = &doc.as_arr().unwrap()[0];
+        assert_eq!(entry.get("segments").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(entry.get("epoch").unwrap().as_u64().unwrap(), 0);
+        let template = entry.get("ingest_template").unwrap().as_arr().unwrap();
+        assert!(!template.is_empty());
+        let rows = format!("[{},{}]", template[0], template[0]);
+        // Ingest two rows: a new sealed segment, epoch + 1, generation + 1.
+        let resp = client.ingest_v2("tiny", &rows).unwrap();
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+        let doc = Json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("ingested").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(doc.get("segments").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(doc.get("epoch").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(doc.get("generation").unwrap().as_u64().unwrap(), 2);
+        // /stats surfaces the per-model store shape.
+        let stats = client.get("/stats").unwrap();
+        let doc = Json::parse(&stats.body).unwrap();
+        let entry = &doc.get("models").unwrap().as_arr().unwrap()[0];
+        assert_eq!(entry.get("segments").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(entry.get("epoch").unwrap().as_u64().unwrap(), 1);
+        assert!(
+            doc.get("requests")
+                .unwrap()
+                .get("ingest_v2")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                == 1
+        );
+        // A re-issued explain answers against the grown store: the old
+        // cached entry is unreachable (generation rolled), so this is a
+        // fresh computation over two segments.
+        let doc = Json::parse(&client.post("/explain", &query_body).unwrap().body).unwrap();
+        assert!(
+            !doc.get("cached").unwrap().as_bool().unwrap(),
+            "post-ingest explains must not replay pre-ingest answers"
+        );
+        // Validation errors are structured v2 errors.
+        let resp = client.ingest_v2("tiny", "[{\"Ghost\":1}]").unwrap();
+        assert_eq!(resp.status, 400, "body: {}", resp.body);
+        let doc = Json::parse(&resp.body).unwrap();
+        assert_eq!(doc.get("code").unwrap().as_str().unwrap(), "serve");
+        let resp = client.ingest_v2("ghost", "[{\"X\":\"a\"}]").unwrap();
+        assert_eq!(resp.status, 404);
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

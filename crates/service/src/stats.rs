@@ -107,6 +107,8 @@ pub struct ServerStats {
     pub explain_v2: AtomicU64,
     /// `POST /v2/explain_batch` requests answered.
     pub explain_batch_v2: AtomicU64,
+    /// `POST /v2/ingest` requests answered (segments appended).
+    pub ingest_v2: AtomicU64,
     /// Individual queries inside batch requests (v1 and v2).
     pub batch_queries: AtomicU64,
     /// `GET /models` requests answered.
@@ -138,6 +140,7 @@ impl Default for ServerStats {
             explain_batch: AtomicU64::new(0),
             explain_v2: AtomicU64::new(0),
             explain_batch_v2: AtomicU64::new(0),
+            ingest_v2: AtomicU64::new(0),
             batch_queries: AtomicU64::new(0),
             models: AtomicU64::new(0),
             stats: AtomicU64::new(0),
@@ -167,6 +170,7 @@ impl ServerStats {
             + self.explain_batch.load(Ordering::Relaxed)
             + self.explain_v2.load(Ordering::Relaxed)
             + self.explain_batch_v2.load(Ordering::Relaxed)
+            + self.ingest_v2.load(Ordering::Relaxed)
             + self.models.load(Ordering::Relaxed)
             + self.stats.load(Ordering::Relaxed)
             + self.admin.load(Ordering::Relaxed)
@@ -174,12 +178,14 @@ impl ServerStats {
             + self.server_errors.load(Ordering::Relaxed)
     }
 
-    /// The `/stats` JSON document.  `result_cache` and the per-model CI
-    /// stats are owned elsewhere and passed in for the snapshot.
+    /// The `/stats` JSON document.  `result_cache`, the per-model CI stats
+    /// and the per-model store shapes (`models`: id / generation / segments
+    /// / rows / epoch) are owned elsewhere and passed in for the snapshot.
     pub fn to_json(
         &self,
         result_cache: &crate::lru::ResultCacheStats,
         ci_cache: CacheStats,
+        models: Json,
         queue_depth: usize,
         queue_capacity: usize,
         workers: usize,
@@ -208,6 +214,7 @@ impl ServerStats {
                     ("explain_batch".to_owned(), load(&self.explain_batch)),
                     ("explain_v2".to_owned(), load(&self.explain_v2)),
                     ("explain_batch_v2".to_owned(), load(&self.explain_batch_v2)),
+                    ("ingest_v2".to_owned(), load(&self.ingest_v2)),
                     ("batch_queries".to_owned(), load(&self.batch_queries)),
                     ("models".to_owned(), load(&self.models)),
                     ("stats".to_owned(), load(&self.stats)),
@@ -218,6 +225,7 @@ impl ServerStats {
                 ]),
             ),
             ("latency".to_owned(), self.latency.to_json()),
+            ("models".to_owned(), models),
             (
                 "queue".to_owned(),
                 Json::Obj(vec![
@@ -307,6 +315,7 @@ mod tests {
         let doc = stats.to_json(
             &crate::lru::ResultCacheStats::default(),
             CacheStats::default(),
+            Json::Arr(Vec::new()),
             2,
             64,
             4,

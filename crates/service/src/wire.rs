@@ -32,7 +32,7 @@ use xinsight_core::json::Json;
 use xinsight_core::{
     ExplainRequest, ExplainResponse, Explanation, ExplanationType, Provenance, WhyQuery,
 };
-use xinsight_data::{DataError, Predicate, Result};
+use xinsight_data::{DataError, Dataset, Predicate, Result, Schema, Value};
 
 /// A parsed `POST /explain` body: `{"model": "...", "query": {...}}`.
 #[derive(Debug, Clone, PartialEq)]
@@ -297,6 +297,111 @@ impl ExplainBatchV2 {
 /// A parsed `POST /admin/reload` body: `{"model": "..."}`.
 pub fn parse_reload_request(body: &[u8]) -> Result<String> {
     model_of(&parse_body(body)?)
+}
+
+/// Upper bound on the number of rows one ingest request may carry — keeps a
+/// single request from monopolizing a worker (and a segment from growing
+/// unboundedly); stream larger loads as several batches.
+pub const MAX_INGEST_ROWS: usize = 4096;
+
+/// A parsed `POST /v2/ingest` body:
+///
+/// ```json
+/// {"model": "flight", "rows": [{"Month": "May", "Rain": "Yes", "DelayMinute": 42.0}, ...]}
+/// ```
+///
+/// Each row is an object mapping attribute names to values: strings for
+/// dimensions, numbers for measures, `null` for a missing cell.  Rows are
+/// kept as name/value pairs here; [`rows_to_dataset`] validates them
+/// against the target model's raw schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestV2 {
+    /// The registry id of the model to append to.
+    pub model: String,
+    /// The rows, each as `(attribute, value)` pairs in wire order.
+    pub rows: Vec<Vec<(String, Value)>>,
+}
+
+impl IngestV2 {
+    /// Parses and validates a `POST /v2/ingest` body (schema validation
+    /// happens later, against the model, in [`rows_to_dataset`]).
+    pub fn parse(body: &[u8]) -> Result<Self> {
+        let doc = parse_body(body)?;
+        let model = model_of(&doc)?;
+        let rows_doc = doc.get("rows")?.as_arr()?;
+        if rows_doc.is_empty() {
+            return Err(DataError::Serve("`rows` must be non-empty".into()));
+        }
+        if rows_doc.len() > MAX_INGEST_ROWS {
+            return Err(DataError::Serve(format!(
+                "ingest of {} rows exceeds the limit of {MAX_INGEST_ROWS}; send several batches",
+                rows_doc.len()
+            )));
+        }
+        let mut rows = Vec::with_capacity(rows_doc.len());
+        for (i, row) in rows_doc.iter().enumerate() {
+            let Json::Obj(fields) = row else {
+                return Err(DataError::Serve(format!(
+                    "row {i} must be an object of attribute → value"
+                )));
+            };
+            let mut cells = Vec::with_capacity(fields.len());
+            for (name, value) in fields {
+                let value = match value {
+                    Json::Str(s) => Value::Category(s.clone()),
+                    Json::Num(x) => Value::Number(*x),
+                    Json::Null => Value::Null,
+                    other => {
+                        return Err(DataError::Serve(format!(
+                            "row {i} attribute `{name}`: unsupported value {other} \
+                             (use a string, a number or null)"
+                        )));
+                    }
+                };
+                cells.push((name.clone(), value));
+            }
+            rows.push(cells);
+        }
+        Ok(IngestV2 { model, rows })
+    }
+}
+
+/// Validates wire ingest rows against a model's raw schema and assembles
+/// them into the batch [`Dataset`] the engine appends: every attribute of
+/// the schema must be present exactly once per row, dimension cells must be
+/// strings and measure cells numbers (`null` marks a missing cell of either
+/// kind — such rows are dropped by the engine's preprocessing).  The
+/// name-to-position mapping happens here; the row-to-column assembly and
+/// kind checking are the engine's own [`Dataset::from_rows`] codepath, so
+/// wire ingest and library ingest can never diverge.
+pub fn rows_to_dataset(schema: &Schema, rows: &[Vec<(String, Value)>]) -> Result<Dataset> {
+    let mut cells: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let mut ordered = vec![Value::Null; schema.len()];
+        let mut seen = vec![false; schema.len()];
+        for (name, value) in row {
+            let idx = schema.index_of(name).map_err(|_| {
+                DataError::Serve(format!(
+                    "row {i}: attribute `{name}` is not part of the model schema"
+                ))
+            })?;
+            if seen[idx] {
+                return Err(DataError::Serve(format!(
+                    "row {i}: attribute `{name}` appears twice"
+                )));
+            }
+            seen[idx] = true;
+            ordered[idx] = value.clone();
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(DataError::Serve(format!(
+                "row {i}: missing attribute `{}` (send null for a missing cell)",
+                schema.attribute(missing).name
+            )));
+        }
+        cells.push(ordered);
+    }
+    Dataset::from_rows(schema, &cells)
 }
 
 fn predicate_to_json(predicate: &Predicate) -> Json {
@@ -702,6 +807,64 @@ mod tests {
         );
         // v1 keys use the empty suffix; every v2 key is tagged.
         assert!(keys.iter().all(|k| k.starts_with("v2")));
+    }
+
+    #[test]
+    fn ingest_requests_parse_and_validate_against_a_schema() {
+        let body = br#"{"model":"m","rows":[
+            {"City":"A","Sales":10.5},
+            {"City":null,"Sales":2}
+        ]}"#;
+        let parsed = IngestV2::parse(body).unwrap();
+        assert_eq!(parsed.model, "m");
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(
+            parsed.rows[0],
+            vec![
+                ("City".to_owned(), Value::Category("A".into())),
+                ("Sales".to_owned(), Value::Number(10.5)),
+            ]
+        );
+        assert_eq!(parsed.rows[1][0].1, Value::Null);
+        // Structural validation at parse time.
+        assert!(IngestV2::parse(b"{\"model\":\"m\",\"rows\":[]}").is_err());
+        assert!(IngestV2::parse(b"{\"model\":\"m\",\"rows\":[1]}").is_err());
+        assert!(IngestV2::parse(b"{\"model\":\"m\",\"rows\":[{\"X\":[1]}]}").is_err());
+
+        // Schema validation when assembling the batch.
+        let schema = {
+            let data = xinsight_data::DatasetBuilder::new()
+                .dimension("City", ["A"])
+                .measure("Sales", [1.0])
+                .build()
+                .unwrap();
+            data.schema().clone()
+        };
+        let batch = rows_to_dataset(&schema, &parsed.rows).unwrap();
+        assert_eq!(batch.n_rows(), 2);
+        assert_eq!(batch.value(0, "City").unwrap(), Value::Category("A".into()));
+        assert!(batch.row_has_null(1));
+        // Unknown attribute / missing attribute / wrong kind are rejected.
+        let unknown = vec![vec![("Ghost".to_owned(), Value::Number(1.0))]];
+        assert!(rows_to_dataset(&schema, &unknown).is_err());
+        let missing = vec![vec![("City".to_owned(), Value::Category("A".into()))]];
+        assert!(rows_to_dataset(&schema, &missing).is_err());
+        let wrong_kind = vec![vec![
+            ("City".to_owned(), Value::Number(1.0)),
+            ("Sales".to_owned(), Value::Number(1.0)),
+        ]];
+        assert!(rows_to_dataset(&schema, &wrong_kind).is_err());
+    }
+
+    #[test]
+    fn oversized_ingests_are_rejected() {
+        let row = "{\"X\":\"a\"}";
+        let rows = vec![row; MAX_INGEST_ROWS + 1].join(",");
+        let body = format!("{{\"model\":\"m\",\"rows\":[{rows}]}}");
+        assert!(IngestV2::parse(body.as_bytes())
+            .unwrap_err()
+            .to_string()
+            .contains("exceeds"));
     }
 
     #[test]

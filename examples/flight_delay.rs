@@ -48,10 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         learned.graph
     );
 
-    // --- XPlainer on the Rain attribute. ---
+    // --- XPlainer on the Rain attribute (over the single-segment store). ---
+    let store = data.into_segmented();
     let xplainer = XPlainer::new(XPlainerOptions::default());
     if let Some(candidate) =
-        xplainer.explain_attribute(&data, &query, "Rain", SearchStrategy::Optimized, false)?
+        xplainer.explain_attribute(&store, &query, "Rain", SearchStrategy::Optimized, false)?
     {
         println!(
             "explanation on Rain: {}  (responsibility {:.2})",
@@ -59,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if let Some(candidate) =
-        xplainer.explain_attribute(&data, &query, "Carrier", SearchStrategy::Optimized, true)?
+        xplainer.explain_attribute(&store, &query, "Carrier", SearchStrategy::Optimized, true)?
     {
         println!(
             "explanation on Carrier: {}  (responsibility {:.2})",

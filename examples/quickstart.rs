@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Online phase: the Why Query of Fig. 1(b).
     let query = lung_cancer::why_query();
     println!("why query: {query}");
-    println!("Δ(D) = {:.3}\n", query.delta(engine.data())?);
+    println!("Δ(D) = {:.3}\n", query.delta_store(engine.data())?);
 
     // 4. XTranslator: which variables can explain the query, and how?
     let translation = engine.translation(&query);

@@ -48,8 +48,11 @@ echo "==> serving smoke test (xinsight-serve + loadgen)"
 # bundle and drive it with the loadgen smoke client, which gates on
 # GET /healthz (polling the liveness endpoint instead of sleeping), then
 # asserts one /explain, one /v2/explain with a non-default top_k, one
-# /stats, and a graceful shutdown over the wire; finally assert the server
-# process exits cleanly (status 0).
+# streaming-ingest round trip (POST /v2/ingest a handful of rows, /stats
+# must show the new segment, and a re-issued /v2/explain must answer
+# against the grown store rather than replay a pre-ingest cache entry),
+# one /stats, and a graceful shutdown over the wire; finally assert the
+# server process exits cleanly (status 0).
 SMOKE_DIR="$(mktemp -d)"
 cleanup_smoke() {
     [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true

@@ -49,7 +49,7 @@ fn flight_pipeline_finds_a_weather_related_causal_explanation() {
     let data = flight::generate(20_000, 1);
     let engine = XInsight::fit(&data, &XInsightOptions::default()).unwrap();
     let query = flight::why_query();
-    let delta = query.delta(engine.data()).unwrap();
+    let delta = query.delta_store(engine.data()).unwrap();
     assert!(
         delta > 1.0,
         "May-vs-November delay gap must exist (Δ = {delta})"

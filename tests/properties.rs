@@ -231,9 +231,10 @@ proptest! {
             Subspace::of("X", "b"),
         ).unwrap();
         let Ok(query) = query.oriented(&data) else { return Ok(()); };
+        let store = data.clone().into_segmented();
         let xplainer = XPlainer::new(XPlainerOptions::default());
         for strategy in [SearchStrategy::Optimized, SearchStrategy::BruteForce] {
-            if let Ok(Some(c)) = xplainer.explain_attribute(&data, &query, "Y", strategy, false) {
+            if let Ok(Some(c)) = xplainer.explain_attribute(&store, &query, "Y", strategy, false) {
                 prop_assert!(c.responsibility > 0.0 && c.responsibility <= 1.0 + 1e-9);
                 prop_assert!(!c.predicate.is_empty());
                 // The explanation must actually reduce the difference when defined.
@@ -266,6 +267,7 @@ proptest! {
             .measure("M", values[..n].to_vec())
             .build()
             .unwrap();
+        let store = data.clone().into_segmented();
         let shared = Arc::new(SelectionCache::new());
         for aggregate in [Aggregate::Sum, Aggregate::Avg] {
             let query = WhyQuery::new(
@@ -281,9 +283,9 @@ proptest! {
             });
             let parallel = XPlainer::new(XPlainerOptions::default());
             for strategy in [SearchStrategy::Optimized, SearchStrategy::BruteForce] {
-                let cold = serial.explain_attribute(&data, &query, "Y", strategy, false);
+                let cold = serial.explain_attribute(&store, &query, "Y", strategy, false);
                 let warm = parallel.explain_attribute_cached(
-                    &data, &query, "Y", strategy, false, Arc::clone(&shared));
+                    &store, &query, "Y", strategy, false, Arc::clone(&shared));
                 let (Ok(cold), Ok(warm)) = (cold, warm) else {
                     prop_assert!(false, "searches must not error on valid input");
                     return Ok(());

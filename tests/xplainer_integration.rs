@@ -28,11 +28,12 @@ fn xplainer_recovers_the_planted_explanation_for_both_aggregates() {
         seed: 1,
         ..SynBOptions::default()
     });
+    let store = instance.data.clone().into_segmented();
     let xplainer = XPlainer::new(XPlainerOptions::default());
     for aggregate in [Aggregate::Sum, Aggregate::Avg] {
         let query = instance.query(aggregate);
         let candidate = xplainer
-            .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+            .explain_attribute(&store, &query, "Y", SearchStrategy::Optimized, true)
             .unwrap()
             .unwrap_or_else(|| panic!("{aggregate:?}: explanation must exist"));
         let score = f1(candidate.predicate.values(), &instance.ground_truth);
@@ -53,9 +54,10 @@ fn xplainer_is_cheaper_than_the_exhaustive_baselines() {
         ..SynBOptions::default()
     });
     let query = instance.query(Aggregate::Avg);
+    let store = instance.data.clone().into_segmented();
     let xplainer = XPlainer::new(XPlainerOptions::default());
     let ours = xplainer
-        .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+        .explain_attribute(&store, &query, "Y", SearchStrategy::Optimized, true)
         .unwrap()
         .unwrap();
     let scorpion = Scorpion::default()
@@ -85,9 +87,10 @@ fn exhaustive_baselines_refuse_high_cardinality_but_xplainer_does_not() {
     assert!(RsExplain::default()
         .explain(&instance.data, &query, "Y")
         .is_err());
+    let store = instance.data.clone().into_segmented();
     let xplainer = XPlainer::new(XPlainerOptions::default());
     let ours = xplainer
-        .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+        .explain_attribute(&store, &query, "Y", SearchStrategy::Optimized, true)
         .unwrap()
         .unwrap();
     assert!(f1(ours.predicate.values(), &instance.ground_truth) > 0.9);
@@ -107,13 +110,14 @@ fn boexplain_accuracy_degrades_with_cardinality_while_xplainer_stays_exact() {
             ..SynBOptions::default()
         });
         let query = instance.query(Aggregate::Avg);
+        let store = instance.data.clone().into_segmented();
         let bo = engine
             .explain(&instance.data, &query, "Y")
             .unwrap()
             .map(|e| f1(e.predicate.values(), &instance.ground_truth))
             .unwrap_or(0.0);
         let ours = xplainer
-            .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+            .explain_attribute(&store, &query, "Y", SearchStrategy::Optimized, true)
             .unwrap()
             .map(|c| f1(c.predicate.values(), &instance.ground_truth))
             .unwrap_or(0.0);
@@ -136,9 +140,10 @@ fn small_mean_gaps_are_still_explained() {
         ..SynBOptions::default()
     });
     let query = instance.query(Aggregate::Avg);
+    let store = instance.data.clone().into_segmented();
     let xplainer = XPlainer::new(XPlainerOptions::default());
     let candidate = xplainer
-        .explain_attribute(&instance.data, &query, "Y", SearchStrategy::Optimized, true)
+        .explain_attribute(&store, &query, "Y", SearchStrategy::Optimized, true)
         .unwrap()
         .expect("an explanation must exist even at a small gap");
     assert!(f1(candidate.predicate.values(), &instance.ground_truth) > 0.6);
@@ -234,13 +239,14 @@ fn shared_cache_reuses_work_across_strategies_and_queries() {
         seed: 3,
         ..SynBOptions::default()
     });
+    let store = instance.data.clone().into_segmented();
     let xplainer = XPlainer::new(XPlainerOptions::default());
     let cache = Arc::new(SelectionCache::new());
 
     // SUM runs first and pays for the per-filter masks and aggregates…
     let sum = xplainer
         .explain_attribute_cached(
-            &instance.data,
+            &store,
             &instance.query(Aggregate::Sum),
             "Y",
             SearchStrategy::Optimized,
@@ -254,7 +260,7 @@ fn shared_cache_reuses_work_across_strategies_and_queries() {
     // …then AVG over the same attribute replays most of them.
     let avg = xplainer
         .explain_attribute_cached(
-            &instance.data,
+            &store,
             &instance.query(Aggregate::Avg),
             "Y",
             SearchStrategy::Optimized,
@@ -270,7 +276,7 @@ fn shared_cache_reuses_work_across_strategies_and_queries() {
     // than the same search on a cold cache.
     let cold_avg = xplainer
         .explain_attribute(
-            &instance.data,
+            &store,
             &instance.query(Aggregate::Avg),
             "Y",
             SearchStrategy::Optimized,
@@ -292,7 +298,7 @@ fn shared_cache_reuses_work_across_strategies_and_queries() {
     // An identical AVG search on the warm cache computes nothing at all.
     let replay = xplainer
         .explain_attribute_cached(
-            &instance.data,
+            &store,
             &instance.query(Aggregate::Avg),
             "Y",
             SearchStrategy::Optimized,
