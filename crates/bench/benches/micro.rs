@@ -309,16 +309,25 @@ fn bench_serving_layer(c: &mut Criterion) {
     });
 
     let value: Arc<str> = Arc::from("x".repeat(2048).as_str());
+    let fingerprint = vec![(1u64, 1u64)];
+    let dict_len = 7usize;
     let hot = ResultCache::new(1 << 20);
     let key = CacheKey {
         model: "flight".to_owned(),
-        generation: 1,
         query: query.clone(),
         options: String::new(),
     };
-    hot.insert(key.clone(), Arc::clone(&value));
+    hot.insert(
+        key.clone(),
+        fingerprint.clone(),
+        dict_len,
+        Arc::clone(&value),
+    );
     c.bench_function("serve/result_cache_hit", |b| {
-        b.iter(|| hot.get(&key).unwrap())
+        b.iter(|| match hot.lookup(&key, &fingerprint, dict_len) {
+            xinsight_service::lru::Lookup::Hit(hit) => hit,
+            other => panic!("expected a hit, got {other:?}"),
+        })
     });
 
     // Insert path with the budget sized to keep ~8 entries: every insert
@@ -326,7 +335,6 @@ fn bench_serving_layer(c: &mut Criterion) {
     let keys: Vec<CacheKey> = (0..64)
         .map(|i| CacheKey {
             model: format!("m{i}"),
-            generation: 1,
             query: query.clone(),
             options: String::new(),
         })
@@ -334,13 +342,19 @@ fn bench_serving_layer(c: &mut Criterion) {
     let entry_bytes = keys[0].model.len()
         + query.to_json().len()
         + keys[0].options.len()
+        + 16 * fingerprint.len()
         + value.len()
         + xinsight_service::lru::ENTRY_OVERHEAD_BYTES;
     let churning = ResultCache::new(8 * entry_bytes);
     let mut i = 0usize;
     c.bench_function("serve/result_cache_insert_evicting", |b| {
         b.iter(|| {
-            churning.insert(keys[i % keys.len()].clone(), Arc::clone(&value));
+            churning.insert(
+                keys[i % keys.len()].clone(),
+                fingerprint.clone(),
+                dict_len,
+                Arc::clone(&value),
+            );
             i += 1;
         })
     });

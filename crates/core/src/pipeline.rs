@@ -308,6 +308,30 @@ impl XInsight {
         })
     }
 
+    /// Returns a new engine whose store has every sealed segment rewritten
+    /// into **one** merged segment — the background-compaction step.
+    ///
+    /// A pure rewrite of immutable data through
+    /// [`SegmentedDataset::compact`]: same rows in the same order, same
+    /// global dictionary codes, same lineage, fresh segment id — so every
+    /// explanation over the compacted engine is byte-identical to the
+    /// segmented one, while scans stop paying the per-segment overhead
+    /// that unbatched streaming ingest accumulates.  The fitted model
+    /// (graph, discretizers, FDs) is shared unchanged, exactly like
+    /// [`XInsight::with_ingested`]; an engine whose store is already a
+    /// single segment comes back with its snapshot untouched (no epoch
+    /// bump), so callers can invoke this idempotently.
+    pub fn with_compacted(&self) -> Result<XInsight> {
+        Ok(XInsight {
+            options: self.options.clone(),
+            raw_schema: self.raw_schema.clone(),
+            augmented: self.augmented.compact()?,
+            binned_measures: self.binned_measures.clone(),
+            discretizers: self.discretizers.clone(),
+            learner_result: self.learner_result.clone(),
+        })
+    }
+
     /// Runs XTranslator for a query: the per-variable XDA semantics.
     pub fn translation(&self, query: &WhyQuery) -> Translation {
         translate(&self.learner_result.graph, query)
@@ -972,6 +996,36 @@ mod tests {
             explain(&chunked, &why_query()),
             explain(&full, &why_query())
         );
+    }
+
+    #[test]
+    fn compaction_preserves_answers_byte_for_byte() {
+        let data = lung_cancer_data(1500);
+        let options = XInsightOptions::default();
+        let engine = XInsight::fit(&data, &options).unwrap();
+        let model = engine.fitted_model();
+        let chunked = XInsight::from_fitted(&rows_range(&data, 0, 900), model, &options)
+            .unwrap()
+            .with_ingested(&rows_range(&data, 900, 1300))
+            .unwrap()
+            .with_ingested(&rows_range(&data, 1300, 1500))
+            .unwrap();
+        let lineage = chunked.data().lineage();
+        let compacted = chunked.with_compacted().unwrap();
+        // One merged segment, same lineage (per-lineage caches stay valid),
+        // next epoch, same rows.
+        assert_eq!(compacted.data().n_segments(), 1);
+        assert_eq!(compacted.data().lineage(), lineage);
+        assert_eq!(compacted.data().epoch(), chunked.data().epoch() + 1);
+        assert_eq!(compacted.data().n_rows(), chunked.data().n_rows());
+        // Answers are byte-identical across the rewrite.
+        assert_eq!(
+            explain(&compacted, &why_query()),
+            explain(&chunked, &why_query())
+        );
+        // Already-compact engines come back with their snapshot untouched.
+        let again = compacted.with_compacted().unwrap();
+        assert_eq!(again.data().epoch(), compacted.data().epoch());
     }
 
     #[test]

@@ -47,9 +47,16 @@
 //! into replays.  For the optimized strategies that is O(m²) small entries
 //! per attribute per segment; brute force probes O(2^m) clauses, bounded by
 //! [`super::XPlainerOptions::max_brute_force_filters`] (the same knob that
-//! bounds its running time).  Scope a cache to a batch — create a fresh one
-//! per `execute_batch` call, as the pipeline does — rather than holding one
-//! forever.
+//! bounds its running time).  Scope a cache to a bounded working set.  Two
+//! scopes are in use today: a fresh cache per `execute_batch` call (the
+//! pipeline's default), and the serving layer's **per-model cache** held
+//! across requests *and across ingest* — legal because ingest preserves the
+//! store lineage, so a post-ingest request replays every older segment's
+//! partials and computes only the newly sealed segment: the "merge cached
+//! prefix partials with fresh suffix partials" serve path.  The serving
+//! layer bounds that long-lived scope by replacing the cache wholesale on
+//! model reload and on compaction (both produce freshly-identified
+//! segments, so a stale cache would only hold dead keys).
 
 use parking_lot::RwLock;
 use std::collections::HashMap;

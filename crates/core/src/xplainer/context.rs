@@ -81,7 +81,11 @@ impl<'a> SearchContext<'a> {
 
     /// Builds the context for one attribute of interest on a shared cache, so
     /// masks and partial aggregates are reused across attributes, strategies
-    /// and queries.
+    /// and queries — and, because cache entries are keyed per immutable
+    /// segment, across store *epochs* of one lineage: a context built after
+    /// an ingest replays every older segment's masks and partials from the
+    /// cache and only computes the newly sealed segments (the serving
+    /// layer's prefix-merge path hinges on exactly this warm-up behaviour).
     pub fn build_with_cache(
         store: &'a SegmentedDataset,
         query: &'a WhyQuery,

@@ -29,11 +29,15 @@
 //! **Segment granularity.**  Each seal is O(batch rows) for the columns
 //! plus O(dictionary) for the per-segment dictionary snapshot, and every
 //! scan pays a small per-segment overhead — so prefer batching rows over
-//! sealing one row at a time.  The store deliberately never merges
-//! segments (immutability is what makes snapshots and caching free);
-//! compaction is a reload: [`SegmentedDataset::to_dataset`] +
-//! [`SegmentedDataset::from_dataset`] re-seals everything as one base
-//! segment, which is exactly what a serving bundle reload does.
+//! sealing one row at a time.  The store never mutates a sealed segment
+//! (immutability is what makes snapshots and caching free); when many tiny
+//! segments accumulate, [`SegmentedDataset::compact`] rewrites them into a
+//! **new snapshot with one merged segment** — same rows, same global
+//! dictionary codes, same lineage, fresh segment id — so aggregates and
+//! explanations over the compacted snapshot are byte-identical while scans
+//! stop paying the per-segment overhead.  A bundle reload
+//! ([`SegmentedDataset::to_dataset`] + [`SegmentedDataset::from_dataset`])
+//! compacts as a side effect too, but starts a fresh lineage.
 //!
 //! ```
 //! use xinsight_data::{Aggregate, DatasetBuilder, SegmentedDataset, Subspace, Value};
@@ -138,6 +142,27 @@ impl Segment {
     /// accumulation loop is the shared [`MeasureStats::of`]).
     pub fn measure_stats(&self, measure: &str, mask: &RowMask) -> Result<MeasureStats> {
         Ok(MeasureStats::of(self.data.measure(measure)?, mask))
+    }
+
+    /// Estimated resident bytes of this segment: the columnar payload plus
+    /// the per-segment dictionary snapshot (pointer vector + lookup entry
+    /// per category; the category *strings* are shared with the store and
+    /// not charged here).  An accounting estimate — used by the serving
+    /// compactor to report bytes reclaimed — not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        // Documented estimate per dictionary-snapshot category: an
+        // `Arc<str>` pointer (8) plus a hash-map entry (~64 with padding).
+        const DICT_SNAPSHOT_ENTRY_BYTES: usize = 72;
+        let mut bytes = 0usize;
+        for idx in 0..self.data.schema().len() {
+            bytes += match self.data.column(idx) {
+                Column::Dimension(c) => {
+                    c.codes().len() * 4 + c.categories().len() * DICT_SNAPSHOT_ENTRY_BYTES
+                }
+                Column::Measure(c) => c.values().len() * 8,
+            };
+        }
+        bytes
     }
 }
 
@@ -293,6 +318,16 @@ impl SegmentedDataset {
         Ok(self.categories(attribute)?.len())
     }
 
+    /// Total number of categories across every dimension's global
+    /// dictionary.  The dictionary is append-only, so an unchanged total
+    /// between two snapshots of one lineage proves **no** dimension gained
+    /// a category in between — the cheap guard result caches use to decide
+    /// whether scores that depend on attribute cardinality (the candidate
+    /// filter sets, the `σ = 1/m` regulariser) could have changed.
+    pub fn dictionary_len(&self) -> usize {
+        self.dict.iter().flatten().map(|d| d.categories.len()).sum()
+    }
+
     /// Validates that `name` is a measure of this store.
     pub fn check_measure(&self, name: &str) -> Result<()> {
         match self.schema.attribute_by_name(name)?.kind {
@@ -432,6 +467,41 @@ impl SegmentedDataset {
             }
         }
         builder.build()
+    }
+
+    /// Rewrites every segment into **one** merged segment, returning the
+    /// next snapshot (epoch + 1, same lineage, fresh segment id).
+    ///
+    /// A pure rewrite of immutable data: row order is segment order, the
+    /// global dictionary (and every code) is preserved, and nothing about
+    /// the rows changes — so every mask, aggregate and explanation over the
+    /// compacted snapshot is byte-identical to the segmented one (the
+    /// per-segment `MeasureStats` merge is exact for any segmentation).
+    /// Because the lineage is preserved, per-lineage resources such as the
+    /// engine's selection cache remain valid; entries keyed by the old
+    /// segment ids simply stop being probed.
+    ///
+    /// A store that is already a single segment is returned unchanged
+    /// (same snapshot, no epoch bump), so callers can invoke this
+    /// idempotently.
+    pub fn compact(&self) -> Result<SegmentedDataset> {
+        if self.segments.len() <= 1 {
+            return Ok(self.clone());
+        }
+        let data = self.to_dataset()?;
+        let epoch = self.epoch + 1;
+        Ok(SegmentedDataset {
+            lineage: self.lineage,
+            epoch,
+            schema: self.schema.clone(),
+            dict: self.dict.clone(),
+            segments: vec![Arc::new(Segment {
+                id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
+                epoch,
+                data,
+            })],
+            n_rows: self.n_rows,
+        })
     }
 }
 
@@ -588,6 +658,78 @@ mod tests {
         assert_eq!(flat.value(3, "X").unwrap(), Value::from("c"));
         assert_eq!(flat.value(0, "M").unwrap(), Value::from(1.0));
         assert_eq!(flat.dimension("X").unwrap().cardinality(), 3);
+    }
+
+    #[test]
+    fn compact_merges_to_one_segment_preserving_rows_codes_and_lineage() {
+        let store = SegmentedDataset::from_dataset(base())
+            .append_rows(&[row("c", "p", 4.0), row("a", "r", 5.0)])
+            .unwrap()
+            .append_rows(&[row("b", "q", 6.0)])
+            .unwrap();
+        assert_eq!(store.n_segments(), 3);
+        let compacted = store.compact().unwrap();
+        assert_eq!(compacted.n_segments(), 1);
+        assert_eq!(compacted.epoch(), store.epoch() + 1);
+        assert_eq!(compacted.n_rows(), store.n_rows());
+        assert_eq!(compacted.lineage(), store.lineage());
+        assert_eq!(compacted.dictionary_len(), store.dictionary_len());
+        // The merged segment is a fresh id in a fresh epoch.
+        assert_ne!(compacted.segments()[0].id(), store.segments()[0].id());
+        // Rows concatenate in segment order with codes preserved.
+        let flat = store.to_dataset().unwrap();
+        assert_eq!(compacted.segments()[0].data(), &flat);
+        // Aggregates are bit-identical before and after.
+        for aggregate in [Aggregate::Sum, Aggregate::Avg, Aggregate::Min] {
+            let sub = Subspace::of("X", "a");
+            assert_eq!(
+                store
+                    .aggregate_subspace("M", aggregate, &sub)
+                    .unwrap()
+                    .map(f64::to_bits),
+                compacted
+                    .aggregate_subspace("M", aggregate, &sub)
+                    .unwrap()
+                    .map(f64::to_bits),
+            );
+        }
+        // The old snapshot is untouched; compaction of a single segment is
+        // the identity (no epoch churn for idempotent callers).
+        assert_eq!(store.n_segments(), 3);
+        let again = compacted.compact().unwrap();
+        assert_eq!(again.epoch(), compacted.epoch());
+        assert_eq!(again.segments()[0].id(), compacted.segments()[0].id());
+    }
+
+    #[test]
+    fn dictionary_len_counts_every_dimension_and_grows_on_new_categories() {
+        let store = SegmentedDataset::from_dataset(base());
+        // X: {a, b}, Y: {p, q} → 4; M is a measure and contributes nothing.
+        assert_eq!(store.dictionary_len(), 4);
+        let grown = store.append_rows(&[row("c", "p", 4.0)]).unwrap();
+        assert_eq!(grown.dictionary_len(), 5);
+        // Appending only known categories leaves the dictionary unchanged.
+        let same = grown.append_rows(&[row("a", "q", 5.0)]).unwrap();
+        assert_eq!(same.dictionary_len(), 5);
+    }
+
+    #[test]
+    fn approx_bytes_shrink_when_tiny_segments_are_compacted() {
+        let store = SegmentedDataset::from_dataset(base())
+            .append_rows(&[row("a", "p", 4.0)])
+            .unwrap()
+            .append_rows(&[row("b", "q", 5.0)])
+            .unwrap()
+            .append_rows(&[row("a", "r", 6.0)])
+            .unwrap();
+        let before: usize = store.segments().iter().map(|s| s.approx_bytes()).sum();
+        let compacted = store.compact().unwrap();
+        let after: usize = compacted.segments().iter().map(|s| s.approx_bytes()).sum();
+        assert!(
+            after < before,
+            "merging tiny segments must drop the per-segment dictionary \
+             snapshot overhead ({after} >= {before})"
+        );
     }
 
     #[test]

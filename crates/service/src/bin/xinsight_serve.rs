@@ -7,8 +7,8 @@
 //!
 //! ```text
 //! xinsight-serve --models DIR [--addr 127.0.0.1:7878] [--workers N]
-//!                [--queue N] [--cache-mb N] [--demo syn_a,flight]
-//!                [--demo-rows N] [--serial]
+//!                [--queue N] [--cache-mb N] [--compact-after N]
+//!                [--demo syn_a,flight] [--demo-rows N] [--serial]
 //! ```
 //!
 //! `--demo` fits the named demo models (`syn_a`, `flight`) and saves them
@@ -33,6 +33,7 @@ struct Args {
     workers: Option<usize>,
     queue: Option<usize>,
     cache_mb: usize,
+    compact_after: usize,
     demo: Vec<DemoModel>,
     demo_rows: usize,
     serial: bool,
@@ -41,7 +42,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: xinsight-serve --models DIR [--addr HOST:PORT] [--workers N] \
-         [--queue N] [--cache-mb N] [--demo syn_a,flight] [--demo-rows N] [--serial]"
+         [--queue N] [--cache-mb N] [--compact-after N] [--demo syn_a,flight] \
+         [--demo-rows N] [--serial]"
     );
     std::process::exit(2);
 }
@@ -53,6 +55,7 @@ fn parse_args() -> Args {
         workers: None,
         queue: None,
         cache_mb: 64,
+        compact_after: 0,
         demo: Vec::new(),
         demo_rows: 0,
         serial: false,
@@ -71,6 +74,9 @@ fn parse_args() -> Args {
             "--workers" => args.workers = value("--workers").parse().ok(),
             "--queue" => args.queue = value("--queue").parse().ok(),
             "--cache-mb" => args.cache_mb = value("--cache-mb").parse().unwrap_or_else(|_| usage()),
+            "--compact-after" => {
+                args.compact_after = value("--compact-after").parse().unwrap_or_else(|_| usage())
+            }
             "--demo" => {
                 for name in value("--demo").split(',') {
                     match DemoModel::parse(name.trim()) {
@@ -142,6 +148,7 @@ fn main() -> ExitCode {
     let mut config = ServerConfig {
         addr: args.addr,
         cache_bytes: args.cache_mb << 20,
+        compact_after: args.compact_after,
         ..ServerConfig::default()
     };
     if let Some(workers) = args.workers {

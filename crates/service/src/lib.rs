@@ -24,8 +24,11 @@
 //!   backpressure when full), worker pool sized with the engine's
 //!   `XINSIGHT_THREADS` knob, routing, and graceful shutdown;
 //! * [`lru`] — a byte-budgeted, memory-accounted LRU **result cache** in
-//!   front of the engine, keyed by `(model, WhyQuery)` and proven
-//!   answer-identical to the uncached path;
+//!   front of the engine, scoped by segment-set fingerprints: entries
+//!   survive ingest (promoted when the new rows provably cannot move the
+//!   answer, merged through the engine's partial cache otherwise) and are
+//!   remapped across background compaction, proven answer-identical to
+//!   the uncached path;
 //! * [`wire`] — the **versioned** JSON wire format (stable v1 plus the
 //!   `/v2` surface carrying per-request options and the full response
 //!   envelope), sharing the engine's hand-rolled
@@ -72,6 +75,6 @@ pub mod wire;
 
 pub use client::{explain_v2_body, ingest_v2_body, wait_healthy, ClientResponse, HttpClient};
 pub use demo::{build_demo_bundles, demo_queries, demo_v2_options, DemoModel};
-pub use lru::{CacheKey, ResultCache, ResultCacheStats};
-pub use registry::{save_bundle, LoadedModel, ModelRegistry};
+pub use lru::{CacheKey, Lookup, ResultCache, ResultCacheStats, SegmentRef};
+pub use registry::{save_bundle, CompactionReport, LoadedModel, ModelRegistry};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -1,27 +1,57 @@
-//! The memory-accounted LRU result cache in front of the explain engine.
+//! The memory-accounted, segment-set-scoped LRU result cache in front of
+//! the explain engine.
 //!
 //! Serving traffic repeats itself: dashboards re-issue the same Why Query
 //! on every refresh, and many users look at the same anomaly.  The
 //! [`ResultCache`] memoizes the *serialized explanation list* per
-//! `(model, query)` so a repeat costs a hash lookup instead of an XPlainer
-//! search — and because the cached value is the exact byte string the
-//! uncached path would serialize, cached and direct answers are identical
-//! by construction (property-tested in `tests/serving.rs`, including
-//! across forced evictions).
+//! `(model, query, options)` so a repeat costs a hash lookup instead of an
+//! XPlainer search — and because the cached value is the exact byte string
+//! the uncached path would serialize, cached and direct answers are
+//! identical by construction (property-tested in `tests/serving.rs`,
+//! including across forced evictions).
 //!
-//! Unlike the engine's internal [`SelectionCache`]
-//! (never-evicting, scoped to a batch), this cache is long-lived, so it is
-//! bounded by a configurable **byte budget**: every entry is charged for
-//! its key (model id + canonical query JSON), its value and a fixed
+//! ## Segment-set scoping
+//!
+//! Each entry records the **fingerprint** of the store snapshot it was
+//! computed against: the ordered list of `(segment id, seal epoch)` pairs
+//! ([`SegmentRef`]s) plus the global-dictionary size.  Ingest only ever
+//! *appends* segments, so after an ingest the previous snapshot's
+//! fingerprint is a **proper prefix** of the current one — and a cached
+//! entry under that prefix is still byte-exact *iff* nothing that can move
+//! scores changed: the new segments contribute no rows to the query's
+//! sibling subspaces and no dimension gained a category (candidate filter
+//! sets and the `σ = 1/m` regulariser depend on cardinality).  The caller
+//! owns that validation (it needs the engine's segment masks); the cache
+//! reports the candidate via [`Lookup::Prefix`] and the caller either
+//! [`ResultCache::promote`]s the entry to the current fingerprint (serving
+//! the cached bytes) or recomputes through the engine's per-segment
+//! partial-aggregate cache — the *prefix merge* path, in which every
+//! pre-ingest segment's partials replay and only the new segments are
+//! computed — and records it via [`ResultCache::merged`].
+//!
+//! Fingerprints also make reload and compaction race-free without a
+//! generation counter: both produce freshly-identified segments, so a slow
+//! pre-swap request that inserts after the swap leaves an entry no
+//! post-swap lookup can hit or promote (segment ids are process-unique and
+//! never reused).  [`ResultCache::invalidate_model`] (reload) and
+//! [`ResultCache::remap_model`] (compaction) reclaim those bytes.
+//!
+//! ## Bounding
+//!
+//! Unlike the engine's internal [`SelectionCache`] (never-evicting), this
+//! cache is long-lived, so it is bounded by a configurable **byte
+//! budget**: every entry is charged for its key (model id + canonical
+//! query JSON + options), its fingerprint, its value and a fixed
 //! bookkeeping overhead, and the least-recently-used entries are evicted
 //! until the total fits.  Values larger than the whole budget are served
 //! but never admitted.
 //!
 //! Recency is tracked with a monotonic tick per access: a `HashMap` holds
-//! the entries and a `BTreeMap<tick, key>` orders them, making get/insert
-//! `O(log n)` without an intrusive linked list.  One mutex guards both maps
-//! (lookups are cheap relative to an explain); hit/miss/eviction counters
-//! are relaxed atomics so `/stats` never contends with serving.
+//! the entries and a `BTreeMap<tick, key>` orders them, making
+//! lookup/insert `O(log n)` without an intrusive linked list.  One mutex
+//! guards both maps (lookups are cheap relative to an explain);
+//! hit/miss/eviction counters are relaxed atomics so `/stats` never
+//! contends with serving.
 //!
 //! [`SelectionCache`]: xinsight_core::SelectionCache
 
@@ -35,19 +65,24 @@ use xinsight_core::WhyQuery;
 /// tick entry, `Arc` header) on top of the measured key/value lengths.
 pub const ENTRY_OVERHEAD_BYTES: usize = 128;
 
-/// Key of one cached result: the serving model (id **and** reload
-/// generation), the (canonicalized, hashable) query, and the canonical
-/// per-request options suffix.
+/// Identity of one sealed segment as the result cache sees it: the
+/// process-unique segment id plus its seal epoch.  A store snapshot's
+/// fingerprint is its ordered `Vec<SegmentRef>`.
+pub type SegmentRef = (u64, u64);
+
+/// Byte charge per fingerprint element.
+const SEGMENT_REF_BYTES: usize = std::mem::size_of::<SegmentRef>();
+
+/// Logical key of one cached result: the serving model, the
+/// (canonicalized, hashable) query, and the canonical per-request options
+/// suffix.  The store snapshot the value was computed against is *not*
+/// part of the key — it is recorded on the entry as its fingerprint, so
+/// one logical key holds at most one value and lookups decide between
+/// exact replay, prefix promotion and recompute by comparing fingerprints.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// The model the query was answered against.
     pub model: String,
-    /// The model's reload generation.  Keying on it makes hot-reload
-    /// race-free: a slow request that finishes *after* a reload inserts
-    /// under the old generation, which post-reload lookups (built from the
-    /// new `LoadedModel`) can never hit.  [`ResultCache::invalidate_model`]
-    /// then reclaims the old generation's bytes.
-    pub generation: u64,
     /// The query itself; `WhyQuery`'s `Hash`/`Eq` make it directly usable
     /// as a map key, and its canonical JSON length is what the byte budget
     /// charges for.
@@ -61,9 +96,41 @@ pub struct CacheKey {
     pub options: String,
 }
 
+/// Outcome of a [`ResultCache::lookup`] against the current store
+/// fingerprint.
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// The entry covers exactly the current segment set: the cached bytes
+    /// are the answer.
+    Hit(Arc<str>),
+    /// An entry exists under a **proper prefix** of the current
+    /// fingerprint (the snapshot before one or more ingests).  The caller
+    /// must validate whether the suffix segments can change the answer;
+    /// on success call [`ResultCache::promote`], otherwise recompute
+    /// through the engine's partial cache and record
+    /// [`ResultCache::merged`] (or [`ResultCache::note_miss`] if the
+    /// recompute was cut short by a deadline).
+    Prefix {
+        /// The fingerprint the cached entry was computed against — a
+        /// proper prefix of the lookup fingerprint.  The suffix to
+        /// validate is `current[prefix.len()..]`.
+        prefix: Vec<SegmentRef>,
+        /// Whether the store's global dictionary is unchanged since the
+        /// entry was cached.  When `false` the entry can never be
+        /// promoted (cardinality-dependent scores may differ).
+        dict_unchanged: bool,
+    },
+    /// No usable entry: compute from scratch (already counted as a miss).
+    Miss,
+}
+
 #[derive(Debug)]
 struct Entry {
     value: Arc<str>,
+    /// The store snapshot the value was computed against.
+    fingerprint: Vec<SegmentRef>,
+    /// Total global-dictionary categories at compute time.
+    dict_len: usize,
     bytes: usize,
     tick: u64,
 }
@@ -77,12 +144,35 @@ struct LruState {
     bytes: usize,
 }
 
+impl LruState {
+    fn fresh_tick(&mut self) -> u64 {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        tick
+    }
+
+    fn remove(&mut self, key: &CacheKey) -> Option<Entry> {
+        let entry = self.entries.remove(key)?;
+        self.order.remove(&entry.tick);
+        self.bytes -= entry.bytes;
+        Some(entry)
+    }
+}
+
 /// A point-in-time snapshot of the result cache for `/stats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResultCacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups whose entry covered exactly the current segment set.
     pub hits: u64,
-    /// Lookups that missed (the caller computed and usually inserted).
+    /// Lookups served by promoting a proper-prefix entry whose suffix was
+    /// proven unable to change the answer (cached bytes replayed).
+    pub prefix_hits: u64,
+    /// Lookups answered by the prefix-merge path: a proper-prefix entry
+    /// existed, the suffix could change the answer, and the result was
+    /// recomputed by merging the cached per-segment partials with freshly
+    /// computed partials from only the new segments.
+    pub merged: u64,
+    /// Lookups with no usable entry (full compute).
     pub misses: u64,
     /// Entries evicted to respect the byte budget.
     pub evictions: u64,
@@ -97,27 +187,46 @@ pub struct ResultCacheStats {
 }
 
 impl ResultCacheStats {
-    /// Fraction of lookups served from the cache (`0.0` before any lookup).
+    /// Fraction of lookups served from cached state — exact replays,
+    /// prefix promotions and prefix merges — out of all lookups (`0.0`
+    /// before any lookup).
     pub fn hit_rate(&self) -> f64 {
-        let lookups = self.hits + self.misses;
+        let served = self.hits + self.prefix_hits + self.merged;
+        let lookups = served + self.misses;
         if lookups == 0 {
             0.0
         } else {
-            self.hits as f64 / lookups as f64
+            served as f64 / lookups as f64
         }
     }
 }
 
 /// Bounded, thread-safe, memory-accounted LRU cache of serialized
-/// explanation results (see the module docs for the design).
+/// explanation results, scoped by segment-set fingerprints (see the
+/// module docs for the design).
 #[derive(Debug)]
 pub struct ResultCache {
     state: Mutex<LruState>,
     byte_budget: usize,
     hits: AtomicU64,
+    prefix_hits: AtomicU64,
+    merged: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     uncacheable: AtomicU64,
+}
+
+fn is_proper_prefix(prefix: &[SegmentRef], full: &[SegmentRef]) -> bool {
+    prefix.len() < full.len() && full[..prefix.len()] == *prefix
+}
+
+fn entry_bytes(key: &CacheKey, fingerprint: &[SegmentRef], value: &str) -> usize {
+    key.model.len()
+        + key.query.to_json().len()
+        + key.options.len()
+        + fingerprint.len() * SEGMENT_REF_BYTES
+        + value.len()
+        + ENTRY_OVERHEAD_BYTES
 }
 
 impl ResultCache {
@@ -127,63 +236,148 @@ impl ResultCache {
             state: Mutex::new(LruState::default()),
             byte_budget,
             hits: AtomicU64::new(0),
+            prefix_hits: AtomicU64::new(0),
+            merged: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             uncacheable: AtomicU64::new(0),
         }
     }
 
-    /// Looks a result up, refreshing its recency on a hit.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<str>> {
+    /// Looks a result up against the current store fingerprint and
+    /// dictionary size, refreshing recency on an exact hit.
+    ///
+    /// Counting: an exact [`Lookup::Hit`] and a [`Lookup::Miss`] are
+    /// counted here; a [`Lookup::Prefix`] is counted by whichever of
+    /// [`ResultCache::promote`], [`ResultCache::merged`] or
+    /// [`ResultCache::note_miss`] resolves it.
+    pub fn lookup(&self, key: &CacheKey, fingerprint: &[SegmentRef], dict_len: usize) -> Lookup {
         let mut state = self.state.lock();
         let state = &mut *state;
         match state.entries.get_mut(key) {
-            Some(entry) => {
+            Some(entry) if entry.fingerprint == fingerprint => {
                 state.order.remove(&entry.tick);
                 entry.tick = state.next_tick;
                 state.next_tick += 1;
                 state.order.insert(entry.tick, key.clone());
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.value))
+                Lookup::Hit(Arc::clone(&entry.value))
             }
-            None => {
+            Some(entry) if is_proper_prefix(&entry.fingerprint, fingerprint) => Lookup::Prefix {
+                prefix: entry.fingerprint.clone(),
+                dict_unchanged: entry.dict_len == dict_len,
+            },
+            Some(_) | None => {
+                // An unrelated fingerprint is a pre-reload/pre-compaction
+                // leftover: unreachable for serving, superseded on insert.
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                Lookup::Miss
             }
         }
     }
 
-    /// Inserts (or refreshes) a result, evicting least-recently-used
-    /// entries until the byte budget holds.  A value whose own accounted
-    /// size exceeds the budget is not admitted (it would evict everything
-    /// and then be evicted itself).
-    pub fn insert(&self, key: CacheKey, value: Arc<str>) {
-        let entry_bytes = key.model.len()
-            + key.query.to_json().len()
-            + key.options.len()
-            + value.len()
-            + ENTRY_OVERHEAD_BYTES;
-        if entry_bytes > self.byte_budget {
+    /// Promotes a [`Lookup::Prefix`] candidate to the current fingerprint
+    /// after the caller proved the suffix segments cannot change the
+    /// answer: the entry is re-stamped (byte accounting adjusted for the
+    /// longer fingerprint), its recency refreshed, and the cached bytes
+    /// returned as a prefix hit.
+    ///
+    /// Returns `None` — counted as a miss — if the entry raced away or
+    /// changed since the lookup (eviction, concurrent insert, another
+    /// promotion); the caller then computes as usual.
+    pub fn promote(
+        &self,
+        key: &CacheKey,
+        fingerprint: &[SegmentRef],
+        dict_len: usize,
+    ) -> Option<Arc<str>> {
+        let mut state = self.state.lock();
+        let found = matches!(state.entries.get(key),
+            Some(entry) if is_proper_prefix(&entry.fingerprint, fingerprint));
+        if !found {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut entry = state.remove(key).expect("entry just found");
+        let value = Arc::clone(&entry.value);
+        entry.fingerprint = fingerprint.to_vec();
+        entry.dict_len = dict_len;
+        entry.bytes = entry_bytes(key, fingerprint, &entry.value);
+        if entry.bytes > self.byte_budget {
+            // Pathological budget: serve the bytes but do not re-admit.
+            self.uncacheable.fetch_add(1, Ordering::Relaxed);
+            self.prefix_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(value);
+        }
+        entry.tick = state.fresh_tick();
+        state.order.insert(entry.tick, key.clone());
+        state.bytes += entry.bytes;
+        state.entries.insert(key.clone(), entry);
+        self.evict_over_budget(&mut state);
+        self.prefix_hits.fetch_add(1, Ordering::Relaxed);
+        Some(value)
+    }
+
+    /// Records that a [`Lookup::Prefix`] candidate was resolved by the
+    /// prefix-merge path: the answer was recomputed through the engine's
+    /// per-segment partial cache (pre-ingest partials replayed, only new
+    /// segments computed) and the caller typically re-inserts it under the
+    /// current fingerprint.
+    pub fn merged(&self) {
+        self.merged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a plain miss for a [`Lookup::Prefix`] candidate whose
+    /// recompute did not actually merge the cached partials (e.g. the
+    /// request's deadline cut the search short).
+    pub fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts (or refreshes) a result computed against the given store
+    /// fingerprint, evicting least-recently-used entries until the byte
+    /// budget holds.  A value whose own accounted size exceeds the budget
+    /// is not admitted (it would evict everything and then be evicted
+    /// itself).  An insert carrying a proper prefix of the resident
+    /// entry's fingerprint is dropped: it lost a race against a fresher
+    /// computation (the slow-writer side of the ingest swap).
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        fingerprint: Vec<SegmentRef>,
+        dict_len: usize,
+        value: Arc<str>,
+    ) {
+        let bytes = entry_bytes(&key, &fingerprint, &value);
+        if bytes > self.byte_budget {
             self.uncacheable.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let mut state = self.state.lock();
-        if let Some(old) = state.entries.remove(&key) {
-            state.order.remove(&old.tick);
-            state.bytes -= old.bytes;
+        let state_ref = &mut *state;
+        if let Some(resident) = state_ref.entries.get(&key) {
+            if is_proper_prefix(&fingerprint, &resident.fingerprint) {
+                return;
+            }
         }
-        let tick = state.next_tick;
-        state.next_tick += 1;
-        state.bytes += entry_bytes;
-        state.order.insert(tick, key.clone());
-        state.entries.insert(
+        state_ref.remove(&key);
+        let tick = state_ref.fresh_tick();
+        state_ref.bytes += bytes;
+        state_ref.order.insert(tick, key.clone());
+        state_ref.entries.insert(
             key,
             Entry {
                 value,
-                bytes: entry_bytes,
+                fingerprint,
+                dict_len,
+                bytes,
                 tick,
             },
         );
+        self.evict_over_budget(state_ref);
+    }
+
+    fn evict_over_budget(&self, state: &mut LruState) {
         while state.bytes > self.byte_budget {
             let Some((&oldest_tick, _)) = state.order.iter().next() else {
                 break;
@@ -210,10 +404,42 @@ impl ResultCache {
             .cloned()
             .collect();
         for key in doomed {
-            let entry = state.entries.remove(&key).expect("key just listed");
-            state.order.remove(&entry.tick);
-            state.bytes -= entry.bytes;
+            state.remove(&key).expect("key just listed");
         }
+    }
+
+    /// Applies a compaction swap to `model`'s entries: entries computed
+    /// against exactly `old` (the snapshot that was compacted) are
+    /// re-stamped to `new` — compaction is a pure rewrite, so their bytes
+    /// stay exact — with byte accounting adjusted for the new fingerprint
+    /// length; every *other* entry of the model is dropped (its
+    /// fingerprint can no longer match or prefix the post-compaction
+    /// store).  Entries of other models are untouched.
+    pub fn remap_model(&self, model: &str, old: &[SegmentRef], new: &[SegmentRef]) {
+        let mut state = self.state.lock();
+        let state = &mut *state;
+        let affected: Vec<CacheKey> = state
+            .entries
+            .keys()
+            .filter(|k| k.model == model)
+            .cloned()
+            .collect();
+        for key in affected {
+            let mut entry = state.remove(&key).expect("key just listed");
+            if entry.fingerprint != old {
+                continue;
+            }
+            entry.fingerprint = new.to_vec();
+            entry.bytes = entry_bytes(&key, new, &entry.value);
+            if entry.bytes > self.byte_budget {
+                self.uncacheable.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            state.bytes += entry.bytes;
+            state.order.insert(entry.tick, key.clone());
+            state.entries.insert(key, entry);
+        }
+        self.evict_over_budget(state);
     }
 
     /// A consistent snapshot of the counters and occupancy.
@@ -221,6 +447,8 @@ impl ResultCache {
         let state = self.state.lock();
         ResultCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
+            merged: self.merged.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             uncacheable: self.uncacheable.load(Ordering::Relaxed),
@@ -249,30 +477,38 @@ mod tests {
     fn key(model: &str, value: &str) -> CacheKey {
         CacheKey {
             model: model.to_owned(),
-            generation: 1,
             query: query(value),
             options: String::new(),
         }
     }
 
-    fn entry_bytes(key: &CacheKey, value: &str) -> usize {
-        key.model.len()
-            + key.query.to_json().len()
-            + key.options.len()
-            + value.len()
-            + ENTRY_OVERHEAD_BYTES
+    /// The fingerprint of a store with segments `1..=n`, epochs `0..n`.
+    fn fp(n: u64) -> Vec<SegmentRef> {
+        (1..=n).map(|i| (i, i - 1)).collect()
+    }
+
+    fn bytes_of(key: &CacheKey, fingerprint: &[SegmentRef], value: &str) -> usize {
+        entry_bytes(key, fingerprint, value)
+    }
+
+    /// `lookup` + unwrap the exact-hit value.
+    fn get(cache: &ResultCache, key: &CacheKey, fingerprint: &[SegmentRef]) -> Option<Arc<str>> {
+        match cache.lookup(key, fingerprint, 4) {
+            Lookup::Hit(value) => Some(value),
+            _ => None,
+        }
     }
 
     #[test]
-    fn get_after_insert_round_trips() {
+    fn lookup_after_insert_round_trips() {
         let cache = ResultCache::new(1 << 20);
         let k = key("m", "a");
-        assert!(cache.get(&k).is_none());
-        cache.insert(k.clone(), Arc::from("answer"));
-        assert_eq!(cache.get(&k).as_deref(), Some("answer"));
+        assert!(get(&cache, &k, &fp(1)).is_none());
+        cache.insert(k.clone(), fp(1), 4, Arc::from("answer"));
+        assert_eq!(get(&cache, &k, &fp(1)).as_deref(), Some("answer"));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
-        assert_eq!(stats.bytes, entry_bytes(&k, "answer"));
+        assert_eq!(stats.bytes, bytes_of(&k, &fp(1), "answer"));
     }
 
     #[test]
@@ -280,17 +516,17 @@ mod tests {
         let k1 = key("m", "a");
         let k2 = key("m", "b");
         let k3 = key("m", "c");
-        let per_entry = entry_bytes(&k1, "v");
+        let per_entry = bytes_of(&k1, &fp(1), "v");
         // Room for exactly two entries.
         let cache = ResultCache::new(2 * per_entry + per_entry / 2);
-        cache.insert(k1.clone(), Arc::from("v"));
-        cache.insert(k2.clone(), Arc::from("v"));
+        cache.insert(k1.clone(), fp(1), 4, Arc::from("v"));
+        cache.insert(k2.clone(), fp(1), 4, Arc::from("v"));
         // Touch k1 so k2 becomes the LRU victim.
-        assert!(cache.get(&k1).is_some());
-        cache.insert(k3.clone(), Arc::from("v"));
-        assert!(cache.get(&k1).is_some(), "recently used entry survives");
-        assert!(cache.get(&k2).is_none(), "LRU entry was evicted");
-        assert!(cache.get(&k3).is_some());
+        assert!(get(&cache, &k1, &fp(1)).is_some());
+        cache.insert(k3.clone(), fp(1), 4, Arc::from("v"));
+        assert!(get(&cache, &k1, &fp(1)).is_some(), "recent entry survives");
+        assert!(get(&cache, &k2, &fp(1)).is_none(), "LRU entry was evicted");
+        assert!(get(&cache, &k3, &fp(1)).is_some());
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries, 2);
@@ -301,12 +537,18 @@ mod tests {
     fn reinserting_a_key_replaces_without_leaking_bytes() {
         let cache = ResultCache::new(1 << 20);
         let k = key("m", "a");
-        cache.insert(k.clone(), Arc::from("short"));
-        cache.insert(k.clone(), Arc::from("a longer value than before"));
+        cache.insert(k.clone(), fp(1), 4, Arc::from("short"));
+        cache.insert(k.clone(), fp(1), 4, Arc::from("a longer value than before"));
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
-        assert_eq!(stats.bytes, entry_bytes(&k, "a longer value than before"));
-        assert_eq!(cache.get(&k).as_deref(), Some("a longer value than before"));
+        assert_eq!(
+            stats.bytes,
+            bytes_of(&k, &fp(1), "a longer value than before")
+        );
+        assert_eq!(
+            get(&cache, &k, &fp(1)).as_deref(),
+            Some("a longer value than before")
+        );
     }
 
     #[test]
@@ -314,8 +556,8 @@ mod tests {
         let cache = ResultCache::new(256);
         let k = key("m", "a");
         let big = "x".repeat(512);
-        cache.insert(k.clone(), Arc::from(big.as_str()));
-        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), fp(1), 4, Arc::from(big.as_str()));
+        assert!(get(&cache, &k, &fp(1)).is_none());
         let stats = cache.stats();
         assert_eq!(stats.uncacheable, 1);
         assert_eq!(stats.entries, 0);
@@ -325,32 +567,32 @@ mod tests {
     #[test]
     fn invalidate_model_is_selective() {
         let cache = ResultCache::new(1 << 20);
-        cache.insert(key("m1", "a"), Arc::from("1"));
-        cache.insert(key("m1", "b"), Arc::from("2"));
-        cache.insert(key("m2", "a"), Arc::from("3"));
+        cache.insert(key("m1", "a"), fp(1), 4, Arc::from("1"));
+        cache.insert(key("m1", "b"), fp(1), 4, Arc::from("2"));
+        cache.insert(key("m2", "a"), fp(1), 4, Arc::from("3"));
         cache.invalidate_model("m1");
-        assert!(cache.get(&key("m1", "a")).is_none());
-        assert!(cache.get(&key("m1", "b")).is_none());
-        assert_eq!(cache.get(&key("m2", "a")).as_deref(), Some("3"));
+        assert!(get(&cache, &key("m1", "a"), &fp(1)).is_none());
+        assert!(get(&cache, &key("m1", "b"), &fp(1)).is_none());
+        assert_eq!(get(&cache, &key("m2", "a"), &fp(1)).as_deref(), Some("3"));
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
-        assert_eq!(stats.bytes, entry_bytes(&key("m2", "a"), "3"));
+        assert_eq!(stats.bytes, bytes_of(&key("m2", "a"), &fp(1), "3"));
     }
 
     #[test]
     fn distinct_models_do_not_collide() {
         let cache = ResultCache::new(1 << 20);
-        cache.insert(key("m1", "a"), Arc::from("one"));
-        cache.insert(key("m2", "a"), Arc::from("two"));
-        assert_eq!(cache.get(&key("m1", "a")).as_deref(), Some("one"));
-        assert_eq!(cache.get(&key("m2", "a")).as_deref(), Some("two"));
+        cache.insert(key("m1", "a"), fp(1), 4, Arc::from("one"));
+        cache.insert(key("m2", "a"), fp(1), 4, Arc::from("two"));
+        assert_eq!(get(&cache, &key("m1", "a"), &fp(1)).as_deref(), Some("one"));
+        assert_eq!(get(&cache, &key("m2", "a"), &fp(1)).as_deref(), Some("two"));
     }
 
     #[test]
     fn distinct_request_options_do_not_collide() {
-        // Same model, same generation, same query — only the options
-        // suffix differs; the entries must stay independent (v1 vs v2
-        // default vs v2 with a top_k all store different payload shapes).
+        // Same model, same query — only the options suffix differs; the
+        // entries must stay independent (v1 vs v2 default vs v2 with a
+        // top_k all store different payload shapes).
         let cache = ResultCache::new(1 << 20);
         let v1 = key("m", "a");
         let v2_default = CacheKey {
@@ -361,13 +603,21 @@ mod tests {
             options: "v2{\"top_k\":1.0}".to_owned(),
             ..v1.clone()
         };
-        cache.insert(v1.clone(), Arc::from("plain array"));
-        cache.insert(v2_default.clone(), Arc::from("scored object"));
-        cache.insert(v2_top1.clone(), Arc::from("scored object, one entry"));
-        assert_eq!(cache.get(&v1).as_deref(), Some("plain array"));
-        assert_eq!(cache.get(&v2_default).as_deref(), Some("scored object"));
+        cache.insert(v1.clone(), fp(1), 4, Arc::from("plain array"));
+        cache.insert(v2_default.clone(), fp(1), 4, Arc::from("scored object"));
+        cache.insert(
+            v2_top1.clone(),
+            fp(1),
+            4,
+            Arc::from("scored object, one entry"),
+        );
+        assert_eq!(get(&cache, &v1, &fp(1)).as_deref(), Some("plain array"));
         assert_eq!(
-            cache.get(&v2_top1).as_deref(),
+            get(&cache, &v2_default, &fp(1)).as_deref(),
+            Some("scored object")
+        );
+        assert_eq!(
+            get(&cache, &v2_top1, &fp(1)).as_deref(),
             Some("scored object, one entry")
         );
         assert_eq!(cache.stats().entries, 3);
@@ -377,27 +627,143 @@ mod tests {
     }
 
     #[test]
-    fn stale_generation_inserts_cannot_poison_the_new_generation() {
-        // The hot-reload race: a slow request computed against generation 1
-        // inserts *after* the reload invalidated; generation-2 lookups must
-        // not see it.
+    fn differently_covered_segment_sets_never_alias() {
         let cache = ResultCache::new(1 << 20);
-        let old = key("m", "a"); // generation 1
-        let new = CacheKey {
-            generation: 2,
-            ..old.clone()
-        };
+        let k = key("m", "a");
+        cache.insert(k.clone(), fp(2), 4, Arc::from("two segments"));
+        // Exact match requires the same segment list.
+        assert!(get(&cache, &k, &fp(3)).is_none());
+        // A *different* two-element set (same length, other ids) neither
+        // hits nor offers a prefix.
+        let other: Vec<SegmentRef> = vec![(7, 0), (8, 1)];
+        assert!(matches!(cache.lookup(&k, &other, 4), Lookup::Miss));
+        // A shorter fingerprint (the entry is *newer* than the lookup —
+        // a reader on an old snapshot) is not a hit either.
+        assert!(matches!(cache.lookup(&k, &fp(1), 4), Lookup::Miss));
+        // Same ids at different epochs do not alias.
+        let reepoched: Vec<SegmentRef> = vec![(1, 0), (2, 5)];
+        assert!(matches!(cache.lookup(&k, &reepoched, 4), Lookup::Miss));
+    }
+
+    #[test]
+    fn prefix_candidates_surface_and_promote_byte_exactly() {
+        let cache = ResultCache::new(1 << 20);
+        let k = key("m", "a");
+        cache.insert(k.clone(), fp(1), 4, Arc::from("pre-ingest answer"));
+        // After one ingest the old fingerprint is a proper prefix.
+        match cache.lookup(&k, &fp(2), 4) {
+            Lookup::Prefix {
+                prefix,
+                dict_unchanged,
+            } => {
+                assert_eq!(prefix, fp(1));
+                assert!(dict_unchanged);
+            }
+            other => panic!("expected a prefix candidate, got {other:?}"),
+        }
+        // Caller validates the suffix, promotes, and the bytes replay.
+        let value = cache.promote(&k, &fp(2), 4).unwrap();
+        assert_eq!(&*value, "pre-ingest answer");
+        // The entry now covers the current set: the next lookup is exact.
+        assert_eq!(
+            get(&cache, &k, &fp(2)).as_deref(),
+            Some("pre-ingest answer")
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.prefix_hits, stats.misses), (1, 1, 0));
+        // Byte accounting follows the longer fingerprint exactly.
+        assert_eq!(stats.bytes, bytes_of(&k, &fp(2), "pre-ingest answer"));
+    }
+
+    #[test]
+    fn dictionary_growth_blocks_promotion() {
+        let cache = ResultCache::new(1 << 20);
+        let k = key("m", "a");
+        cache.insert(k.clone(), fp(1), 4, Arc::from("answer"));
+        match cache.lookup(&k, &fp(2), 5) {
+            Lookup::Prefix { dict_unchanged, .. } => assert!(!dict_unchanged),
+            other => panic!("expected a prefix candidate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn promote_races_resolve_to_misses() {
+        let cache = ResultCache::new(1 << 20);
+        let k = key("m", "a");
+        // No entry at all (evicted between lookup and promote).
+        assert!(cache.promote(&k, &fp(2), 4).is_none());
+        // Entry already covers the current set (another thread promoted or
+        // re-inserted): promote declines, the caller's next lookup hits.
+        cache.insert(k.clone(), fp(2), 4, Arc::from("fresh"));
+        assert!(cache.promote(&k, &fp(2), 4).is_none());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn stale_prefix_inserts_lose_to_fresher_entries() {
+        // The ingest race: a slow request computed against the pre-ingest
+        // snapshot inserts *after* a fresher post-ingest computation; the
+        // shorter-fingerprint insert must not clobber the newer entry.
+        let cache = ResultCache::new(1 << 20);
+        let k = key("m", "a");
+        cache.insert(k.clone(), fp(2), 4, Arc::from("post-ingest"));
+        cache.insert(k.clone(), fp(1), 4, Arc::from("stale pre-ingest"));
+        assert_eq!(get(&cache, &k, &fp(2)).as_deref(), Some("post-ingest"));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn stale_fingerprint_inserts_cannot_poison_a_reloaded_model() {
+        // The hot-reload race: a slow request computed against the
+        // pre-reload store inserts *after* the reload invalidated.  The
+        // reloaded store has freshly-identified segments, so the stale
+        // entry can neither hit nor prefix-match — and the reload's
+        // invalidate_model reclaims it.
+        let cache = ResultCache::new(1 << 20);
+        let k = key("m", "a");
         cache.invalidate_model("m"); // the reload's invalidation
-        cache.insert(old.clone(), Arc::from("stale pre-reload answer"));
+        cache.insert(k.clone(), fp(2), 4, Arc::from("stale pre-reload answer"));
+        let reloaded: Vec<SegmentRef> = vec![(9, 0)];
         assert!(
-            cache.get(&new).is_none(),
+            matches!(cache.lookup(&k, &reloaded, 4), Lookup::Miss),
             "stale answer leaked across reload"
         );
-        // invalidate_model drops every generation's entries.
-        cache.insert(new.clone(), Arc::from("fresh"));
+        assert!(cache.promote(&k, &reloaded, 4).is_none());
         cache.invalidate_model("m");
-        assert!(cache.get(&old).is_none());
-        assert!(cache.get(&new).is_none());
         assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn remap_on_compaction_preserves_byte_budget_accounting() {
+        let cache = ResultCache::new(1 << 20);
+        let compacted_away = key("m", "a");
+        let current = key("m", "b");
+        let survivor = key("other", "a");
+        // `current` was computed against the snapshot being compacted;
+        // `compacted_away` against an older prefix (never promoted).
+        cache.insert(compacted_away.clone(), fp(1), 4, Arc::from("old"));
+        cache.insert(current.clone(), fp(3), 4, Arc::from("exact"));
+        cache.insert(survivor.clone(), fp(3), 4, Arc::from("other model"));
+        let new_fp: Vec<SegmentRef> = vec![(10, 3)];
+        cache.remap_model("m", &fp(3), &new_fp);
+        // The exact-snapshot entry was re-stamped and still replays.
+        assert_eq!(get(&cache, &current, &new_fp).as_deref(), Some("exact"));
+        // The stale-prefix entry is gone; other models untouched.
+        assert!(matches!(
+            cache.lookup(&compacted_away, &new_fp, 4),
+            Lookup::Miss
+        ));
+        assert_eq!(
+            get(&cache, &survivor, &fp(3)).as_deref(),
+            Some("other model")
+        );
+        // Accounting is exact: the remapped entry is charged for the new
+        // (shorter) fingerprint, the dropped entry's bytes are reclaimed.
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(
+            stats.bytes,
+            bytes_of(&current, &new_fp, "exact") + bytes_of(&survivor, &fp(3), "other model")
+        );
     }
 }

@@ -22,13 +22,14 @@
 //! for the pointer swap.
 
 use crate::demo_queries;
+use crate::lru::SegmentRef;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use xinsight_core::json::Json;
 use xinsight_core::pipeline::{XInsight, XInsightOptions};
-use xinsight_core::{FittedModel, WhyQuery};
+use xinsight_core::{FittedModel, SelectionCache, WhyQuery};
 use xinsight_data::{
     read_csv_str, write_csv_string, CsvOptions, DataError, Dataset, Result, Value,
 };
@@ -61,6 +62,51 @@ pub struct LoadedModel {
     pub example_rows: Vec<String>,
     /// Fit-time CI-test cache counters, restored from the bundle metadata.
     pub ci_cache_stats: CacheStats,
+    /// The model's persistent per-segment partial-aggregate cache, shared
+    /// across the snapshots of one store lineage: an ingest clones the
+    /// `Arc` (the new engine replays every pre-ingest segment's masks and
+    /// partials from it and computes only the new segment — the serving
+    /// prefix-merge path), while a reload or compaction installs a fresh
+    /// cache (the old segment identities are dead, so keeping the old map
+    /// would only pin garbage).
+    pub selection: Arc<SelectionCache>,
+    /// The ordered `(segment id, seal epoch)` fingerprint of this
+    /// snapshot's store — the result-cache scope of every answer computed
+    /// against it (precomputed here so request handlers don't rebuild it).
+    pub fingerprint: Vec<SegmentRef>,
+    /// Total global-dictionary categories in this snapshot — the other
+    /// half of the result-cache promotion check (a grown dictionary can
+    /// move scores even when the new rows miss the query's subspaces).
+    pub dict_len: usize,
+}
+
+/// Computes the store fingerprint of an engine snapshot.
+fn fingerprint_of(engine: &XInsight) -> Vec<SegmentRef> {
+    engine
+        .data()
+        .segments()
+        .iter()
+        .map(|s| (s.id(), s.epoch()))
+        .collect()
+}
+
+/// What one completed compaction did, for LRU remapping and `/stats`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The compacted model's id.
+    pub model: String,
+    /// Fingerprint of the snapshot that was compacted — result-cache
+    /// entries computed against exactly this set can be remapped.
+    pub old_fingerprint: Vec<SegmentRef>,
+    /// Fingerprint of the installed snapshot (always one segment).
+    pub new_fingerprint: Vec<SegmentRef>,
+    /// Segment count before the rewrite.
+    pub segments_before: usize,
+    /// Segment count after the rewrite (always 1).
+    pub segments_after: usize,
+    /// Estimated heap bytes released by merging the per-segment columns
+    /// and dictionary snapshots (saturating; an estimate, not an audit).
+    pub bytes_reclaimed: usize,
 }
 
 /// Thread-safe registry of loaded models, keyed by bundle id.
@@ -176,6 +222,8 @@ impl ModelRegistry {
             .get(id)
             .map(|m| m.generation + 1)
             .unwrap_or(1);
+        let fingerprint = fingerprint_of(&engine);
+        let dict_len = engine.data().dictionary_len();
         let loaded = Arc::new(LoadedModel {
             id: id.to_owned(),
             engine,
@@ -184,6 +232,9 @@ impl ModelRegistry {
             example_queries: meta.example_queries,
             example_rows,
             ci_cache_stats: meta.ci_cache_stats,
+            selection: Arc::new(SelectionCache::new()),
+            fingerprint,
+            dict_len,
         });
         self.models
             .write()
@@ -210,6 +261,8 @@ impl ModelRegistry {
             .get(id)
             .ok_or_else(|| DataError::Serve(format!("model `{id}` is not loaded")))?;
         let engine = current.engine.with_ingested(batch)?;
+        let fingerprint = fingerprint_of(&engine);
+        let dict_len = engine.data().dictionary_len();
         let loaded = Arc::new(LoadedModel {
             id: id.to_owned(),
             engine,
@@ -218,11 +271,101 @@ impl ModelRegistry {
             example_queries: current.example_queries.clone(),
             example_rows: current.example_rows.clone(),
             ci_cache_stats: current.ci_cache_stats,
+            // The lineage is unchanged, so the partial cache stays valid:
+            // the successor engine replays the old segments and computes
+            // only the new one.
+            selection: Arc::clone(&current.selection),
+            fingerprint,
+            dict_len,
         });
         self.models
             .write()
             .insert(id.to_owned(), Arc::clone(&loaded));
         Ok(loaded)
+    }
+
+    /// Compacts one model's segmented store: rewrites its sealed segments
+    /// into a single merged segment (a pure rewrite of immutable data —
+    /// same rows, same order, same dictionary codes, byte-identical
+    /// answers) and atomically swaps the rewritten engine in with a bumped
+    /// generation and a fresh partial cache.
+    ///
+    /// The expensive rewrite runs **off** the swap lock; the lock is taken
+    /// only to validate that the model was not reloaded or ingested into
+    /// meanwhile (in which case the rewrite is discarded and `Ok(None)` is
+    /// returned — the caller simply retries on its next cycle) and to
+    /// perform the pointer swap.  In-flight requests holding the old `Arc`
+    /// finish on their snapshot.  Returns `Ok(None)` without doing any
+    /// work when the store already has at most one segment.
+    pub fn compact(&self, id: &str) -> Result<Option<CompactionReport>> {
+        self.compact_with_fault(id, || {})
+    }
+
+    /// [`ModelRegistry::compact`] with a fault-injection hook for crash
+    /// tests: `fault` runs after the off-lock rewrite and before the swap
+    /// is validated — the widest window in which a compactor can die with
+    /// work in hand.  A panicking hook unwinds out of this call with the
+    /// registry untouched: the partial rewrite is dropped, no lock is
+    /// poisoned, and the next call starts clean.
+    pub fn compact_with_fault(
+        &self,
+        id: &str,
+        fault: impl FnOnce(),
+    ) -> Result<Option<CompactionReport>> {
+        let Some(current) = self.get(id) else {
+            return Err(DataError::Serve(format!("model `{id}` is not loaded")));
+        };
+        if current.engine.data().n_segments() <= 1 {
+            return Ok(None);
+        }
+        let bytes = |engine: &XInsight| -> usize {
+            engine
+                .data()
+                .segments()
+                .iter()
+                .map(|s| s.approx_bytes())
+                .sum()
+        };
+        let bytes_before = bytes(&current.engine);
+        let engine = current.engine.with_compacted()?;
+        let bytes_after = bytes(&engine);
+        fault();
+        let report = CompactionReport {
+            model: id.to_owned(),
+            old_fingerprint: current.fingerprint.clone(),
+            new_fingerprint: fingerprint_of(&engine),
+            segments_before: current.engine.data().n_segments(),
+            segments_after: engine.data().n_segments(),
+            bytes_reclaimed: bytes_before.saturating_sub(bytes_after),
+        };
+        let dict_len = engine.data().dictionary_len();
+        let _guard = self.swap_lock.lock();
+        let latest = self
+            .get(id)
+            .ok_or_else(|| DataError::Serve(format!("model `{id}` is not loaded")))?;
+        if !Arc::ptr_eq(&latest, &current) {
+            // The model moved on (ingest or reload) while we rewrote: the
+            // rewrite is stale — discard it and let the next cycle retry.
+            return Ok(None);
+        }
+        let loaded = Arc::new(LoadedModel {
+            id: id.to_owned(),
+            engine,
+            n_rows: current.n_rows,
+            generation: current.generation + 1,
+            example_queries: current.example_queries.clone(),
+            example_rows: current.example_rows.clone(),
+            ci_cache_stats: current.ci_cache_stats,
+            // A fresh cache: the compacted segment has a new identity, and
+            // dropping the old map releases every pre-compaction partial.
+            selection: Arc::new(SelectionCache::new()),
+            fingerprint: report.new_fingerprint.clone(),
+            dict_len,
+        });
+        self.models
+            .write()
+            .insert(id.to_owned(), Arc::clone(&loaded));
+        Ok(Some(report))
     }
 
     /// The current engine for a model id, if loaded.
@@ -583,6 +726,79 @@ mod tests {
         assert_eq!(reloaded.generation, second.generation + 1);
         // Ingesting into an unknown id is a structured error.
         assert!(registry.ingest("ghost", &batch).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn first_rows(data: &Dataset, n: usize) -> Dataset {
+        data.filter_rows(&xinsight_data::RowMask::from_bools(
+            (0..data.n_rows()).map(|i| i < n),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn compaction_merges_segments_and_preserves_answers() {
+        let dir = temp_dir("compact");
+        let data = tiny_data();
+        let registry = ModelRegistry::open_empty(&dir, XInsightOptions::default());
+        registry
+            .fit_and_save("m", &data, vec![tiny_query()])
+            .unwrap();
+        registry.load("m").unwrap();
+        registry.ingest("m", &first_rows(&data, 6)).unwrap();
+        let before = registry.ingest("m", &first_rows(&data, 4)).unwrap();
+        assert_eq!(before.engine.data().n_segments(), 3);
+        let baseline = explain(&before.engine, &tiny_query());
+
+        let report = registry.compact("m").unwrap().expect("3 segments merge");
+        assert_eq!(report.segments_before, 3);
+        assert_eq!(report.segments_after, 1);
+        assert_eq!(report.old_fingerprint, before.fingerprint);
+        assert!(report.bytes_reclaimed > 0, "merged dictionaries shrink");
+
+        let after = registry.get("m").unwrap();
+        assert_eq!(after.generation, before.generation + 1);
+        assert_eq!(after.fingerprint, report.new_fingerprint);
+        assert_eq!(after.engine.data().n_segments(), 1);
+        assert_eq!(after.n_rows, before.n_rows);
+        // Compaction installs a fresh partial cache; ingest had shared it.
+        assert!(!Arc::ptr_eq(&after.selection, &before.selection));
+        // The rewrite is answer-preserving, and the old snapshot still
+        // serves (in-flight requests are unaffected).
+        assert_eq!(explain(&after.engine, &tiny_query()), baseline);
+        assert_eq!(explain(&before.engine, &tiny_query()), baseline);
+        // Already compact: a no-op.  Unknown id: a structured error.
+        assert!(registry.compact("m").unwrap().is_none());
+        assert!(registry.compact("ghost").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_compaction_rewrites_are_discarded() {
+        let dir = temp_dir("compact_race");
+        let data = tiny_data();
+        let registry = ModelRegistry::open_empty(&dir, XInsightOptions::default());
+        registry
+            .fit_and_save("m", &data, vec![tiny_query()])
+            .unwrap();
+        registry.load("m").unwrap();
+        registry.ingest("m", &first_rows(&data, 6)).unwrap();
+        // An ingest lands in the window between the rewrite and the swap:
+        // the finished rewrite no longer covers the store and must be
+        // discarded, keeping the raced-in batch.
+        let raced = registry
+            .compact_with_fault("m", || {
+                registry.ingest("m", &first_rows(&data, 4)).unwrap();
+            })
+            .unwrap();
+        assert!(raced.is_none(), "stale rewrite must be discarded");
+        let current = registry.get("m").unwrap();
+        assert_eq!(current.engine.data().n_segments(), 3);
+        assert_eq!(current.n_rows, data.n_rows() + 10);
+        // The next cycle compacts the post-race store just fine.
+        let report = registry.compact("m").unwrap().expect("retry succeeds");
+        assert_eq!(report.segments_before, 3);
+        assert_eq!(registry.get("m").unwrap().n_rows, data.n_rows() + 10);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

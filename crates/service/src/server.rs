@@ -33,17 +33,17 @@
 //! joins everything.
 
 use crate::http::{self, HttpError, Request, Response};
-use crate::lru::{CacheKey, ResultCache};
-use crate::registry::ModelRegistry;
-use crate::stats::ServerStats;
+use crate::lru::{CacheKey, Lookup, ResultCache};
+use crate::registry::{LoadedModel, ModelRegistry};
+use crate::stats::{ServerStats, StatsSnapshot};
 use crate::wire;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use xinsight_core::{ExplainRequest, SelectionCache};
+use xinsight_core::{ExplainRequest, WhyQuery};
 use xinsight_data::{DataError, Result};
 use xinsight_stats::CacheStats;
 
@@ -58,6 +58,11 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Byte budget of the LRU result cache.
     pub cache_bytes: usize,
+    /// Background compaction threshold: once a model's store holds at
+    /// least this many sealed segments, the compactor rewrites them into
+    /// one.  `0` (and `1`, which could never terminate) disables the
+    /// compactor thread entirely.
+    pub compact_after: usize,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +76,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             queue_capacity: 64,
             cache_bytes: 64 << 20,
+            compact_after: 0,
         }
     }
 }
@@ -92,8 +98,77 @@ struct Shared {
     available: Condvar,
     queue_capacity: usize,
     workers: usize,
+    compact_after: usize,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    flights: Flights,
+}
+
+/// An in-flight recompute never waits longer than this for its key's
+/// current owner before giving up on deduplication and computing anyway —
+/// a stalled owner (pathological query, deadline-free slow path) must not
+/// stall its followers indefinitely.
+const FLIGHT_WAIT_LIMIT: Duration = Duration::from_secs(10);
+
+/// Single-flight deduplication for cacheable recomputes: under a mixed
+/// read/ingest workload, several clients asking the same hot query race
+/// into the same prefix merge the instant an ingest changes the store's
+/// fingerprint, and each would redo the identical engine work.  The first
+/// requester claims the key; followers block until the owner's insert
+/// lands, then replay it from the result cache.
+#[derive(Default)]
+struct Flights {
+    busy: Mutex<HashSet<CacheKey>>,
+    done: Condvar,
+}
+
+/// Ownership token for a claimed key; releasing on drop keeps the claim
+/// balanced on every exit path, including engine-error returns and
+/// unwinds.
+struct FlightGuard<'a> {
+    flights: &'a Flights,
+    key: CacheKey,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut busy = self.flights.busy.lock().expect("flights lock");
+        busy.remove(&self.key);
+        drop(busy);
+        self.flights.done.notify_all();
+    }
+}
+
+impl Flights {
+    /// Claims `key` for this requester, or waits for the current owner.
+    ///
+    /// `Some(guard)` means the caller owns the recompute (nobody else was
+    /// flying it).  `None` means another request was already computing the
+    /// key and has since finished (or [`FLIGHT_WAIT_LIMIT`] elapsed): the
+    /// caller should re-check the result cache before falling back to its
+    /// own compute.
+    fn claim(&self, key: &CacheKey) -> Option<FlightGuard<'_>> {
+        let mut busy = self.busy.lock().expect("flights lock");
+        if busy.insert(key.clone()) {
+            return Some(FlightGuard {
+                flights: self,
+                key: key.clone(),
+            });
+        }
+        let deadline = Instant::now() + FLIGHT_WAIT_LIMIT;
+        while busy.contains(key) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            busy = self
+                .done
+                .wait_timeout(busy, deadline - now)
+                .expect("flights lock")
+                .0;
+        }
+        None
+    }
 }
 
 impl Shared {
@@ -165,11 +240,13 @@ pub fn start(registry: Arc<ModelRegistry>, config: &ServerConfig) -> Result<Serv
         available: Condvar::new(),
         queue_capacity: config.queue_capacity.max(1),
         workers,
+        compact_after: config.compact_after,
         shutdown: AtomicBool::new(false),
         addr,
+        flights: Flights::default(),
     });
 
-    let mut threads = Vec::with_capacity(workers + 1);
+    let mut threads = Vec::with_capacity(workers + 2);
     {
         let shared = Arc::clone(&shared);
         threads.push(
@@ -188,7 +265,67 @@ pub fn start(registry: Arc<ModelRegistry>, config: &ServerConfig) -> Result<Serv
                 .map_err(|e| DataError::Serve(format!("spawning worker: {e}")))?,
         );
     }
+    if config.compact_after >= 2 {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("xinsight-compactor".into())
+                .spawn(move || compactor_loop(&shared))
+                .map_err(|e| DataError::Serve(format!("spawning compactor: {e}")))?,
+        );
+    }
     Ok(ServerHandle { shared, threads })
+}
+
+/// How often the compactor scans the registry for fragmented stores.
+/// Short on purpose: under ingest churn every extra un-compacted segment
+/// makes each prefix merge probe (and recompute) another segment, so the
+/// scan cadence directly bounds read-path fan-out; an idle scan is just a
+/// registry walk and costs next to nothing.
+const COMPACT_POLL: Duration = Duration::from_millis(15);
+
+/// The background compactor: a low-priority loop that rewrites any store
+/// holding at least `compact_after` sealed segments into a single merged
+/// segment via [`ModelRegistry::compact`] (the expensive rewrite runs off
+/// the swap lock; a store that gets ingested into or reloaded mid-rewrite
+/// is simply retried on the next scan).  After a successful swap the
+/// result cache is remapped — entries computed against exactly the
+/// compacted snapshot are re-stamped onto the merged segment, everything
+/// older for that model is dropped — and the compaction counters updated.
+///
+/// Each cycle is wrapped in `catch_unwind`: a panicking compaction (bug or
+/// injected fault) discards its partial rewrite and never takes the
+/// serving path down — the swap lock is not even held while the rewrite
+/// runs, so nothing is poisoned and the next scan starts clean.
+fn compactor_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(COMPACT_POLL);
+        for id in shared.registry.ids() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let fragmented = shared
+                .registry
+                .get(&id)
+                .is_some_and(|m| m.engine.data().n_segments() >= shared.compact_after);
+            if !fragmented {
+                continue;
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shared.registry.compact(&id)
+            }));
+            if let Ok(Ok(Some(report))) = outcome {
+                shared
+                    .cache
+                    .remap_model(&id, &report.old_fingerprint, &report.new_fingerprint);
+                shared.stats.record_compaction(
+                    report.segments_before,
+                    report.segments_after,
+                    report.bytes_reclaimed,
+                );
+            }
+        }
+    }
 }
 
 fn accept_loop(listener: TcpListener, shared: &Shared) {
@@ -387,6 +524,73 @@ fn route(shared: &Shared, request: &Request) -> (Response, bool) {
     }
 }
 
+/// How the result cache resolved one cacheable explain.
+enum CacheOutcome {
+    /// Serve these bytes as `cached: true` — an exact fingerprint hit, or
+    /// a proper-prefix entry promoted after the suffix was proven unable
+    /// to change the answer.
+    Hit(Arc<str>),
+    /// A proper-prefix entry exists but its suffix may move scores:
+    /// recompute through the model's persistent partial cache (pre-ingest
+    /// segments replay, only the new segments compute) and record the
+    /// serve as a merge.
+    Merge,
+    /// No usable entry (already counted): full compute.
+    Miss,
+}
+
+/// Resolves a cacheable explain against the result cache, attempting
+/// prefix promotion when the cache surfaces a candidate.
+fn lookup_or_promote(shared: &Shared, model: &LoadedModel, key: &CacheKey) -> CacheOutcome {
+    match shared.cache.lookup(key, &model.fingerprint, model.dict_len) {
+        Lookup::Hit(value) => CacheOutcome::Hit(value),
+        Lookup::Prefix {
+            prefix,
+            dict_unchanged,
+        } => {
+            if dict_unchanged && suffix_cannot_change_answer(model, &key.query, prefix.len()) {
+                match shared
+                    .cache
+                    .promote(key, &model.fingerprint, model.dict_len)
+                {
+                    Some(value) => CacheOutcome::Hit(value),
+                    // Raced away (eviction / concurrent writer); promote
+                    // already counted the miss.
+                    None => CacheOutcome::Miss,
+                }
+            } else {
+                CacheOutcome::Merge
+            }
+        }
+        Lookup::Miss => CacheOutcome::Miss,
+    }
+}
+
+/// The promotion-validity check: a cached answer computed before the
+/// suffix segments were ingested is still byte-identical iff no suffix
+/// segment contributes a row to either sibling subspace of the query
+/// (every aggregate, orientation and epsilon the search consumes is
+/// S1/S2-scoped) *and* the global dictionary did not grow (checked by the
+/// caller via the fingerprint's `dict_len` — cardinality drives candidate
+/// filters and the `σ = 1/m` regulariser).  The masks computed here go
+/// through the model's persistent [`SelectionCache`], so even a failed
+/// check is not wasted work: the recompute that follows reuses them.
+///
+/// [`SelectionCache`]: xinsight_core::SelectionCache
+fn suffix_cannot_change_answer(model: &LoadedModel, query: &WhyQuery, covered: usize) -> bool {
+    let store = model.engine.data();
+    store.segments()[covered..].iter().all(|segment| {
+        let untouched = |subspace: &xinsight_data::Subspace| {
+            model
+                .selection
+                .subspace_mask(store, segment, subspace)
+                .map(|mask| mask.is_none_selected())
+                .unwrap_or(false)
+        };
+        untouched(query.s1()) && untouched(query.s2())
+    })
+}
+
 /// The v1 `/explain` handler — now an adapter: it builds a *default*
 /// [`ExplainRequest`] and routes through the same `execute` core as `/v2`,
 /// serializing the response back into the stable v1 wire shape (a bare
@@ -401,25 +605,46 @@ fn handle_explain(shared: &Shared, body: &[u8]) -> Response {
     };
     let key = CacheKey {
         model: model.id.clone(),
-        generation: model.generation,
         query: request.query.clone(),
         options: String::new(),
     };
-    if let Some(hit) = shared.cache.get(&key) {
+    let outcome = lookup_or_promote(shared, &model, &key);
+    if let CacheOutcome::Hit(hit) = outcome {
         shared.stats.explain.fetch_add(1, Ordering::Relaxed);
         return Response::json(200, wire::explain_response(&model.id, true, &hit));
     }
+    // Single-flight: if another request is already recomputing exactly
+    // this key, wait for its insert and replay it instead of duplicating
+    // the engine work; the guard (when owned) releases on every return.
+    let flight = shared.flights.claim(&key);
+    let outcome = if flight.is_some() {
+        outcome
+    } else {
+        match lookup_or_promote(shared, &model, &key) {
+            CacheOutcome::Hit(hit) => {
+                shared.stats.explain.fetch_add(1, Ordering::Relaxed);
+                return Response::json(200, wire::explain_response(&model.id, true, &hit));
+            }
+            refreshed => refreshed,
+        }
+    };
     let engine_request = ExplainRequest::new(request.query);
-    let selection = Arc::new(SelectionCache::new());
     match model
         .engine
-        .execute_with_cache(&engine_request, Arc::clone(&selection))
+        .execute_with_cache(&engine_request, Arc::clone(&model.selection))
     {
         Ok(response) => {
-            shared.stats.add_selection(selection.stats());
+            if matches!(outcome, CacheOutcome::Merge) {
+                shared.cache.merged();
+            }
             let explanations = response.into_explanations();
             let json: Arc<str> = Arc::from(wire::explanations_to_string(&explanations).as_str());
-            shared.cache.insert(key, Arc::clone(&json));
+            shared.cache.insert(
+                key,
+                model.fingerprint.clone(),
+                model.dict_len,
+                Arc::clone(&json),
+            );
             shared.stats.explain.fetch_add(1, Ordering::Relaxed);
             Response::json(200, wire::explain_response(&model.id, false, &json))
         }
@@ -437,41 +662,47 @@ fn handle_explain_batch(shared: &Shared, body: &[u8]) -> Response {
     let Some(model) = shared.registry.get(&request.model) else {
         return Response::error(404, &format!("model `{}` is not loaded", request.model));
     };
-    // Serve what the LRU already has; answer the rest in one engine batch
-    // that shares a single SelectionCache across the uncached queries.
+    // Serve what the LRU already has (exact hits and promotable prefix
+    // entries); answer the rest in one engine batch through the model's
+    // persistent SelectionCache.
     let mut results: Vec<Option<(bool, Arc<str>)>> = vec![None; request.queries.len()];
     let mut uncached = Vec::new();
     for (i, query) in request.queries.iter().enumerate() {
         let key = CacheKey {
             model: model.id.clone(),
-            generation: model.generation,
             query: query.clone(),
             options: String::new(),
         };
-        if let Some(hit) = shared.cache.get(&key) {
-            results[i] = Some((true, hit));
-        } else {
-            uncached.push((i, key));
+        match lookup_or_promote(shared, &model, &key) {
+            CacheOutcome::Hit(hit) => results[i] = Some((true, hit)),
+            CacheOutcome::Merge => uncached.push((i, key, true)),
+            CacheOutcome::Miss => uncached.push((i, key, false)),
         }
     }
     if !uncached.is_empty() {
         let requests: Vec<ExplainRequest> = uncached
             .iter()
-            .map(|(_, k)| ExplainRequest::new(k.query.clone()))
+            .map(|(_, k, _)| ExplainRequest::new(k.query.clone()))
             .collect();
-        let selection = Arc::new(SelectionCache::new());
         let answers = match model
             .engine
-            .execute_batch_with_cache(&requests, Arc::clone(&selection))
+            .execute_batch_with_cache(&requests, Arc::clone(&model.selection))
         {
             Ok(a) => a,
             Err(e) => return error_response(&e),
         };
-        shared.stats.add_selection(selection.stats());
-        for ((i, key), response) in uncached.into_iter().zip(answers) {
+        for ((i, key, merge), response) in uncached.into_iter().zip(answers) {
+            if merge {
+                shared.cache.merged();
+            }
             let explanations = response.into_explanations();
             let json: Arc<str> = Arc::from(wire::explanations_to_string(&explanations).as_str());
-            shared.cache.insert(key, Arc::clone(&json));
+            shared.cache.insert(
+                key,
+                model.fingerprint.clone(),
+                model.dict_len,
+                Arc::clone(&json),
+            );
             results[i] = Some((false, json));
         }
     }
@@ -500,11 +731,11 @@ fn handle_explain_v2(shared: &Shared, body: &[u8]) -> Response {
     };
     let key = CacheKey {
         model: model.id.clone(),
-        generation: model.generation,
         query: request.query.clone(),
         options: request.options.cache_key(),
     };
-    if let Some(hit) = shared.cache.get(&key) {
+    let outcome = lookup_or_promote(shared, &model, &key);
+    if let CacheOutcome::Hit(hit) = outcome {
         shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed);
         // A cached result was not recomputed, so there is no fresh
         // provenance to report — `cached: true` *is* the provenance.
@@ -514,14 +745,40 @@ fn handle_explain_v2(shared: &Shared, body: &[u8]) -> Response {
             wire::explain_v2_response(&model.id, true, false, elapsed_us, None, &hit),
         );
     }
+    // Single-flight: collapse concurrent recomputes of this exact key
+    // into one engine execution (see [`Flights`]); a follower whose owner
+    // just inserted replays the cached bytes.
+    let flight = shared.flights.claim(&key);
+    let outcome = if flight.is_some() {
+        outcome
+    } else {
+        match lookup_or_promote(shared, &model, &key) {
+            CacheOutcome::Hit(hit) => {
+                shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed);
+                let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                return Response::json(
+                    200,
+                    wire::explain_v2_response(&model.id, true, false, elapsed_us, None, &hit),
+                );
+            }
+            refreshed => refreshed,
+        }
+    };
     let engine_request = request.options.to_engine_request(request.query);
-    let selection = Arc::new(SelectionCache::new());
     match model
         .engine
-        .execute_with_cache(&engine_request, Arc::clone(&selection))
+        .execute_with_cache(&engine_request, Arc::clone(&model.selection))
     {
         Ok(mut response) => {
-            shared.stats.add_selection(selection.stats());
+            if matches!(outcome, CacheOutcome::Merge) {
+                // A deadline-cut recompute skipped searches instead of
+                // merging the cached partials — count it honestly.
+                if response.deadline_hit {
+                    shared.cache.note_miss();
+                } else {
+                    shared.cache.merged();
+                }
+            }
             if let Some(provenance) = response.provenance.as_mut() {
                 // Engines restored from a bundle lose their fit-time CI
                 // counters; the registry persisted them, so re-attach.
@@ -532,7 +789,12 @@ fn handle_explain_v2(shared: &Shared, body: &[u8]) -> Response {
             // would replay the partiality to future (possibly unhurried)
             // requests.
             if !response.deadline_hit {
-                shared.cache.insert(key, Arc::clone(&result));
+                shared.cache.insert(
+                    key,
+                    model.fingerprint.clone(),
+                    model.dict_len,
+                    Arc::clone(&result),
+                );
             }
             shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed);
             // Handler wall-clock on both paths (parse + lookup + engine),
@@ -571,42 +833,53 @@ fn handle_explain_batch_v2(shared: &Shared, body: &[u8]) -> Response {
     for (i, query) in request.queries.iter().enumerate() {
         let key = CacheKey {
             model: model.id.clone(),
-            generation: model.generation,
             query: query.clone(),
             options: options_key.clone(),
         };
-        if let Some(hit) = shared.cache.get(&key) {
-            results[i] = Some(wire::BatchSlotV2 {
-                cached: true,
-                deadline_hit: false,
-                provenance: None,
-                result: hit,
-            });
-        } else {
-            uncached.push((i, key));
+        match lookup_or_promote(shared, &model, &key) {
+            CacheOutcome::Hit(hit) => {
+                results[i] = Some(wire::BatchSlotV2 {
+                    cached: true,
+                    deadline_hit: false,
+                    provenance: None,
+                    result: hit,
+                });
+            }
+            CacheOutcome::Merge => uncached.push((i, key, true)),
+            CacheOutcome::Miss => uncached.push((i, key, false)),
         }
     }
     if !uncached.is_empty() {
         let requests: Vec<ExplainRequest> = uncached
             .iter()
-            .map(|(_, k)| request.options.to_engine_request(k.query.clone()))
+            .map(|(_, k, _)| request.options.to_engine_request(k.query.clone()))
             .collect();
-        let selection = Arc::new(SelectionCache::new());
         let answers = match model
             .engine
-            .execute_batch_with_cache(&requests, Arc::clone(&selection))
+            .execute_batch_with_cache(&requests, Arc::clone(&model.selection))
         {
             Ok(a) => a,
             Err(e) => return error_response_v2(&e),
         };
-        shared.stats.add_selection(selection.stats());
-        for ((i, key), mut response) in uncached.into_iter().zip(answers) {
+        for ((i, key, merge), mut response) in uncached.into_iter().zip(answers) {
+            if merge {
+                if response.deadline_hit {
+                    shared.cache.note_miss();
+                } else {
+                    shared.cache.merged();
+                }
+            }
             if let Some(provenance) = response.provenance.as_mut() {
                 provenance.ci_cache_fit_time = model.ci_cache_stats;
             }
             let result: Arc<str> = Arc::from(wire::v2_result_to_string(&response).as_str());
             if !response.deadline_hit {
-                shared.cache.insert(key, Arc::clone(&result));
+                shared.cache.insert(
+                    key,
+                    model.fingerprint.clone(),
+                    model.dict_len,
+                    Arc::clone(&result),
+                );
             }
             results[i] = Some(wire::BatchSlotV2 {
                 cached: false,
@@ -650,10 +923,11 @@ fn handle_ingest_v2(shared: &Shared, body: &[u8]) -> Response {
     };
     match shared.registry.ingest(&request.model, &batch) {
         Ok(loaded) => {
-            // Old-generation LRU entries are unreachable already (the
-            // generation is part of the key); dropping them reclaims their
-            // byte budget immediately.
-            shared.cache.invalidate_model(&request.model);
+            // Nothing is invalidated: cached results stay keyed by the
+            // segment-set fingerprint they were computed against, which is
+            // now a proper prefix of the store — follow-up lookups promote
+            // them (when the new rows cannot move the answer) or merge
+            // their partials with the new segment's.
             shared.stats.ingest_v2.fetch_add(1, Ordering::Relaxed);
             let store = loaded.engine.data();
             // `ingested` counts rows actually sealed into the store — the
@@ -758,15 +1032,25 @@ fn handle_stats(shared: &Shared) -> Response {
             })
             .collect(),
     );
+    // The selection-cache view is *live*: each model's persistent partial
+    // cache is summed at snapshot time (the caches are shared across
+    // requests and ingests, so per-request accumulation would double
+    // count).
+    let selection: CacheStats = models
+        .iter()
+        .map(|m| m.selection.stats())
+        .fold(CacheStats::default(), CacheStats::merged);
     let queue_depth = shared.queue.lock().expect("queue lock").len();
-    let doc = shared.stats.to_json(
-        &shared.cache.stats(),
-        ci,
-        model_stores,
+    let doc = shared.stats.to_json(StatsSnapshot {
+        result_cache: shared.cache.stats(),
+        selection,
+        ci_cache: ci,
+        models: model_stores,
         queue_depth,
-        shared.queue_capacity,
-        shared.workers,
-    );
+        queue_capacity: shared.queue_capacity,
+        workers: shared.workers,
+        compact_after: shared.compact_after,
+    });
     shared.stats.stats.fetch_add(1, Ordering::Relaxed);
     Response::json(200, doc.to_string())
 }
@@ -1170,6 +1454,226 @@ mod tests {
         assert_eq!(doc.get("code").unwrap().as_str().unwrap(), "serve");
         let resp = client.ingest_v2("ghost", "[{\"X\":\"a\"}]").unwrap();
         assert_eq!(resp.status, 404);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A dataset whose `Location` has a *third* category `C` that the
+    /// example query never touches — ingesting `C` rows grows the store
+    /// without intersecting the query's subspaces, which is exactly the
+    /// case where a cached result can be promoted instead of recomputed.
+    fn tri_data() -> Dataset {
+        let mut loc = Vec::new();
+        let mut smoking = Vec::new();
+        let mut severity = Vec::new();
+        for i in 0..180 {
+            let which = i % 3;
+            loc.push(["A", "B", "C"][which]);
+            let smokes = (i / 3) % 10 < if which == 0 { 8 } else { 2 };
+            smoking.push(if smokes { "Yes" } else { "No" });
+            severity.push(if smokes { 2.0 + (i % 3) as f64 } else { 1.0 });
+        }
+        DatasetBuilder::new()
+            .dimension("Location", loc)
+            .dimension("Smoking", smoking)
+            .measure("Severity", severity)
+            .build()
+            .unwrap()
+    }
+
+    fn start_tri(tag: &str, config: ServerConfig) -> (ServerHandle, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("xinsight_server_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let registry = ModelRegistry::open_empty(&dir, XInsightOptions::default());
+        registry
+            .fit_and_save("tri", &tri_data(), vec![tiny_query()])
+            .unwrap();
+        registry.load("tri").unwrap();
+        let handle = start(Arc::new(registry), &config).unwrap();
+        (handle, dir)
+    }
+
+    fn explanations_of(body: &str) -> String {
+        Json::parse(body)
+            .unwrap()
+            .get("explanations")
+            .unwrap()
+            .to_string()
+    }
+
+    fn cached_flag(body: &str) -> bool {
+        Json::parse(body)
+            .unwrap()
+            .get("cached")
+            .unwrap()
+            .as_bool()
+            .unwrap()
+    }
+
+    #[test]
+    fn non_intersecting_ingest_promotes_instead_of_invalidating() {
+        let (handle, dir) = start_tri("promote", ServerConfig::default());
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let body = format!("{{\"model\":\"tri\",\"query\":{}}}", tiny_query().to_json());
+        let cold = client.post("/explain", &body).unwrap();
+        assert_eq!(cold.status, 200, "body: {}", cold.body);
+        assert!(!cached_flag(&cold.body));
+        let baseline = explanations_of(&cold.body);
+
+        // Ingest rows the query's subspaces (`Location` A vs B) never
+        // select: all existing categories, so the dictionary is unchanged.
+        let c_row = "{\"Location\":\"C\",\"Smoking\":\"No\",\"Severity\":1.5}";
+        let resp = client
+            .ingest_v2("tri", &format!("[{c_row},{c_row}]"))
+            .unwrap();
+        assert_eq!(resp.status, 200, "body: {}", resp.body);
+
+        // The pre-ingest entry is *promoted*: served as cached, bytes
+        // identical, no recompute.
+        let warm = client.post("/explain", &body).unwrap();
+        assert!(
+            cached_flag(&warm.body),
+            "a provably-unaffected cached answer must survive ingest"
+        );
+        assert_eq!(explanations_of(&warm.body), baseline);
+        let stats = Json::parse(&client.get("/stats").unwrap().body).unwrap();
+        let cache = stats.get("result_cache").unwrap();
+        assert_eq!(cache.get("prefix_hits").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(cache.get("merged").unwrap().as_u64().unwrap(), 0);
+
+        // An ingest that *does* intersect S1 forces the merge path: the
+        // recompute replays the old segments' partials and only computes
+        // the new one — and must agree with a cold recompute.
+        let a_row = "{\"Location\":\"A\",\"Smoking\":\"Yes\",\"Severity\":3.0}";
+        assert_eq!(
+            client
+                .ingest_v2("tri", &format!("[{a_row}]"))
+                .unwrap()
+                .status,
+            200
+        );
+        let merged = client.post("/explain", &body).unwrap();
+        assert!(
+            !cached_flag(&merged.body),
+            "an intersecting ingest must recompute"
+        );
+        let stats = Json::parse(&client.get("/stats").unwrap().body).unwrap();
+        let cache = stats.get("result_cache").unwrap();
+        assert_eq!(cache.get("merged").unwrap().as_u64().unwrap(), 1);
+
+        // A *new category* on any dimension blocks promotion even when the
+        // new rows miss the subspaces (cardinality moves scores).
+        let new_cat = "{\"Location\":\"C\",\"Smoking\":\"Quit\",\"Severity\":1.0}";
+        assert_eq!(
+            client
+                .ingest_v2("tri", &format!("[{new_cat}]"))
+                .unwrap()
+                .status,
+            200
+        );
+        let after_growth = client.post("/explain", &body).unwrap();
+        assert!(
+            !cached_flag(&after_growth.body),
+            "dictionary growth must force a recompute"
+        );
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_hit_partials_are_never_admitted() {
+        let (handle, dir) = start_tiny("deadline", ServerConfig::default());
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let query_json = tiny_query().to_json();
+        // An already-expired deadline skips every search: the response is
+        // partial and must not be cached — the repeat is not a hit.
+        for _ in 0..2 {
+            let resp = client
+                .explain_v2("tiny", &query_json, Some("{\"deadline_ms\":0}"))
+                .unwrap();
+            assert_eq!(resp.status, 200, "body: {}", resp.body);
+            let doc = Json::parse(&resp.body).unwrap();
+            assert!(doc.get("deadline_hit").unwrap().as_bool().unwrap());
+            assert!(
+                !doc.get("cached").unwrap().as_bool().unwrap(),
+                "a deadline-hit partial must never be served from cache"
+            );
+        }
+        let stats = Json::parse(&client.get("/stats").unwrap().body).unwrap();
+        let cache = stats.get("result_cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(cache.get("entries").unwrap().as_u64().unwrap(), 0);
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_compaction_preserves_answers_over_http() {
+        let (handle, dir) = start_tri(
+            "compactor",
+            ServerConfig {
+                compact_after: 3,
+                ..ServerConfig::default()
+            },
+        );
+        let mut client = HttpClient::connect(handle.addr()).unwrap();
+        let body = format!("{{\"model\":\"tri\",\"query\":{}}}", tiny_query().to_json());
+        let baseline = explanations_of(&client.post("/explain", &body).unwrap().body);
+        // Two single-row ingests leave 3 segments — at the threshold.
+        let c_row = "{\"Location\":\"C\",\"Smoking\":\"No\",\"Severity\":1.5}";
+        for _ in 0..2 {
+            assert_eq!(
+                client
+                    .ingest_v2("tri", &format!("[{c_row}]"))
+                    .unwrap()
+                    .status,
+                200
+            );
+        }
+        // The compactor folds the store to one segment within a few scans.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let compaction = loop {
+            let stats = Json::parse(&client.get("/stats").unwrap().body).unwrap();
+            let compaction = stats.get("compaction").unwrap().clone();
+            if compaction.get("runs").unwrap().as_u64().unwrap() >= 1 {
+                break compaction;
+            }
+            assert!(Instant::now() < deadline, "compactor never ran: {stats}");
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        assert!(compaction.get("enabled").unwrap().as_bool().unwrap());
+        assert_eq!(
+            compaction
+                .get("last_segments_after")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            1
+        );
+        assert!(
+            compaction
+                .get("last_segments_before")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                >= 2
+        );
+        assert!(compaction.get("bytes_reclaimed").unwrap().as_u64().unwrap() > 0);
+        let models = Json::parse(&client.get("/models").unwrap().body).unwrap();
+        let entry = &models.as_arr().unwrap()[0];
+        assert_eq!(entry.get("segments").unwrap().as_u64().unwrap(), 1);
+        // Generation: 1 (load) + 2 ingests + ≥1 compaction.
+        assert!(entry.get("generation").unwrap().as_u64().unwrap() >= 4);
+        // The compacted store answers byte-identically (the ingested `C`
+        // rows never intersected the query's subspaces), and repeats hit
+        // the cache again under the merged segment's fingerprint.
+        let after = client.post("/explain", &body).unwrap();
+        assert_eq!(explanations_of(&after.body), baseline);
+        let repeat = client.post("/explain", &body).unwrap();
+        assert!(cached_flag(&repeat.body));
+        assert_eq!(explanations_of(&repeat.body), baseline);
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

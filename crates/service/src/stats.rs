@@ -95,6 +95,31 @@ impl LatencyHistogram {
     }
 }
 
+/// The externally-owned pieces of one `/stats` snapshot, assembled by the
+/// server at request time and rendered by [`ServerStats::to_json`].
+#[derive(Debug)]
+pub struct StatsSnapshot {
+    /// The LRU result cache's counters and occupancy.
+    pub result_cache: crate::lru::ResultCacheStats,
+    /// Live sum of every loaded model's persistent `SelectionCache`
+    /// counters (summed at snapshot time — the caches are shared across
+    /// requests, so per-request accumulation would double count).
+    pub selection: CacheStats,
+    /// Merged fit-time CI-test cache counters over all loaded models.
+    pub ci_cache: CacheStats,
+    /// Per-model store shapes (id / generation / segments / rows / epoch),
+    /// already rendered.
+    pub models: Json,
+    /// Admitted connections currently waiting for a worker.
+    pub queue_depth: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// The compaction threshold (`0` = compactor disabled).
+    pub compact_after: usize,
+}
+
 /// Aggregate counters of one server instance.
 #[derive(Debug)]
 pub struct ServerStats {
@@ -126,10 +151,15 @@ pub struct ServerStats {
     /// End-to-end request latencies (excluding queue wait of the
     /// *connection*, which closed-loop clients observe instead).
     pub latency: LatencyHistogram,
-    /// Accumulated `SelectionCache` counters over all served requests.
-    pub selection_hits: AtomicU64,
-    /// Accumulated `SelectionCache` miss counter.
-    pub selection_misses: AtomicU64,
+    /// Background compactions completed (swaps that actually happened —
+    /// stale rewrites discarded at the swap check are not counted).
+    pub compactions: AtomicU64,
+    /// Segment count of the most recently compacted store, before.
+    pub compaction_last_before: AtomicU64,
+    /// Segment count of the most recently compacted store, after.
+    pub compaction_last_after: AtomicU64,
+    /// Cumulative estimated bytes reclaimed by compactions.
+    pub compaction_bytes_reclaimed: AtomicU64,
 }
 
 impl Default for ServerStats {
@@ -149,19 +179,29 @@ impl Default for ServerStats {
             server_errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
-            selection_hits: AtomicU64::new(0),
-            selection_misses: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            compaction_last_before: AtomicU64::new(0),
+            compaction_last_after: AtomicU64::new(0),
+            compaction_bytes_reclaimed: AtomicU64::new(0),
         }
     }
 }
 
 impl ServerStats {
-    /// Folds one request's `SelectionCache` counters into the running
-    /// totals.
-    pub fn add_selection(&self, stats: CacheStats) {
-        self.selection_hits.fetch_add(stats.hits, Ordering::Relaxed);
-        self.selection_misses
-            .fetch_add(stats.misses, Ordering::Relaxed);
+    /// Records one completed background compaction.
+    pub fn record_compaction(
+        &self,
+        segments_before: usize,
+        segments_after: usize,
+        bytes_reclaimed: usize,
+    ) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.compaction_last_before
+            .store(segments_before as u64, Ordering::Relaxed);
+        self.compaction_last_after
+            .store(segments_after as u64, Ordering::Relaxed);
+        self.compaction_bytes_reclaimed
+            .fetch_add(bytes_reclaimed as u64, Ordering::Relaxed);
     }
 
     /// Total requests that reached a handler (everything but `503`s).
@@ -178,18 +218,19 @@ impl ServerStats {
             + self.server_errors.load(Ordering::Relaxed)
     }
 
-    /// The `/stats` JSON document.  `result_cache`, the per-model CI stats
-    /// and the per-model store shapes (`models`: id / generation / segments
-    /// / rows / epoch) are owned elsewhere and passed in for the snapshot.
-    pub fn to_json(
-        &self,
-        result_cache: &crate::lru::ResultCacheStats,
-        ci_cache: CacheStats,
-        models: Json,
-        queue_depth: usize,
-        queue_capacity: usize,
-        workers: usize,
-    ) -> Json {
+    /// The `/stats` JSON document, assembled from this instance's counters
+    /// plus the externally-owned pieces in the [`StatsSnapshot`].
+    pub fn to_json(&self, snapshot: StatsSnapshot) -> Json {
+        let StatsSnapshot {
+            result_cache,
+            selection,
+            ci_cache,
+            models,
+            queue_depth,
+            queue_capacity,
+            workers,
+            compact_after,
+        } = snapshot;
         let uptime = self.started.elapsed().as_secs_f64();
         let total = self.requests_total();
         let qps = if uptime > 0.0 {
@@ -198,11 +239,6 @@ impl ServerStats {
             0.0
         };
         let load = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
-        let selection = CacheStats {
-            hits: self.selection_hits.load(Ordering::Relaxed),
-            misses: self.selection_misses.load(Ordering::Relaxed),
-            entries: 0,
-        };
         Json::Obj(vec![
             ("uptime_s".to_owned(), Json::Num(uptime)),
             ("requests_total".to_owned(), Json::Num(total as f64)),
@@ -235,9 +271,34 @@ impl ServerStats {
                 ]),
             ),
             (
+                "compaction".to_owned(),
+                Json::Obj(vec![
+                    ("enabled".to_owned(), Json::Bool(compact_after >= 2)),
+                    ("compact_after".to_owned(), Json::Num(compact_after as f64)),
+                    ("runs".to_owned(), load(&self.compactions)),
+                    (
+                        "last_segments_before".to_owned(),
+                        load(&self.compaction_last_before),
+                    ),
+                    (
+                        "last_segments_after".to_owned(),
+                        load(&self.compaction_last_after),
+                    ),
+                    (
+                        "bytes_reclaimed".to_owned(),
+                        load(&self.compaction_bytes_reclaimed),
+                    ),
+                ]),
+            ),
+            (
                 "result_cache".to_owned(),
                 Json::Obj(vec![
                     ("hits".to_owned(), Json::Num(result_cache.hits as f64)),
+                    (
+                        "prefix_hits".to_owned(),
+                        Json::Num(result_cache.prefix_hits as f64),
+                    ),
+                    ("merged".to_owned(), Json::Num(result_cache.merged as f64)),
                     ("misses".to_owned(), Json::Num(result_cache.misses as f64)),
                     ("hit_rate".to_owned(), Json::Num(result_cache.hit_rate())),
                     (
@@ -307,25 +368,72 @@ mod tests {
         stats.explain.fetch_add(3, Ordering::Relaxed);
         stats.rejected.fetch_add(1, Ordering::Relaxed);
         stats.latency.record(Duration::from_micros(500));
-        stats.add_selection(CacheStats {
-            hits: 10,
-            misses: 5,
-            entries: 7,
+        stats.record_compaction(5, 1, 4096);
+        stats.record_compaction(3, 1, 1024);
+        let result_cache = crate::lru::ResultCacheStats {
+            hits: 2,
+            prefix_hits: 1,
+            merged: 1,
+            misses: 4,
+            ..Default::default()
+        };
+        let doc = stats.to_json(StatsSnapshot {
+            result_cache,
+            selection: CacheStats {
+                hits: 10,
+                misses: 5,
+                entries: 7,
+            },
+            ci_cache: CacheStats::default(),
+            models: Json::Arr(Vec::new()),
+            queue_depth: 2,
+            queue_capacity: 64,
+            workers: 4,
+            compact_after: 6,
         });
-        let doc = stats.to_json(
-            &crate::lru::ResultCacheStats::default(),
-            CacheStats::default(),
-            Json::Arr(Vec::new()),
-            2,
-            64,
-            4,
-        );
         assert_eq!(doc.get("requests_total").unwrap().as_u64().unwrap(), 3);
         let requests = doc.get("requests").unwrap();
         assert_eq!(requests.get("explain").unwrap().as_u64().unwrap(), 3);
         assert_eq!(requests.get("rejected_503").unwrap().as_u64().unwrap(), 1);
         let selection = doc.get("selection_cache").unwrap();
         assert!((selection.get("hit_rate").unwrap().as_f64().unwrap() - 10.0 / 15.0).abs() < 1e-12);
+        // All three served classes count toward the result-cache hit rate.
+        let result_cache = doc.get("result_cache").unwrap();
+        assert_eq!(
+            result_cache.get("prefix_hits").unwrap().as_u64().unwrap(),
+            1
+        );
+        assert_eq!(result_cache.get("merged").unwrap().as_u64().unwrap(), 1);
+        assert!((result_cache.get("hit_rate").unwrap().as_f64().unwrap() - 0.5).abs() < 1e-12);
+        // Compaction: runs count, the *last* before/after shape, and the
+        // *cumulative* bytes reclaimed.
+        let compaction = doc.get("compaction").unwrap();
+        assert!(compaction.get("enabled").unwrap().as_bool().unwrap());
+        assert_eq!(
+            compaction.get("compact_after").unwrap().as_u64().unwrap(),
+            6
+        );
+        assert_eq!(compaction.get("runs").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(
+            compaction
+                .get("last_segments_before")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            3
+        );
+        assert_eq!(
+            compaction
+                .get("last_segments_after")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            compaction.get("bytes_reclaimed").unwrap().as_u64().unwrap(),
+            5120
+        );
         assert_eq!(
             doc.get("queue")
                 .unwrap()

@@ -51,6 +51,8 @@ echo "==> serving smoke test (xinsight-serve + loadgen)"
 # streaming-ingest round trip (POST /v2/ingest a handful of rows, /stats
 # must show the new segment, and a re-issued /v2/explain must answer
 # against the grown store rather than replay a pre-ingest cache entry),
+# an ingest-past-threshold → background-compact → re-read loop asserting
+# the answer survives compaction byte-for-byte (--compact-after 3 below),
 # one /stats, and a graceful shutdown over the wire; finally assert the
 # server process exits cleanly (status 0).
 SMOKE_DIR="$(mktemp -d)"
@@ -61,6 +63,7 @@ cleanup_smoke() {
 trap cleanup_smoke EXIT
 ./target/release/xinsight-serve \
     --demo syn_a --models "$SMOKE_DIR/models" --addr 127.0.0.1:0 --workers 2 \
+    --compact-after 3 \
     > "$SMOKE_DIR/serve.log" 2> "$SMOKE_DIR/serve.err" &
 SERVE_PID=$!
 # The only thing the log tail is needed for is the bound address (port 0);

@@ -67,8 +67,12 @@ proptest! {
         let per_entry = fx.queries[0].to_json().len()
             + fx.legacy.iter().map(String::len).max().unwrap()
             + xinsight::service::lru::ENTRY_OVERHEAD_BYTES
+            + 16 // one-segment fingerprint
             + 8;
         let cache = ResultCache::new(budget_entries * per_entry);
+        // One fixed store snapshot for the whole stream.
+        let fingerprint = vec![(1u64, 1u64)];
+        let dict_len = 7usize;
         for &raw in &stream {
             let i = raw % fx.queries.len();
             let query = &fx.queries[i];
@@ -92,15 +96,14 @@ proptest! {
             // Through the LRU, exactly as the v1 serving adapter caches it.
             let key = CacheKey {
                 model: "syn_a".to_owned(),
-                generation: 1,
                 query: query.clone(),
                 options: String::new(),
             };
-            let served: Arc<str> = match cache.get(&key) {
-                Some(hit) => hit,
-                None => {
+            let served: Arc<str> = match cache.lookup(&key, &fingerprint, dict_len) {
+                xinsight::service::lru::Lookup::Hit(hit) => hit,
+                _ => {
                     let json: Arc<str> = Arc::from(direct.as_str());
-                    cache.insert(key, Arc::clone(&json));
+                    cache.insert(key, fingerprint.clone(), dict_len, Arc::clone(&json));
                     json
                 }
             };

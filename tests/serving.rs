@@ -108,28 +108,34 @@ proptest! {
         let per_entry = fx.queries[0].to_json().len()
             + fx.direct.iter().map(String::len).max().unwrap()
             + xinsight::service::lru::ENTRY_OVERHEAD_BYTES
+            + 16 // one-segment fingerprint
             + 8;
         let cache = ResultCache::new(budget_entries * per_entry);
+        // A fixed store snapshot for the whole stream: one sealed segment,
+        // one dictionary size.  (The fingerprint-scoped paths — promotion,
+        // merge, remap — are unit-tested in the lru module and exercised
+        // over HTTP in tests/compaction.rs.)
+        let fingerprint = vec![(1u64, 1u64)];
+        let dict_len = 7usize;
         for &raw in &stream {
             let i = raw % fx.queries.len();
             let query = &fx.queries[i];
             let key = CacheKey {
                 model: "m".to_owned(),
-                generation: 1,
                 query: query.clone(),
                 options: String::new(),
             };
             // The serving path: LRU hit, or engine + insert on miss.
-            let served: Arc<str> = match cache.get(&key) {
-                Some(hit) => hit,
-                None => {
+            let served: Arc<str> = match cache.lookup(&key, &fingerprint, dict_len) {
+                xinsight::service::lru::Lookup::Hit(hit) => hit,
+                _ => {
                     let answers = fx.engine
                         .execute_batch(&[ExplainRequest::new(query.clone())])
                         .unwrap();
                     let explanations = answers.into_iter().next().unwrap().into_explanations();
                     let json: Arc<str> =
                         Arc::from(wire::explanations_to_string(&explanations).as_str());
-                    cache.insert(key, Arc::clone(&json));
+                    cache.insert(key, fingerprint.clone(), dict_len, Arc::clone(&json));
                     json
                 }
             };
@@ -154,6 +160,7 @@ proptest! {
                 "m".len()
                     + fx.queries[i].to_json().len()
                     + fx.direct[i].len()
+                    + 16 // one-segment fingerprint
                     + xinsight::service::lru::ENTRY_OVERHEAD_BYTES
             })
             .sum();
