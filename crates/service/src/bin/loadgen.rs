@@ -10,7 +10,9 @@
 //! loadgen --addr HOST:PORT [--v2] [--ingest-mix PCT] [--clients 1,4] [--requests N] [--model ID]
 //! loadgen --spawn [--v2] [--ingest-mix PCT] [--compact-after N] [--models DIR]
 //!         [--demo syn_a,flight] [--demo-rows N]
+//! loadgen --open-loop [--rate R1,R2] [--arrival poisson|uniform|both] [--duration SECS]
 //! loadgen --smoke --addr HOST:PORT
+//! loadgen --spawn --open-loop-smoke
 //! ```
 //!
 //! * `--addr` targets a running server; `--spawn` instead fits demo
@@ -43,7 +45,30 @@
 //!   When the server reports compaction enabled, the smoke also ingests up
 //!   to the threshold, waits for the background compactor, and asserts the
 //!   post-compaction answer is byte-identical to the pre-compaction one.
-//! * `XINSIGHT_BENCH_FAST=1` caps the request counts for quick runs.
+//! * `--open-loop` switches to **open-loop** load generation: request
+//!   arrival times are drawn up front from an arrival process (Poisson or
+//!   uniform) at an *offered* rate that does not adapt to how fast the
+//!   server answers, and every latency is measured from the request's
+//!   **intended** start — a response that waited behind a backlog is
+//!   charged that wait, so the numbers are free of coordinated omission.
+//!   Without `--rate` the sweep derives offered rates from a measured
+//!   closed-loop capacity estimate (¼×, ½×, ¾×), finds the **max
+//!   sustainable rate** by geometric ramp (no errors, no shed `503`s,
+//!   ≥95% of offered achieved, bounded p99), and — when the server has
+//!   debug endpoints — runs a deterministic **overload** cell at 2×
+//!   capacity built from `POST /debug/sleep`, asserting bounded `503`
+//!   shedding rather than collapse.  The default (closed-loop) bench also
+//!   appends this open-loop sweep so `BENCH_serve.json` carries both.
+//! * `--open-loop-smoke` (with `--spawn`) is the CI slice of the above: a
+//!   modest-rate open-loop run that must finish with zero errors and zero
+//!   sheds, then an overload burst that must shed at least one `503`
+//!   without a single hard failure, then a graceful shutdown.
+//! * Closed-loop cells first run an untimed per-client **warmup**, and
+//!   keep looping past `--requests` until the timed window reaches a
+//!   ≥2s floor (skipped when `--requests` is given explicitly), so
+//!   throughput is not dominated by cold caches or sub-second windows.
+//! * `XINSIGHT_BENCH_FAST=1` caps the request counts and durations for
+//!   quick runs.
 //!
 //! Queries come from each model's bundled example pool (served by
 //! `GET /models`), round-robined with a per-client offset so concurrent
@@ -77,10 +102,30 @@ fn lcg(seed: u64) -> impl FnMut() -> u64 {
     }
 }
 
+/// How request arrival instants are drawn in open-loop mode.
+#[derive(Clone, Copy, PartialEq)]
+enum Arrival {
+    /// Exponential inter-arrivals (a Poisson process) — bursty, the
+    /// classic model of many independent users.
+    Poisson,
+    /// Fixed `1/rate` spacing — a perfectly paced comparison point.
+    Uniform,
+}
+
+impl Arrival {
+    fn name(self) -> &'static str {
+        match self {
+            Arrival::Poisson => "poisson",
+            Arrival::Uniform => "uniform",
+        }
+    }
+}
+
 struct Args {
     addr: Option<String>,
     spawn: bool,
     smoke: bool,
+    open_loop_smoke: bool,
     v2: bool,
     models_dir: Option<String>,
     demo: Vec<DemoModel>,
@@ -91,13 +136,22 @@ struct Args {
     ingest_mix: u64,
     /// Background-compaction threshold for the spawned server (0 = off).
     compact_after: usize,
+    /// Skip the closed-loop matrix and run only the open-loop sweep.
+    open_loop: bool,
+    /// Explicit offered rates (req/s); empty = derive from capacity.
+    rates: Vec<f64>,
+    /// Arrival processes to sweep (default: both).
+    arrivals: Vec<Arrival>,
+    /// Open-loop cell length in seconds (default 2, fast mode 0.5).
+    duration: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen (--addr HOST:PORT | --spawn) [--smoke] [--v2] [--ingest-mix PCT] \
-         [--compact-after N] [--clients 1,4] [--requests N] [--model ID] [--models DIR] \
-         [--demo syn_a,flight] [--demo-rows N]"
+        "usage: loadgen (--addr HOST:PORT | --spawn) [--smoke | --open-loop-smoke] [--v2] \
+         [--ingest-mix PCT] [--compact-after N] [--clients 1,4] [--requests N] [--model ID] \
+         [--models DIR] [--demo syn_a,flight] [--demo-rows N] [--open-loop] [--rate R1,R2] \
+         [--arrival poisson|uniform|both] [--duration SECS]"
     );
     std::process::exit(2);
 }
@@ -107,6 +161,7 @@ fn parse_args() -> Args {
         addr: None,
         spawn: false,
         smoke: false,
+        open_loop_smoke: false,
         v2: false,
         models_dir: None,
         demo: vec![DemoModel::SynA, DemoModel::Flight],
@@ -116,6 +171,10 @@ fn parse_args() -> Args {
         model: None,
         ingest_mix: 0,
         compact_after: 0,
+        open_loop: false,
+        rates: Vec::new(),
+        arrivals: vec![Arrival::Poisson, Arrival::Uniform],
+        duration: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -158,6 +217,26 @@ fn parse_args() -> Args {
                 args.compact_after = value("--compact-after").parse().unwrap_or_else(|_| usage())
             }
             "--model" => args.model = Some(value("--model")),
+            "--open-loop" => args.open_loop = true,
+            "--open-loop-smoke" => args.open_loop_smoke = true,
+            "--rate" => {
+                args.rates = value("--rate")
+                    .split(',')
+                    .map(|r| r.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--arrival" => {
+                args.arrivals = match value("--arrival").as_str() {
+                    "poisson" => vec![Arrival::Poisson],
+                    "uniform" => vec![Arrival::Uniform],
+                    "both" => vec![Arrival::Poisson, Arrival::Uniform],
+                    other => {
+                        eprintln!("unknown arrival process `{other}`");
+                        usage()
+                    }
+                };
+            }
+            "--duration" => args.duration = value("--duration").parse().ok(),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -529,6 +608,13 @@ fn result_cache_counters(addr: SocketAddr) -> Result<(u64, u64), String> {
 /// model's ingest templates by perturbing the measures), making the loop a
 /// mixed read/write workload; ingest latencies are tallied separately and
 /// the cache-hit delta exposes the post-ingest LRU cost.
+///
+/// Each client first runs `warmup_per_client` untimed read-only requests
+/// (caches and code paths go hot before the clock starts), then the timed
+/// window runs to `requests_per_client` **and** keeps looping until it has
+/// lasted at least `min_duration` — sub-second cells are too noisy to
+/// compare across runs.
+#[allow(clippy::too_many_arguments)]
 fn run_closed_loop(
     addr: SocketAddr,
     model: &ModelInfo,
@@ -537,6 +623,8 @@ fn run_closed_loop(
     v2: bool,
     ingest_mix: u64,
     tag: &str,
+    warmup_per_client: usize,
+    min_duration: Duration,
 ) -> Result<RunResult, String> {
     let queries = Arc::new(model.queries.clone());
     if queries.is_empty() {
@@ -549,21 +637,56 @@ fn run_closed_loop(
         ));
     }
     let templates = Arc::new(model.ingest_rows.clone());
-    let (served_before, misses_before) = result_cache_counters(addr)?;
-    let started = Instant::now();
+    // Two barriers bracket the warmup: every client finishes warming before
+    // the main thread samples the cache counters and opens the timed
+    // window, so the reported hit rate and throughput cover exactly the
+    // timed requests.
+    let warm = Arc::new(std::sync::Barrier::new(clients + 1));
+    let go = Arc::new(std::sync::Barrier::new(clients + 1));
     let mut handles = Vec::new();
     for client_id in 0..clients {
         let queries = Arc::clone(&queries);
         let templates = Arc::clone(&templates);
         let model_id = model.id.clone();
+        let warm = Arc::clone(&warm);
+        let go = Arc::clone(&go);
         handles.push(std::thread::spawn(
             move || -> Result<(Vec<u64>, Vec<u64>, usize), String> {
-                let mut http = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+                let mut http = HttpClient::connect(addr).map_err(|e| e.to_string());
                 let mut sample = lcg(client_id as u64 + 1);
+                // Untimed warmup — read-only (warmup must not grow the
+                // store), errors deferred until the barriers have passed so
+                // a failing client cannot deadlock the others.
+                if let Ok(http) = http.as_mut() {
+                    for w in 0..warmup_per_client {
+                        let query = &queries[(client_id * 3 + w) % queries.len()];
+                        let (path, body) = if v2 {
+                            let top_k = 1 + sample() % 4;
+                            let options = format!("{{\"top_k\":{top_k}}}");
+                            (
+                                "/v2/explain",
+                                explain_v2_body(&model_id, query, Some(&options)),
+                            )
+                        } else {
+                            (
+                                "/explain",
+                                format!("{{\"model\":\"{model_id}\",\"query\":{query}}}"),
+                            )
+                        };
+                        if http.post(path, &body).is_err() {
+                            break;
+                        }
+                    }
+                }
+                warm.wait();
+                go.wait();
+                let mut http = http?;
+                let timed = Instant::now();
                 let mut latencies = Vec::with_capacity(requests_per_client);
                 let mut ingest_latencies = Vec::new();
                 let mut errors = 0usize;
-                for i in 0..requests_per_client {
+                let mut i = 0usize;
+                while i < requests_per_client || timed.elapsed() < min_duration {
                     let (path, body) = if ingest_mix > 0 && sample() % 100 < ingest_mix {
                         let template = &templates[sample() as usize % templates.len()];
                         let row = perturb_measures(template, sample());
@@ -598,11 +721,16 @@ fn run_closed_loop(
                         Ok(_) => errors += 1,
                         Err(e) => return Err(format!("client {client_id}: {e}")),
                     }
+                    i += 1;
                 }
                 Ok((latencies, ingest_latencies, errors))
             },
         ));
     }
+    warm.wait();
+    let (served_before, misses_before) = result_cache_counters(addr)?;
+    let started = Instant::now();
+    go.wait();
     let mut latencies = Vec::new();
     let mut ingest_latencies = Vec::new();
     let mut errors = 0usize;
@@ -679,7 +807,552 @@ fn perturb_measures(template: &str, salt: u64) -> String {
     .to_string()
 }
 
-fn write_bench_json(threads: usize, results: &[RunResult]) {
+/// One open-loop cell's outcome.  `requests` is the full arrival schedule
+/// (every arrival is issued — nothing is silently dropped), `shed_503` the
+/// admission-control rejections, `errors` hard failures (non-200/503 or a
+/// broken connection).
+struct OpenLoopResult {
+    name: String,
+    model: String,
+    arrival: &'static str,
+    offered_rps: f64,
+    /// Successful responses per second of wall clock — under overload this
+    /// saturates at service capacity while `offered_rps` keeps climbing.
+    achieved_rps: f64,
+    requests: usize,
+    shed_503: usize,
+    errors: usize,
+    seconds: f64,
+    p50_us: u64,
+    p99_us: u64,
+    overload: bool,
+}
+
+/// The maximum offered rate a server sustained cleanly (no sheds, no
+/// errors, ≥95% of offered achieved, bounded p99) in the geometric ramp.
+struct SustainableRate {
+    model: String,
+    arrival: &'static str,
+    rps: f64,
+}
+
+/// What each open-loop arrival sends.
+#[derive(Clone)]
+enum OpenRequest {
+    /// Round-robin explains from a model's example pool (v1 or v2 wire).
+    Explain {
+        model_id: String,
+        queries: Arc<Vec<String>>,
+        v2: bool,
+    },
+    /// `POST /debug/sleep` — a fixed service time, so the overload cell's
+    /// capacity is known exactly (`workers × 1000/ms` req/s).
+    Sleep { ms: u64 },
+}
+
+impl OpenRequest {
+    fn build(&self, i: usize) -> (&'static str, String) {
+        match self {
+            OpenRequest::Explain {
+                model_id,
+                queries,
+                v2,
+            } => {
+                let query = &queries[i % queries.len()];
+                if *v2 {
+                    let top_k = 1 + (i % 4);
+                    let options = format!("{{\"top_k\":{top_k}}}");
+                    (
+                        "/v2/explain",
+                        explain_v2_body(model_id, query, Some(&options)),
+                    )
+                } else {
+                    (
+                        "/explain",
+                        format!("{{\"model\":\"{model_id}\",\"query\":{query}}}"),
+                    )
+                }
+            }
+            OpenRequest::Sleep { ms } => ("/debug/sleep", format!("{{\"ms\":{ms}}}")),
+        }
+    }
+}
+
+/// Draws the full arrival schedule up front: offsets from the epoch at
+/// which each request is *supposed* to start.  Poisson uses inverse-CDF
+/// exponential spacing from the deterministic LCG; uniform is fixed
+/// `1/rate` spacing.
+fn arrival_schedule(arrival: Arrival, rate: f64, duration: Duration, seed: u64) -> Vec<Duration> {
+    let mut sample = lcg(seed);
+    let horizon = duration.as_secs_f64();
+    let mut offsets = Vec::with_capacity((rate * horizon) as usize + 1);
+    let mut t = 0.0f64;
+    while t < horizon {
+        offsets.push(Duration::from_secs_f64(t));
+        t += match arrival {
+            Arrival::Poisson => {
+                // u ∈ (0, 1] so the log is finite; 53 bits of the LCG.
+                let u = ((sample() & ((1u64 << 53) - 1)) + 1) as f64 / (1u64 << 53) as f64;
+                -u.ln() / rate
+            }
+            Arrival::Uniform => 1.0 / rate,
+        };
+    }
+    offsets
+}
+
+fn reconnect(addr: SocketAddr) -> Result<HttpClient, String> {
+    let mut last = String::new();
+    for _ in 0..20 {
+        match HttpClient::connect(addr) {
+            Ok(h) => return Ok(h),
+            Err(e) => {
+                last = e.to_string();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    Err(format!("reconnect to {addr} failed: {last}"))
+}
+
+/// Drives one open-loop cell: a pre-drawn arrival schedule is serviced by
+/// a pool of `conns` connections, any free connection claiming the next
+/// arrival from a shared index.  Every latency is measured from the
+/// arrival's **intended** instant — if all connections are busy when an
+/// arrival comes due, the wait shows up in the recorded latency instead of
+/// silently stretching the schedule, so the percentiles are free of
+/// coordinated omission.  `503` sheds and hard errors are tallied
+/// separately; both reconnect (the server closes a connection it sheds).
+#[allow(clippy::too_many_arguments)]
+fn run_open_loop(
+    addr: SocketAddr,
+    name: String,
+    model: &str,
+    request: OpenRequest,
+    arrival: Arrival,
+    rate: f64,
+    duration: Duration,
+    conns: usize,
+    overload: bool,
+) -> Result<OpenLoopResult, String> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let offsets = Arc::new(arrival_schedule(
+        arrival,
+        rate,
+        duration,
+        rate.to_bits() ^ 0x5EED,
+    ));
+    let next = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new(std::sync::Barrier::new(conns + 1));
+    // Every thread (and the main thread, for the wall clock) shares one
+    // epoch: whoever exits the barrier first pins it.
+    let epoch = Arc::new(std::sync::OnceLock::<Instant>::new());
+    let mut handles = Vec::new();
+    for _ in 0..conns {
+        let offsets = Arc::clone(&offsets);
+        let next = Arc::clone(&next);
+        let gate = Arc::clone(&gate);
+        let epoch = Arc::clone(&epoch);
+        let request = request.clone();
+        handles.push(std::thread::spawn(
+            move || -> Result<(Vec<u64>, usize, usize), String> {
+                let http = HttpClient::connect(addr).map_err(|e| e.to_string());
+                gate.wait();
+                let epoch = *epoch.get_or_init(Instant::now);
+                let mut http = http?;
+                let mut latencies = Vec::new();
+                let (mut shed, mut errors) = (0usize, 0usize);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= offsets.len() {
+                        break;
+                    }
+                    let intended = epoch + offsets[i];
+                    if let Some(wait) = intended.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let (path, body) = request.build(i);
+                    match http.post(path, &body) {
+                        Ok(resp) => {
+                            let us = Instant::now()
+                                .saturating_duration_since(intended)
+                                .as_micros()
+                                .min(u64::MAX as u128) as u64;
+                            match resp.status {
+                                200 => latencies.push(us),
+                                503 => shed += 1,
+                                _ => errors += 1,
+                            }
+                            if resp.closing {
+                                http = reconnect(addr)?;
+                            }
+                        }
+                        Err(_) => {
+                            errors += 1;
+                            http = reconnect(addr)?;
+                        }
+                    }
+                }
+                Ok((latencies, shed, errors))
+            },
+        ));
+    }
+    gate.wait();
+    let epoch = *epoch.get_or_init(Instant::now);
+    let mut latencies = Vec::new();
+    let (mut shed, mut errors) = (0usize, 0usize);
+    for handle in handles {
+        let (mut l, s, e) = handle
+            .join()
+            .map_err(|_| "open-loop connection thread panicked".to_owned())??;
+        latencies.append(&mut l);
+        shed += s;
+        errors += e;
+    }
+    let seconds = epoch.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    Ok(OpenLoopResult {
+        name,
+        model: model.to_owned(),
+        arrival: arrival.name(),
+        offered_rps: rate,
+        achieved_rps: latencies.len() as f64 / seconds.max(1e-9),
+        requests: offsets.len(),
+        shed_503: shed,
+        errors,
+        seconds,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        overload,
+    })
+}
+
+fn print_open(run: &OpenLoopResult) {
+    println!(
+        "{:<34} offered {:>8.1} req/s   achieved {:>8.1}   p50 {:>8.3} ms   \
+         p99 {:>8.3} ms   {} ok / {} shed / {} err",
+        run.name,
+        run.offered_rps,
+        run.achieved_rps,
+        run.p50_us as f64 / 1e3,
+        run.p99_us as f64 / 1e3,
+        run.requests - run.shed_503 - run.errors,
+        run.shed_503,
+        run.errors,
+    );
+}
+
+/// `(workers, queue capacity)` as reported by `/stats` — sizes the
+/// deterministic overload cell.
+fn queue_info(addr: SocketAddr) -> Result<(u64, u64), String> {
+    let mut client = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+    let stats = client.get("/stats").map_err(|e| e.to_string())?;
+    let doc = Json::parse(&stats.body).map_err(|e| e.to_string())?;
+    let queue = doc.get("queue").map_err(|e| e.to_string())?;
+    let workers = queue
+        .get("workers")
+        .and_then(Json::as_u64)
+        .map_err(|e| e.to_string())?;
+    let capacity = queue
+        .get("capacity")
+        .and_then(Json::as_u64)
+        .map_err(|e| e.to_string())?;
+    Ok((workers, capacity))
+}
+
+fn has_debug_endpoints(addr: SocketAddr) -> Result<bool, String> {
+    let mut client = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+    let resp = client
+        .post("/debug/sleep", "{\"ms\":0}")
+        .map_err(|e| e.to_string())?;
+    Ok(resp.status == 200)
+}
+
+/// The deterministic overload cell: `POST /debug/sleep` gives every
+/// request a fixed service time, so capacity is exactly
+/// `workers × 1000/SLEEP_MS` req/s and offering 2× that *must* fill the
+/// admission queue and shed.  Returns `None` when the target can't run it
+/// (no debug endpoints, or a queue too large to fill in a bounded cell).
+fn run_overload(addr: SocketAddr, fast: bool) -> Result<Option<OpenLoopResult>, String> {
+    if !has_debug_endpoints(addr)? {
+        return Ok(None);
+    }
+    let (workers, qcap) = queue_info(addr)?;
+    if qcap > 512 {
+        return Ok(None);
+    }
+    const SLEEP_MS: u64 = 20;
+    let capacity = workers as f64 * (1000.0 / SLEEP_MS as f64);
+    let rate = 2.0 * capacity;
+    // At 2× capacity the backlog grows at `capacity` req/s, so the queue
+    // fills after qcap/capacity seconds — size the cell to spend most of
+    // its time actually shedding.
+    let fill = qcap as f64 / capacity;
+    let base: f64 = if fast { 0.8 } else { 2.0 };
+    let duration = Duration::from_secs_f64(base.max(fill * 1.5 + 0.5));
+    // One connection can park in each queue slot and each worker; the rest
+    // of the pool keeps offering (and eating fast 503s).
+    let conns = (qcap as usize + workers as usize + 32).min(512);
+    let run = run_open_loop(
+        addr,
+        format!("overload/2x/{rate:.0}rps"),
+        "debug_sleep",
+        OpenRequest::Sleep { ms: SLEEP_MS },
+        Arrival::Poisson,
+        rate,
+        duration,
+        conns,
+        true,
+    )?;
+    Ok(Some(run))
+}
+
+/// The open-loop sweep: per model, offered rates at ¼/½/¾ of a measured
+/// closed-loop capacity estimate (or the explicit `--rate` list) under
+/// each arrival process, then a geometric ramp to the max sustainable
+/// rate, and finally the 2× overload cell.
+fn run_open_loop_suite(
+    addr: SocketAddr,
+    args: &Args,
+    fast: bool,
+    closed: &[RunResult],
+    spawned_dir: Option<&str>,
+) -> Result<(Vec<OpenLoopResult>, Vec<SustainableRate>), String> {
+    let models = fetch_models(addr)?;
+    let models: Vec<&ModelInfo> = match &args.model {
+        Some(id) => {
+            let found: Vec<&ModelInfo> = models.iter().filter(|m| &m.id == id).collect();
+            if found.is_empty() {
+                return Err(format!("model `{id}` is not loaded on the server"));
+            }
+            found
+        }
+        None => models.iter().collect(),
+    };
+    let cell = Duration::from_secs_f64(args.duration.unwrap_or(if fast { 0.5 } else { 2.0 }));
+    const OPEN_CONNS: usize = 64;
+    println!(
+        "\n## open-loop sweep (latency from intended start, {:.1}s cells, {OPEN_CONNS} conns)\n",
+        cell.as_secs_f64()
+    );
+    let mut open = Vec::new();
+    let mut sustainable = Vec::new();
+    for model in &models {
+        if model.queries.is_empty() {
+            return Err(format!("model `{}` has no example queries", model.id));
+        }
+        // Capacity estimate: the best pure-read closed-loop rate this
+        // bench already measured, else a quick probe.
+        let mut capacity = closed
+            .iter()
+            .filter(|r| r.model == model.id && r.ingest_requests == 0)
+            .map(|r| r.read_throughput_rps)
+            .fold(0.0f64, f64::max);
+        if capacity <= 0.0 {
+            let probe = run_closed_loop(
+                addr,
+                model,
+                4,
+                if fast { 50 } else { 200 },
+                args.v2,
+                0,
+                "/probe",
+                if fast { 5 } else { 25 },
+                Duration::from_secs(1),
+            )?;
+            println!(
+                "{:<34} capacity probe {:.1} req/s",
+                probe.name, probe.read_throughput_rps
+            );
+            capacity = probe.read_throughput_rps;
+        }
+        let rates: Vec<f64> = if args.rates.is_empty() {
+            [0.25, 0.5, 0.75]
+                .iter()
+                .map(|f| (f * capacity).max(5.0))
+                .collect()
+        } else {
+            args.rates.clone()
+        };
+        let request = OpenRequest::Explain {
+            model_id: model.id.clone(),
+            queries: Arc::new(model.queries.clone()),
+            v2: args.v2,
+        };
+        for &arrival in &args.arrivals {
+            for &rate in &rates {
+                let name = format!(
+                    "{}/open/{}/{rate:.0}rps{}",
+                    model.id,
+                    arrival.name(),
+                    if args.v2 { "/v2" } else { "" }
+                );
+                let run = run_open_loop(
+                    addr,
+                    name,
+                    &model.id,
+                    request.clone(),
+                    arrival,
+                    rate,
+                    cell,
+                    OPEN_CONNS,
+                    false,
+                )?;
+                print_open(&run);
+                open.push(run);
+            }
+        }
+        // Max sustainable rate: ramp geometrically until a cell sheds,
+        // errs, falls short of its offered rate, or blows the p99 bound.
+        if args.rates.is_empty() {
+            let ramp_cell = Duration::from_secs_f64(if fast { 0.4 } else { 1.0 });
+            let mut rate = (capacity * 0.5).max(10.0);
+            let mut best = 0.0f64;
+            for _ in 0..16 {
+                let run = run_open_loop(
+                    addr,
+                    format!("{}/ramp/{rate:.0}rps", model.id),
+                    &model.id,
+                    request.clone(),
+                    Arrival::Poisson,
+                    rate,
+                    ramp_cell,
+                    OPEN_CONNS,
+                    false,
+                )?;
+                let clean = run.shed_503 == 0
+                    && run.errors == 0
+                    && run.achieved_rps >= 0.95 * run.offered_rps
+                    && run.p99_us < 250_000;
+                if !clean {
+                    break;
+                }
+                best = rate;
+                rate *= 1.25;
+            }
+            println!(
+                "{:<34} max sustainable ≈ {best:.1} req/s (poisson)",
+                model.id
+            );
+            sustainable.push(SustainableRate {
+                model: model.id.clone(),
+                arrival: "poisson",
+                rps: best,
+            });
+        }
+    }
+    // Overload cell.  A spawned bench gets a dedicated small-queue server
+    // (known, short fill time); an external target runs it only if its own
+    // queue is small enough to fill deterministically.
+    if args.rates.is_empty() {
+        let cell_result = if let Some(dir) = spawned_dir {
+            let registry =
+                ModelRegistry::open(dir, XInsightOptions::default()).map_err(|e| e.to_string())?;
+            let config = ServerConfig {
+                workers: 2,
+                queue_capacity: 16,
+                debug_endpoints: true,
+                ..ServerConfig::default()
+            };
+            let handle =
+                xinsight_service::start(Arc::new(registry), &config).map_err(|e| e.to_string())?;
+            let run = run_overload(handle.addr(), fast);
+            handle.shutdown();
+            run?
+        } else {
+            run_overload(addr, fast)?
+        };
+        match cell_result {
+            Some(run) => {
+                print_open(&run);
+                if run.errors > 0 {
+                    return Err(format!(
+                        "overload cell hit {} hard errors — shedding must be clean 503s",
+                        run.errors
+                    ));
+                }
+                open.push(run);
+            }
+            None => println!("overload cell skipped (no debug endpoints, or queue too large)"),
+        }
+    }
+    Ok((open, sustainable))
+}
+
+/// The CI slice of the open-loop story: a modest-rate run that must come
+/// back perfectly clean, then an overload burst that must shed — proving
+/// both that the event loop keeps up and that admission control degrades
+/// by rejecting rather than collapsing.
+fn open_loop_smoke(addr: SocketAddr) -> Result<(), String> {
+    wait_healthy(addr, Duration::from_secs(30)).map_err(|e| e.to_string())?;
+    println!("open-loop smoke: /healthz ok");
+    let models = fetch_models(addr)?;
+    let model = models.first().ok_or("no models loaded")?;
+    if model.queries.is_empty() {
+        return Err(format!("model `{}` has no example queries", model.id));
+    }
+    let request = OpenRequest::Explain {
+        model_id: model.id.clone(),
+        queries: Arc::new(model.queries.clone()),
+        v2: false,
+    };
+    let run = run_open_loop(
+        addr,
+        format!("{}/open/poisson/50rps", model.id),
+        &model.id,
+        request,
+        Arrival::Poisson,
+        50.0,
+        Duration::from_secs(1),
+        8,
+        false,
+    )?;
+    if run.requests == 0 {
+        return Err("open-loop run issued no requests".into());
+    }
+    if run.errors > 0 || run.shed_503 > 0 {
+        return Err(format!(
+            "modest-rate open-loop run was not clean: {} shed, {} errors",
+            run.shed_503, run.errors
+        ));
+    }
+    println!(
+        "open-loop smoke: {} requests at 50 req/s poisson, zero shed, zero errors (p99 {:.3} ms)",
+        run.requests,
+        run.p99_us as f64 / 1e3
+    );
+    let overload = run_overload(addr, true)?
+        .ok_or("server has no debug endpoints (run with --spawn or --debug-endpoints)")?;
+    if overload.shed_503 == 0 {
+        return Err("overload burst at 2x capacity shed no 503s".into());
+    }
+    if overload.errors > 0 {
+        return Err(format!(
+            "overload burst hit {} hard errors — shedding must be clean 503s",
+            overload.errors
+        ));
+    }
+    println!(
+        "open-loop smoke: overload at 2x capacity shed {} of {} requests with zero hard errors",
+        overload.shed_503, overload.requests
+    );
+    let mut client = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+    let resp = client
+        .post("/admin/shutdown", "{}")
+        .map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("shutdown -> {}: {}", resp.status, resp.body));
+    }
+    println!("open-loop smoke: graceful shutdown requested");
+    Ok(())
+}
+
+fn write_bench_json(
+    threads: usize,
+    results: &[RunResult],
+    open: &[OpenLoopResult],
+    sustainable: &[SustainableRate],
+) {
     let mut out = String::from("{\"bench\":\"serve\",\"threads\":");
     out.push_str(&threads.to_string());
     out.push_str(",\"results\":[");
@@ -707,6 +1380,40 @@ fn write_bench_json(threads: usize, results: &[RunResult]) {
             r.ingest_requests,
             r.ingest_p50_us,
             r.ingest_p99_us
+        ));
+    }
+    out.push_str("],\"open_loop\":[");
+    for (i, r) in open.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"model\":\"{}\",\"arrival\":\"{}\",\
+             \"offered_rps\":{:.3},\"achieved_rps\":{:.3},\"requests\":{},\
+             \"shed_503\":{},\"errors\":{},\"seconds\":{:.6},\
+             \"p50_us\":{},\"p99_us\":{},\"overload\":{}}}",
+            r.name,
+            r.model,
+            r.arrival,
+            r.offered_rps,
+            r.achieved_rps,
+            r.requests,
+            r.shed_503,
+            r.errors,
+            r.seconds,
+            r.p50_us,
+            r.p99_us,
+            r.overload
+        ));
+    }
+    out.push_str("],\"max_sustainable\":[");
+    for (i, s) in sustainable.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"model\":\"{}\",\"arrival\":\"{}\",\"rps\":{:.3}}}",
+            s.model, s.arrival, s.rps
         ));
     }
     out.push_str("]}\n");
@@ -749,10 +1456,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let config = ServerConfig {
+        let mut config = ServerConfig {
             compact_after: args.compact_after,
+            // In-process bench servers always expose /debug/sleep — the
+            // open-loop overload cell needs a known service time.
+            debug_endpoints: true,
             ..ServerConfig::default()
         };
+        if args.open_loop_smoke {
+            // A small, known admission queue makes the overload burst
+            // deterministic and quick for CI.
+            config.workers = 2;
+            config.queue_capacity = 16;
+        }
         let handle = match xinsight_service::start(Arc::new(registry), &config) {
             Ok(h) => h,
             Err(e) => {
@@ -782,31 +1498,23 @@ fn main() -> ExitCode {
             println!("SMOKE OK");
         }
         result
+    } else if args.open_loop_smoke {
+        let result = open_loop_smoke(addr);
+        if result.is_ok() {
+            println!("OPEN-LOOP SMOKE OK");
+        }
+        result
     } else {
-        run_bench(addr, &args, fast).and_then(|mut results| {
-            // The mixed/compaction-on comparison point: bench the same
-            // mixed workload against a second in-process server with the
-            // background compactor enabled, so BENCH_serve.json carries
-            // pure-read vs mixed vs mixed+compaction side by side.
-            // Skipped when the primary server already compacts
-            // (--compact-after) — its numbers ARE the compaction-on runs.
-            if args.ingest_mix > 0 && args.compact_after == 0 {
-                if let Some(dir) = spawned_dir.as_deref() {
-                    results.extend(run_compaction_pass(dir, &args, fast)?);
-                }
-            }
-            write_bench_json(threads, &results);
-            Ok(())
-        })
+        bench(addr, &args, fast, threads, spawned_dir.as_deref())
     };
 
     if let Some(handle) = spawned {
-        // Smoke already requested shutdown over the wire; bench shuts down
-        // here.
-        if !args.smoke {
-            handle.shutdown();
-        } else {
+        // The smokes already requested shutdown over the wire; the bench
+        // shuts down here.
+        if args.smoke || args.open_loop_smoke {
             handle.wait();
+        } else {
+            handle.shutdown();
         }
     }
 
@@ -816,6 +1524,50 @@ fn main() -> ExitCode {
             eprintln!("loadgen failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The non-smoke path: closed-loop matrix (unless `--open-loop`), the
+/// optional compaction comparison pass, then the open-loop sweep —
+/// everything lands in one `BENCH_serve.json`.
+fn bench(
+    addr: SocketAddr,
+    args: &Args,
+    fast: bool,
+    threads: usize,
+    spawned_dir: Option<&str>,
+) -> Result<(), String> {
+    let mut results = Vec::new();
+    if !args.open_loop {
+        results = run_bench(addr, args, fast)?;
+        // The mixed/compaction-on comparison point: bench the same mixed
+        // workload against a second in-process server with the background
+        // compactor enabled, so BENCH_serve.json carries pure-read vs
+        // mixed vs mixed+compaction side by side.  Skipped when the
+        // primary server already compacts (--compact-after) — its numbers
+        // ARE the compaction-on runs.
+        if args.ingest_mix > 0 && args.compact_after == 0 {
+            if let Some(dir) = spawned_dir {
+                results.extend(run_compaction_pass(dir, args, fast)?);
+            }
+        }
+    }
+    let (open, sustainable) = run_open_loop_suite(addr, args, fast, &results, spawned_dir)?;
+    write_bench_json(threads, &results, &open, &sustainable);
+    Ok(())
+}
+
+/// Warmup length and minimum timed-window floor for closed-loop cells.
+/// Explicit `--requests` pins the exact request count (no warmup, no
+/// floor); otherwise cells warm untimed first and keep looping until the
+/// timed window is long enough to trust.
+fn closed_cell_shape(args: &Args, fast: bool) -> (usize, Duration) {
+    if args.requests.is_some() {
+        (0, Duration::ZERO)
+    } else if fast {
+        (5, Duration::from_millis(300))
+    } else {
+        (25, Duration::from_secs(2))
     }
 }
 
@@ -841,7 +1593,7 @@ fn run_bench(addr: SocketAddr, args: &Args, fast: bool) -> Result<Vec<RunResult>
     } else {
         vec![0]
     };
-    run_matrix(addr, args, requests_per_client, &mixes, "")
+    run_matrix(addr, args, requests_per_client, &mixes, "", fast)
 }
 
 /// The inner bench grid: `mixes × models × client counts` closed loops
@@ -853,7 +1605,9 @@ fn run_matrix(
     requests_per_client: usize,
     mixes: &[u64],
     tag: &str,
+    fast: bool,
 ) -> Result<Vec<RunResult>, String> {
+    let (warmup, floor) = closed_cell_shape(args, fast);
     let models = fetch_models(addr)?;
     let models: Vec<&ModelInfo> = match &args.model {
         Some(id) => {
@@ -877,6 +1631,8 @@ fn run_matrix(
                     args.v2,
                     mix,
                     tag,
+                    warmup,
+                    floor,
                 )?;
                 print!(
                     "{:<30} {:>8.1} req/s   p50 {:>8.3} ms   p99 {:>8.3} ms   \
@@ -936,6 +1692,7 @@ fn run_compaction_pass(dir: &str, args: &Args, fast: bool) -> Result<Vec<RunResu
         requests_per_client,
         &[args.ingest_mix],
         "/compact",
+        fast,
     );
     handle.shutdown();
     results

@@ -9,7 +9,12 @@
 //! xinsight-serve --models DIR [--addr 127.0.0.1:7878] [--workers N]
 //!                [--queue N] [--cache-mb N] [--compact-after N]
 //!                [--demo syn_a,flight] [--demo-rows N] [--serial]
+//!                [--debug-endpoints]
 //! ```
+//!
+//! `--debug-endpoints` enables `POST /debug/sleep` (a worker-occupying
+//! test endpoint for deterministic overload experiments) — never enable
+//! it on a reachable deployment.
 //!
 //! `--demo` fits the named demo models (`syn_a`, `flight`) and saves them
 //! as bundles into the models directory before serving — the zero-to-
@@ -37,13 +42,14 @@ struct Args {
     demo: Vec<DemoModel>,
     demo_rows: usize,
     serial: bool,
+    debug_endpoints: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: xinsight-serve --models DIR [--addr HOST:PORT] [--workers N] \
          [--queue N] [--cache-mb N] [--compact-after N] [--demo syn_a,flight] \
-         [--demo-rows N] [--serial]"
+         [--demo-rows N] [--serial] [--debug-endpoints]"
     );
     std::process::exit(2);
 }
@@ -59,6 +65,7 @@ fn parse_args() -> Args {
         demo: Vec::new(),
         demo_rows: 0,
         serial: false,
+        debug_endpoints: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -92,6 +99,7 @@ fn parse_args() -> Args {
                 args.demo_rows = value("--demo-rows").parse().unwrap_or_else(|_| usage())
             }
             "--serial" => args.serial = true,
+            "--debug-endpoints" => args.debug_endpoints = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -149,6 +157,7 @@ fn main() -> ExitCode {
         addr: args.addr,
         cache_bytes: args.cache_mb << 20,
         compact_after: args.compact_after,
+        debug_endpoints: args.debug_endpoints,
         ..ServerConfig::default()
     };
     if let Some(workers) = args.workers {

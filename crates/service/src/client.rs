@@ -137,7 +137,15 @@ impl HttpClient {
     }
 
     fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> Result<ClientResponse> {
-        let body = body.unwrap_or("");
+        self.send(method, path, body.unwrap_or(""))?;
+        self.recv()
+    }
+
+    /// Writes a request without waiting for the answer — the split half of
+    /// [`HttpClient::recv`].  Open-loop load generation and the
+    /// backpressure tests use this to put several requests in flight
+    /// (against distinct connections) before collecting any responses.
+    pub fn send(&mut self, method: &str, path: &str, body: &str) -> Result<()> {
         // One buffer, one write — see `http::write_response` on Nagle.
         let mut message = format!(
             "{method} {path} HTTP/1.1\r\nHost: xinsight\r\nContent-Length: {}\r\n\r\n",
@@ -147,7 +155,12 @@ impl HttpClient {
         self.stream
             .write_all(message.as_bytes())
             .and_then(|()| self.stream.flush())
-            .map_err(|e| io_err("send request", e))?;
+            .map_err(|e| io_err("send request", e))
+    }
+
+    /// Reads one response off the connection — the counterpart of
+    /// [`HttpClient::send`].
+    pub fn recv(&mut self) -> Result<ClientResponse> {
         self.read_response()
     }
 

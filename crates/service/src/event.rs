@@ -1,0 +1,579 @@
+//! The readiness-driven event loop: one thread that owns every socket.
+//!
+//! ## Why an event loop
+//!
+//! The previous transport was thread-per-request-in-a-pool: a worker thread
+//! *was* a connection slot, so live connections were capped at the pool
+//! size and idle keep-alives had to be shed to avoid starving admitted
+//! work.  Here the transport inverts: **all** socket I/O happens on one
+//! event-loop thread over non-blocking sockets and a [`polling::Poller`]
+//! (epoll(7) on Linux, poll(2) fallback), so thousands of idle keep-alive
+//! connections park in the kernel at zero thread cost, and the worker pool
+//! only ever sees fully-parsed requests.
+//!
+//! ## Per-connection state machine
+//!
+//! ```text
+//!  accept ──▶ Reading ──complete request──▶ Dispatched ──completion──▶ Writing
+//!               ▲  │                        (job queue,                  │
+//!               │  └─ partial + deadline ──▶ 408 + close)  flushed ──────┤
+//!               │                                                        │
+//!               └──────────────── keep-alive (idle, parked in kernel) ◀──┘
+//! ```
+//!
+//! * **Reading** — readable events append bytes to the connection's
+//!   [`RequestParser`]; a framed request is dispatched onto the bounded
+//!   job queue (`503` + close when the queue is full: backpressure is
+//!   per-*request* now, not per-connection).
+//! * **Dispatched** — the connection is disarmed (no readiness interest)
+//!   while its request runs on a worker; the worker pushes a completion
+//!   and wakes the loop via [`polling::Poller::notify`].
+//! * **Writing** — the encoded response is staged on the connection and
+//!   drained as the socket reports writability (one optimistic write
+//!   first, so the common case costs no extra poll round trip).
+//!
+//! Registrations are oneshot: after every event the loop re-arms exactly
+//! the interest the state machine wants next.  Poller keys pack
+//! `(generation << 32) | slot` so a late event or completion for a closed,
+//! reused slot is recognized as stale and dropped.
+//!
+//! Timers are a sweep: every [`TICK`] the loop reaps partial requests past
+//! the slow-loris deadline (`408`), parks/reaps idle connections past the
+//! idle timeout, and refreshes the `parked_idle` gauge.
+//!
+//! **Shutdown drain**: when the flag flips, the listener closes, idle
+//! connections are reaped, freshly parsed requests get `503` + close, and
+//! the loop exits once every in-flight request has been answered and every
+//! staged response flushed (or [`SHUTDOWN_DRAIN_GRACE`] expires).
+
+use crate::http::{self, RequestParser, Response};
+use crate::server::{Completion, Job, Shared};
+use polling::{Event, Events};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poller key reserved for the listener.  `usize::MAX` itself is the
+/// poller's internal notify key; connection keys pack `(gen, slot)` and
+/// can never reach either value (that would need slot `u32::MAX`).
+const LISTENER_KEY: usize = usize::MAX - 1;
+
+/// Sweep cadence: the upper bound on how stale the timeout checks and the
+/// `parked_idle` gauge can be.  Also the poller wait timeout, so a fully
+/// idle server wakes ~20×/s to re-check the shutdown flag.
+const TICK: Duration = Duration::from_millis(50);
+
+/// After shutdown begins, in-flight requests and staged writes get this
+/// long to drain before remaining connections are force-closed.
+const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Per-event read chunk; a request larger than this simply takes several
+/// readable events to arrive.
+const READ_CHUNK: usize = 16 * 1024;
+
+fn key_of(slot: usize, gen: u32) -> usize {
+    (((gen as u64) << 32) | slot as u64) as usize
+}
+
+fn slot_of(key: usize) -> usize {
+    (key as u64 & 0xffff_ffff) as usize
+}
+
+/// One connection's state, owned entirely by the event loop.
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    parser: RequestParser,
+    write_buf: Vec<u8>,
+    written: usize,
+    /// A request from this connection is queued or running on a worker.
+    inflight: bool,
+    close_after_write: bool,
+    peer_closed: bool,
+    /// When the first byte of a not-yet-complete request arrived.
+    partial_since: Option<Instant>,
+    idle_since: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, gen: u32) -> Conn {
+        Conn {
+            stream,
+            gen,
+            parser: RequestParser::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            inflight: false,
+            close_after_write: false,
+            peer_closed: false,
+            partial_since: None,
+            idle_since: Instant::now(),
+        }
+    }
+}
+
+struct EventLoop {
+    shared: Arc<Shared>,
+    listener: Option<TcpListener>,
+    conns: Vec<Option<Conn>>,
+    /// Slot generations, bumped on reuse; live on after a slot is freed so
+    /// stale poller events and completions never alias a new connection.
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    open: usize,
+    /// Jobs dispatched and not yet completed (counts jobs whose connection
+    /// has since died too — their completions still come back).
+    inflight_jobs: usize,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+/// The event-loop thread body.  Exits once shutdown has drained.
+pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) {
+    let mut lp = EventLoop {
+        shared,
+        listener: Some(listener),
+        conns: Vec::new(),
+        gens: Vec::new(),
+        free: Vec::new(),
+        open: 0,
+        inflight_jobs: 0,
+        draining: false,
+        drain_deadline: None,
+    };
+    if let Some(listener) = &lp.listener {
+        if lp
+            .shared
+            .poller
+            .add(listener, Event::readable(LISTENER_KEY))
+            .is_err()
+        {
+            lp.shared.begin_shutdown();
+            return;
+        }
+    }
+    lp.run();
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events = Events::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            let _ = self.shared.poller.wait(&mut events, Some(TICK));
+            if self.shared.shutdown.load(Ordering::SeqCst) && !self.draining {
+                self.enter_drain();
+            }
+            let ready: Vec<Event> = events.iter().collect();
+            for ev in ready {
+                if ev.key == LISTENER_KEY {
+                    self.handle_accept();
+                    continue;
+                }
+                let slot = slot_of(ev.key);
+                let stale = self
+                    .conns
+                    .get(slot)
+                    .and_then(|c| c.as_ref())
+                    .is_none_or(|c| key_of(slot, c.gen) != ev.key);
+                if stale {
+                    continue;
+                }
+                if ev.writable {
+                    self.flush(slot);
+                }
+                if ev.readable {
+                    self.handle_readable(slot);
+                }
+                self.settle(slot);
+            }
+            self.drain_completions();
+            if last_sweep.elapsed() >= TICK {
+                self.sweep();
+                last_sweep = Instant::now();
+            }
+            if self.draining && self.drained() {
+                break;
+            }
+        }
+        for slot in 0..self.conns.len() {
+            self.close(slot, false);
+        }
+    }
+
+    /// Whether shutdown can finish: no request is on a worker and no
+    /// response is still making its way onto the wire.
+    fn drained(&self) -> bool {
+        if self.drain_deadline.is_some_and(|d| Instant::now() >= d) {
+            return true;
+        }
+        self.inflight_jobs == 0
+            && self
+                .conns
+                .iter()
+                .flatten()
+                .all(|c| c.write_buf.is_empty() && !c.inflight)
+    }
+
+    fn enter_drain(&mut self) {
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + SHUTDOWN_DRAIN_GRACE);
+        if let Some(listener) = self.listener.take() {
+            let _ = self.shared.poller.delete(&listener);
+        }
+        // Reap everything idle right away; busy connections finish their
+        // request (the response carries `Connection: close`).
+        for slot in 0..self.conns.len() {
+            let idle = self.conns[slot]
+                .as_ref()
+                .is_some_and(|c| !c.inflight && c.write_buf.is_empty());
+            if idle {
+                self.close(slot, false);
+            }
+        }
+    }
+
+    fn handle_accept(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.shared
+                        .stats
+                        .conn_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    if self.open >= self.shared.max_connections {
+                        self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        self.shared.stats.conn_shed.fetch_add(1, Ordering::Relaxed);
+                        // Accepted sockets don't inherit non-blocking; the
+                        // send buffer is empty, so this cannot stall.
+                        let mut stream = stream;
+                        let goodbye = Response::error(503, "connection limit reached, retry later");
+                        let _ = stream.write_all(&http::encode_response(&goodbye, true));
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let slot = match self.free.pop() {
+                        Some(slot) => {
+                            self.gens[slot] = self.gens[slot].wrapping_add(1);
+                            slot
+                        }
+                        None => {
+                            self.conns.push(None);
+                            self.gens.push(0);
+                            self.conns.len() - 1
+                        }
+                    };
+                    let gen = self.gens[slot];
+                    let conn = Conn::new(stream, gen);
+                    if self
+                        .shared
+                        .poller
+                        .add(&conn.stream, Event::readable(key_of(slot, gen)))
+                        .is_err()
+                    {
+                        self.free.push(slot);
+                        continue;
+                    }
+                    self.conns[slot] = Some(conn);
+                    self.open += 1;
+                    self.shared
+                        .stats
+                        .conn_active
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient accept error (ECONNABORTED, fd pressure…):
+                // drop it and keep serving.
+                Err(_) => break,
+            }
+        }
+        if let Some(listener) = &self.listener {
+            if self
+                .shared
+                .poller
+                .modify(listener, Event::readable(LISTENER_KEY))
+                .is_err()
+            {
+                // Cannot re-arm accepts: nothing new will ever arrive.
+                self.shared.begin_shutdown();
+            }
+        }
+    }
+
+    fn handle_readable(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let mut buf = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => conn.parser.feed(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot, false);
+                    return;
+                }
+            }
+        }
+        self.advance(slot);
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.peer_closed {
+            if conn.inflight || !conn.write_buf.is_empty() {
+                // Half-close: the peer stopped sending but may still read
+                // the response; finish it, then close.
+                conn.close_after_write = true;
+            } else {
+                self.close(slot, false);
+            }
+        }
+    }
+
+    /// Tries to frame and dispatch the next request from the connection's
+    /// buffered bytes (one request in flight per connection at a time;
+    /// pipelined surplus waits for the response to flush).
+    fn advance(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.inflight || !conn.write_buf.is_empty() {
+            return;
+        }
+        match conn.parser.try_parse() {
+            Ok(Some(request)) => {
+                conn.partial_since = None;
+                conn.close_after_write |= request.wants_close();
+                if self.draining {
+                    self.stage_close(slot, &Response::error(503, "server is shutting down"));
+                    return;
+                }
+                let gen = conn.gen;
+                let mut jobs = self.shared.jobs.lock().expect("jobs lock");
+                if jobs.len() >= self.shared.queue_capacity {
+                    drop(jobs);
+                    self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.shared.stats.conn_shed.fetch_add(1, Ordering::Relaxed);
+                    self.stage_close(
+                        slot,
+                        &Response::error(503, "admission queue is full, retry later"),
+                    );
+                    return;
+                }
+                jobs.push_back(Job {
+                    slot,
+                    gen,
+                    request,
+                    admitted: Instant::now(),
+                });
+                drop(jobs);
+                self.inflight_jobs += 1;
+                conn.inflight = true;
+                self.shared.available.notify_one();
+            }
+            Ok(None) => {
+                if conn.parser.is_empty() {
+                    conn.partial_since = None;
+                } else if conn.partial_since.is_none() {
+                    conn.partial_since = Some(Instant::now());
+                }
+            }
+            Err(e) => {
+                self.shared
+                    .stats
+                    .client_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let response = match e {
+                    http::HttpError::Malformed(message) => Response::error(400, &message),
+                    http::HttpError::TooLarge(what) => {
+                        let status = if what == "request body" { 413 } else { 431 };
+                        Response::error(status, &format!("{what} too large"))
+                    }
+                    _ => Response::error(400, "bad request"),
+                };
+                self.stage_close(slot, &response);
+            }
+        }
+    }
+
+    /// Stages a response that terminates the connection after it flushes.
+    fn stage_close(&mut self, slot: usize, response: &Response) {
+        if let Some(conn) = self.conns[slot].as_mut() {
+            conn.close_after_write = true;
+        }
+        self.stage(slot, response);
+    }
+
+    /// Encodes `response` onto the connection's write buffer and drains
+    /// what the socket will take immediately.
+    fn stage(&mut self, slot: usize, response: &Response) {
+        let shutting = self.draining || self.shared.shutdown.load(Ordering::SeqCst);
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let close = conn.close_after_write || shutting;
+        conn.close_after_write = close;
+        conn.write_buf = http::encode_response(response, close);
+        conn.written = 0;
+        self.flush(slot);
+    }
+
+    /// Writes as much of the staged response as the socket accepts; on
+    /// completion either closes or returns the connection to keep-alive
+    /// (including dispatching a pipelined follow-up already buffered).
+    fn flush(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        while conn.written < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.written..]) {
+                Ok(0) => {
+                    self.close(slot, false);
+                    return;
+                }
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot, false);
+                    return;
+                }
+            }
+        }
+        if conn.write_buf.is_empty() {
+            return; // nothing was staged
+        }
+        conn.write_buf = Vec::new();
+        conn.written = 0;
+        if conn.close_after_write || conn.peer_closed {
+            self.close(slot, false);
+            return;
+        }
+        conn.idle_since = Instant::now();
+        // A pipelined request may already be buffered in full.
+        self.advance(slot);
+    }
+
+    /// Re-arms the oneshot readiness interest the connection's state wants
+    /// next: writable while a response is staged, nothing while a request
+    /// is on a worker, readable otherwise.
+    fn settle(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_ref() else {
+            return;
+        };
+        let key = key_of(slot, conn.gen);
+        let interest = if !conn.write_buf.is_empty() {
+            Event::writable(key)
+        } else if conn.inflight {
+            Event::none(key)
+        } else {
+            Event::readable(key)
+        };
+        if self.shared.poller.modify(&conn.stream, interest).is_err() {
+            self.close(slot, false);
+        }
+    }
+
+    /// Delivers worker completions: stage each response on its (still
+    /// live, same-generation) connection and trigger any requested
+    /// shutdown once the goodbye bytes are staged.
+    fn drain_completions(&mut self) {
+        let completed: Vec<Completion> =
+            std::mem::take(&mut *self.shared.completions.lock().expect("completions lock"));
+        for completion in completed {
+            self.inflight_jobs = self.inflight_jobs.saturating_sub(1);
+            let live = self
+                .conns
+                .get_mut(completion.slot)
+                .and_then(|c| c.as_mut())
+                .filter(|c| c.gen == completion.gen);
+            match live {
+                Some(conn) => {
+                    conn.inflight = false;
+                    if completion.shutdown_after {
+                        conn.close_after_write = true;
+                    }
+                    self.stage(completion.slot, &completion.response);
+                    if completion.shutdown_after {
+                        self.shared.begin_shutdown();
+                    }
+                    self.settle(completion.slot);
+                }
+                None => {
+                    // The connection died while its request ran; the
+                    // response has nowhere to go, but a shutdown request
+                    // must still take effect.
+                    if completion.shutdown_after {
+                        self.shared.begin_shutdown();
+                    }
+                }
+            }
+        }
+    }
+
+    /// The periodic timer pass: slow-loris deadlines, idle reaping, and
+    /// the parked-idle gauge.
+    fn sweep(&mut self) {
+        let now = Instant::now();
+        let mut parked = 0u64;
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                continue;
+            };
+            if conn.inflight || !conn.write_buf.is_empty() {
+                continue;
+            }
+            if let Some(since) = conn.partial_since {
+                // A partial request stalled past the deadline: slow-loris.
+                if now.duration_since(since) >= self.shared.request_deadline {
+                    self.shared
+                        .stats
+                        .read_timeouts
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.stage_close(slot, &Response::error(408, "request timed out"));
+                    self.settle(slot);
+                }
+                continue;
+            }
+            if now.duration_since(conn.idle_since) >= self.shared.idle_timeout {
+                self.close(slot, true);
+                continue;
+            }
+            parked += 1;
+        }
+        self.shared
+            .stats
+            .conn_parked_idle
+            .store(parked, Ordering::Relaxed);
+    }
+
+    fn close(&mut self, slot: usize, shed: bool) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.shared.poller.delete(&conn.stream);
+        self.free.push(slot);
+        self.open -= 1;
+        self.shared
+            .stats
+            .conn_active
+            .fetch_sub(1, Ordering::Relaxed);
+        if shed {
+            self.shared.stats.conn_shed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

@@ -13,8 +13,16 @@
 //! memory, and a read timeout on an *idle* keep-alive connection surfaces as
 //! [`HttpError::Idle`] so workers can poll their shutdown flag instead of
 //! blocking forever.
+//!
+//! Two entry points share one parsing core:
+//!
+//! * [`RequestParser`] — a *push* parser for the event-driven server: feed
+//!   it whatever bytes a non-blocking read produced, ask whether a complete
+//!   request has been framed.  It never blocks and never touches a socket.
+//! * [`read_request`] — the blocking *pull* wrapper over the same parser for
+//!   synchronous callers (tests, simple clients).
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 /// Upper bound on the request line plus all headers.
@@ -123,37 +131,114 @@ fn is_timeout(e: &std::io::Error) -> bool {
 /// are retried rather than dropping the connection.
 pub const REQUEST_DEADLINE: std::time::Duration = std::time::Duration::from_secs(10);
 
-/// Reads one request from a buffered connection.
+/// An incremental (push) HTTP/1.1 request parser.
 ///
-/// Distinguishes the clean cases a keep-alive server must handle: EOF
-/// before any bytes ([`HttpError::Closed`]), a read timeout before any
-/// bytes ([`HttpError::Idle`]), and everything else as malformed/IO
-/// errors.  After the first byte, short read timeouts (the server's idle
-/// poll tick) are retried until [`REQUEST_DEADLINE`], so a slow or lossy
-/// peer mid-request is not mistaken for an idle one.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
-    // Idle probe: wait (up to the socket's read timeout) for the first byte
-    // without consuming it, so a timeout here provably loses no data.
-    match reader.fill_buf() {
-        Ok([]) => return Err(HttpError::Closed),
-        Ok(_) => {}
-        Err(e) if is_timeout(&e) => return Err(HttpError::Idle),
-        Err(e) => return Err(HttpError::Io(e)),
+/// The event-driven server owns one of these per connection: every
+/// non-blocking read [`feed`](RequestParser::feed)s whatever bytes arrived,
+/// then [`try_parse`](RequestParser::try_parse) either frames a complete
+/// request, reports that more bytes are needed (`Ok(None)`), or rejects the
+/// stream with a structured [`HttpError`].  Pipelined requests are
+/// supported: bytes past the first complete request stay buffered for the
+/// next `try_parse`.
+///
+/// The size bounds ([`MAX_HEAD_BYTES`], [`MAX_BODY_BYTES`]) are enforced
+/// incrementally, so a hostile peer is rejected as soon as the bound is
+/// exceeded — not once the full payload has been buffered.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        RequestParser::default()
     }
-    let deadline = std::time::Instant::now() + REQUEST_DEADLINE;
-    let mut line = String::new();
-    match read_crlf_line(reader, &mut line, 0, deadline) {
-        Ok(0) => return Err(HttpError::Closed),
-        Ok(_) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-            return Err(HttpError::TooLarge("request head"))
+
+    /// Appends bytes read from the connection.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet consumed by a parsed request.
+    /// Non-zero between requests means a *partial* request is in flight —
+    /// the signal the event loop uses to arm its slow-loris deadline.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no unconsumed bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Attempts to frame one complete request from the buffered bytes.
+    ///
+    /// Returns `Ok(None)` when the buffer holds only a prefix of a request;
+    /// feeding more bytes and calling again resumes where it left off.  On
+    /// `Ok(Some(_))` the request's bytes are consumed and any pipelined
+    /// surplus remains buffered.  Errors are terminal for the connection.
+    pub fn try_parse(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(head_len) = find_head_end(&self.buf) else {
+            // No blank line yet: either wait for more bytes or reject a
+            // head that can no longer fit its bound.
+            if self.buf.len() > MAX_HEAD_BYTES + 2 {
+                return Err(HttpError::TooLarge("request head"));
+            }
+            return Ok(None);
+        };
+        if head_len > MAX_HEAD_BYTES + 2 {
+            return Err(HttpError::TooLarge("request head"));
         }
-        Err(e) => return Err(HttpError::Io(e)),
+        let head = std::str::from_utf8(&self.buf[..head_len])
+            .map_err(|_| HttpError::Malformed("non-utf8 in request head".into()))?;
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let (method, path) = parse_request_line(lines.next().unwrap_or(""))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            headers.push(parse_header_line(line)?);
+        }
+        let request = Request {
+            method,
+            path,
+            headers,
+            body: Vec::new(),
+        };
+        let length = body_length(&request)?;
+        if self.buf.len() < head_len + length {
+            return Ok(None); // body still arriving
+        }
+        let body = self.buf[head_len..head_len + length].to_vec();
+        self.buf.drain(..head_len + length);
+        Ok(Some(Request { body, ..request }))
     }
-    let mut head_bytes = line.len();
+}
+
+/// Byte offset one past the head terminator (the first empty line), or
+/// `None` if the head is still incomplete.  Line framing is tolerant: lines
+/// end at `\n`, an optional preceding `\r` is ignored.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut line_start = 0usize;
+    for (i, byte) in buf.iter().enumerate() {
+        if *byte != b'\n' {
+            continue;
+        }
+        let line = &buf[line_start..i];
+        if line.is_empty() || line == b"\r" {
+            return Some(i + 1);
+        }
+        line_start = i + 1;
+    }
+    None
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
     let mut parts = line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v), None) => (m.to_owned(), p.to_owned(), v),
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
         _ => return Err(HttpError::Malformed("bad request line".into())),
     };
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
@@ -161,34 +246,18 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpEr
             "unsupported protocol version `{version}`"
         )));
     }
+    Ok((method.to_owned(), path.to_owned()))
+}
 
-    let mut headers = Vec::new();
-    loop {
-        line.clear();
-        match read_crlf_line(reader, &mut line, head_bytes, deadline) {
-            Ok(0) => return Err(HttpError::Malformed("eof inside headers".into())),
-            Ok(_) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                return Err(HttpError::TooLarge("request head"))
-            }
-            Err(e) => return Err(HttpError::Io(e)),
-        }
-        head_bytes += line.len();
-        if line.is_empty() {
-            break;
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::Malformed(format!("bad header line `{line}`")));
-        };
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
-    }
-
-    let request = Request {
-        method,
-        path,
-        headers,
-        body: Vec::new(),
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(HttpError::Malformed(format!("bad header line `{line}`")));
     };
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+}
+
+/// Validates body framing headers and returns the declared body length.
+fn body_length(request: &Request) -> Result<usize, HttpError> {
     if request
         .header("transfer-encoding")
         .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
@@ -206,73 +275,55 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpEr
     if length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge("request body"));
     }
-    let mut body = vec![0u8; length];
-    let mut filled = 0usize;
-    while filled < length {
-        match reader.read(&mut body[filled..]) {
-            Ok(0) => {
-                return Err(HttpError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "eof inside body",
-                )))
-            }
-            Ok(n) => filled += n,
-            Err(e) if is_timeout(&e) && std::time::Instant::now() < deadline => continue,
-            Err(e) => return Err(HttpError::Io(e)),
-        }
-    }
-    Ok(Request { body, ..request })
+    Ok(length)
 }
 
-/// Reads one `\r\n`-terminated line into `out` (terminator stripped),
-/// returning the number of raw bytes consumed.  Enforces
-/// [`MAX_HEAD_BYTES`] against `already_read + line` via an `InvalidData`
-/// error, and retries short read timeouts until `deadline` (the partial
-/// line accumulates across retries, so no bytes are lost).
-fn read_crlf_line(
-    reader: &mut BufReader<TcpStream>,
-    out: &mut String,
-    already_read: usize,
-    deadline: std::time::Instant,
-) -> std::io::Result<usize> {
-    let mut raw = Vec::new();
-    let limit = (MAX_HEAD_BYTES - already_read.min(MAX_HEAD_BYTES)) + 2;
+/// Reads one request from a buffered connection (blocking wrapper over
+/// [`RequestParser`]).
+///
+/// Distinguishes the clean cases a keep-alive server must handle: EOF
+/// before any bytes ([`HttpError::Closed`]), a read timeout before any
+/// bytes ([`HttpError::Idle`]), and everything else as malformed/IO
+/// errors.  After the first byte, short read timeouts (the caller's idle
+/// poll tick) are retried until [`REQUEST_DEADLINE`], so a slow or lossy
+/// peer mid-request is not mistaken for an idle one.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, HttpError> {
+    let mut parser = RequestParser::new();
+    let mut deadline: Option<std::time::Instant> = None;
     loop {
-        let take = (limit - raw.len().min(limit)) as u64;
-        match reader.by_ref().take(take).read_until(b'\n', &mut raw) {
-            Ok(_) => {}
-            // `read_until` keeps already-appended bytes in `raw` on error,
-            // so a timeout mid-line resumes exactly where it stopped.
-            Err(e) if is_timeout(&e) && std::time::Instant::now() < deadline => continue,
-            Err(e) => return Err(e),
+        if let Some(request) = parser.try_parse()? {
+            return Ok(request);
         }
-        if raw.ends_with(b"\n") {
-            break;
-        }
-        if raw.len() >= limit {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "line exceeds head limit",
-            ));
-        }
-        if raw.is_empty() {
-            return Ok(0); // clean EOF before the line started
-        }
-        // EOF mid-line: surface as malformed via UnexpectedEof.
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "eof mid-line",
-        ));
+        let chunk_len = match reader.fill_buf() {
+            Ok([]) => {
+                return Err(if parser.is_empty() {
+                    HttpError::Closed
+                } else {
+                    HttpError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "eof mid-request",
+                    ))
+                })
+            }
+            Ok(chunk) => {
+                parser.feed(chunk);
+                chunk.len()
+            }
+            Err(e) if is_timeout(&e) => {
+                if parser.is_empty() {
+                    return Err(HttpError::Idle);
+                }
+                match deadline {
+                    // Mid-request stall: keep waiting until the deadline.
+                    Some(d) if std::time::Instant::now() >= d => return Err(HttpError::Io(e)),
+                    _ => continue,
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        reader.consume(chunk_len);
+        deadline.get_or_insert_with(|| std::time::Instant::now() + REQUEST_DEADLINE);
     }
-    let read = raw.len();
-    while raw.last().is_some_and(|b| *b == b'\n' || *b == b'\r') {
-        raw.pop();
-    }
-    out.push_str(
-        std::str::from_utf8(&raw)
-            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 header"))?,
-    );
-    Ok(read)
 }
 
 /// The reason phrase for the status codes this service emits.
@@ -291,15 +342,15 @@ pub fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Writes a response; `close` controls the `Connection` header (and tells
-/// the peer whether another request may follow).
-pub fn write_response(
-    stream: &mut TcpStream,
-    response: &Response,
-    close: bool,
-) -> std::io::Result<()> {
-    // One buffer, one write: head and body in separate segments would
-    // trip Nagle + delayed-ACK into ~40–200 ms stalls per response.
+/// Serializes a response into the exact bytes the wire carries; `close`
+/// controls the `Connection` header (and tells the peer whether another
+/// request may follow).
+///
+/// Head and body share one buffer deliberately: two separate writes would
+/// trip Nagle + delayed-ACK into ~40–200 ms stalls per response.  The
+/// event-driven server stages this buffer on the connection and drains it
+/// as the socket reports writability.
+pub fn encode_response(response: &Response, close: bool) -> Vec<u8> {
     let mut message = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
@@ -308,13 +359,23 @@ pub fn write_response(
         if close { "close" } else { "keep-alive" },
     );
     message.push_str(&response.body);
-    stream.write_all(message.as_bytes())?;
+    message.into_bytes()
+}
+
+/// Writes a response in one blocking write (see [`encode_response`]).
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    close: bool,
+) -> std::io::Result<()> {
+    stream.write_all(&encode_response(response, close))?;
     stream.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
     use std::net::{TcpListener, TcpStream};
 
     /// Runs `parse` against raw bytes by pushing them through a real socket
@@ -417,5 +478,89 @@ mod tests {
     fn error_responses_escape_the_message() {
         let resp = Response::error(400, "bad \"thing\"\n");
         assert_eq!(resp.body, "{\"error\":\"bad \\\"thing\\\"\\n\"}");
+    }
+
+    const WIRE: &[u8] = b"POST /explain HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+
+    #[test]
+    fn incremental_parser_frames_across_arbitrary_splits() {
+        // Feeding the same request one byte at a time, or split at every
+        // possible boundary, must frame the identical request.
+        for split in 0..=WIRE.len() {
+            let mut parser = RequestParser::new();
+            parser.feed(&WIRE[..split]);
+            let early = parser.try_parse().unwrap();
+            if split < WIRE.len() {
+                assert!(early.is_none(), "complete before byte {split}?");
+                parser.feed(&WIRE[split..]);
+            }
+            let req = match early {
+                Some(req) => req,
+                None => parser.try_parse().unwrap().expect("complete"),
+            };
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/explain");
+            assert_eq!(req.header("host"), Some("x"));
+            assert_eq!(req.body, b"body");
+            assert!(parser.is_empty());
+        }
+    }
+
+    #[test]
+    fn incremental_parser_handles_pipelined_requests() {
+        let mut parser = RequestParser::new();
+        let mut wire = WIRE.to_vec();
+        wire.extend_from_slice(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n");
+        parser.feed(&wire);
+        let first = parser.try_parse().unwrap().expect("first framed");
+        assert_eq!(first.path, "/explain");
+        assert!(!parser.is_empty(), "second request stays buffered");
+        let second = parser.try_parse().unwrap().expect("second framed");
+        assert_eq!(second.path, "/stats");
+        assert!(second.wants_close());
+        assert!(parser.is_empty());
+        assert!(parser.try_parse().unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_bad_streams_like_the_blocking_path() {
+        let cases: &[&[u8]] = &[
+            b"NOT-HTTP\r\n\r\n",
+            b"GET / HTTP/9.9\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbadheader\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ];
+        for raw in cases {
+            let mut parser = RequestParser::new();
+            parser.feed(raw);
+            assert!(
+                matches!(parser.try_parse(), Err(HttpError::Malformed(_))),
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+        // Oversized head is rejected *before* the terminator arrives.
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\nX-Big: ");
+        parser.feed(&vec![b'a'; MAX_HEAD_BYTES + 1]);
+        assert!(matches!(
+            parser.try_parse(),
+            Err(HttpError::TooLarge("request head"))
+        ));
+    }
+
+    #[test]
+    fn encode_response_matches_write_response_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        let resp = Response::json(200, "{\"n\":1}");
+        write_response(&mut server, &resp, false).unwrap();
+        drop(server);
+        let mut streamed = Vec::new();
+        BufReader::new(client).read_to_end(&mut streamed).unwrap();
+        assert_eq!(streamed, encode_response(&resp, false));
     }
 }

@@ -20,9 +20,12 @@
 //! * [`http`] / [`client`] — a dependency-free HTTP/1.1 subset (the
 //!   workspace builds offline: no tokio, no hyper) with keep-alive,
 //!   bounded heads/bodies and defensive parsing;
-//! * [`server`] — the accept thread, bounded **admission queue** (`503`
-//!   backpressure when full), worker pool sized with the engine's
-//!   `XINSIGHT_THREADS` knob, routing, and graceful shutdown;
+//! * [`server`] — the readiness-driven **event loop** (epoll(7) with a
+//!   portable poll(2) fallback) owning every socket, the bounded
+//!   **admission queue** of parsed requests (`503` backpressure when
+//!   full), the worker pool sized with the engine's `XINSIGHT_THREADS`
+//!   knob, routing, and graceful drain shutdown — idle keep-alive
+//!   connections park in the kernel instead of pinning threads;
 //! * [`lru`] — a byte-budgeted, memory-accounted LRU **result cache** in
 //!   front of the engine, scoped by segment-set fingerprints: entries
 //!   survive ingest (promoted when the new rows provably cannot move the
@@ -40,8 +43,9 @@
 //!   query pools for the smoke test and the `loadgen` bench.
 //!
 //! Two binaries ship with the crate: `xinsight-serve` (the server) and
-//! `loadgen` (closed-loop concurrent load generation emitting
-//! `BENCH_serve.json`).  See the README's serving quickstart.
+//! `loadgen` (closed-loop concurrent clients plus coordinated-omission-free
+//! open-loop arrival schedules, emitting `BENCH_serve.json`).  See the
+//! README's serving quickstart.
 //!
 //! ## Endpoints
 //!
@@ -57,6 +61,7 @@
 //! | `GET /stats` | — | QPS, latency, cache hit rates, per-model segments/rows/epoch |
 //! | `POST /admin/reload` | `{"model"}` | atomic hot-reload of one bundle |
 //! | `POST /admin/shutdown` | — | graceful shutdown |
+//! | `POST /debug/sleep` | `{"ms"}` | worker-occupying fixed sleep for overload experiments — gated on `--debug-endpoints`, `404` otherwise |
 //!
 //! The v1 endpoints are thin adapters that build a *default*
 //! [`ExplainRequest`](xinsight_core::ExplainRequest); their wire bytes are
@@ -66,6 +71,7 @@
 
 pub mod client;
 pub mod demo;
+mod event;
 pub mod http;
 pub mod lru;
 pub mod registry;

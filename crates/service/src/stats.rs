@@ -3,22 +3,59 @@
 //! Everything is lock-free (relaxed atomics): the serving hot path only
 //! ever increments counters, and `/stats` assembles a point-in-time JSON
 //! snapshot without contending with workers.  Latencies go into a
-//! power-of-two-microsecond histogram — coarse, but monotone and
-//! allocation-free — from which approximate percentiles are derived (each
-//! reported percentile is the upper bound of its bucket, so p50/p99 are
-//! conservative).  The `loadgen` bench reports *exact* percentiles from
-//! its own recorded samples; the histogram is for the live endpoint.
+//! log-linear (HDR-style) microsecond histogram — exact below 16 µs, 16
+//! sub-buckets per power of two above, so every reported percentile is
+//! within 6.25 % of the true value — from which percentiles are derived as
+//! the upper bound of their bucket (conservative).  The `loadgen` bench
+//! reports *exact* percentiles from its own recorded samples; the
+//! histogram is for the live endpoint.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use xinsight_core::json::Json;
 use xinsight_stats::CacheStats;
 
-/// Number of histogram buckets: bucket `i` counts latencies in
-/// `[2^i, 2^(i+1))` µs (bucket 0 is `< 2` µs, the last bucket is open).
-pub const LATENCY_BUCKETS: usize = 28;
+/// Values below this many microseconds get one exact bucket each.
+const LINEAR_LIMIT: u64 = 16;
 
-/// A fixed-bucket, lock-free latency histogram over microseconds.
+/// Sub-buckets per power of two above [`LINEAR_LIMIT`]: quantization error
+/// is bounded by `1/SUB_BUCKETS` (6.25 %).
+const SUB_BUCKETS: usize = 16;
+
+/// Powers of two covered above the linear range: `2^4 ..= 2^39` µs
+/// (≈ 9 days); anything larger lands in the final (open) bucket.
+const OCTAVES: usize = 36;
+
+/// Total histogram bucket count.
+pub const LATENCY_BUCKETS: usize = LINEAR_LIMIT as usize + OCTAVES * SUB_BUCKETS;
+
+/// The bucket a microsecond value lands in.
+fn bucket_index(us: u64) -> usize {
+    if us < LINEAR_LIMIT {
+        return us as usize;
+    }
+    if us >= 1u64 << (4 + OCTAVES) {
+        return LATENCY_BUCKETS - 1;
+    }
+    let octave = 63 - us.leading_zeros() as usize; // >= 4 here
+    let shift = octave - 4;
+    let sub = ((us >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
+    LINEAR_LIMIT as usize + (octave - 4) * SUB_BUCKETS + sub
+}
+
+/// The (inclusive) upper bound of a bucket, in microseconds.
+fn bucket_upper_us(index: usize) -> u64 {
+    if index < LINEAR_LIMIT as usize {
+        return index as u64;
+    }
+    let i = index - LINEAR_LIMIT as usize;
+    let shift = (i / SUB_BUCKETS) as u64;
+    let sub = (i % SUB_BUCKETS) as u64;
+    ((LINEAR_LIMIT + sub) << shift) + (1u64 << shift) - 1
+}
+
+/// A fixed-bucket, lock-free, log-linear latency histogram over
+/// microseconds (exact below 16 µs, ≤ 6.25 % quantization above).
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; LATENCY_BUCKETS],
@@ -40,10 +77,7 @@ impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record(&self, latency: Duration) {
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - us.leading_zeros() as usize)
-            .saturating_sub(1)
-            .min(LATENCY_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
@@ -61,8 +95,8 @@ impl LatencyHistogram {
             .unwrap_or(0)
     }
 
-    /// Approximate `quantile` (in `[0, 1]`) as the upper bound of the
-    /// bucket containing it, in microseconds.
+    /// `quantile` (in `[0, 1]`) as the upper bound of the bucket containing
+    /// it, in microseconds — within 6.25 % of the true sample value.
     pub fn quantile_upper_us(&self, quantile: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -73,10 +107,10 @@ impl LatencyHistogram {
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                return 1u64 << (i + 1);
+                return bucket_upper_us(i);
             }
         }
-        1u64 << LATENCY_BUCKETS
+        bucket_upper_us(LATENCY_BUCKETS - 1)
     }
 
     fn to_json(&self) -> Json {
@@ -146,10 +180,23 @@ pub struct ServerStats {
     pub client_errors: AtomicU64,
     /// Requests failed with `500`.
     pub server_errors: AtomicU64,
-    /// Connections rejected with `503` by the admission queue.
+    /// Requests rejected with `503` by the admission queue.
     pub rejected: AtomicU64,
-    /// End-to-end request latencies (excluding queue wait of the
-    /// *connection*, which closed-loop clients observe instead).
+    /// Connections the event loop has accepted, cumulatively.
+    pub conn_accepted: AtomicU64,
+    /// Currently open connections (gauge).
+    pub conn_active: AtomicU64,
+    /// Open connections currently parked idle between requests, waiting in
+    /// the kernel at zero thread cost (gauge, refreshed each sweep tick).
+    pub conn_parked_idle: AtomicU64,
+    /// Connections the server closed on its own: admission-queue 503s,
+    /// idle-timeout reaps, and the connection cap.
+    pub conn_shed: AtomicU64,
+    /// Partial requests that hit the slow-loris read deadline (answered
+    /// `408` and closed).
+    pub read_timeouts: AtomicU64,
+    /// Request latencies from admission (request fully parsed and queued)
+    /// to response computed — queue wait included, socket writes excluded.
     pub latency: LatencyHistogram,
     /// Background compactions completed (swaps that actually happened —
     /// stale rewrites discarded at the swap check are not counted).
@@ -178,6 +225,11 @@ impl Default for ServerStats {
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            conn_accepted: AtomicU64::new(0),
+            conn_active: AtomicU64::new(0),
+            conn_parked_idle: AtomicU64::new(0),
+            conn_shed: AtomicU64::new(0),
+            read_timeouts: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             compactions: AtomicU64::new(0),
             compaction_last_before: AtomicU64::new(0),
@@ -261,6 +313,16 @@ impl ServerStats {
                 ]),
             ),
             ("latency".to_owned(), self.latency.to_json()),
+            (
+                "connections".to_owned(),
+                Json::Obj(vec![
+                    ("accepted".to_owned(), load(&self.conn_accepted)),
+                    ("active".to_owned(), load(&self.conn_active)),
+                    ("parked_idle".to_owned(), load(&self.conn_parked_idle)),
+                    ("shed".to_owned(), load(&self.conn_shed)),
+                    ("read_timeouts".to_owned(), load(&self.read_timeouts)),
+                ]),
+            ),
             ("models".to_owned(), models),
             (
                 "queue".to_owned(),
@@ -352,10 +414,10 @@ mod tests {
         let p50 = h.quantile_upper_us(0.50);
         let p99 = h.quantile_upper_us(0.99);
         assert!(p50 <= p99, "p50 {p50} must be <= p99 {p99}");
-        // The p50 bucket upper bound covers the 4th smallest sample (10µs).
-        assert!((10..=32).contains(&p50), "got {p50}");
-        // p99 covers the largest sample.
-        assert!(p99 >= 10_000, "got {p99}");
+        // The linear range is exact: the 4th smallest sample is 10 µs.
+        assert_eq!(p50, 10);
+        // p99 covers the largest sample within the 6.25 % bound.
+        assert!((10_000..=10_625).contains(&p99), "got {p99}");
         // Empty histogram.
         let empty = LatencyHistogram::default();
         assert_eq!(empty.quantile_upper_us(0.5), 0);
@@ -363,10 +425,39 @@ mod tests {
     }
 
     #[test]
+    fn log_linear_buckets_bound_quantization_error() {
+        // Round-tripping any value through its bucket's upper bound may
+        // only inflate it, and by at most 1/SUB_BUCKETS.
+        for us in (0..5_000_000u64).step_by(997) {
+            let upper = bucket_upper_us(bucket_index(us));
+            assert!(upper >= us, "upper {upper} < sample {us}");
+            assert!(
+                (upper - us) as f64 <= (us as f64 / SUB_BUCKETS as f64) + 1.0,
+                "bucket for {us} µs too coarse: upper {upper}"
+            );
+        }
+        // Bucket uppers are strictly monotone over the whole range.
+        let mut last = None;
+        for i in 0..LATENCY_BUCKETS {
+            let upper = bucket_upper_us(i);
+            if let Some(prev) = last {
+                assert!(upper > prev, "bucket {i} not monotone");
+            }
+            last = Some(upper);
+        }
+        // The overflow clamp lands in the final bucket.
+        assert_eq!(bucket_index(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
     fn stats_json_assembles_every_section() {
         let stats = ServerStats::default();
         stats.explain.fetch_add(3, Ordering::Relaxed);
         stats.rejected.fetch_add(1, Ordering::Relaxed);
+        stats.conn_accepted.fetch_add(5, Ordering::Relaxed);
+        stats.conn_active.store(2, Ordering::Relaxed);
+        stats.conn_parked_idle.store(1, Ordering::Relaxed);
+        stats.conn_shed.fetch_add(1, Ordering::Relaxed);
         stats.latency.record(Duration::from_micros(500));
         stats.record_compaction(5, 1, 4096);
         stats.record_compaction(3, 1, 1024);
@@ -395,6 +486,15 @@ mod tests {
         let requests = doc.get("requests").unwrap();
         assert_eq!(requests.get("explain").unwrap().as_u64().unwrap(), 3);
         assert_eq!(requests.get("rejected_503").unwrap().as_u64().unwrap(), 1);
+        let connections = doc.get("connections").unwrap();
+        assert_eq!(connections.get("accepted").unwrap().as_u64().unwrap(), 5);
+        assert_eq!(connections.get("active").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(connections.get("parked_idle").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(connections.get("shed").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(
+            connections.get("read_timeouts").unwrap().as_u64().unwrap(),
+            0
+        );
         let selection = doc.get("selection_cache").unwrap();
         assert!((selection.get("hit_rate").unwrap().as_f64().unwrap() - 10.0 / 15.0).abs() < 1e-12);
         // All three served classes count toward the result-cache hit rate.

@@ -85,4 +85,14 @@ SERVE_PID=""
 grep -q "shut down cleanly" "$SMOKE_DIR/serve.log"
 echo "==> serving smoke test OK"
 
+echo "==> open-loop smoke test (loadgen --spawn --open-loop-smoke)"
+# Open-loop load generation against a spawned in-process server: a
+# modest-rate Poisson run that must finish with zero errors and zero shed
+# 503s, then a deterministic overload burst at 2x capacity (via
+# POST /debug/sleep on a small admission queue) that must shed at least
+# one 503 without a single hard failure, then a graceful shutdown (exit 0,
+# set -e enforces it).
+./target/release/loadgen --spawn --open-loop-smoke --demo syn_a
+echo "==> open-loop smoke test OK"
+
 echo "==> OK"
