@@ -40,8 +40,12 @@
 //! * `--smoke` gates on `GET /healthz`, then issues one `/explain`, one
 //!   `/v2/explain` with a non-default `top_k`, one `/v2/ingest` (asserting
 //!   the new segment in `/stats` and that a re-issued `/v2/explain`
-//!   reflects the grown store), one `/stats` and a graceful
-//!   `/admin/shutdown`, asserting each answer — used by the CI smoke test.
+//!   reflects the grown store), one `/stats`, a `/metrics` scrape pushed
+//!   through the exposition validator, a deliberately slow request
+//!   (`POST /debug/sleep` past the server's slow threshold) asserted to
+//!   land in the `/debug/traces` slow reservoir with ≥95% of its wall
+//!   clock attributed to stages, and a graceful `/admin/shutdown`,
+//!   asserting each answer — used by the CI smoke test.
 //!   When the server reports compaction enabled, the smoke also ingests up
 //!   to the threshold, waits for the background compactor, and asserts the
 //!   post-compaction answer is byte-identical to the pre-compaction one.
@@ -67,6 +71,13 @@
 //!   keep looping past `--requests` until the timed window reaches a
 //!   ≥2s floor (skipped when `--requests` is given explicitly), so
 //!   throughput is not dominated by cold caches or sub-second windows.
+//!   Each cell also scrapes `/metrics` before and after its timed window
+//!   (every scrape runs the full exposition-grammar validator),
+//!   **reconciles** the server's per-endpoint counter deltas against the
+//!   client-observed response counts — an exact match is required, a
+//!   mismatch fails the bench — and embeds the cell's per-stage latency
+//!   attribution (count/mean/p50/p99 per lifecycle stage, from histogram
+//!   deltas) into `BENCH_serve.json` under `"stages"`.
 //! * `XINSIGHT_BENCH_FAST=1` caps the request counts and durations for
 //!   quick runs.
 //!
@@ -83,8 +94,8 @@ use xinsight_core::json::Json;
 use xinsight_core::pipeline::XInsightOptions;
 use xinsight_core::WhyQuery;
 use xinsight_service::{
-    build_demo_bundles, explain_v2_body, ingest_v2_body, wait_healthy, DemoModel, HttpClient,
-    ModelRegistry, ServerConfig,
+    build_demo_bundles, explain_v2_body, ingest_v2_body, validate_exposition, wait_healthy,
+    DemoModel, HttpClient, ModelRegistry, ServerConfig,
 };
 
 /// A tiny deterministic LCG for the `--v2` option sampler — the workspace
@@ -537,6 +548,95 @@ fn smoke(addr: SocketAddr) -> Result<(), String> {
     }
     println!("smoke: /stats ok ({total} requests served)");
 
+    // /metrics must come back as valid Prometheus text exposition carrying
+    // the request-counter family — the same validator the unit tests use.
+    let resp = client.get("/metrics").map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("GET /metrics -> {}: {}", resp.status, resp.body));
+    }
+    validate_exposition(&resp.body)
+        .map_err(|e| format!("/metrics failed exposition validation: {e}"))?;
+    if !resp.body.contains("xinsight_requests_total") {
+        return Err("/metrics exposition is missing xinsight_requests_total".into());
+    }
+    println!("smoke: /metrics ok (valid Prometheus text exposition)");
+
+    // Slow-trace path: force a request past the server's slow threshold
+    // via the debug sleep endpoint and assert it lands in the always-kept
+    // slow reservoir with its stages attributed.  Needs --debug-endpoints.
+    let resp = client.get("/debug/traces").map_err(|e| e.to_string())?;
+    if resp.status == 200 {
+        let doc = Json::parse(&resp.body).map_err(|e| e.to_string())?;
+        let threshold_ms = doc
+            .get("slow_threshold_ms")
+            .and_then(Json::as_u64)
+            .map_err(|e| format!("/debug/traces missing slow_threshold_ms: {e}"))?;
+        let ms = (threshold_ms + 50).min(2_000);
+        let resp = client
+            .post("/debug/sleep", &format!("{{\"ms\":{ms}}}"))
+            .map_err(|e| e.to_string())?;
+        if resp.status != 200 {
+            return Err(format!(
+                "POST /debug/sleep -> {}: {}",
+                resp.status, resp.body
+            ));
+        }
+        let resp = client.get("/debug/traces").map_err(|e| e.to_string())?;
+        if resp.status != 200 {
+            return Err(format!(
+                "GET /debug/traces -> {}: {}",
+                resp.status, resp.body
+            ));
+        }
+        let doc = Json::parse(&resp.body).map_err(|e| e.to_string())?;
+        let slow = doc
+            .get("slow")
+            .and_then(Json::as_arr)
+            .map_err(|e| format!("/debug/traces missing slow reservoir: {e}"))?;
+        let trace = slow
+            .iter()
+            .find(|t| {
+                t.get("endpoint")
+                    .and_then(Json::as_str)
+                    .map(|e| e == "POST /debug/sleep")
+                    .unwrap_or(false)
+            })
+            .ok_or("slow sleep request did not land in the slow-trace reservoir")?;
+        let total_us = trace
+            .get("total_us")
+            .and_then(Json::as_u64)
+            .map_err(|e| format!("trace missing total_us: {e}"))?;
+        if total_us < ms * 1_000 {
+            return Err(format!(
+                "slow trace reports {total_us}us end to end, below the {ms}ms sleep"
+            ));
+        }
+        let spans = trace
+            .get("spans")
+            .and_then(Json::as_arr)
+            .map_err(|e| format!("trace missing spans: {e}"))?;
+        let attributed: u64 = spans
+            .iter()
+            .filter_map(|s| s.get("duration_us").and_then(Json::as_u64).ok())
+            .sum();
+        // The span vocabulary tiles the request end to end; the only
+        // uncovered gaps are scheduler handoffs, so the attributed time
+        // must account for at least 95% of the wall clock.
+        if attributed * 20 < total_us * 19 {
+            return Err(format!(
+                "slow trace attributes only {attributed}us of {total_us}us to stages"
+            ));
+        }
+        println!(
+            "smoke: slow request traced ({} spans, {attributed}us of {total_us}us attributed)",
+            spans.len()
+        );
+    } else {
+        println!(
+            "smoke: /debug/traces disabled (no --debug-endpoints) — skipping slow-trace check"
+        );
+    }
+
     let resp = client
         .post("/admin/shutdown", "{}")
         .map_err(|e| e.to_string())?;
@@ -567,6 +667,9 @@ struct RunResult {
     ingest_requests: usize,
     ingest_p50_us: u64,
     ingest_p99_us: u64,
+    /// Server-side per-stage latency attribution across this cell, from
+    /// `/metrics` histogram deltas (bucket-upper-bound percentiles).
+    stages: Vec<StageDelta>,
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
@@ -596,6 +699,167 @@ fn result_cache_counters(addr: SocketAddr) -> Result<(u64, u64), String> {
     };
     let served = counter("hits")? + counter("prefix_hits")? + counter("merged")?;
     Ok((served, counter("misses")?))
+}
+
+/// One per-stage latency histogram pulled off `GET /metrics`:
+/// `(upper bound in seconds, cumulative count)` pairs with `+Inf` last.
+struct StageScrape {
+    stage: String,
+    buckets: Vec<(f64, u64)>,
+    sum_seconds: f64,
+    count: u64,
+}
+
+/// One scrape of `GET /metrics`, pushed through the exposition validator
+/// and decomposed into the series the bench reconciles: the per-endpoint
+/// request counters and the per-stage latency histograms.
+struct MetricsScrape {
+    endpoints: Vec<(String, u64)>,
+    stages: Vec<StageScrape>,
+}
+
+impl MetricsScrape {
+    fn endpoint(&self, name: &str) -> u64 {
+        self.endpoints
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+}
+
+fn scrape_metrics(addr: SocketAddr) -> Result<MetricsScrape, String> {
+    let mut client = HttpClient::connect(addr).map_err(|e| e.to_string())?;
+    let resp = client.get("/metrics").map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("GET /metrics -> {}: {}", resp.status, resp.body));
+    }
+    // Every scrape goes through the full grammar validator, so the bench
+    // doubles as a continuous exposition-format check.
+    validate_exposition(&resp.body)
+        .map_err(|e| format!("/metrics failed exposition validation: {e}"))?;
+    let mut scrape = MetricsScrape {
+        endpoints: Vec::new(),
+        stages: Vec::new(),
+    };
+    fn stage_slot<'a>(stages: &'a mut Vec<StageScrape>, name: &str) -> &'a mut StageScrape {
+        if let Some(i) = stages.iter().position(|s| s.stage == name) {
+            return &mut stages[i];
+        }
+        stages.push(StageScrape {
+            stage: name.to_owned(),
+            buckets: Vec::new(),
+            sum_seconds: 0.0,
+            count: 0,
+        });
+        stages.last_mut().expect("just pushed")
+    }
+    for line in resp.body.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        if let Some(rest) = series.strip_prefix("xinsight_requests_total{endpoint=\"") {
+            if let Some(name) = rest.strip_suffix("\"}") {
+                scrape
+                    .endpoints
+                    .push((name.to_owned(), value.parse().unwrap_or(0)));
+            }
+        } else if let Some(rest) =
+            series.strip_prefix("xinsight_stage_latency_seconds_bucket{stage=\"")
+        {
+            let Some((stage, rest)) = rest.split_once("\",le=\"") else {
+                continue;
+            };
+            let Some(le) = rest.strip_suffix("\"}") else {
+                continue;
+            };
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().unwrap_or(f64::INFINITY)
+            };
+            stage_slot(&mut scrape.stages, stage)
+                .buckets
+                .push((le, value.parse().unwrap_or(0)));
+        } else if let Some(rest) =
+            series.strip_prefix("xinsight_stage_latency_seconds_sum{stage=\"")
+        {
+            if let Some(stage) = rest.strip_suffix("\"}") {
+                stage_slot(&mut scrape.stages, stage).sum_seconds = value.parse().unwrap_or(0.0);
+            }
+        } else if let Some(rest) =
+            series.strip_prefix("xinsight_stage_latency_seconds_count{stage=\"")
+        {
+            if let Some(stage) = rest.strip_suffix("\"}") {
+                stage_slot(&mut scrape.stages, stage).count = value.parse().unwrap_or(0.0) as u64;
+            }
+        }
+    }
+    Ok(scrape)
+}
+
+/// One stage's latency attribution across a single bench cell, computed
+/// from `/metrics` histogram deltas.  The percentiles are bucket upper
+/// bounds (the exposition's `le` ladder), not exact order statistics.
+struct StageDelta {
+    stage: String,
+    count: u64,
+    mean_us: u64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Diffs two `/metrics` scrapes into per-stage cell attribution.  Stages
+/// that recorded nothing during the cell are dropped.
+fn stage_deltas(before: &MetricsScrape, after: &MetricsScrape) -> Vec<StageDelta> {
+    let mut out = Vec::new();
+    for s in &after.stages {
+        let b = before.stages.iter().find(|x| x.stage == s.stage);
+        let count = s.count.saturating_sub(b.map(|b| b.count).unwrap_or(0));
+        if count == 0 {
+            continue;
+        }
+        let sum = (s.sum_seconds - b.map(|b| b.sum_seconds).unwrap_or(0.0)).max(0.0);
+        let deltas: Vec<(f64, u64)> = s
+            .buckets
+            .iter()
+            .map(|(le, c)| {
+                let prev = b
+                    .and_then(|b| b.buckets.iter().find(|(ble, _)| ble == le))
+                    .map(|(_, c)| *c)
+                    .unwrap_or(0);
+                (*le, c.saturating_sub(prev))
+            })
+            .collect();
+        let pct = |p: f64| -> u64 {
+            let rank = ((count as f64) * p).ceil().max(1.0) as u64;
+            let mut last_finite = 0u64;
+            for (le, cum) in &deltas {
+                if le.is_finite() {
+                    last_finite = (*le * 1e6) as u64;
+                }
+                if *cum >= rank {
+                    return if le.is_finite() {
+                        (*le * 1e6) as u64
+                    } else {
+                        last_finite
+                    };
+                }
+            }
+            last_finite
+        };
+        out.push(StageDelta {
+            stage: s.stage.clone(),
+            count,
+            mean_us: (sum * 1e6 / count as f64) as u64,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+        });
+    }
+    out
 }
 
 /// Runs one closed loop: `clients` threads × `requests_per_client`
@@ -729,6 +993,7 @@ fn run_closed_loop(
     }
     warm.wait();
     let (served_before, misses_before) = result_cache_counters(addr)?;
+    let metrics_before = scrape_metrics(addr)?;
     let started = Instant::now();
     go.wait();
     let mut latencies = Vec::new();
@@ -745,6 +1010,37 @@ fn run_closed_loop(
     let seconds = started.elapsed().as_secs_f64();
     latencies.sort_unstable();
     ingest_latencies.sort_unstable();
+
+    // Server-vs-client reconciliation: every per-endpoint counter on
+    // /metrics increments exactly once per 200 its handler produced, so
+    // the counter deltas across the timed window must equal what the
+    // clients observed back.  A mismatch means the server's accounting
+    // (or the trace plumbing sharing its code path) dropped or double
+    // counted a request — fail the bench loudly rather than publish
+    // numbers the server disagrees with.  Non-200 answers don't bump the
+    // endpoint counters, so with errors the delta is only a lower bound.
+    let metrics_after = scrape_metrics(addr)?;
+    let reconcile = |name: &str, observed: usize| -> Result<(), String> {
+        let server = metrics_after
+            .endpoint(name)
+            .saturating_sub(metrics_before.endpoint(name));
+        let ok = if errors == 0 {
+            server == observed as u64
+        } else {
+            server >= observed as u64
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!(
+                "metrics reconciliation failed: server counted {server} \
+                 `{name}` requests across the cell, clients observed {observed} \
+                 ({errors} errors)"
+            ))
+        }
+    };
+    reconcile(if v2 { "explain_v2" } else { "explain" }, latencies.len())?;
+    reconcile("ingest_v2", ingest_latencies.len())?;
 
     // This run's own cache effectiveness: the counter deltas across it.
     let (served_after, misses_after) = result_cache_counters(addr)?;
@@ -783,6 +1079,7 @@ fn run_closed_loop(
         ingest_requests: ingest_latencies.len(),
         ingest_p50_us: percentile(&ingest_latencies, 0.50),
         ingest_p99_us: percentile(&ingest_latencies, 0.99),
+        stages: stage_deltas(&metrics_before, &metrics_after),
     })
 }
 
@@ -1365,7 +1662,7 @@ fn write_bench_json(
              \"errors\":{},\"seconds\":{:.6},\"throughput_rps\":{:.3},\
              \"read_throughput_rps\":{:.3},\
              \"p50_us\":{},\"p99_us\":{},\"cache_hit_rate\":{:.4},\
-             \"ingest_requests\":{},\"ingest_p50_us\":{},\"ingest_p99_us\":{}}}",
+             \"ingest_requests\":{},\"ingest_p50_us\":{},\"ingest_p99_us\":{}",
             r.name,
             r.model,
             r.clients,
@@ -1381,6 +1678,18 @@ fn write_bench_json(
             r.ingest_p50_us,
             r.ingest_p99_us
         ));
+        out.push_str(",\"stages\":[");
+        for (j, s) in r.stages.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":\"{}\",\"count\":{},\"mean_us\":{},\
+                 \"p50_us\":{},\"p99_us\":{}}}",
+                s.stage, s.count, s.mean_us, s.p50_us, s.p99_us
+            ));
+        }
+        out.push_str("]}");
     }
     out.push_str("],\"open_loop\":[");
     for (i, r) in open.iter().enumerate() {

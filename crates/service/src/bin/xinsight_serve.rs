@@ -9,12 +9,15 @@
 //! xinsight-serve --models DIR [--addr 127.0.0.1:7878] [--workers N]
 //!                [--queue N] [--cache-mb N] [--compact-after N]
 //!                [--demo syn_a,flight] [--demo-rows N] [--serial]
-//!                [--debug-endpoints]
+//!                [--debug-endpoints] [--trace-slow-ms N]
 //! ```
 //!
 //! `--debug-endpoints` enables `POST /debug/sleep` (a worker-occupying
-//! test endpoint for deterministic overload experiments) — never enable
-//! it on a reachable deployment.
+//! test endpoint for deterministic overload experiments) and
+//! `GET /debug/traces` (recent + slow request traces) — never enable it
+//! on a reachable deployment.  `--trace-slow-ms` sets the threshold at
+//! which a request's trace is retained in the always-kept slow reservoir
+//! (default 250).
 //!
 //! `--demo` fits the named demo models (`syn_a`, `flight`) and saves them
 //! as bundles into the models directory before serving — the zero-to-
@@ -43,13 +46,14 @@ struct Args {
     demo_rows: usize,
     serial: bool,
     debug_endpoints: bool,
+    trace_slow_ms: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: xinsight-serve --models DIR [--addr HOST:PORT] [--workers N] \
          [--queue N] [--cache-mb N] [--compact-after N] [--demo syn_a,flight] \
-         [--demo-rows N] [--serial] [--debug-endpoints]"
+         [--demo-rows N] [--serial] [--debug-endpoints] [--trace-slow-ms N]"
     );
     std::process::exit(2);
 }
@@ -66,6 +70,7 @@ fn parse_args() -> Args {
         demo_rows: 0,
         serial: false,
         debug_endpoints: false,
+        trace_slow_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -100,6 +105,10 @@ fn parse_args() -> Args {
             }
             "--serial" => args.serial = true,
             "--debug-endpoints" => args.debug_endpoints = true,
+            "--trace-slow-ms" => {
+                args.trace_slow_ms =
+                    Some(value("--trace-slow-ms").parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -165,6 +174,9 @@ fn main() -> ExitCode {
     }
     if let Some(queue) = args.queue {
         config.queue_capacity = queue.max(1);
+    }
+    if let Some(slow_ms) = args.trace_slow_ms {
+        config.trace_slow_ms = slow_ms;
     }
 
     let handle = match xinsight_service::start(Arc::new(registry), &config) {

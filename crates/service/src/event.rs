@@ -48,6 +48,7 @@
 
 use crate::http::{self, RequestParser, Response};
 use crate::server::{Completion, Job, Shared};
+use crate::trace::{Stage, TraceBuilder};
 use polling::{Event, Events};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -81,6 +82,14 @@ fn slot_of(key: usize) -> usize {
     (key as u64 & 0xffff_ffff) as usize
 }
 
+/// The trace of a completed request riding back through the event loop:
+/// the worker's spans plus the write stage the loop itself is about to
+/// time (staged → last byte handed to the kernel).
+struct PendingWrite {
+    trace: TraceBuilder,
+    staged_at: Instant,
+}
+
 /// One connection's state, owned entirely by the event loop.
 struct Conn {
     stream: TcpStream,
@@ -95,6 +104,11 @@ struct Conn {
     /// When the first byte of a not-yet-complete request arrived.
     partial_since: Option<Instant>,
     idle_since: Instant,
+    /// When the first byte of the *next* request arrived — the trace
+    /// epoch, so the parse span covers the whole read-and-frame window.
+    first_byte: Option<Instant>,
+    /// The trace of the staged response, finalized when it flushes.
+    pending: Option<PendingWrite>,
 }
 
 impl Conn {
@@ -110,6 +124,8 @@ impl Conn {
             peer_closed: false,
             partial_since: None,
             idle_since: Instant::now(),
+            first_byte: None,
+            pending: None,
         }
     }
 }
@@ -162,7 +178,12 @@ impl EventLoop {
         let mut events = Events::new();
         let mut last_sweep = Instant::now();
         loop {
+            let wait_started = Instant::now();
             let _ = self.shared.poller.wait(&mut events, Some(TICK));
+            self.shared
+                .stats
+                .loop_last_poll_wait_us
+                .store(wait_started.elapsed().as_micros() as u64, Ordering::Relaxed);
             if self.shared.shutdown.load(Ordering::SeqCst) && !self.draining {
                 self.enter_drain();
             }
@@ -320,7 +341,12 @@ impl EventLoop {
                     conn.peer_closed = true;
                     break;
                 }
-                Ok(n) => conn.parser.feed(&buf[..n]),
+                Ok(n) => {
+                    if conn.first_byte.is_none() {
+                        conn.first_byte = Some(Instant::now());
+                    }
+                    conn.parser.feed(&buf[..n]);
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -357,6 +383,10 @@ impl EventLoop {
         match conn.parser.try_parse() {
             Ok(Some(request)) => {
                 conn.partial_since = None;
+                let framed = Instant::now();
+                // The epoch is the first byte's arrival; a fully buffered
+                // pipelined follow-up frames instantly, so `now` is right.
+                let epoch = conn.first_byte.take().unwrap_or(framed);
                 conn.close_after_write |= request.wants_close();
                 if self.draining {
                     self.stage_close(slot, &Response::error(503, "server is shutting down"));
@@ -374,11 +404,18 @@ impl EventLoop {
                     );
                     return;
                 }
+                let mut trace = TraceBuilder::begin(
+                    self.shared.traces.next_id(),
+                    epoch,
+                    crate::trace::endpoint_label(&request.method, &request.path),
+                );
+                trace.span(Stage::Parse, epoch, framed, "");
                 jobs.push_back(Job {
                     slot,
                     gen,
                     request,
                     admitted: Instant::now(),
+                    trace,
                 });
                 drop(jobs);
                 self.inflight_jobs += 1;
@@ -459,6 +496,17 @@ impl EventLoop {
         }
         conn.write_buf = Vec::new();
         conn.written = 0;
+        if let Some(pending) = conn.pending.take() {
+            // The last response byte was handed to the kernel: the write
+            // span closes and the finished trace is recorded (per-stage
+            // histograms) and published (ring + slow reservoir).
+            let now = Instant::now();
+            let mut trace = pending.trace;
+            trace.span(Stage::Write, pending.staged_at, now, "");
+            let trace = trace.finish(now);
+            self.shared.stats.record_trace(&trace);
+            self.shared.traces.publish(trace);
+        }
         if conn.close_after_write || conn.peer_closed {
             self.close(slot, false);
             return;
@@ -507,6 +555,13 @@ impl EventLoop {
                     if completion.shutdown_after {
                         conn.close_after_write = true;
                     }
+                    // Staged before `stage()`: the optimistic write inside
+                    // it may drain the whole response synchronously, and
+                    // `flush` finalizes the trace from this slot.
+                    conn.pending = Some(PendingWrite {
+                        trace: completion.trace,
+                        staged_at: Instant::now(),
+                    });
                     self.stage(completion.slot, &completion.response);
                     if completion.shutdown_after {
                         self.shared.begin_shutdown();
@@ -516,7 +571,13 @@ impl EventLoop {
                 None => {
                     // The connection died while its request ran; the
                     // response has nowhere to go, but a shutdown request
-                    // must still take effect.
+                    // must still take effect.  The trace is still worth
+                    // keeping (the work happened) — it just never gets a
+                    // write span.
+                    let now = Instant::now();
+                    let mut trace = completion.trace;
+                    trace.span(Stage::Write, now, now, "connection closed");
+                    self.shared.traces.publish(trace.finish(now));
                     if completion.shutdown_after {
                         self.shared.begin_shutdown();
                     }
@@ -530,6 +591,10 @@ impl EventLoop {
     fn sweep(&mut self) {
         let now = Instant::now();
         let mut parked = 0u64;
+        self.shared
+            .stats
+            .loop_slots_occupied
+            .store(self.open as u64, Ordering::Relaxed);
         for slot in 0..self.conns.len() {
             let Some(conn) = self.conns[slot].as_ref() else {
                 continue;
@@ -559,12 +624,25 @@ impl EventLoop {
             .stats
             .conn_parked_idle
             .store(parked, Ordering::Relaxed);
+        self.shared
+            .stats
+            .loop_last_tick_us
+            .store(now.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.shared.stats.loop_ticks.fetch_add(1, Ordering::Relaxed);
     }
 
     fn close(&mut self, slot: usize, shed: bool) {
-        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+        let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
             return;
         };
+        if let Some(pending) = conn.pending.take() {
+            // The response never fully flushed; keep the trace anyway so
+            // aborted requests are visible in /debug/traces.
+            let now = Instant::now();
+            let mut trace = pending.trace;
+            trace.span(Stage::Write, pending.staged_at, now, "connection closed");
+            self.shared.traces.publish(trace.finish(now));
+        }
         let _ = self.shared.poller.delete(&conn.stream);
         self.free.push(slot);
         self.open -= 1;

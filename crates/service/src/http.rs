@@ -67,8 +67,12 @@ impl Request {
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (always JSON in this service).
+    /// Response body (JSON everywhere except `/metrics`, which serves
+    /// Prometheus text exposition).
     pub body: String,
+    /// The `Content-Type` the wire advertises.  A `&'static str` because
+    /// the service only ever serves the two fixed types below.
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -77,6 +81,17 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition content type —
+    /// `/metrics` is the only non-JSON endpoint).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
         }
     }
 
@@ -85,7 +100,11 @@ impl Response {
         let mut body = String::from("{\"error\":");
         xinsight_core::json::Json::Str(message.to_owned()).write(&mut body);
         body.push('}');
-        Response { status, body }
+        Response {
+            status,
+            body,
+            content_type: "application/json",
+        }
     }
 }
 
@@ -352,9 +371,10 @@ pub fn status_text(status: u16) -> &'static str {
 /// as the socket reports writability.
 pub fn encode_response(response: &Response, close: bool) -> Vec<u8> {
     let mut message = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         response.status,
         status_text(response.status),
+        response.content_type,
         response.body.len(),
         if close { "close" } else { "keep-alive" },
     );

@@ -39,6 +39,13 @@
 //!   serialization;
 //! * [`stats`] — QPS, latency histogram and cache-effectiveness counters
 //!   behind `GET /stats`;
+//! * [`metrics`] / [`trace`] — the observability surface: hand-rolled
+//!   Prometheus text exposition at `GET /metrics` (per-endpoint counters,
+//!   request and per-stage latency histograms, cache tiers, event-loop
+//!   health gauges) and per-request lifecycle traces — parse, queue-wait,
+//!   cache-lookup, execute, serialize, write spans on one monotonic clock
+//!   — kept in a bounded ring plus a slow-trace reservoir
+//!   (`--trace-slow-ms`) behind `GET /debug/traces`;
 //! * [`demo`] — fitted SYN-A / FLIGHT demo bundles and deterministic
 //!   query pools for the smoke test and the `loadgen` bench.
 //!
@@ -58,10 +65,12 @@
 //! | `POST /v2/explain_batch` | `{"model", "queries", "options"?}` | per-query v2 envelopes |
 //! | `POST /v2/ingest` | `{"model", "rows"}` | appends a sealed segment, bumps the generation — no reload |
 //! | `GET /models` | — | loaded models + example queries + ingest templates |
-//! | `GET /stats` | — | QPS, latency, cache hit rates, per-model segments/rows/epoch |
+//! | `GET /stats` | — | QPS, latency, per-stage latency, cache hit rates, per-model segments/rows/epoch |
+//! | `GET /metrics` | — | Prometheus text exposition of everything `/stats` counts plus per-stage histograms and event-loop gauges |
 //! | `POST /admin/reload` | `{"model"}` | atomic hot-reload of one bundle |
 //! | `POST /admin/shutdown` | — | graceful shutdown |
 //! | `POST /debug/sleep` | `{"ms"}` | worker-occupying fixed sleep for overload experiments — gated on `--debug-endpoints`, `404` otherwise |
+//! | `GET /debug/traces` | — | recent + slow request traces with per-stage spans — gated on `--debug-endpoints`, `404` otherwise |
 //!
 //! The v1 endpoints are thin adapters that build a *default*
 //! [`ExplainRequest`](xinsight_core::ExplainRequest); their wire bytes are
@@ -74,13 +83,17 @@ pub mod demo;
 mod event;
 pub mod http;
 pub mod lru;
+pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod stats;
+pub mod trace;
 pub mod wire;
 
 pub use client::{explain_v2_body, ingest_v2_body, wait_healthy, ClientResponse, HttpClient};
 pub use demo::{build_demo_bundles, demo_queries, demo_v2_options, DemoModel};
 pub use lru::{CacheKey, Lookup, ResultCache, ResultCacheStats, SegmentRef};
-pub use registry::{save_bundle, CompactionReport, LoadedModel, ModelRegistry};
+pub use metrics::validate_exposition;
+pub use registry::{save_bundle, CompactionReport, IngestReport, LoadedModel, ModelRegistry};
 pub use server::{start, ServerConfig, ServerHandle};
+pub use trace::{Stage, TraceStore};

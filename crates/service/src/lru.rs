@@ -162,6 +162,14 @@ impl LruState {
 /// A point-in-time snapshot of the result cache for `/stats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResultCacheStats {
+    /// Lookups that reached a tier verdict.  Because every tier counter is
+    /// incremented together with this one under the cache's state lock —
+    /// and [`ResultCache::stats`] reads under the same lock — a snapshot
+    /// always satisfies `hits + prefix_hits + merged + misses == lookups`
+    /// exactly.  The one tolerance: a [`Lookup::Prefix`] candidate whose
+    /// caller has not yet resolved it (via promote / merged / note_miss)
+    /// is counted on *neither* side until resolution.
+    pub lookups: u64,
     /// Lookups whose entry covered exactly the current segment set.
     pub hits: u64,
     /// Lookups served by promoting a proper-prefix entry whose suffix was
@@ -208,6 +216,11 @@ impl ResultCacheStats {
 pub struct ResultCache {
     state: Mutex<LruState>,
     byte_budget: usize,
+    // Tier counters are atomics for lock-free *reads*, but every write
+    // happens while holding `state`, paired with a `lookups` increment —
+    // that is what makes the `/stats` tier sum reconcile exactly (see
+    // [`ResultCacheStats::lookups`]).
+    lookups: AtomicU64,
     hits: AtomicU64,
     prefix_hits: AtomicU64,
     merged: AtomicU64,
@@ -235,6 +248,7 @@ impl ResultCache {
         ResultCache {
             state: Mutex::new(LruState::default()),
             byte_budget,
+            lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             prefix_hits: AtomicU64::new(0),
             merged: AtomicU64::new(0),
@@ -260,6 +274,7 @@ impl ResultCache {
                 entry.tick = state.next_tick;
                 state.next_tick += 1;
                 state.order.insert(entry.tick, key.clone());
+                self.lookups.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Lookup::Hit(Arc::clone(&entry.value))
             }
@@ -270,6 +285,7 @@ impl ResultCache {
             Some(_) | None => {
                 // An unrelated fingerprint is a pre-reload/pre-compaction
                 // leftover: unreachable for serving, superseded on insert.
+                self.lookups.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 Lookup::Miss
             }
@@ -295,6 +311,7 @@ impl ResultCache {
         let found = matches!(state.entries.get(key),
             Some(entry) if is_proper_prefix(&entry.fingerprint, fingerprint));
         if !found {
+            self.lookups.fetch_add(1, Ordering::Relaxed);
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -306,6 +323,7 @@ impl ResultCache {
         if entry.bytes > self.byte_budget {
             // Pathological budget: serve the bytes but do not re-admit.
             self.uncacheable.fetch_add(1, Ordering::Relaxed);
+            self.lookups.fetch_add(1, Ordering::Relaxed);
             self.prefix_hits.fetch_add(1, Ordering::Relaxed);
             return Some(value);
         }
@@ -314,6 +332,7 @@ impl ResultCache {
         state.bytes += entry.bytes;
         state.entries.insert(key.clone(), entry);
         self.evict_over_budget(&mut state);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         self.prefix_hits.fetch_add(1, Ordering::Relaxed);
         Some(value)
     }
@@ -324,6 +343,11 @@ impl ResultCache {
     /// segments computed) and the caller typically re-inserts it under the
     /// current fingerprint.
     pub fn merged(&self) {
+        // Taken under the state lock (like every tier increment) so a
+        // racing `/stats` snapshot can never see the tier sum and
+        // `lookups` disagree.
+        let _state = self.state.lock();
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         self.merged.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -331,6 +355,8 @@ impl ResultCache {
     /// recompute did not actually merge the cached partials (e.g. the
     /// request's deadline cut the search short).
     pub fn note_miss(&self) {
+        let _state = self.state.lock();
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -349,11 +375,13 @@ impl ResultCache {
         value: Arc<str>,
     ) {
         let bytes = entry_bytes(&key, &fingerprint, &value);
+        let mut state = self.state.lock();
         if bytes > self.byte_budget {
+            // Counted under the lock like every other counter write, so a
+            // concurrent snapshot sees a consistent picture.
             self.uncacheable.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let mut state = self.state.lock();
         let state_ref = &mut *state;
         if let Some(resident) = state_ref.entries.get(&key) {
             if is_proper_prefix(&fingerprint, &resident.fingerprint) {
@@ -442,10 +470,14 @@ impl ResultCache {
         self.evict_over_budget(state);
     }
 
-    /// A consistent snapshot of the counters and occupancy.
+    /// A consistent snapshot of the counters and occupancy: taken under
+    /// the state lock, which every counter write also holds, so the tier
+    /// sum reconciles with `lookups` exactly (see
+    /// [`ResultCacheStats::lookups`] for the one in-flight tolerance).
     pub fn stats(&self) -> ResultCacheStats {
         let state = self.state.lock();
         ResultCacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
             merged: self.merged.load(Ordering::Relaxed),
@@ -509,6 +541,35 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert_eq!(stats.bytes, bytes_of(&k, &fp(1), "answer"));
+    }
+
+    #[test]
+    fn tier_counters_reconcile_with_lookups_through_every_path() {
+        let cache = ResultCache::new(1 << 20);
+        let k = key("m", "a");
+        // Miss, then hit.
+        assert!(get(&cache, &k, &fp(1)).is_none());
+        cache.insert(k.clone(), fp(1), 4, Arc::from("answer"));
+        assert!(get(&cache, &k, &fp(1)).is_some());
+        // Prefix candidate resolved three ways: promote, merged, note_miss.
+        assert!(matches!(cache.lookup(&k, &fp(2), 4), Lookup::Prefix { .. }));
+        assert!(cache.promote(&k, &fp(2), 4).is_some());
+        assert!(matches!(cache.lookup(&k, &fp(3), 4), Lookup::Prefix { .. }));
+        cache.merged();
+        assert!(matches!(cache.lookup(&k, &fp(4), 4), Lookup::Prefix { .. }));
+        cache.note_miss();
+        // A promote that raced away counts as a miss.
+        assert!(cache.promote(&key("m", "zz"), &fp(2), 4).is_none());
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.prefix_hits, stats.merged, stats.misses),
+            (1, 1, 1, 3)
+        );
+        assert_eq!(
+            stats.lookups,
+            stats.hits + stats.prefix_hits + stats.merged + stats.misses,
+            "tier sum must reconcile with lookups"
+        );
     }
 
     #[test]

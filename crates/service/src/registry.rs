@@ -107,6 +107,23 @@ pub struct CompactionReport {
     /// Estimated heap bytes released by merging the per-segment columns
     /// and dictionary snapshots (saturating; an estimate, not an audit).
     pub bytes_reclaimed: usize,
+    /// Microseconds spent in the off-lock segment rewrite.
+    pub rewrite_us: u64,
+    /// Microseconds spent validating and performing the pointer swap
+    /// (swap-lock held).
+    pub swap_us: u64,
+}
+
+/// What one completed ingest did, for the compactor/`/debug/traces` span
+/// stream: where the wall time went between building the successor engine
+/// and swapping it in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Microseconds spent materializing the new segment (swap-lock held —
+    /// ingests are serialized by design).
+    pub build_us: u64,
+    /// Microseconds spent performing the pointer swap.
+    pub swap_us: u64,
 }
 
 /// Thread-safe registry of loaded models, keyed by bundle id.
@@ -256,10 +273,22 @@ impl ModelRegistry {
     /// state).  Durable ingest would append to the bundle CSV; that is
     /// deliberately out of scope here.
     pub fn ingest(&self, id: &str, batch: &Dataset) -> Result<Arc<LoadedModel>> {
+        self.ingest_with_report(id, batch).map(|(loaded, _)| loaded)
+    }
+
+    /// [`ModelRegistry::ingest`] plus an [`IngestReport`] attributing the
+    /// wall time between the segment build and the pointer swap (feeds the
+    /// ingest request's trace spans).
+    pub fn ingest_with_report(
+        &self,
+        id: &str,
+        batch: &Dataset,
+    ) -> Result<(Arc<LoadedModel>, IngestReport)> {
         let _guard = self.swap_lock.lock();
         let current = self
             .get(id)
             .ok_or_else(|| DataError::Serve(format!("model `{id}` is not loaded")))?;
+        let build_started = std::time::Instant::now();
         let engine = current.engine.with_ingested(batch)?;
         let fingerprint = fingerprint_of(&engine);
         let dict_len = engine.data().dictionary_len();
@@ -278,10 +307,13 @@ impl ModelRegistry {
             fingerprint,
             dict_len,
         });
+        let swap_started = std::time::Instant::now();
+        let build_us = swap_started.duration_since(build_started).as_micros() as u64;
         self.models
             .write()
             .insert(id.to_owned(), Arc::clone(&loaded));
-        Ok(loaded)
+        let swap_us = swap_started.elapsed().as_micros() as u64;
+        Ok((loaded, IngestReport { build_us, swap_us }))
     }
 
     /// Compacts one model's segmented store: rewrites its sealed segments
@@ -327,18 +359,23 @@ impl ModelRegistry {
                 .sum()
         };
         let bytes_before = bytes(&current.engine);
+        let rewrite_started = std::time::Instant::now();
         let engine = current.engine.with_compacted()?;
+        let rewrite_us = rewrite_started.elapsed().as_micros() as u64;
         let bytes_after = bytes(&engine);
         fault();
-        let report = CompactionReport {
+        let mut report = CompactionReport {
             model: id.to_owned(),
             old_fingerprint: current.fingerprint.clone(),
             new_fingerprint: fingerprint_of(&engine),
             segments_before: current.engine.data().n_segments(),
             segments_after: engine.data().n_segments(),
             bytes_reclaimed: bytes_before.saturating_sub(bytes_after),
+            rewrite_us,
+            swap_us: 0,
         };
         let dict_len = engine.data().dictionary_len();
+        let swap_started = std::time::Instant::now();
         let _guard = self.swap_lock.lock();
         let latest = self
             .get(id)
@@ -365,6 +402,7 @@ impl ModelRegistry {
         self.models
             .write()
             .insert(id.to_owned(), Arc::clone(&loaded));
+        report.swap_us = swap_started.elapsed().as_micros() as u64;
         Ok(Some(report))
     }
 

@@ -42,8 +42,10 @@
 
 use crate::http::{Request, Response};
 use crate::lru::{CacheKey, Lookup, ResultCache};
+use crate::metrics;
 use crate::registry::{LoadedModel, ModelRegistry};
 use crate::stats::{ServerStats, StatsSnapshot};
+use crate::trace::{Stage, TraceBuilder, TraceStore};
 use crate::wire;
 use std::collections::{HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener};
@@ -84,8 +86,13 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Enables `POST /debug/sleep`, a worker-occupying endpoint tests and
     /// the loadgen overload scenario use to saturate the pool
-    /// deterministically.  Off by default: it must never ship reachable.
+    /// deterministically, and `GET /debug/traces`, the per-request trace
+    /// view.  Off by default: neither must ever ship reachable.
     pub debug_endpoints: bool,
+    /// Requests at least this many milliseconds end to end are retained in
+    /// the slow-trace reservoir regardless of how fast the recent-trace
+    /// ring churns (see [`crate::trace::TraceStore`]).
+    pub trace_slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +111,7 @@ impl Default for ServerConfig {
             request_deadline: Duration::from_secs(10),
             max_connections: 16384,
             debug_endpoints: false,
+            trace_slow_ms: 250,
         }
     }
 }
@@ -117,6 +125,10 @@ pub(crate) struct Job {
     /// When the request was admitted; end-to-end latency (queue wait
     /// included) is measured from here.
     pub(crate) admitted: Instant,
+    /// The in-flight lifecycle trace: framing recorded the parse span, the
+    /// worker adds queue-wait and handler spans, and the event loop closes
+    /// it when the response's last byte is on the socket.
+    pub(crate) trace: TraceBuilder,
 }
 
 /// A worker's finished response, routed back to the event loop for the
@@ -128,6 +140,9 @@ pub(crate) struct Completion {
     /// The handler asked for graceful shutdown once this response is on
     /// its way (`POST /admin/shutdown`).
     pub(crate) shutdown_after: bool,
+    /// The trace, carried back so the event loop can time the socket
+    /// write and publish the completed record.
+    pub(crate) trace: TraceBuilder,
 }
 
 pub(crate) struct Shared {
@@ -148,6 +163,7 @@ pub(crate) struct Shared {
     pub(crate) shutdown: AtomicBool,
     pub(crate) addr: SocketAddr,
     pub(crate) flights: Flights,
+    pub(crate) traces: TraceStore,
 }
 
 /// An in-flight recompute never waits longer than this for its key's
@@ -302,6 +318,7 @@ pub fn start(registry: Arc<ModelRegistry>, config: &ServerConfig) -> Result<Serv
         shutdown: AtomicBool::new(false),
         addr,
         flights: Flights::default(),
+        traces: TraceStore::new(Duration::from_millis(config.trace_slow_ms)),
     });
 
     let mut threads = Vec::with_capacity(workers + 2);
@@ -369,6 +386,7 @@ fn compactor_loop(shared: &Shared) {
             if !fragmented {
                 continue;
             }
+            let compact_started = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 shared.registry.compact(&id)
             }));
@@ -381,6 +399,32 @@ fn compactor_loop(shared: &Shared) {
                     report.segments_after,
                     report.bytes_reclaimed,
                 );
+                // Background work publishes into the same trace stream as
+                // requests (but never into the request-stage histograms):
+                // the report's timings are replayed as sequential spans.
+                let mut tb = TraceBuilder::begin(
+                    shared.traces.next_id(),
+                    compact_started,
+                    format!("compact {id}"),
+                );
+                tb.set_status(200);
+                let rewrite_end = compact_started + Duration::from_micros(report.rewrite_us);
+                tb.span(
+                    Stage::Execute,
+                    compact_started,
+                    rewrite_end,
+                    format!(
+                        "rewrite: {} -> {} segments",
+                        report.segments_before, report.segments_after
+                    ),
+                );
+                tb.span(
+                    Stage::Execute,
+                    rewrite_end,
+                    rewrite_end + Duration::from_micros(report.swap_us),
+                    format!("swap: {} bytes reclaimed", report.bytes_reclaimed),
+                );
+                shared.traces.publish(tb.finish(Instant::now()));
             }
         }
     }
@@ -405,8 +449,18 @@ fn next_job(shared: &Shared) -> Option<Job> {
 /// event loop.  Latency is recorded from *admission* (request fully
 /// parsed and queued) so queue wait under load is visible, not hidden.
 fn worker_loop(shared: &Shared) {
-    while let Some(job) = next_job(shared) {
-        let (response, shutdown_after) = route(shared, &job.request);
+    while let Some(mut job) = next_job(shared) {
+        let picked = Instant::now();
+        job.trace.span(Stage::QueueWait, job.admitted, picked, "");
+        let spans_before = job.trace.span_count();
+        let (response, shutdown_after) = route(shared, &job.request, &mut job.trace);
+        if job.trace.span_count() == spans_before {
+            // A handler without internal instrumentation (healthz, models,
+            // stats, errors…) still gets one whole-handler execute span so
+            // every trace tiles its total.
+            job.trace.span(Stage::Execute, picked, Instant::now(), "");
+        }
+        job.trace.set_status(response.status);
         shared.stats.latency.record(job.admitted.elapsed());
         count_response(shared, &response);
         shared
@@ -418,6 +472,7 @@ fn worker_loop(shared: &Shared) {
                 gen: job.gen,
                 response,
                 shutdown_after,
+                trace: job.trace,
             });
         let _ = shared.poller.notify();
     }
@@ -472,38 +527,98 @@ fn count_response(shared: &Shared, response: &Response) {
 }
 
 /// Routes one request; the boolean asks the worker to begin shutdown after
-/// writing the response.
-fn route(shared: &Shared, request: &Request) -> (Response, bool) {
+/// writing the response.  Handlers with internal stage attribution record
+/// spans on `trace`; the rest are covered by the worker's whole-handler
+/// execute span.
+fn route(shared: &Shared, request: &Request, trace: &mut TraceBuilder) -> (Response, bool) {
     match (request.method.as_str(), request.path.as_str()) {
         // Liveness: answered inline from nothing but the shutdown flag — no
         // model, cache or registry is touched, so it stays cheap and honest
         // even while every engine is busy.
         ("GET", "/healthz") => (Response::json(200, "{\"ok\":true}"), false),
-        ("POST", "/explain") => (handle_explain(shared, &request.body), false),
-        ("POST", "/explain_batch") => (handle_explain_batch(shared, &request.body), false),
-        ("POST", "/v2/explain") => (handle_explain_v2(shared, &request.body), false),
-        ("POST", "/v2/explain_batch") => (handle_explain_batch_v2(shared, &request.body), false),
-        ("POST", "/v2/ingest") => (handle_ingest_v2(shared, &request.body), false),
+        ("POST", "/explain") => (handle_explain(shared, &request.body, trace), false),
+        ("POST", "/explain_batch") => (handle_explain_batch(shared, &request.body, trace), false),
+        ("POST", "/v2/explain") => (handle_explain_v2(shared, &request.body, trace), false),
+        ("POST", "/v2/explain_batch") => {
+            (handle_explain_batch_v2(shared, &request.body, trace), false)
+        }
+        ("POST", "/v2/ingest") => (handle_ingest_v2(shared, &request.body, trace), false),
         ("GET", "/models") => (handle_models(shared), false),
         ("GET", "/stats") => (handle_stats(shared), false),
+        ("GET", "/metrics") => (handle_metrics(shared), false),
         ("POST", "/admin/reload") => (handle_reload(shared, &request.body), false),
         ("POST", "/admin/shutdown") => {
             shared.stats.admin.fetch_add(1, Ordering::Relaxed);
             (Response::json(200, "{\"shutting_down\":true}"), true)
         }
         ("POST", "/debug/sleep") if shared.debug_endpoints => {
+            shared.stats.debug.fetch_add(1, Ordering::Relaxed);
             (handle_debug_sleep(&request.body), false)
         }
+        ("GET", "/debug/traces") if shared.debug_endpoints => (handle_traces(shared), false),
         (
             "GET" | "POST",
             "/healthz" | "/explain" | "/explain_batch" | "/v2/explain" | "/v2/explain_batch"
-            | "/v2/ingest" | "/models" | "/stats" | "/admin/reload" | "/admin/shutdown",
+            | "/v2/ingest" | "/models" | "/stats" | "/metrics" | "/admin/reload"
+            | "/admin/shutdown",
         ) => (Response::error(405, "method not allowed"), false),
         _ => (
             Response::error(404, &format!("no such endpoint `{}`", request.path)),
             false,
         ),
     }
+}
+
+/// `GET /metrics`: the Prometheus text exposition (see [`crate::metrics`]).
+/// Assembled exactly like `/stats` — live selection-cache sums, one
+/// consistent result-cache snapshot — then rendered as text; the scrape
+/// counter is incremented *after* rendering so a scrape does not count
+/// itself (mirroring `/stats`).
+fn handle_metrics(shared: &Shared) -> Response {
+    let models = shared.registry.models();
+    let ci: CacheStats = models
+        .iter()
+        .map(|m| m.ci_cache_stats)
+        .fold(CacheStats::default(), CacheStats::merged);
+    let selection: CacheStats = models
+        .iter()
+        .map(|m| m.selection.stats())
+        .fold(CacheStats::default(), CacheStats::merged);
+    let model_gauges: Vec<metrics::ModelGauges> = models
+        .iter()
+        .map(|m| {
+            let store = m.engine.data();
+            metrics::ModelGauges {
+                id: m.id.clone(),
+                generation: m.generation,
+                segments: store.n_segments() as u64,
+                rows: store.n_rows() as u64,
+                epoch: store.epoch(),
+            }
+        })
+        .collect();
+    let queue_depth = shared.jobs.lock().expect("jobs lock").len();
+    let text = metrics::render(&metrics::MetricsSnapshot {
+        stats: &shared.stats,
+        result_cache: shared.cache.stats(),
+        selection,
+        ci_cache: ci,
+        models: model_gauges,
+        queue_depth,
+        queue_capacity: shared.queue_capacity,
+        workers: shared.workers,
+        compact_after: shared.compact_after,
+        traces_recorded: shared.traces.recorded(),
+    });
+    shared.stats.metrics.fetch_add(1, Ordering::Relaxed);
+    Response::text(200, text)
+}
+
+/// `GET /debug/traces` (only with [`ServerConfig::debug_endpoints`]): the
+/// recent-trace ring and the slow-trace reservoir as JSON.
+fn handle_traces(shared: &Shared) -> Response {
+    shared.stats.debug.fetch_add(1, Ordering::Relaxed);
+    Response::json(200, shared.traces.to_json().to_string())
 }
 
 /// `POST /debug/sleep` (only with [`ServerConfig::debug_endpoints`]):
@@ -596,7 +711,7 @@ fn suffix_cannot_change_answer(model: &LoadedModel, query: &WhyQuery, covered: u
 /// [`ExplainRequest`] and routes through the same `execute` core as `/v2`,
 /// serializing the response back into the stable v1 wire shape (a bare
 /// explanation array, cached under the empty options suffix).
-fn handle_explain(shared: &Shared, body: &[u8]) -> Response {
+fn handle_explain(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> Response {
     let request = match wire::ExplainV1::parse(body) {
         Ok(r) => r,
         Err(e) => return error_response(&e),
@@ -609,35 +724,66 @@ fn handle_explain(shared: &Shared, body: &[u8]) -> Response {
         query: request.query.clone(),
         options: String::new(),
     };
+    let lookup_started = Instant::now();
     let outcome = lookup_or_promote(shared, &model, &key);
     if let CacheOutcome::Hit(hit) = outcome {
+        trace.span(Stage::CacheLookup, lookup_started, Instant::now(), "hit");
         shared.stats.explain.fetch_add(1, Ordering::Relaxed);
-        return Response::json(200, wire::explain_response(&model.id, true, &hit));
+        return serialized(trace, || {
+            Response::json(200, wire::explain_response(&model.id, true, &hit))
+        });
     }
     // Single-flight: if another request is already recomputing exactly
     // this key, wait for its insert and replay it instead of duplicating
     // the engine work; the guard (when owned) releases on every return.
     let flight = shared.flights.claim(&key);
+    let role = if flight.is_some() {
+        "owner"
+    } else {
+        "follower"
+    };
     let outcome = if flight.is_some() {
         outcome
     } else {
         match lookup_or_promote(shared, &model, &key) {
             CacheOutcome::Hit(hit) => {
+                trace.span(
+                    Stage::CacheLookup,
+                    lookup_started,
+                    Instant::now(),
+                    "hit,flight=follower",
+                );
                 shared.stats.explain.fetch_add(1, Ordering::Relaxed);
-                return Response::json(200, wire::explain_response(&model.id, true, &hit));
+                return serialized(trace, || {
+                    Response::json(200, wire::explain_response(&model.id, true, &hit))
+                });
             }
             refreshed => refreshed,
         }
     };
+    let tier = if matches!(outcome, CacheOutcome::Merge) {
+        "merge"
+    } else {
+        "miss"
+    };
+    trace.span(
+        Stage::CacheLookup,
+        lookup_started,
+        Instant::now(),
+        format!("{tier},flight={role}"),
+    );
     let engine_request = ExplainRequest::new(request.query);
+    let execute_started = Instant::now();
     match model
         .engine
         .execute_with_cache(&engine_request, Arc::clone(&model.selection))
     {
         Ok(response) => {
+            trace.span(Stage::Execute, execute_started, Instant::now(), "");
             if matches!(outcome, CacheOutcome::Merge) {
                 shared.cache.merged();
             }
+            let serialize_started = Instant::now();
             let explanations = response.into_explanations();
             let json: Arc<str> = Arc::from(wire::explanations_to_string(&explanations).as_str());
             shared.cache.insert(
@@ -647,15 +793,28 @@ fn handle_explain(shared: &Shared, body: &[u8]) -> Response {
                 Arc::clone(&json),
             );
             shared.stats.explain.fetch_add(1, Ordering::Relaxed);
-            Response::json(200, wire::explain_response(&model.id, false, &json))
+            let response = Response::json(200, wire::explain_response(&model.id, false, &json));
+            trace.span(Stage::Serialize, serialize_started, Instant::now(), "");
+            response
         }
-        Err(e) => error_response(&e),
+        Err(e) => {
+            trace.span(Stage::Execute, execute_started, Instant::now(), "error");
+            error_response(&e)
+        }
     }
+}
+
+/// Times a response-body build as the trace's serialize span.
+fn serialized(trace: &mut TraceBuilder, build: impl FnOnce() -> Response) -> Response {
+    let started = Instant::now();
+    let response = build();
+    trace.span(Stage::Serialize, started, Instant::now(), "");
+    response
 }
 
 /// The v1 `/explain_batch` handler — an adapter over the batched execute
 /// core, keeping the v1 response bytes stable.
-fn handle_explain_batch(shared: &Shared, body: &[u8]) -> Response {
+fn handle_explain_batch(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> Response {
     let request = match wire::ExplainBatchV1::parse(body) {
         Ok(r) => r,
         Err(e) => return error_response(&e),
@@ -666,6 +825,7 @@ fn handle_explain_batch(shared: &Shared, body: &[u8]) -> Response {
     // Serve what the LRU already has (exact hits and promotable prefix
     // entries); answer the rest in one engine batch through the model's
     // persistent SelectionCache.
+    let lookup_started = Instant::now();
     let mut results: Vec<Option<(bool, Arc<str>)>> = vec![None; request.queries.len()];
     let mut uncached = Vec::new();
     for (i, query) in request.queries.iter().enumerate() {
@@ -680,18 +840,39 @@ fn handle_explain_batch(shared: &Shared, body: &[u8]) -> Response {
             CacheOutcome::Miss => uncached.push((i, key, false)),
         }
     }
+    let hits = request.queries.len() - uncached.len();
+    trace.span(
+        Stage::CacheLookup,
+        lookup_started,
+        Instant::now(),
+        format!("hits={hits},uncached={}", uncached.len()),
+    );
+    // Covers the all-hits case; overwritten after the engine batch so the
+    // serialize span never swallows execute time.
+    let mut serialize_started = Instant::now();
     if !uncached.is_empty() {
         let requests: Vec<ExplainRequest> = uncached
             .iter()
             .map(|(_, k, _)| ExplainRequest::new(k.query.clone()))
             .collect();
+        let execute_started = Instant::now();
         let answers = match model
             .engine
             .execute_batch_with_cache(&requests, Arc::clone(&model.selection))
         {
             Ok(a) => a,
-            Err(e) => return error_response(&e),
+            Err(e) => {
+                trace.span(Stage::Execute, execute_started, Instant::now(), "error");
+                return error_response(&e);
+            }
         };
+        trace.span(
+            Stage::Execute,
+            execute_started,
+            Instant::now(),
+            format!("queries={}", requests.len()),
+        );
+        serialize_started = Instant::now();
         for ((i, key, merge), response) in uncached.into_iter().zip(answers) {
             if merge {
                 shared.cache.merged();
@@ -716,12 +897,14 @@ fn handle_explain_batch(shared: &Shared, body: &[u8]) -> Response {
         .stats
         .batch_queries
         .fetch_add(results.len() as u64, Ordering::Relaxed);
-    Response::json(200, wire::explain_batch_response(&model.id, &results))
+    let response = Response::json(200, wire::explain_batch_response(&model.id, &results));
+    trace.span(Stage::Serialize, serialize_started, Instant::now(), "");
+    response
 }
 
 /// `POST /v2/explain`: the full request/response surface — per-request
 /// options in, the self-describing envelope out.
-fn handle_explain_v2(shared: &Shared, body: &[u8]) -> Response {
+fn handle_explain_v2(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> Response {
     let started = Instant::now();
     let request = match wire::ExplainV2::parse(body) {
         Ok(r) => r,
@@ -735,42 +918,81 @@ fn handle_explain_v2(shared: &Shared, body: &[u8]) -> Response {
         query: request.query.clone(),
         options: request.options.cache_key(),
     };
+    let lookup_started = Instant::now();
     let outcome = lookup_or_promote(shared, &model, &key);
     if let CacheOutcome::Hit(hit) = outcome {
+        trace.span(Stage::CacheLookup, lookup_started, Instant::now(), "hit");
         shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed);
         // A cached result was not recomputed, so there is no fresh
         // provenance to report — `cached: true` *is* the provenance.
         let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        return Response::json(
-            200,
-            wire::explain_v2_response(&model.id, true, false, elapsed_us, None, &hit),
-        );
+        return serialized(trace, || {
+            Response::json(
+                200,
+                wire::explain_v2_response(&model.id, true, false, elapsed_us, None, &hit),
+            )
+        });
     }
     // Single-flight: collapse concurrent recomputes of this exact key
     // into one engine execution (see [`Flights`]); a follower whose owner
     // just inserted replays the cached bytes.
     let flight = shared.flights.claim(&key);
+    let role = if flight.is_some() {
+        "owner"
+    } else {
+        "follower"
+    };
     let outcome = if flight.is_some() {
         outcome
     } else {
         match lookup_or_promote(shared, &model, &key) {
             CacheOutcome::Hit(hit) => {
+                trace.span(
+                    Stage::CacheLookup,
+                    lookup_started,
+                    Instant::now(),
+                    "hit,flight=follower",
+                );
                 shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed);
                 let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
-                return Response::json(
-                    200,
-                    wire::explain_v2_response(&model.id, true, false, elapsed_us, None, &hit),
-                );
+                return serialized(trace, || {
+                    Response::json(
+                        200,
+                        wire::explain_v2_response(&model.id, true, false, elapsed_us, None, &hit),
+                    )
+                });
             }
             refreshed => refreshed,
         }
     };
+    let tier = if matches!(outcome, CacheOutcome::Merge) {
+        "merge"
+    } else {
+        "miss"
+    };
+    trace.span(
+        Stage::CacheLookup,
+        lookup_started,
+        Instant::now(),
+        format!("{tier},flight={role}"),
+    );
     let engine_request = request.options.to_engine_request(request.query);
+    let execute_started = Instant::now();
     match model
         .engine
         .execute_with_cache(&engine_request, Arc::clone(&model.selection))
     {
         Ok(mut response) => {
+            // The execute span carries the engine's own attribution: how
+            // many attributes the search visited versus pruned.
+            let detail = match response.provenance.as_ref() {
+                Some(p) => format!(
+                    "attrs_searched={},attrs_skipped={}",
+                    p.attributes_searched, p.attributes_skipped
+                ),
+                None => String::new(),
+            };
+            trace.span(Stage::Execute, execute_started, Instant::now(), detail);
             if matches!(outcome, CacheOutcome::Merge) {
                 // A deadline-cut recompute skipped searches instead of
                 // merging the cached partials — count it honestly.
@@ -785,6 +1007,7 @@ fn handle_explain_v2(shared: &Shared, body: &[u8]) -> Response {
                 // counters; the registry persisted them, so re-attach.
                 provenance.ci_cache_fit_time = model.ci_cache_stats;
             }
+            let serialize_started = Instant::now();
             let result: Arc<str> = Arc::from(wire::v2_result_to_string(&response).as_str());
             // A deadline-hit response is a *partial* answer; caching it
             // would replay the partiality to future (possibly unhurried)
@@ -801,7 +1024,7 @@ fn handle_explain_v2(shared: &Shared, body: &[u8]) -> Response {
             // Handler wall-clock on both paths (parse + lookup + engine),
             // so cached and uncached `elapsed_us` are comparable.
             let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
-            Response::json(
+            let http_response = Response::json(
                 200,
                 wire::explain_v2_response(
                     &model.id,
@@ -811,15 +1034,20 @@ fn handle_explain_v2(shared: &Shared, body: &[u8]) -> Response {
                     response.provenance.as_ref(),
                     &result,
                 ),
-            )
+            );
+            trace.span(Stage::Serialize, serialize_started, Instant::now(), "");
+            http_response
         }
-        Err(e) => error_response_v2(&e),
+        Err(e) => {
+            trace.span(Stage::Execute, execute_started, Instant::now(), "error");
+            error_response_v2(&e)
+        }
     }
 }
 
 /// `POST /v2/explain_batch`: one options object applied to every query,
 /// answered through the LRU plus one shared-cache engine batch.
-fn handle_explain_batch_v2(shared: &Shared, body: &[u8]) -> Response {
+fn handle_explain_batch_v2(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> Response {
     let request = match wire::ExplainBatchV2::parse(body) {
         Ok(r) => r,
         Err(e) => return error_response_v2(&e),
@@ -828,6 +1056,7 @@ fn handle_explain_batch_v2(shared: &Shared, body: &[u8]) -> Response {
         return model_not_found_v2(&request.model);
     };
     let options_key = request.options.cache_key();
+    let lookup_started = Instant::now();
     let mut results: Vec<Option<wire::BatchSlotV2>> = Vec::new();
     results.resize_with(request.queries.len(), || None);
     let mut uncached = Vec::new();
@@ -850,18 +1079,37 @@ fn handle_explain_batch_v2(shared: &Shared, body: &[u8]) -> Response {
             CacheOutcome::Miss => uncached.push((i, key, false)),
         }
     }
+    let hits = request.queries.len() - uncached.len();
+    trace.span(
+        Stage::CacheLookup,
+        lookup_started,
+        Instant::now(),
+        format!("hits={hits},uncached={}", uncached.len()),
+    );
+    let mut serialize_started = Instant::now();
     if !uncached.is_empty() {
         let requests: Vec<ExplainRequest> = uncached
             .iter()
             .map(|(_, k, _)| request.options.to_engine_request(k.query.clone()))
             .collect();
+        let execute_started = Instant::now();
         let answers = match model
             .engine
             .execute_batch_with_cache(&requests, Arc::clone(&model.selection))
         {
             Ok(a) => a,
-            Err(e) => return error_response_v2(&e),
+            Err(e) => {
+                trace.span(Stage::Execute, execute_started, Instant::now(), "error");
+                return error_response_v2(&e);
+            }
         };
+        trace.span(
+            Stage::Execute,
+            execute_started,
+            Instant::now(),
+            format!("queries={}", requests.len()),
+        );
+        serialize_started = Instant::now();
         for ((i, key, merge), mut response) in uncached.into_iter().zip(answers) {
             if merge {
                 if response.deadline_hit {
@@ -902,7 +1150,9 @@ fn handle_explain_batch_v2(shared: &Shared, body: &[u8]) -> Response {
         .stats
         .batch_queries
         .fetch_add(results.len() as u64, Ordering::Relaxed);
-    Response::json(200, wire::explain_batch_v2_response(&model.id, &results))
+    let http_response = Response::json(200, wire::explain_batch_v2_response(&model.id, &results));
+    trace.span(Stage::Serialize, serialize_started, Instant::now(), "");
+    http_response
 }
 
 /// `POST /v2/ingest`: validates the wire rows against the model's raw
@@ -910,7 +1160,7 @@ fn handle_explain_batch_v2(shared: &Shared, body: &[u8]) -> Response {
 /// generation bump — in-flight requests finish on their old snapshot) and
 /// reports the new store shape.  No model reload happens; the fitted causal
 /// model is shared and the new rows are immediately explainable.
-fn handle_ingest_v2(shared: &Shared, body: &[u8]) -> Response {
+fn handle_ingest_v2(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> Response {
     let request = match wire::IngestV2::parse(body) {
         Ok(r) => r,
         Err(e) => return error_response_v2(&e),
@@ -922,8 +1172,25 @@ fn handle_ingest_v2(shared: &Shared, body: &[u8]) -> Response {
         Ok(b) => b,
         Err(e) => return error_response_v2(&e),
     };
-    match shared.registry.ingest(&request.model, &batch) {
-        Ok(loaded) => {
+    let ingest_started = Instant::now();
+    match shared.registry.ingest_with_report(&request.model, &batch) {
+        Ok((loaded, report)) => {
+            // Replay the registry's own timing as two sequential Execute
+            // spans: segment build (CSR construction, stats) then the
+            // atomic swap under the registry's write lock.
+            let build_end = ingest_started + Duration::from_micros(report.build_us);
+            trace.span(
+                Stage::Execute,
+                ingest_started,
+                build_end,
+                "ingest: build segment",
+            );
+            trace.span(
+                Stage::Execute,
+                build_end,
+                build_end + Duration::from_micros(report.swap_us),
+                "ingest: swap",
+            );
             // Nothing is invalidated: cached results stay keyed by the
             // segment-set fingerprint they were computed against, which is
             // now a proper prefix of the store — follow-up lookups promote
@@ -936,22 +1203,27 @@ fn handle_ingest_v2(shared: &Shared, body: &[u8]) -> Response {
             // (missing cells) are reported separately so the arithmetic
             // always reconciles for clients.
             let sealed = store.segments().last().map(|s| s.n_rows()).unwrap_or(0);
-            Response::json(
-                200,
-                format!(
-                    "{{\"model\":\"{}\",\"ingested\":{},\"dropped_null_rows\":{},\
-                     \"rows\":{},\"segments\":{},\"epoch\":{},\"generation\":{}}}",
-                    loaded.id,
-                    sealed,
-                    batch.n_rows().saturating_sub(sealed),
-                    store.n_rows(),
-                    store.n_segments(),
-                    store.epoch(),
-                    loaded.generation
-                ),
-            )
+            serialized(trace, || {
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"model\":\"{}\",\"ingested\":{},\"dropped_null_rows\":{},\
+                         \"rows\":{},\"segments\":{},\"epoch\":{},\"generation\":{}}}",
+                        loaded.id,
+                        sealed,
+                        batch.n_rows().saturating_sub(sealed),
+                        store.n_rows(),
+                        store.n_segments(),
+                        store.epoch(),
+                        loaded.generation
+                    ),
+                )
+            })
         }
-        Err(e) => error_response_v2(&e),
+        Err(e) => {
+            trace.span(Stage::Execute, ingest_started, Instant::now(), "error");
+            error_response_v2(&e)
+        }
     }
 }
 

@@ -10,6 +10,7 @@
 //! reports *exact* percentiles from its own recorded samples; the
 //! histogram is for the live endpoint.
 
+use crate::trace::{Stage, Trace};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use xinsight_core::json::Json;
@@ -95,6 +96,27 @@ impl LatencyHistogram {
             .unwrap_or(0)
     }
 
+    /// Sum of all recorded samples, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// The cumulative count of samples `<= bound_us`, reported against the
+    /// exact internal bucket boundary: returns `(snapped_upper_us, count)`
+    /// where `snapped_upper_us >= bound_us` is the upper bound of the
+    /// bucket `bound_us` falls in.  Because the count is taken at a real
+    /// bucket edge, it is exact for the snapped bound — this is what lets
+    /// `/metrics` publish a coarse `le` ladder without re-introducing
+    /// quantization error on the published bounds.
+    pub fn cumulative_le(&self, bound_us: u64) -> (u64, u64) {
+        let index = bucket_index(bound_us);
+        let mut seen = 0u64;
+        for bucket in self.buckets.iter().take(index + 1) {
+            seen += bucket.load(Ordering::Relaxed);
+        }
+        (bucket_upper_us(index), seen)
+    }
+
     /// `quantile` (in `[0, 1]`) as the upper bound of the bucket containing
     /// it, in microseconds — within 6.25 % of the true sample value.
     pub fn quantile_upper_us(&self, quantile: f64) -> u64 {
@@ -174,6 +196,10 @@ pub struct ServerStats {
     pub models: AtomicU64,
     /// `GET /stats` requests answered.
     pub stats: AtomicU64,
+    /// `GET /metrics` scrapes answered.
+    pub metrics: AtomicU64,
+    /// Debug requests (`/debug/sleep`, `/debug/traces`) answered.
+    pub debug: AtomicU64,
     /// Admin requests (reload + shutdown) answered.
     pub admin: AtomicU64,
     /// Requests rejected with `4xx` (bad wire format, unknown paths…).
@@ -198,6 +224,20 @@ pub struct ServerStats {
     /// Request latencies from admission (request fully parsed and queued)
     /// to response computed — queue wait included, socket writes excluded.
     pub latency: LatencyHistogram,
+    /// Per-stage latency histograms, indexed by [`Stage::index`].  Fed by
+    /// [`ServerStats::record_trace`] when the event loop finalizes a
+    /// request trace, so background-work traces (compaction) never skew
+    /// the request-stage distributions.
+    pub stages: [LatencyHistogram; Stage::ALL.len()],
+    /// Duration of the event loop's most recent sweep tick, µs (gauge).
+    pub loop_last_tick_us: AtomicU64,
+    /// The event loop's most recent poller wait, µs (gauge) — near the
+    /// 50 ms tick when idle, near zero under load.
+    pub loop_last_poll_wait_us: AtomicU64,
+    /// Connection slots occupied at the last sweep (gauge).
+    pub loop_slots_occupied: AtomicU64,
+    /// Sweep ticks the event loop has run, cumulatively.
+    pub loop_ticks: AtomicU64,
     /// Background compactions completed (swaps that actually happened —
     /// stale rewrites discarded at the swap check are not counted).
     pub compactions: AtomicU64,
@@ -221,6 +261,8 @@ impl Default for ServerStats {
             batch_queries: AtomicU64::new(0),
             models: AtomicU64::new(0),
             stats: AtomicU64::new(0),
+            metrics: AtomicU64::new(0),
+            debug: AtomicU64::new(0),
             admin: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
@@ -231,6 +273,11 @@ impl Default for ServerStats {
             conn_shed: AtomicU64::new(0),
             read_timeouts: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
+            stages: std::array::from_fn(|_| LatencyHistogram::default()),
+            loop_last_tick_us: AtomicU64::new(0),
+            loop_last_poll_wait_us: AtomicU64::new(0),
+            loop_slots_occupied: AtomicU64::new(0),
+            loop_ticks: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             compaction_last_before: AtomicU64::new(0),
             compaction_last_after: AtomicU64::new(0),
@@ -240,6 +287,11 @@ impl Default for ServerStats {
 }
 
 impl ServerStats {
+    /// Seconds since the server started.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
     /// Records one completed background compaction.
     pub fn record_compaction(
         &self,
@@ -256,6 +308,16 @@ impl ServerStats {
             .fetch_add(bytes_reclaimed as u64, Ordering::Relaxed);
     }
 
+    /// Folds a completed request trace into the per-stage latency
+    /// histograms.  Called once per request by the event loop at write
+    /// completion; background traces (compaction) are published to the
+    /// trace store only and never pass through here.
+    pub fn record_trace(&self, trace: &Trace) {
+        for span in &trace.spans {
+            self.stages[span.stage.index()].record(Duration::from_micros(span.duration_us));
+        }
+    }
+
     /// Total requests that reached a handler (everything but `503`s).
     pub fn requests_total(&self) -> u64 {
         self.explain.load(Ordering::Relaxed)
@@ -265,6 +327,8 @@ impl ServerStats {
             + self.ingest_v2.load(Ordering::Relaxed)
             + self.models.load(Ordering::Relaxed)
             + self.stats.load(Ordering::Relaxed)
+            + self.metrics.load(Ordering::Relaxed)
+            + self.debug.load(Ordering::Relaxed)
             + self.admin.load(Ordering::Relaxed)
             + self.client_errors.load(Ordering::Relaxed)
             + self.server_errors.load(Ordering::Relaxed)
@@ -306,6 +370,8 @@ impl ServerStats {
                     ("batch_queries".to_owned(), load(&self.batch_queries)),
                     ("models".to_owned(), load(&self.models)),
                     ("stats".to_owned(), load(&self.stats)),
+                    ("metrics".to_owned(), load(&self.metrics)),
+                    ("debug".to_owned(), load(&self.debug)),
                     ("admin".to_owned(), load(&self.admin)),
                     ("client_errors".to_owned(), load(&self.client_errors)),
                     ("server_errors".to_owned(), load(&self.server_errors)),
@@ -313,6 +379,32 @@ impl ServerStats {
                 ]),
             ),
             ("latency".to_owned(), self.latency.to_json()),
+            (
+                "latency_stages".to_owned(),
+                Json::Obj(
+                    Stage::ALL
+                        .iter()
+                        .map(|stage| {
+                            (
+                                stage.name().to_owned(),
+                                self.stages[stage.index()].to_json(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "event_loop".to_owned(),
+                Json::Obj(vec![
+                    ("last_tick_us".to_owned(), load(&self.loop_last_tick_us)),
+                    (
+                        "last_poll_wait_us".to_owned(),
+                        load(&self.loop_last_poll_wait_us),
+                    ),
+                    ("slots_occupied".to_owned(), load(&self.loop_slots_occupied)),
+                    ("ticks".to_owned(), load(&self.loop_ticks)),
+                ]),
+            ),
             (
                 "connections".to_owned(),
                 Json::Obj(vec![
@@ -355,6 +447,7 @@ impl ServerStats {
             (
                 "result_cache".to_owned(),
                 Json::Obj(vec![
+                    ("lookups".to_owned(), Json::Num(result_cache.lookups as f64)),
                     ("hits".to_owned(), Json::Num(result_cache.hits as f64)),
                     (
                         "prefix_hits".to_owned(),
@@ -447,6 +540,81 @@ mod tests {
         }
         // The overflow clamp lands in the final bucket.
         assert_eq!(bucket_index(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn cumulative_le_snaps_bounds_and_counts_exactly() {
+        let h = LatencyHistogram::default();
+        for us in [5u64, 10, 100, 150, 5_000, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.sum_us(), 105_265);
+        // The snapped bound is always >= the requested one, and the count
+        // at the snapped edge is exact.
+        let (upper, count) = h.cumulative_le(10);
+        assert_eq!((upper, count), (10, 2)); // linear range: exact bucket
+        let (upper, count) = h.cumulative_le(200);
+        assert!(upper >= 200);
+        assert_eq!(count, 4);
+        let (_, all) = h.cumulative_le(u64::MAX / 2);
+        assert_eq!(all, 6);
+        // Counts are monotone as the bound grows.
+        let mut last = 0;
+        for bound in [1u64, 16, 64, 1_000, 10_000, 1_000_000] {
+            let (_, c) = h.cumulative_le(bound);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn record_trace_feeds_the_matching_stage_histograms() {
+        use crate::trace::{Stage, TraceBuilder};
+        let stats = ServerStats::default();
+        let epoch = Instant::now();
+        let mut tb = TraceBuilder::begin(1, epoch, "POST /explain".to_owned());
+        tb.span(Stage::Parse, epoch, epoch + Duration::from_micros(10), "");
+        tb.span(
+            Stage::QueueWait,
+            epoch + Duration::from_micros(10),
+            epoch + Duration::from_micros(60),
+            "",
+        );
+        tb.span(
+            Stage::Execute,
+            epoch + Duration::from_micros(60),
+            epoch + Duration::from_micros(1_060),
+            "",
+        );
+        stats.record_trace(&tb.finish(epoch + Duration::from_micros(1_100)));
+        assert_eq!(stats.stages[Stage::Parse.index()].count(), 1);
+        assert_eq!(stats.stages[Stage::QueueWait.index()].count(), 1);
+        assert_eq!(stats.stages[Stage::Execute.index()].count(), 1);
+        assert_eq!(stats.stages[Stage::Serialize.index()].count(), 0);
+        assert_eq!(stats.stages[Stage::Parse.index()].sum_us(), 10);
+        // The /stats rendering exposes the fed stages.
+        let doc = stats.to_json(StatsSnapshot {
+            result_cache: crate::lru::ResultCacheStats::default(),
+            selection: CacheStats::default(),
+            ci_cache: CacheStats::default(),
+            models: Json::Arr(Vec::new()),
+            queue_depth: 0,
+            queue_capacity: 64,
+            workers: 2,
+            compact_after: 0,
+        });
+        let stages = doc.get("latency_stages").unwrap();
+        assert_eq!(
+            stages
+                .get("queue_wait")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            1
+        );
+        assert!(doc.get("event_loop").unwrap().get("ticks").is_ok());
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Per-request lifecycle tracing: where one request spent its time.
+//!
+//! The serving stack has five distinct places a request can wait — event-
+//! loop framing, the admission queue, result-cache tier resolution, engine
+//! execution, and the staged socket write — and the aggregate `/stats`
+//! histogram cannot attribute a tail-latency regression to any of them.
+//! This module records, per request, a **trace**: an ordered list of
+//! monotonic [`Span`]s on one shared clock (the instant the request's
+//! first byte arrived), assembled as the request moves through the stack:
+//!
+//! ```text
+//!  first byte ──parse──▶ admitted ──queue_wait──▶ worker pop
+//!      │                                             │
+//!      │            cache_lookup (tier + single-flight role)
+//!      │            execute      (engine, provenance attribution)
+//!      │            serialize    (wire bytes)
+//!      │                                             │
+//!      └──────── total ──▶ write (staged ──▶ flushed on the socket)
+//! ```
+//!
+//! The event loop assigns the trace id at framing and records the parse
+//! span; the worker records queue-wait and the handler-side spans; the
+//! event loop closes the trace when the response's last byte is accepted
+//! by the socket.  Span starts are offsets from the trace epoch, so spans
+//! are monotonic by construction and sequential spans never overlap; the
+//! gaps between them (completion hand-off, poller wake-ups) are visible as
+//! exactly that — gaps.
+//!
+//! Completed traces land in a [`TraceStore`]: a bounded ring buffer of the
+//! most recent traces plus a separately-bounded **slow reservoir** that
+//! retains any trace whose total meets the `--trace-slow-ms` threshold, so
+//! a burst of fast requests cannot evict the one slow trace being
+//! debugged.  `GET /debug/traces` (behind `--debug-endpoints`) serves both
+//! as JSON.  Background work publishes into the same stream: the
+//! compactor's rewrite/swap and the registry ingest path emit spans too.
+//!
+//! Everything here is allocation-light and lock-cheap: a trace is built
+//! without synchronization (it is owned by whichever thread holds the
+//! request) and published under one short mutex at completion.
+
+use parking_lot::Mutex;
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use xinsight_core::json::Json;
+
+/// Completed traces retained in the recent-trace ring buffer.
+pub const RING_CAPACITY: usize = 256;
+
+/// Slow traces retained in the reservoir regardless of ring churn.
+pub const SLOW_CAPACITY: usize = 64;
+
+/// One stage of the request lifecycle.  The set is closed on purpose: each
+/// stage has a per-stage latency histogram in `/metrics`, and a bounded
+/// vocabulary is what makes cross-request aggregation meaningful.  Stage-
+/// specific context (cache tier, single-flight role, provenance counts)
+/// goes in the span's free-form detail instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// First byte of the request seen to request fully framed.
+    Parse,
+    /// Admitted onto the bounded queue to popped by a worker.
+    QueueWait,
+    /// Result-cache resolution: lookup, promotion attempt, and any
+    /// single-flight wait for another request computing the same key.
+    CacheLookup,
+    /// Handler execution — for explains, the engine search; for other
+    /// endpoints, the whole handler body.
+    Execute,
+    /// Serializing the response body onto the wire format.
+    Serialize,
+    /// Response staged on the connection to last byte accepted by the
+    /// socket.
+    Write,
+}
+
+impl Stage {
+    /// Every stage, in lifecycle order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Parse,
+        Stage::QueueWait,
+        Stage::CacheLookup,
+        Stage::Execute,
+        Stage::Serialize,
+        Stage::Write,
+    ];
+
+    /// The stable wire name (`/debug/traces` span tags and the `/metrics`
+    /// `stage` label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::QueueWait => "queue_wait",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::Execute => "execute",
+            Stage::Serialize => "serialize",
+            Stage::Write => "write",
+        }
+    }
+
+    /// The index of this stage in [`Stage::ALL`] (per-stage histogram
+    /// arrays are indexed by it).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::QueueWait => 1,
+            Stage::CacheLookup => 2,
+            Stage::Execute => 3,
+            Stage::Serialize => 4,
+            Stage::Write => 5,
+        }
+    }
+}
+
+/// One timed stage of a trace.  `start_us` is the offset from the trace
+/// epoch (the request's first byte), so spans within a trace share one
+/// clock and sequential spans are non-overlapping by construction.
+///
+/// `detail` is a `Cow` so the hot request path can tag spans with static
+/// strings (`"hit"`, `"hit,flight=follower"`) without allocating; only
+/// details that genuinely carry per-request numbers pay for a `String`.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Which lifecycle stage this span timed.
+    pub stage: Stage,
+    /// Microseconds from the trace epoch to the span start.
+    pub start_us: u64,
+    /// Span length in microseconds.
+    pub duration_us: u64,
+    /// Stage-specific context: the cache tier and single-flight role for
+    /// `cache_lookup`, provenance counts for `execute`, and so on.  Empty
+    /// when the stage has nothing to add.
+    pub detail: Cow<'static, str>,
+}
+
+/// One completed request (or background-work) lifecycle.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Process-unique trace id, assigned at framing.
+    pub id: u64,
+    /// What was traced: `"POST /v2/explain"` for requests, `"compact
+    /// <model>"` for background compactions.  Borrowed for every known
+    /// route (see [`endpoint_label`]) so framing a request does not
+    /// allocate for it.
+    pub endpoint: Cow<'static, str>,
+    /// The response status (`0` while unset; background work uses `200`).
+    pub status: u16,
+    /// End-to-end microseconds from the trace epoch to completion.
+    pub total_us: u64,
+    /// The recorded spans, in the order they were recorded (which is
+    /// lifecycle order — each stage records once, when it finishes).
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// The `/debug/traces` JSON rendering of one trace.
+    pub fn to_json(&self) -> Json {
+        let spans = self
+            .spans
+            .iter()
+            .map(|span| {
+                Json::Obj(vec![
+                    ("stage".to_owned(), Json::Str(span.stage.name().to_owned())),
+                    ("start_us".to_owned(), Json::Num(span.start_us as f64)),
+                    ("duration_us".to_owned(), Json::Num(span.duration_us as f64)),
+                    ("detail".to_owned(), Json::Str(span.detail.to_string())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("id".to_owned(), Json::Num(self.id as f64)),
+            ("endpoint".to_owned(), Json::Str(self.endpoint.to_string())),
+            ("status".to_owned(), Json::Num(self.status as f64)),
+            ("total_us".to_owned(), Json::Num(self.total_us as f64)),
+            ("spans".to_owned(), Json::Arr(spans)),
+        ])
+    }
+}
+
+/// An in-flight trace, carried through `Job`/`Completion` and finished by
+/// the event loop once the response's last byte is on the socket.  Owned
+/// by exactly one thread at a time, so recording a span is two
+/// subtractions and a push — no synchronization.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    id: u64,
+    /// The shared clock every span start is measured against.
+    epoch: Instant,
+    endpoint: Cow<'static, str>,
+    status: u16,
+    spans: Vec<Span>,
+}
+
+impl TraceBuilder {
+    /// Starts a trace whose spans are measured from `epoch` (the request's
+    /// first byte, or the start of a background task).
+    pub fn begin(id: u64, epoch: Instant, endpoint: impl Into<Cow<'static, str>>) -> Self {
+        TraceBuilder {
+            id,
+            epoch,
+            endpoint: endpoint.into(),
+            status: 0,
+            spans: Vec::with_capacity(Stage::ALL.len()),
+        }
+    }
+
+    /// Records one completed stage.  `start`/`end` are wall instants; both
+    /// are clamped to the epoch so a span can never start before the trace
+    /// does.
+    pub fn span(
+        &mut self,
+        stage: Stage,
+        start: Instant,
+        end: Instant,
+        detail: impl Into<Cow<'static, str>>,
+    ) {
+        let start = start.max(self.epoch);
+        let start_us = us(start.saturating_duration_since(self.epoch));
+        let duration_us = us(end.saturating_duration_since(start));
+        self.spans.push(Span {
+            stage,
+            start_us,
+            duration_us,
+            detail: detail.into(),
+        });
+    }
+
+    /// How many spans have been recorded — the worker uses this to detect
+    /// handlers without internal instrumentation and cover them with one
+    /// whole-handler `execute` span.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Sets the response status the trace will report.
+    pub fn set_status(&mut self, status: u16) {
+        self.status = status;
+    }
+
+    /// Closes the trace at `end` and returns the immutable record.
+    pub fn finish(self, end: Instant) -> Trace {
+        Trace {
+            id: self.id,
+            endpoint: self.endpoint,
+            status: self.status,
+            total_us: us(end.saturating_duration_since(self.epoch)),
+            spans: self.spans,
+        }
+    }
+}
+
+fn us(duration: Duration) -> u64 {
+    duration.as_micros().min(u64::MAX as u128) as u64
+}
+
+/// The trace endpoint label for a framed request.  Every route the server
+/// serves maps to a static string so framing does not allocate on the hot
+/// path; unknown paths (which will 404 anyway) fall back to an owned
+/// `"METHOD path"`.
+pub fn endpoint_label(method: &str, path: &str) -> Cow<'static, str> {
+    Cow::Borrowed(match (method, path) {
+        ("GET", "/healthz") => "GET /healthz",
+        ("POST", "/explain") => "POST /explain",
+        ("POST", "/explain_batch") => "POST /explain_batch",
+        ("POST", "/v2/explain") => "POST /v2/explain",
+        ("POST", "/v2/explain_batch") => "POST /v2/explain_batch",
+        ("POST", "/v2/ingest") => "POST /v2/ingest",
+        ("GET", "/models") => "GET /models",
+        ("GET", "/stats") => "GET /stats",
+        ("GET", "/metrics") => "GET /metrics",
+        ("POST", "/admin/reload") => "POST /admin/reload",
+        ("POST", "/admin/shutdown") => "POST /admin/shutdown",
+        ("POST", "/debug/sleep") => "POST /debug/sleep",
+        ("GET", "/debug/traces") => "GET /debug/traces",
+        _ => return Cow::Owned(format!("{method} {path}")),
+    })
+}
+
+#[derive(Debug, Default)]
+struct StoreState {
+    ring: VecDeque<Trace>,
+    slow: VecDeque<Trace>,
+}
+
+/// The bounded store of completed traces behind `GET /debug/traces`.
+///
+/// Two views: a ring buffer of the most recent [`RING_CAPACITY`]
+/// completions (whatever their latency), and a **slow reservoir** holding
+/// the most recent [`SLOW_CAPACITY`] traces whose total met the slow
+/// threshold — so the interesting trace survives even when a flood of
+/// fast requests churns the ring.  Publication moves the trace into the
+/// ring under one short mutex (slow traces are additionally cloned into
+/// the reservoir — rare by definition); id assignment is a relaxed
+/// atomic.  The evicted trace is dropped after the lock is released so
+/// its frees never extend the critical section.
+#[derive(Debug)]
+pub struct TraceStore {
+    next_id: AtomicU64,
+    recorded: AtomicU64,
+    slow_threshold: Duration,
+    state: Mutex<StoreState>,
+}
+
+impl TraceStore {
+    /// A store whose slow reservoir retains traces at least
+    /// `slow_threshold` long end to end.
+    pub fn new(slow_threshold: Duration) -> Self {
+        TraceStore {
+            next_id: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            slow_threshold,
+            state: Mutex::new(StoreState::default()),
+        }
+    }
+
+    /// The configured slow-trace threshold.
+    pub fn slow_threshold(&self) -> Duration {
+        self.slow_threshold
+    }
+
+    /// Total traces ever published (ring evictions included).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Allocates the next trace id (process-unique, starting at 1).
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Publishes a completed trace into the ring (and, when its total
+    /// meets the threshold, the slow reservoir), evicting the oldest
+    /// entries past each bound.
+    pub fn publish(&self, trace: Trace) {
+        let slow = trace.total_us >= us(self.slow_threshold);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.lock();
+        if slow {
+            state.slow.push_back(trace.clone());
+            while state.slow.len() > SLOW_CAPACITY {
+                state.slow.pop_front();
+            }
+        }
+        let evicted = if state.ring.len() >= RING_CAPACITY {
+            state.ring.pop_front()
+        } else {
+            None
+        };
+        state.ring.push_back(trace);
+        drop(state);
+        drop(evicted);
+    }
+
+    /// The `GET /debug/traces` document: configuration, totals, and both
+    /// views (oldest first).
+    pub fn to_json(&self) -> Json {
+        let state = self.state.lock();
+        let render =
+            |traces: &VecDeque<Trace>| Json::Arr(traces.iter().map(|t| t.to_json()).collect());
+        Json::Obj(vec![
+            (
+                "slow_threshold_ms".to_owned(),
+                Json::Num(self.slow_threshold.as_millis() as f64),
+            ),
+            ("ring_capacity".to_owned(), Json::Num(RING_CAPACITY as f64)),
+            ("slow_capacity".to_owned(), Json::Num(SLOW_CAPACITY as f64)),
+            ("recorded".to_owned(), Json::Num(self.recorded() as f64)),
+            ("recent".to_owned(), render(&state.ring)),
+            ("slow".to_owned(), render(&state.slow)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_of(store: &TraceStore, total: Duration, endpoint: &str) -> Trace {
+        let epoch = Instant::now();
+        let mut tb = TraceBuilder::begin(store.next_id(), epoch, endpoint.to_owned());
+        tb.set_status(200);
+        tb.span(Stage::Execute, epoch, epoch + total, "work");
+        tb.finish(epoch + total)
+    }
+
+    #[test]
+    fn spans_share_the_epoch_clock_and_never_precede_it() {
+        let epoch = Instant::now();
+        let mut tb = TraceBuilder::begin(7, epoch, "POST /x".to_owned());
+        // A start before the epoch clamps to offset 0 instead of wrapping.
+        tb.span(
+            Stage::Parse,
+            epoch.checked_sub(Duration::from_secs(1)).unwrap_or(epoch),
+            epoch + Duration::from_micros(10),
+            "",
+        );
+        tb.span(
+            Stage::QueueWait,
+            epoch + Duration::from_micros(10),
+            epoch + Duration::from_micros(30),
+            "",
+        );
+        let trace = tb.finish(epoch + Duration::from_micros(40));
+        assert_eq!(trace.id, 7);
+        assert_eq!(trace.spans[0].start_us, 0);
+        assert_eq!(trace.spans[1].start_us, 10);
+        assert_eq!(trace.spans[1].duration_us, 20);
+        assert!(trace.total_us >= 40);
+        // Sequential spans are non-overlapping and the sum fits the total.
+        let sum: u64 = trace.spans.iter().map(|s| s.duration_us).sum();
+        assert!(sum <= trace.total_us);
+        // The JSON view is parseable and carries every span.
+        let doc = Json::parse(&trace.to_json().to_string()).unwrap();
+        assert_eq!(doc.get("spans").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_slow_traces_survive_eviction() {
+        let store = TraceStore::new(Duration::from_millis(5));
+        store.publish(trace_of(&store, Duration::from_millis(50), "POST /slow"));
+        for _ in 0..(RING_CAPACITY + 10) {
+            store.publish(trace_of(&store, Duration::from_micros(10), "GET /fast"));
+        }
+        let doc = store.to_json();
+        let recent = doc.get("recent").unwrap().as_arr().unwrap().len();
+        assert_eq!(recent, RING_CAPACITY, "ring must stay bounded");
+        // The slow trace was evicted from the ring long ago but the
+        // reservoir still has it.
+        let slow = doc.get("slow").unwrap().as_arr().unwrap();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(
+            slow[0].get("endpoint").unwrap().as_str().unwrap(),
+            "POST /slow"
+        );
+        assert_eq!(
+            doc.get("recorded").unwrap().as_u64().unwrap(),
+            (RING_CAPACITY + 11) as u64
+        );
+    }
+
+    #[test]
+    fn slow_reservoir_is_bounded_too() {
+        let store = TraceStore::new(Duration::from_micros(1));
+        for _ in 0..(SLOW_CAPACITY + 5) {
+            store.publish(trace_of(&store, Duration::from_millis(1), "POST /x"));
+        }
+        let doc = store.to_json();
+        assert_eq!(
+            doc.get("slow").unwrap().as_arr().unwrap().len(),
+            SLOW_CAPACITY
+        );
+    }
+
+    #[test]
+    fn stage_names_and_indexes_are_stable() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "parse",
+                "queue_wait",
+                "cache_lookup",
+                "execute",
+                "serialize",
+                "write"
+            ]
+        );
+    }
+}

@@ -53,8 +53,11 @@ echo "==> serving smoke test (xinsight-serve + loadgen)"
 # against the grown store rather than replay a pre-ingest cache entry),
 # an ingest-past-threshold → background-compact → re-read loop asserting
 # the answer survives compaction byte-for-byte (--compact-after 3 below),
-# one /stats, and a graceful shutdown over the wire; finally assert the
-# server process exits cleanly (status 0).
+# one /stats, a /metrics scrape pushed through the Prometheus text
+# exposition validator, a deliberately slow request (POST /debug/sleep
+# past --trace-slow-ms) asserted to land in the /debug/traces slow
+# reservoir with its stages attributed, and a graceful shutdown over the
+# wire; finally assert the server process exits cleanly (status 0).
 SMOKE_DIR="$(mktemp -d)"
 cleanup_smoke() {
     [[ -n "${SERVE_PID:-}" ]] && kill "$SERVE_PID" 2>/dev/null || true
@@ -63,7 +66,7 @@ cleanup_smoke() {
 trap cleanup_smoke EXIT
 ./target/release/xinsight-serve \
     --demo syn_a --models "$SMOKE_DIR/models" --addr 127.0.0.1:0 --workers 2 \
-    --compact-after 3 \
+    --compact-after 3 --debug-endpoints --trace-slow-ms 100 \
     > "$SMOKE_DIR/serve.log" 2> "$SMOKE_DIR/serve.err" &
 SERVE_PID=$!
 # The only thing the log tail is needed for is the bound address (port 0);
