@@ -300,7 +300,7 @@ impl FittedModel {
         tmp.push(format!(
             ".tmp.{}.{}",
             std::process::id(),
-            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+            SAVE_SEQ.fetch_add(1, Ordering::Relaxed) // relaxed: tmp-name uniqueness needs atomicity only
         ));
         let tmp = std::path::PathBuf::from(tmp);
         let write = (|| {

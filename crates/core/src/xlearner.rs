@@ -13,6 +13,9 @@
 //!    determinant to dependent (the discrete-ANM argument of Sec. 3.1.2), and
 //!    the two graphs are concatenated into the FD-augmented PAG.
 
+// HashMap here never leaks iteration order into output: interior grouping map; output re-sorted by score (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use std::collections::{HashMap, HashSet};
 
 use xinsight_data::{detect_fds, Dataset, FdDetectionOptions, FdGraph, Result};

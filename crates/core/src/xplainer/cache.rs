@@ -58,6 +58,9 @@
 //! model reload and on compaction (both produce freshly-identified
 //! segments, so a stale cache would only hold dead keys).
 
+// HashMap here never leaks iteration order into output: mask/partial memo tables; key-looked-up only (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -154,12 +157,12 @@ impl SelectionCache {
     /// Number of cache lookups (masks + partial aggregates) answered from
     /// memory.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed) // relaxed: monotonic cache counter
     }
 
     /// Number of cache lookups that had to compute their entry.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed) // relaxed: monotonic cache counter
     }
 
     /// Number of distinct masks currently memoized.
@@ -210,7 +213,7 @@ impl SelectionCache {
         build: impl FnOnce() -> Result<RowMask>,
     ) -> Result<Arc<RowMask>> {
         if let Some(mask) = self.masks.read().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache counter
             return Ok(Arc::clone(mask));
         }
         let mask = Arc::new(build()?);
@@ -219,11 +222,11 @@ impl SelectionCache {
         // decides who counts the miss, keeping counters deterministic.
         match self.masks.write().entry(key) {
             std::collections::hash_map::Entry::Occupied(existing) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache counter
                 Ok(Arc::clone(existing.get()))
             }
             std::collections::hash_map::Entry::Vacant(slot) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache counter
                 Ok(Arc::clone(slot.insert(mask)))
             }
         }
@@ -392,7 +395,7 @@ impl SelectionCache {
             complement,
         };
         if let Some(stats) = self.partials.read().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache counter
             return Ok((Arc::clone(stats), false));
         }
         let clause = self.clause_mask_trusted(segment, attribute, values)?;
@@ -407,11 +410,11 @@ impl SelectionCache {
         // term to two workers — see `SearchContext::evaluations`.)
         match self.partials.write().entry(key) {
             std::collections::hash_map::Entry::Occupied(existing) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache counter
                 Ok((Arc::clone(existing.get()), false))
             }
             std::collections::hash_map::Entry::Vacant(slot) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache counter
                 slot.insert(Arc::clone(&stats));
                 Ok((stats, true))
             }

@@ -157,7 +157,7 @@ impl<'a> SearchContext<'a> {
         let m = ctx.filters.len().max(1);
         ctx.sigma = options.sigma.unwrap_or(1.0 / m as f64);
         // Δ(D) is not a search step; don't bill it to the strategies.
-        ctx.evaluations.store(0, Ordering::Relaxed);
+        ctx.evaluations.store(0, Ordering::Relaxed); // relaxed: advisory effort counter
         Ok(ctx)
     }
 
@@ -210,7 +210,7 @@ impl<'a> SearchContext<'a> {
     /// Number of `Δ(·)` evaluations actually computed so far (cache replays
     /// are not counted).
     pub fn evaluations(&self) -> usize {
-        self.evaluations.load(Ordering::Relaxed)
+        self.evaluations.load(Ordering::Relaxed) // relaxed: advisory effort counter
     }
 
     /// Builds a [`Predicate`] from filter indices.
@@ -279,7 +279,7 @@ impl<'a> SearchContext<'a> {
         let (a, fresh_a) = self.side_stats(&self.s1_key, |s| &s.s1, &values, complement);
         let (b, fresh_b) = self.side_stats(&self.s2_key, |s| &s.s2, &values, complement);
         if fresh_a || fresh_b {
-            self.evaluations.fetch_add(1, Ordering::Relaxed);
+            self.evaluations.fetch_add(1, Ordering::Relaxed); // relaxed: advisory effort counter
         }
         let aggregate = self.query.aggregate();
         match (a.value(aggregate), b.value(aggregate)) {

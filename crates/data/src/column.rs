@@ -1,5 +1,8 @@
 //! Columnar storage of dimensions and measures.
 
+// HashMap here never leaks iteration order into output: dictionary interning maps; codes give the deterministic order (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use crate::error::{DataError, Result};
 use crate::mask::RowMask;
 use crate::value::Value;

@@ -5,6 +5,9 @@
 //! holds in the data.  FDs are detected exactly (deterministic FDs only, as in
 //! the paper; noisy/probabilistic FDs are out of scope, Sec. 5).
 
+// HashMap here never leaks iteration order into output: interior counting maps; results are re-sorted before use (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use crate::dataset::Dataset;
 use crate::error::Result;
 use crate::schema::AttributeKind;

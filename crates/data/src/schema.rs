@@ -1,5 +1,8 @@
 //! Schema describing the attributes of a multi-dimensional dataset.
 
+// HashMap here never leaks iteration order into output: name->index lookup only (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use crate::error::{DataError, Result};
 use std::collections::HashMap;
 

@@ -69,6 +69,9 @@
 //! assert_eq!(avg, Some(20.0));
 //! ```
 
+// HashMap here never leaks iteration order into output: interior lookup maps; scans follow column order (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use crate::column::{Column, DimensionColumn, NULL_CODE};
 use crate::dataset::{Dataset, DatasetBuilder};
 use crate::error::{DataError, Result};
@@ -256,12 +259,12 @@ impl SegmentedDataset {
             .collect();
         let n_rows = data.n_rows();
         SegmentedDataset {
-            lineage: NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed),
+            lineage: NEXT_LINEAGE.fetch_add(1, Ordering::Relaxed), // relaxed: id allocation needs atomicity only
             epoch: 0,
             schema,
             dict,
             segments: vec![Arc::new(Segment {
-                id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
+                id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed), // relaxed: id allocation needs atomicity only
                 epoch: 0,
                 data,
             })],
@@ -392,7 +395,7 @@ impl SegmentedDataset {
         let epoch = self.epoch + 1;
         let mut segments = self.segments.clone();
         segments.push(Arc::new(Segment {
-            id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
+            id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed), // relaxed: id allocation needs atomicity only
             epoch,
             data,
         }));
@@ -496,7 +499,7 @@ impl SegmentedDataset {
             schema: self.schema.clone(),
             dict: self.dict.clone(),
             segments: vec![Arc::new(Segment {
-                id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed),
+                id: NEXT_SEGMENT_ID.fetch_add(1, Ordering::Relaxed), // relaxed: id allocation needs atomicity only
                 epoch,
                 data,
             })],

@@ -1,5 +1,8 @@
 //! Separating sets recorded by the adjacency search.
 
+// HashMap here never leaks iteration order into output: separating-set memo; key-looked-up only (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 
 /// A map from unordered variable pairs to the conditioning set that rendered

@@ -162,7 +162,7 @@ pub(crate) fn find_separating_subset(
         if found.is_some() {
             return;
         }
-        n_tests.fetch_add(1, Ordering::Relaxed);
+        n_tests.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic test counter
         let z: Vec<u32> = subset.iter().map(|&v| v as u32).collect();
         if let Ok(true) = test.independent_ids(x as u32, y as u32, &z) {
             found = Some(subset.to_vec());

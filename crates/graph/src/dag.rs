@@ -5,6 +5,9 @@
 //! sampling), and — extended with a latent-variable set — they back the
 //! d-separation oracle used to test the discovery algorithms.
 
+// HashMap here never leaks iteration order into output: adjacency lookups; traversals order by NodeId (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use crate::mixed_graph::{MixedGraph, NodeId};
 use std::collections::{HashMap, HashSet, VecDeque};
 

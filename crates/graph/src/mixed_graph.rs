@@ -1,5 +1,8 @@
 //! Directed mixed graphs with endpoint marks (MAGs and PAGs live here).
 
+// HashMap here never leaks iteration order into output: adjacency lookups; traversals order by NodeId (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use crate::edge::Edge;
 use crate::endpoint::Mark;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};

@@ -86,6 +86,9 @@
 //! clients overlap on some keys (exercising the LRU) without all hammering
 //! one.
 
+// thread::sleep allowed: readiness polling and open-loop pacing sleep by design (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -1260,7 +1263,7 @@ fn run_open_loop(
                 let mut latencies = Vec::new();
                 let (mut shed, mut errors) = (0usize, 0usize);
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let i = next.fetch_add(1, Ordering::Relaxed); // relaxed: work cursor; atomicity alone partitions indices
                     if i >= offsets.len() {
                         break;
                     }

@@ -173,6 +173,19 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) {
     lp.run();
 }
 
+/// The connection in `slot`, if the slot exists and is occupied.  All slot
+/// access goes through this (and [`conn_mut`]) — the event loop must never
+/// index-panic on a stale slot delivered by a late event.  Free functions
+/// rather than methods so the borrow stays on the `conns` slab alone and
+/// callers keep `shared`/`free`/`poller` usable while the guard lives.
+fn conn_ref(conns: &[Option<Conn>], slot: usize) -> Option<&Conn> {
+    conns.get(slot).and_then(Option::as_ref)
+}
+
+fn conn_mut(conns: &mut [Option<Conn>], slot: usize) -> Option<&mut Conn> {
+    conns.get_mut(slot).and_then(Option::as_mut)
+}
+
 impl EventLoop {
     fn run(&mut self) {
         let mut events = Events::new();
@@ -183,6 +196,8 @@ impl EventLoop {
             self.shared
                 .stats
                 .loop_last_poll_wait_us
+                // relaxed: single-writer gauge sampled by /stats; a stale
+                // read costs nothing and no other state hangs off it.
                 .store(wait_started.elapsed().as_micros() as u64, Ordering::Relaxed);
             if self.shared.shutdown.load(Ordering::SeqCst) && !self.draining {
                 self.enter_drain();
@@ -247,9 +262,8 @@ impl EventLoop {
         // Reap everything idle right away; busy connections finish their
         // request (the response carries `Connection: close`).
         for slot in 0..self.conns.len() {
-            let idle = self.conns[slot]
-                .as_ref()
-                .is_some_and(|c| !c.inflight && c.write_buf.is_empty());
+            let idle =
+                conn_ref(&self.conns, slot).is_some_and(|c| !c.inflight && c.write_buf.is_empty());
             if idle {
                 self.close(slot, false);
             }
@@ -266,8 +280,12 @@ impl EventLoop {
                     self.shared
                         .stats
                         .conn_accepted
+                        // relaxed: monotonic stats counter; readers only
+                        // ever see it lag, never go backwards.
                         .fetch_add(1, Ordering::Relaxed);
                     if self.open >= self.shared.max_connections {
+                        // relaxed: both are monotonic shed counters for
+                        // /stats; no ordering edge with connection state.
                         self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
                         self.shared.stats.conn_shed.fetch_add(1, Ordering::Relaxed);
                         // Accepted sockets don't inherit non-blocking; the
@@ -281,18 +299,22 @@ impl EventLoop {
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
-                    let slot = match self.free.pop() {
-                        Some(slot) => {
-                            self.gens[slot] = self.gens[slot].wrapping_add(1);
-                            slot
-                        }
+                    let (slot, gen) = match self.free.pop() {
+                        Some(slot) => match self.gens.get_mut(slot) {
+                            Some(gen) => {
+                                *gen = gen.wrapping_add(1);
+                                (slot, *gen)
+                            }
+                            // A free-list entry past the slab would be a
+                            // bookkeeping bug; drop the socket, don't panic.
+                            None => continue,
+                        },
                         None => {
                             self.conns.push(None);
                             self.gens.push(0);
-                            self.conns.len() - 1
+                            (self.conns.len() - 1, 0)
                         }
                     };
-                    let gen = self.gens[slot];
                     let conn = Conn::new(stream, gen);
                     if self
                         .shared
@@ -303,11 +325,22 @@ impl EventLoop {
                         self.free.push(slot);
                         continue;
                     }
-                    self.conns[slot] = Some(conn);
+                    match self.conns.get_mut(slot) {
+                        Some(entry) => *entry = Some(conn),
+                        None => {
+                            // `free` and `conns` disagree — unreachable, but
+                            // undo the poller registration instead of
+                            // panicking the accept path.
+                            let _ = self.shared.poller.delete(&conn.stream);
+                            self.free.push(slot);
+                            continue;
+                        }
+                    }
                     self.open += 1;
                     self.shared
                         .stats
                         .conn_active
+                        // relaxed: live-connection gauge for /stats only.
                         .fetch_add(1, Ordering::Relaxed);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -331,7 +364,7 @@ impl EventLoop {
     }
 
     fn handle_readable(&mut self, slot: usize) {
-        let Some(conn) = self.conns[slot].as_mut() else {
+        let Some(conn) = conn_mut(&mut self.conns, slot) else {
             return;
         };
         let mut buf = [0u8; READ_CHUNK];
@@ -345,7 +378,11 @@ impl EventLoop {
                     if conn.first_byte.is_none() {
                         conn.first_byte = Some(Instant::now());
                     }
-                    conn.parser.feed(&buf[..n]);
+                    // `read` never returns more than the buffer holds, but
+                    // the event loop does not index on an io contract.
+                    if let Some(chunk) = buf.get(..n) {
+                        conn.parser.feed(chunk);
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -356,7 +393,7 @@ impl EventLoop {
             }
         }
         self.advance(slot);
-        let Some(conn) = self.conns[slot].as_mut() else {
+        let Some(conn) = conn_mut(&mut self.conns, slot) else {
             return;
         };
         if conn.peer_closed {
@@ -374,7 +411,7 @@ impl EventLoop {
     /// buffered bytes (one request in flight per connection at a time;
     /// pipelined surplus waits for the response to flush).
     fn advance(&mut self, slot: usize) {
-        let Some(conn) = self.conns[slot].as_mut() else {
+        let Some(conn) = conn_mut(&mut self.conns, slot) else {
             return;
         };
         if conn.inflight || !conn.write_buf.is_empty() {
@@ -393,9 +430,17 @@ impl EventLoop {
                     return;
                 }
                 let gen = conn.gen;
-                let mut jobs = self.shared.jobs.lock().expect("jobs lock");
+                // A worker that panicked mid-queue poisons the mutex; the
+                // queue itself is still coherent, so keep serving.
+                let mut jobs = self
+                    .shared
+                    .jobs
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 if jobs.len() >= self.shared.queue_capacity {
                     drop(jobs);
+                    // relaxed: monotonic shed counters for /stats; no
+                    // ordering edge with the admission decision itself.
                     self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
                     self.shared.stats.conn_shed.fetch_add(1, Ordering::Relaxed);
                     self.stage_close(
@@ -433,13 +478,16 @@ impl EventLoop {
                 self.shared
                     .stats
                     .client_errors
+                    // relaxed: monotonic error counter for /stats.
                     .fetch_add(1, Ordering::Relaxed);
                 let response = match e {
                     http::HttpError::Malformed(message) => Response::error(400, &message),
-                    http::HttpError::TooLarge(what) => {
-                        let status = if what == "request body" { 413 } else { 431 };
-                        Response::error(status, &format!("{what} too large"))
+                    // Static messages: the framing path stays allocation-free
+                    // even when rejecting oversized requests.
+                    http::HttpError::TooLarge("request body") => {
+                        Response::error(413, "request body too large")
                     }
+                    http::HttpError::TooLarge(_) => Response::error(431, "request head too large"),
                     _ => Response::error(400, "bad request"),
                 };
                 self.stage_close(slot, &response);
@@ -449,7 +497,7 @@ impl EventLoop {
 
     /// Stages a response that terminates the connection after it flushes.
     fn stage_close(&mut self, slot: usize, response: &Response) {
-        if let Some(conn) = self.conns[slot].as_mut() {
+        if let Some(conn) = conn_mut(&mut self.conns, slot) {
             conn.close_after_write = true;
         }
         self.stage(slot, response);
@@ -459,7 +507,7 @@ impl EventLoop {
     /// what the socket will take immediately.
     fn stage(&mut self, slot: usize, response: &Response) {
         let shutting = self.draining || self.shared.shutdown.load(Ordering::SeqCst);
-        let Some(conn) = self.conns[slot].as_mut() else {
+        let Some(conn) = conn_mut(&mut self.conns, slot) else {
             return;
         };
         let close = conn.close_after_write || shutting;
@@ -473,11 +521,17 @@ impl EventLoop {
     /// completion either closes or returns the connection to keep-alive
     /// (including dispatching a pipelined follow-up already buffered).
     fn flush(&mut self, slot: usize) {
-        let Some(conn) = self.conns[slot].as_mut() else {
+        let Some(conn) = conn_mut(&mut self.conns, slot) else {
             return;
         };
-        while conn.written < conn.write_buf.len() {
-            match conn.stream.write(&conn.write_buf[conn.written..]) {
+        // `written` only ever advances by what `write` reported, so the
+        // range stays in bounds; `.get` keeps that a local fact rather
+        // than a panic site.
+        while let Some(remaining) = conn.write_buf.get(conn.written..) {
+            if remaining.is_empty() {
+                break;
+            }
+            match conn.stream.write(remaining) {
                 Ok(0) => {
                     self.close(slot, false);
                     return;
@@ -494,7 +548,7 @@ impl EventLoop {
         if conn.write_buf.is_empty() {
             return; // nothing was staged
         }
-        conn.write_buf = Vec::new();
+        conn.write_buf.clear();
         conn.written = 0;
         if let Some(pending) = conn.pending.take() {
             // The last response byte was handed to the kernel: the write
@@ -520,7 +574,7 @@ impl EventLoop {
     /// next: writable while a response is staged, nothing while a request
     /// is on a worker, readable otherwise.
     fn settle(&mut self, slot: usize) {
-        let Some(conn) = self.conns[slot].as_ref() else {
+        let Some(conn) = conn_ref(&self.conns, slot) else {
             return;
         };
         let key = key_of(slot, conn.gen);
@@ -540,8 +594,15 @@ impl EventLoop {
     /// live, same-generation) connection and trigger any requested
     /// shutdown once the goodbye bytes are staged.
     fn drain_completions(&mut self) {
-        let completed: Vec<Completion> =
-            std::mem::take(&mut *self.shared.completions.lock().expect("completions lock"));
+        // A poisoned completions mutex means a worker panicked after
+        // pushing; the vector is still well-formed, so deliver what's there.
+        let completed: Vec<Completion> = std::mem::take(
+            &mut *self
+                .shared
+                .completions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for completion in completed {
             self.inflight_jobs = self.inflight_jobs.saturating_sub(1);
             let live = self
@@ -594,9 +655,10 @@ impl EventLoop {
         self.shared
             .stats
             .loop_slots_occupied
+            // relaxed: single-writer gauge sampled by /stats.
             .store(self.open as u64, Ordering::Relaxed);
         for slot in 0..self.conns.len() {
-            let Some(conn) = self.conns[slot].as_ref() else {
+            let Some(conn) = conn_ref(&self.conns, slot) else {
                 continue;
             };
             if conn.inflight || !conn.write_buf.is_empty() {
@@ -608,6 +670,7 @@ impl EventLoop {
                     self.shared
                         .stats
                         .read_timeouts
+                        // relaxed: monotonic stats counter.
                         .fetch_add(1, Ordering::Relaxed);
                     self.stage_close(slot, &Response::error(408, "request timed out"));
                     self.settle(slot);
@@ -623,11 +686,14 @@ impl EventLoop {
         self.shared
             .stats
             .conn_parked_idle
+            // relaxed: single-writer gauge sampled by /stats.
             .store(parked, Ordering::Relaxed);
         self.shared
             .stats
             .loop_last_tick_us
+            // relaxed: single-writer gauge sampled by /stats.
             .store(now.elapsed().as_micros() as u64, Ordering::Relaxed);
+        // relaxed: monotonic tick counter; liveness probes tolerate lag.
         self.shared.stats.loop_ticks.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -649,8 +715,10 @@ impl EventLoop {
         self.shared
             .stats
             .conn_active
+            // relaxed: live-connection gauge for /stats only.
             .fetch_sub(1, Ordering::Relaxed);
         if shed {
+            // relaxed: monotonic shed counter for /stats.
             self.shared.stats.conn_shed.fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -56,6 +56,7 @@
 //!
 //! ## Endpoints
 //!
+//! <!-- xlint-endpoints: begin(docs) -->
 //! | Endpoint | Body | Answer |
 //! |---|---|---|
 //! | `GET /healthz` | — | `{"ok":true}` liveness, no model touch |
@@ -71,6 +72,7 @@
 //! | `POST /admin/shutdown` | — | graceful shutdown |
 //! | `POST /debug/sleep` | `{"ms"}` | worker-occupying fixed sleep for overload experiments — gated on `--debug-endpoints`, `404` otherwise |
 //! | `GET /debug/traces` | — | recent + slow request traces with per-stage spans — gated on `--debug-endpoints`, `404` otherwise |
+//! <!-- xlint-endpoints: end(docs) -->
 //!
 //! The v1 endpoints are thin adapters that build a *default*
 //! [`ExplainRequest`](xinsight_core::ExplainRequest); their wire bytes are

@@ -55,6 +55,9 @@
 //!
 //! [`SelectionCache`]: xinsight_core::SelectionCache
 
+// HashMap here never leaks iteration order into output: cache interior; eviction order comes from the recency BTreeMap (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -274,8 +277,8 @@ impl ResultCache {
                 entry.tick = state.next_tick;
                 state.next_tick += 1;
                 state.order.insert(entry.tick, key.clone());
-                self.lookups.fetch_add(1, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.lookups.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
+                self.hits.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
                 Lookup::Hit(Arc::clone(&entry.value))
             }
             Some(entry) if is_proper_prefix(&entry.fingerprint, fingerprint) => Lookup::Prefix {
@@ -285,8 +288,8 @@ impl ResultCache {
             Some(_) | None => {
                 // An unrelated fingerprint is a pre-reload/pre-compaction
                 // leftover: unreachable for serving, superseded on insert.
-                self.lookups.fetch_add(1, Ordering::Relaxed);
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.lookups.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
+                self.misses.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
                 Lookup::Miss
             }
         }
@@ -311,8 +314,8 @@ impl ResultCache {
         let found = matches!(state.entries.get(key),
             Some(entry) if is_proper_prefix(&entry.fingerprint, fingerprint));
         if !found {
-            self.lookups.fetch_add(1, Ordering::Relaxed);
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.lookups.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
+            self.misses.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
             return None;
         }
         let mut entry = state.remove(key).expect("entry just found");
@@ -322,9 +325,9 @@ impl ResultCache {
         entry.bytes = entry_bytes(key, fingerprint, &entry.value);
         if entry.bytes > self.byte_budget {
             // Pathological budget: serve the bytes but do not re-admit.
-            self.uncacheable.fetch_add(1, Ordering::Relaxed);
-            self.lookups.fetch_add(1, Ordering::Relaxed);
-            self.prefix_hits.fetch_add(1, Ordering::Relaxed);
+            self.uncacheable.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
+            self.lookups.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
+            self.prefix_hits.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
             return Some(value);
         }
         entry.tick = state.fresh_tick();
@@ -332,8 +335,8 @@ impl ResultCache {
         state.bytes += entry.bytes;
         state.entries.insert(key.clone(), entry);
         self.evict_over_budget(&mut state);
-        self.lookups.fetch_add(1, Ordering::Relaxed);
-        self.prefix_hits.fetch_add(1, Ordering::Relaxed);
+        self.lookups.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
+        self.prefix_hits.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
         Some(value)
     }
 
@@ -347,8 +350,8 @@ impl ResultCache {
         // racing `/stats` snapshot can never see the tier sum and
         // `lookups` disagree.
         let _state = self.state.lock();
-        self.lookups.fetch_add(1, Ordering::Relaxed);
-        self.merged.fetch_add(1, Ordering::Relaxed);
+        self.lookups.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
+        self.merged.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
     }
 
     /// Records a plain miss for a [`Lookup::Prefix`] candidate whose
@@ -356,8 +359,8 @@ impl ResultCache {
     /// request's deadline cut the search short).
     pub fn note_miss(&self) {
         let _state = self.state.lock();
-        self.lookups.fetch_add(1, Ordering::Relaxed);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.lookups.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
+        self.misses.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
     }
 
     /// Inserts (or refreshes) a result computed against the given store
@@ -379,7 +382,7 @@ impl ResultCache {
         if bytes > self.byte_budget {
             // Counted under the lock like every other counter write, so a
             // concurrent snapshot sees a consistent picture.
-            self.uncacheable.fetch_add(1, Ordering::Relaxed);
+            self.uncacheable.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
             return;
         }
         let state_ref = &mut *state;
@@ -416,7 +419,7 @@ impl ResultCache {
                 .remove(&oldest_key)
                 .expect("order and entries stay in sync");
             state.bytes -= evicted.bytes;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
         }
     }
 
@@ -460,7 +463,7 @@ impl ResultCache {
             entry.fingerprint = new.to_vec();
             entry.bytes = entry_bytes(&key, new, &entry.value);
             if entry.bytes > self.byte_budget {
-                self.uncacheable.fetch_add(1, Ordering::Relaxed);
+                self.uncacheable.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache-stats counter
                 continue;
             }
             state.bytes += entry.bytes;
@@ -477,13 +480,13 @@ impl ResultCache {
     pub fn stats(&self) -> ResultCacheStats {
         let state = self.state.lock();
         ResultCacheStats {
-            lookups: self.lookups.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
-            merged: self.merged.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed), // relaxed: stats snapshot read
+            hits: self.hits.load(Ordering::Relaxed),       // relaxed: stats snapshot read
+            prefix_hits: self.prefix_hits.load(Ordering::Relaxed), // relaxed: stats snapshot read
+            merged: self.merged.load(Ordering::Relaxed),   // relaxed: stats snapshot read
+            misses: self.misses.load(Ordering::Relaxed),   // relaxed: stats snapshot read
+            evictions: self.evictions.load(Ordering::Relaxed), // relaxed: stats snapshot read
+            uncacheable: self.uncacheable.load(Ordering::Relaxed), // relaxed: stats snapshot read
             entries: state.entries.len(),
             bytes: state.bytes,
             byte_budget: self.byte_budget,

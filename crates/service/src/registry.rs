@@ -21,6 +21,9 @@
 //! while the (potentially slow) load runs — the write lock is held only
 //! for the pointer swap.
 
+// HashMap here never leaks iteration order into output: model map is key-looked-up only; /models output sorts explicitly (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use crate::demo_queries;
 use crate::lru::SegmentRef;
 use parking_lot::{Mutex, RwLock};

@@ -194,7 +194,13 @@ struct FlightGuard<'a> {
 
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
-        let mut busy = self.flights.busy.lock().expect("flights lock");
+        // Recover from poison: the claim must be released even if another
+        // holder panicked, or every later request on this key hangs.
+        let mut busy = self
+            .flights
+            .busy
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         busy.remove(&self.key);
         drop(busy);
         self.flights.done.notify_all();
@@ -210,7 +216,12 @@ impl Flights {
     /// caller should re-check the result cache before falling back to its
     /// own compute.
     fn claim(&self, key: &CacheKey) -> Option<FlightGuard<'_>> {
-        let mut busy = self.busy.lock().expect("flights lock");
+        // Poison recovery: the busy set stays coherent because FlightGuard
+        // releases claims on unwind; keep admitting singleflights.
+        let mut busy = self
+            .busy
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if busy.insert(key.clone()) {
             return Some(FlightGuard {
                 flights: self,
@@ -226,7 +237,7 @@ impl Flights {
             busy = self
                 .done
                 .wait_timeout(busy, deadline - now)
-                .expect("flights lock")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .0;
         }
         None
@@ -372,6 +383,9 @@ const COMPACT_POLL: Duration = Duration::from_millis(15);
 /// injected fault) discards its partial rewrite and never takes the
 /// serving path down — the swap lock is not even held while the rewrite
 /// runs, so nothing is poisoned and the next scan starts clean.
+// thread::sleep allowed: the compactor is a dedicated background thread
+// whose whole job is to wake periodically (see clippy.toml).
+#[allow(clippy::disallowed_methods)]
 fn compactor_loop(shared: &Shared) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         std::thread::sleep(COMPACT_POLL);
@@ -433,7 +447,12 @@ fn compactor_loop(shared: &Shared) {
 /// Pops the next admitted request, or `None` when shutting down and the
 /// queue has drained (workers finish already-admitted work first).
 fn next_job(shared: &Shared) -> Option<Job> {
-    let mut jobs = shared.jobs.lock().expect("jobs lock");
+    // Poison recovery: a panicking sibling worker must not take the whole
+    // pool down with it — the queue itself is still well-formed.
+    let mut jobs = shared
+        .jobs
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     loop {
         if let Some(job) = jobs.pop_front() {
             return Some(job);
@@ -441,7 +460,10 @@ fn next_job(shared: &Shared) -> Option<Job> {
         if shared.shutdown.load(Ordering::SeqCst) {
             return None;
         }
-        jobs = shared.available.wait(jobs).expect("jobs lock");
+        jobs = shared
+            .available
+            .wait(jobs)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
     }
 }
 
@@ -466,7 +488,9 @@ fn worker_loop(shared: &Shared) {
         shared
             .completions
             .lock()
-            .expect("completions lock")
+            // Poison recovery: deliver this response even if another
+            // worker panicked while pushing its own.
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(Completion {
                 slot: job.slot,
                 gen: job.gen,
@@ -520,9 +544,9 @@ fn model_not_found_v2(model: &str) -> Response {
 
 fn count_response(shared: &Shared, response: &Response) {
     if response.status >= 500 {
-        shared.stats.server_errors.fetch_add(1, Ordering::Relaxed);
+        shared.stats.server_errors.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
     } else if response.status >= 400 {
-        shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+        shared.stats.client_errors.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
     }
 }
 
@@ -531,6 +555,8 @@ fn count_response(shared: &Shared, response: &Response) {
 /// spans on `trace`; the rest are covered by the worker's whole-handler
 /// execute span.
 fn route(shared: &Shared, request: &Request, trace: &mut TraceBuilder) -> (Response, bool) {
+    // xlint-endpoints: begin(route) — the routing match is the ground truth
+    // for the endpoint inventory; add new routes inside the markers.
     match (request.method.as_str(), request.path.as_str()) {
         // Liveness: answered inline from nothing but the shutdown flag — no
         // model, cache or registry is touched, so it stays cheap and honest
@@ -548,11 +574,11 @@ fn route(shared: &Shared, request: &Request, trace: &mut TraceBuilder) -> (Respo
         ("GET", "/metrics") => (handle_metrics(shared), false),
         ("POST", "/admin/reload") => (handle_reload(shared, &request.body), false),
         ("POST", "/admin/shutdown") => {
-            shared.stats.admin.fetch_add(1, Ordering::Relaxed);
+            shared.stats.admin.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
             (Response::json(200, "{\"shutting_down\":true}"), true)
         }
         ("POST", "/debug/sleep") if shared.debug_endpoints => {
-            shared.stats.debug.fetch_add(1, Ordering::Relaxed);
+            shared.stats.debug.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
             (handle_debug_sleep(&request.body), false)
         }
         ("GET", "/debug/traces") if shared.debug_endpoints => (handle_traces(shared), false),
@@ -567,6 +593,7 @@ fn route(shared: &Shared, request: &Request, trace: &mut TraceBuilder) -> (Respo
             false,
         ),
     }
+    // xlint-endpoints: end(route)
 }
 
 /// `GET /metrics`: the Prometheus text exposition (see [`crate::metrics`]).
@@ -610,14 +637,14 @@ fn handle_metrics(shared: &Shared) -> Response {
         compact_after: shared.compact_after,
         traces_recorded: shared.traces.recorded(),
     });
-    shared.stats.metrics.fetch_add(1, Ordering::Relaxed);
+    shared.stats.metrics.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
     Response::text(200, text)
 }
 
 /// `GET /debug/traces` (only with [`ServerConfig::debug_endpoints`]): the
 /// recent-trace ring and the slow-trace reservoir as JSON.
 fn handle_traces(shared: &Shared) -> Response {
-    shared.stats.debug.fetch_add(1, Ordering::Relaxed);
+    shared.stats.debug.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
     Response::json(200, shared.traces.to_json().to_string())
 }
 
@@ -626,6 +653,9 @@ fn handle_traces(shared: &Shared) -> Response {
 /// deterministic way for tests and the loadgen overload scenario to
 /// saturate the pool and fill the admission queue without depending on
 /// engine timing.
+// thread::sleep allowed: occupying the worker is this endpoint's purpose
+// (see clippy.toml).
+#[allow(clippy::disallowed_methods)]
 fn handle_debug_sleep(body: &[u8]) -> Response {
     use xinsight_core::json::Json;
     let ms = std::str::from_utf8(body)
@@ -728,7 +758,7 @@ fn handle_explain(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> Res
     let outcome = lookup_or_promote(shared, &model, &key);
     if let CacheOutcome::Hit(hit) = outcome {
         trace.span(Stage::CacheLookup, lookup_started, Instant::now(), "hit");
-        shared.stats.explain.fetch_add(1, Ordering::Relaxed);
+        shared.stats.explain.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
         return serialized(trace, || {
             Response::json(200, wire::explain_response(&model.id, true, &hit))
         });
@@ -753,7 +783,7 @@ fn handle_explain(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> Res
                     Instant::now(),
                     "hit,flight=follower",
                 );
-                shared.stats.explain.fetch_add(1, Ordering::Relaxed);
+                shared.stats.explain.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
                 return serialized(trace, || {
                     Response::json(200, wire::explain_response(&model.id, true, &hit))
                 });
@@ -792,7 +822,7 @@ fn handle_explain(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> Res
                 model.dict_len,
                 Arc::clone(&json),
             );
-            shared.stats.explain.fetch_add(1, Ordering::Relaxed);
+            shared.stats.explain.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
             let response = Response::json(200, wire::explain_response(&model.id, false, &json));
             trace.span(Stage::Serialize, serialize_started, Instant::now(), "");
             response
@@ -892,11 +922,11 @@ fn handle_explain_batch(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) 
         .into_iter()
         .map(|r| r.expect("every slot filled"))
         .collect();
-    shared.stats.explain_batch.fetch_add(1, Ordering::Relaxed);
+    shared.stats.explain_batch.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
     shared
         .stats
         .batch_queries
-        .fetch_add(results.len() as u64, Ordering::Relaxed);
+        .fetch_add(results.len() as u64, Ordering::Relaxed); // relaxed: monotonic stats counter
     let response = Response::json(200, wire::explain_batch_response(&model.id, &results));
     trace.span(Stage::Serialize, serialize_started, Instant::now(), "");
     response
@@ -922,9 +952,9 @@ fn handle_explain_v2(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> 
     let outcome = lookup_or_promote(shared, &model, &key);
     if let CacheOutcome::Hit(hit) = outcome {
         trace.span(Stage::CacheLookup, lookup_started, Instant::now(), "hit");
-        shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed);
-        // A cached result was not recomputed, so there is no fresh
-        // provenance to report — `cached: true` *is* the provenance.
+        shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
+                                                                 // A cached result was not recomputed, so there is no fresh
+                                                                 // provenance to report — `cached: true` *is* the provenance.
         let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
         return serialized(trace, || {
             Response::json(
@@ -953,7 +983,7 @@ fn handle_explain_v2(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> 
                     Instant::now(),
                     "hit,flight=follower",
                 );
-                shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed);
+                shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
                 let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
                 return serialized(trace, || {
                     Response::json(
@@ -1020,9 +1050,9 @@ fn handle_explain_v2(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> 
                     Arc::clone(&result),
                 );
             }
-            shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed);
-            // Handler wall-clock on both paths (parse + lookup + engine),
-            // so cached and uncached `elapsed_us` are comparable.
+            shared.stats.explain_v2.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
+                                                                     // Handler wall-clock on both paths (parse + lookup + engine),
+                                                                     // so cached and uncached `elapsed_us` are comparable.
             let elapsed_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
             let http_response = Response::json(
                 200,
@@ -1145,11 +1175,11 @@ fn handle_explain_batch_v2(shared: &Shared, body: &[u8], trace: &mut TraceBuilde
     shared
         .stats
         .explain_batch_v2
-        .fetch_add(1, Ordering::Relaxed);
+        .fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
     shared
         .stats
         .batch_queries
-        .fetch_add(results.len() as u64, Ordering::Relaxed);
+        .fetch_add(results.len() as u64, Ordering::Relaxed); // relaxed: monotonic stats counter
     let http_response = Response::json(200, wire::explain_batch_v2_response(&model.id, &results));
     trace.span(Stage::Serialize, serialize_started, Instant::now(), "");
     http_response
@@ -1196,7 +1226,7 @@ fn handle_ingest_v2(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> R
             // now a proper prefix of the store — follow-up lookups promote
             // them (when the new rows cannot move the answer) or merge
             // their partials with the new segment's.
-            shared.stats.ingest_v2.fetch_add(1, Ordering::Relaxed);
+            shared.stats.ingest_v2.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
             let store = loaded.engine.data();
             // `ingested` counts rows actually sealed into the store — the
             // new segment's size; rows the engine's preprocessing dropped
@@ -1277,7 +1307,7 @@ fn handle_models(shared: &Shared) -> Response {
             ])
         })
         .collect();
-    shared.stats.models.fetch_add(1, Ordering::Relaxed);
+    shared.stats.models.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
     Response::json(200, Json::Arr(models).to_string())
 }
 
@@ -1324,7 +1354,7 @@ fn handle_stats(shared: &Shared) -> Response {
         workers: shared.workers,
         compact_after: shared.compact_after,
     });
-    shared.stats.stats.fetch_add(1, Ordering::Relaxed);
+    shared.stats.stats.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
     Response::json(200, doc.to_string())
 }
 
@@ -1337,7 +1367,7 @@ fn handle_reload(shared: &Shared, body: &[u8]) -> Response {
         Ok(loaded) => {
             // Answers may change under the new model: drop its cached results.
             shared.cache.invalidate_model(&id);
-            shared.stats.admin.fetch_add(1, Ordering::Relaxed);
+            shared.stats.admin.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
             Response::json(
                 200,
                 format!(
@@ -1352,6 +1382,8 @@ fn handle_reload(shared: &Shared, body: &[u8]) -> Response {
 
 #[cfg(test)]
 mod tests {
+    // thread::sleep allowed: tests pace real sockets and drain windows (see clippy.toml).
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use crate::client::HttpClient;
     use xinsight_core::json::Json;

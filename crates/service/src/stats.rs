@@ -78,19 +78,22 @@ impl LatencyHistogram {
     /// Records one latency sample.
     pub fn record(&self, latency: Duration) {
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        // relaxed: each cell is an independent monotonic counter; readers
+        // snapshot without a lock and tolerate torn cross-cell views.
         self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed); // relaxed: see above
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // relaxed: monotonic stats counter
     }
 
     /// Mean latency in microseconds (`0` before any sample).
     pub fn mean_us(&self) -> u64 {
         self.sum_us
+            // relaxed: stats read; sum/count may skew, the mean is advisory
             .load(Ordering::Relaxed)
             .checked_div(self.count())
             .unwrap_or(0)
@@ -98,7 +101,7 @@ impl LatencyHistogram {
 
     /// Sum of all recorded samples, in microseconds.
     pub fn sum_us(&self) -> u64 {
-        self.sum_us.load(Ordering::Relaxed)
+        self.sum_us.load(Ordering::Relaxed) // relaxed: monotonic stats counter
     }
 
     /// The cumulative count of samples `<= bound_us`, reported against the
@@ -112,6 +115,7 @@ impl LatencyHistogram {
         let index = bucket_index(bound_us);
         let mut seen = 0u64;
         for bucket in self.buckets.iter().take(index + 1) {
+            // relaxed: advisory histogram read; cells may skew slightly
             seen += bucket.load(Ordering::Relaxed);
         }
         (bucket_upper_us(index), seen)
@@ -127,6 +131,7 @@ impl LatencyHistogram {
         let rank = ((count as f64) * quantile.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
+            // relaxed: advisory histogram read; cells may skew slightly
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
                 return bucket_upper_us(i);
@@ -299,12 +304,16 @@ impl ServerStats {
         segments_after: usize,
         bytes_reclaimed: usize,
     ) {
+        // relaxed: compaction counters/gauges feed /stats only; the single
+        // compactor thread is the only writer.
         self.compactions.fetch_add(1, Ordering::Relaxed);
         self.compaction_last_before
             .store(segments_before as u64, Ordering::Relaxed);
         self.compaction_last_after
+            // relaxed: see above — single-writer compaction gauge
             .store(segments_after as u64, Ordering::Relaxed);
         self.compaction_bytes_reclaimed
+            // relaxed: see above — monotonic compaction counter
             .fetch_add(bytes_reclaimed as u64, Ordering::Relaxed);
     }
 
@@ -320,6 +329,8 @@ impl ServerStats {
 
     /// Total requests that reached a handler (everything but `503`s).
     pub fn requests_total(&self) -> u64 {
+        // relaxed: a /stats aggregate over independent counters; a torn
+        // cross-counter view is inherent and harmless.
         self.explain.load(Ordering::Relaxed)
             + self.explain_batch.load(Ordering::Relaxed)
             + self.explain_v2.load(Ordering::Relaxed)
@@ -354,6 +365,7 @@ impl ServerStats {
         } else {
             0.0
         };
+        // relaxed: /stats snapshot reads of independent counters
         let load = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
         Json::Obj(vec![
             ("uptime_s".to_owned(), Json::Num(uptime)),

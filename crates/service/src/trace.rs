@@ -201,6 +201,7 @@ impl TraceBuilder {
             epoch,
             endpoint: endpoint.into(),
             status: 0,
+            // xlint: allow(no-alloc-hot-path, one bounded spans buffer per request sized at admission)
             spans: Vec::with_capacity(Stage::ALL.len()),
         }
     }
@@ -259,6 +260,7 @@ fn us(duration: Duration) -> u64 {
 /// path; unknown paths (which will 404 anyway) fall back to an owned
 /// `"METHOD path"`.
 pub fn endpoint_label(method: &str, path: &str) -> Cow<'static, str> {
+    // xlint-endpoints: begin(trace-labels)
     Cow::Borrowed(match (method, path) {
         ("GET", "/healthz") => "GET /healthz",
         ("POST", "/explain") => "POST /explain",
@@ -273,8 +275,10 @@ pub fn endpoint_label(method: &str, path: &str) -> Cow<'static, str> {
         ("POST", "/admin/shutdown") => "POST /admin/shutdown",
         ("POST", "/debug/sleep") => "POST /debug/sleep",
         ("GET", "/debug/traces") => "GET /debug/traces",
+        // xlint: allow(no-alloc-hot-path, unknown routes 404 anyway — this arm is off the served path)
         _ => return Cow::Owned(format!("{method} {path}")),
     })
+    // xlint-endpoints: end(trace-labels)
 }
 
 #[derive(Debug, Default)]
@@ -321,11 +325,12 @@ impl TraceStore {
 
     /// Total traces ever published (ring evictions included).
     pub fn recorded(&self) -> u64 {
-        self.recorded.load(Ordering::Relaxed)
+        self.recorded.load(Ordering::Relaxed) // relaxed: monotonic stats counter
     }
 
     /// Allocates the next trace id (process-unique, starting at 1).
     pub fn next_id(&self) -> u64 {
+        // relaxed: uniqueness only needs atomicity, not ordering.
         self.next_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -334,9 +339,10 @@ impl TraceStore {
     /// entries past each bound.
     pub fn publish(&self, trace: Trace) {
         let slow = trace.total_us >= us(self.slow_threshold);
-        self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.recorded.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
         let mut state = self.state.lock();
         if slow {
+            // xlint: allow(no-alloc-hot-path, slow traces are rare by definition — the clone keeps the ring move-only)
             state.slow.push_back(trace.clone());
             while state.slow.len() > SLOW_CAPACITY {
                 state.slow.pop_front();

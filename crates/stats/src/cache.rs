@@ -1,5 +1,8 @@
 //! Memoisation of repeated CI queries.
 
+// HashMap here never leaks iteration order into output: CI-test memo table; key-looked-up only (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use crate::ci_test::{CiOutcome, CiTest, IndexedCiTest};
 use crate::small_vec::SmallVec;
 use parking_lot::Mutex;
@@ -115,12 +118,12 @@ impl<T: CiTest> CachedCiTest<T> {
 
     /// Number of cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed) // relaxed: monotonic cache counter
     }
 
     /// Number of cache misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed) // relaxed: monotonic cache counter
     }
 
     /// A consistent-enough snapshot of the counters and the entry count
@@ -156,10 +159,10 @@ impl<T: CiTest> CachedCiTest<T> {
         run: impl FnOnce() -> Result<CiOutcome>,
     ) -> Result<CiOutcome> {
         if let Some(&hit) = self.state.lock().map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache counter
             return Ok(hit);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache counter
         let outcome = run()?;
         self.state.lock().map.insert(key, outcome);
         Ok(outcome)
@@ -176,12 +179,12 @@ impl<T: CiTest> CiTest for CachedCiTest<T> {
             let zi: Vec<u32> = z.iter().map(|n| state.intern(n)).collect();
             let key = Self::key_from_ids(xi, yi, &zi);
             if let Some(&hit) = state.map.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache counter
                 return Ok(hit);
             }
             key
         };
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic cache counter
         let outcome = self.inner.test(data, x, y, z)?;
         self.state.lock().map.insert(key, outcome);
         Ok(outcome)

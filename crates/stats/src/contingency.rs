@@ -1,5 +1,8 @@
 //! Stratified contingency tables over dimension columns.
 
+// HashMap here never leaks iteration order into output: cell counts keyed by code pair; folded, never iterated to output (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use crate::view::DiscoveryView;
 use std::collections::HashMap;
 use xinsight_data::{DataError, Dataset, Result};

@@ -7,6 +7,9 @@
 //! the `smallvec` crate's core idea in the handful of lines this workspace
 //! needs (the workspace builds offline; external crates are not available).
 
+// HashMap here never leaks iteration order into output: spill map of a counting structure; callers sort on read-out (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use std::hash::{Hash, Hasher};
 
 /// An inline-first vector of `Copy` elements: up to `N` elements live in the

@@ -1,0 +1,119 @@
+//! The `xlint` CLI.
+//!
+//! ```text
+//! xlint [--root DIR] [--config FILE] [--rules a,b,…] [--format text|json] [--deny]
+//! ```
+//!
+//! Report mode (default) prints findings and exits 0; `--deny` exits 1
+//! when any finding survives — that is how `scripts/verify.sh` runs it.
+//! Exit code 2 means xlint itself could not run (bad config, I/O error).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xlint::config::{Config, ALL_RULES};
+use xlint::{findings_to_json, run, Workspace};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    rules: Option<Vec<String>>,
+    json: bool,
+    deny: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        rules: None,
+        json: false,
+        deny: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => args.root = argv.next().ok_or("--root needs a directory")?.into(),
+            "--config" => args.config = Some(argv.next().ok_or("--config needs a file")?.into()),
+            "--rules" => {
+                let list = argv.next().ok_or("--rules needs a comma-separated list")?;
+                args.rules = Some(list.split(',').map(|r| r.trim().to_owned()).collect());
+            }
+            "--format" => match argv.next().as_deref() {
+                Some("text") => args.json = false,
+                Some("json") => args.json = true,
+                other => return Err(format!("--format must be text or json, got {other:?}")),
+            },
+            "--deny" => args.deny = true,
+            "--help" | "-h" => {
+                println!(
+                    "xlint — workspace invariant checker\n\n\
+                     USAGE: xlint [--root DIR] [--config FILE] [--rules a,b] [--format text|json] [--deny]\n\n\
+                     Rules: {}\n\n\
+                     --deny     exit 1 when findings remain (verify.sh mode)\n\
+                     --rules    run only the listed rules\n\
+                     --config   defaults to <root>/xlint.toml\n\
+                     --format   text (default) or json",
+                    ALL_RULES.join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match try_main() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("xlint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn try_main() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("xlint.toml"));
+    let mut config = Config::load(&config_path)?;
+    if let Some(rules) = &args.rules {
+        for rule in rules {
+            if !ALL_RULES.contains(&rule.as_str()) {
+                return Err(format!(
+                    "unknown rule `{rule}` (known: {})",
+                    ALL_RULES.join(", ")
+                ));
+            }
+        }
+        config.rules = rules.clone();
+    }
+
+    let start = std::time::Instant::now();
+    let workspace =
+        Workspace::load(&args.root, &config).map_err(|e| format!("walking workspace: {e}"))?;
+    let findings = run(&config, &workspace);
+    let elapsed = start.elapsed();
+
+    if args.json {
+        println!("{}", findings_to_json(&findings));
+    } else {
+        for finding in &findings {
+            println!("{}", finding.render());
+        }
+        eprintln!(
+            "xlint: {} file(s), {} finding(s), {} rule(s), {:.2}s",
+            workspace.files.len(),
+            findings.len(),
+            config.rules.len(),
+            elapsed.as_secs_f64(),
+        );
+    }
+    if args.deny && !findings.is_empty() {
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,114 @@
+//! The two comment-discipline rules: `relaxed-ordering-justified` and
+//! `unsafe-safety-comment`.  Both demand that a dangerous token carries an
+//! adjacent human-written justification — the cheapest possible proof
+//! obligation, checked mechanically so it can never rot silently.
+
+use crate::config::Config;
+use crate::lexer::TokenKind;
+use crate::rules::{next_code, prev_code};
+use crate::scan::SourceFile;
+use crate::{Finding, Workspace};
+
+/// `relaxed-ordering-justified`: every `Ordering::Relaxed` needs an
+/// adjacent `// relaxed: <why>` comment explaining why relaxed atomics are
+/// sound at that site.
+pub fn check_relaxed(config: &Config, workspace: &Workspace) -> Vec<Finding> {
+    const RULE: &str = "relaxed-ordering-justified";
+    let mut findings = Vec::new();
+    for file in &workspace.files {
+        for idx in 0..file.tokens.len() {
+            if !is_relaxed_ordering(file, idx) {
+                continue;
+            }
+            if !config.check_tests && file.in_test_span(idx) {
+                continue;
+            }
+            if stmt_is_use(file, idx) {
+                continue;
+            }
+            if file.has_adjacent_comment(idx, "relaxed:", 0) || file.suppressed(RULE, idx) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: RULE.to_owned(),
+                file: file.display_path(),
+                line: file.tokens[idx].line,
+                message: "`Ordering::Relaxed` without an adjacent `// relaxed: <why>` \
+                          justification — say why no ordering edge is needed here"
+                    .to_owned(),
+            });
+        }
+    }
+    findings
+}
+
+/// `unsafe-safety-comment`: every `unsafe` block/impl/fn needs an adjacent
+/// `// SAFETY:` comment stating the invariant that makes it sound.
+pub fn check_unsafe(config: &Config, workspace: &Workspace) -> Vec<Finding> {
+    const RULE: &str = "unsafe-safety-comment";
+    let mut findings = Vec::new();
+    for file in &workspace.files {
+        for idx in 0..file.tokens.len() {
+            let token = &file.tokens[idx];
+            if !(token.kind == TokenKind::Ident && token.text == "unsafe") {
+                continue;
+            }
+            if !config.check_tests && file.in_test_span(idx) {
+                continue;
+            }
+            // `unsafe` inside a string (already excluded by kind) or in an
+            // `extern` declaration list still warrants a comment; the only
+            // shape we skip is `unsafe` as part of `fn` *signatures inside
+            // trait declarations* — which don't occur here.
+            if file.has_adjacent_comment(idx, "SAFETY:", 1) || file.suppressed(RULE, idx) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: RULE.to_owned(),
+                file: file.display_path(),
+                line: token.line,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment — state the \
+                          invariant that makes this sound"
+                    .to_owned(),
+            });
+        }
+    }
+    findings
+}
+
+/// Matches the `Relaxed` of `Ordering::Relaxed` (token sequence
+/// `Ordering` `:` `:` `Relaxed`).
+fn is_relaxed_ordering(file: &SourceFile, idx: usize) -> bool {
+    let tokens = &file.tokens;
+    if !(tokens[idx].kind == TokenKind::Ident && tokens[idx].text == "Relaxed") {
+        return false;
+    }
+    let Some(c2) = prev_code(tokens, idx) else {
+        return false;
+    };
+    let Some(c1) = prev_code(tokens, c2) else {
+        return false;
+    };
+    let Some(ord) = prev_code(tokens, c1) else {
+        return false;
+    };
+    tokens[c2].is_punct(':')
+        && tokens[c1].is_punct(':')
+        && tokens[ord].kind == TokenKind::Ident
+        && tokens[ord].text == "Ordering"
+}
+
+/// Whether the statement containing `idx` is a `use` import (importing
+/// `Ordering::Relaxed` is not an atomic access).
+fn stmt_is_use(file: &SourceFile, idx: usize) -> bool {
+    let mut boundary = None;
+    for i in (0..idx).rev() {
+        let t = &file.tokens[i];
+        if t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            boundary = Some(i);
+            break;
+        }
+    }
+    next_code(&file.tokens, boundary.map_or(0, |b| b + 1))
+        .is_some_and(|first| file.tokens[first].is_ident("use"))
+}

@@ -1,0 +1,210 @@
+//! `endpoint-inventory`: the one rule that spans files — every region
+//! marked `xlint-endpoints: begin(name)` … `end(name)` must name exactly
+//! the canonical endpoint set from `xlint.toml` (modulo per-source
+//! exemptions).  Rust sources are read from their token streams; prose
+//! files (README) are read as text lines.  `slugs`-style sources (metrics
+//! counter labels) are compared through the `[endpoints.slugs]` path→slug
+//! map, since several paths may share one counter.
+
+use crate::config::{Config, EndpointSource, EndpointStyle, EndpointsConfig};
+use crate::lexer::TokenKind;
+use crate::{Finding, Workspace};
+use std::collections::BTreeSet;
+
+const RULE: &str = "endpoint-inventory";
+
+/// Cross-checks every configured endpoint source region.
+pub fn check(config: &Config, workspace: &Workspace) -> Vec<Finding> {
+    let ep = &config.endpoints;
+    if ep.canonical.is_empty() || ep.sources.is_empty() {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for source in &ep.sources {
+        match collect(workspace, source) {
+            Err(finding) => findings.push(finding),
+            Ok((line, found)) => compare(ep, source, line, &found, &mut findings),
+        }
+    }
+    findings
+}
+
+/// Gathers the endpoint names a source region mentions, plus the region's
+/// starting line for diagnostics.
+fn collect(
+    workspace: &Workspace,
+    source: &EndpointSource,
+) -> Result<(u32, BTreeSet<String>), Finding> {
+    let fail = |line: u32, message: String| Finding {
+        rule: RULE.to_owned(),
+        file: source.file.clone(),
+        line,
+        message,
+    };
+    if source.file.ends_with(".rs") {
+        let file = workspace.file_by_suffix(&source.file).ok_or_else(|| {
+            fail(
+                1,
+                format!("endpoint source `{}` not found in workspace", source.file),
+            )
+        })?;
+        let region = file.marker_region(&source.marker).ok_or_else(|| {
+            fail(
+                1,
+                format!(
+                    "marker region `xlint-endpoints: begin({})` … `end({})` not found",
+                    source.marker, source.marker
+                ),
+            )
+        })?;
+        let line = file.tokens[region.start - 1].line;
+        let mut found = BTreeSet::new();
+        for token in &file.tokens[region] {
+            match source.style {
+                EndpointStyle::Paths => {
+                    if token.kind == TokenKind::Str && token.text.starts_with('/') {
+                        found.insert(token.text.clone());
+                    } else if token.is_comment() {
+                        found.extend(path_words(&token.text));
+                    }
+                }
+                EndpointStyle::Slugs => {
+                    if token.kind == TokenKind::Str {
+                        found.insert(token.text.clone());
+                    }
+                }
+            }
+        }
+        Ok((line, found))
+    } else {
+        let path = workspace.root.join(&source.file);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| fail(1, format!("cannot read endpoint source: {e}")))?;
+        let begin_tag = format!("xlint-endpoints: begin({})", source.marker);
+        let end_tag = format!("xlint-endpoints: end({})", source.marker);
+        let mut found = BTreeSet::new();
+        let mut begin_line = None;
+        for (i, line) in text.lines().enumerate() {
+            if begin_line.is_none() {
+                if line.contains(&begin_tag) {
+                    begin_line = Some(i as u32 + 1);
+                }
+                continue;
+            }
+            if line.contains(&end_tag) {
+                return Ok((begin_line.unwrap_or(1), found));
+            }
+            found.extend(path_words(line));
+        }
+        match begin_line {
+            Some(line) => Err(fail(line, format!("`{end_tag}` marker missing"))),
+            None => Err(fail(1, format!("`{begin_tag}` marker missing"))),
+        }
+    }
+}
+
+fn compare(
+    ep: &EndpointsConfig,
+    source: &EndpointSource,
+    line: u32,
+    found: &BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+) {
+    let fail = |message: String| Finding {
+        rule: RULE.to_owned(),
+        file: source.file.clone(),
+        line,
+        message,
+    };
+    let covered: Vec<&String> = ep
+        .canonical
+        .iter()
+        .filter(|p| !source.exempt.contains(p))
+        .collect();
+    match source.style {
+        EndpointStyle::Paths => {
+            let missing: Vec<&str> = covered
+                .iter()
+                .filter(|p| !found.contains(p.as_str()))
+                .map(|p| p.as_str())
+                .collect();
+            if !missing.is_empty() {
+                findings.push(fail(format!(
+                    "region `{}` is missing endpoint(s): {}",
+                    source.marker,
+                    missing.join(", ")
+                )));
+            }
+            let extra: Vec<&str> = found
+                .iter()
+                .filter(|p| !ep.canonical.contains(p))
+                .map(String::as_str)
+                .collect();
+            if !extra.is_empty() {
+                findings.push(fail(format!(
+                    "region `{}` names endpoint(s) outside the canonical set: {} — \
+                     add them to [endpoints] canonical in xlint.toml or remove them",
+                    source.marker,
+                    extra.join(", ")
+                )));
+            }
+        }
+        EndpointStyle::Slugs => {
+            let mut expected = BTreeSet::new();
+            for path in &covered {
+                match ep.slugs.get(path.as_str()) {
+                    Some(slug) => {
+                        expected.insert(slug.as_str());
+                    }
+                    None => findings.push(fail(format!(
+                        "canonical endpoint `{path}` has no [endpoints.slugs] mapping"
+                    ))),
+                }
+            }
+            let missing: Vec<&str> = expected
+                .iter()
+                .filter(|s| !found.contains(**s))
+                .copied()
+                .collect();
+            if !missing.is_empty() {
+                findings.push(fail(format!(
+                    "region `{}` is missing counter slug(s): {}",
+                    source.marker,
+                    missing.join(", ")
+                )));
+            }
+            let known: BTreeSet<&str> = ep.slugs.values().map(String::as_str).collect();
+            let extra: Vec<&str> = found
+                .iter()
+                .map(String::as_str)
+                .filter(|s| !known.contains(s))
+                .collect();
+            if !extra.is_empty() {
+                findings.push(fail(format!(
+                    "region `{}` names slug(s) with no path mapping: {}",
+                    source.marker,
+                    extra.join(", ")
+                )));
+            }
+        }
+    }
+}
+
+/// Extracts `/path/like` words from free text: maximal runs of
+/// `[A-Za-z0-9_/-]` that start with `/` followed by an alphanumeric.
+fn path_words(text: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut current = String::new();
+    for c in text.chars().chain(std::iter::once(' ')) {
+        if c.is_ascii_alphanumeric() || matches!(c, '/' | '_' | '-') {
+            current.push(c);
+        } else {
+            let bytes = current.as_bytes();
+            if bytes.len() > 1 && bytes[0] == b'/' && bytes[1].is_ascii_alphanumeric() {
+                words.push(current.clone());
+            }
+            current.clear();
+        }
+    }
+    words
+}

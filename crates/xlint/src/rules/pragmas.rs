@@ -1,0 +1,52 @@
+//! Pragma validation: `// xlint: allow(rule, reason)` must name a known
+//! rule and carry a non-empty reason.  A pragma that fails either check is
+//! reported (and never suppresses anything) — silent escape hatches are
+//! exactly what this tool exists to prevent.
+
+use crate::config::{Config, ALL_RULES};
+use crate::{Finding, Workspace};
+
+/// Reports malformed pragmas across the workspace.
+pub fn check(config: &Config, workspace: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &workspace.files {
+        for pragma in &file.pragmas {
+            if !config.check_tests {
+                // A pragma inside a test module suppresses nothing the
+                // rules will look at; don't demand paperwork for it.
+                let in_test = file
+                    .tokens
+                    .iter()
+                    .position(|t| t.is_comment() && t.line == pragma.line)
+                    .is_some_and(|idx| file.in_test_span(idx));
+                if in_test {
+                    continue;
+                }
+            }
+            if !ALL_RULES.contains(&pragma.rule.as_str()) {
+                findings.push(Finding {
+                    rule: "pragma".to_owned(),
+                    file: file.display_path(),
+                    line: pragma.line,
+                    message: format!(
+                        "pragma names unknown rule `{}` (known: {})",
+                        pragma.rule,
+                        ALL_RULES.join(", ")
+                    ),
+                });
+            } else if pragma.reason.is_none() {
+                findings.push(Finding {
+                    rule: "pragma".to_owned(),
+                    file: file.display_path(),
+                    line: pragma.line,
+                    message: format!(
+                        "pragma for `{}` has no reason — write `// xlint: allow({}, <why>)`; \
+                         a reasonless pragma suppresses nothing",
+                        pragma.rule, pragma.rule
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,445 @@
+//! A hand-rolled TOML subset parser for `xlint.toml` — the same
+//! offline-shim spirit as `vendor/`: no `toml` crate, just the grammar the
+//! config actually uses.
+//!
+//! Supported: `[table.paths]`, `[[arrays.of.tables]]`, bare and quoted
+//! keys, string / integer / boolean values, arrays of strings, and `#`
+//! comments.  Unsupported (and rejected loudly): inline tables, dates,
+//! floats, multi-line strings — the config never needs them, and a loud
+//! error beats a silent misparse of an invariant declaration.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array (the config only uses arrays of strings, but the parser
+    /// keeps whatever values appeared).
+    Arr(Vec<Value>),
+    /// A nested table (`[a.b]` or implicit parents).
+    Table(Table),
+    /// An array of tables (`[[a.b]]`).
+    TableArr(Vec<Table>),
+}
+
+/// A TOML table: ordered map from key to [`Value`].
+pub type Table = BTreeMap<String, Value>;
+
+/// A parse failure with its 1-indexed line.
+#[derive(Debug)]
+pub struct TomlError {
+    /// 1-indexed line of the offending input.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err<T>(line: u32, message: impl Into<String>) -> Result<T, TomlError> {
+    Err(TomlError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a TOML document into its root [`Table`].
+pub fn parse(source: &str) -> Result<Table, TomlError> {
+    let mut root = Table::new();
+    // Path of table names the current key-value lines land in; the final
+    // bool says whether the target is the last element of a table array.
+    let mut current: Vec<String> = Vec::new();
+    let mut current_is_array = false;
+    let lines: Vec<&str> = source.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let line_no = (i + 1) as u32;
+        let mut line = strip_comment(lines[i]).trim().to_owned();
+        i += 1;
+        if line.is_empty() {
+            continue;
+        }
+        // Multi-line arrays: keep consuming lines until brackets balance.
+        if find_unquoted(&line, '=').is_some() {
+            while bracket_balance(&line) > 0 && i < lines.len() {
+                line.push(' ');
+                line.push_str(strip_comment(lines[i]).trim());
+                i += 1;
+            }
+        }
+        let line = line.as_str();
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(path) = rest.strip_suffix("]]") else {
+                return err(line_no, "unterminated [[table]] header");
+            };
+            current = split_path(path, line_no)?;
+            current_is_array = true;
+            let table = navigate(&mut root, &current, true, line_no)?;
+            if let Value::TableArr(items) = table {
+                items.push(Table::new());
+            }
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let Some(path) = rest.strip_suffix(']') else {
+                return err(line_no, "unterminated [table] header");
+            };
+            current = split_path(path, line_no)?;
+            current_is_array = false;
+            navigate(&mut root, &current, false, line_no)?;
+        } else {
+            let Some(eq) = find_unquoted(line, '=') else {
+                return err(line_no, format!("expected `key = value`, got `{line}`"));
+            };
+            let key = parse_key(line[..eq].trim(), line_no)?;
+            let value = parse_value(line[eq + 1..].trim(), line_no)?;
+            let target = if current.is_empty() {
+                &mut root
+            } else {
+                match navigate(&mut root, &current, current_is_array, line_no)? {
+                    Value::Table(t) => t,
+                    Value::TableArr(items) => match items.last_mut() {
+                        Some(last) => last,
+                        None => return err(line_no, "key before any [[table]] entry"),
+                    },
+                    _ => return err(line_no, "key path collides with a value"),
+                }
+            };
+            if target.insert(key.clone(), value).is_some() {
+                return err(line_no, format!("duplicate key `{key}`"));
+            }
+        }
+    }
+    Ok(root)
+}
+
+/// Walks (and creates) the table path; `array` makes the leaf a
+/// [`Value::TableArr`].  Returns a mutable reference to the leaf value.
+fn navigate<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    array: bool,
+    line: u32,
+) -> Result<&'a mut Value, TomlError> {
+    let mut table = root;
+    for (depth, part) in path.iter().enumerate() {
+        let last = depth + 1 == path.len();
+        let entry = table.entry(part.clone()).or_insert_with(|| {
+            if last && array {
+                Value::TableArr(Vec::new())
+            } else {
+                Value::Table(Table::new())
+            }
+        });
+        if last {
+            // Re-borrow through the map so the returned lifetime is tied
+            // to `root`, not the loop-local `table` borrow.
+            match entry {
+                Value::Table(_) | Value::TableArr(_) => return Ok(entry),
+                _ => return err(line, format!("`{part}` is not a table")),
+            }
+        }
+        table = match entry {
+            Value::Table(t) => t,
+            Value::TableArr(items) => match items.last_mut() {
+                Some(t) => t,
+                None => return err(line, format!("empty table array `{part}`")),
+            },
+            _ => return err(line, format!("`{part}` is not a table")),
+        };
+    }
+    err(line, "empty table path")
+}
+
+fn split_path(path: &str, line: u32) -> Result<Vec<String>, TomlError> {
+    let parts: Result<Vec<String>, TomlError> =
+        path.split('.').map(|p| parse_key(p.trim(), line)).collect();
+    let parts = parts?;
+    if parts.is_empty() || parts.iter().any(String::is_empty) {
+        return err(line, format!("bad table path `{path}`"));
+    }
+    Ok(parts)
+}
+
+fn parse_key(raw: &str, line: u32) -> Result<String, TomlError> {
+    if let Some(rest) = raw.strip_prefix('"') {
+        match rest.strip_suffix('"') {
+            Some(inner) => Ok(inner.to_owned()),
+            None => err(line, format!("unterminated quoted key `{raw}`")),
+        }
+    } else if raw.is_empty()
+        || !raw
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        err(line, format!("bad key `{raw}`"))
+    } else {
+        Ok(raw.to_owned())
+    }
+}
+
+fn parse_value(raw: &str, line: u32) -> Result<Value, TomlError> {
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return err(line, format!("unterminated string `{raw}`"));
+        };
+        return Ok(Value::Str(unescape(inner)));
+    }
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(rest) = raw.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return err(line, "arrays must close on the same line");
+        };
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part, line)?);
+            }
+        }
+        return Ok(Value::Arr(items));
+    }
+    match raw.parse::<i64>() {
+        Ok(n) => Ok(Value::Int(n)),
+        Err(_) => err(line, format!("unsupported value `{raw}`")),
+    }
+}
+
+/// Net `[`/`]` nesting outside quoted strings — positive while an array
+/// literal is still open.
+fn bracket_balance(s: &str) -> i32 {
+    let mut balance = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => balance += 1,
+            ']' if !in_str => balance -= 1,
+            _ => {}
+        }
+    }
+    balance
+}
+
+/// Splits an array body on commas that are not inside quotes.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+fn find_unquoted(s: &str, needle: char) -> Option<usize> {
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            c if c == needle && !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Typed accessors used by [`crate::config`]; all return sensible
+/// "absent" defaults so optional config sections stay optional.
+pub trait TableExt {
+    /// The string at `key`, if present.
+    fn str_of(&self, key: &str) -> Option<&str>;
+    /// The integer at `key`, if present.
+    fn int_of(&self, key: &str) -> Option<i64>;
+    /// The boolean at `key`, if present.
+    fn bool_of(&self, key: &str) -> Option<bool>;
+    /// The array of strings at `key` (empty when absent).
+    fn strings_of(&self, key: &str) -> Vec<String>;
+    /// The nested table at `key`, if present.
+    fn table_of(&self, key: &str) -> Option<&Table>;
+    /// The array of tables at `key` (empty when absent).
+    fn tables_of(&self, key: &str) -> Vec<&Table>;
+}
+
+impl TableExt for Table {
+    fn str_of(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn int_of(&self, key: &str) -> Option<i64> {
+        match self.get(key) {
+            Some(Value::Int(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn bool_of(&self, key: &str) -> Option<bool> {
+        match self.get(key) {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn strings_of(&self, key: &str) -> Vec<String> {
+        match self.get(key) {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn table_of(&self, key: &str) -> Option<&Table> {
+        match self.get(key) {
+            Some(Value::Table(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    fn tables_of(&self, key: &str) -> Vec<&Table> {
+        match self.get(key) {
+            Some(Value::TableArr(items)) => items.iter().collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = parse(
+            r#"
+top = "level"
+[a]
+x = 1            # comment
+flag = true
+list = ["p", "q"]
+[a.b]
+y = "nested"
+[[items]]
+name = "first"
+[[items]]
+name = "second"
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.str_of("top"), Some("level"));
+        let a = doc.table_of("a").unwrap();
+        assert_eq!(a.int_of("x"), Some(1));
+        assert_eq!(a.bool_of("flag"), Some(true));
+        assert_eq!(a.strings_of("list"), vec!["p", "q"]);
+        assert_eq!(a.table_of("b").unwrap().str_of("y"), Some("nested"));
+        let items = doc.tables_of("items");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].str_of("name"), Some("second"));
+    }
+
+    #[test]
+    fn arrays_may_span_lines() {
+        let doc = parse("list = [\n  \"a\",  # first\n  \"b\",\n]\nafter = 1\n").unwrap();
+        assert_eq!(doc.strings_of("list"), vec!["a", "b"]);
+        assert_eq!(doc.int_of("after"), Some(1));
+    }
+
+    #[test]
+    fn quoted_keys_carry_slashes() {
+        let doc = parse("[map]\n\"/v2/explain\" = \"explain_v2\"\n").unwrap();
+        let map = doc.table_of("map").unwrap();
+        assert_eq!(map.str_of("/v2/explain"), Some("explain_v2"));
+    }
+
+    #[test]
+    fn loud_errors_with_line_numbers() {
+        let e = parse("ok = 1\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("x = 1.5").unwrap_err();
+        assert!(e.message.contains("unsupported"));
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let doc = parse("k = \"a # b\"").unwrap();
+        assert_eq!(doc.str_of("k"), Some("a # b"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Drifted inventory: the route table dropped `/metrics`, grew an
+//! undeclared `/debug/sleep`, and the counter array lost the `metrics`
+//! slug — all while the README still documents the canonical set.
+
+pub fn route(path: &str) -> u16 {
+    // xlint-endpoints: begin(route)
+    match path {
+        "/healthz" => 200,
+        "/explain" => 200,
+        "/debug/sleep" => 200,
+        _ => 404,
+    }
+    // xlint-endpoints: end(route)
+}
+
+pub const COUNTERS: [&str; 1] = [
+    // xlint-endpoints: begin(counters)
+    "explain",
+    // xlint-endpoints: end(counters)
+];

@@ -1,0 +1,18 @@
+//! Route table and counter labels both name the full canonical set.
+
+pub fn route(path: &str) -> u16 {
+    // xlint-endpoints: begin(route)
+    match path {
+        "/healthz" => 200,
+        "/explain" => 200,
+        "/metrics" => 200,
+        _ => 404,
+    }
+    // xlint-endpoints: end(route)
+}
+
+pub const COUNTERS: [&str; 2] = [
+    // xlint-endpoints: begin(counters)
+    "explain", "metrics",
+    // xlint-endpoints: end(counters)
+];

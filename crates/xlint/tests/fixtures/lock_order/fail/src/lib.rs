@@ -1,0 +1,28 @@
+//! Inverted hierarchy: `fill` takes `queue` (rank 1) before `registry`
+//! (rank 0) directly; `drain` inverts it through the `publish` helper,
+//! which only the call-graph propagation can see.
+
+use std::sync::Mutex;
+
+pub struct Service {
+    registry: Mutex<u32>,
+    queue: Mutex<Vec<u32>>,
+}
+
+impl Service {
+    pub fn fill(&self, job: u32) {
+        let queue = self.queue.lock().unwrap();
+        let registry = self.registry.lock().unwrap();
+        let _ = (queue, registry, job);
+    }
+
+    pub fn drain(&self) {
+        let queue = self.queue.lock().unwrap();
+        self.publish(queue.len() as u32);
+    }
+
+    fn publish(&self, job: u32) {
+        let registry = self.registry.lock().unwrap();
+        let _ = (registry, job);
+    }
+}

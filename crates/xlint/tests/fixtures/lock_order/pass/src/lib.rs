@@ -1,0 +1,27 @@
+//! Correct hierarchy: `registry` (rank 0) is always taken before `queue`
+//! (rank 1), both directly and through the `publish` helper.
+
+use std::sync::Mutex;
+
+pub struct Service {
+    registry: Mutex<u32>,
+    queue: Mutex<Vec<u32>>,
+}
+
+impl Service {
+    pub fn enqueue(&self, job: u32) {
+        let registry = self.registry.lock().unwrap();
+        let mut queue = self.queue.lock().unwrap();
+        queue.push(job + *registry);
+    }
+
+    pub fn requeue(&self, job: u32) {
+        let registry = self.registry.lock().unwrap();
+        self.publish(job + *registry);
+    }
+
+    fn publish(&self, job: u32) {
+        let mut queue = self.queue.lock().unwrap();
+        queue.push(job);
+    }
+}

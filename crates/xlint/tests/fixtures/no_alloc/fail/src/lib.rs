@@ -1,0 +1,8 @@
+//! `frame` allocates a fresh buffer per call — exactly what the rule
+//! exists to catch on a framing path.
+
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 1);
+    out.extend_from_slice(payload);
+    out.to_vec()
+}

@@ -1,0 +1,12 @@
+//! The hot `frame` function reuses its caller's buffer; the cold `debug`
+//! helper may allocate freely because the scope confines the rule to
+//! `frame`.
+
+pub fn frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(payload);
+    out.push(b'\n');
+}
+
+pub fn debug(payload: &[u8]) -> String {
+    format!("{} bytes", payload.len())
+}

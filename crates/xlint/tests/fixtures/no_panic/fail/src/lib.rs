@@ -1,0 +1,15 @@
+//! Three distinct panic sources on a path declared panic-free.
+
+pub fn dispatch(slots: &[u32], slot: usize) -> u32 {
+    slots[slot]
+}
+
+pub fn parse(text: &str) -> u32 {
+    text.parse().unwrap()
+}
+
+pub fn assert_state(ready: bool) {
+    if !ready {
+        panic!("not ready");
+    }
+}

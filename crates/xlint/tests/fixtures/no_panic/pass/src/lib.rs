@@ -1,0 +1,12 @@
+//! Every fallible step handles its `None`; the one deliberate exception
+//! carries a reasoned pragma, which is the only sanctioned escape hatch.
+
+pub fn dispatch(slots: &[u32], slot: usize) -> Option<u32> {
+    let value = slots.get(slot)?;
+    Some(*value + 1)
+}
+
+pub fn head(payload: &[u8]) -> u8 {
+    // xlint: allow(no-panic-path, fixture demonstrates a reasoned suppression)
+    payload[0]
+}

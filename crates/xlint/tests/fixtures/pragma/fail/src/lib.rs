@@ -1,0 +1,12 @@
+//! Malformed pragmas: a reasonless one and one naming an unknown rule.
+//! Neither suppresses anything, so the indexing findings fire too.
+
+pub fn head(payload: &[u8]) -> u8 {
+    // xlint: allow(no-panic-path)
+    payload[0]
+}
+
+pub fn tail(payload: &[u8]) -> u8 {
+    // xlint: allow(no-such-rule, the rule name is wrong)
+    payload[payload.len() - 1]
+}

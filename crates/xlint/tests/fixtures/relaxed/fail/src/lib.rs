@@ -1,0 +1,11 @@
+//! A bare `Ordering::Relaxed` with no `// relaxed:` justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,17 @@
+//! Both `Relaxed` sites carry a justification — one trailing, one on the
+//! line above (both placements the adjacency window accepts).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic counter, read only for stats
+    }
+
+    pub fn get(&self) -> u64 {
+        // relaxed: stats snapshot — a stale read is fine
+        self.0.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,5 @@
+//! An `unsafe` block with no safety comment anywhere near it.
+
+pub fn first_byte(payload: &[u8]) -> u8 {
+    unsafe { *payload.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+//! The `unsafe` block opens with a `// SAFETY:` comment naming the
+//! invariant that makes it sound.
+
+pub fn first_byte(payload: &[u8]) -> u8 {
+    // SAFETY: callers guarantee `payload` is non-empty (checked at admission).
+    unsafe { *payload.get_unchecked(0) }
+}

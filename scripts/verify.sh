@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 build + tests, rustfmt + clippy (both
-# toolchain-guarded), rustdoc build, doc-tests, and the serving smoke test.
+# toolchain-guarded), xlint --deny (workspace invariants), rustdoc build,
+# doc-tests, and the serving smoke test.
 #
 #   ./scripts/verify.sh          # everything
 #   ./scripts/verify.sh --quick  # tier-1 only (build + tests)
@@ -36,6 +37,11 @@ if cargo clippy --version >/dev/null 2>&1; then
 else
     echo "==> cargo clippy unavailable in this toolchain: skipping"
 fi
+
+echo "==> xlint --deny (workspace invariants: see xlint.toml)"
+# Lock-order, hot-path allocation, panic-path, Relaxed-justification,
+# SAFETY-comment and endpoint-inventory checks; any finding fails the run.
+cargo run -q -p xlint --release -- --deny
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

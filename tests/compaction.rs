@@ -19,6 +19,9 @@
 //!   discarded, no lock is poisoned, no LRU bytes leak, and the next
 //!   compaction succeeds.
 
+// thread::sleep allowed: tests poll the background compactor with real sleeps (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};

@@ -17,6 +17,9 @@
 //! * **isolates slow peers** — a slow-loris partial request times out
 //!   with `408` without stalling other connections.
 
+// thread::sleep allowed: tests pace real sockets with real sleeps deliberately (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use proptest::prelude::*;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};

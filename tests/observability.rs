@@ -20,6 +20,9 @@
 //! * **cache accounting closes** — `/stats` reports result-cache tiers
 //!   with `hits + prefix_hits + merged + misses == lookups` exactly.
 
+// HashMap here never leaks iteration order into output: scratch maps for exposition parsing (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;

@@ -28,6 +28,8 @@
 
 #![warn(missing_docs)]
 #![cfg(unix)]
+// HashMap here never leaks iteration order into output: fd registry; snapshot order does not matter to poll(2) (see clippy.toml).
+#![allow(clippy::disallowed_types)]
 
 use std::collections::HashMap;
 use std::io;
@@ -212,8 +214,12 @@ struct NotifyPipe {
 impl NotifyPipe {
     fn new() -> io::Result<NotifyPipe> {
         let mut fds = [0 as c_int; 2];
+        // SAFETY: `fds` is a valid, writable 2-element c_int array, exactly
+        // what pipe(2) requires; `check` surfaces failure before use.
         check(unsafe { pipe(fds.as_mut_ptr()) })?;
         for fd in fds {
+            // SAFETY: `fd` came from the successful pipe(2) call above and
+            // has not been closed; F_SETFL/O_NONBLOCK takes no pointer.
             check(unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) })?;
         }
         Ok(NotifyPipe {
@@ -225,17 +231,23 @@ impl NotifyPipe {
     fn notify(&self) {
         // A full pipe is fine: the pending byte already guarantees a wakeup.
         let byte = 1u8;
+        // SAFETY: `byte` is a live one-byte buffer and `write_fd` is the
+        // open write end owned by self; a short/failed write is acceptable.
         unsafe { write(self.write_fd, &byte, 1) };
     }
 
     fn drain(&self) {
         let mut buf = [0u8; 64];
+        // SAFETY: `buf` is a writable 64-byte buffer whose length is passed
+        // alongside it, and `read_fd` is the open read end owned by self.
         while unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) } > 0 {}
     }
 }
 
 impl Drop for NotifyPipe {
     fn drop(&mut self) {
+        // SAFETY: both fds are owned exclusively by this NotifyPipe and are
+        // closed exactly once, here.
         unsafe {
             close(self.read_fd);
             close(self.write_fd);
@@ -277,10 +289,13 @@ struct EpollBackend {
 impl EpollBackend {
     fn new() -> io::Result<EpollBackend> {
         use epoll_sys::*;
+        // SAFETY: epoll_create1 takes no pointers; `check` surfaces failure.
         let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
         let pipe = match NotifyPipe::new() {
             Ok(p) => p,
             Err(e) => {
+                // SAFETY: `epfd` was just created above, is owned here, and
+                // is closed exactly once on this early-exit path.
                 unsafe { close(epfd) };
                 return Err(e);
             }
@@ -291,7 +306,11 @@ impl EpollBackend {
             events: EPOLLIN,
             data: NOTIFY_KEY,
         };
+        // SAFETY: `epfd` and `pipe.read_fd` are live fds owned above, and
+        // `ev` is a properly initialized EpollEvent that outlives the call.
         if let Err(e) = check(unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, pipe.read_fd, &mut ev) }) {
+            // SAFETY: `epfd` is owned here and closed exactly once on this
+            // early-exit path (the pipe closes itself on drop).
             unsafe { close(epfd) };
             return Err(e);
         }
@@ -315,12 +334,17 @@ impl EpollBackend {
             events: Self::flags(interest),
             data: interest.key as u64,
         };
+        // SAFETY: `self.epfd` is the live epoll fd owned by this backend,
+        // `ev` is initialized and outlives the call; an invalid caller `fd`
+        // is reported as EBADF by the kernel, not UB.
         check(unsafe { epoll_sys::epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
     }
 
     fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
         use epoll_sys::*;
         let mut buf = [EpollEvent { events: 0, data: 0 }; 512];
+        // SAFETY: `buf` is a writable array whose true capacity is passed
+        // alongside it, and `self.epfd` is the live epoll fd owned here.
         let n = unsafe {
             epoll_wait(
                 self.epfd,
@@ -359,6 +383,8 @@ impl EpollBackend {
 #[cfg(target_os = "linux")]
 impl Drop for EpollBackend {
     fn drop(&mut self) {
+        // SAFETY: `epfd` is owned exclusively by this backend and closed
+        // exactly once, here.
         unsafe { close(self.epfd) };
     }
 }
@@ -408,6 +434,8 @@ impl PollBackend {
                 }
             }
         }
+        // SAFETY: `fds` is a live, writable PollFd vector whose true length
+        // is passed alongside its pointer; poll(2) writes only `revents`.
         let n = unsafe {
             poll(
                 fds.as_mut_ptr(),
@@ -592,6 +620,8 @@ impl Poller {
 
 #[cfg(test)]
 mod tests {
+    // thread::sleep allowed: tests stage a delayed cross-thread notify (see clippy.toml).
+    #![allow(clippy::disallowed_methods)]
     use super::*;
     use std::io::{Read, Write};
     use std::net::{TcpListener, TcpStream};

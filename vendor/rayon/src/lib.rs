@@ -25,6 +25,8 @@
 //! results (and their order) are identical either way.
 
 #![warn(missing_docs)]
+// HashMap here never leaks iteration order into output: interior bookkeeping; results re-ordered by index (see clippy.toml).
+#![allow(clippy::disallowed_types)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -111,12 +113,15 @@ fn worker_budget() -> &'static AtomicUsize {
 
 fn reserve_workers(want: usize) -> usize {
     let budget = worker_budget();
+    // relaxed: the budget is a standalone admission counter — the CAS loop
+    // only needs atomicity; thread handoff is synchronized by spawn/join.
     let mut available = budget.load(Ordering::Relaxed);
     loop {
         let take = available.min(want);
         if take == 0 {
             return 0;
         }
+        // relaxed: see above — no data is published via the budget.
         match budget.compare_exchange_weak(
             available,
             available - take,
@@ -131,6 +136,7 @@ fn reserve_workers(want: usize) -> usize {
 
 fn release_workers(n: usize) {
     if n > 0 {
+        // relaxed: admission counter only; join already ordered the work.
         worker_budget().fetch_add(n, Ordering::Relaxed);
     }
 }
@@ -156,6 +162,8 @@ where
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let cursor = AtomicUsize::new(0);
     let drain = |out: &mut Vec<(usize, R)>| loop {
+        // relaxed: work cursor; atomicity alone partitions the indices and
+        // each slot's Mutex orders the item handoff.
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         if i >= n {
             break;
@@ -380,6 +388,8 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
+    // thread::sleep allowed: tests hold workers alive to observe overlap (see clippy.toml).
+    #![allow(clippy::disallowed_methods)]
     use super::prelude::*;
 
     #[test]
