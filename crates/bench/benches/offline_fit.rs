@@ -10,9 +10,12 @@
 //! root — the perf-trajectory artifact tracked across PRs.  Set
 //! `XINSIGHT_BENCH_FAST=1` to cap sampling for smoke tests.
 
+use std::collections::{BTreeMap, BTreeSet};
+use std::hint::black_box;
 use std::time::Instant;
 use xinsight_core::pipeline::{XInsight, XInsightOptions};
 use xinsight_data::{Dataset, Result};
+use xinsight_graph::{Mark, MixedGraph};
 use xinsight_stats::{CachedCiTest, ChiSquareTest, CiOutcome, CiTest};
 use xinsight_synth::{lung_cancer, syn_a};
 
@@ -30,6 +33,109 @@ impl CiTest for SeedPathChiSquare {
         "chi-square-seed-path"
     }
     // No `compile` override: the trait's name-bridge fallback is the point.
+}
+
+/// The pre-CSR graph representation: name-keyed nested ordered maps, one
+/// `(near, far)` mark pair per directed adjacency entry.  Rebuilt here so
+/// the `graph/*` cells measure the representation swap on identical
+/// topologies.
+struct OldGraph {
+    nodes: Vec<String>,
+    adj: BTreeMap<String, BTreeMap<String, (Mark, Mark)>>,
+}
+
+impl OldGraph {
+    fn adjacent(&self, a: &str, b: &str) -> bool {
+        self.adj.get(a).is_some_and(|m| m.contains_key(b))
+    }
+
+    fn mark_at(&self, at: &str, other: &str) -> Option<Mark> {
+        self.adj
+            .get(at)
+            .and_then(|m| m.get(other))
+            .map(|&(near, _)| near)
+    }
+
+    fn is_collider(&self, prev: &str, cur: &str, next: &str) -> bool {
+        self.mark_at(cur, prev) == Some(Mark::Arrow) && self.mark_at(cur, next) == Some(Mark::Arrow)
+    }
+}
+
+/// `possible_d_sep` as the seed-semantics path computed it: `String` keys,
+/// set-based visited/membership probes, a clone per traversal state.
+fn possible_d_sep_old(g: &OldGraph, x: &str) -> Vec<String> {
+    let mut reached: Vec<String> = Vec::new();
+    let mut in_reached: BTreeSet<String> = BTreeSet::new();
+    let mut visited: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut queue: Vec<(String, String)> = Vec::new();
+    if let Some(neighbors) = g.adj.get(x) {
+        for nb in neighbors.keys() {
+            visited.insert((x.to_owned(), nb.clone()));
+            queue.push((x.to_owned(), nb.clone()));
+            if in_reached.insert(nb.clone()) {
+                reached.push(nb.clone());
+            }
+        }
+    }
+    while let Some((prev, cur)) = queue.pop() {
+        let Some(neighbors) = g.adj.get(&cur) else {
+            continue;
+        };
+        for next in neighbors.keys() {
+            if *next == prev || *next == x {
+                continue;
+            }
+            let collider = g.is_collider(&prev, &cur, next);
+            let triangle = g.adjacent(&prev, next);
+            if !(collider || triangle) {
+                continue;
+            }
+            if visited.insert((cur.clone(), next.clone())) {
+                queue.push((cur.clone(), next.clone()));
+                if in_reached.insert(next.clone()) {
+                    reached.push(next.clone());
+                }
+            }
+        }
+    }
+    reached
+}
+
+/// One deterministic ~60-node PAG-shaped topology, built in both
+/// representations.  Edges and marks come from a splitmix-style hash so
+/// every run (and both models) sees the same graph.
+fn bench_graphs(n: usize) -> (MixedGraph, OldGraph) {
+    let mix = |a: usize, b: usize| -> u64 {
+        let mut z = (a as u64) << 32 | b as u64;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let mark_of = |v: u64| match v % 3 {
+        0 => Mark::Tail,
+        1 => Mark::Arrow,
+        _ => Mark::Circle,
+    };
+    let names: Vec<String> = (0..n).map(|i| format!("Var{i:02}")).collect();
+    let mut graph = MixedGraph::new(names.clone());
+    let mut adj: BTreeMap<String, BTreeMap<String, (Mark, Mark)>> = BTreeMap::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let h = mix(i, j);
+            if h % 8 != 0 {
+                continue;
+            }
+            let (near_i, near_j) = (mark_of(h >> 8), mark_of(h >> 16));
+            graph.add_edge(i, j, near_i, near_j);
+            adj.entry(names[i].clone())
+                .or_default()
+                .insert(names[j].clone(), (near_i, near_j));
+            adj.entry(names[j].clone())
+                .or_default()
+                .insert(names[i].clone(), (near_j, near_i));
+        }
+    }
+    (graph, OldGraph { nodes: names, adj })
 }
 
 struct Sample {
@@ -121,6 +227,57 @@ fn main() {
         XInsight::from_fitted(&cancer, model, &XInsightOptions::default()).unwrap();
     }));
 
+    // Graph-representation cells: neighbor walks and the Possible-D-SEP
+    // sweep over identical ~60-node topologies, old name-keyed maps vs the
+    // dense CSR core.  Inner repeats lift sub-microsecond walks into a
+    // stable timing range.
+    let (csr, old) = bench_graphs(60);
+    let walk_reps = if fast { 20 } else { 200 };
+    results.push(time("graph/neighbor_walk_btreemap", samples, || {
+        let mut acc = 0usize;
+        for _ in 0..walk_reps {
+            for name in &old.nodes {
+                if let Some(neighbors) = old.adj.get(name) {
+                    for (nb, &(near, _)) in neighbors {
+                        acc += nb.len() + near as usize;
+                    }
+                }
+            }
+        }
+        black_box(acc);
+    }));
+    results.push(time("graph/neighbor_walk_csr", samples, || {
+        let mut acc = 0usize;
+        for _ in 0..walk_reps {
+            for a in 0..csr.n_nodes() {
+                for i in 0..csr.degree(a) {
+                    let (nb, near, _) = csr.entry_at(a, i);
+                    acc += nb + near as usize;
+                }
+            }
+        }
+        black_box(acc);
+    }));
+    let pds_reps = if fast { 2 } else { 10 };
+    results.push(time("graph/possible_d_sep_btreemap", samples, || {
+        let mut acc = 0usize;
+        for _ in 0..pds_reps {
+            for name in &old.nodes {
+                acc += possible_d_sep_old(&old, name).len();
+            }
+        }
+        black_box(acc);
+    }));
+    results.push(time("graph/possible_d_sep_csr", samples, || {
+        let mut acc = 0usize;
+        for _ in 0..pds_reps {
+            for x in 0..csr.n_nodes() {
+                acc += xinsight_discovery::possible_d_sep(&csr, x).len();
+            }
+        }
+        black_box(acc);
+    }));
+
     // Machine-readable summary for the perf trajectory across PRs.
     let mut out = String::from("{\"bench\":\"offline_fit\",\"threads\":");
     out.push_str(&threads.to_string());
@@ -148,5 +305,16 @@ fn main() {
         "\nspeedup vs seed path: view {:.2}x, view+cache {:.2}x",
         seed / view.max(1.0),
         seed / cached.max(1.0),
+    );
+    let by_name = |name: &str| {
+        results
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0.0, |s| s.median_ns as f64)
+    };
+    println!(
+        "graph CSR vs name-keyed maps: neighbor walk {:.2}x, Possible-D-SEP {:.2}x",
+        by_name("graph/neighbor_walk_btreemap") / by_name("graph/neighbor_walk_csr").max(1.0),
+        by_name("graph/possible_d_sep_btreemap") / by_name("graph/possible_d_sep_csr").max(1.0),
     );
 }

@@ -18,14 +18,17 @@
 //! so that identical models serialize to identical bytes.
 
 use crate::json::Json;
-use std::collections::BTreeMap;
 use std::path::Path;
 use xinsight_data::{BinSpec, DataError, Discretizer, FdGraph, Result};
 use xinsight_discovery::SepsetMap;
 use xinsight_graph::{Mark, MixedGraph};
 
 /// Version stamp written into every artifact; bump on breaking changes.
-pub const FORMAT_VERSION: u64 = 1;
+///
+/// v2: sepsets are serialized as dense variable-id triples
+/// (`[x, y, [z...]]`, ids indexing `fci_variables`) instead of name triples,
+/// matching the id-keyed [`SepsetMap`].
+pub const FORMAT_VERSION: u64 = 2;
 
 /// The serializable output of the offline phase.
 ///
@@ -91,18 +94,18 @@ impl FittedModel {
             .iter()
             .map(|&(a, b)| Json::Arr(vec![Json::Str(a.to_owned()), Json::Str(b.to_owned())]))
             .collect();
-        // Deterministic sepset order: sort by the (already normalised) pair.
-        let mut sepsets: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
-        for (x, y, z) in self.sepsets.iter() {
-            sepsets.insert((x.to_owned(), y.to_owned()), z.to_vec());
-        }
-        let sepsets: Vec<Json> = sepsets
+        // Deterministic sepset order: sort by the (already normalised) id
+        // pair.  Ids index `fci_variables`, which is also the node-id order
+        // of the search that learned the sepsets.
+        let mut sepset_entries: Vec<(u32, u32, &[u32])> = self.sepsets.iter().collect();
+        sepset_entries.sort_unstable_by_key(|&(x, y, _)| (x, y));
+        let sepsets: Vec<Json> = sepset_entries
             .into_iter()
-            .map(|((x, y), z)| {
+            .map(|(x, y, z)| {
                 Json::Arr(vec![
-                    Json::Str(x),
-                    Json::Str(y),
-                    Json::Arr(z.into_iter().map(Json::Str).collect()),
+                    Json::Num(x as f64),
+                    Json::Num(y as f64),
+                    Json::Arr(z.iter().map(|&m| Json::Num(m as f64)).collect()),
                 ])
             })
             .collect();
@@ -245,16 +248,30 @@ impl FittedModel {
             fd_doc.get("redundant")?.as_string_vec()?,
         );
 
+        let fci_variables = doc.get("fci_variables")?.as_string_vec()?;
+        let n_fci = fci_variables.len() as u64;
         let mut sepsets = SepsetMap::new();
         for entry in doc.get("sepsets")?.as_arr()? {
             let parts = entry.as_arr()?;
             if parts.len() != 3 {
                 return Err(DataError::Persist("sepset entry needs 3 fields".into()));
             }
+            let x = parts[0].as_u64()?;
+            let y = parts[1].as_u64()?;
+            let z = parts[2]
+                .as_arr()?
+                .iter()
+                .map(|m| m.as_u64())
+                .collect::<Result<Vec<u64>>>()?;
+            if let Some(&bad) = [x, y].iter().chain(z.iter()).find(|&&id| id >= n_fci) {
+                return Err(DataError::Persist(format!(
+                    "sepset id {bad} out of range (model has {n_fci} FCI variables)"
+                )));
+            }
             sepsets.insert(
-                parts[0].as_str()?,
-                parts[1].as_str()?,
-                parts[2].as_string_vec()?,
+                x as u32,
+                y as u32,
+                z.into_iter().map(|m| m as u32).collect(),
             );
         }
 
@@ -279,7 +296,7 @@ impl FittedModel {
         Ok(FittedModel {
             graph,
             fd_graph,
-            fci_variables: doc.get("fci_variables")?.as_string_vec()?,
+            fci_variables,
             dropped_redundant: doc.get("dropped_redundant")?.as_string_vec()?,
             sepsets,
             n_ci_tests: doc.get("n_ci_tests")?.as_u64()? as usize,
@@ -360,12 +377,13 @@ mod tests {
             vec!["Dropped".into()],
         );
         let mut sepsets = SepsetMap::new();
-        sepsets.insert("A", "C", vec!["B".into()]);
-        sepsets.insert("B", "A", vec![]);
+        // Ids index `fci_variables` below: A=0, B=1, C"quoted"=2.
+        sepsets.insert(0, 2, vec![1]);
+        sepsets.insert(1, 0, vec![]);
         FittedModel {
             graph,
             fd_graph,
-            fci_variables: vec!["A".into(), "C \"quoted\"\n".into()],
+            fci_variables: vec!["A".into(), "B".into(), "C \"quoted\"\n".into()],
             dropped_redundant: vec!["Dropped".into()],
             sepsets,
             n_ci_tests: 42,
@@ -400,7 +418,7 @@ mod tests {
     fn version_mismatch_is_rejected() {
         let json = sample_model()
             .to_json()
-            .replace("\"format_version\":1.0", "\"format_version\":99.0");
+            .replace("\"format_version\":2.0", "\"format_version\":99.0");
         let err = FittedModel::from_json(&json).unwrap_err();
         assert!(matches!(err, DataError::Persist(_)), "got {err:?}");
         assert!(err.to_string().contains("version"));
@@ -430,6 +448,15 @@ mod tests {
         let err = FittedModel::from_json(&bomb).unwrap_err();
         assert!(matches!(err, DataError::Persist(_)));
         assert!(err.to_string().contains("nesting"), "got {err}");
+    }
+
+    #[test]
+    fn out_of_range_sepset_ids_are_rejected() {
+        // The fixture has 3 FCI variables; id 9 cannot index them.
+        let json = sample_model().to_json().replace("[0.0,2.0,", "[0.0,9.0,");
+        let err = FittedModel::from_json(&json).unwrap_err();
+        assert!(matches!(err, DataError::Persist(_)), "got {err:?}");
+        assert!(err.to_string().contains("out of range"), "got {err}");
     }
 
     #[test]

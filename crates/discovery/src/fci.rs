@@ -129,9 +129,9 @@ pub fn fci_skeleton(
             if result.graph.adjacent(*x, *y) {
                 result.graph.remove_edge(*x, *y);
                 result.sepsets.insert(
-                    vars[*x],
-                    vars[*y],
-                    subset.iter().map(|&v| vars[v].to_string()).collect(),
+                    *x as u32,
+                    *y as u32,
+                    subset.iter().map(|&v| v as u32).collect(),
                 );
             }
         }
@@ -171,19 +171,27 @@ pub fn fci(
 /// paper's supplementary material): all nodes `z` reachable from `x` by a path
 /// on which every interior node is either a (definite) collider or part of a
 /// triangle with its path neighbours.
-pub(crate) fn possible_d_sep(graph: &MixedGraph, x: NodeId) -> Vec<NodeId> {
+///
+/// The sweep is dense: the `(prev, cur)` edge-traversal states live in an
+/// `n × n` bool matrix and membership in the result is a `Vec<bool>` probe,
+/// so the walk performs no hashing.  Nodes are reported in first-reached
+/// order (deterministic: neighbors iterate ascending by id).
+pub fn possible_d_sep(graph: &MixedGraph, x: NodeId) -> Vec<NodeId> {
+    let n = graph.n_nodes();
     let mut reached: Vec<NodeId> = Vec::new();
-    let mut visited: std::collections::HashSet<(NodeId, NodeId)> = std::collections::HashSet::new();
+    let mut in_reached = vec![false; n];
+    let mut visited = vec![false; n * n];
     let mut queue: Vec<(NodeId, NodeId)> = Vec::new();
-    for n in graph.neighbors(x) {
-        visited.insert((x, n));
-        queue.push((x, n));
-        if !reached.contains(&n) {
-            reached.push(n);
+    for nb in graph.neighbors_iter(x) {
+        visited[x * n + nb] = true;
+        queue.push((x, nb));
+        if !in_reached[nb] {
+            in_reached[nb] = true;
+            reached.push(nb);
         }
     }
     while let Some((prev, cur)) = queue.pop() {
-        for next in graph.neighbors(cur) {
+        for next in graph.neighbors_iter(cur) {
             if next == prev || next == x {
                 continue;
             }
@@ -192,9 +200,11 @@ pub(crate) fn possible_d_sep(graph: &MixedGraph, x: NodeId) -> Vec<NodeId> {
             if !(collider || triangle) {
                 continue;
             }
-            if visited.insert((cur, next)) {
+            if !visited[cur * n + next] {
+                visited[cur * n + next] = true;
                 queue.push((cur, next));
-                if !reached.contains(&next) {
+                if !in_reached[next] {
+                    in_reached[next] = true;
                     reached.push(next);
                 }
             }
@@ -373,6 +383,7 @@ mod tests {
         dag.add_edge(1, 2);
         let result = run_oracle_fci(&dag, &["A", "B", "C"]);
         assert!(result.n_ci_tests >= 3);
-        assert!(result.sepsets.contains_pair("A", "C"));
+        // Sepset ids index the vars order handed to fci: A=0, C=2.
+        assert!(result.sepsets.contains_pair(0, 2));
     }
 }

@@ -27,7 +27,7 @@ mod pc;
 mod sepset;
 mod skeleton;
 
-pub use fci::{fci, fci_orient, fci_skeleton, FciOptions, FciResult};
+pub use fci::{fci, fci_orient, fci_skeleton, possible_d_sep, FciOptions, FciResult};
 pub use oracle::OracleCiTest;
 pub use orientation::{apply_fci_rules, orient_colliders};
 pub use pc::{pc, PcOptions, PcResult};

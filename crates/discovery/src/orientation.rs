@@ -6,6 +6,15 @@
 //! wildcard endpoint, `∘` a circle, and "orient `β → γ`" means setting the
 //! mark at `β` to a tail and the mark at `γ` to an arrowhead on the edge
 //! `β – γ`.
+//!
+//! Everything here is addressed by dense node id — sepset probes are packed
+//! integer lookups and the frequently-fired rules walk adjacency through
+//! index-addressed CSR reads ([`MixedGraph::neighbor_at`]) instead of
+//! collecting neighbor `Vec`s.  That is sound because orientation only
+//! re-marks edges: [`MixedGraph::set_mark`] never changes block membership
+//! or order, so adjacency indices stay valid across every mutation a rule
+//! makes.  xlint enforces both properties (`no-string-fit-path` over the
+//! whole file, `no-alloc-hot-path` over the inner-loop rules).
 
 use crate::sepset::SepsetMap;
 use xinsight_graph::{Mark, MixedGraph, NodeId};
@@ -15,18 +24,17 @@ use xinsight_graph::{Mark, MixedGraph, NodeId};
 pub fn orient_colliders(graph: &mut MixedGraph, sepsets: &SepsetMap) {
     let n = graph.n_nodes();
     for b in 0..n {
-        let neighbors = graph.neighbors(b);
-        for (i, &a) in neighbors.iter().enumerate() {
-            for &c in neighbors.iter().skip(i + 1) {
+        let deg = graph.degree(b);
+        for i in 0..deg {
+            let a = graph.neighbor_at(b, i);
+            for j in (i + 1)..deg {
+                let c = graph.neighbor_at(b, j);
                 if graph.adjacent(a, c) {
                     continue;
                 }
-                let (an, bn, cn) = (
-                    graph.name(a).to_owned(),
-                    graph.name(b).to_owned(),
-                    graph.name(c).to_owned(),
-                );
-                if sepsets.contains_pair(&an, &cn) && !sepsets.separates_with(&an, &cn, &bn) {
+                if sepsets.contains_pair(a as u32, c as u32)
+                    && !sepsets.separates_with(a as u32, c as u32, b as u32)
+                {
                     graph.set_mark(b, a, Mark::Arrow);
                     graph.set_mark(b, c, Mark::Arrow);
                 }
@@ -59,11 +67,14 @@ pub fn apply_fci_rules(graph: &mut MixedGraph, sepsets: &SepsetMap) -> usize {
 fn rule_r1(g: &mut MixedGraph) -> usize {
     let mut changed = 0;
     for b in 0..g.n_nodes() {
-        for a in g.neighbors(b) {
+        let deg = g.degree(b);
+        for i in 0..deg {
+            let a = g.neighbor_at(b, i);
             if g.mark_at(b, a) != Some(Mark::Arrow) {
                 continue;
             }
-            for c in g.neighbors(b) {
+            for j in 0..deg {
+                let c = g.neighbor_at(b, j);
                 if c == a || g.adjacent(a, c) {
                     continue;
                 }
@@ -83,14 +94,18 @@ fn rule_r1(g: &mut MixedGraph) -> usize {
 fn rule_r2(g: &mut MixedGraph) -> usize {
     let mut changed = 0;
     for a in 0..g.n_nodes() {
-        for c in g.neighbors(a) {
+        let deg = g.degree(a);
+        for i in 0..deg {
+            let c = g.neighbor_at(a, i);
             if g.mark_at(c, a) != Some(Mark::Circle) {
                 continue;
             }
             // Look for a mediating β.
-            let found = g.neighbors(a).into_iter().any(|b| {
+            let mut found = false;
+            for j in 0..deg {
+                let b = g.neighbor_at(a, j);
                 if b == c || !g.adjacent(b, c) {
-                    return false;
+                    continue;
                 }
                 let a_to_b_directed =
                     g.mark_at(a, b) == Some(Mark::Tail) && g.mark_at(b, a) == Some(Mark::Arrow);
@@ -98,8 +113,11 @@ fn rule_r2(g: &mut MixedGraph) -> usize {
                 let a_to_b_arrow = g.mark_at(b, a) == Some(Mark::Arrow);
                 let b_to_c_directed =
                     g.mark_at(b, c) == Some(Mark::Tail) && g.mark_at(c, b) == Some(Mark::Arrow);
-                (a_to_b_directed && b_to_c_arrow) || (a_to_b_arrow && b_to_c_directed)
-            });
+                if (a_to_b_directed && b_to_c_arrow) || (a_to_b_arrow && b_to_c_directed) {
+                    found = true;
+                    break;
+                }
+            }
             if found {
                 g.set_mark(c, a, Mark::Arrow);
                 changed += 1;
@@ -114,18 +132,23 @@ fn rule_r2(g: &mut MixedGraph) -> usize {
 fn rule_r3(g: &mut MixedGraph) -> usize {
     let mut changed = 0;
     for b in 0..g.n_nodes() {
-        for theta in g.neighbors(b) {
+        let deg = g.degree(b);
+        for t in 0..deg {
+            let theta = g.neighbor_at(b, t);
             if g.mark_at(b, theta) != Some(Mark::Circle) {
                 continue;
             }
-            let b_arrow_neighbors: Vec<NodeId> = g
-                .neighbors(b)
-                .into_iter()
-                .filter(|&v| v != theta && g.mark_at(b, v) == Some(Mark::Arrow))
-                .collect();
             let mut fired = false;
-            for (i, &a) in b_arrow_neighbors.iter().enumerate() {
-                for &c in b_arrow_neighbors.iter().skip(i + 1) {
+            for i in 0..deg {
+                let a = g.neighbor_at(b, i);
+                if a == theta || g.mark_at(b, a) != Some(Mark::Arrow) {
+                    continue;
+                }
+                for j in (i + 1)..deg {
+                    let c = g.neighbor_at(b, j);
+                    if c == theta || g.mark_at(b, c) != Some(Mark::Arrow) {
+                        continue;
+                    }
                     if g.adjacent(a, c) {
                         continue;
                     }
@@ -155,17 +178,16 @@ fn rule_r3(g: &mut MixedGraph) -> usize {
 fn rule_r4(g: &mut MixedGraph, sepsets: &SepsetMap) -> usize {
     let mut changed = 0;
     for beta in 0..g.n_nodes() {
-        for gamma in g.neighbors(beta) {
+        let deg = g.degree(beta);
+        for i in 0..deg {
+            let gamma = g.neighbor_at(beta, i);
             if g.mark_at(beta, gamma) != Some(Mark::Circle) {
                 continue;
             }
             if let Some(path) = find_discriminating_path(g, beta, gamma) {
                 let theta = path[0];
                 let alpha = path[path.len() - 2];
-                let theta_name = g.name(theta).to_owned();
-                let gamma_name = g.name(gamma).to_owned();
-                let beta_name = g.name(beta).to_owned();
-                if sepsets.separates_with(&theta_name, &gamma_name, &beta_name) {
+                if sepsets.separates_with(theta as u32, gamma as u32, beta as u32) {
                     g.set_mark(beta, gamma, Mark::Tail);
                     g.set_mark(gamma, beta, Mark::Arrow);
                 } else {
@@ -193,7 +215,7 @@ fn find_discriminating_path(g: &MixedGraph, beta: NodeId, gamma: NodeId) -> Opti
         path: Vec<NodeId>, // from current front node ... up to β
     }
     let mut queue: Vec<State> = Vec::new();
-    for alpha in g.neighbors(beta) {
+    for alpha in g.neighbors_iter(beta) {
         if alpha == gamma {
             continue;
         }
@@ -215,7 +237,7 @@ fn find_discriminating_path(g: &MixedGraph, beta: NodeId, gamma: NodeId) -> Opti
             return None;
         }
         let front = state.path[0];
-        for prev in g.neighbors(front) {
+        for prev in g.neighbors_iter(front) {
             if state.path.contains(&prev) || prev == gamma {
                 continue;
             }
@@ -249,16 +271,26 @@ fn find_discriminating_path(g: &MixedGraph, beta: NodeId, gamma: NodeId) -> Opti
 fn rule_r8(g: &mut MixedGraph) -> usize {
     let mut changed = 0;
     for a in 0..g.n_nodes() {
-        for c in g.neighbors(a) {
+        let deg = g.degree(a);
+        for i in 0..deg {
+            let c = g.neighbor_at(a, i);
             let a_circle = g.mark_at(a, c) == Some(Mark::Circle);
             let c_arrow = g.mark_at(c, a) == Some(Mark::Arrow);
             if !(a_circle && c_arrow) {
                 continue;
             }
-            let found = g
-                .children(a)
-                .into_iter()
-                .any(|b| b != c && g.is_parent(b, c));
+            // Look for a child β of α that is a parent of γ.
+            let mut found = false;
+            for j in 0..deg {
+                let (b, near_a, near_b) = g.entry_at(a, j);
+                if b == c {
+                    continue;
+                }
+                if near_a == Mark::Tail && near_b == Mark::Arrow && g.is_parent(b, c) {
+                    found = true;
+                    break;
+                }
+            }
             if found {
                 g.set_mark(a, c, Mark::Tail);
                 changed += 1;
@@ -273,18 +305,26 @@ fn rule_r8(g: &mut MixedGraph) -> usize {
 fn rule_r9(g: &mut MixedGraph) -> usize {
     let mut changed = 0;
     for a in 0..g.n_nodes() {
-        for c in g.neighbors(a) {
+        let deg = g.degree(a);
+        for i in 0..deg {
+            let c = g.neighbor_at(a, i);
             let a_circle = g.mark_at(a, c) == Some(Mark::Circle);
             let c_arrow = g.mark_at(c, a) == Some(Mark::Arrow);
             if !(a_circle && c_arrow) {
                 continue;
             }
-            let fired = g.neighbors(a).into_iter().any(|b| {
-                b != c
+            let mut fired = false;
+            for j in 0..deg {
+                let b = g.neighbor_at(a, j);
+                if b != c
                     && !g.adjacent(b, c)
                     && edge_is_potentially_directed(g, a, b)
                     && uncovered_pd_path_exists(g, a, b, c)
-            });
+                {
+                    fired = true;
+                    break;
+                }
+            }
             if fired {
                 g.set_mark(a, c, Mark::Tail);
                 changed += 1;
@@ -300,22 +340,26 @@ fn rule_r9(g: &mut MixedGraph) -> usize {
 fn rule_r10(g: &mut MixedGraph) -> usize {
     let mut changed = 0;
     for a in 0..g.n_nodes() {
-        for c in g.neighbors(a) {
+        let deg = g.degree(a);
+        for ci in 0..deg {
+            let c = g.neighbor_at(a, ci);
             let a_circle = g.mark_at(a, c) == Some(Mark::Circle);
             let c_arrow = g.mark_at(c, a) == Some(Mark::Arrow);
             if !(a_circle && c_arrow) {
                 continue;
             }
-            let parents_of_c: Vec<NodeId> = g.parents(c).into_iter().filter(|&p| p != a).collect();
+            let parents_of_c: Vec<NodeId> = g.parents_iter(c).filter(|&p| p != a).collect();
             let mut fired = false;
             'outer: for (i, &beta) in parents_of_c.iter().enumerate() {
                 for &theta in parents_of_c.iter().skip(i + 1) {
                     // Candidate first steps from α.
-                    for mu in g.neighbors(a) {
+                    for mi in 0..deg {
+                        let mu = g.neighbor_at(a, mi);
                         if mu == c || !edge_is_potentially_directed(g, a, mu) {
                             continue;
                         }
-                        for omega in g.neighbors(a) {
+                        for oi in 0..deg {
+                            let omega = g.neighbor_at(a, oi);
                             if omega == c
                                 || omega == mu
                                 || g.adjacent(mu, omega)
@@ -385,7 +429,7 @@ fn uncovered_pd_search(
         }
         let last = *path.last().expect("non-empty");
         let before_last = path[path.len() - 2];
-        for next in g.neighbors(last) {
+        for next in g.neighbors_iter(last) {
             if path.contains(&next) {
                 continue;
             }
@@ -421,12 +465,17 @@ mod tests {
         g
     }
 
+    /// Sepset ids are graph node ids — this helper keeps tests readable.
+    fn sep(g: &MixedGraph, name: &str) -> u32 {
+        g.expect_id(name) as u32
+    }
+
     #[test]
     fn colliders_are_oriented_from_sepsets() {
         // Skeleton A - B - C with sepset(A, C) = {} -> A *-> B <-* C.
         let mut g = circle_graph(&["A", "B", "C"], &[("A", "B"), ("B", "C")]);
         let mut sepsets = SepsetMap::new();
-        sepsets.insert("A", "C", vec![]);
+        sepsets.insert(sep(&g, "A"), sep(&g, "C"), vec![]);
         orient_colliders(&mut g, &sepsets);
         let (a, b, c) = (g.expect_id("A"), g.expect_id("B"), g.expect_id("C"));
         assert_eq!(g.mark_at(b, a), Some(Mark::Arrow));
@@ -441,7 +490,8 @@ mod tests {
         // Sepset(A, C) = {B}: no collider.
         let mut g = circle_graph(&["A", "B", "C"], &[("A", "B"), ("B", "C")]);
         let mut sepsets = SepsetMap::new();
-        sepsets.insert("A", "C", vec!["B".into()]);
+        let b_id = sep(&g, "B");
+        sepsets.insert(sep(&g, "A"), sep(&g, "C"), vec![b_id]);
         orient_colliders(&mut g, &sepsets);
         let (a, b, c) = (g.expect_id("A"), g.expect_id("B"), g.expect_id("C"));
         assert_eq!(g.mark_at(b, a), Some(Mark::Circle));
@@ -542,7 +592,7 @@ mod tests {
         g.orient(al, ga);
         // β o-o γ stays circled at β.
         let mut sepsets = SepsetMap::new();
-        sepsets.insert("Theta", "Gamma", vec!["Alpha".into()]); // β not in sepset
+        sepsets.insert(th as u32, ga as u32, vec![al as u32]); // β not in sepset
         apply_fci_rules(&mut g, &sepsets);
         assert_eq!(g.mark_at(be, ga), Some(Mark::Arrow));
         assert_eq!(g.mark_at(ga, be), Some(Mark::Arrow));
@@ -570,7 +620,7 @@ mod tests {
         g.set_mark(be, al, Mark::Arrow);
         g.orient(al, ga);
         let mut sepsets = SepsetMap::new();
-        sepsets.insert("Theta", "Gamma", vec!["Alpha".into(), "Beta".into()]);
+        sepsets.insert(th as u32, ga as u32, vec![al as u32, be as u32]);
         apply_fci_rules(&mut g, &sepsets);
         assert_eq!(g.mark_at(be, ga), Some(Mark::Tail));
         assert_eq!(g.mark_at(ga, be), Some(Mark::Arrow));
@@ -602,9 +652,10 @@ mod tests {
         // second pass must change nothing.
         let mut g = circle_graph(&["A", "B", "C", "D"], &[("A", "B"), ("C", "B"), ("B", "D")]);
         let mut sepsets = SepsetMap::new();
-        sepsets.insert("A", "C", vec![]);
-        sepsets.insert("A", "D", vec!["B".into()]);
-        sepsets.insert("C", "D", vec!["B".into()]);
+        let b_id = sep(&g, "B");
+        sepsets.insert(sep(&g, "A"), sep(&g, "C"), vec![]);
+        sepsets.insert(sep(&g, "A"), sep(&g, "D"), vec![b_id]);
+        sepsets.insert(sep(&g, "C"), sep(&g, "D"), vec![b_id]);
         orient_colliders(&mut g, &sepsets);
         let first = apply_fci_rules(&mut g, &sepsets);
         let second = apply_fci_rules(&mut g, &sepsets);

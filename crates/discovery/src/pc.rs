@@ -208,6 +208,7 @@ mod tests {
         dag.add_edge(1, 2);
         let result = run_oracle_pc(&dag, &["A", "B", "C"]);
         assert!(result.n_ci_tests > 0);
-        assert!(result.sepsets.contains_pair("A", "C"));
+        // Sepset ids index the vars order: A=0, B=1, C=2.
+        assert!(result.sepsets.contains_pair(0, 2));
     }
 }

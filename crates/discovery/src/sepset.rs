@@ -1,16 +1,27 @@
 //! Separating sets recorded by the adjacency search.
+//!
+//! Keys and members are dense variable ids (`u32`) in the id space of the
+//! search that learned them — the variable order handed to
+//! `skeleton_search` / `fci`, which is also the node-id order of the
+//! resulting graph.  Anything name-facing (persistence, rendering) converts
+//! at the boundary; nothing in here hashes or allocates a `String`.
 
-// HashMap here never leaks iteration order into output: separating-set memo; key-looked-up only (see clippy.toml).
+// HashMap here never leaks iteration order into output: separating-set memo keyed by packed id
+// pair through the sanctioned fxhash alias; key-looked-up only (see clippy.toml).
 #![allow(clippy::disallowed_types)]
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
-/// A map from unordered variable pairs to the conditioning set that rendered
-/// them independent during skeleton learning (`Sepset(X, Y)` in the FCI
-/// pseudocode).
+/// A map from unordered variable-id pairs to the conditioning set that
+/// rendered them independent during skeleton learning (`Sepset(X, Y)` in the
+/// FCI pseudocode).
+///
+/// The unordered pair is packed into one `u64` key (`min << 32 | max`) and
+/// hashed with the vendored Fx integer mixer, so a sepset probe on the fit
+/// path costs one multiply-rotate — no `String` comparison or allocation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SepsetMap {
-    inner: HashMap<(String, String), Vec<String>>,
+    inner: FxHashMap<u64, Vec<u32>>,
 }
 
 impl SepsetMap {
@@ -19,35 +30,32 @@ impl SepsetMap {
         Self::default()
     }
 
-    fn key(x: &str, y: &str) -> (String, String) {
-        if x <= y {
-            (x.to_owned(), y.to_owned())
-        } else {
-            (y.to_owned(), x.to_owned())
-        }
+    fn key(x: u32, y: u32) -> u64 {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        (u64::from(lo) << 32) | u64::from(hi)
     }
 
     /// Records `sepset` as the separating set of the pair `(x, y)`.
-    pub fn insert(&mut self, x: &str, y: &str, mut sepset: Vec<String>) {
-        sepset.sort();
+    pub fn insert(&mut self, x: u32, y: u32, mut sepset: Vec<u32>) {
+        sepset.sort_unstable();
         self.inner.insert(Self::key(x, y), sepset);
     }
 
-    /// The recorded separating set of `(x, y)`, if any.
-    pub fn get(&self, x: &str, y: &str) -> Option<&[String]> {
+    /// The recorded separating set of `(x, y)`, if any, ascending by id.
+    pub fn get(&self, x: u32, y: u32) -> Option<&[u32]> {
         self.inner.get(&Self::key(x, y)).map(Vec::as_slice)
     }
 
     /// Returns `true` when a separating set is recorded for `(x, y)`.
-    pub fn contains_pair(&self, x: &str, y: &str) -> bool {
+    pub fn contains_pair(&self, x: u32, y: u32) -> bool {
         self.inner.contains_key(&Self::key(x, y))
     }
 
     /// Returns `true` when `member` belongs to the recorded separating set of
     /// `(x, y)`; `false` when the pair has no recorded set.
-    pub fn separates_with(&self, x: &str, y: &str, member: &str) -> bool {
+    pub fn separates_with(&self, x: u32, y: u32, member: u32) -> bool {
         self.get(x, y)
-            .map(|s| s.iter().any(|v| v == member))
+            .map(|s| s.binary_search(&member).is_ok())
             .unwrap_or(false)
     }
 
@@ -68,11 +76,12 @@ impl SepsetMap {
 
     /// Iterates over all recorded pairs and their separating sets, in
     /// arbitrary order.  The pair is reported in its normalised
-    /// (lexicographically sorted) orientation.  Used by model persistence.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &[String])> {
+    /// (`x <= y`) orientation.  Callers that serialize or render must sort —
+    /// see model persistence, which orders by name at the boundary.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &[u32])> {
         self.inner
             .iter()
-            .map(|((x, y), z)| (x.as_str(), y.as_str(), z.as_slice()))
+            .map(|(&k, z)| ((k >> 32) as u32, k as u32, z.as_slice()))
     }
 }
 
@@ -83,48 +92,50 @@ mod tests {
     #[test]
     fn insert_and_get_is_symmetric() {
         let mut m = SepsetMap::new();
-        m.insert("B", "A", vec!["Z".into(), "Y".into()]);
-        assert_eq!(
-            m.get("A", "B").unwrap(),
-            &["Y".to_string(), "Z".to_string()]
-        );
-        assert_eq!(
-            m.get("B", "A").unwrap(),
-            &["Y".to_string(), "Z".to_string()]
-        );
-        assert!(m.contains_pair("A", "B"));
-        assert!(!m.contains_pair("A", "C"));
+        m.insert(1, 0, vec![25, 24]);
+        assert_eq!(m.get(0, 1).unwrap(), &[24, 25]);
+        assert_eq!(m.get(1, 0).unwrap(), &[24, 25]);
+        assert!(m.contains_pair(0, 1));
+        assert!(!m.contains_pair(0, 2));
         assert_eq!(m.len(), 1);
     }
 
     #[test]
     fn separates_with_membership() {
         let mut m = SepsetMap::new();
-        m.insert("X", "Y", vec!["M".into()]);
-        assert!(m.separates_with("Y", "X", "M"));
-        assert!(!m.separates_with("X", "Y", "N"));
-        assert!(!m.separates_with("X", "Z", "M"));
+        m.insert(7, 8, vec![12]);
+        assert!(m.separates_with(8, 7, 12));
+        assert!(!m.separates_with(7, 8, 13));
+        assert!(!m.separates_with(7, 9, 12));
     }
 
     #[test]
     fn empty_sepsets_are_recorded() {
         let mut m = SepsetMap::new();
-        m.insert("X", "Y", vec![]);
-        assert!(m.contains_pair("X", "Y"));
-        assert_eq!(m.get("X", "Y").unwrap().len(), 0);
-        assert!(!m.separates_with("X", "Y", "anything"));
+        m.insert(3, 4, vec![]);
+        assert!(m.contains_pair(3, 4));
+        assert_eq!(m.get(3, 4).unwrap().len(), 0);
+        assert!(!m.separates_with(3, 4, 0));
     }
 
     #[test]
     fn extend_overrides() {
         let mut a = SepsetMap::new();
-        a.insert("X", "Y", vec!["A".into()]);
+        a.insert(0, 1, vec![10]);
         let mut b = SepsetMap::new();
-        b.insert("X", "Y", vec!["B".into()]);
-        b.insert("P", "Q", vec![]);
+        b.insert(0, 1, vec![11]);
+        b.insert(5, 6, vec![]);
         a.extend(b);
-        assert_eq!(a.get("X", "Y").unwrap(), &["B".to_string()]);
+        assert_eq!(a.get(0, 1).unwrap(), &[11]);
         assert_eq!(a.len(), 2);
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn iter_reports_normalised_pairs() {
+        let mut m = SepsetMap::new();
+        m.insert(9, 2, vec![5]);
+        let all: Vec<_> = m.iter().collect();
+        assert_eq!(all, vec![(2u32, 9u32, &[5u32][..])]);
     }
 }

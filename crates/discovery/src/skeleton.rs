@@ -81,12 +81,7 @@ pub(crate) fn skeleton_search_compiled(
     vars: &[&str],
     options: &SkeletonOptions,
 ) -> Result<SkeletonResult> {
-    let mut graph = MixedGraph::new(vars.iter().map(|s| s.to_string()));
-    for a in 0..vars.len() {
-        for b in (a + 1)..vars.len() {
-            graph.add_nondirected(a, b);
-        }
-    }
+    let mut graph = complete_graph(vars);
     let mut sepsets = SepsetMap::new();
     let n_tests = AtomicUsize::new(0);
 
@@ -104,7 +99,7 @@ pub(crate) fn skeleton_search_compiled(
             .iter()
             .flat_map(|e| [(e.a, e.b), (e.b, e.a)])
             .filter_map(|(x, y)| {
-                let adj: Vec<NodeId> = graph.neighbors(x).into_iter().filter(|&v| v != y).collect();
+                let adj: Vec<NodeId> = graph.neighbors_iter(x).filter(|&v| v != y).collect();
                 (adj.len() >= depth).then_some((x, y, adj))
             })
             .collect();
@@ -129,9 +124,9 @@ pub(crate) fn skeleton_search_compiled(
                 if graph.adjacent(*x, *y) {
                     graph.remove_edge(*x, *y);
                     sepsets.insert(
-                        vars[*x],
-                        vars[*y],
-                        subset.iter().map(|&v| vars[v].to_string()).collect(),
+                        *x as u32,
+                        *y as u32,
+                        subset.iter().map(|&v| v as u32).collect(),
                     );
                 }
             }
@@ -146,6 +141,21 @@ pub(crate) fn skeleton_search_compiled(
     })
 }
 
+/// The complete `o-o` graph over `vars` — the name-interning prelude of the
+/// search.  Everything after this call (candidate evaluation, sepset
+/// recording, merges) is addressed by dense id; no `String` is hashed or
+/// allocated on the fit path (enforced by xlint's `no-string-fit-path`
+/// scope over the search body).
+fn complete_graph(vars: &[&str]) -> MixedGraph {
+    let mut graph = MixedGraph::new(vars.iter().map(|s| s.to_string()));
+    for a in 0..vars.len() {
+        for b in (a + 1)..vars.len() {
+            graph.add_nondirected(a, b);
+        }
+    }
+    graph
+}
+
 /// Searches `adj` for the first (in enumeration order) subset of exactly
 /// `depth` elements that renders `x ⫫ y | subset`, counting issued tests.
 /// Test errors conservatively count as "dependent".
@@ -158,13 +168,17 @@ pub(crate) fn find_separating_subset(
     n_tests: &AtomicUsize,
 ) -> Option<Vec<NodeId>> {
     let mut found: Option<Vec<NodeId>> = None;
+    // xlint: allow(no-alloc-hot-path, one id buffer per candidate, reused across every enumerated subset)
+    let mut z: Vec<u32> = Vec::with_capacity(depth);
     for_each_subset_of_size(adj, depth, &mut |subset| {
         if found.is_some() {
             return;
         }
         n_tests.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic test counter
-        let z: Vec<u32> = subset.iter().map(|&v| v as u32).collect();
+        z.clear();
+        z.extend(subset.iter().map(|&v| v as u32));
         if let Ok(true) = test.independent_ids(x as u32, y as u32, &z) {
+            // xlint: allow(no-alloc-hot-path, one allocation per removed edge, not per CI test)
             found = Some(subset.to_vec());
         }
     });
@@ -198,6 +212,7 @@ pub(crate) fn for_each_subset_of_size(
             current.pop();
         }
     }
+    // xlint: allow(no-alloc-hot-path, one scratch buffer per enumeration, reused by every recursive step)
     let mut current = Vec::with_capacity(size);
     rec(items, size, 0, &mut current, f);
 }
@@ -231,7 +246,8 @@ mod tests {
         assert!(result.graph.adjacent(0, 1));
         assert!(result.graph.adjacent(1, 2));
         assert!(!result.graph.adjacent(0, 2));
-        assert_eq!(result.sepsets.get("A", "C").unwrap(), &["B".to_string()]);
+        // Sepset ids index `vars` (= graph node ids): A=0, B=1, C=2.
+        assert_eq!(result.sepsets.get(0, 2).unwrap(), &[1]);
         assert!(result.n_ci_tests > 0);
     }
 
@@ -251,7 +267,7 @@ mod tests {
         .unwrap();
         assert_eq!(result.graph.n_edges(), 2);
         assert!(!result.graph.adjacent(0, 2));
-        assert_eq!(result.sepsets.get("A", "C").unwrap().len(), 0);
+        assert_eq!(result.sepsets.get(0, 2).unwrap().len(), 0);
     }
 
     #[test]
@@ -285,8 +301,8 @@ mod tests {
         .unwrap();
         assert!(!full.graph.adjacent(0, 3));
         assert_eq!(full.graph.n_edges(), 4);
-        let sep = full.sepsets.get("A", "D").unwrap();
-        assert_eq!(sep, &["B".to_string(), "C".to_string()]);
+        let sep = full.sepsets.get(0, 3).unwrap();
+        assert_eq!(sep, &[1, 2]);
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   and XTranslator's explainability rule.
 //! * [`metrics`] — skeleton/orientation precision, recall and F1 used to
 //!   reproduce Table 6 and Figure 7.
+//! * [`render`] — deterministic text/DOT/Mermaid emitters shared by the CLI
+//!   text path and the serving stack's `/v2/graph` endpoint.
+//!
+//! [`MixedGraph`] stores adjacency as a dense-id hybrid CSR (interned node
+//! names, packed `u32` edge entries, O(degree) array walks) — see the
+//! `mixed_graph` module docs for the layout.
 
 #![warn(missing_docs)]
 
@@ -24,6 +30,7 @@ mod edge;
 mod endpoint;
 pub mod metrics;
 mod mixed_graph;
+pub mod render;
 pub mod separation;
 
 pub use dag::Dag;

@@ -1,15 +1,84 @@
 //! Directed mixed graphs with endpoint marks (MAGs and PAGs live here).
+//!
+//! # Storage: hybrid CSR over dense ids
+//!
+//! Node names are interned once at construction: every query after that is
+//! addressed by dense [`NodeId`] (`names` is a display-only side table, and
+//! the name→id `index` is consulted only at API boundaries such as
+//! [`MixedGraph::id`] / [`MixedGraph::merge_by_name`]).
+//!
+//! Adjacency is a compressed-sparse-row layout adapted for the mutation
+//! pattern of constraint-based discovery (edges are removed by skeleton
+//! search, re-marked by orientation, and occasionally added back):
+//!
+//! ```text
+//! pool:    [ block of node 0 … | block of node 1 … | relocated block … ]
+//! offsets: start of each node's block in `pool`
+//! caps:    allocated slots per block (block grows by relocating to the
+//!          pool tail with doubled capacity, amortized O(1) per insert)
+//! degrees: live entries per block
+//! ```
+//!
+//! Each live entry is one packed `u32`: bits 0–27 the neighbor id, bits
+//! 28–29 the mark at this node's end, bits 30–31 the mark at the neighbor's
+//! end.  Blocks are kept sorted by neighbor id, so every traversal is a
+//! cache-friendly O(degree) array walk and all iteration orders (and
+//! therefore all rendered output) are deterministic by dense id.  Stale
+//! blocks left behind by relocation are dead space, never read; graphs here
+//! are variable-count sized (tens of nodes), so the slack is irrelevant.
 
-// HashMap here never leaks iteration order into output: adjacency lookups; traversals order by NodeId (see clippy.toml).
+// HashMap here never leaks iteration order into output: the FxHashMap alias resolves to std
+// HashMap and serves boundary name->id lookups only; traversals order by NodeId (see clippy.toml).
 #![allow(clippy::disallowed_types)]
 
 use crate::edge::Edge;
 use crate::endpoint::Mark;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use fxhash::FxHashMap;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 
 /// Dense node identifier inside a [`MixedGraph`].
 pub type NodeId = usize;
+
+/// Bits of a packed adjacency entry that hold the neighbor id.
+const NODE_BITS: u32 = 28;
+/// Mask extracting the neighbor id from a packed entry.
+const NODE_MASK: u32 = (1 << NODE_BITS) - 1;
+/// Smallest capacity a block relocates to.
+const MIN_BLOCK_CAP: u32 = 4;
+
+fn mark_bits(mark: Mark) -> u32 {
+    match mark {
+        Mark::Tail => 0,
+        Mark::Arrow => 1,
+        Mark::Circle => 2,
+    }
+}
+
+fn bits_mark(bits: u32) -> Mark {
+    match bits & 0b11 {
+        0 => Mark::Tail,
+        1 => Mark::Arrow,
+        _ => Mark::Circle,
+    }
+}
+
+/// Packs `(neighbor, mark at this end, mark at the far end)` into one `u32`.
+fn pack(neighbor: NodeId, near: Mark, far: Mark) -> u32 {
+    neighbor as u32 | (mark_bits(near) << NODE_BITS) | (mark_bits(far) << (NODE_BITS + 2))
+}
+
+fn entry_neighbor(entry: u32) -> NodeId {
+    (entry & NODE_MASK) as NodeId
+}
+
+fn entry_near(entry: u32) -> Mark {
+    bits_mark(entry >> NODE_BITS)
+}
+
+fn entry_far(entry: u32) -> Mark {
+    bits_mark(entry >> (NODE_BITS + 2))
+}
 
 /// Classification of an edge by its two endpoint marks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,12 +101,19 @@ pub enum EdgeType {
 ///
 /// The same structure represents skeletons (all-circle marks), MAGs
 /// (tail/arrow marks, ancestral, maximal) and PAGs (possibly with circles).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// See the module docs for the dense-id CSR storage layout.
+#[derive(Debug, Clone)]
 pub struct MixedGraph {
     names: Vec<String>,
-    index: HashMap<String, NodeId>,
-    /// `adj[a][b] = (mark at a, mark at b)` for each edge `a – b`.
-    adj: Vec<BTreeMap<NodeId, (Mark, Mark)>>,
+    index: FxHashMap<String, NodeId>,
+    /// Start of each node's adjacency block in `pool`.
+    offsets: Vec<u32>,
+    /// Allocated slots per block.
+    caps: Vec<u32>,
+    /// Live entries per block.
+    degrees: Vec<u32>,
+    /// Packed adjacency entries, blocks sorted by neighbor id.
+    pool: Vec<u32>,
 }
 
 impl MixedGraph {
@@ -48,13 +124,24 @@ impl MixedGraph {
         S: Into<String>,
     {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(
+            names.len() <= NODE_MASK as usize,
+            "MixedGraph supports at most 2^28 nodes"
+        );
         let index = names
             .iter()
             .enumerate()
             .map(|(i, n)| (n.clone(), i))
             .collect();
-        let adj = vec![BTreeMap::new(); names.len()];
-        MixedGraph { names, index, adj }
+        let n = names.len();
+        MixedGraph {
+            names,
+            index,
+            offsets: vec![0; n],
+            caps: vec![0; n],
+            degrees: vec![0; n],
+            pool: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -83,11 +170,75 @@ impl MixedGraph {
             .unwrap_or_else(|| panic!("node `{name}` is not part of the graph"))
     }
 
+    /// Node `a`'s live adjacency block.
+    fn block(&self, a: NodeId) -> &[u32] {
+        let start = self.offsets[a] as usize;
+        &self.pool[start..start + self.degrees[a] as usize]
+    }
+
+    /// Pool index of the entry `a → b`, if adjacent.
+    fn find(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        let start = self.offsets[a] as usize;
+        self.block(a)
+            .iter()
+            .position(|&e| entry_neighbor(e) == b)
+            .map(|i| start + i)
+    }
+
+    /// Moves `a`'s block to the pool tail with doubled capacity.
+    fn relocate(&mut self, a: NodeId) {
+        let new_cap = (self.caps[a] * 2).max(MIN_BLOCK_CAP);
+        let start = self.offsets[a] as usize;
+        let deg = self.degrees[a] as usize;
+        let new_start = self.pool.len();
+        self.pool.extend_from_within(start..start + deg);
+        self.pool.resize(new_start + new_cap as usize, 0);
+        self.offsets[a] = new_start as u32;
+        self.caps[a] = new_cap;
+    }
+
+    /// Inserts or replaces the half-edge `a → b`, keeping the block sorted.
+    fn half_insert(&mut self, a: NodeId, b: NodeId, near: Mark, far: Mark) {
+        let entry = pack(b, near, far);
+        let start = self.offsets[a] as usize;
+        let deg = self.degrees[a] as usize;
+        let mut pos = deg;
+        for i in 0..deg {
+            let nb = entry_neighbor(self.pool[start + i]);
+            if nb == b {
+                self.pool[start + i] = entry;
+                return;
+            }
+            if nb > b {
+                pos = i;
+                break;
+            }
+        }
+        if deg == self.caps[a] as usize {
+            self.relocate(a);
+        }
+        let start = self.offsets[a] as usize;
+        self.pool
+            .copy_within(start + pos..start + deg, start + pos + 1);
+        self.pool[start + pos] = entry;
+        self.degrees[a] += 1;
+    }
+
+    /// Removes the half-edge `a → b`, if present.
+    fn half_remove(&mut self, a: NodeId, b: NodeId) {
+        let start = self.offsets[a] as usize;
+        let deg = self.degrees[a] as usize;
+        if let Some(i) = self.block(a).iter().position(|&e| entry_neighbor(e) == b) {
+            self.pool.copy_within(start + i + 1..start + deg, start + i);
+            self.degrees[a] -= 1;
+        }
+    }
+
     /// Inserts (or replaces) the edge `a – b` with the given marks.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId, mark_a: Mark, mark_b: Mark) {
         assert!(a != b, "self loops are not allowed");
-        self.adj[a].insert(b, (mark_a, mark_b));
-        self.adj[b].insert(a, (mark_b, mark_a));
+        self.half_insert(a, b, mark_a, mark_b);
+        self.half_insert(b, a, mark_b, mark_a);
     }
 
     /// Inserts the directed edge `a → b`.
@@ -107,33 +258,38 @@ impl MixedGraph {
 
     /// Removes the edge between `a` and `b`, if any.
     pub fn remove_edge(&mut self, a: NodeId, b: NodeId) {
-        self.adj[a].remove(&b);
-        self.adj[b].remove(&a);
+        self.half_remove(a, b);
+        self.half_remove(b, a);
     }
 
     /// Returns `true` when `a` and `b` are adjacent.
     pub fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
-        self.adj[a].contains_key(&b)
+        self.find(a, b).is_some()
     }
 
     /// The edge between `a` and `b`, if any.
     pub fn edge(&self, a: NodeId, b: NodeId) -> Option<Edge> {
-        self.adj[a].get(&b).map(|&(ma, mb)| Edge::new(a, b, ma, mb))
+        self.find(a, b)
+            .map(|i| Edge::new(a, b, entry_near(self.pool[i]), entry_far(self.pool[i])))
     }
 
     /// The mark at `at`'s end of the edge between `at` and `other`.
     pub fn mark_at(&self, at: NodeId, other: NodeId) -> Option<Mark> {
-        self.adj[at].get(&other).map(|&(m, _)| m)
+        self.find(at, other).map(|i| entry_near(self.pool[i]))
     }
 
     /// Sets the mark at `at`'s end of the existing edge between `at` and
     /// `other`.  Panics when the edge does not exist.
     pub fn set_mark(&mut self, at: NodeId, other: NodeId, mark: Mark) {
-        let (_, far) = *self.adj[at]
-            .get(&other)
+        let i = self
+            .find(at, other)
             .unwrap_or_else(|| panic!("no edge between {at} and {other}"));
-        self.adj[at].insert(other, (mark, far));
-        self.adj[other].insert(at, (far, mark));
+        let far = entry_far(self.pool[i]);
+        self.pool[i] = pack(other, mark, far);
+        // Mirror entry: the far mark seen from `other` is the new near mark.
+        if let Some(j) = self.find(other, at) {
+            self.pool[j] = pack(at, far, mark);
+        }
     }
 
     /// Orients the existing edge as `a → b` (tail at `a`, arrowhead at `b`).
@@ -142,21 +298,50 @@ impl MixedGraph {
         self.set_mark(b, a, Mark::Arrow);
     }
 
-    /// Neighbors of `a` (any edge).
+    /// Neighbors of `a` (any edge), ascending by id.
     pub fn neighbors(&self, a: NodeId) -> Vec<NodeId> {
-        self.adj[a].keys().copied().collect()
+        self.neighbors_iter(a).collect()
+    }
+
+    /// Iterates the neighbors of `a` ascending by id, without allocating.
+    pub fn neighbors_iter(&self, a: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.block(a).iter().map(|&e| entry_neighbor(e))
+    }
+
+    /// Iterates `(neighbor, mark at a, mark at neighbor)` for every edge at
+    /// `a`, ascending by neighbor id, without allocating.
+    pub fn edges_at_iter(&self, a: NodeId) -> impl Iterator<Item = (NodeId, Mark, Mark)> + '_ {
+        self.block(a)
+            .iter()
+            .map(|&e| (entry_neighbor(e), entry_near(e), entry_far(e)))
+    }
+
+    /// The `i`-th neighbor of `a` (ascending by id; `i < degree(a)`).
+    ///
+    /// Index-addressed access lets orientation rules walk adjacency while
+    /// re-marking edges: [`MixedGraph::set_mark`] never changes block
+    /// membership or order, so indices stay valid across it.
+    pub fn neighbor_at(&self, a: NodeId, i: usize) -> NodeId {
+        entry_neighbor(self.block(a)[i])
+    }
+
+    /// The `i`-th adjacency entry of `a` as `(neighbor, mark at a, mark at
+    /// neighbor)`.
+    pub fn entry_at(&self, a: NodeId, i: usize) -> (NodeId, Mark, Mark) {
+        let e = self.block(a)[i];
+        (entry_neighbor(e), entry_near(e), entry_far(e))
     }
 
     /// Degree of `a`.
     pub fn degree(&self, a: NodeId) -> usize {
-        self.adj[a].len()
+        self.degrees[a] as usize
     }
 
-    /// All edges, each reported once with `a < b`.
+    /// All edges, each reported once with `a < b`, ascending by `(a, b)`.
     pub fn edges(&self) -> Vec<Edge> {
         let mut out = Vec::new();
         for a in 0..self.n_nodes() {
-            for (&b, &(ma, mb)) in &self.adj[a] {
+            for (b, ma, mb) in self.edges_at_iter(a) {
                 if a < b {
                     out.push(Edge::new(a, b, ma, mb));
                 }
@@ -167,41 +352,53 @@ impl MixedGraph {
 
     /// Number of edges.
     pub fn n_edges(&self) -> usize {
-        self.adj.iter().map(|m| m.len()).sum::<usize>() / 2
+        self.degrees.iter().map(|&d| d as usize).sum::<usize>() / 2
     }
 
     /// Classification of the edge between `a` and `b`.
     pub fn edge_type(&self, a: NodeId, b: NodeId) -> Option<EdgeType> {
-        self.adj[a].get(&b).map(|&(ma, mb)| match (ma, mb) {
-            (Mark::Tail, Mark::Arrow) | (Mark::Arrow, Mark::Tail) => EdgeType::Directed,
-            (Mark::Arrow, Mark::Arrow) => EdgeType::Bidirected,
-            (Mark::Circle, Mark::Circle) => EdgeType::Nondirected,
-            (Mark::Tail, Mark::Tail) => EdgeType::Undirected,
-            _ => EdgeType::PartiallyDirected,
+        self.find(a, b).map(|i| {
+            let e = self.pool[i];
+            match (entry_near(e), entry_far(e)) {
+                (Mark::Tail, Mark::Arrow) | (Mark::Arrow, Mark::Tail) => EdgeType::Directed,
+                (Mark::Arrow, Mark::Arrow) => EdgeType::Bidirected,
+                (Mark::Circle, Mark::Circle) => EdgeType::Nondirected,
+                (Mark::Tail, Mark::Tail) => EdgeType::Undirected,
+                _ => EdgeType::PartiallyDirected,
+            }
         })
     }
 
     /// Returns `true` when `a → b` (tail at a, arrowhead at b).
     pub fn is_parent(&self, a: NodeId, b: NodeId) -> bool {
-        matches!(self.adj[a].get(&b), Some(&(Mark::Tail, Mark::Arrow)))
+        self.find(a, b).is_some_and(|i| {
+            let e = self.pool[i];
+            entry_near(e) == Mark::Tail && entry_far(e) == Mark::Arrow
+        })
     }
 
-    /// Parents of `b`: nodes `a` with `a → b`.
+    /// Parents of `b`: nodes `a` with `a → b`, ascending by id.
     pub fn parents(&self, b: NodeId) -> Vec<NodeId> {
-        self.adj[b]
-            .iter()
-            .filter(|&(_, &(mb, ma))| mb == Mark::Arrow && ma == Mark::Tail)
-            .map(|(&a, _)| a)
-            .collect()
+        self.parents_iter(b).collect()
     }
 
-    /// Children of `a`: nodes `b` with `a → b`.
+    /// Iterates the parents of `b` ascending by id, without allocating.
+    pub fn parents_iter(&self, b: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges_at_iter(b)
+            .filter(|&(_, mb, ma)| mb == Mark::Arrow && ma == Mark::Tail)
+            .map(|(a, _, _)| a)
+    }
+
+    /// Children of `a`: nodes `b` with `a → b`, ascending by id.
     pub fn children(&self, a: NodeId) -> Vec<NodeId> {
-        self.adj[a]
-            .iter()
-            .filter(|&(_, &(ma, mb))| ma == Mark::Tail && mb == Mark::Arrow)
-            .map(|(&b, _)| b)
-            .collect()
+        self.children_iter(a).collect()
+    }
+
+    /// Iterates the children of `a` ascending by id, without allocating.
+    pub fn children_iter(&self, a: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges_at_iter(a)
+            .filter(|&(_, ma, mb)| ma == Mark::Tail && mb == Mark::Arrow)
+            .map(|(b, _, _)| b)
     }
 
     /// Returns `true` when `mid` is a collider on the path `prev *→ mid ←* next`.
@@ -218,18 +415,40 @@ impl MixedGraph {
         self.adjacent(a, mid) && self.adjacent(mid, c) && !self.adjacent(a, c) && a != c
     }
 
-    /// Ancestors of `x` (via directed edges only), not including `x` itself.
-    pub fn ancestors(&self, x: NodeId) -> HashSet<NodeId> {
-        let mut seen = HashSet::new();
-        let mut queue = VecDeque::from(vec![x]);
+    /// Marks every ancestor of `x` (via directed edges only, `x` excluded)
+    /// in `seen`, which must be `n_nodes()` long.  Allocation-free except
+    /// for the caller-provided scratch.
+    pub(crate) fn mark_ancestors(
+        &self,
+        x: NodeId,
+        seen: &mut [bool],
+        queue: &mut VecDeque<NodeId>,
+    ) {
+        queue.clear();
+        queue.push_back(x);
         while let Some(v) = queue.pop_front() {
-            for p in self.parents(v) {
-                if seen.insert(p) {
+            for p in self.parents_iter(v) {
+                if !seen[p] {
+                    seen[p] = true;
                     queue.push_back(p);
                 }
             }
         }
-        seen
+    }
+
+    /// Ancestors of `x` (via directed edges only), not including `x` itself.
+    pub fn ancestors(&self, x: NodeId) -> HashSet<NodeId> {
+        let mut seen = vec![false; self.n_nodes()];
+        let mut queue = VecDeque::new();
+        self.mark_ancestors(x, &mut seen, &mut queue);
+        let mut out = HashSet::new();
+        out.extend(
+            seen.iter()
+                .enumerate()
+                .filter(|&(v, &s)| s && v != x)
+                .map(|(v, _)| v),
+        );
+        out
     }
 
     /// Descendants of `x` (via directed edges only), not including `x` itself.
@@ -237,7 +456,7 @@ impl MixedGraph {
         let mut seen = HashSet::new();
         let mut queue = VecDeque::from(vec![x]);
         while let Some(v) = queue.pop_front() {
-            for c in self.children(v) {
+            for c in self.children_iter(v) {
                 if seen.insert(c) {
                     queue.push_back(c);
                 }
@@ -354,29 +573,25 @@ impl MixedGraph {
         }
     }
 
-    /// Renders a readable multi-line description (one edge per line).
+    /// Renders a readable multi-line description (one edge per line, in
+    /// dense-id order) — see [`crate::render::to_text`].
     pub fn to_text(&self) -> String {
-        let mut lines: Vec<String> = self
-            .edges()
-            .iter()
-            .map(|e| {
-                let left = match e.near_a {
-                    Mark::Tail => "-",
-                    Mark::Arrow => "<",
-                    Mark::Circle => "o",
-                };
-                let right = match e.near_b {
-                    Mark::Tail => "-",
-                    Mark::Arrow => ">",
-                    Mark::Circle => "o",
-                };
-                format!("{} {}-{} {}", self.names[e.a], left, right, self.names[e.b])
-            })
-            .collect();
-        lines.sort();
-        lines.join("\n")
+        crate::render::to_text(self)
     }
 }
+
+impl PartialEq for MixedGraph {
+    /// Structural equality: same names (in id order) and the same live
+    /// adjacency per node.  Pool layout artifacts — block capacities,
+    /// relocation garbage — are ignored, so two graphs built through
+    /// different mutation histories compare equal iff they represent the
+    /// same marked graph.
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names && (0..self.n_nodes()).all(|a| self.block(a) == other.block(a))
+    }
+}
+
+impl Eq for MixedGraph {}
 
 impl fmt::Display for MixedGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -539,5 +754,73 @@ mod tests {
     fn expect_id_panics_on_unknown() {
         let g = MixedGraph::new(["A"]);
         g.expect_id("B");
+    }
+
+    #[test]
+    fn packed_entries_round_trip_all_mark_pairs() {
+        for &near in &[Mark::Tail, Mark::Arrow, Mark::Circle] {
+            for &far in &[Mark::Tail, Mark::Arrow, Mark::Circle] {
+                let e = pack(NODE_MASK as NodeId, near, far);
+                assert_eq!(entry_neighbor(e), NODE_MASK as NodeId);
+                assert_eq!(entry_near(e), near);
+                assert_eq!(entry_far(e), far);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_stay_sorted_across_relocation() {
+        // Insert neighbors in descending order so every insert shifts, and
+        // enough of them that the hub block relocates several times.
+        let n = 40;
+        let mut g = MixedGraph::new((0..n).map(|i| format!("V{i}")));
+        for b in (1..n).rev() {
+            g.add_edge(0, b, Mark::Circle, Mark::Arrow);
+        }
+        let neighbors = g.neighbors(0);
+        let mut sorted = neighbors.clone();
+        sorted.sort_unstable();
+        assert_eq!(neighbors, sorted);
+        assert_eq!(g.degree(0), n - 1);
+        for b in 1..n {
+            assert_eq!(g.mark_at(0, b), Some(Mark::Circle));
+            assert_eq!(g.mark_at(b, 0), Some(Mark::Arrow));
+        }
+    }
+
+    #[test]
+    fn equality_ignores_mutation_history() {
+        // Same final graph through different insert/remove orders.
+        let mut a = MixedGraph::new(["A", "B", "C", "D"]);
+        a.add_directed(0, 1);
+        a.add_directed(1, 2);
+        a.add_nondirected(2, 3);
+        a.add_directed(0, 3);
+        a.remove_edge(0, 3);
+
+        let mut b = MixedGraph::new(["A", "B", "C", "D"]);
+        b.add_nondirected(2, 3);
+        b.add_directed(1, 2);
+        b.add_directed(0, 1);
+
+        assert_eq!(a, b);
+        b.set_mark(2, 3, Mark::Arrow);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn index_addressed_walks_match_iterators() {
+        let g = lung_cancer_graph();
+        for v in 0..g.n_nodes() {
+            let via_iter: Vec<_> = g.edges_at_iter(v).collect();
+            let via_index: Vec<_> = (0..g.degree(v)).map(|i| g.entry_at(v, i)).collect();
+            assert_eq!(via_iter, via_index);
+            assert_eq!(
+                g.neighbors(v),
+                (0..g.degree(v))
+                    .map(|i| g.neighbor_at(v, i))
+                    .collect::<Vec<_>>()
+            );
+        }
     }
 }

@@ -1,0 +1,205 @@
+//! Deterministic emitters for [`MixedGraph`]: plain text, Graphviz DOT and
+//! Mermaid.
+//!
+//! All three walk [`MixedGraph::edges`], which reports edges ascending by
+//! dense `(a, b)` id, so output depends only on graph content — never on map
+//! iteration order.  One emitter serves every consumer: the CLI text path
+//! (`MixedGraph::to_text` / `Display`) and the `/v2/graph` endpoint both
+//! call into this module.
+
+use crate::endpoint::Mark;
+use crate::mixed_graph::MixedGraph;
+use std::fmt::Write;
+
+/// The lowercase wire name of a mark (`"tail"` / `"arrow"` / `"circle"`),
+/// used by the `/v2/graph` JSON payload and the persisted model format.
+pub fn mark_name(mark: Mark) -> &'static str {
+    match mark {
+        Mark::Tail => "tail",
+        Mark::Arrow => "arrow",
+        Mark::Circle => "circle",
+    }
+}
+
+/// Renders one edge per line as `A <mark>-<mark> B` (e.g. `Smoking -->
+/// LungCancer`, `X o-o Y`), in dense-id edge order.
+pub fn to_text(graph: &MixedGraph) -> String {
+    let mut out = String::new();
+    for (i, e) in graph.edges().iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let left = match e.near_a {
+            Mark::Tail => "-",
+            Mark::Arrow => "<",
+            Mark::Circle => "o",
+        };
+        let right = match e.near_b {
+            Mark::Tail => "-",
+            Mark::Arrow => ">",
+            Mark::Circle => "o",
+        };
+        let _ = write!(
+            out,
+            "{} {}-{} {}",
+            graph.name(e.a),
+            left,
+            right,
+            graph.name(e.b)
+        );
+    }
+    out
+}
+
+/// Renders the graph as a Graphviz `graph` document.
+///
+/// Endpoint marks map onto DOT arrow shapes: tail → `none`, arrowhead →
+/// `normal`, circle → `odot`; every edge sets `dir=both` so both endpoint
+/// shapes render.  Node ids are `n<dense id>` with the display name as the
+/// label.
+pub fn to_dot(graph: &MixedGraph) -> String {
+    let mut out = String::from("graph pag {\n  node [shape=box];\n");
+    for (id, name) in graph.names().iter().enumerate() {
+        let _ = writeln!(out, "  n{id} [label=\"{}\"];", escape_dot(name));
+    }
+    for e in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [dir=both, arrowtail={}, arrowhead={}];",
+            e.a,
+            e.b,
+            dot_arrow(e.near_a),
+            dot_arrow(e.near_b)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn dot_arrow(mark: Mark) -> &'static str {
+    match mark {
+        Mark::Tail => "none",
+        Mark::Arrow => "normal",
+        Mark::Circle => "odot",
+    }
+}
+
+/// Renders the graph as a Mermaid `flowchart LR` document.
+///
+/// Mermaid link decorations carry the endpoint marks: `-->` for an
+/// arrowhead, `--o` for a circle, bare `---` for tail–tail.  An edge whose
+/// only mark sits at the `a` end is emitted reversed so the decoration
+/// lands on the link's right-hand side, which every Mermaid version
+/// renders.
+pub fn to_mermaid(graph: &MixedGraph) -> String {
+    let mut out = String::from("flowchart LR\n");
+    for (id, name) in graph.names().iter().enumerate() {
+        let _ = writeln!(out, "  n{id}[\"{}\"]", escape_mermaid(name));
+    }
+    for e in graph.edges() {
+        let (a, b, near_a, near_b) = if e.near_b == Mark::Tail && e.near_a != Mark::Tail {
+            (e.b, e.a, e.near_b, e.near_a)
+        } else {
+            (e.a, e.b, e.near_a, e.near_b)
+        };
+        let left = match near_a {
+            Mark::Tail => "",
+            Mark::Arrow => "<",
+            Mark::Circle => "o",
+        };
+        let right = match near_b {
+            Mark::Tail => "",
+            Mark::Arrow => ">",
+            Mark::Circle => "o",
+        };
+        let link = if left.is_empty() && right.is_empty() {
+            "---".to_string()
+        } else {
+            format!("{left}--{right}")
+        };
+        let _ = writeln!(out, "  n{a} {link} n{b}");
+    }
+    out
+}
+
+fn escape_dot(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn escape_mermaid(name: &str) -> String {
+    // Mermaid has no in-string escape for double quotes; substitute.
+    name.replace('"', "'")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> MixedGraph {
+        let mut g = MixedGraph::new(["A", "B", "C"]);
+        g.add_directed(0, 1);
+        g.add_edge(1, 2, Mark::Circle, Mark::Circle);
+        g
+    }
+
+    #[test]
+    fn text_is_dense_id_ordered() {
+        let g = chain();
+        assert_eq!(to_text(&g), "A --> B\nB o-o C");
+    }
+
+    #[test]
+    fn dot_lists_every_node_and_edge() {
+        let g = chain();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("graph pag {"));
+        assert!(dot.contains("n0 [label=\"A\"];"));
+        assert!(dot.contains("n0 -- n1 [dir=both, arrowtail=none, arrowhead=normal];"));
+        assert!(dot.contains("n1 -- n2 [dir=both, arrowtail=odot, arrowhead=odot];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn mermaid_decorations_match_marks() {
+        let g = chain();
+        let mermaid = to_mermaid(&g);
+        assert!(mermaid.starts_with("flowchart LR\n"));
+        assert!(mermaid.contains("n0[\"A\"]"));
+        assert!(mermaid.contains("n0 --> n1"));
+        assert!(mermaid.contains("n1 o--o n2"));
+    }
+
+    #[test]
+    fn mermaid_reverses_left_only_marks() {
+        // B <- A stored as A -> B with a < b swapped: build C <-o D so the
+        // circle sits at the low endpoint and the arrow at... exercise the
+        // reversal branch with an (Arrow, Tail) edge.
+        let mut g = MixedGraph::new(["A", "B"]);
+        g.add_edge(0, 1, Mark::Arrow, Mark::Tail); // A <- B
+        let mermaid = to_mermaid(&g);
+        assert!(mermaid.contains("n1 --> n0"), "got:\n{mermaid}");
+    }
+
+    #[test]
+    fn emitters_are_deterministic_across_histories() {
+        let mut a = MixedGraph::new(["A", "B", "C"]);
+        a.add_directed(0, 1);
+        a.add_directed(1, 2);
+        a.remove_edge(0, 1);
+        a.add_directed(0, 1);
+        let mut b = MixedGraph::new(["A", "B", "C"]);
+        b.add_directed(1, 2);
+        b.add_directed(0, 1);
+        assert_eq!(to_text(&a), to_text(&b));
+        assert_eq!(to_dot(&a), to_dot(&b));
+        assert_eq!(to_mermaid(&a), to_mermaid(&b));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g = MixedGraph::new(["with \"quote\"", "plain"]);
+        g.add_directed(0, 1);
+        assert!(to_dot(&g).contains("label=\"with \\\"quote\\\"\""));
+        assert!(to_mermaid(&g).contains("n0[\"with 'quote'\"]"));
+    }
+}

@@ -15,7 +15,7 @@
 //! PAGs (a circle never hides a connecting path behind a collider).
 
 use crate::mixed_graph::{MixedGraph, NodeId};
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Returns `true` when `x` and `y` are m-separated by `z` in `graph`.
 pub fn m_separated(graph: &MixedGraph, x: NodeId, y: NodeId, z: &[NodeId]) -> bool {
@@ -24,6 +24,11 @@ pub fn m_separated(graph: &MixedGraph, x: NodeId, y: NodeId, z: &[NodeId]) -> bo
 
 /// Returns `true` when there exists an m-connecting path between `x` and `y`
 /// given `z`.
+///
+/// Working state is dense over node ids (`Vec<bool>` membership tables and
+/// an `n × n` visited matrix for the `(from, to)` edge-traversal states) —
+/// no hashing anywhere on the sweep, which sits on XTranslator's online
+/// explainability path as well as the test oracle.
 pub fn m_connected(graph: &MixedGraph, x: NodeId, y: NodeId, z: &[NodeId]) -> bool {
     if x == y {
         return true;
@@ -33,39 +38,42 @@ pub fn m_connected(graph: &MixedGraph, x: NodeId, y: NodeId, z: &[NodeId]) -> bo
         // be blocked.
         return true;
     }
-    let zset: HashSet<NodeId> = z.iter().copied().collect();
-    if zset.contains(&x) || zset.contains(&y) {
-        // Conditioning on an endpoint is degenerate; follow the convention
-        // that paths through conditioned endpoints are blocked but the
-        // endpoints themselves still count as connected only via an edge.
-    }
-    // Nodes that keep colliders open: Z and all ancestors of Z.
-    let mut open_colliders: HashSet<NodeId> = zset.clone();
+    let n = graph.n_nodes();
+    let mut in_z = vec![false; n];
     for &zi in z {
-        open_colliders.extend(graph.ancestors(zi));
+        in_z[zi] = true;
+    }
+    // Nodes that keep colliders open: Z and all ancestors of Z (conditioning
+    // on an endpoint is degenerate; paths through conditioned endpoints are
+    // blocked but the endpoints still count as connected via an edge).
+    let mut open_colliders = in_z.clone();
+    let mut scratch_queue = VecDeque::new();
+    for &zi in z {
+        graph.mark_ancestors(zi, &mut open_colliders, &mut scratch_queue);
     }
 
     // State (u, v): we arrived at v coming from u along edge {u, v}.
-    let mut visited: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut visited = vec![false; n * n];
     let mut queue: VecDeque<(NodeId, NodeId)> = VecDeque::new();
-    for w in graph.neighbors(x) {
+    for w in graph.neighbors_iter(x) {
         if w == y {
             return true;
         }
-        if visited.insert((x, w)) {
+        if !visited[x * n + w] {
+            visited[x * n + w] = true;
             queue.push_back((x, w));
         }
     }
     while let Some((u, v)) = queue.pop_front() {
-        for w in graph.neighbors(v) {
+        for w in graph.neighbors_iter(v) {
             if w == u {
                 continue;
             }
             let collider = graph.is_collider(u, v, w);
             let open = if collider {
-                open_colliders.contains(&v)
+                open_colliders[v]
             } else {
-                !zset.contains(&v)
+                !in_z[v]
             };
             if !open {
                 continue;
@@ -73,7 +81,8 @@ pub fn m_connected(graph: &MixedGraph, x: NodeId, y: NodeId, z: &[NodeId]) -> bo
             if w == y {
                 return true;
             }
-            if visited.insert((v, w)) {
+            if !visited[v * n + w] {
+                visited[v * n + w] = true;
                 queue.push_back((v, w));
             }
         }

@@ -383,6 +383,78 @@ fn smoke(addr: SocketAddr) -> Result<(), String> {
     }
     println!("smoke: /v2/explain (top_k=1) on `{}` ok", model.id);
 
+    // Fitted-graph endpoint: all three formats.  The JSON is validated
+    // structurally (edge endpoints index the node list, marks come from the
+    // closed vocabulary); the DOT and Mermaid texts are checked for their
+    // fixed headers.
+    let resp = client
+        .get(&format!("/v2/graph?model={}", model.id))
+        .map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("GET /v2/graph -> {}: {}", resp.status, resp.body));
+    }
+    let doc = Json::parse(&resp.body).map_err(|e| e.to_string())?;
+    let graph = doc
+        .get("graph")
+        .map_err(|e| format!("graph body missing graph: {e}"))?;
+    let n_nodes = graph
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("graph body missing nodes: {e}"))?
+        .len() as u64;
+    let edges = graph
+        .get("edges")
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("graph body missing edges: {e}"))?;
+    for edge in edges {
+        let a = edge
+            .get("a")
+            .and_then(Json::as_u64)
+            .map_err(|e| format!("graph edge missing endpoint: {e}"))?;
+        let b = edge
+            .get("b")
+            .and_then(Json::as_u64)
+            .map_err(|e| format!("graph edge missing endpoint: {e}"))?;
+        if a >= n_nodes || b >= n_nodes {
+            return Err(format!("graph edge ({a}, {b}) outside {n_nodes} nodes"));
+        }
+        for mark_key in ["mark_a", "mark_b"] {
+            let mark = edge
+                .get(mark_key)
+                .and_then(Json::as_str)
+                .map_err(|e| format!("graph edge missing {mark_key}: {e}"))?;
+            if !matches!(mark, "tail" | "arrow" | "circle") {
+                return Err(format!("graph edge has unknown mark `{mark}`"));
+            }
+        }
+    }
+    doc.get("sepsets")
+        .and_then(Json::as_arr)
+        .map_err(|e| format!("graph body missing sepsets: {e}"))?;
+    let n_edges = edges.len();
+    let resp = client
+        .get(&format!("/v2/graph?model={}&format=dot", model.id))
+        .map_err(|e| e.to_string())?;
+    if resp.status != 200 || !resp.body.starts_with("graph pag {") {
+        return Err(format!(
+            "GET /v2/graph format=dot -> {}: {}",
+            resp.status, resp.body
+        ));
+    }
+    let resp = client
+        .get(&format!("/v2/graph?model={}&format=mermaid", model.id))
+        .map_err(|e| e.to_string())?;
+    if resp.status != 200 || !resp.body.starts_with("flowchart LR") {
+        return Err(format!(
+            "GET /v2/graph format=mermaid -> {}: {}",
+            resp.status, resp.body
+        ));
+    }
+    println!(
+        "smoke: /v2/graph on `{}` ok (json+dot+mermaid, {n_nodes} nodes, {n_edges} edges)",
+        model.id
+    );
+
     // Streaming ingest: append a handful of template rows, assert the new
     // segment shows up in /stats, and that a re-issued /v2/explain answers
     // against the grown store (fresh generation ⇒ not a cache replay).

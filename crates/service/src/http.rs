@@ -68,10 +68,10 @@ pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// Response body (JSON everywhere except `/metrics`, which serves
-    /// Prometheus text exposition).
+    /// Prometheus text exposition, and `/v2/graph`'s DOT/Mermaid text).
     pub body: String,
     /// The `Content-Type` the wire advertises.  A `&'static str` because
-    /// the service only ever serves the two fixed types below.
+    /// the service only ever serves the few fixed types below.
     pub content_type: &'static str,
 }
 
@@ -85,13 +85,23 @@ impl Response {
         }
     }
 
-    /// A plain-text response (the Prometheus exposition content type —
-    /// `/metrics` is the only non-JSON endpoint).
+    /// A plain-text response (the Prometheus exposition content type, used
+    /// by `/metrics`).
     pub fn text(status: u16, body: impl Into<String>) -> Self {
         Response {
             status,
             body: body.into(),
             content_type: "text/plain; version=0.0.4; charset=utf-8",
+        }
+    }
+
+    /// A plain-text response with the generic `text/plain` content type
+    /// (used by `/v2/graph`'s DOT and Mermaid renderings).
+    pub fn plain(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; charset=utf-8",
         }
     }
 

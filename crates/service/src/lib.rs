@@ -64,6 +64,7 @@
 //! | `POST /explain_batch` | `{"model", "queries"}` | v1: per-query results, shared `SelectionCache` |
 //! | `POST /v2/explain` | `{"model", "query", "options"?}` | full envelope: ranked+scored, markers, provenance |
 //! | `POST /v2/explain_batch` | `{"model", "queries", "options"?}` | per-query v2 envelopes |
+//! | `GET /v2/graph` | `?model=<id>&format=json\|dot\|mermaid` | the fitted PAG + FD graph + sepsets, as JSON or rendered DOT/Mermaid |
 //! | `POST /v2/ingest` | `{"model", "rows"}` | appends a sealed segment, bumps the generation — no reload |
 //! | `GET /models` | — | loaded models + example queries + ingest templates |
 //! | `GET /stats` | — | QPS, latency, per-stage latency, cache hit rates, per-model segments/rows/epoch |

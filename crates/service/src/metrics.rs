@@ -171,6 +171,7 @@ pub fn render(snapshot: &MetricsSnapshot<'_>) -> String {
         ("explain_v2", &s.explain_v2),
         ("explain_batch_v2", &s.explain_batch_v2),
         ("ingest_v2", &s.ingest_v2),
+        ("graph_v2", &s.graph_v2),
         ("models", &s.models),
         ("stats", &s.stats),
         ("metrics", &s.metrics),

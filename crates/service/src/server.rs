@@ -555,9 +555,16 @@ fn count_response(shared: &Shared, response: &Response) {
 /// spans on `trace`; the rest are covered by the worker's whole-handler
 /// execute span.
 fn route(shared: &Shared, request: &Request, trace: &mut TraceBuilder) -> (Response, bool) {
+    // Routing is query-string agnostic: `/v2/graph?model=m` is the
+    // `/v2/graph` endpoint.  Handlers that take parameters receive the raw
+    // query part.
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (request.path.as_str(), None),
+    };
     // xlint-endpoints: begin(route) — the routing match is the ground truth
     // for the endpoint inventory; add new routes inside the markers.
-    match (request.method.as_str(), request.path.as_str()) {
+    match (request.method.as_str(), path) {
         // Liveness: answered inline from nothing but the shutdown flag — no
         // model, cache or registry is touched, so it stays cheap and honest
         // even while every engine is busy.
@@ -569,6 +576,7 @@ fn route(shared: &Shared, request: &Request, trace: &mut TraceBuilder) -> (Respo
             (handle_explain_batch_v2(shared, &request.body, trace), false)
         }
         ("POST", "/v2/ingest") => (handle_ingest_v2(shared, &request.body, trace), false),
+        ("GET", "/v2/graph") => (handle_graph_v2(shared, query, trace), false),
         ("GET", "/models") => (handle_models(shared), false),
         ("GET", "/stats") => (handle_stats(shared), false),
         ("GET", "/metrics") => (handle_metrics(shared), false),
@@ -585,7 +593,7 @@ fn route(shared: &Shared, request: &Request, trace: &mut TraceBuilder) -> (Respo
         (
             "GET" | "POST",
             "/healthz" | "/explain" | "/explain_batch" | "/v2/explain" | "/v2/explain_batch"
-            | "/v2/ingest" | "/models" | "/stats" | "/metrics" | "/admin/reload"
+            | "/v2/ingest" | "/v2/graph" | "/models" | "/stats" | "/metrics" | "/admin/reload"
             | "/admin/shutdown",
         ) => (Response::error(405, "method not allowed"), false),
         _ => (
@@ -1255,6 +1263,169 @@ fn handle_ingest_v2(shared: &Shared, body: &[u8], trace: &mut TraceBuilder) -> R
             error_response_v2(&e)
         }
     }
+}
+
+/// `GET /v2/graph?model=<id>&format=json|dot|mermaid`: the fitted causal
+/// graph of a loaded model — the FD-augmented PAG, the FD graph and the
+/// sepset summary — as structured JSON or as ready-to-paste DOT / Mermaid
+/// text (one shared emitter with the CLI, [`xinsight_graph::render`], so
+/// the two surfaces can never drift).
+///
+/// `model` is required; `format` defaults to `json`.  Unknown query
+/// parameters and unknown formats are rejected (`400`) so typos surface
+/// instead of silently serving the default.
+fn handle_graph_v2(shared: &Shared, query: Option<&str>, trace: &mut TraceBuilder) -> Response {
+    use xinsight_core::json::Json;
+    use xinsight_graph::render;
+    let mut model_id: Option<&str> = None;
+    let mut format = "json";
+    for pair in query.unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "model" => model_id = Some(value),
+            "format" => format = value,
+            other => {
+                return error_response_v2(&DataError::Serve(format!(
+                    "unknown query parameter `{other}` (expected `model`, `format`)"
+                )))
+            }
+        }
+    }
+    let Some(model_id) = model_id else {
+        return error_response_v2(&DataError::Serve(
+            "missing required query parameter `model`".to_owned(),
+        ));
+    };
+    if !matches!(format, "json" | "dot" | "mermaid") {
+        return error_response_v2(&DataError::Serve(format!(
+            "unknown graph format `{format}` (expected `json`, `dot` or `mermaid`)"
+        )));
+    }
+    let Some(model) = shared.registry.get(model_id) else {
+        return model_not_found_v2(model_id);
+    };
+    let execute_started = Instant::now();
+    let fitted = model.engine.fitted_model();
+    trace.span(Stage::Execute, execute_started, Instant::now(), "");
+    shared.stats.graph_v2.fetch_add(1, Ordering::Relaxed); // relaxed: monotonic stats counter
+    if format == "dot" {
+        return serialized(trace, || {
+            Response::plain(200, render::to_dot(&fitted.graph))
+        });
+    }
+    if format == "mermaid" {
+        return serialized(trace, || {
+            Response::plain(200, render::to_mermaid(&fitted.graph))
+        });
+    }
+    serialized(trace, || {
+        let nodes: Vec<Json> = fitted
+            .graph
+            .names()
+            .iter()
+            .map(|n| Json::Str(n.clone()))
+            .collect();
+        let edges: Vec<Json> = fitted
+            .graph
+            .edges()
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("a".to_owned(), Json::Num(e.a as f64)),
+                    ("b".to_owned(), Json::Num(e.b as f64)),
+                    (
+                        "mark_a".to_owned(),
+                        Json::Str(render::mark_name(e.near_a).to_owned()),
+                    ),
+                    (
+                        "mark_b".to_owned(),
+                        Json::Str(render::mark_name(e.near_b).to_owned()),
+                    ),
+                ])
+            })
+            .collect();
+        let fd_edges: Vec<Json> = fitted
+            .fd_graph
+            .edges()
+            .iter()
+            .map(|&(a, b)| Json::Arr(vec![Json::Str(a.to_owned()), Json::Str(b.to_owned())]))
+            .collect();
+        // Sepset ids index `fci_variables`; resolve them to names at this
+        // boundary and order deterministically by the id pair.
+        let sep_name = |id: u32| {
+            fitted
+                .fci_variables
+                .get(id as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("#{id}"))
+        };
+        let mut sepset_entries: Vec<(u32, u32, &[u32])> = fitted.sepsets.iter().collect();
+        sepset_entries.sort_unstable_by_key(|&(x, y, _)| (x, y));
+        let sepsets: Vec<Json> = sepset_entries
+            .into_iter()
+            .map(|(x, y, z)| {
+                Json::Obj(vec![
+                    ("x".to_owned(), Json::Str(sep_name(x))),
+                    ("y".to_owned(), Json::Str(sep_name(y))),
+                    (
+                        "z".to_owned(),
+                        Json::Arr(z.iter().map(|&m| Json::Str(sep_name(m))).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("model".to_owned(), Json::Str(model.id.clone())),
+            ("generation".to_owned(), Json::Num(model.generation as f64)),
+            (
+                "graph".to_owned(),
+                Json::Obj(vec![
+                    ("nodes".to_owned(), Json::Arr(nodes)),
+                    ("edges".to_owned(), Json::Arr(edges)),
+                ]),
+            ),
+            (
+                "fd_graph".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "nodes".to_owned(),
+                        Json::Arr(
+                            fitted
+                                .fd_graph
+                                .nodes()
+                                .iter()
+                                .map(|n| Json::Str(n.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    ("edges".to_owned(), Json::Arr(fd_edges)),
+                ]),
+            ),
+            ("sepsets".to_owned(), Json::Arr(sepsets)),
+            (
+                "fci_variables".to_owned(),
+                Json::Arr(
+                    fitted
+                        .fci_variables
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "dropped_redundant".to_owned(),
+                Json::Arr(
+                    fitted
+                        .dropped_redundant
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+            ("n_ci_tests".to_owned(), Json::Num(fitted.n_ci_tests as f64)),
+        ]);
+        Response::json(200, doc.to_string())
+    })
 }
 
 fn handle_models(shared: &Shared) -> Response {

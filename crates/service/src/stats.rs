@@ -195,6 +195,8 @@ pub struct ServerStats {
     pub explain_batch_v2: AtomicU64,
     /// `POST /v2/ingest` requests answered (segments appended).
     pub ingest_v2: AtomicU64,
+    /// `GET /v2/graph` requests answered (fitted-graph renderings).
+    pub graph_v2: AtomicU64,
     /// Individual queries inside batch requests (v1 and v2).
     pub batch_queries: AtomicU64,
     /// `GET /models` requests answered.
@@ -263,6 +265,7 @@ impl Default for ServerStats {
             explain_v2: AtomicU64::new(0),
             explain_batch_v2: AtomicU64::new(0),
             ingest_v2: AtomicU64::new(0),
+            graph_v2: AtomicU64::new(0),
             batch_queries: AtomicU64::new(0),
             models: AtomicU64::new(0),
             stats: AtomicU64::new(0),
@@ -336,6 +339,7 @@ impl ServerStats {
             + self.explain_v2.load(Ordering::Relaxed)
             + self.explain_batch_v2.load(Ordering::Relaxed)
             + self.ingest_v2.load(Ordering::Relaxed)
+            + self.graph_v2.load(Ordering::Relaxed)
             + self.models.load(Ordering::Relaxed)
             + self.stats.load(Ordering::Relaxed)
             + self.metrics.load(Ordering::Relaxed)
@@ -379,6 +383,7 @@ impl ServerStats {
                     ("explain_v2".to_owned(), load(&self.explain_v2)),
                     ("explain_batch_v2".to_owned(), load(&self.explain_batch_v2)),
                     ("ingest_v2".to_owned(), load(&self.ingest_v2)),
+                    ("graph_v2".to_owned(), load(&self.graph_v2)),
                     ("batch_queries".to_owned(), load(&self.batch_queries)),
                     ("models".to_owned(), load(&self.models)),
                     ("stats".to_owned(), load(&self.stats)),

@@ -260,6 +260,10 @@ fn us(duration: Duration) -> u64 {
 /// path; unknown paths (which will 404 anyway) fall back to an owned
 /// `"METHOD path"`.
 pub fn endpoint_label(method: &str, path: &str) -> Cow<'static, str> {
+    // Routing ignores the query string (`/v2/graph?model=m` is the
+    // `/v2/graph` endpoint), so the label must too — otherwise every query
+    // combination would mint its own label and allocate.
+    let path = path.split_once('?').map_or(path, |(p, _)| p);
     // xlint-endpoints: begin(trace-labels)
     Cow::Borrowed(match (method, path) {
         ("GET", "/healthz") => "GET /healthz",
@@ -268,6 +272,7 @@ pub fn endpoint_label(method: &str, path: &str) -> Cow<'static, str> {
         ("POST", "/v2/explain") => "POST /v2/explain",
         ("POST", "/v2/explain_batch") => "POST /v2/explain_batch",
         ("POST", "/v2/ingest") => "POST /v2/ingest",
+        ("GET", "/v2/graph") => "GET /v2/graph",
         ("GET", "/models") => "GET /models",
         ("GET", "/stats") => "GET /stats",
         ("GET", "/metrics") => "GET /metrics",

@@ -1,12 +1,13 @@
 //! Memoisation of repeated CI queries.
 
-// HashMap here never leaks iteration order into output: CI-test memo table; key-looked-up only (see clippy.toml).
+// HashMap here never leaks iteration order into output: CI-test memo table keyed by interned ids
+// through the sanctioned fxhash alias; key-looked-up only (see clippy.toml).
 #![allow(clippy::disallowed_types)]
 
 use crate::ci_test::{CiOutcome, CiTest, IndexedCiTest};
 use crate::small_vec::SmallVec;
+use fxhash::FxHashMap;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use xinsight_data::{Dataset, Result};
 
@@ -23,10 +24,11 @@ type CiKey = (u32, u32, SmallVec<u32>);
 #[derive(Debug, Default)]
 struct CacheState {
     /// Stable name → id mapping.  Ids survive [`CachedCiTest::clear`] so
-    /// compiled adapters created before a clear stay valid.
-    interner: HashMap<String, u32>,
-    /// Memoised outcomes.
-    map: HashMap<CiKey, CiOutcome>,
+    /// compiled adapters created before a clear stay valid.  Interning runs
+    /// once per variable; every subsequent probe hashes only integers.
+    interner: FxHashMap<String, u32>,
+    /// Memoised outcomes, keyed by interned ids under the Fx integer mixer.
+    map: FxHashMap<CiKey, CiOutcome>,
 }
 
 impl CacheState {

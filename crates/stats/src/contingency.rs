@@ -23,9 +23,14 @@ pub struct ContingencyTable {
     pub x_cardinality: usize,
     /// Number of categories of `Y`.
     pub y_cardinality: usize,
-    /// Per-stratum count matrices, each of shape `x_cardinality × y_cardinality`
-    /// stored row-major.
-    pub strata: Vec<Vec<u64>>,
+    /// All per-stratum count matrices in one contiguous buffer,
+    /// stratum-major then row-major: the count for stratum `s` at cell
+    /// `(xi, yi)` lives at `s · |X|·|Y| + xi · |Y| + yi`.  One allocation
+    /// per table — the fit path builds a table per CI test, and the old
+    /// `Vec<Vec<u64>>` layout paid one heap allocation per stratum.
+    counts: Vec<u64>,
+    /// Number of strata (joint categories of the conditioning set).
+    n_strata: usize,
     /// Total number of counted observations.
     pub total: u64,
 }
@@ -111,29 +116,69 @@ impl ContingencyTable {
         z_cards: &[usize],
         n_strata: usize,
     ) -> Result<Self> {
-        let mut strata = vec![vec![0u64; x_card * y_card]; n_strata.max(1)];
+        let stride = x_card * y_card;
+        let n_strata = n_strata.max(1);
+        let mut counts = vec![0u64; n_strata * stride];
         let mut total = 0u64;
-        'rows: for i in 0..x_codes.len() {
-            let cx = x_codes[i];
-            let cy = y_codes[i];
-            if cx == xinsight_data::NULL_CODE || cy == xinsight_data::NULL_CODE {
-                continue;
-            }
-            let mut stratum = 0usize;
-            for (zc, &card) in z_codes.iter().zip(z_cards) {
-                let cz = zc[i];
-                if cz == xinsight_data::NULL_CODE {
-                    continue 'rows;
+        const NULL: u32 = xinsight_data::NULL_CODE;
+        // The row loop runs once per CI test over every row, so the common
+        // conditioning-set sizes (depths 0–2 dominate a skeleton search) get
+        // zipped loops with no per-row inner loop and no bounds checks.
+        match *z_codes {
+            [] => {
+                for (&cx, &cy) in x_codes.iter().zip(y_codes) {
+                    if cx == NULL || cy == NULL {
+                        continue;
+                    }
+                    counts[cx as usize * y_card + cy as usize] += 1;
+                    total += 1;
                 }
-                stratum = stratum * card + cz as usize;
             }
-            strata[stratum][cx as usize * y_card + cy as usize] += 1;
-            total += 1;
+            [z0] => {
+                for ((&cx, &cy), &c0) in x_codes.iter().zip(y_codes).zip(z0) {
+                    if cx == NULL || cy == NULL || c0 == NULL {
+                        continue;
+                    }
+                    counts[c0 as usize * stride + cx as usize * y_card + cy as usize] += 1;
+                    total += 1;
+                }
+            }
+            [z0, z1] => {
+                let card1 = z_cards[1];
+                for (((&cx, &cy), &c0), &c1) in x_codes.iter().zip(y_codes).zip(z0).zip(z1) {
+                    if cx == NULL || cy == NULL || c0 == NULL || c1 == NULL {
+                        continue;
+                    }
+                    let stratum = c0 as usize * card1 + c1 as usize;
+                    counts[stratum * stride + cx as usize * y_card + cy as usize] += 1;
+                    total += 1;
+                }
+            }
+            _ => {
+                'rows: for i in 0..x_codes.len() {
+                    let cx = x_codes[i];
+                    let cy = y_codes[i];
+                    if cx == NULL || cy == NULL {
+                        continue;
+                    }
+                    let mut stratum = 0usize;
+                    for (zc, &card) in z_codes.iter().zip(z_cards) {
+                        let cz = zc[i];
+                        if cz == NULL {
+                            continue 'rows;
+                        }
+                        stratum = stratum * card + cz as usize;
+                    }
+                    counts[stratum * stride + cx as usize * y_card + cy as usize] += 1;
+                    total += 1;
+                }
+            }
         }
         Ok(ContingencyTable {
             x_cardinality: x_card,
             y_cardinality: y_card,
-            strata,
+            counts,
+            n_strata,
             total,
         })
     }
@@ -168,32 +213,32 @@ impl ContingencyTable {
             total += 1;
         }
         // Deterministic stratum order (ascending joint key).
+        let stride = x_card * y_card;
         let mut keys: Vec<u128> = map.keys().copied().collect();
         keys.sort_unstable();
-        let strata: Vec<Vec<u64>> = keys
-            .into_iter()
-            .map(|k| map.remove(&k).expect("key collected from map"))
-            .collect();
+        let n_strata = keys.len().max(1);
+        let mut counts = vec![0u64; n_strata * stride];
+        for (s, k) in keys.into_iter().enumerate() {
+            let stratum = map.remove(&k).expect("key collected from map");
+            counts[s * stride..(s + 1) * stride].copy_from_slice(&stratum);
+        }
         Ok(ContingencyTable {
             x_cardinality: x_card,
             y_cardinality: y_card,
-            strata: if strata.is_empty() {
-                vec![vec![0u64; x_card * y_card]]
-            } else {
-                strata
-            },
+            counts,
+            n_strata,
             total,
         })
     }
 
     /// Number of strata (joint categories of the conditioning set).
     pub fn n_strata(&self) -> usize {
-        self.strata.len()
+        self.n_strata
     }
 
     /// Count in stratum `s` at cell (`xi`, `yi`).
     pub fn count(&self, s: usize, xi: usize, yi: usize) -> u64 {
-        self.strata[s][xi * self.y_cardinality + yi]
+        self.counts[s * self.x_cardinality * self.y_cardinality + xi * self.y_cardinality + yi]
     }
 
     /// Pearson chi-square statistic and degrees of freedom, summed over
@@ -220,13 +265,18 @@ impl ContingencyTable {
     fn statistic(&self, cell_term: impl Fn(f64, f64) -> f64) -> (f64, f64) {
         let mut stat = 0.0;
         let mut dof = 0.0;
-        for counts in &self.strata {
+        // Margin scratch is shared across strata — one allocation per call,
+        // not one per stratum.
+        let mut row_sums = vec![0u64; self.x_cardinality];
+        let mut col_sums = vec![0u64; self.y_cardinality];
+        let stride = (self.x_cardinality * self.y_cardinality).max(1);
+        for counts in self.counts.chunks_exact(stride) {
             let n: u64 = counts.iter().sum();
             if n == 0 {
                 continue;
             }
-            let mut row_sums = vec![0u64; self.x_cardinality];
-            let mut col_sums = vec![0u64; self.y_cardinality];
+            row_sums.fill(0);
+            col_sums.fill(0);
             for xi in 0..self.x_cardinality {
                 for yi in 0..self.y_cardinality {
                     let c = counts[xi * self.y_cardinality + yi];
@@ -408,7 +458,8 @@ mod tests {
         let by_name = ContingencyTable::build(&d, "X", "Y", &["Z"]).unwrap();
         let view = crate::DiscoveryView::compile(&d, &["Z", "X", "Y"]).unwrap();
         let by_view = ContingencyTable::from_view(&view, 1, 2, &[0]).unwrap();
-        assert_eq!(by_name.strata, by_view.strata);
+        assert_eq!(by_name.counts, by_view.counts);
+        assert_eq!(by_name.n_strata, by_view.n_strata);
         assert_eq!(by_name.total, by_view.total);
         assert_eq!(
             by_name.chi_square_statistic(),

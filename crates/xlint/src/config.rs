@@ -6,10 +6,11 @@ use crate::toml::{self, TableExt};
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// The six rule names, in the order they run.
+/// The seven rule names, in the order they run.
 pub const ALL_RULES: &[&str] = &[
     "lock-order",
     "no-alloc-hot-path",
+    "no-string-fit-path",
     "no-panic-path",
     "relaxed-ordering-justified",
     "unsafe-safety-comment",
@@ -118,12 +119,14 @@ pub struct Config {
     pub exclude_dirs: Vec<String>,
     /// Whether rules also run inside `#[cfg(test)]` items.
     pub check_tests: bool,
-    /// Enabled rule names (defaults to all six).
+    /// Enabled rule names (defaults to all seven).
     pub rules: Vec<String>,
     /// `lock-order` configuration.
     pub lock_order: LockOrderConfig,
     /// `no-alloc-hot-path` scopes.
     pub hot_scopes: Vec<Scope>,
+    /// `no-string-fit-path` scopes.
+    pub string_scopes: Vec<Scope>,
     /// `no-panic-path` scopes.
     pub panic_scopes: Vec<Scope>,
     /// `endpoint-inventory` configuration.
@@ -284,6 +287,7 @@ impl Config {
             Ok(scopes)
         };
         let hot_scopes = scopes_of("no_alloc")?;
+        let string_scopes = scopes_of("no_string")?;
         let panic_scopes = scopes_of("no_panic")?;
 
         let mut endpoints = EndpointsConfig::default();
@@ -326,6 +330,7 @@ impl Config {
             rules,
             lock_order,
             hot_scopes,
+            string_scopes,
             panic_scopes,
             endpoints,
         })

@@ -3,7 +3,7 @@
 //! `proc-macro2`).
 //!
 //! The lexer keeps **comments as tokens** — that is the point: three of
-//! the six xlint rules ([`crate::rules`]) are about the relationship
+//! the seven xlint rules ([`crate::rules`]) are about the relationship
 //! between code tokens and adjacent comments (`// SAFETY:`,
 //! `// relaxed:`, `// xlint: allow(...)` pragmas).  It understands the
 //! parts of the grammar that would otherwise produce false tokens:

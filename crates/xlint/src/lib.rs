@@ -8,7 +8,8 @@
 //! | Rule | Invariant |
 //! |---|---|
 //! | `lock-order` | locks are acquired in the declared hierarchy order (registry swap → models → single-flight → LRU → trace publish → loop queues), propagated through the intra-crate call graph |
-//! | `no-alloc-hot-path` | the event-loop framing path, trace span recording, and stats record paths stay allocation-free (`format!`, `to_string`, `clone`, … are denied) |
+//! | `no-alloc-hot-path` | the event-loop framing path, trace span recording, stats record paths, and the discovery inner loops stay allocation-free (`format!`, `to_string`, `clone`, … are denied) |
+//! | `no-string-fit-path` | the causal-discovery fit path (skeleton search, FCI, orientation, sepsets) speaks dense `u32` node ids only — no `String` type, `format!`, or `.to_string()`/`.to_owned()`/`.push_str()` after `DiscoveryView` compile |
 //! | `no-panic-path` | no `unwrap`/`expect`/`panic!`/slice-indexing in the event loop or worker dispatch — a panic there kills the loop thread, not one request |
 //! | `relaxed-ordering-justified` | every `Ordering::Relaxed` carries an adjacent `// relaxed:` justification |
 //! | `unsafe-safety-comment` | every `unsafe` site (including the raw epoll FFI in `vendor/polling`) carries a `// SAFETY:` comment |
@@ -16,7 +17,7 @@
 //!
 //! Everything is dependency-free and hand-rolled in the same offline
 //! spirit as `vendor/`: a Rust [`lexer`], a lightweight item scanner
-//! ([`scan`]), a TOML-subset config parser ([`toml`]), and six rules
+//! ([`scan`]), a TOML-subset config parser ([`toml`]), and seven rules
 //! ([`rules`]) driven by `xlint.toml` at the workspace root.
 //!
 //! Rules are **deny-by-default**; intentional exceptions are written in
@@ -188,6 +189,9 @@ pub fn run(config: &Config, workspace: &Workspace) -> Vec<Finding> {
     }
     if config.rule_enabled("no-alloc-hot-path") {
         findings.extend(rules::scoped::check_no_alloc(config, workspace));
+    }
+    if config.rule_enabled("no-string-fit-path") {
+        findings.extend(rules::scoped::check_no_string(config, workspace));
     }
     if config.rule_enabled("no-panic-path") {
         findings.extend(rules::scoped::check_no_panic(config, workspace));

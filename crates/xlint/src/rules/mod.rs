@@ -1,4 +1,4 @@
-//! The six rules, plus pragma validation.
+//! The seven rules, plus pragma validation.
 //!
 //! Each rule is a free function `check(config, workspace) -> Vec<Finding>`
 //! over the scanned token streams.  Rules share two conventions: sites

@@ -1,9 +1,10 @@
-//! The two scope-based rules: `no-alloc-hot-path` and `no-panic-path`.
+//! The three scope-based rules: `no-alloc-hot-path`, `no-string-fit-path`
+//! and `no-panic-path`.
 //!
-//! Both walk the token stream of files named by `[[no_alloc.scope]]` /
-//! `[[no_panic.scope]]` entries in `xlint.toml` and flag token patterns.
-//! A scope with a `functions` list confines the rule to those functions;
-//! without one it covers the whole file.
+//! All walk the token stream of files named by `[[no_alloc.scope]]` /
+//! `[[no_string.scope]]` / `[[no_panic.scope]]` entries in `xlint.toml`
+//! and flag token patterns.  A scope with a `functions` list confines the
+//! rule to those functions; without one it covers the whole file.
 
 use crate::config::{Config, Scope};
 use crate::lexer::TokenKind;
@@ -19,6 +20,20 @@ pub fn check_no_alloc(config: &Config, workspace: &Workspace) -> Vec<Finding> {
         &config.hot_scopes,
         "no-alloc-hot-path",
         alloc_site,
+    )
+}
+
+/// `no-string-fit-path`: `String` handling in the dense-id discovery core.
+/// After `DiscoveryView` compile, the fit path speaks `u32` node ids only —
+/// any `String` type, text allocation, or string formatting there means a
+/// name leaked past the interning boundary.
+pub fn check_no_string(config: &Config, workspace: &Workspace) -> Vec<Finding> {
+    scoped_scan(
+        config,
+        workspace,
+        &config.string_scopes,
+        "no-string-fit-path",
+        string_site,
     )
 }
 
@@ -111,6 +126,38 @@ fn alloc_site(file: &SourceFile, idx: usize) -> Option<String> {
         "to_string" | "to_owned" | "to_vec" | "clone" if prev_is_dot && next_is("(") => {
             Some(format!("`.{}()` allocates on the hot path", token.text))
         }
+        _ => None,
+    }
+}
+
+/// String patterns: the `String` type itself (any position — parameter,
+/// field, turbofish, constructor), `format!`, and the text-building calls
+/// `.to_string()` / `.to_owned()` / `.push_str()`.
+fn string_site(file: &SourceFile, idx: usize) -> Option<String> {
+    let tokens = &file.tokens;
+    let token = &tokens[idx];
+    if token.kind != TokenKind::Ident {
+        return None;
+    }
+    let next = next_code(tokens, idx + 1);
+    let next_is = |text: &str| {
+        next.is_some_and(|n| tokens[n].kind == TokenKind::Punct && tokens[n].text == text)
+    };
+    let prev_is_dot = prev_code(tokens, idx).is_some_and(|p| tokens[p].is_punct('.'));
+    match token.text.as_str() {
+        "String" => Some(
+            "`String` on the fit path — node identity is a dense `u32` id after \
+             `DiscoveryView` compile; intern names at the boundary instead"
+                .to_owned(),
+        ),
+        "format" if next_is("!") && !prev_is_dot => {
+            Some("`format!` builds a `String` on the fit path".to_owned())
+        }
+        "to_string" | "to_owned" | "push_str" if prev_is_dot && next_is("(") => Some(format!(
+            "`.{}()` allocates text on the fit path — use dense ids and defer \
+             rendering to the report/serve layer",
+            token.text
+        )),
         _ => None,
     }
 }

@@ -1,0 +1,10 @@
+//! `orient` keys its sepset map by name and formats a label per edge —
+//! both leak `String`s past the interning boundary.
+
+use std::collections::HashMap;
+
+pub fn orient(sepsets: &mut HashMap<String, Vec<u32>>, a: &str, b: &str) {
+    let key = format!("{a}|{b}");
+    sepsets.insert(key, Vec::new());
+    sepsets.insert(b.to_owned(), Vec::new());
+}

@@ -1,0 +1,11 @@
+//! The fit-path `orient` function speaks dense ids only; the cold
+//! `render` helper may build text freely because the scope confines the
+//! rule to `orient`.
+
+pub fn orient(marks: &mut [u8], a: u32, b: u32) {
+    marks[(a as usize) * 4 + b as usize] = 1;
+}
+
+pub fn render(names: &[&str], a: u32) -> String {
+    names[a as usize].to_string()
+}

@@ -94,6 +94,20 @@ fn no_alloc_pass_and_fail() {
 }
 
 #[test]
+fn no_string_pass_and_fail() {
+    assert_pass("no_string/pass");
+    assert_fail(
+        "no_string/fail",
+        "no-string-fit-path",
+        &[
+            "`String` on the fit path",
+            "`format!` builds a `String`",
+            "`.to_owned()` allocates text",
+        ],
+    );
+}
+
+#[test]
 fn no_panic_pass_and_fail() {
     // The pass fixture includes a pragma-suppressed indexing site — it
     // passing proves reasoned pragmas actually suppress.

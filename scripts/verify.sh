@@ -53,8 +53,9 @@ echo "==> serving smoke test (xinsight-serve + loadgen)"
 # Start the server on a loopback port with a freshly fitted + saved SYN-A
 # bundle and drive it with the loadgen smoke client, which gates on
 # GET /healthz (polling the liveness endpoint instead of sleeping), then
-# asserts one /explain, one /v2/explain with a non-default top_k, one
-# streaming-ingest round trip (POST /v2/ingest a handful of rows, /stats
+# asserts one /explain, one /v2/explain with a non-default top_k, a
+# GET /v2/graph fetch in all three formats (json structure, DOT and
+# Mermaid headers), one streaming-ingest round trip (POST /v2/ingest a handful of rows, /stats
 # must show the new segment, and a re-issued /v2/explain must answer
 # against the grown store rather than replay a pre-ingest cache entry),
 # an ingest-past-threshold → background-compact → re-read loop asserting

@@ -280,3 +280,79 @@ fn v2_controls_work_end_to_end_on_served_syn_a() {
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `GET /v2/graph` serves the fitted graph of a loaded model in all three
+/// formats, the renderings match the shared emitter applied to the
+/// engine's own fitted model, and parameter errors are structured.
+#[test]
+fn graph_v2_serves_json_dot_and_mermaid() {
+    let fx = fixture();
+    let (handle, dir) = serve_fixture("graph");
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let fitted = fx.engine.fitted_model();
+
+    // JSON: nodes in dense-id order, edges referencing them with marks from
+    // the closed vocabulary, sepset ids resolved to names.
+    let resp = client.get("/v2/graph?model=syn_a").unwrap();
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    let doc = Json::parse(&resp.body).unwrap();
+    assert_eq!(doc.get("model").unwrap().as_str().unwrap(), "syn_a");
+    let graph = doc.get("graph").unwrap();
+    let nodes: Vec<String> = graph.get("nodes").unwrap().as_string_vec().unwrap();
+    assert_eq!(&nodes, fitted.graph.names());
+    let edges = graph.get("edges").unwrap().as_arr().unwrap();
+    assert_eq!(edges.len(), fitted.graph.n_edges());
+    for edge in edges {
+        let a = edge.get("a").unwrap().as_u64().unwrap() as usize;
+        let b = edge.get("b").unwrap().as_u64().unwrap() as usize;
+        assert!(a < nodes.len() && b < nodes.len());
+        for key in ["mark_a", "mark_b"] {
+            let mark = edge.get(key).unwrap().as_str().unwrap().to_owned();
+            assert!(matches!(mark.as_str(), "tail" | "arrow" | "circle"));
+        }
+    }
+    let fci_variables: Vec<String> = doc.get("fci_variables").unwrap().as_string_vec().unwrap();
+    assert_eq!(fci_variables, fitted.fci_variables);
+    for entry in doc.get("sepsets").unwrap().as_arr().unwrap() {
+        for key in ["x", "y"] {
+            let name = entry.get(key).unwrap().as_str().unwrap().to_owned();
+            assert!(fci_variables.contains(&name), "unknown sepset name {name}");
+        }
+    }
+    assert_eq!(
+        doc.get("n_ci_tests").unwrap().as_u64().unwrap() as usize,
+        fitted.n_ci_tests
+    );
+
+    // DOT and Mermaid bytes come from the one shared emitter.
+    let dot = client.get("/v2/graph?model=syn_a&format=dot").unwrap();
+    assert_eq!(dot.status, 200);
+    assert_eq!(dot.body, xinsight::graph::render::to_dot(&fitted.graph));
+    let mermaid = client.get("/v2/graph?model=syn_a&format=mermaid").unwrap();
+    assert_eq!(mermaid.status, 200);
+    assert_eq!(
+        mermaid.body,
+        xinsight::graph::render::to_mermaid(&fitted.graph)
+    );
+    // Identical requests serve identical bytes (deterministic emission).
+    let dot2 = client.get("/v2/graph?model=syn_a&format=dot").unwrap();
+    assert_eq!(dot2.body, dot.body);
+
+    // Parameter errors are structured JSON, not panics.
+    let missing = client.get("/v2/graph").unwrap();
+    assert_eq!(missing.status, 400, "body: {}", missing.body);
+    assert!(missing.body.contains("model"));
+    let unknown_model = client.get("/v2/graph?model=nope").unwrap();
+    assert_eq!(unknown_model.status, 404);
+    let bad_format = client.get("/v2/graph?model=syn_a&format=png").unwrap();
+    assert_eq!(bad_format.status, 400);
+    assert!(bad_format.body.contains("format"));
+    let typo = client.get("/v2/graph?model=syn_a&fromat=dot").unwrap();
+    assert_eq!(typo.status, 400, "body: {}", typo.body);
+    // Method guard: POST on the endpoint is a 405, not a 404.
+    let post = client.post("/v2/graph", "{}").unwrap();
+    assert_eq!(post.status, 405);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,244 @@
+//! Offline shim for the `rustc-hash`/`fxhash` crates.
+//!
+//! A non-cryptographic, seedable multiply-rotate hasher for the fit path,
+//! where keys are dense `u32`/`u64` ids (interned variable ids, packed node
+//! pairs) and SipHash's per-lookup cost is pure overhead.  The mixing step is
+//! the Firefox/rustc "Fx" construction: fold each word into the state with a
+//! rotate, xor, and odd-constant multiply.
+//!
+//! Determinism matters more than DoS resistance here: the default seed is
+//! fixed, so iteration-independent structures (lookup maps, dedup sets) hash
+//! identically across runs.  Nothing on the fit path iterates one of these
+//! maps into output — anything serialized or rendered still goes through
+//! ordered structures (see `clippy.toml`'s HashMap policy).
+
+#![warn(missing_docs)]
+
+use std::hash::{BuildHasher, Hasher};
+
+/// 64-bit mixing constant: `2^64 / φ`, rounded to odd (same constant rustc
+/// uses).  Odd multipliers are bijective mod 2^64, so no key information is
+/// destroyed by the multiply.
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Left-rotation applied before each fold; 5 is the empirical sweet spot the
+/// original Firefox implementation settled on for short keys.
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-rotate hasher.  One `u64` of state; each written word is
+/// folded in with `state = (state.rotate_left(5) ^ word) * K`.
+#[derive(Debug, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    /// A hasher starting from `seed` (the default hasher uses seed 0).
+    #[inline]
+    pub fn with_seed(seed: u64) -> FxHasher {
+        FxHasher { state: seed }
+    }
+
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Default for FxHasher {
+    #[inline]
+    fn default() -> FxHasher {
+        FxHasher::with_seed(0)
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Word-at-a-time over the slice, then the sub-word tail, then the
+        // length (so "ab" + "c" != "a" + "bc" for composite keys).
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(word));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.fold(u64::from_le_bytes(word));
+        }
+        self.fold(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.fold(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, value: u16) {
+        self.fold(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.fold(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.fold(value);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, value: u128) {
+        self.fold(value as u64);
+        self.fold((value >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.fold(value as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, value: i8) {
+        self.write_u8(value as u8);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, value: i16) {
+        self.write_u16(value as u16);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, value: i32) {
+        self.write_u32(value as u32);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, value: i64) {
+        self.write_u64(value as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, value: isize) {
+        self.write_usize(value as usize);
+    }
+}
+
+/// [`BuildHasher`] producing [`FxHasher`]s from a fixed seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxBuildHasher {
+    seed: u64,
+}
+
+impl FxBuildHasher {
+    /// A build-hasher whose hashers all start from `seed`.  Two maps built
+    /// with the same seed hash identically; distinct seeds decorrelate
+    /// nested tables.
+    #[inline]
+    pub fn with_seed(seed: u64) -> FxBuildHasher {
+        FxBuildHasher { seed }
+    }
+}
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::with_seed(self.seed)
+    }
+}
+
+// The aliases below are the one sanctioned spelling of std's HashMap/HashSet
+// on the fit path (see clippy.toml's disallowed-types policy): integer-keyed
+// interior state that never leaks iteration order into output.
+#[allow(clippy::disallowed_types)]
+mod aliases {
+    use super::FxBuildHasher;
+
+    /// A `HashMap` seeded with the deterministic Fx hasher.
+    pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+    /// A `HashSet` seeded with the deterministic Fx hasher.
+    pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+}
+
+pub use aliases::{FxHashMap, FxHashSet};
+
+/// Hashes one value with the default-seeded [`FxHasher`] — convenience for
+/// fingerprints and tests.
+#[inline]
+pub fn hash64<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash64(&42u32), hash64(&42u32));
+        assert_eq!(hash64(&"skeleton"), hash64(&"skeleton"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        let hashes: Vec<u64> = (0u32..64).map(|v| hash64(&v)).collect();
+        let mut deduped = hashes.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), hashes.len(), "nearby ids must not collide");
+    }
+
+    #[test]
+    fn seed_changes_hashes() {
+        let mut a = FxHasher::with_seed(1);
+        let mut b = FxHasher::with_seed(2);
+        a.write_u64(7);
+        b.write_u64(7);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_stream_framing_includes_length() {
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        a.write(b"c");
+        let mut b = FxHasher::default();
+        b.write(b"a");
+        b.write(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(3, "three");
+        assert_eq!(map.get(&3), Some(&"three"));
+
+        let mut set: FxHashSet<(u32, u32)> = FxHashSet::default();
+        set.insert((1, 2));
+        assert!(set.contains(&(1, 2)));
+        assert!(!set.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn seeded_builder_is_reproducible() {
+        use std::hash::BuildHasher;
+        let build = FxBuildHasher::with_seed(9);
+        assert_eq!(build.hash_one(123u64), build.hash_one(123u64));
+    }
+}
